@@ -1,0 +1,88 @@
+// Ablation: sensitivity of the ratio denominator to the exhaustive solver's
+// grid pitch, and of greedy 1 to its oracle pitch (DESIGN.md substitution 1
+// and 2).
+//
+// The paper never specifies how its "exhaustive" optimum handles the
+// continuous center domain. This ablation quantifies how much that choice
+// matters: it fixes a bundle of instances and sweeps the candidate-grid
+// pitch, reporting the exhaustive value and greedy1's reward per pitch.
+//
+//   ./build/bench/ablation_candidates [--trials T] [--seed S] [--k K]
+
+#include <iostream>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/round_based.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    const std::size_t trials =
+        static_cast<std::size_t>(args.get_int("trials", 10));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2011));
+    const std::size_t k = static_cast<std::size_t>(args.get_int("k", 2));
+    args.finish();
+
+    std::cout << "ablation: candidate grid pitch (n=20, 2-D, 2-norm, k=" << k
+              << ", r=1, " << trials << " trials)\n\n";
+
+    const std::vector<double> pitches{2.0, 1.0, 0.5, 0.25};
+
+    io::Table table({"pitch", "mean exhaustive value", "mean greedy1 reward",
+                     "greedy1/exhaustive(0.25)"});
+
+    // Generate the instance bundle once so every pitch sees identical
+    // problems.
+    std::vector<core::Problem> problems;
+    const rnd::Rng base(seed);
+    for (std::size_t t = 0; t < trials; ++t) {
+      rnd::WorkloadSpec spec;
+      spec.n = 20;
+      rnd::Rng rng = base.fork(t);
+      problems.push_back(core::Problem::from_workload(
+          rnd::generate_workload(spec, rng), 1.0, geo::l2_metric()));
+    }
+
+    // Reference denominator: the finest pitch.
+    std::vector<double> reference;
+    for (const core::Problem& p : problems) {
+      reference.push_back(core::ExhaustiveSolver::over_grid_and_points(p, 0.25)
+                              .solve(p, k)
+                              .total_reward);
+    }
+
+    for (double pitch : pitches) {
+      io::RunningStats ex_stats, g1_stats, ratio_stats;
+      for (std::size_t t = 0; t < problems.size(); ++t) {
+        const core::Problem& p = problems[t];
+        const double ex =
+            core::ExhaustiveSolver::over_grid_and_points(p, pitch)
+                .solve(p, k)
+                .total_reward;
+        const double g1 = core::RoundBasedSolver::over_grid(p, pitch)
+                              .solve(p, k)
+                              .total_reward;
+        ex_stats.add(ex);
+        g1_stats.add(g1);
+        ratio_stats.add(g1 / reference[t]);
+      }
+      table.add_row({io::fixed(pitch, 2), io::fixed(ex_stats.mean(), 4),
+                     io::fixed(g1_stats.mean(), 4),
+                     io::percent(ratio_stats.mean())});
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected shape: the exhaustive value grows "
+                 "monotonically as the pitch\nshrinks and plateaus, showing "
+                 "the 0.5 default is close to converged.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ablation_candidates: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,80 @@
+// Ablation: the fairness/throughput trade-off of deficit-weighted
+// scheduling. Sweeps the fairness pressure alpha on a clustered population
+// (where plain greedy starves fringe users) and reports long-run Jain
+// fairness of accumulated rewards vs total reward.
+//
+//   ./build/bench/ablation_fairness [--users N] [--slots T] [--seed S]
+
+#include <iostream>
+#include <memory>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/sim/fairness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    const std::size_t users =
+        static_cast<std::size_t>(args.get_int("users", 60));
+    const std::size_t slots =
+        static_cast<std::size_t>(args.get_int("slots", 50));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2011));
+    args.finish();
+
+    // Clustered interests: the regime where myopic scheduling is unfair.
+    rnd::WorkloadSpec spec;
+    spec.n = users;
+    spec.placement = rnd::Placement::kClustered;
+    spec.clusters = 4;
+    spec.cluster_stddev = 0.35;
+    rnd::Rng rng(seed);
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), 0.8, geo::l2_metric());
+
+    std::cout << "ablation: fairness pressure alpha, " << users
+              << " clustered users, " << slots << " slots, k=2, r=0.8\n\n";
+
+    io::Table table({"alpha", "total reward", "vs alpha=0",
+                     "Jain (accumulated)", "never-served users"});
+    double baseline_total = 0.0;
+    for (double alpha : {0.0, 1.0, 4.0, 16.0, 64.0}) {
+      sim::FairnessAwarePlanner planner(
+          [](const core::Problem&) {
+            return std::make_unique<core::GreedyLocalSolver>();
+          },
+          alpha);
+      std::vector<double> accumulated(problem.size(), 0.0);
+      double total = 0.0;
+      for (std::size_t t = 0; t < slots; ++t) {
+        const core::Solution s = planner.plan(problem, 2);
+        for (std::size_t i = 0; i < problem.size(); ++i) {
+          accumulated[i] += problem.weight(i) * (1.0 - s.residual[i]);
+        }
+        total += s.total_reward;
+      }
+      if (alpha == 0.0) baseline_total = total;
+      int starved = 0;
+      for (double a : accumulated) {
+        if (a <= 0.0) ++starved;
+      }
+      table.add_row({io::fixed(alpha, 1), io::fixed(total, 1),
+                     io::percent(total / baseline_total),
+                     io::fixed(io::jain_fairness(accumulated), 4),
+                     std::to_string(starved)});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: modest alpha buys a large fairness gain "
+                 "(fewer never-served users)\nfor a small throughput cost; "
+                 "very large alpha chases deficits at real cost.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ablation_fairness: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,78 @@
+// Certified approximation ratios against the *continuous* optimum.
+//
+// The paper's ratios (and our figure reproductions) divide by a
+// finite-candidate optimum; this bench reports, for the same paper
+// configurations, each solver's rigorously certified lower bound on its
+// ratio vs the true continuous Eq. (6) optimum (Lipschitz + covering-
+// radius argument, core/certificate.hpp), at several certificate grid
+// pitches. The gap between the grid-relative ratio and the certificate is
+// the price of honesty about the continuous domain.
+//
+//   ./build/bench/certificate_tightness [--trials T] [--seed S]
+
+#include <iostream>
+
+#include "mmph/core/certificate.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    const std::size_t trials =
+        static_cast<std::size_t>(args.get_int("trials", 10));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2011));
+    args.finish();
+
+    std::cout << "certified ratios vs the continuous optimum "
+                 "(n=40, 2-D 2-norm, k=4, r=1, " << trials << " trials)\n\n";
+
+    const std::vector<std::string> solvers{"greedy2", "greedy3", "greedy4"};
+    io::Table table({"solver", "vs grid exhaustive (pitch .5)",
+                     "certified (pitch .5)", "certified (pitch .1)",
+                     "certified (pitch .05)"});
+
+    std::map<std::string, io::RunningStats> grid_ratio, cert_half, cert_ten,
+        cert_twenty;
+    const rnd::Rng base(seed);
+    for (std::size_t t = 0; t < trials; ++t) {
+      rnd::WorkloadSpec spec;
+      spec.n = 40;
+      rnd::Rng rng = base.fork(t);
+      const core::Problem p = core::Problem::from_workload(
+          rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+      const double grid_opt =
+          core::make_solver("exhaustive", p)->solve(p, 4).total_reward;
+      for (const std::string& name : solvers) {
+        const core::Solution s =
+            core::make_solver(name, p)->solve(p, 4);
+        grid_ratio[name].add(s.total_reward / grid_opt);
+        cert_half[name].add(core::certify_ratio(p, s, 0.5).certified_ratio);
+        cert_ten[name].add(core::certify_ratio(p, s, 0.1).certified_ratio);
+        cert_twenty[name].add(
+            core::certify_ratio(p, s, 0.05).certified_ratio);
+      }
+    }
+    for (const std::string& name : solvers) {
+      table.add_row({name, io::percent(grid_ratio.at(name).mean()),
+                     io::percent(cert_half.at(name).mean()),
+                     io::percent(cert_ten.at(name).mean()),
+                     io::percent(cert_twenty.at(name).mean())});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: the certificate pays k*(L*rho + grid slack); "
+                 "it tightens steadily\nas the pitch shrinks and already "
+                 "proves nontrivial continuous-domain ratios\n— a statement "
+                 "the paper's finite 'exhaustive' denominators cannot "
+                 "make.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "certificate_tightness: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,15 @@
+// Fig. 4 reproduction: approximation ratios in a 2-D space, 2-norm,
+// *different* (random integer 1..5) weights; n in {10, 40}, k in {2, 4},
+// r in {1, 1.5, 2}. Ratios are against the grid+points exhaustive optimum.
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title =
+      "Fig. 4: 2-D, 2-norm, different weights (random integers 1..5)";
+  config.dim = 2;
+  config.metric = mmph::geo::l2_metric();
+  config.weights = mmph::rnd::WeightScheme::kUniformInt;
+  return mmph::bench::run_figure(config, argc, argv);
+}

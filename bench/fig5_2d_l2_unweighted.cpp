@@ -1,0 +1,13 @@
+// Fig. 5 reproduction: approximation ratios in a 2-D space, 2-norm,
+// *same* weight (w_i = 1 for all nodes); otherwise as Fig. 4.
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title = "Fig. 5: 2-D, 2-norm, same weight (w=1)";
+  config.dim = 2;
+  config.metric = mmph::geo::l2_metric();
+  config.weights = mmph::rnd::WeightScheme::kSame;
+  return mmph::bench::run_figure(config, argc, argv);
+}

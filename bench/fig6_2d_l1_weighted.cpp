@@ -1,0 +1,14 @@
+// Fig. 6 reproduction: approximation ratios in a 2-D space, 1-norm,
+// different (random integer 1..5) weights.
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title =
+      "Fig. 6: 2-D, 1-norm, different weights (random integers 1..5)";
+  config.dim = 2;
+  config.metric = mmph::geo::l1_metric();
+  config.weights = mmph::rnd::WeightScheme::kUniformInt;
+  return mmph::bench::run_figure(config, argc, argv);
+}

@@ -1,0 +1,13 @@
+// Fig. 7 reproduction: approximation ratios in a 2-D space, 1-norm,
+// same weight (w=1).
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title = "Fig. 7: 2-D, 1-norm, same weight (w=1)";
+  config.dim = 2;
+  config.metric = mmph::geo::l1_metric();
+  config.weights = mmph::rnd::WeightScheme::kSame;
+  return mmph::bench::run_figure(config, argc, argv);
+}

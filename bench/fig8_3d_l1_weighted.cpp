@@ -1,0 +1,18 @@
+// Fig. 8 reproduction: total gained rewards in a 3-D space, 1-norm,
+// different (random integer 1..5) weights; n in {40, 160}. The paper
+// reports raw rewards here (no exhaustive denominator — the 3-D search
+// space is too large), so the comparison is greedy-vs-greedy.
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title =
+      "Fig. 8: 3-D, 1-norm, different weights (random integers 1..5)";
+  config.dim = 3;
+  config.metric = mmph::geo::l1_metric();
+  config.weights = mmph::rnd::WeightScheme::kUniformInt;
+  config.node_counts = {40, 160};
+  config.with_exhaustive = false;
+  return mmph::bench::run_figure(config, argc, argv);
+}

@@ -1,0 +1,15 @@
+// Fig. 9 reproduction: total gained rewards in a 3-D space, 1-norm,
+// same weight (w=1); n in {40, 160}.
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  mmph::bench::FigureConfig config;
+  config.title = "Fig. 9: 3-D, 1-norm, same weight (w=1)";
+  config.dim = 3;
+  config.metric = mmph::geo::l1_metric();
+  config.weights = mmph::rnd::WeightScheme::kSame;
+  config.node_counts = {40, 160};
+  config.with_exhaustive = false;
+  return mmph::bench::run_figure(config, argc, argv);
+}

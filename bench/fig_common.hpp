@@ -1,0 +1,104 @@
+#pragma once
+
+// Shared driver for the Fig. 4-9 reproduction binaries.
+//
+// Each figure binary describes its configuration (dimension, norm, weight
+// scheme, node counts, whether an exhaustive denominator is computed) and
+// calls run_figure(); the sweep over k in {2,4} and r in {1, 1.5, 2} with
+// seeded parallel trials, the table rendering and the prose-style summary
+// are identical across figures and live here.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/exp/experiment.hpp"
+#include "mmph/exp/report.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+
+namespace mmph::bench {
+
+struct FigureConfig {
+  std::string title;
+  std::size_t dim = 2;
+  geo::Metric metric{};
+  rnd::WeightScheme weights = rnd::WeightScheme::kUniformInt;
+  std::vector<std::size_t> node_counts{10, 40};
+  bool with_exhaustive = true;  // 2-D figures report ratios; 3-D raw reward
+  std::vector<std::string> solvers{"greedy1", "greedy2", "greedy3", "greedy4"};
+};
+
+/// Parses the shared flags, runs the sweep, prints per-(n,k,r) rows and the
+/// pooled per-solver summary. Returns a process exit code.
+inline int run_figure(const FigureConfig& config, int argc, char** argv) {
+  try {
+    io::Args args(argc, argv);
+    const std::size_t trials =
+        static_cast<std::size_t>(args.get_int("trials", 10));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2011));
+    const double pitch = args.get_double("pitch", 0.5);
+    const bool as_csv = args.get_flag("csv");
+    const bool as_markdown = args.get_flag("markdown");
+    args.finish();
+
+    std::cout << config.title << "\n"
+              << "trials/cell=" << trials << " seed=" << seed
+              << " grid-pitch=" << pitch << " ("
+              << (config.with_exhaustive
+                      ? "ratios vs grid+points exhaustive"
+                      : "raw rewards, no exhaustive")
+              << ")\n\n";
+
+    std::vector<exp::CellStats> all_cells;
+    for (std::size_t n : config.node_counts) {
+      exp::TrialSetup setup;
+      setup.n = n;
+      setup.dim = config.dim;
+      setup.metric = config.metric;
+      setup.weights = config.weights;
+      setup.solver_config.grid_pitch = pitch;
+      const auto cells =
+          exp::run_sweep(setup, {2, 4}, {1.0, 1.5, 2.0}, config.solvers,
+                         config.with_exhaustive, trials, seed + 1000 * n);
+      all_cells.insert(all_cells.end(), cells.begin(), cells.end());
+    }
+
+    io::Table table = config.with_exhaustive
+                          ? exp::ratio_table(all_cells, config.solvers)
+                          : exp::reward_table(all_cells, config.solvers);
+    if (as_csv) {
+      table.print_csv(std::cout);
+    } else if (as_markdown) {
+      table.print_markdown(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+
+    std::cout << "\npooled per-solver summary:\n";
+    if (config.with_exhaustive) {
+      const auto means = exp::overall_ratio_means(all_cells, config.solvers);
+      for (const std::string& s : config.solvers) {
+        std::cout << "  mean ratio " << s << " = "
+                  << io::percent(means.at(s)) << "\n";
+      }
+    } else {
+      const auto means = exp::overall_reward_means(all_cells, config.solvers);
+      const double g3 = means.at("greedy3");
+      for (const std::string& s : config.solvers) {
+        std::cout << "  mean reward " << s << " = "
+                  << io::fixed(means.at(s), 3) << " ("
+                  << io::percent(means.at(s) / g3)
+                  << " of greedy3)\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "figure bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mmph::bench

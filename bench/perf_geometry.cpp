@@ -1,0 +1,90 @@
+// Performance benchmarks for the geometry substrate: distance kernels and
+// the smallest-enclosing-ball solvers (Welzl's expected-linear claim).
+
+#include <benchmark/benchmark.h>
+
+#include "mmph/geometry/enclosing.hpp"
+#include "mmph/random/rng.hpp"
+
+namespace {
+
+using namespace mmph;
+
+geo::PointSet random_points(std::size_t n, std::size_t dim,
+                            std::uint64_t seed) {
+  rnd::Rng rng(seed);
+  geo::PointSet ps(dim);
+  ps.reserve(n);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.uniform(0.0, 4.0);
+    ps.push_back(p);
+  }
+  return ps;
+}
+
+void BM_L2Distance(benchmark::State& state) {
+  const geo::PointSet ps = random_points(2, 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::l2_distance(ps[0], ps[1]));
+  }
+}
+BENCHMARK(BM_L2Distance);
+
+void BM_L1Distance(benchmark::State& state) {
+  const geo::PointSet ps = random_points(2, 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::l1_distance(ps[0], ps[1]));
+  }
+}
+BENCHMARK(BM_L1Distance);
+
+void BM_LpDistance(benchmark::State& state) {
+  const geo::PointSet ps = random_points(2, 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::lp_distance(ps[0], ps[1], 3.0));
+  }
+}
+BENCHMARK(BM_LpDistance);
+
+void BM_WelzlBall2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geo::PointSet ps = random_points(n, 2, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::smallest_enclosing_ball_l2(ps).radius);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WelzlBall2D)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_WelzlBall3D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geo::PointSet ps = random_points(n, 3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::smallest_enclosing_ball_l2(ps).radius);
+  }
+}
+BENCHMARK(BM_WelzlBall3D)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_L1Exact2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geo::PointSet ps = random_points(n, 2, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::enclosing_ball_l1_2d(ps).radius);
+  }
+}
+BENCHMARK(BM_L1Exact2D)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_L1Projection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geo::PointSet ps = random_points(n, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::enclosing_ball_l1_projection(ps).radius);
+  }
+}
+BENCHMARK(BM_L1Projection)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Performance benchmark for the simulators: slot throughput per scheduler
+// and the warm-start replanner's speedup under drift.
+
+#include <benchmark/benchmark.h>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/sim/network.hpp"
+#include "mmph/sim/simulator.hpp"
+#include "mmph/sim/warm_start.hpp"
+
+namespace {
+
+using namespace mmph;
+
+sim::SimConfig slot_config(std::size_t users) {
+  sim::SimConfig cfg;
+  cfg.users = users;
+  cfg.slots = 1;
+  cfg.k = 4;
+  cfg.radius = 1.0;
+  cfg.drift.sigma = 0.1;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void BM_SlotThroughput_Greedy3(benchmark::State& state) {
+  sim::BroadcastSimulator simulator(
+      slot_config(static_cast<std::size_t>(state.range(0))),
+      [](const core::Problem& p) { return core::make_solver("greedy3", p); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step().reward);
+  }
+}
+BENCHMARK(BM_SlotThroughput_Greedy3)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SlotThroughput_Greedy2(benchmark::State& state) {
+  sim::BroadcastSimulator simulator(
+      slot_config(static_cast<std::size_t>(state.range(0))),
+      [](const core::Problem& p) { return core::make_solver("greedy2", p); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step().reward);
+  }
+}
+BENCHMARK(BM_SlotThroughput_Greedy2)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SlotThroughput_Greedy2Cold(benchmark::State& state) {
+  // Same as above but counted against the warm-start variant below.
+  sim::BroadcastSimulator simulator(
+      slot_config(200),
+      [](const core::Problem& p) { return core::make_solver("greedy2", p); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step().reward);
+  }
+}
+BENCHMARK(BM_SlotThroughput_Greedy2Cold);
+
+void BM_SlotThroughput_WarmStart(benchmark::State& state) {
+  sim::WarmStartPlanner planner(
+      [](const core::Problem& p) { return core::make_solver("greedy2", p); });
+  sim::BroadcastSimulator simulator(slot_config(200), planner.factory());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step().reward);
+  }
+  state.counters["warm"] = static_cast<double>(planner.warm_solves());
+  state.counters["cold"] = static_cast<double>(planner.cold_solves());
+}
+BENCHMARK(BM_SlotThroughput_WarmStart);
+
+void BM_NetworkSlot(benchmark::State& state) {
+  sim::NetworkConfig cfg;
+  cfg.stations = 4;
+  cfg.users = static_cast<std::size_t>(state.range(0));
+  cfg.slots = 1;
+  cfg.k_per_station = 2;
+  cfg.mobility_sigma = 0.3;
+  cfg.interest_sigma = 0.1;
+  cfg.seed = 13;
+  sim::NetworkSimulator simulator(cfg, [](const core::Problem& p) {
+    return core::make_solver("greedy2", p);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step().reward);
+  }
+}
+BENCHMARK(BM_NetworkSlot)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

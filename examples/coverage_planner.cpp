@@ -1,0 +1,74 @@
+// Coverage planner: the facility-location reading of the same optimization
+// (paper §II-C relates it to the smallest-circle facility problem).
+//
+// Customers sit at physical locations with demand weights; we may open k
+// service points with coverage radius r, and a customer's service quality
+// decays linearly with distance. The example sweeps k and shows the
+// marginal value of each additional facility — the classic diminishing-
+// returns curve that the submodularity analysis (Lemma 0b) predicts.
+//
+//   ./build/examples/coverage_planner [--customers N] [--radius R]
+//       [--maxk K] [--seed S] [--csv]
+
+#include <iostream>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    rnd::WorkloadSpec spec;
+    spec.n = static_cast<std::size_t>(args.get_int("customers", 80));
+    spec.placement = rnd::Placement::kClustered;
+    spec.clusters = 4;
+    spec.cluster_stddev = 0.5;
+    const double radius = args.get_double("radius", 1.0);
+    const std::size_t max_k =
+        static_cast<std::size_t>(args.get_int("maxk", 8));
+    rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+    const bool as_csv = args.get_flag("csv");
+    args.finish();
+
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), radius, geo::l2_metric());
+
+    std::cout << "siting up to " << max_k << " facilities for " << spec.n
+              << " customers (demand-weighted, linear decay, r=" << radius
+              << ")\n\n";
+
+    // One greedy4 run at max_k gives the whole curve: round j's reward is
+    // the marginal value of facility j.
+    const core::Solution plan =
+        core::make_solver("greedy4", problem)->solve(problem, max_k);
+
+    io::Table table({"facilities", "site (x, y)", "marginal demand won",
+                     "cumulative", "share of demand"});
+    double cumulative = 0.0;
+    for (std::size_t j = 0; j < plan.centers.size(); ++j) {
+      cumulative += plan.round_rewards[j];
+      table.add_row(
+          {std::to_string(j + 1),
+           "(" + io::fixed(plan.centers[j][0], 2) + ", " +
+               io::fixed(plan.centers[j][1], 2) + ")",
+           io::fixed(plan.round_rewards[j], 2), io::fixed(cumulative, 2),
+           io::percent(cumulative / problem.total_weight())});
+    }
+    if (as_csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << "\nnote the diminishing marginal value per facility — "
+                   "the submodularity\n(Lemma 0b) that both makes the "
+                   "problem NP-hard and makes greedy work.\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "coverage_planner: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,64 @@
+// Network mobility study: how user movement stresses per-cell planning.
+//
+// A 4-station network serves moving users. As mobility grows, users hop
+// between cells (handovers), cell loads churn, and each station keeps
+// re-planning against a shifting population. The example sweeps the
+// mobility level and reports satisfaction, handover rate and load skew —
+// the operational picture behind the paper's single-cell abstraction.
+//
+//   ./build/examples/network_mobility [--stations S] [--users N]
+//       [--slots T] [--k K] [--solver NAME] [--seed X]
+
+#include <iostream>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/sim/network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmph;
+  try {
+    io::Args args(argc, argv);
+    sim::NetworkConfig base;
+    base.stations = static_cast<std::size_t>(args.get_int("stations", 4));
+    base.users = static_cast<std::size_t>(args.get_int("users", 120));
+    base.slots = static_cast<std::size_t>(args.get_int("slots", 60));
+    base.k_per_station = static_cast<std::size_t>(args.get_int("k", 2));
+    base.interest_sigma = 0.05;
+    base.seed = static_cast<std::uint64_t>(args.get_int("seed", 23));
+    const std::string solver = args.get_string("solver", "greedy2");
+    args.finish();
+
+    std::cout << base.stations << "-cell network, " << base.users
+              << " users, " << base.slots << " slots, k="
+              << base.k_per_station << " per cell, scheduler " << solver
+              << "\n\n";
+
+    io::Table table({"mobility sigma", "mean satisfaction",
+                     "handovers/slot", "max cell load (last slot)"});
+    for (double mobility : {0.0, 0.1, 0.3, 1.0, 3.0}) {
+      sim::NetworkConfig cfg = base;
+      cfg.mobility_sigma = mobility;
+      sim::NetworkSimulator simulator(cfg, [&](const core::Problem& p) {
+        return core::make_solver(solver, p);
+      });
+      const sim::NetworkReport report = simulator.run();
+      table.add_row(
+          {io::fixed(mobility, 1), io::percent(report.mean_satisfaction),
+           io::fixed(static_cast<double>(report.total_handovers) /
+                         static_cast<double>(cfg.slots),
+                     2),
+           std::to_string(report.slots.back().max_cell_load)});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: interests, not positions, drive rewards — so "
+                 "satisfaction is stable\nwhile handovers climb with "
+                 "mobility; the churn cost shows up in per-cell load\nskew "
+                 "and replanning work (see perf_simulator).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "network_mobility: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file analysis.hpp
+/// \brief Closed-form expected-reward model for uniform workloads.
+///
+/// Back-of-the-envelope analytics the paper's parameter choices imply but
+/// never state: how much reward should one broadcast collect, in
+/// expectation, for a given (n, m, p, r, box)? Used by the analysis bench
+/// to sanity-check the simulator and useful for capacity planning (pick r
+/// and k before measuring anything).
+///
+/// Model: points i.i.d. uniform in a box of side L; a center placed far
+/// from the boundary covers points within the p-norm ball of radius r.
+///   - P(cover one point) = V_ball(m, p, r) / L^m
+///   - E[u | covered] = 1/(m+1) for the linear reward shape (the average
+///     of (1 - d/r) over the ball, because the radial density is
+///     m * rho^(m-1)), and 1 for the binary shape.
+///   - E[f one center] = n * E[w] * P(cover) * E[u | covered]
+/// Boundary effects make these upper estimates for centers near the hull;
+/// tests validate against Monte Carlo away from the boundary.
+
+#include <cstddef>
+
+#include "mmph/core/problem.hpp"
+
+namespace mmph::core {
+
+/// Volume of the unit p-norm ball in R^m:
+///   V = (2 Gamma(1/p + 1))^m / Gamma(m/p + 1).
+/// Specializations: p=1 gives 2^m/m!, p=2 the Euclidean ball, p=inf 2^m.
+[[nodiscard]] double unit_ball_volume(std::size_t dim, double p);
+
+/// Volume of the radius-r ball under \p metric in R^dim.
+[[nodiscard]] double ball_volume(std::size_t dim, const geo::Metric& metric,
+                                 double radius);
+
+/// Mean unit coverage of a point uniformly distributed in the ball:
+/// 1/(dim+1) for linear decay, 1 for binary.
+[[nodiscard]] double mean_unit_coverage(std::size_t dim, RewardShape shape);
+
+/// Empirical total-curvature estimate of the instance's objective over the
+/// ground set of input points:
+///   c = 1 - min_i [ f(V) - f(V \ {i}) ] / f({i})
+/// where the marginals use each point as a center. c = 0 means modular
+/// (greedy is optimal); c -> 1 means strongly curved. Greedy's tight
+/// guarantee under curvature is (1 - e^{-c})/c [Conforti-Cornuejols 1984],
+/// which this estimate lets users evaluate per instance.
+[[nodiscard]] double curvature_estimate(const Problem& problem);
+
+/// The curvature-aware greedy guarantee (1 - e^{-c})/c, continuous at
+/// c = 0 where it equals 1.
+[[nodiscard]] double curvature_guarantee(double curvature);
+
+/// Expected reward of a single interior center against n i.i.d. uniform
+/// points in a box of side \p box_side with mean weight \p mean_weight.
+/// The ball is clipped conceptually: when it exceeds the box volume the
+/// coverage probability saturates at 1.
+[[nodiscard]] double expected_single_center_reward(
+    std::size_t n, std::size_t dim, const geo::Metric& metric, double radius,
+    double box_side, double mean_weight,
+    RewardShape shape = RewardShape::kLinear);
+
+}  // namespace mmph::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file baselines.hpp
+/// \brief Non-greedy baseline solvers (library extension).
+///
+/// The paper compares its greedies only against each other and an
+/// exhaustive optimum. Practitioners would also reach for two obvious
+/// alternatives, so the library ships them as baselines:
+///   - RandomSolver: k distinct input points chosen uniformly — the floor
+///     any real algorithm must clear;
+///   - KMeansSolver: weighted k-means(++) clustering of the interest
+///     points; centers are cluster centroids. Natural because content
+///     selection *looks* like clustering, and instructive because it
+///     optimizes the wrong objective: distortion, not capped coverage
+///     reward (see ablation_refinement and the frontier bench).
+
+#include <cstdint>
+
+#include "mmph/core/solver.hpp"
+#include "mmph/random/rng.hpp"
+
+namespace mmph::core {
+
+/// Chooses k distinct input points uniformly at random (deterministic in
+/// the configured seed). When k > n, wraps around re-using points.
+class RandomSolver final : public Solver {
+ public:
+  explicit RandomSolver(std::uint64_t seed = 2011) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  [[nodiscard]] Solution solve(const Problem& problem,
+                               std::size_t k) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Weighted k-means with k-means++ seeding under the problem's metric.
+///
+/// Assignment uses the problem metric; the center update is the weighted
+/// mean for the 2-norm and the weighted per-dimension median for the
+/// 1-norm (the correct 1-norm Fermat point per dimension); other metrics
+/// fall back to the mean. Empty clusters are reseeded at the point
+/// farthest from its current center. Deterministic in the seed.
+class KMeansSolver final : public Solver {
+ public:
+  explicit KMeansSolver(std::size_t max_iterations = 50,
+                        std::uint64_t seed = 2011);
+
+  [[nodiscard]] std::string name() const override { return "kmeans"; }
+
+  [[nodiscard]] Solution solve(const Problem& problem,
+                               std::size_t k) const override;
+
+ private:
+  std::size_t max_iterations_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mmph::core

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file bounds.hpp
+/// \brief Analytic approximation-ratio bounds (paper Theorems 1 and 2).
+
+#include <cstddef>
+
+namespace mmph::core {
+
+/// Theorem 1: the round-based heuristic with exact round oracles achieves
+/// at least 1 - (1 - 1/k)^k of the optimum ("approx. 1" in Fig. 2).
+/// Monotonically decreases toward 1 - 1/e as k grows.
+[[nodiscard]] double approx_ratio_round_based(std::size_t k);
+
+/// Theorem 2: the local greedy algorithms achieve at least
+/// 1 - (1 - 1/n)^k of the optimum ("approx. 2" in Fig. 2). n > k assumed.
+[[nodiscard]] double approx_ratio_local_greedy(std::size_t n, std::size_t k);
+
+/// The k -> infinity limit of Theorem 1, 1 - 1/e.
+[[nodiscard]] double one_minus_inv_e();
+
+}  // namespace mmph::core

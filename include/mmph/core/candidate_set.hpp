@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file candidate_set.hpp
+/// \brief Finite center-candidate sets for the discrete solvers.
+///
+/// Algorithms 1 (round-based with an oracle), the exhaustive baseline, and
+/// ablations all optimize over a finite set of candidate centers. The
+/// natural sets are: the input points themselves (paper Algorithms 2/3),
+/// a uniform grid over the instance box (approximating the continuous
+/// domain), and their union.
+
+#include "mmph/core/problem.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::core {
+
+/// Copy of the instance's own points (the Algorithm 2/3 candidate domain).
+[[nodiscard]] geo::PointSet candidates_from_points(const Problem& problem);
+
+/// Uniform grid with spacing \p pitch covering \p box (endpoints included).
+/// \throws InvalidArgument when pitch <= 0 or the grid would exceed
+/// \p max_points (guards against accidental combinatorial blow-ups).
+[[nodiscard]] geo::PointSet candidates_grid(const geo::Box& box, double pitch,
+                                            std::size_t max_points = 2000000);
+
+/// Grid over the bounding box of the instance, expanded by \p margin on
+/// every side (centers slightly outside the hull can be optimal).
+[[nodiscard]] geo::PointSet candidates_grid_over(const Problem& problem,
+                                                 double pitch,
+                                                 double margin = 0.0);
+
+/// Union (concatenation; duplicates are harmless for the solvers).
+[[nodiscard]] geo::PointSet candidates_union(const geo::PointSet& a,
+                                             const geo::PointSet& b);
+
+}  // namespace mmph::core

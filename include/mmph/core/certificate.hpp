@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file certificate.hpp
+/// \brief Rigorous a-posteriori bounds against the *continuous* optimum.
+///
+/// Every ratio in the paper (and in our figure benches) divides by an
+/// optimum restricted to finitely many candidate centers; the true
+/// Eq. (6) optimum ranges over all of R^m. This module closes the gap
+/// with certified bounds:
+///
+/// 1. The coverage reward g(c) = sum_i w_i min(u_i(c), y_i) is Lipschitz
+///    in the center: each u_i has |gradient| <= 1/r under the instance
+///    metric, so |g(c) - g(c')| <= (sum_i w_i / r) * d(c, c').
+/// 2. A uniform grid of pitch h leaves no point of the search box farther
+///    than the grid's covering radius rho(h) from a grid node, hence
+///       max_c g(c)  <=  max_grid g  +  L * rho(h).
+/// 3. The paper's Lemma 1(a) argument gives f_opt <= k * max_c g(c) over
+///    the fresh residual, so
+///       f_opt(continuous)  <=  k * (max_grid g + L * rho(h)),
+///    and any solution's value divided by that is a *certified* lower
+///    bound on its true approximation ratio.
+///
+/// The optimum may also search outside the instance's bounding box, but
+/// never profitably beyond radius r of it (coverage is zero there), which
+/// the box margin accounts for.
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/solution.hpp"
+
+namespace mmph::core {
+
+/// Lipschitz constant of the coverage reward in the center argument,
+/// L = total_weight / r (valid for every p-norm; binary-shape problems
+/// are not Lipschitz and are rejected).
+[[nodiscard]] double coverage_lipschitz_constant(const Problem& problem);
+
+/// Covering radius of a pitch-h grid in dim dimensions under \p metric:
+/// the farthest any point of the gridded box lies from a grid node,
+/// rho = (h/2) * dim^(1/p).
+[[nodiscard]] double grid_covering_radius(double pitch, std::size_t dim,
+                                          const geo::Metric& metric);
+
+/// Certified upper bound on the best *continuous* single-round coverage
+/// reward against fresh residuals: max over a pitch-h grid (expanded r
+/// beyond the instance box) plus the Lipschitz slack.
+[[nodiscard]] double continuous_round_upper_bound(const Problem& problem,
+                                                  double pitch);
+
+/// Certified upper bound on the continuous k-center optimum of Eq. (6):
+/// k times continuous_round_upper_bound (the Lemma 1(a) argument).
+/// Also capped at total_weight, which no solution can exceed.
+[[nodiscard]] double continuous_opt_upper_bound(const Problem& problem,
+                                                std::size_t k, double pitch);
+
+/// The certificate: value / upper bound — a rigorous lower bound on the
+/// solution's approximation ratio against the true continuous optimum.
+struct RatioCertificate {
+  double value = 0.0;        ///< the solution's f(C)
+  double upper_bound = 0.0;  ///< certified bound on the continuous optimum
+  double certified_ratio = 0.0;  ///< value / upper_bound
+};
+
+[[nodiscard]] RatioCertificate certify_ratio(const Problem& problem,
+                                             const Solution& solution,
+                                             double pitch);
+
+}  // namespace mmph::core

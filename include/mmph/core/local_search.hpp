@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file local_search.hpp
+/// \brief Swap-based local-search refinement of any solver's solution
+/// (library extension; the paper leaves improvement beyond one greedy
+/// pass as future work).
+///
+/// Classic (1-swap) local search for submodular maximization: starting
+/// from a base solution, repeatedly replace one chosen center with one
+/// candidate center whenever the swap improves f(C); stop at a local
+/// optimum or after `max_sweeps` full passes. First-improvement order is
+/// deterministic (centers, then candidates, ascending), so results are
+/// reproducible.
+
+#include <memory>
+
+#include "mmph/core/candidate_set.hpp"
+#include "mmph/core/solver.hpp"
+
+namespace mmph::core {
+
+class LocalSearchSolver final : public Solver {
+ public:
+  /// Refines \p base's output by 1-swaps over \p candidates.
+  /// \p max_sweeps bounds full improvement passes (0 = no bound is not
+  /// allowed; pass a positive count).
+  LocalSearchSolver(std::shared_ptr<const Solver> base,
+                    geo::PointSet candidates, std::size_t max_sweeps = 16);
+
+  /// Convenience: greedy2 base, candidates = grid(pitch) ∪ points.
+  static LocalSearchSolver greedy2_over_grid(const Problem& problem,
+                                             double pitch);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Solution solve(const Problem& problem,
+                               std::size_t k) const override;
+
+  /// Number of accepted swaps in the last solve() (diagnostics).
+  [[nodiscard]] std::size_t last_swap_count() const noexcept {
+    return last_swaps_;
+  }
+
+ private:
+  std::shared_ptr<const Solver> base_;
+  geo::PointSet candidates_;
+  std::size_t max_sweeps_;
+  mutable std::size_t last_swaps_ = 0;
+};
+
+}  // namespace mmph::core

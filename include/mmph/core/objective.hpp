@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file objective.hpp
+/// \brief Direct evaluation of the submodular objective f(C) (Eq. 7).
+///
+/// Round-based solvers accumulate f through residual updates (reward.hpp);
+/// this header evaluates f from a center set in one pass, which the
+/// exhaustive solver and the property tests use. The two formulations agree
+/// exactly (unit tests check it): sequential capping z_i^j = min(u, y_i^j)
+/// sums to min(sum_j u_ij, 1) per point.
+
+#include <span>
+
+#include "mmph/core/problem.hpp"
+
+namespace mmph::core {
+
+/// f(C) = sum_i w_i min( sum_j [1 - d(c_j, x_i)/r]_+ , 1 ).
+/// Centers are the rows of \p centers; an empty set yields 0.
+[[nodiscard]] double objective_value(const Problem& problem,
+                                     const geo::PointSet& centers);
+
+/// As objective_value, but the center set is given as indices into a
+/// candidate PointSet — the exhaustive solver's hot path.
+[[nodiscard]] double objective_value(const Problem& problem,
+                                     const geo::PointSet& candidates,
+                                     std::span<const std::size_t> chosen);
+
+/// Marginal gain f(C ∪ {c}) − f(C).
+[[nodiscard]] double marginal_gain(const Problem& problem,
+                                   const geo::PointSet& centers,
+                                   geo::ConstVec extra);
+
+}  // namespace mmph::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief Name-based solver construction for CLIs, examples and the
+/// simulator's pluggable scheduler.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/solver.hpp"
+
+namespace mmph::core {
+
+/// Tunables for solvers that need more than the problem itself.
+struct SolverConfig {
+  /// Grid pitch for "greedy1" (round-based oracle) and "exhaustive".
+  double grid_pitch = 0.5;
+  /// Use the exact 2-D L1 enclosing-ball for "greedy4" instead of the
+  /// paper's projection rule.
+  bool l1_exact_center = false;
+};
+
+/// Known names: "greedy1", "greedy2", "greedy2-lazy", "greedy3",
+/// "greedy4", "exhaustive", "exhaustive-points".
+[[nodiscard]] std::vector<std::string> solver_names();
+
+/// Builds the named solver for \p problem.
+/// \throws InvalidArgument for unknown names.
+[[nodiscard]] std::unique_ptr<Solver> make_solver(
+    const std::string& name, const Problem& problem,
+    const SolverConfig& config = {});
+
+}  // namespace mmph::core

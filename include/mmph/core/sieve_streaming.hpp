@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file sieve_streaming.hpp
+/// \brief One-pass streaming selection (Sieve-Streaming, library extension).
+///
+/// In a live content-distribution system users arrive as a stream and the
+/// base station may not be able to buffer everyone before choosing what to
+/// broadcast. Sieve-Streaming [Badanidiyuru et al., KDD 2014] maximizes a
+/// monotone submodular function in ONE pass over candidate centers with
+/// O((k log k)/eps) memory and a (1/2 - eps) guarantee:
+///
+///   - maintain geometric thresholds v in {(1+eps)^j} bracketing OPT,
+///     using m = max singleton value to bound OPT in [m, k*m];
+///   - each sieve keeps a center iff its marginal gain >= (v/2 - f(S))/
+///     (k - |S|);
+///   - answer with the best sieve.
+///
+/// Here the stream is the instance's points in index order (the natural
+/// arrival order of users); the solver never revisits earlier points,
+/// unlike Algorithms 1-4 which sweep all n points every round.
+
+#include "mmph/core/solver.hpp"
+
+namespace mmph::core {
+
+class SieveStreamingSolver final : public Solver {
+ public:
+  /// \p epsilon in (0, 1): threshold granularity (memory/quality knob).
+  explicit SieveStreamingSolver(double epsilon = 0.1);
+
+  [[nodiscard]] std::string name() const override { return "sieve"; }
+
+  [[nodiscard]] Solution solve(const Problem& problem,
+                               std::size_t k) const override;
+
+  /// Number of sieves the last solve() maintained (diagnostics).
+  [[nodiscard]] std::size_t last_sieve_count() const noexcept {
+    return last_sieves_;
+  }
+
+ private:
+  double epsilon_;
+  mutable std::size_t last_sieves_ = 0;
+};
+
+}  // namespace mmph::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file solution.hpp
+/// \brief Result of running a solver on a Problem.
+
+#include <string>
+#include <vector>
+
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::core {
+
+/// The k chosen centers plus per-round accounting.
+struct Solution {
+  std::string solver_name;
+
+  /// Chosen centers, in selection order (rows of a PointSet).
+  geo::PointSet centers{1};
+
+  /// Coverage reward g(j) claimed in each round; size == centers.size().
+  std::vector<double> round_rewards;
+
+  /// sum of round_rewards == f(centers) (the solvers maintain this
+  /// identity; tests verify it against objective_value()).
+  double total_reward = 0.0;
+
+  /// Residual capacities y after the last round (diagnostics/examples).
+  std::vector<double> residual;
+};
+
+}  // namespace mmph::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file submodular.hpp
+/// \brief Submodularity/monotonicity checkers for the objective (Lemma 0b).
+///
+/// Used by property tests and available to users studying new variants of
+/// the reward function: Theorem 0's NP-hardness proof rests on f being
+/// monotone submodular, so any reward-function change should re-verify
+/// these properties empirically.
+
+#include <cstddef>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::core {
+
+/// Result of one diminishing-returns check.
+struct SubmodularityViolation {
+  bool violated = false;
+  double gain_small = 0.0;  ///< f(A ∪ {s}) − f(A)
+  double gain_large = 0.0;  ///< f(B ∪ {s}) − f(B), A ⊂ B
+};
+
+/// Checks the diminishing-returns inequality for one triple: A = the first
+/// `a_size` rows of \p chain, B = the first `b_size` rows (a_size <=
+/// b_size), s = \p extra. Tolerance absorbs floating-point noise.
+[[nodiscard]] SubmodularityViolation check_diminishing_returns(
+    const Problem& problem, const geo::PointSet& chain, std::size_t a_size,
+    std::size_t b_size, geo::ConstVec extra, double tol = 1e-9);
+
+/// Checks monotonicity: f over growing prefixes of \p chain never
+/// decreases (within tol). Returns true when monotone.
+[[nodiscard]] bool check_monotone(const Problem& problem,
+                                  const geo::PointSet& chain,
+                                  double tol = 1e-9);
+
+}  // namespace mmph::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file swap_evaluator.hpp
+/// \brief Incremental objective evaluation for 1-swap neighborhoods.
+///
+/// Local search and warm-start replanning evaluate f(C with c_j replaced
+/// by c') for many (j, c') pairs. Recomputing f from scratch costs O(k n)
+/// per trial; this evaluator caches each center's unit-coverage vector and
+/// the per-point totals, making a trial O(n) and a committed swap O(n).
+/// Exactness: identical to objective_value up to floating-point
+/// associativity (tests pin it to 1e-9 over long swap sequences).
+
+#include <cstddef>
+#include <vector>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::core {
+
+class SwapEvaluator {
+ public:
+  /// Caches coverage for \p centers (copied) against \p problem. The
+  /// problem must outlive the evaluator.
+  SwapEvaluator(const Problem& problem, const geo::PointSet& centers);
+
+  [[nodiscard]] const geo::PointSet& centers() const noexcept {
+    return centers_;
+  }
+
+  /// f(C) for the current center set.
+  [[nodiscard]] double current_value() const noexcept { return value_; }
+
+  /// f(C with centers[j] := candidate), without changing state. O(n).
+  [[nodiscard]] double value_with_swap(std::size_t j,
+                                       geo::ConstVec candidate) const;
+
+  /// Applies the swap and updates the caches. O(n).
+  void commit_swap(std::size_t j, geo::ConstVec candidate);
+
+ private:
+  [[nodiscard]] double evaluate_totals(
+      const std::vector<double>& totals) const;
+
+  const Problem& problem_;
+  geo::PointSet centers_;
+  /// units_[j * n + i] = u_i(c_j).
+  std::vector<double> units_;
+  /// totals_[i] = sum_j u_i(c_j) (uncapped).
+  std::vector<double> totals_;
+  double value_ = 0.0;
+};
+
+}  // namespace mmph::core

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file experiment.hpp
+/// \brief Shared harness for the paper's evaluation sweeps (Figs. 4-9).
+///
+/// Each figure is a sweep over (n, k, r) cells; each cell averages many
+/// seeded trials; each trial generates a workload, runs a set of solvers,
+/// and (for the 2-D figures) divides by the exhaustive optimum to get
+/// approximation ratios. Trials run in parallel on the global thread pool
+/// with per-trial forked RNG streams, so results are independent of thread
+/// count and schedule.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace mmph::exp {
+
+/// One sweep cell: a fully specified instance distribution.
+struct TrialSetup {
+  std::size_t n = 40;
+  std::size_t dim = 2;
+  double box_side = 4.0;
+  geo::Metric metric{};
+  rnd::Placement placement = rnd::Placement::kUniform;
+  rnd::WeightScheme weights = rnd::WeightScheme::kUniformInt;
+  std::int64_t weight_lo = 1;
+  std::int64_t weight_hi = 5;
+  double radius = 1.0;
+  std::size_t k = 2;
+  core::RewardShape shape = core::RewardShape::kLinear;
+  core::SolverConfig solver_config{};
+};
+
+/// Rewards from one generated instance.
+struct TrialResult {
+  /// Exhaustive optimum (NaN when the trial ran without it).
+  double exhaustive_reward = 0.0;
+  /// Per-solver achieved reward, keyed by solver name.
+  std::map<std::string, double> rewards;
+};
+
+/// Runs the named solvers (and optionally the exhaustive baseline) on one
+/// instance drawn from \p setup using \p rng.
+[[nodiscard]] TrialResult run_trial(const TrialSetup& setup,
+                                    const std::vector<std::string>& solvers,
+                                    bool with_exhaustive, rnd::Rng& rng);
+
+/// Aggregated statistics for one sweep cell.
+struct CellStats {
+  TrialSetup setup;
+  std::size_t trials = 0;
+  /// Achieved reward per solver.
+  std::map<std::string, io::RunningStats> reward;
+  /// reward / exhaustive per solver (present only when exhaustive ran).
+  std::map<std::string, io::RunningStats> ratio;
+  /// The exhaustive optimum itself.
+  io::RunningStats exhaustive;
+};
+
+/// Runs \p trials independent trials of \p setup in parallel and
+/// aggregates. Deterministic in (setup, solvers, base_seed, trials).
+[[nodiscard]] CellStats run_cell(const TrialSetup& setup,
+                                 const std::vector<std::string>& solvers,
+                                 bool with_exhaustive, std::size_t trials,
+                                 std::uint64_t base_seed);
+
+/// The cross product sweep used by the figure benches: for every k in
+/// \p ks and r in \p rs, runs a cell. Rows come back in (k, r) order.
+[[nodiscard]] std::vector<CellStats> run_sweep(
+    TrialSetup base, const std::vector<std::size_t>& ks,
+    const std::vector<double>& rs, const std::vector<std::string>& solvers,
+    bool with_exhaustive, std::size_t trials, std::uint64_t base_seed);
+
+}  // namespace mmph::exp

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file paired.hpp
+/// \brief Paired statistical comparison of two solvers over shared
+/// instances.
+///
+/// The figure sweeps run every solver on the *same* seeded instances, so
+/// differences can be tested pairwise — far more sensitive than comparing
+/// means of independent runs. Used by the deviation-D1 bench to show that
+/// "greedy2 beats greedy3" in this implementation is statistically solid,
+/// not seed luck.
+
+#include <cstddef>
+#include <span>
+
+namespace mmph::exp {
+
+struct PairedComparison {
+  std::size_t samples = 0;
+  std::size_t wins_a = 0;  ///< a[i] > b[i] beyond the tie tolerance
+  std::size_t wins_b = 0;
+  std::size_t ties = 0;
+  double mean_diff = 0.0;      ///< mean of a[i] - b[i]
+  double stddev_diff = 0.0;    ///< sample stddev of the differences
+  double t_statistic = 0.0;    ///< mean_diff / (stddev / sqrt(n))
+  /// |t| > 1.96 under the large-sample normal approximation (valid for
+  /// n >~ 30; for smaller n treat as indicative).
+  bool significant_95 = false;
+};
+
+/// Compares paired samples a[i] vs b[i] (same instance i). \p tie_tol
+/// absorbs floating-point noise. Requires equal nonzero lengths.
+[[nodiscard]] PairedComparison paired_compare(std::span<const double> a,
+                                              std::span<const double> b,
+                                              double tie_tol = 1e-9);
+
+}  // namespace mmph::exp

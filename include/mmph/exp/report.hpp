@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Rendering of sweep results into the paper-style tables.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmph/exp/experiment.hpp"
+#include "mmph/io/table.hpp"
+
+namespace mmph::exp {
+
+/// Ratio table (Figs. 4-7 style): one row per (k, r) cell, one column per
+/// solver's mean approximation ratio, plus the analytic approx.1/approx.2
+/// bounds from Theorems 1 and 2.
+[[nodiscard]] io::Table ratio_table(const std::vector<CellStats>& cells,
+                                    const std::vector<std::string>& solvers);
+
+/// Reward table (Figs. 8-9 style): mean achieved reward per solver, no
+/// exhaustive denominator.
+[[nodiscard]] io::Table reward_table(const std::vector<CellStats>& cells,
+                                     const std::vector<std::string>& solvers);
+
+/// Mean ratio per solver pooled across all cells (the numbers quoted in
+/// the paper's §VI-B prose, e.g. "greedy 3 ... about 84.22%").
+[[nodiscard]] std::map<std::string, double> overall_ratio_means(
+    const std::vector<CellStats>& cells,
+    const std::vector<std::string>& solvers);
+
+/// Mean reward per solver pooled across all cells (3-D comparison prose:
+/// "greedy 1 gets about 61.04% of the reward that greedy 3 gets").
+[[nodiscard]] std::map<std::string, double> overall_reward_means(
+    const std::vector<CellStats>& cells,
+    const std::vector<std::string>& solvers);
+
+}  // namespace mmph::exp

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file ball.hpp
+/// \brief Metric ball value type used by the enclosing-shape solvers.
+
+#include <vector>
+
+#include "mmph/geometry/norms.hpp"
+
+namespace mmph::geo {
+
+/// A closed ball { x : d(center, x) <= radius } under some metric.
+///
+/// The metric is *not* stored; the solver that produced the ball defines it.
+/// An empty ball is represented by radius < 0 (center may be empty too).
+struct Ball {
+  std::vector<double> center;
+  double radius = -1.0;
+
+  [[nodiscard]] bool is_empty() const noexcept { return radius < 0.0; }
+
+  /// True when \p p is inside the ball under \p metric, with slack \p tol
+  /// to absorb floating-point noise from the circumball solves.
+  [[nodiscard]] bool contains(ConstVec p, const Metric& metric,
+                              double tol = 1e-9) const {
+    if (is_empty()) return false;
+    return metric.distance(center, p) <= radius + tol;
+  }
+};
+
+}  // namespace mmph::geo

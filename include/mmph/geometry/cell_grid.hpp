@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file cell_grid.hpp
+/// \brief Uniform cell-list spatial index over a PointSet.
+///
+/// The reward kernels scan all n points per candidate center; for the
+/// paper's n <= 160 that is fine, but the library also serves larger
+/// deployments (see perf_spatial_index). A CellGrid buckets points into
+/// cubes of side `cell_size`; a ball query visits only the cells that
+/// intersect the ball's axis-aligned bounding box. Because the L-infinity
+/// ball contains every p-norm ball of the same radius, one box traversal
+/// serves every metric — callers do the exact metric test per point.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mmph/geometry/norms.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::geo {
+
+class CellGrid {
+ public:
+  /// Builds the index. \p cell_size must be positive; a good default is
+  /// the query radius you expect (one ball then touches at most 3^dim
+  /// cells). The referenced PointSet must outlive the index.
+  CellGrid(const PointSet& points, double cell_size);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cell_of_point_.empty() ? 0 : occupied_cells_;
+  }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+
+  /// Calls fn(i) for every point i whose cell intersects the axis-aligned
+  /// box of half-width \p radius around \p center. Superset of any p-norm
+  /// ball of that radius: callers must apply the exact distance test.
+  void for_each_in_box(ConstVec center, double radius,
+                       const std::function<void(std::size_t)>& fn) const;
+
+  /// Indices of points within \p radius of \p center under \p metric
+  /// (exact; uses for_each_in_box then filters).
+  [[nodiscard]] std::vector<std::size_t> query_ball(ConstVec center,
+                                                    double radius,
+                                                    const Metric& metric) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_coord(double v, std::size_t d) const;
+  [[nodiscard]] std::size_t flatten(std::span<const std::size_t> coords) const;
+
+  const PointSet& points_;
+  double cell_size_;
+  Box box_;
+  std::vector<std::size_t> dims_;        // cells per dimension
+  std::vector<std::size_t> cell_start_;  // CSR offsets, size = #cells + 1
+  std::vector<std::size_t> cell_items_;  // point indices, bucketed
+  std::vector<std::size_t> cell_of_point_;
+  std::size_t occupied_cells_ = 0;
+};
+
+}  // namespace mmph::geo

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file enclosing.hpp
+/// \brief Metric-dispatched smallest enclosing ball ("new-center" kernel).
+///
+/// Algorithm 4 (complex local greedy) asks, metric-generically, for the
+/// center of the smallest ball covering a point set. This front-end picks
+/// the right solver for the metric:
+///   - L2: exact Welzl ball (any dimension).
+///   - Linf: exact bounding-box midpoint.
+///   - L1: the paper's projection heuristic by default; exact rotated-box
+///     solver when the dimension is 2 and exact mode is requested.
+///   - general Lp: Badoiu-Clarkson approximation.
+
+#include "mmph/geometry/ball.hpp"
+#include "mmph/geometry/enclosing_ball.hpp"
+#include "mmph/geometry/enclosing_l1.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::geo {
+
+/// How 1-norm enclosing centers are computed.
+enum class L1CenterRule {
+  kPaperProjection,  ///< per-dimension (min+max)/2, as in the paper.
+  kExactIfPossible,  ///< exact rotated-box solver in 2-D, projection else.
+};
+
+/// Smallest (or paper-faithful heuristic) enclosing ball of \p ps under
+/// \p metric. Returns an empty ball for an empty set.
+[[nodiscard]] Ball smallest_enclosing(
+    const PointSet& ps, const Metric& metric,
+    L1CenterRule l1_rule = L1CenterRule::kPaperProjection);
+
+}  // namespace mmph::geo

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file enclosing_ball.hpp
+/// \brief Smallest enclosing Euclidean ball (Welzl's algorithm).
+///
+/// The complex local greedy algorithm (paper Algorithm 4) recenters a disk
+/// on the smallest ball covering the currently-claimed points plus one new
+/// point; the paper cites Welzl [19]. This implementation is the classic
+/// randomized move-to-front recursion, generalized to any dimension: the
+/// support set holds at most dim+1 points whose circumball is found by a
+/// small Gaussian solve.
+///
+/// Expected O(n) time for fixed dimension; exact up to floating-point
+/// round-off (tests compare against a brute-force oracle).
+
+#include <cstdint>
+#include <span>
+
+#include "mmph/geometry/ball.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::geo {
+
+/// Smallest Euclidean ball enclosing all points of \p ps.
+/// Returns an empty ball for an empty set. \p seed randomizes the
+/// point order (determinism: same seed, same result).
+[[nodiscard]] Ball smallest_enclosing_ball_l2(const PointSet& ps,
+                                              std::uint64_t seed = 0x9E3779B9u);
+
+/// Smallest Euclidean ball enclosing the subset \p idx of \p ps.
+[[nodiscard]] Ball smallest_enclosing_ball_l2(
+    const PointSet& ps, std::span<const std::size_t> idx,
+    std::uint64_t seed = 0x9E3779B9u);
+
+/// Exact circumball of at most dim+1 affinely independent points; used by
+/// Welzl's recursion and exposed for testing. Points are rows of \p support
+/// (m rows, each of length dim). Degenerate (affinely dependent) inputs fall
+/// back to the circumball of a maximal independent prefix.
+[[nodiscard]] Ball circumball(const PointSet& support);
+
+/// (1+eps)-approximate smallest enclosing ball under an arbitrary metric,
+/// via the Badoiu–Clarkson "move toward the farthest point" iteration.
+/// Provided for general p-norms where no exact combinatorial solver exists.
+[[nodiscard]] Ball approx_enclosing_ball(const PointSet& ps,
+                                         const Metric& metric,
+                                         std::size_t iterations = 256);
+
+}  // namespace mmph::geo

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file enclosing_l1.hpp
+/// \brief Smallest enclosing shapes under the 1-norm and infinity-norm.
+///
+/// The paper's Algorithm 4 needs a "smallest disk" step in each metric it
+/// supports. Under the infinity-norm the ball is an axis-aligned cube and
+/// the per-dimension midpoint rule is exact. Under the 1-norm the paper
+/// prescribes the same projection rule ("the center position along this
+/// dimension is (min+max)/2", Theorem 4 proof) — exact in special cases but
+/// a heuristic in general. In 2-D the 1-norm ball is a 45-degree-rotated
+/// square, so rotating coordinates (u,v) = (x+y, x-y) turns the problem into
+/// the exact infinity-norm one; we expose that exact variant as well and
+/// compare the two in an ablation benchmark.
+
+#include "mmph/geometry/ball.hpp"
+#include "mmph/geometry/point_set.hpp"
+
+namespace mmph::geo {
+
+/// Exact smallest enclosing cube center under the infinity-norm:
+/// center_d = (min_d + max_d)/2, radius = max_d (max_d - min_d)/2.
+[[nodiscard]] Ball enclosing_box_linf(const PointSet& ps);
+
+/// The paper's projection rule applied under the 1-norm: center is the
+/// per-dimension midpoint, radius the max 1-norm distance from it.
+/// Encloses all points by construction but is not minimal in general.
+[[nodiscard]] Ball enclosing_ball_l1_projection(const PointSet& ps);
+
+/// Exact smallest enclosing 1-norm ball in 2-D via the rotation
+/// (u,v) = (x+y, x-y). Requires ps.dim() == 2.
+[[nodiscard]] Ball enclosing_ball_l1_2d(const PointSet& ps);
+
+}  // namespace mmph::geo

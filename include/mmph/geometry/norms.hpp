@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file norms.hpp
+/// \brief p-norm distance metrics ("interest distance" in the paper).
+///
+/// The paper measures interest distance in a general p-norm (Section III-B)
+/// and evaluates the 1-norm and 2-norm. Metric wraps the norm choice as a
+/// small value type so solvers stay norm-agnostic; the common cases (1, 2,
+/// infinity) are dispatched without calling pow().
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "mmph/geometry/vec.hpp"
+
+namespace mmph::geo {
+
+/// Which p-norm a Metric computes.
+enum class Norm {
+  kL1,    ///< Manhattan / taxicab distance.
+  kL2,    ///< Euclidean distance.
+  kLinf,  ///< Chebyshev distance.
+  kLp,    ///< General p-norm, p from Metric::p().
+};
+
+/// Parses "l1" / "l2" / "linf" (case-insensitive); throws ParseError.
+[[nodiscard]] Norm parse_norm(const std::string& text);
+
+/// Human-readable name ("L1", "L2", "Linf", "Lp").
+[[nodiscard]] const char* norm_name(Norm n);
+
+/// A p-norm distance metric over R^m.
+///
+/// Value type: cheap to copy, no allocation. The distance kernels are the
+/// innermost loops of every solver, so the common norms avoid pow().
+class Metric {
+ public:
+  /// Euclidean metric by default.
+  constexpr Metric() noexcept : norm_(Norm::kL2), p_(2.0) {}
+
+  /// Named-norm constructor. \p n must not be Norm::kLp (use the
+  /// double overload for general p).
+  explicit Metric(Norm n);
+
+  /// General p-norm with p >= 1. p == 1, 2 or infinity is canonicalized
+  /// to the corresponding named norm.
+  explicit Metric(double p);
+
+  [[nodiscard]] constexpr Norm norm() const noexcept { return norm_; }
+  [[nodiscard]] constexpr double p() const noexcept { return p_; }
+
+  /// d(a, b) under this norm.
+  [[nodiscard]] double distance(ConstVec a, ConstVec b) const;
+
+  /// ||v|| under this norm.
+  [[nodiscard]] double length(ConstVec v) const;
+
+  /// "L1" / "L2" / "Linf" / "Lp(p=...)".
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const Metric& a, const Metric& b) noexcept {
+    return a.norm_ == b.norm_ && a.p_ == b.p_;
+  }
+
+ private:
+  Norm norm_;
+  double p_;
+};
+
+/// Convenience factories mirroring the paper's notation.
+[[nodiscard]] inline Metric l1_metric() { return Metric(Norm::kL1); }
+[[nodiscard]] inline Metric l2_metric() { return Metric(Norm::kL2); }
+[[nodiscard]] inline Metric linf_metric() { return Metric(Norm::kLinf); }
+
+/// Stand-alone distance kernels (used directly in hot loops).
+[[nodiscard]] double l1_distance(ConstVec a, ConstVec b);
+[[nodiscard]] double l2_distance(ConstVec a, ConstVec b);
+[[nodiscard]] double linf_distance(ConstVec a, ConstVec b);
+[[nodiscard]] double lp_distance(ConstVec a, ConstVec b, double p);
+
+}  // namespace mmph::geo

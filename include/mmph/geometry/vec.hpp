@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file vec.hpp
+/// \brief Span-based dense vector helpers shared by the geometry kernels.
+///
+/// mmph stores points in structure-of-arrays form (see PointSet); individual
+/// points are viewed as std::span<const double>. These free functions supply
+/// the handful of BLAS-1 style operations the solvers need without pulling in
+/// a linear-algebra dependency.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+/// Read-only view of one point.
+using ConstVec = std::span<const double>;
+/// Mutable view of one point.
+using MutVec = std::span<double>;
+
+/// Dot product <a, b>. Both spans must have equal length.
+[[nodiscard]] inline double dot(ConstVec a, ConstVec b) {
+  MMPH_ASSERT(a.size() == b.size(), "dot: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Squared Euclidean norm |a|^2.
+[[nodiscard]] inline double norm2_sq(ConstVec a) { return dot(a, a); }
+
+/// Squared Euclidean distance |a - b|^2.
+[[nodiscard]] inline double dist2_sq(ConstVec a, ConstVec b) {
+  MMPH_ASSERT(a.size() == b.size(), "dist2_sq: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// dst = src (element-wise copy).
+inline void assign(MutVec dst, ConstVec src) {
+  MMPH_ASSERT(dst.size() == src.size(), "assign: dimension mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+}
+
+/// dst += alpha * x.
+inline void add_scaled(MutVec dst, double alpha, ConstVec x) {
+  MMPH_ASSERT(dst.size() == x.size(), "add_scaled: dimension mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += alpha * x[i];
+}
+
+/// dst = a - b.
+inline void sub(MutVec dst, ConstVec a, ConstVec b) {
+  MMPH_ASSERT(dst.size() == a.size() && dst.size() == b.size(),
+              "sub: dimension mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = a[i] - b[i];
+}
+
+/// dst = 0.
+inline void zero(MutVec dst) {
+  for (double& v : dst) v = 0.0;
+}
+
+/// Returns a copy of \p v as an owning std::vector.
+[[nodiscard]] inline std::vector<double> to_vector(ConstVec v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+/// True when every component of a and b differs by at most \p tol.
+[[nodiscard]] inline bool approx_equal(ConstVec a, ConstVec b,
+                                       double tol = 1e-12) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mmph::geo

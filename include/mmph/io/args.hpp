@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file args.hpp
+/// \brief Minimal command-line flag parser for benches and examples.
+///
+/// Grammar: `--name=value`, `--name value`, or bare `--name` (boolean).
+/// Every reproduction binary shares the same flags (--trials, --seed,
+/// --csv, --threads, ...) through this parser; unknown flags are reported
+/// by finish() so typos fail loudly instead of silently running defaults.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mmph::io {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True when the flag was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw ParseError on malformed values.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback);
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback);
+  /// Bare `--name` or `--name=true|1`; `--name=false|0` yields false.
+  [[nodiscard]] bool get_flag(const std::string& name);
+
+  /// Throws ParseError if any passed flag was never consumed by a getter
+  /// (or by has()). Call once after all gets.
+  void finish() const;
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace mmph::io

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file stats.hpp
+/// \brief Descriptive statistics for experiment aggregation.
+///
+/// Accumulator uses Welford's online algorithm so long sweeps do not lose
+/// precision; Summary adds order statistics computed from a retained sample.
+
+#include <cstddef>
+#include <vector>
+
+namespace mmph::io {
+
+/// Streaming mean/variance accumulator (Welford). O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample; \p q in [0, 1].
+/// The input vector is copied; use percentile_inplace to avoid the copy.
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+/// As percentile() but sorts \p sample in place.
+[[nodiscard]] double percentile_inplace(std::vector<double>& sample, double q);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+/// Returns 1 for an empty or all-zero input.
+[[nodiscard]] double jain_fairness(const std::vector<double>& x);
+
+}  // namespace mmph::io

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Aligned ASCII table printing for benchmark/report output.
+///
+/// Every fig*/table* reproduction binary prints its rows through Table so
+/// the console output reads like the paper's tables. Cells are strings;
+/// numeric helpers format with fixed precision.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmph::io {
+
+/// Formats \p v with \p decimals digits after the point.
+[[nodiscard]] std::string fixed(double v, int decimals = 4);
+
+/// Formats \p v as a percentage ("84.22%") with \p decimals digits.
+[[nodiscard]] std::string percent(double v, int decimals = 2);
+
+/// A simple right-padded ASCII table.
+class Table {
+ public:
+  /// Column headers define the column count; later rows must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept {
+    return headers_.size();
+  }
+
+  /// Renders with a header rule, e.g.:
+  ///   k    r     ratio2   ratio3
+  ///   ---  ----  -------  -------
+  ///   2    1.0   0.5597   0.8422
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (headers first). Cells containing
+  /// commas or quotes are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavored markdown table (pipes escaped), ready to
+  /// paste into EXPERIMENTS.md.
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmph::io

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool used by the exhaustive solver and the
+/// experiment harness.
+///
+/// Design notes (HPC-flavored):
+///   - workers are created once; parallel regions reuse them, so a sweep of
+///     thousands of trials never pays thread start-up cost per trial;
+///   - tasks are plain std::function<void()>; completion is tracked by the
+///     caller (see TaskGroup), keeping the pool free of per-task futures;
+///   - exceptions thrown by tasks are captured and rethrown at the join
+///     point (first one wins), so errors in parallel code surface exactly
+///     like serial errors.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmph::par {
+
+/// Fixed pool of worker threads consuming a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// \p threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Process-wide shared pool, sized to the hardware. Lazily constructed;
+  /// safe for concurrent first use (C++ static-local guarantee).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Tracks completion and the first exception of a batch of tasks.
+///
+/// Usage:
+///   TaskGroup group;
+///   for (...) pool.submit(group.wrap([=]{ ... }));
+///   group.wait();   // blocks; rethrows the first captured exception
+class TaskGroup {
+ public:
+  /// Wraps \p task so the group counts its completion and captures any
+  /// exception it throws. Call before submitting; each wrapped task must
+  /// run exactly once.
+  [[nodiscard]] std::function<void()> wrap(std::function<void()> task);
+
+  /// Blocks until every wrapped task has run, then rethrows the first
+  /// captured exception, if any.
+  void wait();
+
+ private:
+  void finish_one() noexcept;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace mmph::par

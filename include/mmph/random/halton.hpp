@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file halton.hpp
+/// \brief Halton low-discrepancy sequences for quasi-random placements.
+///
+/// Used by the workload generator's kHalton placement: points fill the box
+/// evenly rather than clumping, which isolates algorithm behaviour from
+/// sampling noise in ablation studies.
+
+#include <cstddef>
+#include <vector>
+
+namespace mmph::rnd {
+
+/// i-th element (i >= 0) of the van der Corput sequence in the given base.
+[[nodiscard]] double van_der_corput(std::size_t i, std::size_t base);
+
+/// Generates n Halton points in [0,1)^dim using the first `dim` primes as
+/// bases, skipping `skip` initial elements (a standard burn-in to avoid the
+/// correlated prefix).
+[[nodiscard]] std::vector<double> halton_sequence(std::size_t n,
+                                                  std::size_t dim,
+                                                  std::size_t skip = 20);
+
+}  // namespace mmph::rnd

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file rng.hpp
+/// \brief Seedable RNG facade with the distributions mmph needs.
+///
+/// All randomness in the library flows through Rng so experiments are
+/// reproducible from a single seed. Child generators (Rng::fork) give
+/// independent streams to parallel trials without sharing state.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mmph/random/pcg64.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::rnd {
+
+/// Deterministic random source; value-semantic and cheap to copy.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() { return engine_.next_double(); }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    MMPH_ASSERT(lo <= hi, "uniform: inverted range");
+    return lo + (hi - lo) * engine_.next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MMPH_ASSERT(lo <= hi, "uniform_int: inverted range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int64_t>(engine_.next_below(span));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    have_spare_ = true;
+    return u * f;
+  }
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with given rate (lambda > 0).
+  [[nodiscard]] double exponential(double rate) {
+    MMPH_ASSERT(rate > 0.0, "exponential: rate must be positive");
+    double u;
+    do {
+      u = uniform();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  [[nodiscard]] std::size_t categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed rank in [1, n] with exponent s >= 0 (s = 0 uniform).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle of the index range [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Independent child stream; deterministic in (parent seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    std::uint64_t s = seed_ ^ (0xA24BAED4963EE407ull * (salt + 1));
+    (void)splitmix64_next(s);
+    return Rng(s);
+  }
+
+ private:
+  Pcg64 engine_;
+  std::uint64_t seed_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace mmph::rnd

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Synthetic workload generation (user interests and weights).
+///
+/// The paper's simulation places n nodes uniformly at random in a 4x4 2-D
+/// box (or 4x4x4 in 3-D) with weights either all 1 ("same weight") or
+/// random integers in [1, 5] ("different weight"). Those two configurations
+/// reproduce the paper; the extra placements/weight schemes support the
+/// example applications and robustness studies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmph/geometry/point_set.hpp"
+#include "mmph/random/rng.hpp"
+
+namespace mmph::rnd {
+
+/// How user interest points are placed in the box.
+enum class Placement {
+  kUniform,    ///< i.i.d. uniform in the box (the paper's setting).
+  kHalton,     ///< low-discrepancy quasi-random fill.
+  kClustered,  ///< Gaussian mixture: interests form genres/communities.
+};
+
+/// How per-user maximum rewards (weights) are drawn.
+enum class WeightScheme {
+  kSame,        ///< every weight equals `same_weight` (paper: 1).
+  kUniformInt,  ///< integer uniform in [weight_lo, weight_hi] (paper: 1..5).
+  kZipf,        ///< Zipf-ranked weights: a few users matter a lot.
+};
+
+[[nodiscard]] const char* placement_name(Placement p);
+[[nodiscard]] const char* weight_scheme_name(WeightScheme s);
+
+/// Declarative description of a synthetic workload.
+struct WorkloadSpec {
+  std::size_t n = 40;
+  std::size_t dim = 2;
+  double box_side = 4.0;  ///< box is [0, box_side]^dim as in the paper.
+  Placement placement = Placement::kUniform;
+  WeightScheme weights = WeightScheme::kUniformInt;
+  double same_weight = 1.0;
+  std::int64_t weight_lo = 1;
+  std::int64_t weight_hi = 5;
+  double zipf_exponent = 1.0;
+  std::size_t clusters = 3;
+  double cluster_stddev = 0.4;
+
+  /// Human-readable one-line summary for logs/tables.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A generated instance: points plus aligned weights.
+struct Workload {
+  geo::PointSet points;
+  std::vector<double> weights;
+
+  [[nodiscard]] std::size_t size() const noexcept { return weights.size(); }
+  [[nodiscard]] double total_weight() const;
+};
+
+/// Draws one workload instance. Deterministic in (spec, rng state).
+[[nodiscard]] Workload generate_workload(const WorkloadSpec& spec, Rng& rng);
+
+}  // namespace mmph::rnd

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// \brief Cost-model-driven scheduler selection for the simulator.
+///
+/// A base station has a per-slot compute budget; the right algorithm
+/// depends on the instance. AdaptivePlanner picks, per slot, the
+/// highest-quality solver from a ladder whose *predicted* cost fits the
+/// budget, using the paper's complexity results as the cost model:
+///
+///   greedy3 ~ k*n,  greedy2 ~ k*n^2,  greedy4 ~ k*n^3   (Thms 3-4, §V-A)
+///
+/// The budget is expressed in those abstract "operations" so selection is
+/// deterministic and machine-independent (no wall-clock feedback loops in
+/// tests). Ladder entries are ordered from cheapest to best; the planner
+/// takes the best affordable one, falling back to the cheapest when even
+/// it exceeds the budget.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/sim/simulator.hpp"
+
+namespace mmph::sim {
+
+/// One rung: a solver name plus its cost exponent (cost = k * n^exponent).
+struct AdaptiveRung {
+  std::string solver;
+  double n_exponent = 1.0;
+};
+
+class AdaptivePlanner {
+ public:
+  /// Default ladder: greedy3 (n^1) -> greedy2 (n^2) -> greedy4 (n^3).
+  explicit AdaptivePlanner(double ops_budget,
+                           std::vector<AdaptiveRung> ladder = default_ladder(),
+                           core::SolverConfig config = {});
+
+  [[nodiscard]] static std::vector<AdaptiveRung> default_ladder();
+
+  /// The rung chosen for an instance of size n with k broadcasts.
+  [[nodiscard]] const AdaptiveRung& choose(std::size_t n,
+                                           std::size_t k) const;
+
+  /// Predicted cost of a rung on an (n, k) instance.
+  [[nodiscard]] static double predicted_cost(const AdaptiveRung& rung,
+                                             std::size_t n, std::size_t k);
+
+  /// Adapts to BroadcastSimulator's factory shape. The planner must
+  /// outlive the factory's solvers. `k_hint` is the simulator's per-slot
+  /// k (the factory sees only the Problem, so k is configured here).
+  [[nodiscard]] SolverFactory factory(std::size_t k_hint);
+
+  /// Times each rung was chosen (diagnostics; index-aligned with ladder).
+  [[nodiscard]] const std::vector<std::uint64_t>& choice_counts()
+      const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] const std::vector<AdaptiveRung>& ladder() const noexcept {
+    return ladder_;
+  }
+
+ private:
+  double ops_budget_;
+  std::vector<AdaptiveRung> ladder_;
+  core::SolverConfig config_;
+  mutable std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace mmph::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file fairness.hpp
+/// \brief Proportional-fairness weighting across simulation slots.
+///
+/// Maximizing per-slot reward can starve fringe users forever: the same
+/// dense cluster wins every broadcast. The fairness-aware planner rescales
+/// each user's weight by an urgency factor that grows with accumulated
+/// service deficit before handing the slot to the inner scheduler:
+///
+///   urgency_i = 1 + alpha * deficit_i / (slot + 1)
+///   deficit_i += (fair_share_i - received_i)        per slot, floored at 0
+///
+/// where fair_share_i is the user's weight-proportional share of the slot's
+/// total reward. alpha = 0 recovers the plain scheduler; larger alpha
+/// trades total reward for Jain fairness (see fairness_test and the
+/// broadcast_scheduler example).
+///
+/// Stateful across slots: create one per simulation run, wrap it with
+/// factory() for BroadcastSimulator.
+
+#include <vector>
+
+#include "mmph/sim/simulator.hpp"
+
+namespace mmph::sim {
+
+class FairnessAwarePlanner {
+ public:
+  /// \p inner builds the actual scheduler for the (reweighted) Problem.
+  /// \p alpha >= 0 controls the fairness pressure.
+  FairnessAwarePlanner(SolverFactory inner, double alpha);
+
+  /// Plans one slot on a deficit-reweighted copy of \p problem. The
+  /// returned Solution's residual is against the *original* weights, so
+  /// the simulator's reward accounting stays truthful.
+  [[nodiscard]] core::Solution plan(const core::Problem& problem,
+                                    std::size_t k);
+
+  /// Adapter for BroadcastSimulator; the planner must outlive the solvers.
+  [[nodiscard]] SolverFactory factory();
+
+  [[nodiscard]] const std::vector<double>& deficits() const noexcept {
+    return deficits_;
+  }
+  void reset() noexcept {
+    deficits_.clear();
+    slot_ = 0;
+  }
+
+ private:
+  SolverFactory inner_;
+  double alpha_;
+  std::vector<double> deficits_;
+  std::size_t slot_ = 0;
+};
+
+}  // namespace mmph::sim

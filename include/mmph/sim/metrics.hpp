@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Per-slot and aggregate metrics of a simulation run.
+
+#include <cstdint>
+#include <vector>
+
+namespace mmph::sim {
+
+/// Outcome of one broadcast slot.
+struct SlotMetrics {
+  std::uint64_t slot = 0;
+  double reward = 0.0;            ///< f(C) achieved this slot
+  double total_weight = 0.0;      ///< sum w_i of the users present
+  double satisfaction = 0.0;      ///< reward / total_weight, in [0, 1]
+  double fairness = 1.0;          ///< Jain index over per-user slot rewards
+  std::uint64_t users_happy = 0;  ///< users with any positive reward
+  double solve_seconds = 0.0;     ///< wall time spent choosing centers
+};
+
+/// Whole-run summary.
+struct SimReport {
+  std::vector<SlotMetrics> slots;
+  double mean_satisfaction = 0.0;
+  double mean_fairness = 0.0;
+  double total_reward = 0.0;
+  double total_solve_seconds = 0.0;
+
+  /// Computes the aggregate fields from `slots`.
+  void finalize();
+};
+
+}  // namespace mmph::sim

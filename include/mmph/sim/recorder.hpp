@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file recorder.hpp
+/// \brief Records each simulated slot's problem and solution to disk.
+///
+/// Wraps any SolverFactory: every slot's instance and the chosen centers
+/// are saved in the versioned trace format (mmph/trace/trace.hpp) under a
+/// directory as slot_00000.problem / slot_00000.solution, so a live run
+/// can be replayed, diffed or post-analyzed offline (e.g. with
+/// `mmph_cli evaluate`). Recording failures throw — silently dropping
+/// trace data would defeat the purpose.
+
+#include <cstdint>
+#include <string>
+
+#include "mmph/sim/simulator.hpp"
+
+namespace mmph::sim {
+
+class TraceRecorder {
+ public:
+  /// Slots are written to `<directory>/slot_<index>.problem|.solution`.
+  /// The directory must already exist and be writable.
+  TraceRecorder(std::string directory, SolverFactory inner);
+
+  /// Factory that records every solve through this recorder. The recorder
+  /// must outlive the factory's solvers.
+  [[nodiscard]] SolverFactory factory();
+
+  [[nodiscard]] std::uint64_t recorded_slots() const noexcept {
+    return recorded_;
+  }
+
+  /// Paths for a given slot index (as the recorder writes them).
+  [[nodiscard]] std::string problem_path(std::uint64_t slot) const;
+  [[nodiscard]] std::string solution_path(std::uint64_t slot) const;
+
+ private:
+  friend class RecordingSolver;
+
+  std::string directory_;
+  SolverFactory inner_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace mmph::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file simulator.hpp
+/// \brief Time-slotted broadcast content-distribution simulator.
+///
+/// Realizes the system of paper Fig. 1 over time: in every slot the base
+/// station observes the current users, solves the k-center content
+/// selection with a pluggable algorithm, broadcasts, and users collect
+/// rewards according to the interest-distance reward function; then
+/// interests drift and users churn. Used by the examples and by the
+/// integration tests; the per-slot optimization is exactly the library's
+/// Problem/Solver pair, so any solver (greedy 1-4, exhaustive) can be the
+/// scheduler.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/solver.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/sim/metrics.hpp"
+#include "mmph/sim/user.hpp"
+
+namespace mmph::sim {
+
+/// Builds a solver for the slot's Problem (solvers like the round-based
+/// oracle depend on the instance, hence a factory, not a fixed object).
+using SolverFactory =
+    std::function<std::unique_ptr<core::Solver>(const core::Problem&)>;
+
+/// Full description of a simulation run.
+struct SimConfig {
+  std::size_t users = 40;
+  std::size_t dim = 2;
+  double box_side = 4.0;
+  std::size_t slots = 100;
+  std::size_t k = 4;          ///< broadcasts per slot
+  double radius = 1.0;        ///< content scope r
+  geo::Metric metric{};       ///< interest distance (default L2)
+  DriftModel drift{};         ///< interest dynamics
+  rnd::WeightScheme weights = rnd::WeightScheme::kUniformInt;
+  std::int64_t weight_lo = 1;
+  std::int64_t weight_hi = 5;
+  std::uint64_t seed = 42;
+};
+
+/// The base station plus its user population.
+class BroadcastSimulator {
+ public:
+  BroadcastSimulator(SimConfig config, SolverFactory factory);
+
+  /// Runs `config.slots` slots and returns the report.
+  [[nodiscard]] SimReport run();
+
+  /// Runs a single slot (exposed for tests and interactive examples).
+  [[nodiscard]] SlotMetrics step();
+
+  [[nodiscard]] const std::vector<User>& users() const noexcept {
+    return users_;
+  }
+  [[nodiscard]] std::uint64_t current_slot() const noexcept { return slot_; }
+
+ private:
+  [[nodiscard]] core::Problem snapshot_problem() const;
+  [[nodiscard]] User spawn_user();
+  void advance_population();
+
+  SimConfig config_;
+  SolverFactory factory_;
+  rnd::Rng rng_;
+  std::vector<User> users_;
+  std::uint64_t slot_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace mmph::sim

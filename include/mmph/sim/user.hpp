@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file user.hpp
+/// \brief Users of the broadcast system: an interest point plus dynamics.
+///
+/// The paper's model is a single static snapshot (Fig. 1): users attached
+/// to one base station, each with an m-dimensional interest vector and a
+/// maximum reward. The simulator animates that snapshot over time slots:
+/// interests drift (tastes change slowly), occasionally jump (the user
+/// switches context entirely), and users churn (leave and are replaced).
+
+#include <cstdint>
+#include <vector>
+
+namespace mmph::sim {
+
+/// One subscriber of the base station.
+struct User {
+  std::uint64_t id = 0;             ///< stable identity across slots
+  std::vector<double> interest;     ///< point in the interest space
+  double weight = 1.0;              ///< maximum reward w_i
+  double accumulated_reward = 0.0;  ///< lifetime satisfaction collected
+  std::uint64_t joined_slot = 0;    ///< slot the user appeared in
+};
+
+/// Per-slot interest dynamics.
+struct DriftModel {
+  double sigma = 0.0;        ///< per-slot Gaussian drift per dimension
+  double jump_prob = 0.0;    ///< chance of resampling the interest uniformly
+  double churn_prob = 0.0;   ///< chance of the user leaving (replaced fresh)
+};
+
+}  // namespace mmph::sim

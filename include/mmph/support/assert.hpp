@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file assert.hpp
+/// \brief Assertion and precondition-checking macros used across mmph.
+///
+/// Two levels are provided:
+///   - MMPH_REQUIRE: precondition on public API arguments. Always enabled;
+///     throws mmph::InvalidArgument so callers get a recoverable error with
+///     file/line context instead of UB.
+///   - MMPH_ASSERT: internal invariant. Enabled unless NDEBUG; aborts via
+///     mmph::detail::assert_fail, which prints the condition and location.
+///
+/// Both macros evaluate their condition exactly once.
+
+#include "mmph/support/error.hpp"
+
+#include <cstdlib>
+
+namespace mmph::detail {
+
+/// Prints an assertion-failure diagnostic to stderr and aborts.
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const char* msg) noexcept;
+
+}  // namespace mmph::detail
+
+#define MMPH_REQUIRE(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::mmph::InvalidArgument(::mmph::detail::format_requirement(   \
+          #cond, __FILE__, __LINE__, (msg)));                             \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define MMPH_ASSERT(cond, msg) \
+  do {                         \
+    (void)sizeof(cond);        \
+  } while (false)
+#else
+#define MMPH_ASSERT(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mmph::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+#endif

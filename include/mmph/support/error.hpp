@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Exception hierarchy for the mmph library.
+///
+/// All exceptions thrown by mmph derive from mmph::Error, which itself
+/// derives from std::runtime_error, so callers may catch either.
+
+#include <stdexcept>
+#include <string>
+
+namespace mmph {
+
+/// Root of the mmph exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A public API precondition was violated (bad argument).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation was requested on an object in the wrong state.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Parsing of external input (CLI flags, CSV, trace files) failed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// Builds the message for a failed MMPH_REQUIRE.
+std::string format_requirement(const char* cond, const char* file, int line,
+                               const char* msg);
+
+}  // namespace detail
+}  // namespace mmph

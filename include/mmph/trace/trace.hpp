@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Plain-text serialization of problems and solutions.
+///
+/// The paper calls its evaluation "trace-driven"; this module makes traces
+/// first-class: any generated instance can be saved, shared, and replayed
+/// bit-exactly (decimal round-trip via max_digits10), and solver outputs
+/// can be archived next to the instance that produced them. The format is
+/// line-oriented and versioned:
+///
+///   mmph-problem v1
+///   dim 2
+///   metric L2            # or L1 / Linf / Lp <p>
+///   radius 1
+///   shape linear         # or binary (classic max-coverage rewards)
+///   n 3
+///   point <w> <x0> <x1> ...        (n lines)
+///
+///   mmph-solution v1
+///   solver greedy4
+///   dim 2
+///   k 2
+///   total <f(C)>
+///   center <g_j> <c0> <c1> ...     (k lines)
+
+#include <iosfwd>
+#include <string>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/solution.hpp"
+
+namespace mmph::trace {
+
+/// Writes \p problem to \p os in the v1 text format.
+void write_problem(std::ostream& os, const core::Problem& problem);
+
+/// Parses a v1 problem. \throws ParseError on malformed input.
+[[nodiscard]] core::Problem read_problem(std::istream& is);
+
+/// Writes \p solution (centers + per-round rewards + total).
+void write_solution(std::ostream& os, const core::Solution& solution);
+
+/// Parses a v1 solution (residuals are not serialized; the reader leaves
+/// Solution::residual empty). \throws ParseError on malformed input.
+[[nodiscard]] core::Solution read_solution(std::istream& is);
+
+/// File-level helpers. \throws StateError when the file cannot be opened.
+void save_problem(const std::string& path, const core::Problem& problem);
+[[nodiscard]] core::Problem load_problem(const std::string& path);
+void save_solution(const std::string& path, const core::Solution& solution);
+[[nodiscard]] core::Solution load_solution(const std::string& path);
+
+}  // namespace mmph::trace

@@ -1,0 +1,88 @@
+#include "mmph/core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+double unit_ball_volume(std::size_t dim, double p) {
+  MMPH_REQUIRE(dim >= 1, "unit_ball_volume: dim must be >= 1");
+  MMPH_REQUIRE(p >= 1.0, "unit_ball_volume: p must be >= 1");
+  const double m = static_cast<double>(dim);
+  if (std::isinf(p)) {
+    return std::pow(2.0, m);  // the cube [-1, 1]^m
+  }
+  // log V = m * log(2 Gamma(1/p + 1)) - log Gamma(m/p + 1); lgamma keeps
+  // the evaluation stable in high dimensions.
+  const double log_v = m * (std::log(2.0) + std::lgamma(1.0 / p + 1.0)) -
+                       std::lgamma(m / p + 1.0);
+  return std::exp(log_v);
+}
+
+double ball_volume(std::size_t dim, const geo::Metric& metric,
+                   double radius) {
+  MMPH_REQUIRE(radius >= 0.0, "ball_volume: negative radius");
+  return unit_ball_volume(dim, metric.p()) *
+         std::pow(radius, static_cast<double>(dim));
+}
+
+double mean_unit_coverage(std::size_t dim, RewardShape shape) {
+  MMPH_REQUIRE(dim >= 1, "mean_unit_coverage: dim must be >= 1");
+  if (shape == RewardShape::kBinary) return 1.0;
+  // E[1 - d/r] with density m * rho^(m-1) on rho = d/r in [0, 1]:
+  // 1 - m/(m+1) = 1/(m+1).
+  return 1.0 / (static_cast<double>(dim) + 1.0);
+}
+
+double curvature_estimate(const Problem& problem) {
+  // Build V = all input points as centers, then measure each element's
+  // marginal at the top, f(V) - f(V \ {i}), against its singleton value.
+  const std::size_t n = problem.size();
+  geo::PointSet all(problem.dim());
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) all.push_back(problem.point(i));
+  const double f_all = objective_value(problem, all);
+
+  double min_ratio = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    geo::PointSet without(problem.dim());
+    without.reserve(n - 1);
+    geo::PointSet alone(problem.dim());
+    alone.push_back(problem.point(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) without.push_back(problem.point(j));
+    }
+    const double singleton = objective_value(problem, alone);
+    if (singleton <= 0.0) continue;
+    const double top_marginal = f_all - objective_value(problem, without);
+    min_ratio = std::min(min_ratio, top_marginal / singleton);
+  }
+  return 1.0 - std::max(0.0, min_ratio);
+}
+
+double curvature_guarantee(double curvature) {
+  MMPH_REQUIRE(curvature >= 0.0 && curvature <= 1.0,
+               "curvature must be in [0, 1]");
+  if (curvature < 1e-12) return 1.0;
+  return (1.0 - std::exp(-curvature)) / curvature;
+}
+
+double expected_single_center_reward(std::size_t n, std::size_t dim,
+                                     const geo::Metric& metric, double radius,
+                                     double box_side, double mean_weight,
+                                     RewardShape shape) {
+  MMPH_REQUIRE(n >= 1, "expected reward: n must be >= 1");
+  MMPH_REQUIRE(box_side > 0.0, "expected reward: box side must be positive");
+  MMPH_REQUIRE(mean_weight > 0.0,
+               "expected reward: mean weight must be positive");
+  const double box_volume = std::pow(box_side, static_cast<double>(dim));
+  const double cover_prob =
+      std::min(1.0, ball_volume(dim, metric, radius) / box_volume);
+  return static_cast<double>(n) * mean_weight * cover_prob *
+         mean_unit_coverage(dim, shape);
+}
+
+}  // namespace mmph::core

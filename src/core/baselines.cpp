@@ -1,0 +1,174 @@
+#include "mmph/core/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/geometry/vec.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+namespace {
+
+/// Finishes a Solution from a fixed center list: replays apply_center so
+/// round_rewards/total/residual follow the usual accounting.
+Solution finalize(const Problem& problem, std::string solver_name,
+                  const geo::PointSet& centers) {
+  Solution sol;
+  sol.solver_name = std::move(solver_name);
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(centers.size());
+  sol.residual = fresh_residual(problem);
+  for (std::size_t j = 0; j < centers.size(); ++j) {
+    const double g = apply_center(problem, centers[j], sol.residual);
+    sol.centers.push_back(centers[j]);
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+/// Weighted per-dimension median of the cluster members (1-norm update).
+void weighted_median_update(const Problem& problem,
+                            const std::vector<std::size_t>& members,
+                            geo::MutVec center) {
+  const std::size_t dim = problem.dim();
+  std::vector<std::pair<double, double>> coord_weight(members.size());
+  for (std::size_t d = 0; d < dim; ++d) {
+    double total = 0.0;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      coord_weight[m] = {problem.point(members[m])[d],
+                         problem.weight(members[m])};
+      total += coord_weight[m].second;
+    }
+    std::sort(coord_weight.begin(), coord_weight.end());
+    double acc = 0.0;
+    for (const auto& [coord, weight] : coord_weight) {
+      acc += weight;
+      if (acc >= 0.5 * total) {
+        center[d] = coord;
+        break;
+      }
+    }
+  }
+}
+
+/// Weighted mean of the cluster members (2-norm and default update).
+void weighted_mean_update(const Problem& problem,
+                          const std::vector<std::size_t>& members,
+                          geo::MutVec center) {
+  geo::zero(center);
+  double total = 0.0;
+  for (std::size_t m : members) {
+    geo::add_scaled(center, problem.weight(m), problem.point(m));
+    total += problem.weight(m);
+  }
+  MMPH_ASSERT(total > 0.0, "kmeans: empty cluster in mean update");
+  for (double& v : center) v /= total;
+}
+
+}  // namespace
+
+Solution RandomSolver::solve(const Problem& problem, std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  rnd::Rng rng(seed_);
+  const std::vector<std::size_t> perm = rng.permutation(problem.size());
+  geo::PointSet centers(problem.dim());
+  centers.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    centers.push_back(problem.point(perm[j % perm.size()]));
+  }
+  return finalize(problem, name(), centers);
+}
+
+KMeansSolver::KMeansSolver(std::size_t max_iterations, std::uint64_t seed)
+    : max_iterations_(max_iterations), seed_(seed) {
+  MMPH_REQUIRE(max_iterations >= 1, "kmeans: need at least one iteration");
+}
+
+Solution KMeansSolver::solve(const Problem& problem, std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  const std::size_t n = problem.size();
+  const geo::Metric& metric = problem.metric();
+  rnd::Rng rng(seed_);
+
+  // --- k-means++ seeding: first center weighted by w, then each next
+  // center with probability proportional to w * d(nearest chosen)^2. ---
+  geo::PointSet centers(problem.dim());
+  centers.reserve(k);
+  {
+    std::vector<double> pick_w(problem.weights());
+    centers.push_back(problem.point(rng.categorical(pick_w)));
+    std::vector<double> d2(n);
+    while (centers.size() < k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double nearest = metric.distance(centers[0], problem.point(i));
+        for (std::size_t c = 1; c < centers.size(); ++c) {
+          nearest = std::min(
+              nearest, metric.distance(centers[c], problem.point(i)));
+        }
+        d2[i] = problem.weight(i) * nearest * nearest;
+      }
+      const double total = std::accumulate(d2.begin(), d2.end(), 0.0);
+      if (total <= 0.0) {
+        // All points coincide with chosen centers: duplicate any point.
+        centers.push_back(problem.point(0));
+        continue;
+      }
+      centers.push_back(problem.point(rng.categorical(d2)));
+    }
+  }
+
+  // --- Lloyd iterations. ---
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t iter = 0; iter < max_iterations_; ++iter) {
+    bool changed = false;
+    for (auto& m : members) m.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best_c = 0;
+      double best_d = metric.distance(centers[0], problem.point(i));
+      for (std::size_t c = 1; c < k; ++c) {
+        const double d = metric.distance(centers[c], problem.point(i));
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+      members[best_c].push_back(i);
+    }
+    if (!changed && iter > 0) break;
+
+    for (std::size_t c = 0; c < k; ++c) {
+      if (members[c].empty()) {
+        // Reseed an empty cluster at the globally farthest point from its
+        // assigned center (a standard fix that keeps k centers active).
+        double far_d = -1.0;
+        std::size_t far_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              metric.distance(centers[assignment[i]], problem.point(i));
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        geo::assign(centers.mutable_point(c), problem.point(far_i));
+        continue;
+      }
+      if (metric.norm() == geo::Norm::kL1) {
+        weighted_median_update(problem, members[c], centers.mutable_point(c));
+      } else {
+        weighted_mean_update(problem, members[c], centers.mutable_point(c));
+      }
+    }
+  }
+  return finalize(problem, name(), centers);
+}
+
+}  // namespace mmph::core

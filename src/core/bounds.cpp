@@ -1,0 +1,24 @@
+#include "mmph/core/bounds.hpp"
+
+#include <cmath>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+double approx_ratio_round_based(std::size_t k) {
+  MMPH_REQUIRE(k >= 1, "approx ratio needs k >= 1");
+  const double kk = static_cast<double>(k);
+  return 1.0 - std::pow(1.0 - 1.0 / kk, kk);
+}
+
+double approx_ratio_local_greedy(std::size_t n, std::size_t k) {
+  MMPH_REQUIRE(n >= 1, "approx ratio needs n >= 1");
+  MMPH_REQUIRE(k >= 1, "approx ratio needs k >= 1");
+  const double nn = static_cast<double>(n);
+  return 1.0 - std::pow(1.0 - 1.0 / nn, static_cast<double>(k));
+}
+
+double one_minus_inv_e() { return 1.0 - std::exp(-1.0); }
+
+}  // namespace mmph::core

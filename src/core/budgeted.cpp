@@ -1,0 +1,187 @@
+#include "mmph/core/budgeted.hpp"
+
+#include <algorithm>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+void BudgetedInstance::validate() const {
+  MMPH_REQUIRE(problem != nullptr, "budgeted: null problem");
+  MMPH_REQUIRE(costs.size() == problem->size(),
+               "budgeted: one cost per point required");
+  for (double c : costs) {
+    MMPH_REQUIRE(c > 0.0, "budgeted: costs must be positive");
+  }
+  MMPH_REQUIRE(budget > 0.0, "budgeted: budget must be positive");
+}
+
+BudgetedSolution budgeted_greedy(const BudgetedInstance& inst) {
+  inst.validate();
+  const Problem& p = *inst.problem;
+  const std::size_t n = p.size();
+
+  // --- Cost-benefit greedy pass. ---
+  BudgetedSolution cb;
+  {
+    std::vector<bool> used(n, false);
+    std::vector<double> y = fresh_residual(p);
+    for (;;) {
+      double best_ratio = 0.0;
+      std::size_t best_i = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (used[i] || cb.total_cost + inst.costs[i] > inst.budget) continue;
+        const double gain = coverage_reward(p, p.point(i), y);
+        const double ratio = gain / inst.costs[i];
+        if (ratio > best_ratio) {  // strict: ties keep the lowest index
+          best_ratio = ratio;
+          best_i = i;
+        }
+      }
+      if (best_i == n || best_ratio <= 0.0) break;
+      used[best_i] = true;
+      cb.total_cost += inst.costs[best_i];
+      cb.total_reward += apply_center(p, p.point(best_i), y);
+      cb.chosen.push_back(best_i);
+    }
+  }
+
+  // --- Best affordable singleton safeguard. ---
+  BudgetedSolution single;
+  {
+    const std::vector<double> fresh(n, 1.0);
+    double best_gain = 0.0;
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (inst.costs[i] > inst.budget) continue;
+      const double gain = coverage_reward(p, p.point(i), fresh);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = i;
+      }
+    }
+    if (best_i != n) {
+      single.chosen = {best_i};
+      single.total_cost = inst.costs[best_i];
+      single.total_reward = best_gain;
+    }
+  }
+
+  return single.total_reward > cb.total_reward ? single : cb;
+}
+
+namespace {
+
+/// Completes a partial selection with the cost-benefit rule.
+void greedy_complete(const BudgetedInstance& inst, std::vector<bool>& used,
+                     std::vector<double>& y, BudgetedSolution& sol) {
+  const Problem& p = *inst.problem;
+  const std::size_t n = p.size();
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i] || sol.total_cost + inst.costs[i] > inst.budget) continue;
+      const double gain = coverage_reward(p, p.point(i), y);
+      const double ratio = gain / inst.costs[i];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_i = i;
+      }
+    }
+    if (best_i == n || best_ratio <= 0.0) return;
+    used[best_i] = true;
+    sol.total_cost += inst.costs[best_i];
+    sol.total_reward += apply_center(p, p.point(best_i), y);
+    sol.chosen.push_back(best_i);
+  }
+}
+
+/// Recursively fixes every feasible prefix of up to `remaining` more
+/// candidates (indices >= start, ascending, so each prefix set is tried
+/// once), greedy-completes it, and keeps the best outcome in `best`.
+void enumerate_prefixes(const BudgetedInstance& inst, std::size_t start,
+                        std::size_t remaining, std::vector<bool>& used,
+                        std::vector<double>& y,
+                        const BudgetedSolution& partial,
+                        BudgetedSolution& best) {
+  {
+    // Complete the current prefix.
+    std::vector<bool> used_copy = used;
+    std::vector<double> y_copy = y;
+    BudgetedSolution completed = partial;
+    greedy_complete(inst, used_copy, y_copy, completed);
+    if (completed.total_reward > best.total_reward) best = completed;
+  }
+  if (remaining == 0) return;
+  const Problem& p = *inst.problem;
+  for (std::size_t i = start; i < p.size(); ++i) {
+    if (used[i] || partial.total_cost + inst.costs[i] > inst.budget) continue;
+    std::vector<double> y_next = y;
+    BudgetedSolution next = partial;
+    used[i] = true;
+    next.total_cost += inst.costs[i];
+    next.total_reward += apply_center(p, p.point(i), y_next);
+    next.chosen.push_back(i);
+    enumerate_prefixes(inst, i + 1, remaining - 1, used, y_next, next, best);
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+BudgetedSolution budgeted_partial_enumeration(const BudgetedInstance& inst,
+                                              std::size_t prefix_size) {
+  inst.validate();
+  MMPH_REQUIRE(prefix_size >= 1, "partial enumeration needs prefix >= 1");
+  MMPH_REQUIRE(prefix_size <= 3,
+               "partial enumeration beyond prefix 3 is never needed and "
+               "prohibitively slow");
+  BudgetedSolution best;
+  std::vector<bool> used(inst.problem->size(), false);
+  std::vector<double> y = fresh_residual(*inst.problem);
+  const BudgetedSolution empty;
+  enumerate_prefixes(inst, 0, prefix_size, used, y, empty, best);
+  return best;
+}
+
+namespace {
+
+void enumerate(const BudgetedInstance& inst, std::size_t i,
+               std::vector<std::size_t>& chosen, std::vector<double>& y,
+               double cost, double reward, BudgetedSolution& best) {
+  if (reward > best.total_reward) {
+    best.total_reward = reward;
+    best.total_cost = cost;
+    best.chosen = chosen;
+  }
+  if (i >= inst.problem->size()) return;
+  // Skip i.
+  enumerate(inst, i + 1, chosen, y, cost, reward, best);
+  // Take i if affordable.
+  if (cost + inst.costs[i] <= inst.budget) {
+    std::vector<double> y2 = y;
+    const double gain =
+        apply_center(*inst.problem, inst.problem->point(i), y2);
+    chosen.push_back(i);
+    enumerate(inst, i + 1, chosen, y2, cost + inst.costs[i], reward + gain,
+              best);
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+BudgetedSolution budgeted_exhaustive(const BudgetedInstance& inst) {
+  inst.validate();
+  MMPH_REQUIRE(inst.problem->size() <= 24,
+               "budgeted_exhaustive: instance too large (n > 24)");
+  BudgetedSolution best;
+  std::vector<std::size_t> chosen;
+  std::vector<double> y = fresh_residual(*inst.problem);
+  enumerate(inst, 0, chosen, y, 0.0, 0.0, best);
+  return best;
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,76 @@
+#include "mmph/core/candidate_set.hpp"
+
+#include <cmath>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+geo::PointSet candidates_from_points(const Problem& problem) {
+  geo::PointSet out(problem.dim());
+  out.reserve(problem.size());
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    out.push_back(problem.point(i));
+  }
+  return out;
+}
+
+geo::PointSet candidates_grid(const geo::Box& box, double pitch,
+                              std::size_t max_points) {
+  MMPH_REQUIRE(pitch > 0.0, "grid pitch must be positive");
+  const std::size_t dim = box.dim();
+  MMPH_REQUIRE(dim >= 1, "grid over an empty box");
+
+  std::vector<std::size_t> counts(dim);
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dim; ++d) {
+    MMPH_REQUIRE(box.hi[d] >= box.lo[d], "grid box is inverted");
+    const double span = box.hi[d] - box.lo[d];
+    // Number of grid lines including both endpoints; add a half-pitch of
+    // tolerance so span == multiple-of-pitch includes the far endpoint.
+    counts[d] = static_cast<std::size_t>(std::floor(span / pitch + 1e-9)) + 1;
+    MMPH_REQUIRE(total <= max_points / counts[d] + 1,
+                 "grid would exceed max_points");
+    total *= counts[d];
+  }
+  MMPH_REQUIRE(total <= max_points, "grid would exceed max_points");
+
+  geo::PointSet out(dim);
+  out.reserve(total);
+  std::vector<std::size_t> idx(dim, 0);
+  std::vector<double> p(dim);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      p[d] = box.lo[d] + static_cast<double>(idx[d]) * pitch;
+      if (p[d] > box.hi[d]) p[d] = box.hi[d];  // clamp round-off
+    }
+    out.push_back(p);
+    // Odometer increment.
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (++idx[d] < counts[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+geo::PointSet candidates_grid_over(const Problem& problem, double pitch,
+                                   double margin) {
+  geo::Box box = problem.points().bounding_box();
+  for (std::size_t d = 0; d < box.dim(); ++d) {
+    box.lo[d] -= margin;
+    box.hi[d] += margin;
+  }
+  return candidates_grid(box, pitch);
+}
+
+geo::PointSet candidates_union(const geo::PointSet& a, const geo::PointSet& b) {
+  MMPH_REQUIRE(a.dim() == b.dim(), "candidate union: dimension mismatch");
+  geo::PointSet out(a.dim());
+  out.reserve(a.size() + b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) out.push_back(b[i]);
+  return out;
+}
+
+}  // namespace mmph::core

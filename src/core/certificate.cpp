@@ -1,0 +1,64 @@
+#include "mmph/core/certificate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmph/core/candidate_set.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+double coverage_lipschitz_constant(const Problem& problem) {
+  MMPH_REQUIRE(problem.reward_shape() == RewardShape::kLinear,
+               "Lipschitz certificate requires the linear reward shape");
+  return problem.total_weight() / problem.radius();
+}
+
+double grid_covering_radius(double pitch, std::size_t dim,
+                            const geo::Metric& metric) {
+  MMPH_REQUIRE(pitch > 0.0, "covering radius: pitch must be positive");
+  MMPH_REQUIRE(dim >= 1, "covering radius: dim must be >= 1");
+  // The farthest point of a grid cell from its corners is the cell center,
+  // at (h/2, ..., h/2): norm (h/2) * dim^(1/p) (dim^0 = 1 for L-infinity).
+  const double half = 0.5 * pitch;
+  if (metric.norm() == geo::Norm::kLinf) return half;
+  return half * std::pow(static_cast<double>(dim), 1.0 / metric.p());
+}
+
+double continuous_round_upper_bound(const Problem& problem, double pitch) {
+  const double lipschitz = coverage_lipschitz_constant(problem);
+  // Centers farther than r from every point earn nothing, so the search
+  // box needs only an r margin around the instance hull.
+  const geo::PointSet grid =
+      candidates_grid_over(problem, pitch, problem.radius());
+  const std::vector<double> fresh(problem.size(), 1.0);
+  double best = 0.0;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    best = std::max(best, coverage_reward(problem, grid[c], fresh));
+  }
+  const double rho =
+      grid_covering_radius(pitch, problem.dim(), problem.metric());
+  return best + lipschitz * rho;
+}
+
+double continuous_opt_upper_bound(const Problem& problem, std::size_t k,
+                                  double pitch) {
+  MMPH_REQUIRE(k >= 1, "certificate: k must be >= 1");
+  const double per_round = continuous_round_upper_bound(problem, pitch);
+  return std::min(problem.total_weight(),
+                  static_cast<double>(k) * per_round);
+}
+
+RatioCertificate certify_ratio(const Problem& problem,
+                               const Solution& solution, double pitch) {
+  RatioCertificate cert;
+  cert.value = solution.total_reward;
+  cert.upper_bound = continuous_opt_upper_bound(
+      problem, std::max<std::size_t>(1, solution.centers.size()), pitch);
+  MMPH_ASSERT(cert.upper_bound > 0.0, "certificate: degenerate bound");
+  cert.certified_ratio = cert.value / cert.upper_bound;
+  return cert;
+}
+
+}  // namespace mmph::core

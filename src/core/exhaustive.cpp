@@ -1,0 +1,249 @@
+#include "mmph/core/exhaustive.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/parallel/parallel_for.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+namespace {
+
+/// Shared, monotonically increasing lower bound on the optimum, used for
+/// pruning across workers. Only the merge step decides the final winner,
+/// so the bound may lag without affecting determinism.
+class SharedBest {
+ public:
+  [[nodiscard]] double load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void raise(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_{-1.0};
+};
+
+struct LocalBest {
+  double value = -1.0;
+  std::vector<std::size_t> combo;  // ordered positions into the sort order
+
+  /// Deterministic preference: higher value; then lexicographically
+  /// smaller combination (in sorted-candidate order).
+  void offer(double v, const std::vector<std::size_t>& c) {
+    if (v > value || (v == value && (combo.empty() || c < combo))) {
+      value = v;
+      combo = c;
+    }
+  }
+  void merge(const LocalBest& other) {
+    if (other.value < 0.0) return;
+    offer(other.value, other.combo);
+  }
+};
+
+/// Depth-first enumeration state for one worker.
+class Enumerator {
+ public:
+  Enumerator(const Problem& problem, const geo::PointSet& candidates,
+             std::span<const std::size_t> order,
+             std::span<const double> standalone_prefix, std::size_t k,
+             bool use_pruning, SharedBest& shared)
+      : problem_(problem),
+        candidates_(candidates),
+        order_(order),
+        prefix_(standalone_prefix),
+        k_(k),
+        use_pruning_(use_pruning),
+        shared_(shared) {
+    residuals_.resize(k + 1);
+    for (auto& y : residuals_) y.assign(problem.size(), 1.0);
+    combo_.reserve(k);
+  }
+
+  /// Explores every combination whose first element (in sort order) is
+  /// exactly `first`.
+  void explore_from(std::size_t first) {
+    if (first + k_ > order_.size()) return;
+    if (use_pruning_ &&
+        top_remaining(first, k_) < shared_.load()) {
+      return;
+    }
+    residuals_[0].assign(problem_.size(), 1.0);
+    residuals_[1] = residuals_[0];
+    const double applied = apply_center(problem_, candidates_[order_[first]],
+                                        residuals_[1]);
+    combo_.assign(1, first);
+    descend(first + 1, 1, applied);
+    combo_.clear();
+  }
+
+  [[nodiscard]] const LocalBest& best() const noexcept { return best_; }
+
+ private:
+  // Sum of the `count` largest standalone values among order_[pos..):
+  // because order_ is sorted by standalone value descending, that is just
+  // a prefix slice. prefix_[i] = sum of standalone over order_[0..i).
+  [[nodiscard]] double top_remaining(std::size_t pos,
+                                     std::size_t count) const noexcept {
+    const std::size_t end = std::min(pos + count, order_.size());
+    return prefix_[end] - prefix_[pos];
+  }
+
+  void descend(std::size_t pos, std::size_t depth, double partial) {
+    const std::size_t remaining = k_ - depth;
+    if (remaining == 0) {
+      best_.offer(partial, combo_);
+      shared_.raise(partial);
+      return;
+    }
+    for (std::size_t p = pos; p + remaining <= order_.size(); ++p) {
+      if (use_pruning_) {
+        // Submodular bound: any completion adds at most the best
+        // `remaining` standalone values among candidates from p on.
+        const double bound = partial + top_remaining(p, remaining);
+        if (bound < shared_.load()) break;  // later p only get worse
+      }
+      const double gain = coverage_reward(
+          problem_, candidates_[order_[p]], residuals_[depth]);
+      if (use_pruning_ && remaining >= 2) {
+        const double bound = partial + gain + top_remaining(p + 1, remaining - 1);
+        if (bound < shared_.load()) continue;
+      }
+      residuals_[depth + 1] = residuals_[depth];
+      const double applied = apply_center(problem_, candidates_[order_[p]],
+                                          residuals_[depth + 1]);
+      combo_.push_back(p);
+      descend(p + 1, depth + 1, partial + applied);
+      combo_.pop_back();
+    }
+  }
+
+  const Problem& problem_;
+  const geo::PointSet& candidates_;
+  std::span<const std::size_t> order_;
+  std::span<const double> prefix_;
+  std::size_t k_;
+  bool use_pruning_;
+  SharedBest& shared_;
+
+  std::vector<std::vector<double>> residuals_;
+  std::vector<std::size_t> combo_;
+  LocalBest best_;
+};
+
+}  // namespace
+
+ExhaustiveSolver::ExhaustiveSolver(geo::PointSet candidates, Options options)
+    : candidates_(std::move(candidates)), options_(options) {
+  MMPH_REQUIRE(!candidates_.empty(),
+               "ExhaustiveSolver needs at least one candidate");
+}
+
+ExhaustiveSolver ExhaustiveSolver::over_points(const Problem& problem,
+                                               Options options) {
+  return ExhaustiveSolver(candidates_from_points(problem), options);
+}
+
+ExhaustiveSolver ExhaustiveSolver::over_grid_and_points(const Problem& problem,
+                                                        double pitch,
+                                                        Options options) {
+  return ExhaustiveSolver(
+      candidates_union(candidates_grid_over(problem, pitch),
+                       candidates_from_points(problem)),
+      options);
+}
+
+Solution ExhaustiveSolver::solve(const Problem& problem, std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  MMPH_REQUIRE(candidates_.dim() == problem.dim(),
+               "ExhaustiveSolver: candidate dimension mismatch");
+  const std::size_t m = candidates_.size();
+  MMPH_REQUIRE(k <= m, "solve: k exceeds candidate count");
+  MMPH_REQUIRE(binomial(m, k) <= options_.max_subsets,
+               "exhaustive search space exceeds max_subsets; "
+               "coarsen the grid or lower k");
+
+  // Standalone value of each candidate (its best case as a later addition,
+  // by submodularity); sort candidates by it, descending, stable on index.
+  std::vector<double> standalone(m);
+  {
+    const std::vector<double> fresh(problem.size(), 1.0);
+    for (std::size_t c = 0; c < m; ++c) {
+      standalone[c] = coverage_reward(problem, candidates_[c], fresh);
+    }
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return standalone[a] > standalone[b];
+                   });
+  std::vector<double> prefix(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    prefix[i + 1] = prefix[i] + standalone[order[i]];
+  }
+
+  SharedBest shared;
+  LocalBest global_best;
+
+  const std::size_t first_limit = m - k + 1;
+  if (options_.parallel && first_limit > 1) {
+    std::mutex merge_mutex;
+    par::parallel_for(
+        par::ThreadPool::global(), 0, first_limit,
+        [&](std::size_t first) {
+          Enumerator e(problem, candidates_, order, prefix, k,
+                       options_.use_pruning, shared);
+          e.explore_from(first);
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          global_best.merge(e.best());
+        },
+        /*grain=*/1);
+  } else {
+    Enumerator e(problem, candidates_, order, prefix, k, options_.use_pruning,
+                 shared);
+    for (std::size_t first = 0; first < first_limit; ++first) {
+      e.explore_from(first);
+    }
+    global_best = e.best();
+  }
+  MMPH_ASSERT(global_best.value >= 0.0, "exhaustive found no combination");
+
+  // Rebuild the Solution by replaying the winning combination.
+  Solution sol;
+  sol.solver_name = name();
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(k);
+  sol.residual = fresh_residual(problem);
+  for (std::size_t p : global_best.combo) {
+    geo::ConstVec c = candidates_[order[p]];
+    const double g = apply_center(problem, c, sol.residual);
+    sol.centers.push_back(c);
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+}  // namespace mmph::core

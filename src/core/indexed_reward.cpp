@@ -1,0 +1,154 @@
+#include "mmph/core/indexed_reward.hpp"
+
+#include <algorithm>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/geometry/vec.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+IndexedProblem::IndexedProblem(const Problem& problem)
+    : problem_(problem), grid_(problem.points(), problem.radius()) {}
+
+double IndexedProblem::coverage_reward(geo::ConstVec center,
+                                       std::span<const double> y) const {
+  MMPH_ASSERT(y.size() == problem_.size(), "indexed coverage: residual size");
+  double g = 0.0;
+  grid_.for_each_in_box(center, problem_.radius(), [&](std::size_t i) {
+    const double u = unit_coverage(problem_, center, i);
+    if (u <= 0.0) return;
+    g += problem_.weight(i) * std::min(u, y[i]);
+  });
+  return g;
+}
+
+double IndexedProblem::apply_center(geo::ConstVec center,
+                                    std::span<double> y) const {
+  MMPH_ASSERT(y.size() == problem_.size(), "indexed apply: residual size");
+  double g = 0.0;
+  grid_.for_each_in_box(center, problem_.radius(), [&](std::size_t i) {
+    const double u = unit_coverage(problem_, center, i);
+    if (u <= 0.0) return;
+    const double z = std::min(u, y[i]);
+    y[i] -= z;
+    g += problem_.weight(i) * z;
+  });
+  return g;
+}
+
+namespace {
+
+/// One indexed new-center walk (see GreedyComplexSolver::walk_from_seed for
+/// the un-indexed reference semantics).
+void indexed_walk(const Problem& problem, const IndexedProblem& indexed,
+                  std::span<const double> y, std::size_t seed,
+                  geo::L1CenterRule l1_rule, std::vector<double>& center,
+                  double& reward) {
+  const std::size_t n = problem.size();
+  geo::PointSet accumulated(problem.dim());
+  accumulated.push_back(problem.point(seed));
+  std::vector<bool> in_set(n, false);
+  in_set[seed] = true;
+
+  geo::assign(center, problem.point(seed));
+  reward = indexed.coverage_reward(center, y);
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // (2) heaviest remaining point the current disk rewards; explicit
+    // (value, index) comparison keeps the paper's lowest-index tie-break
+    // independent of the grid's cell visit order.
+    double best_w = 0.0;
+    std::size_t best_j = n;
+    indexed.grid().for_each_in_box(
+        center, problem.radius(), [&](std::size_t j) {
+          if (in_set[j]) return;
+          const double u = unit_coverage(problem, center, j);
+          if (u <= 0.0) return;
+          const double wz = problem.weight(j) * std::min(u, y[j]);
+          if (wz > best_w || (wz == best_w && j < best_j)) {
+            best_w = wz;
+            best_j = j;
+          }
+        });
+    if (best_j == n || best_w <= 0.0) return;
+
+    // (4) recenter on the smallest ball covering D plus j.
+    accumulated.push_back(problem.point(best_j));
+    const geo::Ball ball =
+        geo::smallest_enclosing(accumulated, problem.metric(), l1_rule);
+
+    // (5) accept only an improving move.
+    const double candidate_reward = indexed.coverage_reward(ball.center, y);
+    if (candidate_reward <= reward) return;
+    in_set[best_j] = true;
+    center = ball.center;
+    reward = candidate_reward;
+  }
+}
+
+}  // namespace
+
+Solution IndexedGreedyComplexSolver::solve(const Problem& problem,
+                                           std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  const IndexedProblem indexed(problem);
+
+  Solution sol;
+  sol.solver_name = name();
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(k);
+  sol.residual = fresh_residual(problem);
+
+  std::vector<double> walk_center(problem.dim());
+  for (std::size_t j = 0; j < k; ++j) {
+    double best = -1.0;
+    std::vector<double> best_center(problem.dim());
+    for (std::size_t seed = 0; seed < problem.size(); ++seed) {
+      double reward = 0.0;
+      indexed_walk(problem, indexed, sol.residual, seed, l1_rule_,
+                   walk_center, reward);
+      if (reward > best) {  // strict: ties keep the lowest seed index
+        best = reward;
+        best_center = walk_center;
+      }
+    }
+    const double g = indexed.apply_center(best_center, sol.residual);
+    sol.centers.push_back(best_center);
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+Solution IndexedGreedyLocalSolver::solve(const Problem& problem,
+                                         std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  const IndexedProblem indexed(problem);
+
+  Solution sol;
+  sol.solver_name = name();
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(k);
+  sol.residual = fresh_residual(problem);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    double best = -1.0;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const double g = indexed.coverage_reward(problem.point(i), sol.residual);
+      if (g > best) {  // strict: ties keep the lowest index
+        best = g;
+        best_i = i;
+      }
+    }
+    const double g =
+        indexed.apply_center(problem.point(best_i), sol.residual);
+    sol.centers.push_back(problem.point(best_i));
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,62 @@
+#include "mmph/core/objective.hpp"
+
+#include <algorithm>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+double objective_value(const Problem& problem, const geo::PointSet& centers) {
+  if (centers.empty()) return 0.0;
+  MMPH_REQUIRE(centers.dim() == problem.dim(),
+               "objective_value: center dimension mismatch");
+  double f = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < centers.size(); ++j) {
+      s += unit_coverage(problem, centers[j], i);
+      if (s >= 1.0) break;  // capped; remaining centers cannot add
+    }
+    f += problem.weight(i) * std::min(s, 1.0);
+  }
+  return f;
+}
+
+double objective_value(const Problem& problem, const geo::PointSet& candidates,
+                       std::span<const std::size_t> chosen) {
+  MMPH_REQUIRE(candidates.dim() == problem.dim(),
+               "objective_value: candidate dimension mismatch");
+  double f = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t j : chosen) {
+      s += unit_coverage(problem, candidates[j], i);
+      if (s >= 1.0) break;
+    }
+    f += problem.weight(i) * std::min(s, 1.0);
+  }
+  return f;
+}
+
+double marginal_gain(const Problem& problem, const geo::PointSet& centers,
+                     geo::ConstVec extra) {
+  MMPH_REQUIRE(extra.size() == problem.dim(),
+               "marginal_gain: center dimension mismatch");
+  double gain = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const double u = unit_coverage(problem, extra, i);
+    if (u <= 0.0) continue;
+    double s = 0.0;
+    for (std::size_t j = 0; j < centers.size(); ++j) {
+      s += unit_coverage(problem, centers[j], i);
+      if (s >= 1.0) break;
+    }
+    const double before = std::min(s, 1.0);
+    const double after = std::min(s + u, 1.0);
+    gain += problem.weight(i) * (after - before);
+  }
+  return gain;
+}
+
+}  // namespace mmph::core

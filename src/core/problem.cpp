@@ -1,0 +1,43 @@
+#include "mmph/core/problem.hpp"
+
+#include <numeric>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+const char* reward_shape_name(RewardShape shape) {
+  switch (shape) {
+    case RewardShape::kLinear:
+      return "linear";
+    case RewardShape::kBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+Problem::Problem(geo::PointSet points, std::vector<double> weights,
+                 double radius, geo::Metric metric, RewardShape shape)
+    : points_(std::move(points)),
+      weights_(std::move(weights)),
+      radius_(radius),
+      metric_(metric),
+      shape_(shape),
+      total_weight_(0.0) {
+  MMPH_REQUIRE(!points_.empty(), "Problem needs at least one point");
+  MMPH_REQUIRE(points_.size() == weights_.size(),
+               "Problem: one weight per point required");
+  MMPH_REQUIRE(radius_ > 0.0, "Problem: radius must be positive");
+  for (double w : weights_) {
+    MMPH_REQUIRE(w > 0.0, "Problem: weights must be positive");
+  }
+  total_weight_ = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+}
+
+Problem Problem::from_workload(rnd::Workload workload, double radius,
+                               geo::Metric metric, RewardShape shape) {
+  return Problem(std::move(workload.points), std::move(workload.weights),
+                 radius, metric, shape);
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,55 @@
+#include "mmph/core/reward.hpp"
+
+#include <algorithm>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+std::vector<double> fresh_residual(const Problem& problem) {
+  return std::vector<double>(problem.size(), 1.0);
+}
+
+double unit_coverage(const Problem& problem, geo::ConstVec center,
+                     std::size_t i) {
+  const double d = problem.metric().distance(center, problem.point(i));
+  if (problem.reward_shape() == RewardShape::kBinary) {
+    return d <= problem.radius() ? 1.0 : 0.0;
+  }
+  const double u = 1.0 - d / problem.radius();
+  return u > 0.0 ? u : 0.0;
+}
+
+double coverage_reward(const Problem& problem, geo::ConstVec center,
+                       std::span<const double> y) {
+  MMPH_ASSERT(y.size() == problem.size(), "coverage_reward: residual size");
+  double g = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const double u = unit_coverage(problem, center, i);
+    if (u <= 0.0) continue;
+    g += problem.weight(i) * std::min(u, y[i]);
+  }
+  return g;
+}
+
+double apply_center(const Problem& problem, geo::ConstVec center,
+                    std::span<double> y) {
+  MMPH_ASSERT(y.size() == problem.size(), "apply_center: residual size");
+  double g = 0.0;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const double u = unit_coverage(problem, center, i);
+    if (u <= 0.0) continue;
+    const double z = std::min(u, y[i]);
+    y[i] -= z;
+    g += problem.weight(i) * z;
+  }
+  return g;
+}
+
+double single_point_reward(const Problem& problem, std::size_t i,
+                           std::span<const double> y) {
+  MMPH_ASSERT(i < problem.size(), "single_point_reward: index");
+  return problem.weight(i) * y[i];
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,100 @@
+#include "mmph/core/sieve_streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/geometry/vec.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+namespace {
+
+/// One sieve: a candidate solution built greedily against its threshold.
+struct Sieve {
+  double threshold = 0.0;   // the OPT guess v
+  double value = 0.0;       // f(S) so far
+  std::vector<std::size_t> chosen;
+  std::vector<double> residual;
+};
+
+}  // namespace
+
+SieveStreamingSolver::SieveStreamingSolver(double epsilon)
+    : epsilon_(epsilon) {
+  MMPH_REQUIRE(epsilon > 0.0 && epsilon < 1.0,
+               "SieveStreamingSolver: epsilon must be in (0, 1)");
+}
+
+Solution SieveStreamingSolver::solve(const Problem& problem,
+                                     std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  const std::size_t n = problem.size();
+
+  // Pass 0 (allowed by the algorithm as running max; we precompute it for
+  // clarity): m = max singleton value. OPT is in [m, k*m].
+  double m = 0.0;
+  {
+    const std::vector<double> fresh(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      m = std::max(m, coverage_reward(problem, problem.point(i), fresh));
+    }
+  }
+  MMPH_ASSERT(m > 0.0, "sieve: max singleton value must be positive");
+
+  // Thresholds (1+eps)^j covering [m, 2*k*m].
+  std::vector<Sieve> sieves;
+  {
+    const double lo = m;
+    const double hi = 2.0 * static_cast<double>(k) * m;
+    double v = lo;
+    while (v <= hi) {
+      Sieve s;
+      s.threshold = v;
+      s.residual.assign(n, 1.0);
+      sieves.push_back(std::move(s));
+      v *= (1.0 + epsilon_);
+    }
+  }
+  last_sieves_ = sieves.size();
+
+  // One pass over the stream of candidate centers (points in arrival
+  // order). Each sieve admits the point iff its marginal gain clears the
+  // sieve's pro-rata bar.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Sieve& s : sieves) {
+      if (s.chosen.size() >= k) continue;
+      const double gain =
+          coverage_reward(problem, problem.point(i), s.residual);
+      const double bar = (s.threshold / 2.0 - s.value) /
+                         static_cast<double>(k - s.chosen.size());
+      if (gain >= bar && gain > 0.0) {
+        s.value += apply_center(problem, problem.point(i), s.residual);
+        s.chosen.push_back(i);
+      }
+    }
+  }
+
+  // Best sieve wins; ties toward the smaller threshold (deterministic).
+  const Sieve* best = &sieves.front();
+  for (const Sieve& s : sieves) {
+    if (s.value > best->value) best = &s;
+  }
+
+  // Materialize the Solution by replaying the chosen centers.
+  Solution sol;
+  sol.solver_name = name();
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(best->chosen.size());
+  sol.residual = fresh_residual(problem);
+  for (std::size_t i : best->chosen) {
+    const double g = apply_center(problem, problem.point(i), sol.residual);
+    sol.centers.push_back(problem.point(i));
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+}  // namespace mmph::core

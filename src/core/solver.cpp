@@ -1,0 +1,28 @@
+#include "mmph/core/solver.hpp"
+
+#include "mmph/core/reward.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+Solution RoundSolverBase::solve(const Problem& problem, std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  Solution sol;
+  sol.solver_name = name();
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(k);
+  sol.round_rewards.reserve(k);
+  sol.residual = fresh_residual(problem);
+
+  std::vector<double> center(problem.dim());
+  for (std::size_t j = 0; j < k; ++j) {
+    select_center(problem, sol.residual, center);
+    const double g = apply_center(problem, center, sol.residual);
+    sol.centers.push_back(center);
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,46 @@
+#include "mmph/core/submodular.hpp"
+
+#include "mmph/core/objective.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+namespace {
+
+geo::PointSet prefix(const geo::PointSet& chain, std::size_t count) {
+  geo::PointSet out(chain.dim());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(chain[i]);
+  return out;
+}
+
+}  // namespace
+
+SubmodularityViolation check_diminishing_returns(const Problem& problem,
+                                                 const geo::PointSet& chain,
+                                                 std::size_t a_size,
+                                                 std::size_t b_size,
+                                                 geo::ConstVec extra,
+                                                 double tol) {
+  MMPH_REQUIRE(a_size <= b_size && b_size <= chain.size(),
+               "check_diminishing_returns: bad prefix sizes");
+  const geo::PointSet a = prefix(chain, a_size);
+  const geo::PointSet b = prefix(chain, b_size);
+  SubmodularityViolation v;
+  v.gain_small = marginal_gain(problem, a, extra);
+  v.gain_large = marginal_gain(problem, b, extra);
+  v.violated = v.gain_small + tol < v.gain_large;
+  return v;
+}
+
+bool check_monotone(const Problem& problem, const geo::PointSet& chain,
+                    double tol) {
+  double prev = 0.0;
+  for (std::size_t t = 1; t <= chain.size(); ++t) {
+    const double f = objective_value(problem, prefix(chain, t));
+    if (f + tol < prev) return false;
+    prev = f;
+  }
+  return true;
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,65 @@
+#include "mmph/core/swap_evaluator.hpp"
+
+#include <algorithm>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/geometry/vec.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::core {
+
+SwapEvaluator::SwapEvaluator(const Problem& problem,
+                             const geo::PointSet& centers)
+    : problem_(problem), centers_(centers) {
+  MMPH_REQUIRE(centers_.dim() == problem.dim(),
+               "SwapEvaluator: center dimension mismatch");
+  MMPH_REQUIRE(!centers_.empty(), "SwapEvaluator: empty center set");
+  const std::size_t n = problem_.size();
+  const std::size_t k = centers_.size();
+  units_.assign(k * n, 0.0);
+  totals_.assign(n, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = unit_coverage(problem_, centers_[j], i);
+      units_[j * n + i] = u;
+      totals_[i] += u;
+    }
+  }
+  value_ = evaluate_totals(totals_);
+}
+
+double SwapEvaluator::evaluate_totals(
+    const std::vector<double>& totals) const {
+  double f = 0.0;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    f += problem_.weight(i) * std::min(totals[i], 1.0);
+  }
+  return f;
+}
+
+double SwapEvaluator::value_with_swap(std::size_t j,
+                                      geo::ConstVec candidate) const {
+  MMPH_REQUIRE(j < centers_.size(), "SwapEvaluator: center index");
+  const std::size_t n = problem_.size();
+  double f = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u_new = unit_coverage(problem_, candidate, i);
+    const double total = totals_[i] - units_[j * n + i] + u_new;
+    f += problem_.weight(i) * std::min(total, 1.0);
+  }
+  return f;
+}
+
+void SwapEvaluator::commit_swap(std::size_t j, geo::ConstVec candidate) {
+  MMPH_REQUIRE(j < centers_.size(), "SwapEvaluator: center index");
+  const std::size_t n = problem_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u_new = unit_coverage(problem_, candidate, i);
+    totals_[i] += u_new - units_[j * n + i];
+    units_[j * n + i] = u_new;
+  }
+  geo::assign(centers_.mutable_point(j), candidate);
+  value_ = evaluate_totals(totals_);
+}
+
+}  // namespace mmph::core

@@ -1,0 +1,106 @@
+#include "mmph/exp/experiment.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/parallel/parallel_for.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::exp {
+
+TrialResult run_trial(const TrialSetup& setup,
+                      const std::vector<std::string>& solvers,
+                      bool with_exhaustive, rnd::Rng& rng) {
+  rnd::WorkloadSpec spec;
+  spec.n = setup.n;
+  spec.dim = setup.dim;
+  spec.box_side = setup.box_side;
+  spec.placement = setup.placement;
+  spec.weights = setup.weights;
+  spec.weight_lo = setup.weight_lo;
+  spec.weight_hi = setup.weight_hi;
+
+  const core::Problem problem = core::Problem::from_workload(
+      rnd::generate_workload(spec, rng), setup.radius, setup.metric,
+      setup.shape);
+
+  TrialResult result;
+  result.exhaustive_reward = std::nan("");
+  if (with_exhaustive) {
+    // The exhaustive DFS already parallelizes internally when invoked from
+    // a serial context; inside a parallel sweep the outer parallelism is
+    // enough, and nesting would oversubscribe, so run it serially here.
+    core::ExhaustiveOptions opts;
+    opts.parallel = false;
+    const core::ExhaustiveSolver ex = core::ExhaustiveSolver::over_grid_and_points(
+        problem, setup.solver_config.grid_pitch, opts);
+    result.exhaustive_reward = ex.solve(problem, setup.k).total_reward;
+  }
+  for (const std::string& name : solvers) {
+    const auto solver = core::make_solver(name, problem, setup.solver_config);
+    result.rewards[name] = solver->solve(problem, setup.k).total_reward;
+  }
+  return result;
+}
+
+CellStats run_cell(const TrialSetup& setup,
+                   const std::vector<std::string>& solvers,
+                   bool with_exhaustive, std::size_t trials,
+                   std::uint64_t base_seed) {
+  MMPH_REQUIRE(trials >= 1, "run_cell: need at least one trial");
+  CellStats cell;
+  cell.setup = setup;
+  cell.trials = trials;
+
+  // One result slot per trial keeps aggregation order deterministic
+  // regardless of which worker finishes first.
+  std::vector<TrialResult> results(trials);
+  const rnd::Rng base(base_seed);
+  par::parallel_for(
+      par::ThreadPool::global(), 0, trials,
+      [&](std::size_t t) {
+        rnd::Rng rng = base.fork(t);
+        results[t] = run_trial(setup, solvers, with_exhaustive, rng);
+      },
+      /*grain=*/1);
+
+  for (const TrialResult& r : results) {
+    if (with_exhaustive) {
+      MMPH_ASSERT(r.exhaustive_reward > 0.0,
+                  "exhaustive optimum should be positive");
+      cell.exhaustive.add(r.exhaustive_reward);
+    }
+    for (const auto& [name, reward] : r.rewards) {
+      cell.reward[name].add(reward);
+      if (with_exhaustive) {
+        cell.ratio[name].add(reward / r.exhaustive_reward);
+      }
+    }
+  }
+  return cell;
+}
+
+std::vector<CellStats> run_sweep(TrialSetup base,
+                                 const std::vector<std::size_t>& ks,
+                                 const std::vector<double>& rs,
+                                 const std::vector<std::string>& solvers,
+                                 bool with_exhaustive, std::size_t trials,
+                                 std::uint64_t base_seed) {
+  std::vector<CellStats> rows;
+  rows.reserve(ks.size() * rs.size());
+  std::uint64_t cell_index = 0;
+  for (std::size_t k : ks) {
+    for (double r : rs) {
+      TrialSetup setup = base;
+      setup.k = k;
+      setup.radius = r;
+      rows.push_back(run_cell(setup, solvers, with_exhaustive, trials,
+                              base_seed + 7919 * cell_index));
+      ++cell_index;
+    }
+  }
+  return rows;
+}
+
+}  // namespace mmph::exp

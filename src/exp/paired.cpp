@@ -1,0 +1,47 @@
+#include "mmph/exp/paired.hpp"
+
+#include <cmath>
+
+#include "mmph/io/stats.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::exp {
+
+PairedComparison paired_compare(std::span<const double> a,
+                                std::span<const double> b, double tie_tol) {
+  MMPH_REQUIRE(a.size() == b.size(),
+               "paired_compare: sample sizes must match");
+  MMPH_REQUIRE(!a.empty(), "paired_compare: empty samples");
+  MMPH_REQUIRE(tie_tol >= 0.0, "paired_compare: negative tie tolerance");
+
+  PairedComparison cmp;
+  cmp.samples = a.size();
+  io::RunningStats diff;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    diff.add(d);
+    if (d > tie_tol) {
+      ++cmp.wins_a;
+    } else if (d < -tie_tol) {
+      ++cmp.wins_b;
+    } else {
+      ++cmp.ties;
+    }
+  }
+  cmp.mean_diff = diff.mean();
+  cmp.stddev_diff = diff.stddev();
+  if (cmp.stddev_diff > 0.0 && cmp.samples >= 2) {
+    cmp.t_statistic = cmp.mean_diff /
+                      (cmp.stddev_diff /
+                       std::sqrt(static_cast<double>(cmp.samples)));
+  } else {
+    // Zero variance: any nonzero mean difference is trivially significant.
+    cmp.t_statistic = cmp.mean_diff == 0.0
+                          ? 0.0
+                          : std::copysign(1e9, cmp.mean_diff);
+  }
+  cmp.significant_95 = std::fabs(cmp.t_statistic) > 1.96;
+  return cmp;
+}
+
+}  // namespace mmph::exp

@@ -1,0 +1,82 @@
+#include "mmph/exp/report.hpp"
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::exp {
+
+io::Table ratio_table(const std::vector<CellStats>& cells,
+                      const std::vector<std::string>& solvers) {
+  std::vector<std::string> headers{"n", "k", "r"};
+  for (const std::string& s : solvers) headers.push_back("ratio(" + s + ")");
+  headers.push_back("approx.1");
+  headers.push_back("approx.2");
+  io::Table table(std::move(headers));
+  for (const CellStats& cell : cells) {
+    std::vector<std::string> row{std::to_string(cell.setup.n),
+                                 std::to_string(cell.setup.k),
+                                 io::fixed(cell.setup.radius, 1)};
+    for (const std::string& s : solvers) {
+      const auto it = cell.ratio.find(s);
+      MMPH_ASSERT(it != cell.ratio.end(), "ratio_table: missing solver");
+      row.push_back(io::fixed(it->second.mean(), 4));
+    }
+    row.push_back(
+        io::fixed(core::approx_ratio_round_based(cell.setup.k), 4));
+    row.push_back(io::fixed(
+        core::approx_ratio_local_greedy(cell.setup.n, cell.setup.k), 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+io::Table reward_table(const std::vector<CellStats>& cells,
+                       const std::vector<std::string>& solvers) {
+  std::vector<std::string> headers{"n", "k", "r"};
+  for (const std::string& s : solvers) headers.push_back("reward(" + s + ")");
+  io::Table table(std::move(headers));
+  for (const CellStats& cell : cells) {
+    std::vector<std::string> row{std::to_string(cell.setup.n),
+                                 std::to_string(cell.setup.k),
+                                 io::fixed(cell.setup.radius, 1)};
+    for (const std::string& s : solvers) {
+      const auto it = cell.reward.find(s);
+      MMPH_ASSERT(it != cell.reward.end(), "reward_table: missing solver");
+      row.push_back(io::fixed(it->second.mean(), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::map<std::string, double> overall_ratio_means(
+    const std::vector<CellStats>& cells,
+    const std::vector<std::string>& solvers) {
+  std::map<std::string, double> out;
+  for (const std::string& s : solvers) {
+    io::RunningStats pooled;
+    for (const CellStats& cell : cells) {
+      const auto it = cell.ratio.find(s);
+      if (it != cell.ratio.end()) pooled.merge(it->second);
+    }
+    out[s] = pooled.mean();
+  }
+  return out;
+}
+
+std::map<std::string, double> overall_reward_means(
+    const std::vector<CellStats>& cells,
+    const std::vector<std::string>& solvers) {
+  std::map<std::string, double> out;
+  for (const std::string& s : solvers) {
+    io::RunningStats pooled;
+    for (const CellStats& cell : cells) {
+      const auto it = cell.reward.find(s);
+      if (it != cell.reward.end()) pooled.merge(it->second);
+    }
+    out[s] = pooled.mean();
+  }
+  return out;
+}
+
+}  // namespace mmph::exp

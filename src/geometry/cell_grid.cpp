@@ -1,0 +1,110 @@
+#include "mmph/geometry/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+CellGrid::CellGrid(const PointSet& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  MMPH_REQUIRE(cell_size > 0.0, "CellGrid: cell size must be positive");
+  MMPH_REQUIRE(!points.empty(), "CellGrid: empty point set");
+  box_ = points.bounding_box();
+
+  const std::size_t dim = points.dim();
+  dims_.resize(dim);
+  std::size_t total_cells = 1;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double span = box_.hi[d] - box_.lo[d];
+    dims_[d] = static_cast<std::size_t>(std::floor(span / cell_size_)) + 1;
+    MMPH_REQUIRE(total_cells <= (1u << 28) / dims_[d] + 1,
+                 "CellGrid: too many cells; increase cell_size");
+    total_cells *= dims_[d];
+  }
+  MMPH_REQUIRE(total_cells <= (1u << 28),
+               "CellGrid: too many cells; increase cell_size");
+
+  // Counting-sort points into cells (CSR layout: two passes, no per-cell
+  // vectors, cache-friendly iteration).
+  const std::size_t n = points.size();
+  cell_of_point_.resize(n);
+  std::vector<std::size_t> coords(dim);
+  std::vector<std::size_t> counts(total_cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ConstVec p = points[i];
+    for (std::size_t d = 0; d < dim; ++d) coords[d] = cell_coord(p[d], d);
+    const std::size_t cell = flatten(coords);
+    cell_of_point_[i] = cell;
+    ++counts[cell + 1];
+  }
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    if (counts[c + 1] > 0) ++occupied_cells_;
+    counts[c + 1] += counts[c];
+  }
+  cell_start_ = counts;
+  cell_items_.resize(n);
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_items_[cursor[cell_of_point_[i]]++] = i;
+  }
+}
+
+std::size_t CellGrid::cell_coord(double v, std::size_t d) const {
+  if (v <= box_.lo[d]) return 0;
+  const std::size_t c =
+      static_cast<std::size_t>(std::floor((v - box_.lo[d]) / cell_size_));
+  return std::min(c, dims_[d] - 1);
+}
+
+std::size_t CellGrid::flatten(std::span<const std::size_t> coords) const {
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    flat = flat * dims_[d] + coords[d];
+  }
+  return flat;
+}
+
+void CellGrid::for_each_in_box(
+    ConstVec center, double radius,
+    const std::function<void(std::size_t)>& fn) const {
+  MMPH_REQUIRE(center.size() == points_.dim(),
+               "CellGrid: query dimension mismatch");
+  MMPH_REQUIRE(radius >= 0.0, "CellGrid: negative query radius");
+  const std::size_t dim = points_.dim();
+  std::vector<std::size_t> lo(dim), hi(dim), cur(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    lo[d] = cell_coord(center[d] - radius, d);
+    hi[d] = cell_coord(center[d] + radius, d);
+    cur[d] = lo[d];
+  }
+  // Odometer over the cell box.
+  for (;;) {
+    const std::size_t cell = flatten(cur);
+    for (std::size_t s = cell_start_[cell]; s < cell_start_[cell + 1]; ++s) {
+      fn(cell_items_[s]);
+    }
+    bool advanced = false;
+    for (std::size_t d = dim; d-- > 0;) {
+      if (++cur[d] <= hi[d]) {
+        advanced = true;
+        break;
+      }
+      cur[d] = lo[d];
+    }
+    if (!advanced) return;
+  }
+}
+
+std::vector<std::size_t> CellGrid::query_ball(ConstVec center, double radius,
+                                              const Metric& metric) const {
+  std::vector<std::size_t> out;
+  for_each_in_box(center, radius, [&](std::size_t i) {
+    if (metric.distance(center, points_[i]) <= radius) out.push_back(i);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mmph::geo

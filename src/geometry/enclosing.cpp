@@ -1,0 +1,24 @@
+#include "mmph/geometry/enclosing.hpp"
+
+namespace mmph::geo {
+
+Ball smallest_enclosing(const PointSet& ps, const Metric& metric,
+                        L1CenterRule l1_rule) {
+  if (ps.empty()) return Ball{};
+  switch (metric.norm()) {
+    case Norm::kL2:
+      return smallest_enclosing_ball_l2(ps);
+    case Norm::kLinf:
+      return enclosing_box_linf(ps);
+    case Norm::kL1:
+      if (l1_rule == L1CenterRule::kExactIfPossible && ps.dim() == 2) {
+        return enclosing_ball_l1_2d(ps);
+      }
+      return enclosing_ball_l1_projection(ps);
+    case Norm::kLp:
+      return approx_enclosing_ball(ps, metric);
+  }
+  return Ball{};  // unreachable
+}
+
+}  // namespace mmph::geo

@@ -1,0 +1,230 @@
+#include "mmph/geometry/enclosing_ball.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+namespace {
+
+// SplitMix64 step; local to avoid a dependency on mmph::random (geometry
+// sits below it in the layering).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Solves the (m x m) linear system A x = b in place by Gaussian elimination
+// with partial pivoting. Returns false when the system is numerically
+// singular (pivot below tol).
+bool solve_inplace(std::vector<double>& a, std::vector<double>& b,
+                   std::size_t m, double tol = 1e-12) {
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t piv = col;
+    double best = std::fabs(a[col * m + col]);
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double v = std::fabs(a[row * m + col]);
+      if (v > best) {
+        best = v;
+        piv = row;
+      }
+    }
+    if (best < tol) return false;
+    if (piv != col) {
+      for (std::size_t j = 0; j < m; ++j) {
+        std::swap(a[piv * m + j], a[col * m + j]);
+      }
+      std::swap(b[piv], b[col]);
+    }
+    const double inv = 1.0 / a[col * m + col];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double f = a[row * m + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < m; ++j) {
+        a[row * m + j] -= f * a[col * m + j];
+      }
+      b[row] -= f * b[col];
+    }
+  }
+  for (std::size_t col = m; col-- > 0;) {
+    double s = b[col];
+    for (std::size_t j = col + 1; j < m; ++j) s -= a[col * m + j] * b[j];
+    b[col] = s / a[col * m + col];
+  }
+  return true;
+}
+
+// Circumball of `count` support rows taken from `rows` (a PointSet-like flat
+// buffer of dimension dim). count <= dim + 1 is assumed by the recursion.
+Ball circumball_rows(const double* rows, std::size_t count, std::size_t dim) {
+  Ball ball;
+  if (count == 0) return ball;  // empty
+  if (count == 1) {
+    ball.center.assign(rows, rows + dim);
+    ball.radius = 0.0;
+    return ball;
+  }
+  // With p0 as origin and Q_i = p_i - p0 (i = 1..m), the center c = p0 + sum
+  // lambda_i Q_i satisfies 2 Q_i . (c - p0) = |Q_i|^2, i.e. C lambda = rhs
+  // with C_ij = 2 Q_i . Q_j, rhs_i = |Q_i|^2.
+  const std::size_t m = count - 1;
+  const double* p0 = rows;
+  std::vector<double> q(m * dim);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* pi = rows + (i + 1) * dim;
+    for (std::size_t d = 0; d < dim; ++d) q[i * dim + d] = pi[d] - p0[d];
+  }
+  std::vector<double> a(m * m);
+  std::vector<double> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ConstVec qi(q.data() + i * dim, dim);
+    for (std::size_t j = 0; j < m; ++j) {
+      ConstVec qj(q.data() + j * dim, dim);
+      a[i * m + j] = 2.0 * dot(qi, qj);
+    }
+    rhs[i] = norm2_sq(qi);
+  }
+  if (!solve_inplace(a, rhs, m)) {
+    // Affinely dependent support: drop the last point and retry. The Welzl
+    // recursion only reaches this with degenerate input geometry.
+    return circumball_rows(rows, count - 1, dim);
+  }
+  ball.center.assign(p0, p0 + dim);
+  for (std::size_t i = 0; i < m; ++i) {
+    add_scaled(ball.center, rhs[i], ConstVec(q.data() + i * dim, dim));
+  }
+  ball.radius = l2_distance(ball.center, ConstVec(p0, dim));
+  return ball;
+}
+
+// Welzl move-to-front recursion over an index permutation.
+//
+// perm[0..n) are indices into ps; support is a flat buffer of at most
+// dim+1 rows. Mutates perm (move-to-front) which is what gives the expected
+// linear running time on re-queries.
+class WelzlSolver {
+ public:
+  WelzlSolver(const PointSet& ps, std::vector<std::size_t> perm)
+      : ps_(ps), perm_(std::move(perm)), dim_(ps.dim()) {
+    support_.reserve((dim_ + 1) * dim_);
+  }
+
+  Ball run() { return mtf(perm_.size()); }
+
+ private:
+  Ball ball_of_support() {
+    return circumball_rows(support_.data(), support_.size() / dim_, dim_);
+  }
+
+  Ball mtf(std::size_t n) {
+    Ball ball = ball_of_support();
+    if (support_.size() / dim_ == dim_ + 1) return ball;
+    for (std::size_t i = 0; i < n; ++i) {
+      ConstVec p = ps_[perm_[i]];
+      if (!ball.is_empty() &&
+          l2_distance(ball.center, p) <= ball.radius + kTol) {
+        continue;
+      }
+      // p is outside the ball of the first i points: it must be on the
+      // boundary of the ball of the first i+1. Recurse with p in support.
+      support_.insert(support_.end(), p.begin(), p.end());
+      ball = mtf(i);
+      support_.resize(support_.size() - dim_);
+      // Move-to-front: keeps frequently-binding points early.
+      const std::size_t idx = perm_[i];
+      for (std::size_t j = i; j > 0; --j) perm_[j] = perm_[j - 1];
+      perm_[0] = idx;
+    }
+    return ball;
+  }
+
+  static constexpr double kTol = 1e-9;
+
+  const PointSet& ps_;
+  std::vector<std::size_t> perm_;
+  std::size_t dim_;
+  std::vector<double> support_;
+};
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::uint64_t state = seed;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = splitmix64(state) % i;
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Ball circumball(const PointSet& support) {
+  MMPH_REQUIRE(support.size() <= support.dim() + 1,
+               "circumball supports at most dim+1 points");
+  return circumball_rows(support.raw().data(), support.size(), support.dim());
+}
+
+Ball smallest_enclosing_ball_l2(const PointSet& ps, std::uint64_t seed) {
+  if (ps.empty()) return Ball{};
+  WelzlSolver solver(ps, shuffled_indices(ps.size(), seed));
+  return solver.run();
+}
+
+Ball smallest_enclosing_ball_l2(const PointSet& ps,
+                                std::span<const std::size_t> idx,
+                                std::uint64_t seed) {
+  if (idx.empty()) return Ball{};
+  std::vector<std::size_t> perm(idx.begin(), idx.end());
+  std::uint64_t state = seed;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const std::size_t j = splitmix64(state) % i;
+    std::swap(perm[i - 1], perm[j]);
+  }
+  for (std::size_t i : perm) {
+    MMPH_REQUIRE(i < ps.size(), "enclosing ball: subset index out of range");
+  }
+  WelzlSolver solver(ps, std::move(perm));
+  return solver.run();
+}
+
+Ball approx_enclosing_ball(const PointSet& ps, const Metric& metric,
+                           std::size_t iterations) {
+  if (ps.empty()) return Ball{};
+  Ball ball;
+  ball.center = ps.centroid();
+  // Badoiu–Clarkson: repeatedly step 1/(t+1) of the way toward the current
+  // farthest point. Converges to the L2 optimum; a good heuristic for other
+  // norms (callers needing exactness use the norm-specific solvers).
+  for (std::size_t t = 0; t < iterations; ++t) {
+    double far_d = -1.0;
+    std::size_t far_i = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const double d = metric.distance(ball.center, ps[i]);
+      if (d > far_d) {
+        far_d = d;
+        far_i = i;
+      }
+    }
+    if (far_d == 0.0) break;
+    const double step = 1.0 / static_cast<double>(t + 2);
+    ConstVec far_p = ps[far_i];
+    for (std::size_t d = 0; d < ps.dim(); ++d) {
+      ball.center[d] += step * (far_p[d] - ball.center[d]);
+    }
+  }
+  double r = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    r = std::max(r, metric.distance(ball.center, ps[i]));
+  }
+  ball.radius = r;
+  return ball;
+}
+
+}  // namespace mmph::geo

@@ -1,0 +1,57 @@
+#include "mmph/geometry/enclosing_l1.hpp"
+
+#include <algorithm>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+Ball enclosing_box_linf(const PointSet& ps) {
+  if (ps.empty()) return Ball{};
+  const Box box = ps.bounding_box();
+  Ball ball;
+  ball.center = box.center();
+  ball.radius = 0.0;
+  for (std::size_t d = 0; d < box.dim(); ++d) {
+    ball.radius = std::max(ball.radius, 0.5 * (box.hi[d] - box.lo[d]));
+  }
+  return ball;
+}
+
+Ball enclosing_ball_l1_projection(const PointSet& ps) {
+  if (ps.empty()) return Ball{};
+  const Box box = ps.bounding_box();
+  Ball ball;
+  ball.center = box.center();
+  ball.radius = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ball.radius = std::max(ball.radius, l1_distance(ball.center, ps[i]));
+  }
+  return ball;
+}
+
+Ball enclosing_ball_l1_2d(const PointSet& ps) {
+  MMPH_REQUIRE(ps.dim() == 2, "enclosing_ball_l1_2d requires 2-D points");
+  if (ps.empty()) return Ball{};
+  // Rotate into (u, v) = (x+y, x-y): 1-norm distance in (x, y) equals
+  // infinity-norm distance in (u, v). The smallest Linf cube there is the
+  // bounding-box midpoint; rotate its center back.
+  double ulo = ps[0][0] + ps[0][1], uhi = ulo;
+  double vlo = ps[0][0] - ps[0][1], vhi = vlo;
+  for (std::size_t i = 1; i < ps.size(); ++i) {
+    const double u = ps[i][0] + ps[i][1];
+    const double v = ps[i][0] - ps[i][1];
+    ulo = std::min(ulo, u);
+    uhi = std::max(uhi, u);
+    vlo = std::min(vlo, v);
+    vhi = std::max(vhi, v);
+  }
+  const double uc = 0.5 * (ulo + uhi);
+  const double vc = 0.5 * (vlo + vhi);
+  Ball ball;
+  ball.center = {0.5 * (uc + vc), 0.5 * (uc - vc)};
+  ball.radius = std::max(0.5 * (uhi - ulo), 0.5 * (vhi - vlo));
+  return ball;
+}
+
+}  // namespace mmph::geo

@@ -1,0 +1,221 @@
+#include "mmph/geometry/kd_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+KdTree::KdTree(const PointSet& points, std::size_t leaf_size)
+    : points_(points) {
+  MMPH_REQUIRE(!points.empty(), "KdTree: empty point set");
+  MMPH_REQUIRE(leaf_size >= 1, "KdTree: leaf_size must be >= 1");
+  order_.resize(points.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  nodes_.reserve(2 * points.size() / leaf_size + 2);
+  (void)build(0, order_.size(), leaf_size);
+}
+
+std::size_t KdTree::build(std::size_t begin, std::size_t end,
+                          std::size_t leaf_size) {
+  const std::size_t id = nodes_.size();
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    const std::size_t dim = points_.dim();
+    node.lo.assign(points_[order_[begin]].begin(),
+                   points_[order_[begin]].end());
+    node.hi = node.lo;
+    for (std::size_t s = begin + 1; s < end; ++s) {
+      ConstVec p = points_[order_[s]];
+      for (std::size_t d = 0; d < dim; ++d) {
+        node.lo[d] = std::min(node.lo[d], p[d]);
+        node.hi[d] = std::max(node.hi[d], p[d]);
+      }
+    }
+  }
+  if (end - begin <= leaf_size) return id;
+
+  // Split on the widest dimension at the median (nth_element keeps the
+  // build O(n log n) without a full sort).
+  std::size_t split_dim = 0;
+  {
+    const Node& node = nodes_[id];
+    double widest = -1.0;
+    for (std::size_t d = 0; d < points_.dim(); ++d) {
+      const double w = node.hi[d] - node.lo[d];
+      if (w > widest) {
+        widest = w;
+        split_dim = d;
+      }
+    }
+    if (widest <= 0.0) return id;  // all points identical: stay a leaf
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     if (points_[a][split_dim] != points_[b][split_dim]) {
+                       return points_[a][split_dim] < points_[b][split_dim];
+                     }
+                     return a < b;  // deterministic total order
+                   });
+
+  const std::size_t left = build(begin, mid, leaf_size);
+  const std::size_t right = build(mid, end, leaf_size);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+double KdTree::box_distance(const Node& node, ConstVec q,
+                            const Metric& metric) const {
+  // Distance from q to its closest point inside the node's box: clamp q
+  // into the box and measure. Valid for every p-norm (the clamped point
+  // minimizes every coordinate difference simultaneously).
+  static thread_local std::vector<double> clamped;
+  clamped.resize(q.size());
+  for (std::size_t d = 0; d < q.size(); ++d) {
+    clamped[d] = std::clamp(q[d], node.lo[d], node.hi[d]);
+  }
+  return metric.distance(q, clamped);
+}
+
+void KdTree::search(std::size_t node_id, ConstVec center, double radius,
+                    const Metric& metric,
+                    const std::function<void(std::size_t)>& fn) const {
+  const Node& node = nodes_[node_id];
+  if (box_distance(node, center, metric) > radius) return;
+  if (node.left == 0) {  // leaf
+    for (std::size_t s = node.begin; s < node.end; ++s) {
+      const std::size_t i = order_[s];
+      if (metric.distance(center, points_[i]) <= radius) fn(i);
+    }
+    return;
+  }
+  search(node.left, center, radius, metric, fn);
+  search(node.right, center, radius, metric, fn);
+}
+
+void KdTree::for_each_in_ball(
+    ConstVec center, double radius, const Metric& metric,
+    const std::function<void(std::size_t)>& fn) const {
+  MMPH_REQUIRE(center.size() == points_.dim(),
+               "KdTree: query dimension mismatch");
+  MMPH_REQUIRE(radius >= 0.0, "KdTree: negative query radius");
+  search(0, center, radius, metric, fn);
+}
+
+std::vector<std::size_t> KdTree::query_ball(ConstVec center, double radius,
+                                            const Metric& metric) const {
+  std::vector<std::size_t> out;
+  for_each_in_ball(center, radius, metric,
+                   [&](std::size_t i) { out.push_back(i); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void KdTree::nearest_impl(std::size_t node_id, ConstVec center,
+                          const Metric& metric, double& best_d,
+                          std::size_t& best_i) const {
+  const Node& node = nodes_[node_id];
+  if (box_distance(node, center, metric) >= best_d) return;
+  if (node.left == 0) {
+    for (std::size_t s = node.begin; s < node.end; ++s) {
+      const std::size_t i = order_[s];
+      const double d = metric.distance(center, points_[i]);
+      if (d < best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    return;
+  }
+  // Visit the closer child first for tighter early bounds.
+  const double dl = box_distance(nodes_[node.left], center, metric);
+  const double dr = box_distance(nodes_[node.right], center, metric);
+  if (dl <= dr) {
+    nearest_impl(node.left, center, metric, best_d, best_i);
+    nearest_impl(node.right, center, metric, best_d, best_i);
+  } else {
+    nearest_impl(node.right, center, metric, best_d, best_i);
+    nearest_impl(node.left, center, metric, best_d, best_i);
+  }
+}
+
+std::size_t KdTree::nearest(ConstVec center, const Metric& metric) const {
+  MMPH_REQUIRE(center.size() == points_.dim(),
+               "KdTree: query dimension mismatch");
+  double best_d = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  nearest_impl(0, center, metric, best_d, best_i);
+  return best_i;
+}
+
+std::vector<std::size_t> KdTree::k_nearest(ConstVec center, std::size_t k,
+                                           const Metric& metric) const {
+  MMPH_REQUIRE(center.size() == points_.dim(),
+               "KdTree: query dimension mismatch");
+  MMPH_REQUIRE(k >= 1, "KdTree: k_nearest needs k >= 1");
+  k = std::min(k, size());
+
+  // Bounded max-heap of (distance, index); the root is the current k-th
+  // nearest, which prunes subtrees farther than it.
+  using Entry = std::pair<double, std::size_t>;
+  std::vector<Entry> heap;
+  heap.reserve(k);
+  const auto worst = [&] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+
+  // Iterative best-first traversal with an explicit stack (visit closer
+  // child first; prune by box distance against the current k-th).
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (box_distance(node, center, metric) > worst()) continue;
+    if (node.left == 0) {
+      for (std::size_t s = node.begin; s < node.end; ++s) {
+        const std::size_t i = order_[s];
+        const double d = metric.distance(center, points_[i]);
+        if (d < worst() ||
+            (heap.size() < k && d <= worst())) {
+          if (heap.size() == k) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.pop_back();
+          }
+          heap.emplace_back(d, i);
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+      continue;
+    }
+    // Push the farther child first so the closer one is processed first.
+    const double dl = box_distance(nodes_[node.left], center, metric);
+    const double dr = box_distance(nodes_[node.right], center, metric);
+    if (dl <= dr) {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+
+  std::sort(heap.begin(), heap.end());
+  std::vector<std::size_t> out;
+  out.reserve(heap.size());
+  for (const Entry& e : heap) out.push_back(e.second);
+  return out;
+}
+
+}  // namespace mmph::geo

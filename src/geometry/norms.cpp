@@ -1,0 +1,123 @@
+#include "mmph/geometry/norms.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+Norm parse_norm(const std::string& text) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text) t.push_back(static_cast<char>(std::tolower(c)));
+  if (t == "l1" || t == "1") return Norm::kL1;
+  if (t == "l2" || t == "2") return Norm::kL2;
+  if (t == "linf" || t == "inf" || t == "chebyshev") return Norm::kLinf;
+  throw ParseError("unknown norm: '" + text + "' (expected l1|l2|linf)");
+}
+
+const char* norm_name(Norm n) {
+  switch (n) {
+    case Norm::kL1:
+      return "L1";
+    case Norm::kL2:
+      return "L2";
+    case Norm::kLinf:
+      return "Linf";
+    case Norm::kLp:
+      return "Lp";
+  }
+  return "?";
+}
+
+Metric::Metric(Norm n) : norm_(n), p_(2.0) {
+  MMPH_REQUIRE(n != Norm::kLp,
+               "use Metric(double p) for a general p-norm");
+  switch (n) {
+    case Norm::kL1:
+      p_ = 1.0;
+      break;
+    case Norm::kL2:
+      p_ = 2.0;
+      break;
+    case Norm::kLinf:
+      p_ = std::numeric_limits<double>::infinity();
+      break;
+    case Norm::kLp:
+      break;
+  }
+}
+
+Metric::Metric(double p) : norm_(Norm::kLp), p_(p) {
+  MMPH_REQUIRE(p >= 1.0, "p-norm requires p >= 1");
+  if (p == 1.0) {
+    norm_ = Norm::kL1;
+  } else if (p == 2.0) {
+    norm_ = Norm::kL2;
+  } else if (std::isinf(p)) {
+    norm_ = Norm::kLinf;
+  }
+}
+
+double l1_distance(ConstVec a, ConstVec b) {
+  MMPH_ASSERT(a.size() == b.size(), "l1_distance: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+double l2_distance(ConstVec a, ConstVec b) {
+  return std::sqrt(dist2_sq(a, b));
+}
+
+double linf_distance(ConstVec a, ConstVec b) {
+  MMPH_ASSERT(a.size() == b.size(), "linf_distance: dimension mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double lp_distance(ConstVec a, ConstVec b, double p) {
+  MMPH_ASSERT(a.size() == b.size(), "lp_distance: dimension mismatch");
+  // Scale by the max component so pow() stays well-conditioned.
+  double mx = linf_distance(a, b);
+  if (mx == 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += std::pow(std::fabs(a[i] - b[i]) / mx, p);
+  }
+  return mx * std::pow(s, 1.0 / p);
+}
+
+double Metric::distance(ConstVec a, ConstVec b) const {
+  switch (norm_) {
+    case Norm::kL1:
+      return l1_distance(a, b);
+    case Norm::kL2:
+      return l2_distance(a, b);
+    case Norm::kLinf:
+      return linf_distance(a, b);
+    case Norm::kLp:
+      return lp_distance(a, b, p_);
+  }
+  return 0.0;  // unreachable
+}
+
+double Metric::length(ConstVec v) const {
+  static thread_local std::vector<double> origin;
+  origin.assign(v.size(), 0.0);
+  return distance(v, origin);
+}
+
+std::string Metric::name() const {
+  if (norm_ != Norm::kLp) return norm_name(norm_);
+  std::ostringstream os;
+  os << "Lp(p=" << p_ << ")";
+  return os.str();
+}
+
+}  // namespace mmph::geo

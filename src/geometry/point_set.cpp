@@ -1,0 +1,79 @@
+#include "mmph/geometry/point_set.hpp"
+
+#include <algorithm>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::geo {
+
+std::vector<double> Box::center() const {
+  std::vector<double> c(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) c[d] = 0.5 * (lo[d] + hi[d]);
+  return c;
+}
+
+bool Box::contains(ConstVec p, double tol) const {
+  if (p.size() != lo.size()) return false;
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (p[d] < lo[d] - tol || p[d] > hi[d] + tol) return false;
+  }
+  return true;
+}
+
+PointSet::PointSet(std::size_t dim) : dim_(dim) {
+  MMPH_REQUIRE(dim >= 1, "PointSet dimension must be >= 1");
+}
+
+PointSet::PointSet(std::size_t dim, std::vector<double> coords)
+    : dim_(dim), coords_(std::move(coords)) {
+  MMPH_REQUIRE(dim >= 1, "PointSet dimension must be >= 1");
+  MMPH_REQUIRE(coords_.size() % dim_ == 0,
+               "coordinate block size must be a multiple of dim");
+}
+
+PointSet PointSet::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  MMPH_REQUIRE(rows.size() > 0, "from_rows: need at least one row");
+  const std::size_t dim = rows.begin()->size();
+  PointSet ps(dim);
+  ps.reserve(rows.size());
+  for (const auto& row : rows) {
+    MMPH_REQUIRE(row.size() == dim, "from_rows: ragged rows");
+    ps.coords_.insert(ps.coords_.end(), row.begin(), row.end());
+  }
+  return ps;
+}
+
+void PointSet::push_back(ConstVec p) {
+  MMPH_REQUIRE(p.size() == dim_, "push_back: wrong point dimension");
+  coords_.insert(coords_.end(), p.begin(), p.end());
+}
+
+Box PointSet::bounding_box() const {
+  MMPH_REQUIRE(!empty(), "bounding_box of empty point set");
+  Box box;
+  box.lo.assign((*this)[0].begin(), (*this)[0].end());
+  box.hi = box.lo;
+  for (std::size_t i = 1; i < size(); ++i) {
+    ConstVec p = (*this)[i];
+    for (std::size_t d = 0; d < dim_; ++d) {
+      box.lo[d] = std::min(box.lo[d], p[d]);
+      box.hi[d] = std::max(box.hi[d], p[d]);
+    }
+  }
+  return box;
+}
+
+std::vector<double> PointSet::centroid() const {
+  MMPH_REQUIRE(!empty(), "centroid of empty point set");
+  std::vector<double> c(dim_, 0.0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    ConstVec p = (*this)[i];
+    for (std::size_t d = 0; d < dim_; ++d) c[d] += p[d];
+  }
+  const double inv = 1.0 / static_cast<double>(size());
+  for (double& v : c) v *= inv;
+  return c;
+}
+
+}  // namespace mmph::geo

@@ -1,0 +1,102 @@
+#include "mmph/io/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "mmph/support/error.hpp"
+
+namespace mmph::io {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw ParseError("unexpected argument '" + token +
+                       "' (flags look like --name[=value])");
+    }
+    token.erase(0, 2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  const bool present = values_.count(name) > 0;
+  if (present) consumed_.insert(name);
+  return present;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_.insert(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("flag --" + name + " expects an integer, got '" +
+                     it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_.insert(name);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("flag --" + name + " expects a number, got '" +
+                     it->second + "'");
+  }
+}
+
+std::string Args::get_string(const std::string& name, std::string fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_.insert(name);
+  return it->second;
+}
+
+bool Args::get_flag(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_.insert(name);
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ParseError("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+void Args::finish() const {
+  std::ostringstream unknown;
+  bool any = false;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!consumed_.count(key)) {
+      unknown << (any ? ", " : "") << "--" << key;
+      any = true;
+    }
+  }
+  if (any) {
+    throw ParseError("unknown flag(s): " + unknown.str());
+  }
+}
+
+}  // namespace mmph::io

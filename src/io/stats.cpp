@@ -1,0 +1,78 @@
+#include "mmph/io/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::io {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile_inplace(std::vector<double>& sample, double q) {
+  MMPH_REQUIRE(!sample.empty(), "percentile of empty sample");
+  MMPH_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+double percentile(std::vector<double> sample, double q) {
+  return percentile_inplace(sample, q);
+}
+
+double jain_fairness(const std::vector<double>& x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (x.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+}  // namespace mmph::io

@@ -1,0 +1,111 @@
+#include "mmph/io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::io {
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string percent(double v, int decimals) {
+  return fixed(v * 100.0, decimals) + "%";
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MMPH_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MMPH_REQUIRE(cells.size() == headers_.size(),
+               "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  {
+    std::vector<std::string> rule(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule[c] = std::string(width[c], '-');
+    }
+    print_row(rule);
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print_markdown(std::ostream& os) const {
+  const auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (char ch : cell) {
+      if (ch == '|') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const std::string& cell : row) os << ' ' << escape(cell) << " |";
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace mmph::io

@@ -1,0 +1,92 @@
+#include "mmph/parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MMPH_REQUIRE(static_cast<bool>(task), "ThreadPool::submit: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MMPH_ASSERT(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // TaskGroup::wrap made this noexcept-in-effect
+  }
+}
+
+std::function<void()> TaskGroup::wrap(std::function<void()> task) {
+  MMPH_REQUIRE(static_cast<bool>(task), "TaskGroup::wrap: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  return [this, t = std::move(task)]() mutable {
+    try {
+      t();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    finish_one();
+  };
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskGroup::finish_one() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MMPH_ASSERT(pending_ > 0, "TaskGroup: completion underflow");
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+}  // namespace mmph::par

@@ -1,0 +1,41 @@
+#include "mmph/random/halton.hpp"
+
+#include <iterator>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+constexpr std::size_t kPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                   23, 29, 31, 37, 41, 43, 47, 53};
+
+}  // namespace
+
+double van_der_corput(std::size_t i, std::size_t base) {
+  MMPH_REQUIRE(base >= 2, "van_der_corput: base must be >= 2");
+  double f = 1.0;
+  double r = 0.0;
+  std::size_t n = i + 1;  // one-based so element 0 is not the origin
+  while (n > 0) {
+    f /= static_cast<double>(base);
+    r += f * static_cast<double>(n % base);
+    n /= base;
+  }
+  return r;
+}
+
+std::vector<double> halton_sequence(std::size_t n, std::size_t dim,
+                                    std::size_t skip) {
+  MMPH_REQUIRE(dim >= 1 && dim <= std::size(kPrimes),
+               "halton_sequence: dimension out of supported range");
+  std::vector<double> out(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      out[i * dim + d] = van_der_corput(i + skip, kPrimes[d]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmph::rnd

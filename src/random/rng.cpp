@@ -1,0 +1,53 @@
+#include "mmph/random/rng.hpp"
+
+#include <numeric>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::rnd {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  MMPH_REQUIRE(!weights.empty(), "categorical: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    MMPH_REQUIRE(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  MMPH_REQUIRE(total > 0.0, "categorical: all weights zero");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against round-off
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  MMPH_REQUIRE(n >= 1, "zipf: n must be >= 1");
+  MMPH_REQUIRE(s >= 0.0, "zipf: exponent must be >= 0");
+  // Inverse-CDF over the normalized harmonic weights. n is small in all of
+  // our workloads (<= a few thousand), so a linear scan is fine.
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    h += 1.0 / std::pow(static_cast<double>(i), s);
+  }
+  double u = uniform() * h;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (u < 0.0) return i;
+  }
+  return n;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_int(
+        0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace mmph::rnd

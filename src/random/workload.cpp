@@ -1,0 +1,137 @@
+#include "mmph/random/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "mmph/random/halton.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::rnd {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kUniform:
+      return "uniform";
+    case Placement::kHalton:
+      return "halton";
+    case Placement::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+const char* weight_scheme_name(WeightScheme s) {
+  switch (s) {
+    case WeightScheme::kSame:
+      return "same";
+    case WeightScheme::kUniformInt:
+      return "uniform-int";
+    case WeightScheme::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream os;
+  os << "n=" << n << " dim=" << dim << " box=" << box_side << "^" << dim
+     << " placement=" << placement_name(placement)
+     << " weights=" << weight_scheme_name(weights);
+  if (weights == WeightScheme::kUniformInt) {
+    os << "[" << weight_lo << "," << weight_hi << "]";
+  } else if (weights == WeightScheme::kSame) {
+    os << "=" << same_weight;
+  } else {
+    os << "(s=" << zipf_exponent << ")";
+  }
+  return os.str();
+}
+
+double Workload::total_weight() const {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+
+namespace {
+
+geo::PointSet place_points(const WorkloadSpec& spec, Rng& rng) {
+  geo::PointSet points(spec.dim);
+  points.reserve(spec.n);
+  std::vector<double> buf(spec.dim);
+  switch (spec.placement) {
+    case Placement::kUniform: {
+      for (std::size_t i = 0; i < spec.n; ++i) {
+        for (std::size_t d = 0; d < spec.dim; ++d) {
+          buf[d] = rng.uniform(0.0, spec.box_side);
+        }
+        points.push_back(buf);
+      }
+      break;
+    }
+    case Placement::kHalton: {
+      const std::vector<double> seq = halton_sequence(spec.n, spec.dim);
+      for (std::size_t i = 0; i < spec.n; ++i) {
+        for (std::size_t d = 0; d < spec.dim; ++d) {
+          buf[d] = seq[i * spec.dim + d] * spec.box_side;
+        }
+        points.push_back(buf);
+      }
+      break;
+    }
+    case Placement::kClustered: {
+      MMPH_REQUIRE(spec.clusters >= 1, "clustered placement needs >= 1 cluster");
+      // Draw cluster centers uniformly, then points from isotropic
+      // Gaussians around a uniformly-chosen center, clamped to the box.
+      std::vector<double> centers(spec.clusters * spec.dim);
+      for (double& c : centers) c = rng.uniform(0.0, spec.box_side);
+      for (std::size_t i = 0; i < spec.n; ++i) {
+        const std::size_t c = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(spec.clusters) - 1));
+        for (std::size_t d = 0; d < spec.dim; ++d) {
+          const double v =
+              rng.normal(centers[c * spec.dim + d], spec.cluster_stddev);
+          buf[d] = std::clamp(v, 0.0, spec.box_side);
+        }
+        points.push_back(buf);
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+std::vector<double> draw_weights(const WorkloadSpec& spec, Rng& rng) {
+  std::vector<double> w(spec.n);
+  switch (spec.weights) {
+    case WeightScheme::kSame:
+      std::fill(w.begin(), w.end(), spec.same_weight);
+      break;
+    case WeightScheme::kUniformInt:
+      for (double& v : w) {
+        v = static_cast<double>(rng.uniform_int(spec.weight_lo, spec.weight_hi));
+      }
+      break;
+    case WeightScheme::kZipf:
+      for (double& v : w) {
+        v = static_cast<double>(rng.zipf(spec.n, spec.zipf_exponent));
+      }
+      break;
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload generate_workload(const WorkloadSpec& spec, Rng& rng) {
+  MMPH_REQUIRE(spec.n >= 1, "workload needs n >= 1");
+  MMPH_REQUIRE(spec.dim >= 1, "workload needs dim >= 1");
+  MMPH_REQUIRE(spec.box_side > 0.0, "workload needs a positive box side");
+  MMPH_REQUIRE(spec.weight_lo <= spec.weight_hi,
+               "workload weight range is inverted");
+  MMPH_REQUIRE(spec.same_weight > 0.0, "workload weights must be positive");
+  Workload wl{place_points(spec, rng), draw_weights(spec, rng)};
+  return wl;
+}
+
+}  // namespace mmph::rnd

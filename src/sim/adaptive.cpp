@@ -1,0 +1,54 @@
+#include "mmph/sim/adaptive.hpp"
+
+#include <cmath>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::sim {
+
+std::vector<AdaptiveRung> AdaptivePlanner::default_ladder() {
+  return {{"greedy3", 1.0}, {"greedy2", 2.0}, {"greedy4", 3.0}};
+}
+
+AdaptivePlanner::AdaptivePlanner(double ops_budget,
+                                 std::vector<AdaptiveRung> ladder,
+                                 core::SolverConfig config)
+    : ops_budget_(ops_budget),
+      ladder_(std::move(ladder)),
+      config_(config) {
+  MMPH_REQUIRE(ops_budget_ > 0.0, "adaptive: ops budget must be positive");
+  MMPH_REQUIRE(!ladder_.empty(), "adaptive: ladder must not be empty");
+  for (const AdaptiveRung& rung : ladder_) {
+    MMPH_REQUIRE(!rung.solver.empty(), "adaptive: rung needs a solver name");
+    MMPH_REQUIRE(rung.n_exponent >= 0.0,
+                 "adaptive: rung exponent must be >= 0");
+  }
+  counts_.assign(ladder_.size(), 0);
+}
+
+double AdaptivePlanner::predicted_cost(const AdaptiveRung& rung,
+                                       std::size_t n, std::size_t k) {
+  return static_cast<double>(k) *
+         std::pow(static_cast<double>(n), rung.n_exponent);
+}
+
+const AdaptiveRung& AdaptivePlanner::choose(std::size_t n,
+                                            std::size_t k) const {
+  // Best affordable rung; the cheapest rung is the unconditional fallback.
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < ladder_.size(); ++r) {
+    if (predicted_cost(ladder_[r], n, k) <= ops_budget_) best = r;
+  }
+  ++counts_[best];
+  return ladder_[best];
+}
+
+SolverFactory AdaptivePlanner::factory(std::size_t k_hint) {
+  MMPH_REQUIRE(k_hint >= 1, "adaptive: k_hint must be >= 1");
+  return [this, k_hint](const core::Problem& problem) {
+    const AdaptiveRung& rung = choose(problem.size(), k_hint);
+    return core::make_solver(rung.solver, problem, config_);
+  };
+}
+
+}  // namespace mmph::sim

@@ -1,0 +1,91 @@
+#include "mmph/sim/fairness.hpp"
+
+#include <algorithm>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::sim {
+namespace {
+
+class PlannerSolver final : public core::Solver {
+ public:
+  explicit PlannerSolver(FairnessAwarePlanner* planner) : planner_(planner) {}
+
+  [[nodiscard]] std::string name() const override { return "fairness-aware"; }
+
+  [[nodiscard]] core::Solution solve(const core::Problem& problem,
+                                     std::size_t k) const override {
+    return planner_->plan(problem, k);
+  }
+
+ private:
+  FairnessAwarePlanner* planner_;
+};
+
+}  // namespace
+
+FairnessAwarePlanner::FairnessAwarePlanner(SolverFactory inner, double alpha)
+    : inner_(std::move(inner)), alpha_(alpha) {
+  MMPH_REQUIRE(static_cast<bool>(inner_),
+               "fairness planner needs an inner factory");
+  MMPH_REQUIRE(alpha_ >= 0.0, "fairness alpha must be >= 0");
+}
+
+core::Solution FairnessAwarePlanner::plan(const core::Problem& problem,
+                                          std::size_t k) {
+  const std::size_t n = problem.size();
+  // Population changed (churn/restart): deficits no longer line up.
+  if (deficits_.size() != n) {
+    deficits_.assign(n, 0.0);
+    slot_ = 0;
+  }
+
+  // Build the urgency-reweighted problem.
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double urgency =
+        1.0 + alpha_ * deficits_[i] / static_cast<double>(slot_ + 1);
+    weights[i] = problem.weight(i) * urgency;
+  }
+  const core::Problem reweighted(geo::PointSet(problem.points()),
+                                 std::move(weights), problem.radius(),
+                                 problem.metric(), problem.reward_shape());
+
+  core::Solution sol = inner_(reweighted)->solve(reweighted, k);
+
+  // Re-express the outcome against the original weights: recompute the
+  // residual/rewards by replaying the chosen centers on the original
+  // problem (the centers are what the broadcast actually sends).
+  core::Solution truthful;
+  truthful.solver_name = "fairness-aware";
+  truthful.centers = sol.centers;
+  truthful.residual = core::fresh_residual(problem);
+  for (std::size_t j = 0; j < sol.centers.size(); ++j) {
+    const double g =
+        core::apply_center(problem, sol.centers[j], truthful.residual);
+    truthful.round_rewards.push_back(g);
+    truthful.total_reward += g;
+  }
+
+  // Update deficits: fair share is weight-proportional.
+  const double total_weight = problem.total_weight();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double received =
+        problem.weight(i) * (1.0 - truthful.residual[i]);
+    const double fair_share =
+        truthful.total_reward * problem.weight(i) / total_weight;
+    deficits_[i] = std::max(0.0, deficits_[i] + fair_share - received);
+  }
+  ++slot_;
+  return truthful;
+}
+
+SolverFactory FairnessAwarePlanner::factory() {
+  return [this](const core::Problem&) {
+    return std::make_unique<PlannerSolver>(this);
+  };
+}
+
+}  // namespace mmph::sim

@@ -1,0 +1,21 @@
+#include "mmph/sim/metrics.hpp"
+
+namespace mmph::sim {
+
+void SimReport::finalize() {
+  mean_satisfaction = 0.0;
+  mean_fairness = 0.0;
+  total_reward = 0.0;
+  total_solve_seconds = 0.0;
+  if (slots.empty()) return;
+  for (const SlotMetrics& s : slots) {
+    mean_satisfaction += s.satisfaction;
+    mean_fairness += s.fairness;
+    total_reward += s.reward;
+    total_solve_seconds += s.solve_seconds;
+  }
+  mean_satisfaction /= static_cast<double>(slots.size());
+  mean_fairness /= static_cast<double>(slots.size());
+}
+
+}  // namespace mmph::sim

@@ -1,0 +1,181 @@
+#include "mmph/sim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::sim {
+
+void NetworkReport::finalize() {
+  mean_satisfaction = 0.0;
+  total_reward = 0.0;
+  total_handovers = 0;
+  if (slots.empty()) return;
+  for (const NetworkSlotMetrics& s : slots) {
+    mean_satisfaction += s.satisfaction;
+    total_reward += s.reward;
+    total_handovers += s.handovers;
+  }
+  mean_satisfaction /= static_cast<double>(slots.size());
+}
+
+NetworkSimulator::NetworkSimulator(NetworkConfig config, SolverFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      rng_(config_.seed) {
+  MMPH_REQUIRE(config_.stations >= 1, "network needs at least one station");
+  MMPH_REQUIRE(config_.users >= 1, "network needs at least one user");
+  MMPH_REQUIRE(config_.k_per_station >= 1, "network needs k >= 1");
+  MMPH_REQUIRE(config_.radius > 0.0, "network needs a positive radius");
+  MMPH_REQUIRE(config_.area_side > 0.0, "network needs a positive area");
+  MMPH_REQUIRE(config_.handover_hysteresis >= 0.0 &&
+                   config_.handover_hysteresis < 1.0,
+               "network hysteresis must be in [0, 1)");
+  MMPH_REQUIRE(static_cast<bool>(factory_), "network needs a solver factory");
+
+  stations_.reserve(config_.stations);
+  std::vector<double> pos(2);
+  for (std::size_t s = 0; s < config_.stations; ++s) {
+    pos[0] = rng_.uniform(0.0, config_.area_side);
+    pos[1] = rng_.uniform(0.0, config_.area_side);
+    stations_.push_back(pos);
+  }
+
+  users_.reserve(config_.users);
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    NetworkUser u;
+    u.id = i;
+    u.position = {rng_.uniform(0.0, config_.area_side),
+                  rng_.uniform(0.0, config_.area_side)};
+    u.interest.resize(config_.interest_dim);
+    for (double& v : u.interest) {
+      v = rng_.uniform(0.0, config_.interest_box);
+    }
+    switch (config_.weights) {
+      case rnd::WeightScheme::kSame:
+        u.weight = 1.0;
+        break;
+      case rnd::WeightScheme::kUniformInt:
+        u.weight = static_cast<double>(rng_.uniform_int(1, 5));
+        break;
+      case rnd::WeightScheme::kZipf:
+        u.weight = static_cast<double>(rng_.zipf(config_.users, 1.0));
+        break;
+    }
+    // Initial attachment is plain nearest-station (hysteresis only damps
+    // later handovers; there is no incumbent cell yet).
+    u.station = nearest_station(u.position);
+    users_.push_back(std::move(u));
+  }
+}
+
+std::size_t NetworkSimulator::nearest_station(
+    const std::vector<double>& position) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    const double d = geo::l2_distance(position, stations_[s]);
+    if (d < best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::size_t NetworkSimulator::associate() {
+  std::size_t handovers = 0;
+  for (NetworkUser& u : users_) {
+    const std::size_t target = nearest_station(u.position);
+    if (target == u.station) continue;
+    // Hysteresis: only hand over when the candidate is decisively closer,
+    // suppressing ping-pong at cell edges.
+    const double current_d =
+        geo::l2_distance(u.position, stations_[u.station]);
+    const double target_d = geo::l2_distance(u.position, stations_[target]);
+    if (target_d <= (1.0 - config_.handover_hysteresis) * current_d) {
+      u.station = target;
+      ++handovers;
+    }
+  }
+  return handovers;
+}
+
+NetworkSlotMetrics NetworkSimulator::step() {
+  NetworkSlotMetrics m;
+  m.slot = slot_;
+
+  // Per-cell scheduling: each station solves the paper's problem over the
+  // interests of its currently attached users.
+  std::vector<std::vector<std::size_t>> cell_members(config_.stations);
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    cell_members[users_[i].station].push_back(i);
+  }
+  m.max_cell_load = 0;
+  m.min_cell_load = users_.size();
+  for (const auto& members : cell_members) {
+    m.max_cell_load = std::max(m.max_cell_load, members.size());
+    m.min_cell_load = std::min(m.min_cell_load, members.size());
+  }
+
+  for (const auto& members : cell_members) {
+    if (members.empty()) continue;
+    geo::PointSet pts(config_.interest_dim);
+    std::vector<double> weights;
+    pts.reserve(members.size());
+    weights.reserve(members.size());
+    for (std::size_t i : members) {
+      pts.push_back(users_[i].interest);
+      weights.push_back(users_[i].weight);
+      m.total_weight += users_[i].weight;
+    }
+    const core::Problem problem(std::move(pts), std::move(weights),
+                                config_.radius, config_.metric);
+    const core::Solution sol =
+        factory_(problem)->solve(problem, config_.k_per_station);
+    MMPH_ASSERT(sol.residual.size() == members.size(),
+                "network: residual size mismatch");
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      const double gained =
+          users_[members[local]].weight * (1.0 - sol.residual[local]);
+      users_[members[local]].accumulated_reward += gained;
+      m.reward += gained;
+    }
+  }
+  m.satisfaction = m.total_weight > 0.0 ? m.reward / m.total_weight : 0.0;
+
+  advance();
+  m.handovers = associate();
+  ++slot_;
+  return m;
+}
+
+void NetworkSimulator::advance() {
+  for (NetworkUser& u : users_) {
+    if (config_.mobility_sigma > 0.0) {
+      for (double& v : u.position) {
+        v = std::clamp(rng_.normal(v, config_.mobility_sigma), 0.0,
+                       config_.area_side);
+      }
+    }
+    if (config_.interest_sigma > 0.0) {
+      for (double& v : u.interest) {
+        v = std::clamp(rng_.normal(v, config_.interest_sigma), 0.0,
+                       config_.interest_box);
+      }
+    }
+  }
+}
+
+NetworkReport NetworkSimulator::run() {
+  NetworkReport report;
+  report.slots.reserve(config_.slots);
+  for (std::size_t t = 0; t < config_.slots; ++t) {
+    report.slots.push_back(step());
+  }
+  report.finalize();
+  return report;
+}
+
+}  // namespace mmph::sim

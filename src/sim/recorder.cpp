@@ -1,0 +1,68 @@
+#include "mmph/sim/recorder.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "mmph/support/assert.hpp"
+#include "mmph/trace/trace.hpp"
+
+namespace mmph::sim {
+namespace {
+
+std::string slot_path(const std::string& directory, std::uint64_t slot,
+                      const char* extension) {
+  std::ostringstream os;
+  os << directory << "/slot_" << std::setw(5) << std::setfill('0') << slot
+     << extension;
+  return os.str();
+}
+
+}  // namespace
+
+/// Solver wrapper that saves the (problem, solution) pair on solve().
+class RecordingSolver final : public core::Solver {
+ public:
+  RecordingSolver(TraceRecorder* recorder,
+                  std::unique_ptr<core::Solver> inner)
+      : recorder_(recorder), inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+recorded";
+  }
+
+  [[nodiscard]] core::Solution solve(const core::Problem& problem,
+                                     std::size_t k) const override {
+    const std::uint64_t slot = recorder_->recorded_;
+    core::Solution sol = inner_->solve(problem, k);
+    trace::save_problem(recorder_->problem_path(slot), problem);
+    trace::save_solution(recorder_->solution_path(slot), sol);
+    ++recorder_->recorded_;
+    return sol;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::unique_ptr<core::Solver> inner_;
+};
+
+TraceRecorder::TraceRecorder(std::string directory, SolverFactory inner)
+    : directory_(std::move(directory)), inner_(std::move(inner)) {
+  MMPH_REQUIRE(!directory_.empty(), "recorder: empty directory");
+  MMPH_REQUIRE(static_cast<bool>(inner_), "recorder: empty inner factory");
+}
+
+SolverFactory TraceRecorder::factory() {
+  return [this](const core::Problem& problem) {
+    return std::make_unique<RecordingSolver>(this, inner_(problem));
+  };
+}
+
+std::string TraceRecorder::problem_path(std::uint64_t slot) const {
+  return slot_path(directory_, slot, ".problem");
+}
+
+std::string TraceRecorder::solution_path(std::uint64_t slot) const {
+  return slot_path(directory_, slot, ".solution");
+}
+
+}  // namespace mmph::sim

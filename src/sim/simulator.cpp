@@ -1,0 +1,122 @@
+#include "mmph/sim/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::sim {
+
+BroadcastSimulator::BroadcastSimulator(SimConfig config, SolverFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      rng_(config_.seed) {
+  MMPH_REQUIRE(config_.users >= 1, "simulator needs at least one user");
+  MMPH_REQUIRE(config_.k >= 1, "simulator needs k >= 1");
+  MMPH_REQUIRE(config_.radius > 0.0, "simulator needs a positive radius");
+  MMPH_REQUIRE(static_cast<bool>(factory_), "simulator needs a solver factory");
+  users_.reserve(config_.users);
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    users_.push_back(spawn_user());
+  }
+}
+
+User BroadcastSimulator::spawn_user() {
+  User u;
+  u.id = next_id_++;
+  u.joined_slot = slot_;
+  u.interest.resize(config_.dim);
+  for (double& v : u.interest) v = rng_.uniform(0.0, config_.box_side);
+  switch (config_.weights) {
+    case rnd::WeightScheme::kSame:
+      u.weight = 1.0;
+      break;
+    case rnd::WeightScheme::kUniformInt:
+      u.weight = static_cast<double>(
+          rng_.uniform_int(config_.weight_lo, config_.weight_hi));
+      break;
+    case rnd::WeightScheme::kZipf:
+      u.weight = static_cast<double>(rng_.zipf(config_.users, 1.0));
+      break;
+  }
+  return u;
+}
+
+core::Problem BroadcastSimulator::snapshot_problem() const {
+  geo::PointSet points(config_.dim);
+  points.reserve(users_.size());
+  std::vector<double> weights;
+  weights.reserve(users_.size());
+  for (const User& u : users_) {
+    points.push_back(u.interest);
+    weights.push_back(u.weight);
+  }
+  return core::Problem(std::move(points), std::move(weights), config_.radius,
+                       config_.metric);
+}
+
+SlotMetrics BroadcastSimulator::step() {
+  const core::Problem problem = snapshot_problem();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::unique_ptr<core::Solver> solver = factory_(problem);
+  const core::Solution solution = solver->solve(problem, config_.k);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SlotMetrics m;
+  m.slot = slot_;
+  m.total_weight = problem.total_weight();
+  m.solve_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Per-user rewards this slot: w_i * (1 - y_i) given the final residual.
+  std::vector<double> per_user(users_.size(), 0.0);
+  MMPH_ASSERT(solution.residual.size() == users_.size(),
+              "simulator: residual size mismatch");
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    per_user[i] = users_[i].weight * (1.0 - solution.residual[i]);
+    users_[i].accumulated_reward += per_user[i];
+    if (per_user[i] > 0.0) ++m.users_happy;
+    m.reward += per_user[i];
+  }
+  m.satisfaction = m.total_weight > 0.0 ? m.reward / m.total_weight : 0.0;
+  m.fairness = io::jain_fairness(per_user);
+
+  advance_population();
+  ++slot_;
+  return m;
+}
+
+void BroadcastSimulator::advance_population() {
+  for (User& u : users_) {
+    if (config_.drift.churn_prob > 0.0 &&
+        rng_.bernoulli(config_.drift.churn_prob)) {
+      u = spawn_user();
+      continue;
+    }
+    if (config_.drift.jump_prob > 0.0 &&
+        rng_.bernoulli(config_.drift.jump_prob)) {
+      for (double& v : u.interest) v = rng_.uniform(0.0, config_.box_side);
+      continue;
+    }
+    if (config_.drift.sigma > 0.0) {
+      for (double& v : u.interest) {
+        v = std::clamp(rng_.normal(v, config_.drift.sigma), 0.0,
+                       config_.box_side);
+      }
+    }
+  }
+}
+
+SimReport BroadcastSimulator::run() {
+  SimReport report;
+  report.slots.reserve(config_.slots);
+  for (std::size_t t = 0; t < config_.slots; ++t) {
+    report.slots.push_back(step());
+  }
+  report.finalize();
+  return report;
+}
+
+}  // namespace mmph::sim

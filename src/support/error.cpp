@@ -1,0 +1,24 @@
+#include "mmph/support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mmph::detail {
+
+std::string format_requirement(const char* cond, const char* file, int line,
+                               const char* msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << msg << " [" << cond << "] at " << file
+     << ":" << line;
+  return os.str();
+}
+
+void assert_fail(const char* cond, const char* file, int line,
+                 const char* msg) noexcept {
+  std::fprintf(stderr, "mmph: internal invariant failed: %s [%s] at %s:%d\n",
+               msg, cond, file, line);
+  std::abort();
+}
+
+}  // namespace mmph::detail

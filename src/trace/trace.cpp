@@ -1,0 +1,207 @@
+#include "mmph/trace/trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::trace {
+namespace {
+
+constexpr int kDigits = std::numeric_limits<double>::max_digits10;
+
+void expect_token(std::istream& is, const std::string& want) {
+  std::string got;
+  if (!(is >> got) || got != want) {
+    throw ParseError("trace: expected '" + want + "', got '" + got + "'");
+  }
+}
+
+double read_double(std::istream& is, const char* what) {
+  double v = 0.0;
+  if (!(is >> v)) {
+    throw ParseError(std::string("trace: malformed number for ") + what);
+  }
+  return v;
+}
+
+std::size_t read_size(std::istream& is, const char* what) {
+  long long v = 0;
+  if (!(is >> v) || v < 0) {
+    throw ParseError(std::string("trace: malformed count for ") + what);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+geo::Metric read_metric(std::istream& is) {
+  expect_token(is, "metric");
+  std::string name;
+  if (!(is >> name)) throw ParseError("trace: missing metric name");
+  if (name == "L1") return geo::l1_metric();
+  if (name == "L2") return geo::l2_metric();
+  if (name == "Linf") return geo::linf_metric();
+  if (name == "Lp") return geo::Metric(read_double(is, "metric p"));
+  throw ParseError("trace: unknown metric '" + name + "'");
+}
+
+void write_metric(std::ostream& os, const geo::Metric& metric) {
+  switch (metric.norm()) {
+    case geo::Norm::kL1:
+      os << "metric L1\n";
+      return;
+    case geo::Norm::kL2:
+      os << "metric L2\n";
+      return;
+    case geo::Norm::kLinf:
+      os << "metric Linf\n";
+      return;
+    case geo::Norm::kLp:
+      os << "metric Lp " << std::setprecision(kDigits) << metric.p() << "\n";
+      return;
+  }
+}
+
+}  // namespace
+
+void write_problem(std::ostream& os, const core::Problem& problem) {
+  os << "mmph-problem v1\n";
+  os << "dim " << problem.dim() << "\n";
+  write_metric(os, problem.metric());
+  os << std::setprecision(kDigits);
+  os << "radius " << problem.radius() << "\n";
+  os << "shape " << core::reward_shape_name(problem.reward_shape()) << "\n";
+  os << "n " << problem.size() << "\n";
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    os << "point " << problem.weight(i);
+    for (double v : problem.point(i)) os << " " << v;
+    os << "\n";
+  }
+}
+
+core::Problem read_problem(std::istream& is) {
+  expect_token(is, "mmph-problem");
+  expect_token(is, "v1");
+  expect_token(is, "dim");
+  const std::size_t dim = read_size(is, "dim");
+  if (dim == 0) throw ParseError("trace: dim must be >= 1");
+  const geo::Metric metric = read_metric(is);
+  expect_token(is, "radius");
+  const double radius = read_double(is, "radius");
+  expect_token(is, "shape");
+  std::string shape_name;
+  if (!(is >> shape_name)) throw ParseError("trace: missing reward shape");
+  core::RewardShape shape;
+  if (shape_name == "linear") {
+    shape = core::RewardShape::kLinear;
+  } else if (shape_name == "binary") {
+    shape = core::RewardShape::kBinary;
+  } else {
+    throw ParseError("trace: unknown reward shape '" + shape_name + "'");
+  }
+  expect_token(is, "n");
+  const std::size_t n = read_size(is, "n");
+
+  geo::PointSet points(dim);
+  points.reserve(n);
+  std::vector<double> weights;
+  weights.reserve(n);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_token(is, "point");
+    weights.push_back(read_double(is, "weight"));
+    for (std::size_t d = 0; d < dim; ++d) row[d] = read_double(is, "coord");
+    points.push_back(row);
+  }
+  try {
+    return core::Problem(std::move(points), std::move(weights), radius,
+                         metric, shape);
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("trace: invalid problem: ") + e.what());
+  }
+}
+
+void write_solution(std::ostream& os, const core::Solution& solution) {
+  MMPH_REQUIRE(solution.round_rewards.size() == solution.centers.size(),
+               "trace: solution accounting out of sync");
+  os << "mmph-solution v1\n";
+  os << "solver " << (solution.solver_name.empty() ? "?"
+                                                   : solution.solver_name)
+     << "\n";
+  os << "dim " << solution.centers.dim() << "\n";
+  os << "k " << solution.centers.size() << "\n";
+  os << std::setprecision(kDigits);
+  os << "total " << solution.total_reward << "\n";
+  for (std::size_t j = 0; j < solution.centers.size(); ++j) {
+    os << "center " << solution.round_rewards[j];
+    for (double v : solution.centers[j]) os << " " << v;
+    os << "\n";
+  }
+}
+
+core::Solution read_solution(std::istream& is) {
+  expect_token(is, "mmph-solution");
+  expect_token(is, "v1");
+  expect_token(is, "solver");
+  core::Solution sol;
+  if (!(is >> sol.solver_name)) {
+    throw ParseError("trace: missing solver name");
+  }
+  expect_token(is, "dim");
+  const std::size_t dim = read_size(is, "dim");
+  if (dim == 0) throw ParseError("trace: dim must be >= 1");
+  expect_token(is, "k");
+  const std::size_t k = read_size(is, "k");
+  expect_token(is, "total");
+  sol.total_reward = read_double(is, "total");
+
+  sol.centers = geo::PointSet(dim);
+  sol.centers.reserve(k);
+  std::vector<double> row(dim);
+  for (std::size_t j = 0; j < k; ++j) {
+    expect_token(is, "center");
+    sol.round_rewards.push_back(read_double(is, "round reward"));
+    for (std::size_t d = 0; d < dim; ++d) row[d] = read_double(is, "coord");
+    sol.centers.push_back(row);
+  }
+  return sol;
+}
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw StateError("trace: cannot open '" + path + "' for writing");
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw StateError("trace: cannot open '" + path + "' for reading");
+  return is;
+}
+
+}  // namespace
+
+void save_problem(const std::string& path, const core::Problem& problem) {
+  auto os = open_out(path);
+  write_problem(os, problem);
+}
+
+core::Problem load_problem(const std::string& path) {
+  auto is = open_in(path);
+  return read_problem(is);
+}
+
+void save_solution(const std::string& path, const core::Solution& solution) {
+  auto os = open_out(path);
+  write_solution(os, solution);
+}
+
+core::Solution load_solution(const std::string& path) {
+  auto is = open_in(path);
+  return read_solution(is);
+}
+
+}  // namespace mmph::trace

@@ -1,0 +1,38 @@
+#!/bin/sh
+# End-to-end test of the mmph_cli tool: generate -> solve -> evaluate ->
+# describe round trip, plus error handling. Run by CTest with the cli
+# binary path as $1.
+set -e
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# generate + describe
+"$CLI" generate --n 25 --seed 9 --norm l1 --out "$DIR/p.txt"
+"$CLI" describe --problem "$DIR/p.txt" | grep -q "L1"
+"$CLI" describe --problem "$DIR/p.txt" | grep -q "25"
+
+# solve + evaluate consistency
+"$CLI" solve --problem "$DIR/p.txt" --solver greedy3 --k 3 --out "$DIR/s.txt"
+"$CLI" evaluate --problem "$DIR/p.txt" --solution "$DIR/s.txt" | grep -q "consistent"
+
+# compare smoke: table lists every requested solver
+"$CLI" compare --problem "$DIR/p.txt" --k 2 --solvers greedy2,greedy3 > "$DIR/cmp.txt"
+grep -q "greedy2" "$DIR/cmp.txt"
+grep -q "greedy3" "$DIR/cmp.txt"
+
+# certify smoke: certificate ratio line present
+"$CLI" certify --problem "$DIR/p.txt" --solution "$DIR/s.txt" --pitch 0.25 | grep -q "certified ratio"
+
+# simulate smoke
+"$CLI" simulate --users 10 --slots 5 --solver greedy3 | grep -q "total reward"
+
+# error handling: unknown command and unknown solver exit nonzero
+if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
+if "$CLI" solve --problem "$DIR/p.txt" --solver nope --k 2 2>/dev/null; then
+  echo "unknown solver accepted"; exit 1
+fi
+if "$CLI" evaluate --problem /does/not/exist --solution "$DIR/s.txt" 2>/dev/null; then
+  echo "missing file accepted"; exit 1
+fi
+echo "cli_test OK"

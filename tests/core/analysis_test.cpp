@@ -1,0 +1,201 @@
+// Tests for the expected-reward analysis model, including Monte Carlo
+// validation of the closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmph/core/analysis.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(UnitBallVolume, KnownClosedForms) {
+  // L2: circle pi, sphere 4/3 pi.
+  EXPECT_NEAR(unit_ball_volume(2, 2.0), kPi, 1e-12);
+  EXPECT_NEAR(unit_ball_volume(3, 2.0), 4.0 / 3.0 * kPi, 1e-12);
+  // L1 (cross-polytope): 2^m / m!.
+  EXPECT_NEAR(unit_ball_volume(2, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(unit_ball_volume(3, 1.0), 8.0 / 6.0, 1e-12);
+  // Linf (cube): 2^m.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(unit_ball_volume(2, inf), 4.0, 1e-12);
+  EXPECT_NEAR(unit_ball_volume(4, inf), 16.0, 1e-12);
+  // 1-D: every norm gives the segment [-1, 1].
+  EXPECT_NEAR(unit_ball_volume(1, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(unit_ball_volume(1, 3.7), 2.0, 1e-12);
+}
+
+TEST(UnitBallVolume, MonotoneInP) {
+  // Larger p means a bigger ball (L1 ball inside L2 inside Linf).
+  for (std::size_t dim : {2u, 3u, 5u}) {
+    EXPECT_LT(unit_ball_volume(dim, 1.0), unit_ball_volume(dim, 2.0));
+    EXPECT_LT(unit_ball_volume(dim, 2.0), unit_ball_volume(dim, 8.0));
+  }
+}
+
+TEST(UnitBallVolume, Validation) {
+  EXPECT_THROW((void)unit_ball_volume(0, 2.0), InvalidArgument);
+  EXPECT_THROW((void)unit_ball_volume(2, 0.5), InvalidArgument);
+}
+
+TEST(BallVolume, ScalesWithRadiusPower) {
+  const double v1 = ball_volume(3, geo::l2_metric(), 1.0);
+  const double v2 = ball_volume(3, geo::l2_metric(), 2.0);
+  EXPECT_NEAR(v2 / v1, 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ball_volume(2, geo::l1_metric(), 0.0), 0.0);
+}
+
+TEST(BallVolume, MonteCarloAgreement) {
+  // Fraction of the [-1,1]^2 square inside the unit L1/L2 balls.
+  rnd::Rng rng(1);
+  int in_l1 = 0, in_l2 = 0;
+  const int samples = 200000;
+  for (int s = 0; s < samples; ++s) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    if (std::fabs(x) + std::fabs(y) <= 1.0) ++in_l1;
+    if (x * x + y * y <= 1.0) ++in_l2;
+  }
+  EXPECT_NEAR(4.0 * in_l1 / samples, unit_ball_volume(2, 1.0), 0.02);
+  EXPECT_NEAR(4.0 * in_l2 / samples, unit_ball_volume(2, 2.0), 0.02);
+}
+
+TEST(MeanUnitCoverage, ClosedForm) {
+  EXPECT_DOUBLE_EQ(mean_unit_coverage(1, RewardShape::kLinear), 0.5);
+  EXPECT_DOUBLE_EQ(mean_unit_coverage(2, RewardShape::kLinear), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mean_unit_coverage(3, RewardShape::kLinear), 0.25);
+  EXPECT_DOUBLE_EQ(mean_unit_coverage(2, RewardShape::kBinary), 1.0);
+}
+
+TEST(MeanUnitCoverage, MonteCarloAgreement) {
+  // Sample points uniformly in the unit L2 disk; average (1 - d).
+  rnd::Rng rng(2);
+  double sum = 0.0;
+  int count = 0;
+  while (count < 100000) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const double d = std::sqrt(x * x + y * y);
+    if (d > 1.0) continue;
+    sum += 1.0 - d;
+    ++count;
+  }
+  EXPECT_NEAR(sum / count, mean_unit_coverage(2, RewardShape::kLinear),
+              0.005);
+}
+
+TEST(ExpectedReward, MatchesMeasuredCoverageAwayFromBoundary) {
+  // Large box, small radius, center in the middle: boundary effects are
+  // negligible and the model should match the empirical mean closely.
+  const std::size_t n = 4000;
+  const double box = 20.0;
+  const double r = 1.5;
+  rnd::Rng rng(3);
+  geo::PointSet pts(2);
+  std::vector<double> weights(n, 1.0);
+  std::vector<double> p(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[0] = rng.uniform(0.0, box);
+    p[1] = rng.uniform(0.0, box);
+    pts.push_back(p);
+  }
+  const Problem problem(std::move(pts), std::move(weights), r,
+                        geo::l2_metric());
+  const auto y = fresh_residual(problem);
+  // Average measured reward over interior probe centers.
+  double measured = 0.0;
+  int probes = 0;
+  for (double cx = 5.0; cx <= 15.0; cx += 2.5) {
+    for (double cy = 5.0; cy <= 15.0; cy += 2.5) {
+      const std::vector<double> c{cx, cy};
+      measured += coverage_reward(problem, c, y);
+      ++probes;
+    }
+  }
+  measured /= probes;
+  const double predicted = expected_single_center_reward(
+      n, 2, geo::l2_metric(), r, box, 1.0);
+  EXPECT_NEAR(measured, predicted, 0.2 * predicted);
+}
+
+TEST(ExpectedReward, BinaryPredictionHigherThanLinear) {
+  const double lin = expected_single_center_reward(
+      100, 2, geo::l2_metric(), 1.0, 4.0, 1.0, RewardShape::kLinear);
+  const double bin = expected_single_center_reward(
+      100, 2, geo::l2_metric(), 1.0, 4.0, 1.0, RewardShape::kBinary);
+  EXPECT_NEAR(bin / lin, 3.0, 1e-9);  // factor (m+1) in 2-D
+}
+
+TEST(ExpectedReward, CoverProbabilitySaturates) {
+  // Huge radius: every point is covered; reward = n * E[w] * E[u].
+  const double v = expected_single_center_reward(
+      50, 2, geo::l2_metric(), 100.0, 4.0, 2.0, RewardShape::kBinary);
+  EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(Curvature, InUnitInterval) {
+  rnd::WorkloadSpec spec;
+  spec.n = 15;
+  rnd::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), rng.uniform(0.5, 2.0),
+        geo::l2_metric());
+    const double c = curvature_estimate(p);
+    EXPECT_GE(c, 0.0) << trial;
+    EXPECT_LE(c, 1.0) << trial;
+  }
+}
+
+TEST(Curvature, ZeroForNonInteractingPoints) {
+  // Points so far apart that no two coverage ranges overlap: f is modular
+  // over the point ground set, so curvature is 0.
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}}),
+      {1.0, 2.0, 3.0}, 1.0, geo::l2_metric());
+  EXPECT_NEAR(curvature_estimate(p), 0.0, 1e-12);
+}
+
+TEST(Curvature, OneForFullyRedundantPoints) {
+  // Coincident points: once one center is placed, a duplicate center adds
+  // nothing, so the top marginal is 0 and curvature is 1.
+  const Problem p(geo::PointSet::from_rows({{1.0, 1.0}, {1.0, 1.0}}),
+                  {1.0, 1.0}, 1.0, geo::l2_metric());
+  EXPECT_NEAR(curvature_estimate(p), 1.0, 1e-12);
+}
+
+TEST(Curvature, GuaranteeEndpoints) {
+  EXPECT_DOUBLE_EQ(curvature_guarantee(0.0), 1.0);
+  EXPECT_NEAR(curvature_guarantee(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  // Decreasing in c.
+  EXPECT_GT(curvature_guarantee(0.3), curvature_guarantee(0.8));
+  EXPECT_THROW((void)curvature_guarantee(-0.1), InvalidArgument);
+  EXPECT_THROW((void)curvature_guarantee(1.5), InvalidArgument);
+}
+
+TEST(Curvature, GuaranteeDominatesOneMinusInvE) {
+  for (double c = 0.05; c <= 1.0; c += 0.05) {
+    EXPECT_GE(curvature_guarantee(c), 1.0 - std::exp(-1.0) - 1e-12);
+  }
+}
+
+TEST(ExpectedReward, Validation) {
+  EXPECT_THROW((void)expected_single_center_reward(0, 2, geo::l2_metric(),
+                                                   1.0, 4.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW((void)expected_single_center_reward(10, 2, geo::l2_metric(),
+                                                   1.0, 0.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW((void)expected_single_center_reward(10, 2, geo::l2_metric(),
+                                                   1.0, 4.0, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,180 @@
+// Tests for the random and k-means baseline solvers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mmph/core/baselines.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed,
+                       geo::Metric metric = geo::l2_metric()) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                metric);
+}
+
+TEST(RandomSolver, Name) { EXPECT_EQ(RandomSolver().name(), "random"); }
+
+TEST(RandomSolver, RejectsZeroK) {
+  const Problem p = random_problem(5, 1);
+  EXPECT_THROW((void)RandomSolver().solve(p, 0), InvalidArgument);
+}
+
+TEST(RandomSolver, CentersAreDistinctInputPoints) {
+  const Problem p = random_problem(20, 2);
+  const Solution s = RandomSolver(7).solve(p, 5);
+  ASSERT_EQ(s.centers.size(), 5u);
+  std::set<std::size_t> matched;
+  for (std::size_t j = 0; j < 5; ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (geo::approx_equal(s.centers[j], p.point(i))) {
+        EXPECT_FALSE(matched.count(i)) << "duplicate center";
+        matched.insert(i);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RandomSolver, DeterministicGivenSeed) {
+  const Problem p = random_problem(20, 3);
+  const Solution a = RandomSolver(11).solve(p, 3);
+  const Solution b = RandomSolver(11).solve(p, 3);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  const Solution c = RandomSolver(12).solve(p, 3);
+  // Different seed virtually always picks a different set.
+  bool same = true;
+  for (std::size_t j = 0; j < 3 && same; ++j) {
+    same = geo::approx_equal(a.centers[j], c.centers[j]);
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(RandomSolver, KBeyondNWrapsAround) {
+  const Problem p = random_problem(3, 4);
+  const Solution s = RandomSolver().solve(p, 7);
+  EXPECT_EQ(s.centers.size(), 7u);
+  EXPECT_LE(s.total_reward, p.total_weight() + 1e-9);
+}
+
+TEST(RandomSolver, AccountingConsistent) {
+  const Problem p = random_problem(25, 5);
+  const Solution s = RandomSolver().solve(p, 4);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(KMeans, Validation) {
+  EXPECT_THROW(KMeansSolver(0), InvalidArgument);
+  const Problem p = random_problem(5, 6);
+  EXPECT_THROW((void)KMeansSolver().solve(p, 0), InvalidArgument);
+}
+
+TEST(KMeans, Name) { EXPECT_EQ(KMeansSolver().name(), "kmeans"); }
+
+TEST(KMeans, ProducesKCentersOfRightDimension) {
+  const Problem p = random_problem(30, 7);
+  const Solution s = KMeansSolver().solve(p, 4);
+  EXPECT_EQ(s.centers.size(), 4u);
+  EXPECT_EQ(s.centers.dim(), 2u);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  const Problem p = random_problem(30, 8);
+  const Solution a = KMeansSolver(50, 3).solve(p, 3);
+  const Solution b = KMeansSolver(50, 3).solve(p, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(geo::approx_equal(a.centers[j], b.centers[j], 0.0));
+  }
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  // Three tight clusters far apart: k-means with k=3 should put one
+  // center near each cluster centroid.
+  geo::PointSet ps(2);
+  std::vector<double> weights;
+  rnd::Rng rng(9);
+  const double centers_xy[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      const std::vector<double> pt{
+          centers_xy[c][0] + rng.uniform(-0.2, 0.2),
+          centers_xy[c][1] + rng.uniform(-0.2, 0.2)};
+      ps.push_back(pt);
+      weights.push_back(1.0);
+    }
+  }
+  const Problem p(std::move(ps), std::move(weights), 1.0, geo::l2_metric());
+  const Solution s = KMeansSolver().solve(p, 3);
+  for (int c = 0; c < 3; ++c) {
+    double best = 1e9;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::vector<double> target{centers_xy[c][0], centers_xy[c][1]};
+      best = std::min(best, geo::l2_distance(s.centers[j], target));
+    }
+    EXPECT_LT(best, 0.3) << "cluster " << c << " not recovered";
+  }
+}
+
+TEST(KMeans, L1UsesMediansAndHandlesOutliers) {
+  // One far outlier: the 1-norm (median) center should stay with the mass
+  // while the 2-norm (mean) center gets dragged.
+  geo::PointSet ps(2);
+  std::vector<double> weights(8, 1.0);
+  for (int i = 0; i < 7; ++i) {
+    const std::vector<double> pt{static_cast<double>(i % 3) * 0.1, 0.0};
+    ps.push_back(pt);
+  }
+  const std::vector<double> outlier{100.0, 0.0};
+  ps.push_back(outlier);
+  const Problem l1(geo::PointSet(ps), std::vector<double>(weights), 1.0,
+                   geo::l1_metric());
+  const Solution s = KMeansSolver().solve(l1, 1);
+  EXPECT_LT(s.centers[0][0], 1.0);  // median resists the outlier
+}
+
+TEST(KMeans, MoreCentersNeverHurtMuch) {
+  const Problem p = random_problem(40, 10);
+  const double r2 = KMeansSolver().solve(p, 2).total_reward;
+  const double r6 = KMeansSolver().solve(p, 6).total_reward;
+  EXPECT_GE(r6 + 1e-9, r2 * 0.95);
+}
+
+TEST(Baselines, GreedyBeatsRandomOnAverage) {
+  double greedy_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = random_problem(30, seed);
+    greedy_total += GreedyLocalSolver().solve(p, 3).total_reward;
+    random_total += RandomSolver(seed).solve(p, 3).total_reward;
+  }
+  EXPECT_GT(greedy_total, random_total * 1.1);
+}
+
+TEST(Baselines, GreedyBeatsKMeansOnTheCappedObjective) {
+  // k-means optimizes distortion, not capped coverage: greedy2 should win
+  // on f on average (this is the point of having the baseline).
+  double greedy_total = 0.0;
+  double kmeans_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = random_problem(40, seed);
+    greedy_total += GreedyLocalSolver().solve(p, 4).total_reward;
+    kmeans_total += KMeansSolver(50, seed).solve(p, 4).total_reward;
+  }
+  EXPECT_GE(greedy_total, kmeans_total);
+}
+
+}  // namespace
+}  // namespace mmph::core

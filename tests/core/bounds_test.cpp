@@ -1,0 +1,86 @@
+// Tests for the analytic Theorem 1/2 approximation-ratio bounds (Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+TEST(RoundBasedBound, HandValues) {
+  EXPECT_DOUBLE_EQ(approx_ratio_round_based(1), 1.0);
+  EXPECT_DOUBLE_EQ(approx_ratio_round_based(2), 0.75);
+  EXPECT_NEAR(approx_ratio_round_based(4), 1.0 - std::pow(0.75, 4), 1e-12);
+}
+
+TEST(RoundBasedBound, DecreasesTowardOneMinusInvE) {
+  double prev = approx_ratio_round_based(1);
+  for (std::size_t k = 2; k <= 100; ++k) {
+    const double cur = approx_ratio_round_based(k);
+    EXPECT_LT(cur, prev) << "k=" << k;
+    EXPECT_GT(cur, one_minus_inv_e()) << "k=" << k;
+    prev = cur;
+  }
+  EXPECT_NEAR(approx_ratio_round_based(100000), one_minus_inv_e(), 1e-5);
+}
+
+TEST(LocalGreedyBound, HandValues) {
+  // 1 - (1 - 1/10)^2 = 0.19.
+  EXPECT_NEAR(approx_ratio_local_greedy(10, 2), 0.19, 1e-12);
+  // 1 - (1 - 1/40)^4.
+  EXPECT_NEAR(approx_ratio_local_greedy(40, 4), 1.0 - std::pow(0.975, 4),
+              1e-12);
+}
+
+TEST(LocalGreedyBound, IncreasesInK) {
+  for (std::size_t k = 1; k < 20; ++k) {
+    EXPECT_LT(approx_ratio_local_greedy(40, k),
+              approx_ratio_local_greedy(40, k + 1));
+  }
+}
+
+TEST(LocalGreedyBound, DecreasesInN) {
+  for (std::size_t n = 5; n < 100; n += 5) {
+    EXPECT_GT(approx_ratio_local_greedy(n, 4),
+              approx_ratio_local_greedy(n + 5, 4));
+  }
+}
+
+TEST(Bounds, Approx1DominatesApprox2WhenNExceedsK) {
+  // Fig. 2's visual claim: approx.1 is much larger than approx.2 for n > k.
+  for (std::size_t n : {10u, 40u}) {
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+      EXPECT_GT(approx_ratio_round_based(k) + 1e-12,
+                approx_ratio_local_greedy(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Bounds, EqualWhenNEqualsK) {
+  // With n == k the two formulas coincide.
+  EXPECT_DOUBLE_EQ(approx_ratio_round_based(7),
+                   approx_ratio_local_greedy(7, 7));
+}
+
+TEST(Bounds, Validation) {
+  EXPECT_THROW((void)approx_ratio_round_based(0), InvalidArgument);
+  EXPECT_THROW((void)approx_ratio_local_greedy(0, 1), InvalidArgument);
+  EXPECT_THROW((void)approx_ratio_local_greedy(1, 0), InvalidArgument);
+}
+
+TEST(Bounds, AlwaysInUnitInterval) {
+  for (std::size_t n = 1; n <= 50; n += 7) {
+    for (std::size_t k = 1; k <= 20; k += 3) {
+      const double r = approx_ratio_local_greedy(n, k);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmph::core

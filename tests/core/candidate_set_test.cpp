@@ -1,0 +1,123 @@
+// Tests for candidate center set construction (points, grids, unions).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mmph/core/candidate_set.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem square_problem() {
+  return Problem(
+      geo::PointSet::from_rows({{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}, {4.0, 4.0}}),
+      {1.0, 1.0, 1.0, 1.0}, 1.0, geo::l2_metric());
+}
+
+TEST(CandidatesFromPoints, CopiesEveryPoint) {
+  const Problem p = square_problem();
+  const geo::PointSet cands = candidates_from_points(p);
+  ASSERT_EQ(cands.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cands[i][0], p.point(i)[0]);
+    EXPECT_DOUBLE_EQ(cands[i][1], p.point(i)[1]);
+  }
+}
+
+TEST(CandidatesGrid, CountsIncludeEndpoints) {
+  geo::Box box;
+  box.lo = {0.0, 0.0};
+  box.hi = {4.0, 4.0};
+  const geo::PointSet grid = candidates_grid(box, 1.0);
+  EXPECT_EQ(grid.size(), 25u);  // 5 x 5
+}
+
+TEST(CandidatesGrid, NonMultipleSpanStillCovered) {
+  geo::Box box;
+  box.lo = {0.0};
+  box.hi = {1.0};
+  const geo::PointSet grid = candidates_grid(box, 0.4);
+  // Lines at 0, 0.4, 0.8 -> 3 points; endpoint 1.0 is not on the lattice.
+  EXPECT_EQ(grid.size(), 3u);
+}
+
+TEST(CandidatesGrid, ExactMultipleIncludesFarEdge) {
+  geo::Box box;
+  box.lo = {0.0};
+  box.hi = {2.0};
+  const geo::PointSet grid = candidates_grid(box, 0.5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[4][0], 2.0);
+}
+
+TEST(CandidatesGrid, ThreeDimensional) {
+  geo::Box box;
+  box.lo = {0.0, 0.0, 0.0};
+  box.hi = {1.0, 1.0, 1.0};
+  const geo::PointSet grid = candidates_grid(box, 0.5);
+  EXPECT_EQ(grid.size(), 27u);  // 3^3
+  EXPECT_EQ(grid.dim(), 3u);
+}
+
+TEST(CandidatesGrid, AllPointsInsideBox) {
+  geo::Box box;
+  box.lo = {-1.0, 2.0};
+  box.hi = {1.0, 3.0};
+  const geo::PointSet grid = candidates_grid(box, 0.3);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_TRUE(box.contains(grid[i], 1e-12)) << i;
+  }
+}
+
+TEST(CandidatesGrid, Validation) {
+  geo::Box box;
+  box.lo = {0.0};
+  box.hi = {1.0};
+  EXPECT_THROW((void)candidates_grid(box, 0.0), InvalidArgument);
+  EXPECT_THROW((void)candidates_grid(box, -1.0), InvalidArgument);
+  geo::Box inverted;
+  inverted.lo = {1.0};
+  inverted.hi = {0.0};
+  EXPECT_THROW((void)candidates_grid(inverted, 0.5), InvalidArgument);
+}
+
+TEST(CandidatesGrid, MaxPointsGuard) {
+  geo::Box box;
+  box.lo = {0.0, 0.0};
+  box.hi = {4.0, 4.0};
+  EXPECT_THROW((void)candidates_grid(box, 0.001, 1000), InvalidArgument);
+}
+
+TEST(CandidatesGridOver, CoversInstanceBoundingBox) {
+  const Problem p = square_problem();
+  const geo::PointSet grid = candidates_grid_over(p, 1.0);
+  EXPECT_EQ(grid.size(), 25u);
+}
+
+TEST(CandidatesGridOver, MarginExpandsBox) {
+  const Problem p = square_problem();
+  const geo::PointSet grid = candidates_grid_over(p, 1.0, 1.0);
+  EXPECT_EQ(grid.size(), 49u);  // 7 x 7 over [-1, 5]^2
+}
+
+TEST(CandidatesUnion, Concatenates) {
+  const Problem p = square_problem();
+  const geo::PointSet a = candidates_from_points(p);
+  geo::Box box;
+  box.lo = {0.0, 0.0};
+  box.hi = {4.0, 4.0};
+  const geo::PointSet b = candidates_grid(box, 4.0);  // the 4 corners
+  const geo::PointSet u = candidates_union(a, b);
+  EXPECT_EQ(u.size(), 8u);
+}
+
+TEST(CandidatesUnion, DimensionMismatchThrows) {
+  const geo::PointSet a(2);
+  const geo::PointSet b(3);
+  EXPECT_THROW((void)candidates_union(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,129 @@
+// Tests for the continuous-optimum certificates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmph/core/certificate.hpp"
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_complex.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed,
+                       geo::Metric metric = geo::l2_metric()) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                metric);
+}
+
+TEST(Certificate, LipschitzConstantIsTotalWeightOverR) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}}),
+                  {2.0, 3.0}, 2.0, geo::l2_metric());
+  EXPECT_DOUBLE_EQ(coverage_lipschitz_constant(p), 2.5);
+}
+
+TEST(Certificate, LipschitzRejectsBinaryShape) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric(), RewardShape::kBinary);
+  EXPECT_THROW((void)coverage_lipschitz_constant(p), InvalidArgument);
+}
+
+TEST(Certificate, LipschitzBoundHoldsEmpirically) {
+  // |g(c) - g(c')| <= L * d(c, c') on random center pairs.
+  for (const geo::Metric metric : {geo::l1_metric(), geo::l2_metric()}) {
+    const Problem p = random_problem(25, 1, metric);
+    const double lipschitz = coverage_lipschitz_constant(p);
+    const auto y = fresh_residual(p);
+    rnd::Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::vector<double> a{rng.uniform(0.0, 4.0),
+                                  rng.uniform(0.0, 4.0)};
+      const std::vector<double> b{rng.uniform(0.0, 4.0),
+                                  rng.uniform(0.0, 4.0)};
+      const double ga = coverage_reward(p, a, y);
+      const double gb = coverage_reward(p, b, y);
+      EXPECT_LE(std::fabs(ga - gb),
+                lipschitz * metric.distance(a, b) + 1e-9)
+          << metric.name();
+    }
+  }
+}
+
+TEST(Certificate, CoveringRadiusFormulas) {
+  EXPECT_DOUBLE_EQ(grid_covering_radius(1.0, 2, geo::linf_metric()), 0.5);
+  EXPECT_NEAR(grid_covering_radius(1.0, 2, geo::l2_metric()),
+              0.5 * std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(grid_covering_radius(1.0, 3, geo::l1_metric()), 1.5, 1e-12);
+  EXPECT_THROW((void)grid_covering_radius(0.0, 2, geo::l2_metric()),
+               InvalidArgument);
+}
+
+TEST(Certificate, RoundBoundDominatesEveryProbedCenter) {
+  const Problem p = random_problem(20, 3);
+  const double bound = continuous_round_upper_bound(p, 0.5);
+  const auto y = fresh_residual(p);
+  rnd::Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::vector<double> c{rng.uniform(-1.0, 5.0),
+                                rng.uniform(-1.0, 5.0)};
+    EXPECT_LE(coverage_reward(p, c, y), bound + 1e-9);
+  }
+}
+
+TEST(Certificate, OptBoundDominatesEverySolver) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Problem p = random_problem(15, seed);
+    const double bound = continuous_opt_upper_bound(p, 2, 0.25);
+    EXPECT_GE(bound + 1e-9,
+              ExhaustiveSolver::over_grid_and_points(p, 0.25)
+                  .solve(p, 2).total_reward);
+    EXPECT_GE(bound + 1e-9,
+              GreedyComplexSolver().solve(p, 2).total_reward);
+  }
+}
+
+TEST(Certificate, BoundCappedByTotalWeight) {
+  // Large k: no bound should exceed sum of weights.
+  const Problem p = random_problem(10, 7);
+  EXPECT_LE(continuous_opt_upper_bound(p, 100, 0.5),
+            p.total_weight() + 1e-12);
+}
+
+TEST(Certificate, TightensWithFinerGrid) {
+  const Problem p = random_problem(20, 8);
+  const double coarse = continuous_opt_upper_bound(p, 2, 1.0);
+  const double fine = continuous_opt_upper_bound(p, 2, 0.25);
+  EXPECT_LE(fine, coarse + 1e-9);
+}
+
+TEST(Certificate, CertifiedRatioIsValidAndUseful) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Problem p = random_problem(20, seed + 10);
+    const Solution s = GreedyLocalSolver().solve(p, 3);
+    const RatioCertificate cert = certify_ratio(p, s, 0.25);
+    EXPECT_DOUBLE_EQ(cert.value, s.total_reward);
+    EXPECT_GT(cert.certified_ratio, 0.0);
+    EXPECT_LE(cert.certified_ratio, 1.0 + 1e-12);
+    // With a fine grid, greedy2's certificate should be nontrivial —
+    // well above the Theorem-2 worst case.
+    EXPECT_GT(cert.certified_ratio, 0.3) << "seed " << seed;
+  }
+}
+
+TEST(Certificate, CertifiedRatioImprovesWithFinerGrid) {
+  const Problem p = random_problem(20, 21);
+  const Solution s = GreedyLocalSolver().solve(p, 3);
+  EXPECT_GE(certify_ratio(p, s, 0.25).certified_ratio,
+            certify_ratio(p, s, 1.0).certified_ratio - 1e-12);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,181 @@
+// Tests for the exhaustive baseline: optimality on small instances,
+// pruning/parallel consistency, guards.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+// Brute force: evaluate every k-combination of candidates directly.
+double brute_force_best(const Problem& p, const geo::PointSet& candidates,
+                        std::size_t k) {
+  std::vector<std::size_t> combo(k);
+  double best = -1.0;
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t start,
+                                                          std::size_t depth) {
+    if (depth == k) {
+      best = std::max(best, objective_value(p, candidates, combo));
+      return;
+    }
+    for (std::size_t c = start; c + (k - depth) <= candidates.size(); ++c) {
+      combo[depth] = c;
+      rec(c + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(Binomial, HandValues) {
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(40, 4), 91390.0);
+  EXPECT_DOUBLE_EQ(binomial(3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(7, 7), 1.0);
+}
+
+TEST(Exhaustive, Name) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  EXPECT_EQ(ExhaustiveSolver::over_points(p).name(), "exhaustive");
+}
+
+TEST(Exhaustive, RejectsEmptyCandidates) {
+  EXPECT_THROW(ExhaustiveSolver(geo::PointSet(2)), InvalidArgument);
+}
+
+TEST(Exhaustive, RejectsKAboveCandidateCount) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  EXPECT_THROW((void)ExhaustiveSolver::over_points(p).solve(p, 2),
+               InvalidArgument);
+}
+
+TEST(Exhaustive, MaxSubsetsGuard) {
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  rnd::Rng rng(51);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  ExhaustiveOptions opts;
+  opts.max_subsets = 100.0;  // far below C(40, 4)
+  EXPECT_THROW((void)ExhaustiveSolver::over_points(p, opts).solve(p, 4),
+               InvalidArgument);
+}
+
+TEST(Exhaustive, MatchesBruteForceOnSmallInstances) {
+  rnd::WorkloadSpec spec;
+  spec.n = 8;
+  rnd::Rng rng(52);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0 + 0.25 * (trial % 4),
+        trial % 2 ? geo::l1_metric() : geo::l2_metric());
+    const ExhaustiveSolver solver = ExhaustiveSolver::over_points(p);
+    for (std::size_t k : {1u, 2u, 3u}) {
+      const double got = solver.solve(p, k).total_reward;
+      const double want =
+          brute_force_best(p, candidates_from_points(p), k);
+      EXPECT_NEAR(got, want, 1e-9)
+          << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(Exhaustive, PruningOnOffAgree) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.5, geo::l2_metric());
+    ExhaustiveOptions pruned;
+    ExhaustiveOptions plain;
+    plain.use_pruning = false;
+    const double a =
+        ExhaustiveSolver::over_points(p, pruned).solve(p, 3).total_reward;
+    const double b =
+        ExhaustiveSolver::over_points(p, plain).solve(p, 3).total_reward;
+    EXPECT_NEAR(a, b, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, ParallelSerialAgree) {
+  rnd::WorkloadSpec spec;
+  spec.n = 12;
+  rnd::Rng rng(54);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    ExhaustiveOptions par_opts;
+    ExhaustiveOptions ser_opts;
+    ser_opts.parallel = false;
+    const Solution a =
+        ExhaustiveSolver::over_points(p, par_opts).solve(p, 3);
+    const Solution b =
+        ExhaustiveSolver::over_points(p, ser_opts).solve(p, 3);
+    EXPECT_NEAR(a.total_reward, b.total_reward, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, DominatesGreedyAlgorithms) {
+  rnd::WorkloadSpec spec;
+  spec.n = 12;
+  rnd::Rng rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    const double opt =
+        ExhaustiveSolver::over_points(p).solve(p, 2).total_reward;
+    const double g2 = GreedyLocalSolver().solve(p, 2).total_reward;
+    const double g3 = GreedySimpleSolver().solve(p, 2).total_reward;
+    EXPECT_GE(opt + 1e-9, g2) << "trial " << trial;
+    EXPECT_GE(opt + 1e-9, g3) << "trial " << trial;
+  }
+}
+
+TEST(Exhaustive, GridCandidatesAtLeastPointCandidates) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(56);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const double points_only =
+      ExhaustiveSolver::over_points(p).solve(p, 2).total_reward;
+  const double with_grid =
+      ExhaustiveSolver::over_grid_and_points(p, 0.5).solve(p, 2).total_reward;
+  EXPECT_GE(with_grid + 1e-9, points_only);
+}
+
+TEST(Exhaustive, SolutionAccountingConsistent) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(57);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l2_metric());
+  const Solution s = ExhaustiveSolver::over_points(p).solve(p, 3);
+  EXPECT_EQ(s.centers.size(), 3u);
+  EXPECT_EQ(s.round_rewards.size(), 3u);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(Exhaustive, KEqualsOneFindsBestSingleCenter) {
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {0.3, 0.0}, {5.0, 5.0}}),
+      {1.0, 1.0, 1.0}, 1.0, geo::l2_metric());
+  const Solution s = ExhaustiveSolver::over_points(p).solve(p, 1);
+  // Best single center is point 0 or 1 (covers both at 1 + 0.7).
+  EXPECT_NEAR(s.total_reward, 1.7, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmph::core

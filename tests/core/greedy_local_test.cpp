@@ -1,0 +1,113 @@
+// Tests for Algorithm 2 (local greedy): coverage-based selection.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+TEST(GreedyLocal, Name) { EXPECT_EQ(GreedyLocalSolver().name(), "greedy2"); }
+
+TEST(GreedyLocal, PrefersClusterOverLoneHeavyPoint) {
+  // A weight-4 lone point vs a cluster of three weight-2 points: coverage
+  // reward of the cluster center (2*1 + 2*0.8 + 2*0.8 = 5.2) beats 4.
+  const Problem p(
+      geo::PointSet::from_rows(
+          {{10.0, 0.0}, {0.0, 0.0}, {0.2, 0.0}, {-0.2, 0.0}}),
+      {4.0, 2.0, 2.0, 2.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedyLocalSolver().solve(p, 1);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 0.0);
+  EXPECT_NEAR(s.total_reward, 5.2, 1e-12);
+}
+
+TEST(GreedyLocal, SimpleGreedyDiffersHere) {
+  // Same instance: Algorithm 3 takes the lone weight-4 point instead.
+  const Problem p(
+      geo::PointSet::from_rows(
+          {{10.0, 0.0}, {0.0, 0.0}, {0.2, 0.0}, {-0.2, 0.0}}),
+      {4.0, 2.0, 2.0, 2.0}, 1.0, geo::l2_metric());
+  const Solution s3 = GreedySimpleSolver().solve(p, 1);
+  EXPECT_DOUBLE_EQ(s3.centers[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(s3.total_reward, 4.0);
+}
+
+TEST(GreedyLocal, TieBreaksToLowestIndex) {
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {10.0, 0.0}}),
+      {1.0, 1.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedyLocalSolver().solve(p, 1);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 0.0);
+}
+
+TEST(GreedyLocal, TotalMatchesObjective) {
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  rnd::Rng rng(11);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l2_metric());
+  const Solution s = GreedyLocalSolver().solve(p, 4);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(GreedyLocal, RoundRewardsAreMonotoneNonIncreasing) {
+  // Submodularity: the best coverage reward cannot grow between rounds.
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  rnd::Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    const Solution s = GreedyLocalSolver().solve(p, 6);
+    for (std::size_t j = 1; j < s.round_rewards.size(); ++j) {
+      EXPECT_LE(s.round_rewards[j], s.round_rewards[j - 1] + 1e-9)
+          << "trial " << trial << " round " << j;
+    }
+  }
+}
+
+TEST(GreedyLocal, FirstRoundAtLeastSimpleGreedy) {
+  // The coverage reward of the best point dominates the single-point rule.
+  rnd::WorkloadSpec spec;
+  spec.n = 30;
+  rnd::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    const Solution s2 = GreedyLocalSolver().solve(p, 1);
+    const Solution s3 = GreedySimpleSolver().solve(p, 1);
+    EXPECT_GE(s2.total_reward + 1e-9, s3.total_reward) << "trial " << trial;
+  }
+}
+
+TEST(GreedyLocal, CenterIsAlwaysAnInputPoint) {
+  rnd::WorkloadSpec spec;
+  spec.n = 25;
+  rnd::Rng rng(14);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           2.0, geo::l1_metric());
+  const Solution s = GreedyLocalSolver().solve(p, 4);
+  for (std::size_t j = 0; j < s.centers.size(); ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < p.size() && !found; ++i) {
+      found = geo::approx_equal(s.centers[j], p.point(i));
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GreedyLocal, SinglePointInstance) {
+  const Problem p(geo::PointSet::from_rows({{1.0, 1.0}}), {3.0}, 1.0,
+                  geo::l2_metric());
+  const Solution s = GreedyLocalSolver().solve(p, 2);
+  EXPECT_DOUBLE_EQ(s.total_reward, 3.0);
+  EXPECT_DOUBLE_EQ(s.round_rewards[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.round_rewards[1], 0.0);  // nothing left to claim
+}
+
+}  // namespace
+}  // namespace mmph::core

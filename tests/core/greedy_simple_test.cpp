@@ -1,0 +1,118 @@
+// Tests for Algorithm 3 (simple local greedy): selection rule, tie-breaks,
+// round accounting.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+TEST(GreedySimple, Name) {
+  EXPECT_EQ(GreedySimpleSolver().name(), "greedy3");
+}
+
+TEST(GreedySimple, RejectsZeroK) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  EXPECT_THROW((void)GreedySimpleSolver().solve(p, 0), InvalidArgument);
+}
+
+TEST(GreedySimple, PicksHeaviestPointFirst) {
+  // Far-apart points so coverage is single-point only.
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}),
+      {2.0, 5.0, 3.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 1);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 10.0);  // the weight-5 point
+  EXPECT_DOUBLE_EQ(s.total_reward, 5.0);
+}
+
+TEST(GreedySimple, SelectionOrderFollowsResidualWeight) {
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}),
+      {2.0, 5.0, 3.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 3);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(s.centers[1][0], 20.0);
+  EXPECT_DOUBLE_EQ(s.centers[2][0], 0.0);
+  EXPECT_DOUBLE_EQ(s.total_reward, 10.0);
+}
+
+TEST(GreedySimple, TieBreaksToLowestIndex) {
+  const Problem p(
+      geo::PointSet::from_rows({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}),
+      {3.0, 3.0, 3.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 1);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 0.0);
+}
+
+TEST(GreedySimple, CenterIsAlwaysAnInputPoint) {
+  rnd::WorkloadSpec spec;
+  spec.n = 30;
+  rnd::Rng rng(5);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 4);
+  for (std::size_t j = 0; j < s.centers.size(); ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < p.size() && !found; ++i) {
+      found = geo::approx_equal(s.centers[j], p.point(i));
+    }
+    EXPECT_TRUE(found) << "center " << j << " is not an input point";
+  }
+}
+
+TEST(GreedySimple, RoundRewardsSumToTotal) {
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  rnd::Rng rng(6);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 4);
+  double sum = 0.0;
+  for (double g : s.round_rewards) sum += g;
+  EXPECT_NEAR(sum, s.total_reward, 1e-12);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(GreedySimple, ResidualConsistentWithReward) {
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  rnd::Rng rng(7);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 3);
+  double claimed = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    claimed += p.weight(i) * (1.0 - s.residual[i]);
+  }
+  EXPECT_NEAR(claimed, s.total_reward, 1e-9);
+}
+
+TEST(GreedySimple, KLargerThanNStillWorks) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}, {0.5, 0.0}}),
+                  {1.0, 1.0}, 1.0, geo::l2_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 5);
+  EXPECT_EQ(s.centers.size(), 5u);
+  EXPECT_LE(s.total_reward, p.total_weight() + 1e-12);
+}
+
+TEST(GreedySimple, WorksIn3DWithL1) {
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  spec.dim = 3;
+  rnd::Rng rng(8);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l1_metric());
+  const Solution s = GreedySimpleSolver().solve(p, 4);
+  EXPECT_EQ(s.centers.dim(), 3u);
+  EXPECT_GT(s.total_reward, 0.0);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+}  // namespace
+}  // namespace mmph::core

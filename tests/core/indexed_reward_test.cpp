@@ -1,0 +1,147 @@
+// Tests for the spatially-indexed reward kernels and the indexed greedy.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/greedy_complex.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/indexed_reward.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::size_t dim, double radius,
+                       geo::Metric metric, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), radius,
+                                metric);
+}
+
+TEST(IndexedReward, CoverageMatchesPlainKernel) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Problem p = random_problem(60, 2, 1.0, geo::l2_metric(), seed);
+    const IndexedProblem indexed(p);
+    const auto y = fresh_residual(p);
+    rnd::Rng rng(seed + 100);
+    for (int trial = 0; trial < 30; ++trial) {
+      const std::vector<double> c{rng.uniform(0.0, 4.0),
+                                  rng.uniform(0.0, 4.0)};
+      EXPECT_NEAR(indexed.coverage_reward(c, y), coverage_reward(p, c, y),
+                  1e-9);
+    }
+  }
+}
+
+TEST(IndexedReward, CoverageMatchesUnderL1AndLinf) {
+  for (geo::Metric metric : {geo::l1_metric(), geo::linf_metric()}) {
+    const Problem p = random_problem(50, 3, 1.5, metric, 7);
+    const IndexedProblem indexed(p);
+    const auto y = fresh_residual(p);
+    rnd::Rng rng(8);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<double> c(3);
+      for (auto& v : c) v = rng.uniform(0.0, 4.0);
+      EXPECT_NEAR(indexed.coverage_reward(c, y), coverage_reward(p, c, y),
+                  1e-9);
+    }
+  }
+}
+
+TEST(IndexedReward, ApplyMatchesPlainKernel) {
+  const Problem p = random_problem(40, 2, 1.0, geo::l2_metric(), 9);
+  const IndexedProblem indexed(p);
+  auto y_plain = fresh_residual(p);
+  auto y_indexed = fresh_residual(p);
+  rnd::Rng rng(10);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<double> c{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    const double g_plain = apply_center(p, c, y_plain);
+    const double g_indexed = indexed.apply_center(c, y_indexed);
+    EXPECT_NEAR(g_plain, g_indexed, 1e-9);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_NEAR(y_plain[i], y_indexed[i], 1e-12);
+    }
+  }
+}
+
+TEST(IndexedReward, PartialResidualsHandled) {
+  const Problem p = random_problem(30, 2, 1.5, geo::l2_metric(), 11);
+  const IndexedProblem indexed(p);
+  std::vector<double> y(p.size());
+  rnd::Rng rng(12);
+  for (auto& v : y) v = rng.uniform(0.0, 1.0);
+  const std::vector<double> c{2.0, 2.0};
+  EXPECT_NEAR(indexed.coverage_reward(c, y), coverage_reward(p, c, y), 1e-9);
+}
+
+TEST(IndexedGreedy, Name) {
+  EXPECT_EQ(IndexedGreedyLocalSolver().name(), "greedy2-indexed");
+}
+
+TEST(IndexedGreedy, RejectsZeroK) {
+  const Problem p = random_problem(5, 2, 1.0, geo::l2_metric(), 13);
+  EXPECT_THROW((void)IndexedGreedyLocalSolver().solve(p, 0), InvalidArgument);
+}
+
+TEST(IndexedGreedy, MatchesPlainGreedy2) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p = random_problem(50, 2, 1.0, geo::l2_metric(), seed);
+    const Solution plain = GreedyLocalSolver().solve(p, 4);
+    const Solution indexed = IndexedGreedyLocalSolver().solve(p, 4);
+    EXPECT_NEAR(plain.total_reward, indexed.total_reward, 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(IndexedGreedyComplex, Name) {
+  EXPECT_EQ(IndexedGreedyComplexSolver().name(), "greedy4-indexed");
+}
+
+TEST(IndexedGreedyComplex, MatchesPlainGreedy4) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p = random_problem(40, 2, 1.0, geo::l2_metric(), seed);
+    const Solution plain = GreedyComplexSolver().solve(p, 4);
+    const Solution indexed = IndexedGreedyComplexSolver().solve(p, 4);
+    EXPECT_NEAR(plain.total_reward, indexed.total_reward, 1e-9)
+        << "seed " << seed;
+    ASSERT_EQ(plain.centers.size(), indexed.centers.size());
+    for (std::size_t j = 0; j < plain.centers.size(); ++j) {
+      EXPECT_TRUE(
+          geo::approx_equal(plain.centers[j], indexed.centers[j], 1e-9))
+          << "seed " << seed << " round " << j;
+    }
+  }
+}
+
+TEST(IndexedGreedyComplex, MatchesPlainUnderL1In3D) {
+  const Problem p = random_problem(30, 3, 1.5, geo::l1_metric(), 21);
+  const double plain = GreedyComplexSolver().solve(p, 3).total_reward;
+  const double indexed = IndexedGreedyComplexSolver().solve(p, 3).total_reward;
+  EXPECT_NEAR(plain, indexed, 1e-9);
+}
+
+TEST(IndexedGreedyComplex, AccountingConsistent) {
+  const Problem p = random_problem(25, 2, 1.0, geo::l2_metric(), 22);
+  const Solution s = IndexedGreedyComplexSolver().solve(p, 3);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+  EXPECT_THROW((void)IndexedGreedyComplexSolver().solve(p, 0),
+               InvalidArgument);
+}
+
+TEST(IndexedGreedy, SolutionAccountingConsistent) {
+  const Problem p = random_problem(40, 3, 1.5, geo::l1_metric(), 14);
+  const Solution s = IndexedGreedyLocalSolver().solve(p, 3);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+  double sum = 0.0;
+  for (double g : s.round_rewards) sum += g;
+  EXPECT_NEAR(sum, s.total_reward, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,129 @@
+// Tests for the 1-swap local-search refinement solver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/local_search.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed, double radius = 1.0) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), radius,
+                                geo::l2_metric());
+}
+
+TEST(LocalSearch, Validation) {
+  EXPECT_THROW(LocalSearchSolver(nullptr, geo::PointSet::from_rows({{0.0}})),
+               InvalidArgument);
+  EXPECT_THROW(LocalSearchSolver(std::make_shared<GreedyLocalSolver>(),
+                                 geo::PointSet(2)),
+               InvalidArgument);
+  EXPECT_THROW(LocalSearchSolver(std::make_shared<GreedyLocalSolver>(),
+                                 geo::PointSet::from_rows({{0.0, 0.0}}), 0),
+               InvalidArgument);
+}
+
+TEST(LocalSearch, NameAppendsSuffix) {
+  const auto ls = LocalSearchSolver(std::make_shared<GreedySimpleSolver>(),
+                                    geo::PointSet::from_rows({{0.0, 0.0}}));
+  EXPECT_EQ(ls.name(), "greedy3+ls");
+}
+
+TEST(LocalSearch, NeverWorseThanBase) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = random_problem(25, seed);
+    const double base = GreedyLocalSolver().solve(p, 3).total_reward;
+    const double refined =
+        LocalSearchSolver::greedy2_over_grid(p, 0.5).solve(p, 3).total_reward;
+    EXPECT_GE(refined + 1e-9, base) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearch, ImprovesAWeakBase) {
+  // greedy3 leaves coverage on the table; local search should close part
+  // of the gap to greedy2 on average.
+  double base_total = 0.0;
+  double refined_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = random_problem(30, seed);
+    const LocalSearchSolver ls(std::make_shared<GreedySimpleSolver>(),
+                               candidates_from_points(p));
+    base_total += GreedySimpleSolver().solve(p, 3).total_reward;
+    refined_total += ls.solve(p, 3).total_reward;
+  }
+  EXPECT_GT(refined_total, base_total * 1.01);
+}
+
+TEST(LocalSearch, ReachesPointOptimumOnSmallInstances) {
+  // With candidates = the points and k small, 1-swap local search from
+  // greedy2 should usually land on the exhaustive point optimum; require
+  // it on strictly most seeds and never above it.
+  int optimal = 0;
+  constexpr int kSeeds = 10;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Problem p = random_problem(12, seed);
+    const LocalSearchSolver ls(std::make_shared<GreedyLocalSolver>(),
+                               candidates_from_points(p));
+    const double refined = ls.solve(p, 2).total_reward;
+    const double opt =
+        ExhaustiveSolver::over_points(p).solve(p, 2).total_reward;
+    EXPECT_LE(refined, opt + 1e-9);
+    if (refined >= opt - 1e-9) ++optimal;
+  }
+  EXPECT_GE(optimal, 7);
+}
+
+TEST(LocalSearch, AccountingConsistentAfterSwaps) {
+  const Problem p = random_problem(30, 42);
+  const LocalSearchSolver ls = LocalSearchSolver::greedy2_over_grid(p, 0.5);
+  const Solution s = ls.solve(p, 4);
+  EXPECT_EQ(s.centers.size(), 4u);
+  EXPECT_EQ(s.round_rewards.size(), 4u);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+  EXPECT_EQ(s.solver_name, "greedy2+ls");
+}
+
+TEST(LocalSearch, SwapCountReported) {
+  const Problem p = random_problem(30, 43);
+  const LocalSearchSolver weak(std::make_shared<GreedySimpleSolver>(),
+                               candidates_from_points(p));
+  const double base = GreedySimpleSolver().solve(p, 3).total_reward;
+  const Solution s = weak.solve(p, 3);
+  if (s.total_reward > base + 1e-9) {
+    EXPECT_GT(weak.last_swap_count(), 0u);
+  } else {
+    EXPECT_EQ(weak.last_swap_count(), 0u);
+  }
+}
+
+TEST(LocalSearch, DeterministicAcrossRuns) {
+  const Problem p = random_problem(25, 44);
+  const LocalSearchSolver ls = LocalSearchSolver::greedy2_over_grid(p, 0.5);
+  const Solution a = ls.solve(p, 3);
+  const Solution b = ls.solve(p, 3);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  for (std::size_t j = 0; j < a.centers.size(); ++j) {
+    EXPECT_TRUE(geo::approx_equal(a.centers[j], b.centers[j], 0.0));
+  }
+}
+
+TEST(LocalSearch, DimensionMismatchThrows) {
+  const Problem p = random_problem(10, 45);
+  const LocalSearchSolver ls(std::make_shared<GreedyLocalSolver>(),
+                             geo::PointSet::from_rows({{0.0, 0.0, 0.0}}));
+  EXPECT_THROW((void)ls.solve(p, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmph::core

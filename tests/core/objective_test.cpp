@@ -1,0 +1,121 @@
+// Tests for direct objective evaluation and its equivalence with the
+// sequential residual formulation (Eq. 7 == sum of round rewards).
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem line_problem() {
+  return Problem(geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0}}),
+                 {1.0, 2.0, 4.0}, 2.0, geo::l2_metric());
+}
+
+TEST(Objective, EmptyCenterSetIsZero) {
+  const Problem p = line_problem();
+  EXPECT_DOUBLE_EQ(objective_value(p, geo::PointSet(2)), 0.0);
+}
+
+TEST(Objective, SingleCenterHandValue) {
+  const Problem p = line_problem();
+  const auto centers = geo::PointSet::from_rows({{0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(objective_value(p, centers), 2.0);
+}
+
+TEST(Objective, PerPointCapAtOne) {
+  const Problem p = line_problem();
+  // Two identical centers: coverage fractions add but cap at 1 per point.
+  const auto centers = geo::PointSet::from_rows({{0.0, 0.0}, {0.0, 0.0}});
+  // Point 0: min(1+1,1)=1 -> 1; point 1: min(.5+.5,1)=1 -> 2; point 2: 0.
+  EXPECT_DOUBLE_EQ(objective_value(p, centers), 3.0);
+}
+
+TEST(Objective, DimensionMismatchThrows) {
+  const Problem p = line_problem();
+  const auto centers = geo::PointSet::from_rows({{0.0, 0.0, 0.0}});
+  EXPECT_THROW((void)objective_value(p, centers), InvalidArgument);
+}
+
+TEST(Objective, IndexedOverloadMatchesDirect) {
+  const Problem p = line_problem();
+  const auto candidates =
+      geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0}});
+  const std::vector<std::size_t> chosen{0, 2};
+  geo::PointSet direct(2);
+  direct.push_back(candidates[0]);
+  direct.push_back(candidates[2]);
+  EXPECT_DOUBLE_EQ(objective_value(p, candidates, chosen),
+                   objective_value(p, direct));
+}
+
+TEST(Objective, NeverExceedsTotalWeight) {
+  const Problem p = line_problem();
+  const auto centers = geo::PointSet::from_rows(
+      {{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0}, {2.0, 0.0}});
+  EXPECT_LE(objective_value(p, centers), p.total_weight() + 1e-12);
+}
+
+TEST(MarginalGain, MatchesDifference) {
+  const Problem p = line_problem();
+  const auto centers = geo::PointSet::from_rows({{0.0, 0.0}});
+  const std::vector<double> extra{3.0, 0.0};
+  geo::PointSet bigger(2);
+  bigger.push_back(centers[0]);
+  bigger.push_back(extra);
+  EXPECT_NEAR(marginal_gain(p, centers, extra),
+              objective_value(p, bigger) - objective_value(p, centers),
+              1e-12);
+}
+
+TEST(MarginalGain, OfDuplicateCoveringCenter) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  const auto centers = geo::PointSet::from_rows({{0.0, 0.0}});
+  const std::vector<double> extra{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(marginal_gain(p, centers, extra), 0.0);
+}
+
+// Property: direct objective equals the sum of sequential round rewards,
+// for random instances and random center sequences, across metrics.
+class ObjectiveEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ObjectiveEquivalence, SequentialResidualMatchesDirect) {
+  const auto [dim, norm_id] = GetParam();
+  const geo::Metric metric =
+      norm_id == 1 ? geo::l1_metric()
+                   : (norm_id == 2 ? geo::l2_metric() : geo::linf_metric());
+  rnd::Rng rng(100 * dim + norm_id);
+  for (int trial = 0; trial < 50; ++trial) {
+    rnd::WorkloadSpec spec;
+    spec.n = 15;
+    spec.dim = static_cast<std::size_t>(dim);
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), rng.uniform(0.5, 2.0), metric);
+
+    geo::PointSet centers(p.dim());
+    auto y = fresh_residual(p);
+    double sequential = 0.0;
+    const int k = 1 + trial % 5;
+    std::vector<double> c(p.dim());
+    for (int j = 0; j < k; ++j) {
+      for (auto& v : c) v = rng.uniform(0.0, 4.0);
+      centers.push_back(c);
+      sequential += apply_center(p, c, y);
+    }
+    EXPECT_NEAR(sequential, objective_value(p, centers), 1e-9)
+        << "dim=" << dim << " norm=" << norm_id << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ObjectiveEquivalence,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(1, 2, 0)));
+
+}  // namespace
+}  // namespace mmph::core

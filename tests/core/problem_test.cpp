@@ -1,0 +1,61 @@
+// Tests for Problem construction and validation.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+geo::PointSet two_points() {
+  return geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 1.0}});
+}
+
+TEST(Problem, BasicAccessors) {
+  const Problem p(two_points(), {1.0, 2.0}, 1.5, geo::l2_metric());
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_DOUBLE_EQ(p.radius(), 1.5);
+  EXPECT_DOUBLE_EQ(p.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(p.weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(p.point(1)[0], 1.0);
+  EXPECT_EQ(p.metric().norm(), geo::Norm::kL2);
+}
+
+TEST(Problem, RejectsEmptyPoints) {
+  EXPECT_THROW(Problem(geo::PointSet(2), {}, 1.0, geo::l2_metric()),
+               InvalidArgument);
+}
+
+TEST(Problem, RejectsWeightCountMismatch) {
+  EXPECT_THROW(Problem(two_points(), {1.0}, 1.0, geo::l2_metric()),
+               InvalidArgument);
+}
+
+TEST(Problem, RejectsNonPositiveRadius) {
+  EXPECT_THROW(Problem(two_points(), {1.0, 1.0}, 0.0, geo::l2_metric()),
+               InvalidArgument);
+  EXPECT_THROW(Problem(two_points(), {1.0, 1.0}, -2.0, geo::l2_metric()),
+               InvalidArgument);
+}
+
+TEST(Problem, RejectsNonPositiveWeights) {
+  EXPECT_THROW(Problem(two_points(), {1.0, 0.0}, 1.0, geo::l2_metric()),
+               InvalidArgument);
+  EXPECT_THROW(Problem(two_points(), {1.0, -1.0}, 1.0, geo::l2_metric()),
+               InvalidArgument);
+}
+
+TEST(Problem, FromWorkload) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(1);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l1_metric());
+  EXPECT_EQ(p.size(), 10u);
+  EXPECT_EQ(p.metric().norm(), geo::Norm::kL1);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,90 @@
+// Property tests for Theorem 2: on small instances where the exhaustive
+// optimum over the points domain is computable, the local greedy algorithms
+// achieve at least 1 - (1 - 1/n)^k of it. (The bound holds a fortiori for
+// the point-restricted optimum, which lower-bounds the continuous one only
+// through the same candidate set — we also check against a grid-augmented
+// optimum for greedy 2 and greedy 3, whose proofs do not depend on the
+// candidate domain.)
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/round_based.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace mmph::core {
+namespace {
+
+class RatioBoundSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(RatioBoundSweep, Theorem2HoldsAgainstGridOptimum) {
+  const auto [n, k, radius] = GetParam();
+  rnd::WorkloadSpec spec;
+  spec.n = static_cast<std::size_t>(n);
+  rnd::Rng rng(81 + n * 100 + k * 10 + static_cast<int>(radius * 4));
+  const double bound = approx_ratio_local_greedy(n, k);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), radius, geo::l2_metric());
+    const double opt =
+        ExhaustiveSolver::over_grid_and_points(p, 0.5).solve(p, k)
+            .total_reward;
+    ASSERT_GT(opt, 0.0);
+    const double g2 = GreedyLocalSolver().solve(p, k).total_reward;
+    const double g3 = GreedySimpleSolver().solve(p, k).total_reward;
+    EXPECT_GE(g2 / opt, bound - 1e-9)
+        << "greedy2 n=" << n << " k=" << k << " r=" << radius;
+    EXPECT_GE(g3 / opt, bound - 1e-9)
+        << "greedy3 n=" << n << " k=" << k << " r=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RatioBoundSweep,
+    ::testing::Combine(::testing::Values(8, 12), ::testing::Values(1, 2, 3),
+                       ::testing::Values(1.0, 2.0)));
+
+TEST(RatioBound, Theorem1StyleBoundForRoundOracleOnPointDomain) {
+  // When the round oracle optimizes over the same finite candidate set the
+  // exhaustive baseline uses, Theorem 1's argument applies to that domain:
+  // ratio >= 1 - (1 - 1/k)^k.
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(82);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.5, geo::l2_metric());
+    for (std::size_t k : {2u, 3u}) {
+      const geo::PointSet candidates = candidates_from_points(p);
+      const double opt =
+          ExhaustiveSolver::over_points(p).solve(p, k).total_reward;
+      const double heuristic =
+          RoundBasedSolver(candidates).solve(p, k).total_reward;
+      EXPECT_GE(heuristic / opt, approx_ratio_round_based(k) - 1e-9)
+          << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(RatioBound, GreedyRatiosAreAtMostOneOnPointDomain) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(83);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    const double opt =
+        ExhaustiveSolver::over_points(p).solve(p, 2).total_reward;
+    EXPECT_LE(GreedyLocalSolver().solve(p, 2).total_reward, opt + 1e-9);
+    EXPECT_LE(GreedySimpleSolver().solve(p, 2).total_reward, opt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmph::core

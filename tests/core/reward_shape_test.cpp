@@ -1,0 +1,134 @@
+// Tests for the binary (classic max-coverage) reward shape extension.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/core/submodular.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem line_problem(RewardShape shape) {
+  return Problem(geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0}}),
+                 {1.0, 2.0, 4.0}, 2.0, geo::l2_metric(), shape);
+}
+
+TEST(RewardShape, Names) {
+  EXPECT_STREQ(reward_shape_name(RewardShape::kLinear), "linear");
+  EXPECT_STREQ(reward_shape_name(RewardShape::kBinary), "binary");
+}
+
+TEST(RewardShape, DefaultIsLinear) {
+  EXPECT_EQ(line_problem(RewardShape::kLinear).reward_shape(),
+            RewardShape::kLinear);
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  EXPECT_EQ(p.reward_shape(), RewardShape::kLinear);
+}
+
+TEST(RewardShape, BinaryUnitCoverageIsStep) {
+  const Problem p = line_problem(RewardShape::kBinary);
+  const std::vector<double> center{0.0, 0.0};
+  // d = 0, 1, 3 with r = 2 -> u = 1, 1, 0.
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 0), 1.0);
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 1), 1.0);
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 2), 0.0);
+}
+
+TEST(RewardShape, BinaryBoundaryIsInclusive) {
+  // Linear gives 0 exactly at distance r; binary gives full reward.
+  const Problem p = line_problem(RewardShape::kBinary);
+  const std::vector<double> center{5.0, 0.0};  // d to x=3 is exactly 2
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 2), 1.0);
+}
+
+TEST(RewardShape, BinaryCoverageRewardIsCoveredWeight) {
+  const Problem p = line_problem(RewardShape::kBinary);
+  const auto y = fresh_residual(p);
+  const std::vector<double> center{0.0, 0.0};
+  // Covers points 0 and 1 fully: 1 + 2 = 3.
+  EXPECT_DOUBLE_EQ(coverage_reward(p, center, y), 3.0);
+}
+
+TEST(RewardShape, BinaryDominatesLinearPointwise) {
+  rnd::WorkloadSpec spec;
+  spec.n = 25;
+  rnd::Rng rng(1);
+  const rnd::Workload wl = rnd::generate_workload(spec, rng);
+  const Problem linear(
+      geo::PointSet(wl.points), std::vector<double>(wl.weights), 1.0,
+      geo::l2_metric(), RewardShape::kLinear);
+  const Problem binary(
+      geo::PointSet(wl.points), std::vector<double>(wl.weights), 1.0,
+      geo::l2_metric(), RewardShape::kBinary);
+  const auto y = fresh_residual(linear);
+  rnd::Rng qrng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<double> c{qrng.uniform(0.0, 4.0),
+                                qrng.uniform(0.0, 4.0)};
+    EXPECT_GE(coverage_reward(binary, c, y) + 1e-12,
+              coverage_reward(linear, c, y));
+  }
+}
+
+TEST(RewardShape, BinaryObjectiveStillSubmodular) {
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  rnd::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), rng.uniform(0.5, 2.0),
+        geo::l2_metric(), RewardShape::kBinary);
+    geo::PointSet chain(2);
+    std::vector<double> c(2);
+    for (int j = 0; j < 5; ++j) {
+      c[0] = rng.uniform(0.0, 4.0);
+      c[1] = rng.uniform(0.0, 4.0);
+      chain.push_back(c);
+    }
+    std::vector<double> extra{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    const auto v = check_diminishing_returns(p, chain, 1, 4, extra);
+    EXPECT_FALSE(v.violated) << "trial " << trial;
+    EXPECT_TRUE(check_monotone(p, chain));
+  }
+}
+
+TEST(RewardShape, SolversWorkUnderBinary) {
+  rnd::WorkloadSpec spec;
+  spec.n = 15;
+  rnd::Rng rng(4);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric(),
+                                           RewardShape::kBinary);
+  const Solution greedy = GreedyLocalSolver().solve(p, 2);
+  const Solution opt = ExhaustiveSolver::over_points(p).solve(p, 2);
+  EXPECT_GT(greedy.total_reward, 0.0);
+  EXPECT_LE(greedy.total_reward, opt.total_reward + 1e-9);
+  EXPECT_NEAR(greedy.total_reward, objective_value(p, greedy.centers), 1e-9);
+  // Classic max-coverage greedy bound: >= (1 - 1/e) of the point optimum.
+  EXPECT_GE(greedy.total_reward, (1.0 - 1.0 / 2.718281828) *
+                                     opt.total_reward - 1e-9);
+}
+
+TEST(RewardShape, BinaryRewardAtLeastLinearForSameCenters) {
+  rnd::WorkloadSpec spec;
+  spec.n = 30;
+  rnd::Rng rng(5);
+  const rnd::Workload wl = rnd::generate_workload(spec, rng);
+  const Problem linear(geo::PointSet(wl.points),
+                       std::vector<double>(wl.weights), 1.0,
+                       geo::l2_metric(), RewardShape::kLinear);
+  const Problem binary(geo::PointSet(wl.points),
+                       std::vector<double>(wl.weights), 1.0,
+                       geo::l2_metric(), RewardShape::kBinary);
+  const Solution s = GreedyLocalSolver().solve(linear, 3);
+  EXPECT_GE(objective_value(binary, s.centers) + 1e-9,
+            objective_value(linear, s.centers));
+}
+
+}  // namespace
+}  // namespace mmph::core

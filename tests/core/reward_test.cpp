@@ -1,0 +1,116 @@
+// Tests for the reward kernels against hand-computed values (Eq. 1-3).
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/reward.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+// Three collinear points at x = 0, 1, 3 with weights 1, 2, 4; radius 2.
+Problem line_problem() {
+  return Problem(geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {3.0, 0.0}}),
+                 {1.0, 2.0, 4.0}, 2.0, geo::l2_metric());
+}
+
+TEST(UnitCoverage, HandValues) {
+  const Problem p = line_problem();
+  const std::vector<double> center{0.0, 0.0};
+  // d = 0, 1, 3 with r = 2 -> u = 1, 0.5, 0 (clamped).
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 0), 1.0);
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 1), 0.5);
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 2), 0.0);
+}
+
+TEST(UnitCoverage, ExactlyAtRadiusIsZero) {
+  const Problem p = line_problem();
+  const std::vector<double> center{5.0, 0.0};  // d to x=3 is exactly 2
+  EXPECT_DOUBLE_EQ(unit_coverage(p, center, 2), 0.0);
+}
+
+TEST(UnitCoverage, RespectsMetric) {
+  const Problem p(geo::PointSet::from_rows({{1.0, 1.0}}), {1.0}, 3.0,
+                  geo::l1_metric());
+  const std::vector<double> center{0.0, 0.0};
+  // L1 distance 2, r=3 -> u = 1/3.
+  EXPECT_NEAR(unit_coverage(p, center, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FreshResidual, AllOnes) {
+  const Problem p = line_problem();
+  const auto y = fresh_residual(p);
+  ASSERT_EQ(y.size(), 3u);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(CoverageReward, FreshResidualHandValue) {
+  const Problem p = line_problem();
+  auto y = fresh_residual(p);
+  const std::vector<double> center{0.0, 0.0};
+  // g = 1*1 + 2*0.5 + 4*0 = 2.
+  EXPECT_DOUBLE_EQ(coverage_reward(p, center, y), 2.0);
+}
+
+TEST(CoverageReward, ResidualCapsContribution) {
+  const Problem p = line_problem();
+  std::vector<double> y{0.25, 0.25, 1.0};
+  const std::vector<double> center{0.0, 0.0};
+  // z = min(1, .25)=0.25, min(.5, .25)=0.25, 0 -> g = 1*.25 + 2*.25 = 0.75.
+  EXPECT_DOUBLE_EQ(coverage_reward(p, center, y), 0.75);
+}
+
+TEST(ApplyCenter, UpdatesResidualAndReturnsGain) {
+  const Problem p = line_problem();
+  auto y = fresh_residual(p);
+  const std::vector<double> center{0.0, 0.0};
+  const double g = apply_center(p, center, y);
+  EXPECT_DOUBLE_EQ(g, 2.0);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(ApplyCenter, SecondApplicationGivesLess) {
+  const Problem p = line_problem();
+  auto y = fresh_residual(p);
+  const std::vector<double> center{0.0, 0.0};
+  const double g1 = apply_center(p, center, y);
+  const double g2 = apply_center(p, center, y);
+  EXPECT_GT(g1, g2);
+  // Second pass only collects point 1's remaining 0.5 -> 2*0.5 = 1.
+  EXPECT_DOUBLE_EQ(g2, 1.0);
+  const double g3 = apply_center(p, center, y);
+  EXPECT_DOUBLE_EQ(g3, 0.0);  // exhausted
+}
+
+TEST(ApplyCenter, ResidualNeverNegative) {
+  const Problem p = line_problem();
+  auto y = fresh_residual(p);
+  const std::vector<double> center{0.5, 0.0};
+  for (int round = 0; round < 5; ++round) {
+    (void)apply_center(p, center, y);
+    for (double v : y) EXPECT_GE(v, -1e-15);
+  }
+}
+
+TEST(SinglePointReward, IsWeightTimesResidual) {
+  const Problem p = line_problem();
+  std::vector<double> y{1.0, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(single_point_reward(p, 0, y), 1.0);
+  EXPECT_DOUBLE_EQ(single_point_reward(p, 1, y), 1.0);
+  EXPECT_DOUBLE_EQ(single_point_reward(p, 2, y), 0.0);
+}
+
+TEST(CoverageReward, MatchesTableIOrderOfMagnitude) {
+  // Sanity: a center on top of a weight-5 point claims at least 5.
+  const Problem p(geo::PointSet::from_rows({{1.0, 1.0}, {1.2, 1.0}}),
+                  {5.0, 3.0}, 1.0, geo::l2_metric());
+  auto y = fresh_residual(p);
+  const std::vector<double> c{1.0, 1.0};
+  // 5*1 + 3*(1-0.2) = 5 + 2.4.
+  EXPECT_NEAR(coverage_reward(p, c, y), 7.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmph::core

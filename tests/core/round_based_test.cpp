@@ -1,0 +1,108 @@
+// Tests for Algorithm 1 realized with a grid candidate oracle ("greedy 1").
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/round_based.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+TEST(RoundBased, Name) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  EXPECT_EQ(RoundBasedSolver::over_grid(p, 0.5).name(), "greedy1");
+}
+
+TEST(RoundBased, RejectsEmptyCandidateSet) {
+  EXPECT_THROW(RoundBasedSolver(geo::PointSet(2)), InvalidArgument);
+}
+
+TEST(RoundBased, ExplicitCandidates) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}}),
+                  {1.0, 1.0}, 1.0, geo::l2_metric());
+  // Only one candidate: it must be chosen in every round.
+  const RoundBasedSolver solver(geo::PointSet::from_rows({{0.5, 0.0}}));
+  const Solution s = solver.solve(p, 2);
+  EXPECT_DOUBLE_EQ(s.centers[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(s.centers[1][0], 0.5);
+  // Round 1 claims 2 * (1 - 0.5) = 1; round 2 the remaining 1.
+  EXPECT_DOUBLE_EQ(s.round_rewards[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.round_rewards[1], 1.0);
+}
+
+TEST(RoundBased, CandidateDimensionMismatchThrows) {
+  const Problem p(geo::PointSet::from_rows({{0.0, 0.0}}), {1.0}, 1.0,
+                  geo::l2_metric());
+  const RoundBasedSolver solver(geo::PointSet::from_rows({{0.0, 0.0, 0.0}}));
+  EXPECT_THROW((void)solver.solve(p, 1), InvalidArgument);
+}
+
+TEST(RoundBased, GridOracleIncludesInputPoints) {
+  const Problem p(geo::PointSet::from_rows({{0.3, 0.3}, {3.7, 3.7}}),
+                  {1.0, 1.0}, 1.0, geo::l2_metric());
+  const RoundBasedSolver solver = RoundBasedSolver::over_grid(p, 0.5);
+  // Candidates = grid over bbox union the two points themselves.
+  EXPECT_GE(solver.candidates().size(), 2u);
+  bool found = false;
+  for (std::size_t c = 0; c < solver.candidates().size() && !found; ++c) {
+    found = geo::approx_equal(solver.candidates()[c], p.point(0));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RoundBased, BeatsOrMatchesGreedy2PerRoundWithFineGrid) {
+  // With a fine grid (superset of behaviorally-distinct centers), the
+  // round-oracle's first round dominates greedy 2's first round.
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  rnd::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+    const Solution s1 = RoundBasedSolver::over_grid(p, 0.1).solve(p, 1);
+    const Solution s2 = GreedyLocalSolver().solve(p, 1);
+    EXPECT_GE(s1.total_reward + 1e-9, s2.total_reward) << "trial " << trial;
+  }
+}
+
+TEST(RoundBased, TotalMatchesObjective) {
+  rnd::WorkloadSpec spec;
+  spec.n = 30;
+  rnd::Rng rng(32);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l1_metric());
+  const Solution s = RoundBasedSolver::over_grid(p, 0.25).solve(p, 3);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(RoundBased, RoundRewardsNonIncreasing) {
+  rnd::WorkloadSpec spec;
+  spec.n = 30;
+  rnd::Rng rng(33);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const Solution s = RoundBasedSolver::over_grid(p, 0.25).solve(p, 5);
+  for (std::size_t j = 1; j < s.round_rewards.size(); ++j) {
+    EXPECT_LE(s.round_rewards[j], s.round_rewards[j - 1] + 1e-9);
+  }
+}
+
+TEST(RoundBased, FinerGridNeverHurtsRoundOne) {
+  rnd::WorkloadSpec spec;
+  spec.n = 15;
+  rnd::Rng rng(34);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const double coarse =
+      RoundBasedSolver::over_grid(p, 1.0).solve(p, 1).total_reward;
+  const double fine =
+      RoundBasedSolver::over_grid(p, 0.1).solve(p, 1).total_reward;
+  EXPECT_GE(fine + 1e-9, coarse);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,116 @@
+// Tests for the continuous polish of the round-based oracle.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/round_based.hpp"
+#include "mmph/core/round_polish.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                geo::l2_metric());
+}
+
+TEST(RoundPolish, Validation) {
+  EXPECT_THROW(PolishedRoundSolver(geo::PointSet(2), 1.0), InvalidArgument);
+  const geo::PointSet one = geo::PointSet::from_rows({{0.0, 0.0}});
+  EXPECT_THROW(PolishedRoundSolver(geo::PointSet(one), 0.0), InvalidArgument);
+  EXPECT_THROW(PolishedRoundSolver(geo::PointSet(one), 1.0, 2.0),
+               InvalidArgument);
+  EXPECT_THROW(PolishedRoundSolver(geo::PointSet(one), 1.0, 0.0),
+               InvalidArgument);
+}
+
+TEST(RoundPolish, Name) {
+  const Problem p = random_problem(5, 1);
+  EXPECT_EQ(PolishedRoundSolver::over_grid(p, 0.5).name(), "greedy1+polish");
+}
+
+TEST(RoundPolish, NeverWorseThanGridOracleAtKOne) {
+  // For k = 1 the polished round is a strict superset search, so it
+  // dominates the grid oracle exactly.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = random_problem(25, seed);
+    const double grid_only =
+        RoundBasedSolver::over_grid(p, 0.5).solve(p, 1).total_reward;
+    const double polished =
+        PolishedRoundSolver::over_grid(p, 0.5).solve(p, 1).total_reward;
+    EXPECT_GE(polished + 1e-9, grid_only) << "seed=" << seed;
+  }
+}
+
+TEST(RoundPolish, ComparableAtLargerK) {
+  // Greedy is myopic: a better round-1 pick is not *guaranteed* to help
+  // the k-round total, but it should not systematically hurt either.
+  double grid_total = 0.0;
+  double polished_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = random_problem(25, seed);
+    grid_total +=
+        RoundBasedSolver::over_grid(p, 0.5).solve(p, 3).total_reward;
+    polished_total +=
+        PolishedRoundSolver::over_grid(p, 0.5).solve(p, 3).total_reward;
+  }
+  EXPECT_GE(polished_total, 0.99 * grid_total);
+}
+
+TEST(RoundPolish, FindsOffGridOptimum) {
+  // Symmetric cross of four points around an off-grid center: the best
+  // center is the cross's middle (0.55, 0.55), not any coarse grid point.
+  const double cx = 0.55, cy = 0.55;
+  geo::PointSet ps(2);
+  for (const auto& off : {std::pair{0.3, 0.0}, std::pair{-0.3, 0.0},
+                          std::pair{0.0, 0.3}, std::pair{0.0, -0.3}}) {
+    const std::vector<double> pt{cx + off.first, cy + off.second};
+    ps.push_back(pt);
+  }
+  const Problem p(std::move(ps), {1.0, 1.0, 1.0, 1.0}, 1.0,
+                  geo::l2_metric());
+  // Coarse grid (pitch 1.0) cannot represent (0.55, 0.55).
+  const Solution s = PolishedRoundSolver::over_grid(p, 1.0).solve(p, 1);
+  EXPECT_NEAR(s.centers[0][0], cx, 0.02);
+  EXPECT_NEAR(s.centers[0][1], cy, 0.02);
+  // Optimal reward: 4 * (1 - 0.3) = 2.8.
+  EXPECT_NEAR(s.total_reward, 2.8, 0.01);
+}
+
+TEST(RoundPolish, Deterministic) {
+  const Problem p = random_problem(20, 3);
+  const PolishedRoundSolver solver = PolishedRoundSolver::over_grid(p, 0.5);
+  const Solution a = solver.solve(p, 3);
+  const Solution b = solver.solve(p, 3);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  for (std::size_t j = 0; j < a.centers.size(); ++j) {
+    EXPECT_TRUE(geo::approx_equal(a.centers[j], b.centers[j], 0.0));
+  }
+}
+
+TEST(RoundPolish, AccountingConsistent) {
+  const Problem p = random_problem(20, 4);
+  const Solution s = PolishedRoundSolver::over_grid(p, 0.5).solve(p, 3);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+}
+
+TEST(RoundPolish, WorksUnderL1) {
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  rnd::Rng rng(5);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.5, geo::l1_metric());
+  const double grid_only =
+      RoundBasedSolver::over_grid(p, 0.5).solve(p, 2).total_reward;
+  const double polished =
+      PolishedRoundSolver::over_grid(p, 0.5).solve(p, 2).total_reward;
+  EXPECT_GE(polished + 1e-9, grid_only);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,120 @@
+// Tests for the one-pass Sieve-Streaming solver: the (1/2 - eps)
+// guarantee against the point optimum, determinism, and sieve mechanics.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/sieve_streaming.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed, double radius = 1.0) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), radius,
+                                geo::l2_metric());
+}
+
+TEST(SieveStreaming, ValidatesEpsilon) {
+  EXPECT_THROW(SieveStreamingSolver(0.0), InvalidArgument);
+  EXPECT_THROW(SieveStreamingSolver(1.0), InvalidArgument);
+  EXPECT_NO_THROW(SieveStreamingSolver(0.25));
+}
+
+TEST(SieveStreaming, Name) {
+  EXPECT_EQ(SieveStreamingSolver().name(), "sieve");
+}
+
+TEST(SieveStreaming, RejectsZeroK) {
+  const Problem p = random_problem(5, 1);
+  EXPECT_THROW((void)SieveStreamingSolver().solve(p, 0), InvalidArgument);
+}
+
+TEST(SieveStreaming, AtMostKCentersAllFromInput) {
+  const Problem p = random_problem(30, 2);
+  const Solution s = SieveStreamingSolver().solve(p, 4);
+  EXPECT_GE(s.centers.size(), 1u);
+  EXPECT_LE(s.centers.size(), 4u);
+  for (std::size_t j = 0; j < s.centers.size(); ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < p.size() && !found; ++i) {
+      found = geo::approx_equal(s.centers[j], p.point(i));
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SieveStreaming, HalfMinusEpsGuarantee) {
+  // Theory: f(sieve) >= (1/2 - eps) * OPT over the same ground set.
+  const double eps = 0.1;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = random_problem(15, seed);
+    for (std::size_t k : {2u, 3u}) {
+      const double opt =
+          ExhaustiveSolver::over_points(p).solve(p, k).total_reward;
+      const double sieve =
+          SieveStreamingSolver(eps).solve(p, k).total_reward;
+      EXPECT_GE(sieve, (0.5 - eps) * opt - 1e-9)
+          << "seed=" << seed << " k=" << k;
+      EXPECT_LE(sieve, opt + 1e-9);
+    }
+  }
+}
+
+TEST(SieveStreaming, Deterministic) {
+  const Problem p = random_problem(40, 3);
+  const SieveStreamingSolver solver(0.2);
+  const Solution a = solver.solve(p, 4);
+  const Solution b = solver.solve(p, 4);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  ASSERT_EQ(a.centers.size(), b.centers.size());
+  for (std::size_t j = 0; j < a.centers.size(); ++j) {
+    EXPECT_TRUE(geo::approx_equal(a.centers[j], b.centers[j], 0.0));
+  }
+}
+
+TEST(SieveStreaming, SmallerEpsilonMeansMoreSieves) {
+  const Problem p = random_problem(30, 4);
+  const SieveStreamingSolver coarse(0.5);
+  const SieveStreamingSolver fine(0.05);
+  (void)coarse.solve(p, 3);
+  const std::size_t coarse_sieves = coarse.last_sieve_count();
+  (void)fine.solve(p, 3);
+  EXPECT_GT(fine.last_sieve_count(), coarse_sieves);
+}
+
+TEST(SieveStreaming, AccountingConsistent) {
+  const Problem p = random_problem(25, 5);
+  const Solution s = SieveStreamingSolver().solve(p, 3);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+  EXPECT_EQ(s.round_rewards.size(), s.centers.size());
+}
+
+TEST(SieveStreaming, ReasonableQualityVsGreedy) {
+  // In practice sieve lands well above its worst-case bound.
+  double sieve_total = 0.0;
+  double greedy_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = random_problem(50, seed);
+    sieve_total += SieveStreamingSolver(0.1).solve(p, 4).total_reward;
+    greedy_total += GreedyLocalSolver().solve(p, 4).total_reward;
+  }
+  EXPECT_GE(sieve_total, 0.7 * greedy_total);
+}
+
+TEST(SieveStreaming, SinglePointStream) {
+  const Problem p(geo::PointSet::from_rows({{1.0, 1.0}}), {2.0}, 1.0,
+                  geo::l2_metric());
+  const Solution s = SieveStreamingSolver().solve(p, 3);
+  ASSERT_EQ(s.centers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_reward, 2.0);
+}
+
+}  // namespace
+}  // namespace mmph::core

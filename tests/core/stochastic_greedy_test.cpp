@@ -1,0 +1,113 @@
+// Tests for the stochastic (sampled) greedy extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/stochastic_greedy.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                geo::l2_metric());
+}
+
+TEST(StochasticGreedy, ValidatesEpsilon) {
+  EXPECT_THROW(StochasticGreedySolver(0.0), InvalidArgument);
+  EXPECT_THROW(StochasticGreedySolver(1.0), InvalidArgument);
+  EXPECT_THROW(StochasticGreedySolver(-0.5), InvalidArgument);
+  EXPECT_NO_THROW(StochasticGreedySolver(0.5));
+}
+
+TEST(StochasticGreedy, Name) {
+  EXPECT_EQ(StochasticGreedySolver().name(), "greedy2-stoch");
+}
+
+TEST(StochasticGreedy, SampleSizeFormula) {
+  const StochasticGreedySolver solver(0.1);
+  // ceil((n/k) * ln(10)).
+  EXPECT_EQ(solver.sample_size(100, 4),
+            static_cast<std::size_t>(std::ceil(25.0 * std::log(10.0))));
+  // Clamped to n.
+  EXPECT_EQ(solver.sample_size(10, 1), 10u);
+  // At least 1.
+  EXPECT_GE(StochasticGreedySolver(0.9).sample_size(100, 100), 1u);
+}
+
+TEST(StochasticGreedy, SmallerEpsilonMeansBiggerSample) {
+  EXPECT_GT(StochasticGreedySolver(0.01).sample_size(200, 4),
+            StochasticGreedySolver(0.5).sample_size(200, 4));
+}
+
+TEST(StochasticGreedy, DeterministicGivenSeed) {
+  const Problem p = random_problem(60, 1);
+  const StochasticGreedySolver a(0.2, 7);
+  const StochasticGreedySolver b(0.2, 7);
+  const Solution sa = a.solve(p, 4);
+  const Solution sb = b.solve(p, 4);
+  EXPECT_DOUBLE_EQ(sa.total_reward, sb.total_reward);
+  for (std::size_t j = 0; j < sa.centers.size(); ++j) {
+    EXPECT_TRUE(geo::approx_equal(sa.centers[j], sb.centers[j], 0.0));
+  }
+}
+
+TEST(StochasticGreedy, DifferentSeedsUsuallyDiffer) {
+  const Problem p = random_problem(80, 2);
+  const double ra = StochasticGreedySolver(0.5, 1).solve(p, 4).total_reward;
+  const double rb = StochasticGreedySolver(0.5, 99).solve(p, 4).total_reward;
+  // Not guaranteed, but with eps=0.5 samples are small and seeds diverge.
+  EXPECT_NE(ra, rb);
+}
+
+TEST(StochasticGreedy, FullSampleEqualsEagerGreedy) {
+  // When the sample covers all n points every round (tiny epsilon), the
+  // algorithm degenerates to Algorithm 2 exactly (same tie-breaking, since
+  // the sample is index-sorted before scanning).
+  const Problem p = random_problem(20, 3);
+  const StochasticGreedySolver full(1e-9, 5);
+  ASSERT_EQ(full.sample_size(20, 3), 20u);
+  const Solution stoch = full.solve(p, 3);
+  const Solution eager = GreedyLocalSolver().solve(p, 3);
+  EXPECT_NEAR(stoch.total_reward, eager.total_reward, 1e-12);
+  for (std::size_t j = 0; j < eager.centers.size(); ++j) {
+    EXPECT_TRUE(geo::approx_equal(stoch.centers[j], eager.centers[j], 0.0));
+  }
+}
+
+TEST(StochasticGreedy, QualityNearEagerOnAverage) {
+  double stoch_total = 0.0;
+  double eager_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Problem p = random_problem(60, seed);
+    stoch_total += StochasticGreedySolver(0.1, seed).solve(p, 4).total_reward;
+    eager_total += GreedyLocalSolver().solve(p, 4).total_reward;
+  }
+  EXPECT_GE(stoch_total, 0.85 * eager_total);
+  // Sampling can occasionally luck into a better k-set than eager greedy
+  // (greedy is not optimal), so only a soft upper bound applies.
+  EXPECT_LE(stoch_total, eager_total * 1.05);
+}
+
+TEST(StochasticGreedy, AccountingConsistent) {
+  const Problem p = random_problem(40, 6);
+  const Solution s = StochasticGreedySolver(0.2, 11).solve(p, 4);
+  EXPECT_NEAR(s.total_reward, objective_value(p, s.centers), 1e-9);
+  EXPECT_EQ(s.centers.size(), 4u);
+}
+
+TEST(StochasticGreedy, RejectsZeroK) {
+  const Problem p = random_problem(10, 7);
+  EXPECT_THROW((void)StochasticGreedySolver().solve(p, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,119 @@
+// Property tests for Lemma 0a/0b: the objective is monotone submodular.
+//
+// These are the empirical counterpart of the paper's NP-hardness machinery:
+// random instances, random center chains, random extra centers — the
+// diminishing-returns inequality must hold every time.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "mmph/core/submodular.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+geo::PointSet random_centers(std::size_t count, std::size_t dim,
+                             rnd::Rng& rng) {
+  geo::PointSet centers(dim);
+  std::vector<double> c(dim);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (auto& v : c) v = rng.uniform(0.0, 4.0);
+    centers.push_back(c);
+  }
+  return centers;
+}
+
+TEST(Lemma0a, ScalarInequalityHoldsOnRandomInputs) {
+  // g = min(y+a,1) - min(a,1) - min(y+a+b,1) + min(a+b,1) >= 0.
+  rnd::Rng rng(71);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const double a = rng.uniform(0.0, 2.0);
+    const double b = rng.uniform(0.0, 2.0);
+    const double y = rng.uniform(0.0, 2.0);
+    const double g = std::min(y + a, 1.0) - std::min(a, 1.0) -
+                     std::min(y + a + b, 1.0) + std::min(a + b, 1.0);
+    ASSERT_GE(g, -1e-12) << "a=" << a << " b=" << b << " y=" << y;
+  }
+}
+
+class SubmodularSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SubmodularSweep, DiminishingReturns) {
+  const auto [dim, norm_id] = GetParam();
+  const geo::Metric metric =
+      norm_id == 1 ? geo::l1_metric() : geo::l2_metric();
+  rnd::Rng rng(72 + dim * 10 + norm_id);
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  spec.dim = static_cast<std::size_t>(dim);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), rng.uniform(0.5, 2.0), metric);
+    const geo::PointSet chain = random_centers(6, p.dim(), rng);
+    std::vector<double> extra(p.dim());
+    for (auto& v : extra) v = rng.uniform(0.0, 4.0);
+    const std::size_t a = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    const std::size_t b = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(a), 6));
+    const auto v = check_diminishing_returns(p, chain, a, b, extra);
+    EXPECT_FALSE(v.violated)
+        << "dim=" << dim << " norm=" << norm_id << " trial=" << trial
+        << " gain(A)=" << v.gain_small << " gain(B)=" << v.gain_large;
+  }
+}
+
+TEST_P(SubmodularSweep, Monotone) {
+  const auto [dim, norm_id] = GetParam();
+  const geo::Metric metric =
+      norm_id == 1 ? geo::l1_metric() : geo::l2_metric();
+  rnd::Rng rng(73 + dim * 10 + norm_id);
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  spec.dim = static_cast<std::size_t>(dim);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Problem p = Problem::from_workload(
+        rnd::generate_workload(spec, rng), rng.uniform(0.5, 2.0), metric);
+    const geo::PointSet chain = random_centers(6, p.dim(), rng);
+    EXPECT_TRUE(check_monotone(p, chain)) << "trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubmodularSweep,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(1, 2)));
+
+TEST(Submodular, CheckerValidatesPrefixSizes) {
+  rnd::WorkloadSpec spec;
+  spec.n = 5;
+  rnd::Rng rng(74);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const geo::PointSet chain = random_centers(3, 2, rng);
+  std::vector<double> extra{0.0, 0.0};
+  EXPECT_THROW((void)check_diminishing_returns(p, chain, 2, 1, extra),
+               InvalidArgument);
+  EXPECT_THROW((void)check_diminishing_returns(p, chain, 0, 4, extra),
+               InvalidArgument);
+}
+
+TEST(Submodular, ViolationReportCarriesGains) {
+  rnd::WorkloadSpec spec;
+  spec.n = 10;
+  rnd::Rng rng(75);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric());
+  const geo::PointSet chain = random_centers(4, 2, rng);
+  std::vector<double> extra{1.0, 1.0};
+  const auto v = check_diminishing_returns(p, chain, 1, 3, extra);
+  EXPECT_GE(v.gain_small + 1e-9, v.gain_large);
+  EXPECT_GE(v.gain_small, 0.0);
+  EXPECT_GE(v.gain_large, 0.0);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,130 @@
+// Tests for the incremental swap evaluator: exact agreement with the
+// direct objective across long random swap sequences.
+
+#include <gtest/gtest.h>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/core/swap_evaluator.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::core {
+namespace {
+
+Problem random_problem(std::size_t n, std::uint64_t seed,
+                       geo::Metric metric = geo::l2_metric()) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                metric);
+}
+
+geo::PointSet random_centers(std::size_t k, std::size_t dim, rnd::Rng& rng) {
+  geo::PointSet centers(dim);
+  std::vector<double> c(dim);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (auto& v : c) v = rng.uniform(0.0, 4.0);
+    centers.push_back(c);
+  }
+  return centers;
+}
+
+TEST(SwapEvaluator, Validation) {
+  const Problem p = random_problem(5, 1);
+  EXPECT_THROW(SwapEvaluator(p, geo::PointSet(2)), InvalidArgument);
+  EXPECT_THROW(SwapEvaluator(p, geo::PointSet::from_rows({{0.0, 0.0, 0.0}})),
+               InvalidArgument);
+}
+
+TEST(SwapEvaluator, InitialValueMatchesObjective) {
+  const Problem p = random_problem(30, 2);
+  rnd::Rng rng(3);
+  const geo::PointSet centers = random_centers(4, 2, rng);
+  const SwapEvaluator eval(p, centers);
+  EXPECT_NEAR(eval.current_value(), objective_value(p, centers), 1e-9);
+}
+
+TEST(SwapEvaluator, TrialDoesNotMutate) {
+  const Problem p = random_problem(20, 4);
+  rnd::Rng rng(5);
+  const geo::PointSet centers = random_centers(3, 2, rng);
+  const SwapEvaluator eval(p, centers);
+  const double before = eval.current_value();
+  const std::vector<double> cand{1.0, 1.0};
+  (void)eval.value_with_swap(1, cand);
+  EXPECT_DOUBLE_EQ(eval.current_value(), before);
+}
+
+TEST(SwapEvaluator, TrialMatchesDirectEvaluation) {
+  const Problem p = random_problem(25, 6);
+  rnd::Rng rng(7);
+  geo::PointSet centers = random_centers(3, 2, rng);
+  const SwapEvaluator eval(p, centers);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::vector<double> cand{rng.uniform(0.0, 4.0),
+                                   rng.uniform(0.0, 4.0)};
+    geo::PointSet swapped = centers;
+    geo::assign(swapped.mutable_point(j), cand);
+    EXPECT_NEAR(eval.value_with_swap(j, cand), objective_value(p, swapped),
+                1e-9);
+  }
+}
+
+TEST(SwapEvaluator, LongCommitSequenceStaysExact) {
+  for (const geo::Metric metric : {geo::l1_metric(), geo::l2_metric()}) {
+    const Problem p = random_problem(30, 8, metric);
+    rnd::Rng rng(9);
+    geo::PointSet centers = random_centers(4, 2, rng);
+    SwapEvaluator eval(p, centers);
+    for (int step = 0; step < 200; ++step) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      const std::vector<double> cand{rng.uniform(0.0, 4.0),
+                                     rng.uniform(0.0, 4.0)};
+      eval.commit_swap(j, cand);
+      geo::assign(centers.mutable_point(j), cand);
+      ASSERT_NEAR(eval.current_value(), objective_value(p, centers), 1e-9)
+          << "step " << step << " metric " << metric.name();
+    }
+  }
+}
+
+TEST(SwapEvaluator, CommitUpdatesCenters) {
+  const Problem p = random_problem(10, 10);
+  rnd::Rng rng(11);
+  SwapEvaluator eval(p, random_centers(2, 2, rng));
+  const std::vector<double> cand{2.0, 2.0};
+  eval.commit_swap(0, cand);
+  EXPECT_DOUBLE_EQ(eval.centers()[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(eval.centers()[0][1], 2.0);
+}
+
+TEST(SwapEvaluator, IndexOutOfRangeThrows) {
+  const Problem p = random_problem(10, 12);
+  rnd::Rng rng(13);
+  SwapEvaluator eval(p, random_centers(2, 2, rng));
+  const std::vector<double> cand{1.0, 1.0};
+  EXPECT_THROW((void)eval.value_with_swap(2, cand), InvalidArgument);
+  EXPECT_THROW(eval.commit_swap(5, cand), InvalidArgument);
+}
+
+TEST(SwapEvaluator, WorksWithBinaryRewardShape) {
+  rnd::WorkloadSpec spec;
+  spec.n = 20;
+  rnd::Rng rng(14);
+  const Problem p = Problem::from_workload(rnd::generate_workload(spec, rng),
+                                           1.0, geo::l2_metric(),
+                                           RewardShape::kBinary);
+  geo::PointSet centers = random_centers(3, 2, rng);
+  SwapEvaluator eval(p, centers);
+  EXPECT_NEAR(eval.current_value(), objective_value(p, centers), 1e-9);
+  const std::vector<double> cand{0.5, 0.5};
+  geo::PointSet swapped = centers;
+  geo::assign(swapped.mutable_point(2), cand);
+  EXPECT_NEAR(eval.value_with_swap(2, cand), objective_value(p, swapped),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mmph::core

@@ -1,0 +1,159 @@
+// Tests for the experiment harness: determinism, aggregation, reporting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/exp/experiment.hpp"
+#include "mmph/exp/report.hpp"
+
+namespace mmph::exp {
+namespace {
+
+TrialSetup small_setup() {
+  TrialSetup s;
+  s.n = 10;
+  s.k = 2;
+  s.radius = 1.0;
+  s.solver_config.grid_pitch = 1.0;  // keep exhaustive tiny in tests
+  return s;
+}
+
+const std::vector<std::string> kSolvers{"greedy2", "greedy3"};
+
+TEST(RunTrial, ProducesRewardPerSolver) {
+  rnd::Rng rng(1);
+  const TrialResult r = run_trial(small_setup(), kSolvers, true, rng);
+  EXPECT_EQ(r.rewards.size(), 2u);
+  EXPECT_GT(r.exhaustive_reward, 0.0);
+  for (const auto& [name, reward] : r.rewards) {
+    EXPECT_GT(reward, 0.0) << name;
+    EXPECT_LE(reward, r.exhaustive_reward + 1e-9) << name;
+  }
+}
+
+TEST(RunTrial, WithoutExhaustiveSetsNaN) {
+  rnd::Rng rng(2);
+  const TrialResult r = run_trial(small_setup(), kSolvers, false, rng);
+  EXPECT_TRUE(std::isnan(r.exhaustive_reward));
+  EXPECT_EQ(r.rewards.size(), 2u);
+}
+
+TEST(RunTrial, DeterministicGivenRngState) {
+  rnd::Rng a(3);
+  rnd::Rng b(3);
+  const TrialResult ra = run_trial(small_setup(), kSolvers, true, a);
+  const TrialResult rb = run_trial(small_setup(), kSolvers, true, b);
+  EXPECT_DOUBLE_EQ(ra.exhaustive_reward, rb.exhaustive_reward);
+  EXPECT_EQ(ra.rewards.at("greedy2"), rb.rewards.at("greedy2"));
+}
+
+TEST(RunCell, AggregatesRequestedTrials) {
+  const CellStats cell = run_cell(small_setup(), kSolvers, true, 8, 99);
+  EXPECT_EQ(cell.trials, 8u);
+  EXPECT_EQ(cell.reward.at("greedy2").count(), 8u);
+  EXPECT_EQ(cell.ratio.at("greedy3").count(), 8u);
+  EXPECT_EQ(cell.exhaustive.count(), 8u);
+  EXPECT_GT(cell.ratio.at("greedy3").mean(), 0.0);
+  EXPECT_LE(cell.ratio.at("greedy3").mean(), 1.0 + 1e-9);
+}
+
+TEST(RunCell, DeterministicAcrossRuns) {
+  const CellStats a = run_cell(small_setup(), kSolvers, true, 6, 42);
+  const CellStats b = run_cell(small_setup(), kSolvers, true, 6, 42);
+  EXPECT_DOUBLE_EQ(a.ratio.at("greedy2").mean(), b.ratio.at("greedy2").mean());
+  EXPECT_DOUBLE_EQ(a.exhaustive.mean(), b.exhaustive.mean());
+}
+
+TEST(RunCell, DifferentSeedsDiffer) {
+  const CellStats a = run_cell(small_setup(), kSolvers, false, 6, 42);
+  const CellStats b = run_cell(small_setup(), kSolvers, false, 6, 43);
+  EXPECT_NE(a.reward.at("greedy2").mean(), b.reward.at("greedy2").mean());
+}
+
+TEST(RunSweep, EmitsOneRowPerCell) {
+  const auto rows = run_sweep(small_setup(), {1, 2}, {1.0, 1.5, 2.0},
+                              kSolvers, false, 3, 7);
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].setup.k, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].setup.radius, 1.0);
+  EXPECT_EQ(rows[5].setup.k, 2u);
+  EXPECT_DOUBLE_EQ(rows[5].setup.radius, 2.0);
+}
+
+TEST(Report, RatioTableShape) {
+  const auto rows =
+      run_sweep(small_setup(), {2}, {1.0, 2.0}, kSolvers, true, 3, 7);
+  const io::Table table = ratio_table(rows, kSolvers);
+  EXPECT_EQ(table.rows(), 2u);
+  // n, k, r + 2 solvers + approx.1 + approx.2.
+  EXPECT_EQ(table.columns(), 7u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("ratio(greedy3)"), std::string::npos);
+  EXPECT_NE(os.str().find("approx.2"), std::string::npos);
+}
+
+TEST(Report, RewardTableShape) {
+  const auto rows =
+      run_sweep(small_setup(), {2, 4}, {1.0}, kSolvers, false, 3, 7);
+  const io::Table table = reward_table(rows, kSolvers);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 5u);
+}
+
+TEST(Report, OverallMeansPoolAcrossCells) {
+  const auto rows =
+      run_sweep(small_setup(), {1, 2}, {1.0, 2.0}, kSolvers, true, 4, 11);
+  const auto ratios = overall_ratio_means(rows, kSolvers);
+  const auto rewards = overall_reward_means(rows, kSolvers);
+  for (const auto& name : kSolvers) {
+    EXPECT_GT(ratios.at(name), 0.0);
+    EXPECT_LE(ratios.at(name), 1.0 + 1e-9);
+    EXPECT_GT(rewards.at(name), 0.0);
+  }
+}
+
+TEST(RunTrial, PlacementChangesTheInstances) {
+  TrialSetup uniform = small_setup();
+  TrialSetup clustered = small_setup();
+  clustered.placement = rnd::Placement::kClustered;
+  rnd::Rng a(21), b(21);
+  const TrialResult ru = run_trial(uniform, kSolvers, false, a);
+  const TrialResult rc = run_trial(clustered, kSolvers, false, b);
+  EXPECT_NE(ru.rewards.at("greedy2"), rc.rewards.at("greedy2"));
+}
+
+TEST(RunTrial, BinaryShapeYieldsHigherRewards) {
+  // Binary coverage dominates linear decay pointwise, so for the same
+  // instances every solver's reward is at least as large.
+  TrialSetup linear = small_setup();
+  TrialSetup binary = small_setup();
+  binary.shape = core::RewardShape::kBinary;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rnd::Rng a(seed), b(seed);
+    const TrialResult rl = run_trial(linear, kSolvers, false, a);
+    const TrialResult rb = run_trial(binary, kSolvers, false, b);
+    for (const auto& name : kSolvers) {
+      EXPECT_GE(rb.rewards.at(name) + 1e-9, rl.rewards.at(name))
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Report, GreedyRatiosExceedTheorem2Bound) {
+  // The harness-level restatement of the paper's headline sanity check.
+  const auto rows =
+      run_sweep(small_setup(), {2}, {1.0, 1.5, 2.0}, kSolvers, true, 10, 13);
+  for (const auto& cell : rows) {
+    const double bound =
+        core::approx_ratio_local_greedy(cell.setup.n, cell.setup.k);
+    EXPECT_GE(cell.ratio.at("greedy2").min(), bound - 1e-9);
+    EXPECT_GE(cell.ratio.at("greedy3").min(), bound - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmph::exp

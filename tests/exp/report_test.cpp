@@ -1,0 +1,79 @@
+// Tests for report rendering edge cases and output formats.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mmph/exp/experiment.hpp"
+#include "mmph/exp/report.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::exp {
+namespace {
+
+std::vector<CellStats> tiny_sweep(bool with_exhaustive) {
+  TrialSetup setup;
+  setup.n = 8;
+  setup.k = 2;
+  setup.radius = 1.0;
+  setup.solver_config.grid_pitch = 1.0;
+  return run_sweep(setup, {2}, {1.0}, {"greedy2", "greedy3"},
+                   with_exhaustive, 3, 5);
+}
+
+TEST(Report, RatioTableRendersMarkdown) {
+  const auto cells = tiny_sweep(true);
+  io::Table table = ratio_table(cells, {"greedy2", "greedy3"});
+  std::ostringstream os;
+  table.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("| n | k | r |", 0), 0u);
+  EXPECT_NE(out.find("| ratio(greedy2) |"), std::string::npos);
+  EXPECT_NE(out.find("|---|"), std::string::npos);
+}
+
+TEST(Report, RatioTableCsvHasHeaderAndRow) {
+  const auto cells = tiny_sweep(true);
+  io::Table table = ratio_table(cells, {"greedy2", "greedy3"});
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string out = os.str();
+  // header + one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("approx.1,approx.2"), std::string::npos);
+}
+
+TEST(Report, RewardTableOmitsBoundColumns) {
+  const auto cells = tiny_sweep(false);
+  io::Table table = reward_table(cells, {"greedy2", "greedy3"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_EQ(os.str().find("approx"), std::string::npos);
+}
+
+TEST(Report, OverallMeansSkipSolverAbsentFromCells) {
+  const auto cells = tiny_sweep(true);
+  // Asking for a solver that never ran pools zero samples -> mean 0.
+  const auto means = overall_ratio_means(cells, {"greedy2", "greedy9"});
+  EXPECT_GT(means.at("greedy2"), 0.0);
+  EXPECT_DOUBLE_EQ(means.at("greedy9"), 0.0);
+}
+
+TEST(Report, CellStatsCarrySetup) {
+  const auto cells = tiny_sweep(false);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].setup.n, 8u);
+  EXPECT_EQ(cells[0].setup.k, 2u);
+  EXPECT_EQ(cells[0].trials, 3u);
+  EXPECT_TRUE(cells[0].ratio.empty());  // no exhaustive -> no ratios
+}
+
+TEST(Report, ExhaustiveStatsPopulatedOnlyWhenRequested) {
+  const auto with = tiny_sweep(true);
+  const auto without = tiny_sweep(false);
+  EXPECT_EQ(with[0].exhaustive.count(), 3u);
+  EXPECT_EQ(without[0].exhaustive.count(), 0u);
+}
+
+}  // namespace
+}  // namespace mmph::exp

@@ -1,0 +1,145 @@
+// Tests for the cell-list spatial index against brute-force ball queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "mmph/geometry/cell_grid.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::geo {
+namespace {
+
+PointSet random_points(std::size_t n, std::size_t dim, std::uint64_t seed,
+                       double side = 4.0) {
+  rnd::Rng rng(seed);
+  PointSet ps(dim);
+  ps.reserve(n);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.uniform(0.0, side);
+    ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<std::size_t> brute_ball(const PointSet& ps, ConstVec center,
+                                    double radius, const Metric& metric) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (metric.distance(center, ps[i]) <= radius) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(CellGrid, Validation) {
+  const PointSet ps = random_points(5, 2, 1);
+  EXPECT_THROW(CellGrid(ps, 0.0), InvalidArgument);
+  EXPECT_THROW(CellGrid(ps, -1.0), InvalidArgument);
+  const PointSet empty(2);
+  EXPECT_THROW(CellGrid(empty, 1.0), InvalidArgument);
+}
+
+TEST(CellGrid, TooManyCellsGuard) {
+  const PointSet ps = random_points(5, 3, 2, 1000.0);
+  EXPECT_THROW(CellGrid(ps, 1e-3), InvalidArgument);
+}
+
+TEST(CellGrid, SinglePoint) {
+  const PointSet ps = PointSet::from_rows({{1.0, 1.0}});
+  const CellGrid grid(ps, 1.0);
+  const std::vector<double> q{1.0, 1.0};
+  const auto hits = grid.query_ball(q, 0.5, l2_metric());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(CellGrid, QueryMissesFarPoints) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {3.9, 3.9}});
+  const CellGrid grid(ps, 1.0);
+  const std::vector<double> q{0.0, 0.0};
+  const auto hits = grid.query_ball(q, 1.0, l2_metric());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(CellGrid, BoxVisitIsSupersetOfBall) {
+  const PointSet ps = random_points(200, 2, 3);
+  const CellGrid grid(ps, 1.0);
+  rnd::Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> q{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    std::set<std::size_t> visited;
+    grid.for_each_in_box(q, 1.0, [&](std::size_t i) { visited.insert(i); });
+    for (std::size_t i : brute_ball(ps, q, 1.0, l2_metric())) {
+      EXPECT_TRUE(visited.count(i)) << "ball point escaped the box visit";
+    }
+  }
+}
+
+TEST(CellGrid, EachPointVisitedAtMostOnce) {
+  const PointSet ps = random_points(300, 2, 5);
+  const CellGrid grid(ps, 0.7);
+  const std::vector<double> q{2.0, 2.0};
+  std::vector<int> counts(ps.size(), 0);
+  grid.for_each_in_box(q, 1.3, [&](std::size_t i) { ++counts[i]; });
+  for (int c : counts) EXPECT_LE(c, 1);
+}
+
+class CellGridQuerySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {
+};
+
+TEST_P(CellGridQuerySweep, MatchesBruteForceAcrossMetrics) {
+  const auto [dim, cell_size, norm_id] = GetParam();
+  const Metric metric = norm_id == 1   ? l1_metric()
+                        : norm_id == 2 ? l2_metric()
+                                       : linf_metric();
+  const PointSet ps = random_points(150, dim, 6 + dim);
+  const CellGrid grid(ps, cell_size);
+  rnd::Rng rng(7 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> q(dim);
+    // Include out-of-box query centers.
+    for (auto& v : q) v = rng.uniform(-1.0, 5.0);
+    const double radius = rng.uniform(0.1, 2.5);
+    EXPECT_EQ(grid.query_ball(q, radius, metric),
+              brute_ball(ps, q, radius, metric))
+        << "dim=" << dim << " cell=" << cell_size << " norm=" << norm_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CellGridQuerySweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{3}),
+                       ::testing::Values(0.3, 1.0, 5.0),
+                       ::testing::Values(1, 2, 0)));
+
+TEST(CellGrid, ZeroRadiusQuery) {
+  const PointSet ps = PointSet::from_rows({{1.0, 1.0}, {2.0, 2.0}});
+  const CellGrid grid(ps, 1.0);
+  const std::vector<double> q{1.0, 1.0};
+  const auto hits = grid.query_ball(q, 0.0, l2_metric());
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(CellGrid, QueryDimensionMismatchThrows) {
+  const PointSet ps = PointSet::from_rows({{1.0, 1.0}});
+  const CellGrid grid(ps, 1.0);
+  const std::vector<double> q{1.0, 1.0, 1.0};
+  EXPECT_THROW((void)grid.query_ball(q, 1.0, l2_metric()), InvalidArgument);
+}
+
+TEST(CellGrid, CellCountReflectsOccupancy) {
+  // Two clusters far apart: at least 2 occupied cells with small cells.
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {3.9, 3.9}});
+  const CellGrid grid(ps, 0.5);
+  EXPECT_EQ(grid.cell_count(), 2u);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 0.5);
+}
+
+}  // namespace
+}  // namespace mmph::geo

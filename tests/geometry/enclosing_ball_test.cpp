@@ -1,0 +1,230 @@
+// Tests for Welzl's smallest enclosing L2 ball, with a brute-force oracle.
+//
+// Oracle: the smallest enclosing ball of a planar point set is determined
+// by at most 3 points (dim+1 in general); trying every 1-, 2- and 3-subset
+// and keeping the smallest valid circumball is exact, if slow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mmph/geometry/enclosing_ball.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::geo {
+namespace {
+
+bool ball_covers(const Ball& ball, const PointSet& ps, double tol = 1e-7) {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (l2_distance(ball.center, ps[i]) > ball.radius + tol) return false;
+  }
+  return true;
+}
+
+// Exhaustive exact oracle over support subsets of size <= dim+1.
+Ball brute_force_ball(const PointSet& ps) {
+  const std::size_t n = ps.size();
+  const std::size_t dim = ps.dim();
+  Ball best;
+  best.radius = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> idx;
+  // Enumerate all subsets of size 1..dim+1 via simple recursion.
+  auto consider = [&](const std::vector<std::size_t>& support_idx) {
+    PointSet support(dim);
+    for (std::size_t i : support_idx) support.push_back(ps[i]);
+    const Ball b = circumball(support);
+    if (!b.is_empty() && b.radius < best.radius && ball_covers(b, ps)) {
+      best = b;
+    }
+  };
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t start,
+                                                          std::size_t left) {
+    if (left == 0) {
+      consider(idx);
+      return;
+    }
+    for (std::size_t i = start; i + left <= n; ++i) {
+      idx.push_back(i);
+      rec(i + 1, left - 1);
+      idx.pop_back();
+    }
+  };
+  for (std::size_t size = 1; size <= std::min(n, dim + 1); ++size) {
+    rec(0, size);
+  }
+  return best;
+}
+
+TEST(Circumball, OnePointIsDegenerate) {
+  const PointSet ps = PointSet::from_rows({{2.0, 3.0}});
+  const Ball b = circumball(ps);
+  EXPECT_DOUBLE_EQ(b.radius, 0.0);
+  EXPECT_DOUBLE_EQ(b.center[0], 2.0);
+}
+
+TEST(Circumball, TwoPointsDiameter) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 0.0}});
+  const Ball b = circumball(ps);
+  EXPECT_NEAR(b.radius, 1.0, 1e-12);
+  EXPECT_NEAR(b.center[0], 1.0, 1e-12);
+  EXPECT_NEAR(b.center[1], 0.0, 1e-12);
+}
+
+TEST(Circumball, EquilateralTriangle) {
+  const double h = std::sqrt(3.0) / 2.0;
+  const PointSet ps =
+      PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {0.5, h}});
+  const Ball b = circumball(ps);
+  // Circumradius of a unit equilateral triangle is 1/sqrt(3).
+  EXPECT_NEAR(b.radius, 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(b.center[0], 0.5, 1e-12);
+}
+
+TEST(Circumball, RejectsTooManyPoints) {
+  const PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}});
+  EXPECT_THROW(circumball(ps), InvalidArgument);
+}
+
+TEST(Circumball, DegenerateCollinearFallsBack) {
+  // Three collinear points: affinely dependent; solver must not blow up.
+  const PointSet ps =
+      PointSet::from_rows({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}});
+  const Ball b = circumball(ps);
+  EXPECT_FALSE(b.is_empty());
+}
+
+TEST(EnclosingBall, EmptySetYieldsEmptyBall) {
+  const PointSet ps(2);
+  EXPECT_TRUE(smallest_enclosing_ball_l2(ps).is_empty());
+}
+
+TEST(EnclosingBall, SinglePoint) {
+  const PointSet ps = PointSet::from_rows({{5.0, -1.0}});
+  const Ball b = smallest_enclosing_ball_l2(ps);
+  EXPECT_DOUBLE_EQ(b.radius, 0.0);
+}
+
+TEST(EnclosingBall, Square) {
+  const PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}});
+  const Ball b = smallest_enclosing_ball_l2(ps);
+  EXPECT_NEAR(b.radius, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(b.center[0], 1.0, 1e-9);
+  EXPECT_NEAR(b.center[1], 1.0, 1e-9);
+}
+
+TEST(EnclosingBall, InteriorPointsDoNotMatter) {
+  PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}});
+  const Ball without = smallest_enclosing_ball_l2(ps);
+  const std::vector<double> inner{1.0, 1.0};
+  ps.push_back(inner);
+  const Ball with = smallest_enclosing_ball_l2(ps);
+  EXPECT_NEAR(with.radius, without.radius, 1e-9);
+}
+
+TEST(EnclosingBall, SubsetOverload) {
+  const PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {100.0, 100.0}, {2.0, 0.0}});
+  const std::vector<std::size_t> idx{0, 2};
+  const Ball b = smallest_enclosing_ball_l2(ps, idx);
+  EXPECT_NEAR(b.radius, 1.0, 1e-9);
+}
+
+TEST(EnclosingBall, SubsetIndexOutOfRangeThrows) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}});
+  const std::vector<std::size_t> idx{3};
+  EXPECT_THROW((void)smallest_enclosing_ball_l2(ps, idx), InvalidArgument);
+}
+
+TEST(EnclosingBall, DeterministicForFixedSeed) {
+  rnd::Rng rng(8);
+  PointSet ps(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> p{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    ps.push_back(p);
+  }
+  const Ball a = smallest_enclosing_ball_l2(ps, std::uint64_t{123});
+  const Ball b = smallest_enclosing_ball_l2(ps, std::uint64_t{123});
+  EXPECT_EQ(a.radius, b.radius);
+  EXPECT_EQ(a.center, b.center);
+}
+
+// Property sweep: Welzl == brute force on random 2-D and 3-D sets.
+class WelzlVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WelzlVsBruteForce, MatchesOracle) {
+  const auto [dim, n] = GetParam();
+  rnd::Rng rng(1000 * dim + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    PointSet ps(dim);
+    std::vector<double> p(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : p) v = rng.uniform(0.0, 4.0);
+      ps.push_back(p);
+    }
+    const Ball fast = smallest_enclosing_ball_l2(ps, rng.next_u64());
+    const Ball slow = brute_force_ball(ps);
+    EXPECT_TRUE(ball_covers(fast, ps)) << "dim=" << dim << " n=" << n;
+    EXPECT_NEAR(fast.radius, slow.radius, 1e-6)
+        << "dim=" << dim << " n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WelzlVsBruteForce,
+    ::testing::Values(std::make_tuple(2u, 3u), std::make_tuple(2u, 5u),
+                      std::make_tuple(2u, 10u), std::make_tuple(2u, 20u),
+                      std::make_tuple(3u, 4u), std::make_tuple(3u, 8u),
+                      std::make_tuple(3u, 15u), std::make_tuple(4u, 10u)));
+
+TEST(EnclosingBall, LargeSetIsCoveredAndTight) {
+  rnd::Rng rng(77);
+  PointSet ps(3);
+  std::vector<double> p(3);
+  for (int i = 0; i < 2000; ++i) {
+    for (auto& v : p) v = rng.normal(0.0, 1.0);
+    ps.push_back(p);
+  }
+  const Ball b = smallest_enclosing_ball_l2(ps);
+  EXPECT_TRUE(ball_covers(b, ps));
+  // Minimality: some point must lie on (near) the boundary.
+  double max_d = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    max_d = std::max(max_d, l2_distance(b.center, ps[i]));
+  }
+  EXPECT_NEAR(max_d, b.radius, 1e-6);
+}
+
+TEST(ApproxEnclosingBall, CoversAndApproximatesL2) {
+  rnd::Rng rng(5);
+  PointSet ps(2);
+  std::vector<double> p(2);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& v : p) v = rng.uniform(0.0, 4.0);
+    ps.push_back(p);
+  }
+  const Ball approx = approx_enclosing_ball(ps, l2_metric(), 512);
+  const Ball exact = smallest_enclosing_ball_l2(ps);
+  // approx covers by construction and should be within a few percent.
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LE(l2_distance(approx.center, ps[i]), approx.radius + 1e-9);
+  }
+  EXPECT_LE(approx.radius, exact.radius * 1.05);
+  EXPECT_GE(approx.radius, exact.radius - 1e-9);
+}
+
+TEST(ApproxEnclosingBall, WorksUnderL1) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 0.0}});
+  const Ball b = approx_enclosing_ball(ps, l1_metric(), 256);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LE(l1_distance(b.center, ps[i]), b.radius + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmph::geo

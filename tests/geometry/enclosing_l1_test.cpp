@@ -1,0 +1,181 @@
+// Tests for the L1/Linf enclosing shapes and the metric dispatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mmph/geometry/enclosing.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::geo {
+namespace {
+
+double max_distance(const Ball& ball, const PointSet& ps,
+                    const Metric& metric) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    mx = std::max(mx, metric.distance(ball.center, ps[i]));
+  }
+  return mx;
+}
+
+TEST(EnclosingBoxLinf, EmptySet) {
+  EXPECT_TRUE(enclosing_box_linf(PointSet(2)).is_empty());
+}
+
+TEST(EnclosingBoxLinf, MidpointRuleIsExact) {
+  const PointSet ps =
+      PointSet::from_rows({{0.0, 0.0}, {4.0, 1.0}, {2.0, 3.0}});
+  const Ball b = enclosing_box_linf(ps);
+  EXPECT_DOUBLE_EQ(b.center[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.center[1], 1.5);
+  EXPECT_DOUBLE_EQ(b.radius, 2.0);  // max half-extent (x: 2, y: 1.5)
+  EXPECT_NEAR(max_distance(b, ps, linf_metric()), b.radius, 1e-12);
+}
+
+TEST(EnclosingBoxLinf, OptimalityOnRandomSets) {
+  // The Linf midpoint center is provably optimal: no other center can have
+  // a smaller max Linf distance. Sanity-check against random candidates.
+  rnd::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    PointSet ps(3);
+    std::vector<double> p(3);
+    for (int i = 0; i < 20; ++i) {
+      for (auto& v : p) v = rng.uniform(0.0, 4.0);
+      ps.push_back(p);
+    }
+    const Ball b = enclosing_box_linf(ps);
+    for (int c = 0; c < 20; ++c) {
+      std::vector<double> alt(3);
+      for (auto& v : alt) v = rng.uniform(0.0, 4.0);
+      Ball alt_ball;
+      alt_ball.center = alt;
+      alt_ball.radius = max_distance(alt_ball, ps, linf_metric());
+      EXPECT_GE(alt_ball.radius + 1e-12, b.radius);
+    }
+  }
+}
+
+TEST(EnclosingL1Projection, CoversAllPoints) {
+  rnd::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t dim = 2 + trial % 3;
+    PointSet ps(dim);
+    std::vector<double> p(dim);
+    for (int i = 0; i < 15; ++i) {
+      for (auto& v : p) v = rng.uniform(0.0, 4.0);
+      ps.push_back(p);
+    }
+    const Ball b = enclosing_ball_l1_projection(ps);
+    EXPECT_NEAR(max_distance(b, ps, l1_metric()), b.radius, 1e-12);
+  }
+}
+
+TEST(EnclosingL1Exact2D, RequiresTwoD) {
+  const PointSet ps3 = PointSet::from_rows({{0.0, 0.0, 0.0}});
+  EXPECT_THROW(enclosing_ball_l1_2d(ps3), InvalidArgument);
+}
+
+TEST(EnclosingL1Exact2D, DiagonalPairHasHalfL1Radius) {
+  // L1 distance between the two points is 4; optimal radius is 2, achieved
+  // anywhere on the "midpoint segment" of the rotated box.
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 2.0}});
+  const Ball b = enclosing_ball_l1_2d(ps);
+  EXPECT_NEAR(b.radius, 2.0, 1e-12);
+  EXPECT_NEAR(max_distance(b, ps, l1_metric()), 2.0, 1e-12);
+}
+
+TEST(EnclosingL1Exact2D, NeverWorseThanProjection) {
+  rnd::Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    PointSet ps(2);
+    std::vector<double> p(2);
+    const int n = 2 + trial % 12;
+    for (int i = 0; i < n; ++i) {
+      p[0] = rng.uniform(0.0, 4.0);
+      p[1] = rng.uniform(0.0, 4.0);
+      ps.push_back(p);
+    }
+    const Ball exact = enclosing_ball_l1_2d(ps);
+    const Ball proj = enclosing_ball_l1_projection(ps);
+    EXPECT_LE(exact.radius, proj.radius + 1e-9) << "trial=" << trial;
+    // Both must cover.
+    EXPECT_LE(max_distance(exact, ps, l1_metric()), exact.radius + 1e-9);
+    EXPECT_LE(max_distance(proj, ps, l1_metric()), proj.radius + 1e-9);
+  }
+}
+
+TEST(EnclosingL1Exact2D, OptimalOnRandomSetsVsSampledCenters) {
+  rnd::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    PointSet ps(2);
+    std::vector<double> p(2);
+    for (int i = 0; i < 10; ++i) {
+      p[0] = rng.uniform(0.0, 4.0);
+      p[1] = rng.uniform(0.0, 4.0);
+      ps.push_back(p);
+    }
+    const Ball b = enclosing_ball_l1_2d(ps);
+    for (int c = 0; c < 50; ++c) {
+      std::vector<double> alt{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+      Ball alt_ball;
+      alt_ball.center = alt;
+      alt_ball.radius = max_distance(alt_ball, ps, l1_metric());
+      EXPECT_GE(alt_ball.radius + 1e-12, b.radius);
+    }
+  }
+}
+
+TEST(SmallestEnclosingDispatch, PicksWelzlForL2) {
+  const PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}});
+  const Ball b = smallest_enclosing(ps, l2_metric());
+  EXPECT_NEAR(b.radius, std::sqrt(2.0), 1e-9);
+}
+
+TEST(SmallestEnclosingDispatch, PicksBoxForLinf) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {4.0, 2.0}});
+  const Ball b = smallest_enclosing(ps, linf_metric());
+  EXPECT_DOUBLE_EQ(b.radius, 2.0);
+}
+
+TEST(SmallestEnclosingDispatch, L1DefaultsToPaperProjection) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 2.0}});
+  const Ball proj = smallest_enclosing(ps, l1_metric());
+  const Ball expected = enclosing_ball_l1_projection(ps);
+  EXPECT_EQ(proj.center, expected.center);
+  EXPECT_EQ(proj.radius, expected.radius);
+}
+
+TEST(SmallestEnclosingDispatch, L1ExactModeIn2D) {
+  const PointSet ps = PointSet::from_rows(
+      {{0.0, 0.0}, {2.0, 2.0}, {1.0, 0.2}});
+  const Ball exact =
+      smallest_enclosing(ps, l1_metric(), L1CenterRule::kExactIfPossible);
+  const Ball reference = enclosing_ball_l1_2d(ps);
+  EXPECT_EQ(exact.radius, reference.radius);
+}
+
+TEST(SmallestEnclosingDispatch, L1ExactModeFallsBackIn3D) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0, 0.0}, {2.0, 2.0, 0.0}});
+  const Ball b =
+      smallest_enclosing(ps, l1_metric(), L1CenterRule::kExactIfPossible);
+  const Ball expected = enclosing_ball_l1_projection(ps);
+  EXPECT_EQ(b.center, expected.center);
+}
+
+TEST(SmallestEnclosingDispatch, GeneralLpUsesApproximation) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 0.0}});
+  const Metric m(3.0);
+  const Ball b = smallest_enclosing(ps, m);
+  EXPECT_FALSE(b.is_empty());
+  EXPECT_LE(max_distance(b, ps, m), b.radius + 1e-9);
+}
+
+TEST(SmallestEnclosingDispatch, EmptySet) {
+  EXPECT_TRUE(smallest_enclosing(PointSet(2), l2_metric()).is_empty());
+}
+
+}  // namespace
+}  // namespace mmph::geo

@@ -1,0 +1,153 @@
+// Tests for the SoA point container and bounding boxes.
+
+#include <gtest/gtest.h>
+
+#include "mmph/geometry/point_set.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::geo {
+namespace {
+
+TEST(PointSet, StartsEmpty) {
+  const PointSet ps(3);
+  EXPECT_EQ(ps.dim(), 3u);
+  EXPECT_EQ(ps.size(), 0u);
+  EXPECT_TRUE(ps.empty());
+}
+
+TEST(PointSet, RejectsZeroDimension) {
+  EXPECT_THROW(PointSet(0), InvalidArgument);
+}
+
+TEST(PointSet, PushBackAndIndex) {
+  PointSet ps(2);
+  const std::vector<double> p{1.0, 2.0};
+  const std::vector<double> q{-3.0, 0.5};
+  ps.push_back(p);
+  ps.push_back(q);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(ps[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(ps[1][0], -3.0);
+  EXPECT_DOUBLE_EQ(ps[1][1], 0.5);
+}
+
+TEST(PointSet, PushBackRejectsWrongDimension) {
+  PointSet ps(2);
+  const std::vector<double> bad{1.0, 2.0, 3.0};
+  EXPECT_THROW(ps.push_back(bad), InvalidArgument);
+}
+
+TEST(PointSet, FromRows) {
+  const PointSet ps = PointSet::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(ps.dim(), 2u);
+  EXPECT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[2][1], 6.0);
+}
+
+TEST(PointSet, FromRowsRejectsRagged) {
+  EXPECT_THROW(PointSet::from_rows({{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(PointSet, FlatConstructorValidatesMultiple) {
+  EXPECT_THROW(PointSet(2, std::vector<double>{1.0, 2.0, 3.0}),
+               InvalidArgument);
+  const PointSet ok(2, std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(ok.size(), 2u);
+}
+
+TEST(PointSet, MutablePointWritesThrough) {
+  PointSet ps = PointSet::from_rows({{1.0, 1.0}});
+  auto view = ps.mutable_point(0);
+  view[0] = 9.0;
+  EXPECT_DOUBLE_EQ(ps[0][0], 9.0);
+}
+
+TEST(PointSet, RawBlockIsRowMajor) {
+  const PointSet ps = PointSet::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto raw = ps.raw();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw[2], 3.0);
+}
+
+TEST(PointSet, BoundingBox) {
+  const PointSet ps =
+      PointSet::from_rows({{1.0, -2.0}, {3.0, 4.0}, {-1.0, 0.0}});
+  const Box box = ps.bounding_box();
+  EXPECT_DOUBLE_EQ(box.lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 3.0);
+  EXPECT_DOUBLE_EQ(box.lo[1], -2.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 4.0);
+}
+
+TEST(PointSet, BoundingBoxOfEmptyThrows) {
+  const PointSet ps(2);
+  EXPECT_THROW(ps.bounding_box(), InvalidArgument);
+}
+
+TEST(PointSet, Centroid) {
+  const PointSet ps = PointSet::from_rows({{0.0, 0.0}, {2.0, 4.0}});
+  const auto c = ps.centroid();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+}
+
+TEST(Box, CenterAndContains) {
+  Box box;
+  box.lo = {0.0, 0.0};
+  box.hi = {4.0, 2.0};
+  const auto c = box.center();
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  const std::vector<double> inside{1.0, 1.0};
+  const std::vector<double> outside{5.0, 1.0};
+  const std::vector<double> edge{4.0, 2.0};
+  EXPECT_TRUE(box.contains(inside));
+  EXPECT_FALSE(box.contains(outside));
+  EXPECT_TRUE(box.contains(edge));
+}
+
+TEST(Box, ContainsRejectsWrongDim) {
+  Box box;
+  box.lo = {0.0};
+  box.hi = {1.0};
+  const std::vector<double> p2{0.5, 0.5};
+  EXPECT_FALSE(box.contains(p2));
+}
+
+TEST(VecHelpers, DotAndNorm) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2_sq(a), 14.0);
+  EXPECT_DOUBLE_EQ(dist2_sq(a, a), 0.0);
+}
+
+TEST(VecHelpers, AssignSubAddScaled) {
+  std::vector<double> dst(2, 0.0);
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{0.5, 0.5};
+  assign(dst, a);
+  EXPECT_DOUBLE_EQ(dst[1], 2.0);
+  add_scaled(dst, 2.0, b);
+  EXPECT_DOUBLE_EQ(dst[0], 2.0);
+  EXPECT_DOUBLE_EQ(dst[1], 3.0);
+  std::vector<double> diff(2);
+  sub(diff, a, b);
+  EXPECT_DOUBLE_EQ(diff[0], 0.5);
+  zero(diff);
+  EXPECT_DOUBLE_EQ(diff[0], 0.0);
+}
+
+TEST(VecHelpers, ApproxEqual) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0 + 1e-13, 2.0};
+  const std::vector<double> c{1.1, 2.0};
+  const std::vector<double> d{1.0};
+  EXPECT_TRUE(approx_equal(a, b));
+  EXPECT_FALSE(approx_equal(a, c));
+  EXPECT_FALSE(approx_equal(a, d));
+}
+
+}  // namespace
+}  // namespace mmph::geo

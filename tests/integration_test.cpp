@@ -1,0 +1,159 @@
+// End-to-end integration tests: the full pipeline the benches and examples
+// run, exercised across metrics, dimensions and solvers in one place.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "mmph/core/bounds.hpp"
+#include "mmph/core/exhaustive.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/exp/experiment.hpp"
+#include "mmph/exp/report.hpp"
+#include "mmph/sim/simulator.hpp"
+
+namespace mmph {
+namespace {
+
+// The paper's headline configuration: 40 nodes, 4x4 box, weights 1..5.
+core::Problem paper_instance(std::uint64_t seed, std::size_t dim,
+                             geo::Metric metric, double radius) {
+  rnd::WorkloadSpec spec;
+  spec.n = 40;
+  spec.dim = dim;
+  rnd::Rng rng(seed);
+  return core::Problem::from_workload(rnd::generate_workload(spec, rng),
+                                      radius, metric);
+}
+
+TEST(Integration, AllSolversProduceConsistentSolutions) {
+  const core::Problem p = paper_instance(1, 2, geo::l2_metric(), 1.0);
+  for (const std::string& name : core::solver_names()) {
+    const auto solver = core::make_solver(name, p);
+    const core::Solution s = solver->solve(p, 4);
+    EXPECT_EQ(s.centers.size(), 4u) << name;
+    EXPECT_EQ(s.round_rewards.size(), 4u) << name;
+    EXPECT_NEAR(s.total_reward, core::objective_value(p, s.centers), 1e-9)
+        << name;
+    EXPECT_LE(s.total_reward, p.total_weight() + 1e-9) << name;
+    EXPECT_GT(s.total_reward, 0.0) << name;
+  }
+}
+
+TEST(Integration, ExhaustiveDominatesPointRestrictedGreedies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Problem p = paper_instance(seed, 2, geo::l2_metric(), 1.0);
+    const double opt =
+        core::make_solver("exhaustive", p)->solve(p, 2).total_reward;
+    for (const std::string name : {"greedy1", "greedy2", "greedy3"}) {
+      const double got =
+          core::make_solver(name, p)->solve(p, 2).total_reward;
+      EXPECT_LE(got, opt + 1e-9) << name << " seed=" << seed;
+      EXPECT_GE(got / opt, core::approx_ratio_local_greedy(40, 2) - 1e-9)
+          << name << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Integration, PaperConfigurationRunsUnderAllFourMetricsAndDims) {
+  const std::vector<std::pair<std::size_t, geo::Metric>> configs{
+      {2, geo::l2_metric()},
+      {2, geo::l1_metric()},
+      {3, geo::l1_metric()},
+      {3, geo::l2_metric()},
+  };
+  for (const auto& [dim, metric] : configs) {
+    const core::Problem p = paper_instance(3, dim, metric, 1.5);
+    for (const std::string name : {"greedy2", "greedy3", "greedy4"}) {
+      const double reward =
+          core::make_solver(name, p)->solve(p, 4).total_reward;
+      EXPECT_GT(reward, 0.0) << name << " dim=" << dim;
+    }
+  }
+}
+
+TEST(Integration, SweepMatchesDirectTrials) {
+  // run_cell must equal running the trials by hand with forked streams.
+  exp::TrialSetup setup;
+  setup.n = 10;
+  setup.k = 2;
+  setup.radius = 1.0;
+  const std::vector<std::string> solvers{"greedy3"};
+  const exp::CellStats cell = exp::run_cell(setup, solvers, false, 5, 17);
+  io::RunningStats manual;
+  const rnd::Rng base(17);
+  for (std::size_t t = 0; t < 5; ++t) {
+    rnd::Rng rng = base.fork(t);
+    const exp::TrialResult r = exp::run_trial(setup, solvers, false, rng);
+    manual.add(r.rewards.at("greedy3"));
+  }
+  EXPECT_DOUBLE_EQ(cell.reward.at("greedy3").mean(), manual.mean());
+}
+
+TEST(Integration, SimulatorWithEverySolverKeepsInvariant) {
+  for (const std::string name : {"greedy2", "greedy3", "greedy4"}) {
+    sim::SimConfig cfg;
+    cfg.users = 15;
+    cfg.slots = 5;
+    cfg.k = 2;
+    cfg.radius = 1.0;
+    cfg.drift.sigma = 0.2;
+    cfg.seed = 23;
+    sim::BroadcastSimulator simulator(cfg, [name](const core::Problem& p) {
+      return core::make_solver(name, p);
+    });
+    const sim::SimReport report = simulator.run();
+    EXPECT_EQ(report.slots.size(), 5u) << name;
+    for (const auto& slot : report.slots) {
+      EXPECT_LE(slot.reward, slot.total_weight + 1e-9) << name;
+    }
+  }
+}
+
+TEST(Integration, Greedy4CanBeatPointExhaustive) {
+  // greedy 4 searches continuous centers; on some instance it should beat
+  // or match the best point-restricted solution. We only require "never
+  // loses by much" across seeds plus "wins at least once" to document the
+  // continuous-center advantage.
+  int wins = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::Problem p = paper_instance(seed, 2, geo::l2_metric(), 0.75);
+    const double point_opt =
+        core::make_solver("exhaustive-points", p)->solve(p, 1).total_reward;
+    const double g4 =
+        core::make_solver("greedy4", p)->solve(p, 1).total_reward;
+    if (g4 > point_opt + 1e-9) ++wins;
+  }
+  EXPECT_GE(wins, 1);
+}
+
+TEST(Integration, AggregateRatiosAreHighAndBounded) {
+  // The paper's §VI-B prose ranks greedy 3 far above greedy 2 (84% vs 56%).
+  // With both algorithms implemented exactly as specified, greedy 2's
+  // per-round coverage-optimal choice dominates greedy 3's single-point
+  // rule on average — the paper's reported ordering is not reproducible
+  // from its own pseudocode (see EXPERIMENTS.md, deviation D1). What *is*
+  // invariant: both sit well above the Theorem-2 bound and close to the
+  // optimum at this scale, and greedy 3 stays within striking distance.
+  exp::TrialSetup setup;
+  setup.n = 20;
+  setup.solver_config.grid_pitch = 0.5;
+  const std::vector<std::string> solvers{"greedy2", "greedy3"};
+  const auto cells =
+      exp::run_sweep(setup, {2, 4}, {1.0, 1.5}, solvers, true, 10, 31);
+  const auto means = exp::overall_ratio_means(cells, solvers);
+  EXPECT_GT(means.at("greedy2"), 0.7);
+  EXPECT_GT(means.at("greedy3"), 0.7);
+  EXPECT_GE(means.at("greedy2"), means.at("greedy3") - 0.05);
+  for (const auto& cell : cells) {
+    const double bound =
+        core::approx_ratio_local_greedy(cell.setup.n, cell.setup.k);
+    EXPECT_GE(cell.ratio.at("greedy2").min(), bound - 1e-9);
+    EXPECT_GE(cell.ratio.at("greedy3").min(), bound - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmph

@@ -1,0 +1,104 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mmph/io/args.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::io {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyArgsUseFallbacks) {
+  Args args = make_args({});
+  EXPECT_EQ(args.get_int("trials", 30), 30);
+  EXPECT_DOUBLE_EQ(args.get_double("pitch", 0.5), 0.5);
+  EXPECT_EQ(args.get_string("out", "x"), "x");
+  EXPECT_FALSE(args.get_flag("verbose"));
+  EXPECT_NO_THROW(args.finish());
+}
+
+TEST(Args, EqualsSyntax) {
+  Args args = make_args({"--trials=50", "--pitch=0.25", "--name=fig4"});
+  EXPECT_EQ(args.get_int("trials", 0), 50);
+  EXPECT_DOUBLE_EQ(args.get_double("pitch", 0.0), 0.25);
+  EXPECT_EQ(args.get_string("name", ""), "fig4");
+  args.finish();
+}
+
+TEST(Args, SpaceSyntax) {
+  Args args = make_args({"--trials", "50", "--name", "fig4"});
+  EXPECT_EQ(args.get_int("trials", 0), 50);
+  EXPECT_EQ(args.get_string("name", ""), "fig4");
+  args.finish();
+}
+
+TEST(Args, BareBooleanFlag) {
+  Args args = make_args({"--verbose"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  args.finish();
+}
+
+TEST(Args, ExplicitBooleanValues) {
+  Args t = make_args({"--a=true", "--b=1", "--c=yes"});
+  EXPECT_TRUE(t.get_flag("a"));
+  EXPECT_TRUE(t.get_flag("b"));
+  EXPECT_TRUE(t.get_flag("c"));
+  Args f = make_args({"--a=false", "--b=0", "--c=no"});
+  EXPECT_FALSE(f.get_flag("a"));
+  EXPECT_FALSE(f.get_flag("b"));
+  EXPECT_FALSE(f.get_flag("c"));
+}
+
+TEST(Args, MalformedValuesThrow) {
+  Args a = make_args({"--trials=abc"});
+  EXPECT_THROW((void)a.get_int("trials", 0), mmph::ParseError);
+  Args b = make_args({"--pitch=0.5x"});
+  EXPECT_THROW((void)b.get_double("pitch", 0.0), mmph::ParseError);
+  Args c = make_args({"--flag=maybe"});
+  EXPECT_THROW((void)c.get_flag("flag"), mmph::ParseError);
+}
+
+TEST(Args, NonFlagTokenRejected) {
+  EXPECT_THROW(make_args({"positional"}), mmph::ParseError);
+  EXPECT_THROW(make_args({"-x"}), mmph::ParseError);
+}
+
+TEST(Args, FinishFlagsUnknown) {
+  Args args = make_args({"--trials=5", "--typo=1"});
+  (void)args.get_int("trials", 0);
+  try {
+    args.finish();
+    FAIL() << "finish should have thrown";
+  } catch (const mmph::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("--typo"), std::string::npos);
+  }
+}
+
+TEST(Args, HasMarksConsumed) {
+  Args args = make_args({"--csv"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("other"));
+  EXPECT_NO_THROW(args.finish());
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  Args args = make_args({"--offset=-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+TEST(Args, ProgramNameCaptured) {
+  const char* argv[] = {"myprog", "--x=1"};
+  Args args(2, argv);
+  EXPECT_EQ(args.program(), "myprog");
+  (void)args.get_int("x", 0);
+}
+
+}  // namespace
+}  // namespace mmph::io

@@ -1,0 +1,147 @@
+// Tests for RunningStats (Welford), percentiles and Jain fairness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmph/io/stats.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::io {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomData) {
+  rnd::Rng rng(1);
+  RunningStats s;
+  std::vector<double> data;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    data.push_back(x);
+    s.add(x);
+  }
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  const double mean = sum / static_cast<double>(data.size());
+  double ss = 0.0;
+  for (double x : data) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), ss / (static_cast<double>(data.size()) - 1.0),
+              1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  rnd::Rng rng(2);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  rnd::Rng rng(3);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> data{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.5), 2.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.75), 7.5);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW((void)percentile({}, 0.5), mmph::InvalidArgument);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), mmph::InvalidArgument);
+}
+
+TEST(PercentileInplace, SortsItsInput) {
+  std::vector<double> data{3.0, 1.0, 2.0};
+  (void)percentile_inplace(data, 0.5);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(JainFairness, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({2.0, 2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(JainFairness, MaximallyUnfair) {
+  // One user gets everything: index = 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness({8.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainFairness, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairness, InUnitInterval) {
+  rnd::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> x(10);
+    for (double& v : x) v = rng.uniform(0.0, 5.0);
+    const double j = jain_fairness(x);
+    EXPECT_GE(j, 1.0 / 10.0 - 1e-12);
+    EXPECT_LE(j, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mmph::io

@@ -1,0 +1,93 @@
+// Tests for the ASCII table renderer and numeric formatting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mmph/io/table.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::io {
+namespace {
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 4), "2.0000");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Percent, FormatsAsPaperDoes) {
+  EXPECT_EQ(percent(0.8422), "84.22%");
+  EXPECT_EQ(percent(0.5597), "55.97%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), mmph::InvalidArgument);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), mmph::InvalidArgument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"k", "reward"});
+  t.add_row({"2", "44.6301"});
+  t.add_row({"10", "9.1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Rule row contains dashes sized to the widest cell.
+  EXPECT_NE(out.find("--"), std::string::npos);
+  // Both data values present.
+  EXPECT_NE(out.find("44.6301"), std::string::npos);
+  EXPECT_NE(out.find("9.1"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"hello, world"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, MarkdownRendering) {
+  Table t({"solver", "ratio"});
+  t.add_row({"greedy3", "84.22%"});
+  t.add_row({"a|b", "1"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_EQ(os.str(),
+            "| solver | ratio |\n"
+            "|---|---|\n"
+            "| greedy3 | 84.22% |\n"
+            "| a\\|b | 1 |\n");
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmph::io

@@ -1,0 +1,141 @@
+// Tests for ThreadPool and TaskGroup: completion, exceptions, stress.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "mmph/parallel/thread_pool.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::par {
+namespace {
+
+TEST(ThreadPool, DefaultSizeMatchesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup group;
+  for (int i = 0; i < 100; ++i) {
+    pool.submit(group.wrap([&counter] { counter.fetch_add(1); }));
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitRejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    TaskGroup group;
+    for (int i = 0; i < 50; ++i) {
+      pool.submit(group.wrap([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      }));
+    }
+    group.wait();
+  }  // pool joins here
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(group.wrap([i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    }));
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, AllTasksRunEvenWhenSomeThrow) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit(group.wrap([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 5 == 0) throw std::runtime_error("boom");
+    }));
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskGroup, WaitWithNoTasksReturnsImmediately) {
+  TaskGroup group;
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  pool.submit(group.wrap([&counter] { counter.fetch_add(1); }));
+  group.wait();
+  pool.submit(group.wrap([&counter] { counter.fetch_add(1); }));
+  group.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(TaskGroup, WrapRejectsEmpty) {
+  TaskGroup group;
+  EXPECT_THROW((void)group.wrap(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  TaskGroup group;
+  constexpr int kTasks = 5000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit(group.wrap([&sum, i] { sum.fetch_add(i); }));
+  }
+  group.wait();
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that wait for each other can only finish on >= 2 threads.
+  ThreadPool pool(2);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> b_started{false};
+  TaskGroup group;
+  pool.submit(group.wrap([&] {
+    a_started = true;
+    while (!b_started) std::this_thread::yield();
+  }));
+  pool.submit(group.wrap([&] {
+    b_started = true;
+    while (!a_started) std::this_thread::yield();
+  }));
+  group.wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mmph::par

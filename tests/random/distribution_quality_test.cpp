@@ -1,0 +1,98 @@
+// Distribution-quality tests: beyond the moment checks in rng_test, these
+// compare empirical CDFs at several quantiles (a fixed-grid
+// Kolmogorov-Smirnov-style check) so shape errors that preserve mean and
+// variance still fail.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mmph/io/stats.hpp"
+#include "mmph/random/rng.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+std::vector<double> draw(std::size_t n, std::uint64_t seed,
+                         double (*gen)(Rng&)) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = gen(rng);
+  return out;
+}
+
+double empirical_cdf(const std::vector<double>& sorted, double x) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+TEST(DistributionQuality, UniformCdfMatchesAtDeciles) {
+  auto sample = draw(100000, 1, [](Rng& r) { return r.uniform(); });
+  std::sort(sample.begin(), sample.end());
+  for (int d = 1; d <= 9; ++d) {
+    const double x = d / 10.0;
+    EXPECT_NEAR(empirical_cdf(sample, x), x, 0.006) << "decile " << d;
+  }
+}
+
+TEST(DistributionQuality, NormalCdfMatchesAtKnownQuantiles) {
+  auto sample = draw(200000, 2, [](Rng& r) { return r.normal(); });
+  std::sort(sample.begin(), sample.end());
+  // (x, Phi(x)) reference pairs.
+  const std::pair<double, double> refs[] = {
+      {-1.959964, 0.025}, {-1.0, 0.158655}, {0.0, 0.5},
+      {1.0, 0.841345},    {1.959964, 0.975}};
+  for (const auto& [x, phi] : refs) {
+    EXPECT_NEAR(empirical_cdf(sample, x), phi, 0.005) << "x=" << x;
+  }
+}
+
+TEST(DistributionQuality, ExponentialCdfMatches) {
+  auto sample = draw(200000, 3, [](Rng& r) { return r.exponential(2.0); });
+  std::sort(sample.begin(), sample.end());
+  for (double x : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    const double cdf = 1.0 - std::exp(-2.0 * x);
+    EXPECT_NEAR(empirical_cdf(sample, x), cdf, 0.005) << "x=" << x;
+  }
+}
+
+TEST(DistributionQuality, NormalTailSymmetry) {
+  auto sample = draw(200000, 4, [](Rng& r) { return r.normal(); });
+  std::sort(sample.begin(), sample.end());
+  for (double x : {0.5, 1.5, 2.5}) {
+    const double upper = 1.0 - empirical_cdf(sample, x);
+    const double lower = empirical_cdf(sample, -x);
+    EXPECT_NEAR(upper, lower, 0.006) << "x=" << x;
+  }
+}
+
+TEST(DistributionQuality, ZipfMatchesHarmonicLaw) {
+  // P(rank = j) should be (1/j^s) / H_{n,s}; check the head ranks.
+  const std::size_t n = 20;
+  const double s = 1.0;
+  Rng rng(5);
+  std::vector<int> counts(n + 1, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.zipf(n, s)];
+  double h = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) h += 1.0 / static_cast<double>(j);
+  for (std::size_t j = 1; j <= 5; ++j) {
+    const double expected = (1.0 / static_cast<double>(j)) / h;
+    EXPECT_NEAR(static_cast<double>(counts[j]) / draws, expected, 0.005)
+        << "rank " << j;
+  }
+}
+
+TEST(DistributionQuality, PercentileAgreesWithRunningStatsExtremes) {
+  auto sample = draw(5000, 6, [](Rng& r) { return r.uniform(3.0, 9.0); });
+  io::RunningStats stats;
+  for (double v : sample) stats.add(v);
+  EXPECT_DOUBLE_EQ(io::percentile(sample, 0.0), stats.min());
+  EXPECT_DOUBLE_EQ(io::percentile(sample, 1.0), stats.max());
+}
+
+}  // namespace
+}  // namespace mmph::rnd

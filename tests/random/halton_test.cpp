@@ -1,0 +1,90 @@
+// Tests for Halton low-discrepancy sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmph/random/halton.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+TEST(VanDerCorput, Base2KnownPrefix) {
+  // One-based elements in base 2: 1/2, 1/4, 3/4, 1/8, 5/8, ...
+  EXPECT_DOUBLE_EQ(van_der_corput(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(van_der_corput(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(van_der_corput(2, 2), 0.75);
+  EXPECT_DOUBLE_EQ(van_der_corput(3, 2), 0.125);
+  EXPECT_DOUBLE_EQ(van_der_corput(4, 2), 0.625);
+}
+
+TEST(VanDerCorput, Base3KnownPrefix) {
+  EXPECT_NEAR(van_der_corput(0, 3), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(van_der_corput(1, 3), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(van_der_corput(2, 3), 1.0 / 9.0, 1e-15);
+}
+
+TEST(VanDerCorput, AlwaysInUnitInterval) {
+  for (std::size_t i = 0; i < 10000; ++i) {
+    const double x = van_der_corput(i, 5);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(VanDerCorput, RejectsBadBase) {
+  EXPECT_THROW((void)van_der_corput(0, 1), mmph::InvalidArgument);
+}
+
+TEST(Halton, ShapeAndRange) {
+  const auto seq = halton_sequence(100, 3);
+  ASSERT_EQ(seq.size(), 300u);
+  for (double v : seq) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Halton, RejectsUnsupportedDimension) {
+  EXPECT_THROW((void)halton_sequence(10, 0), mmph::InvalidArgument);
+  EXPECT_THROW((void)halton_sequence(10, 17), mmph::InvalidArgument);
+}
+
+TEST(Halton, Deterministic) {
+  EXPECT_EQ(halton_sequence(50, 2), halton_sequence(50, 2));
+}
+
+TEST(Halton, PointsAreDistinct) {
+  const auto seq = halton_sequence(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = i + 1; j < 200; ++j) {
+      const bool same =
+          seq[i * 2] == seq[j * 2] && seq[i * 2 + 1] == seq[j * 2 + 1];
+      EXPECT_FALSE(same) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Halton, LowDiscrepancyBeatsWorstCase) {
+  // Crude equidistribution check: each of the 4 quadrants of [0,1)^2 gets
+  // 1/4 of the mass within a tight tolerance (Halton is far better than
+  // i.i.d. sampling at n = 400).
+  const std::size_t n = 400;
+  const auto seq = halton_sequence(n, 2);
+  int counts[2][2] = {{0, 0}, {0, 0}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int qx = seq[i * 2] < 0.5 ? 0 : 1;
+    const int qy = seq[i * 2 + 1] < 0.5 ? 0 : 1;
+    ++counts[qx][qy];
+  }
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_NEAR(counts[a][b], 100, 8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmph::rnd

@@ -1,0 +1,100 @@
+// Tests for the PCG64 engine: determinism, range, basic statistics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mmph/random/pcg64.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 2;
+  EXPECT_NE(splitmix64_next(s1), splitmix64_next(s2));
+}
+
+TEST(Pcg64, SameSeedSameStream) {
+  Pcg64 a(42);
+  Pcg64 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg64, DifferentSeedsDiffer) {
+  Pcg64 a(1);
+  Pcg64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Pcg64, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Pcg64>);
+  EXPECT_EQ(Pcg64::min(), 0u);
+  EXPECT_EQ(Pcg64::max(), ~0ull);
+}
+
+TEST(Pcg64, NextDoubleInUnitInterval) {
+  Pcg64 g(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg64, NextDoubleMeanIsHalf) {
+  Pcg64 g(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Pcg64, NextBelowRespectsBound) {
+  Pcg64 g(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.next_below(17), 17u);
+  }
+}
+
+TEST(Pcg64, NextBelowCoversAllResidues) {
+  Pcg64 g(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg64, NextBelowZeroBound) {
+  Pcg64 g(1);
+  EXPECT_EQ(g.next_below(0), 0u);
+}
+
+TEST(Pcg64, BitsLookUniformPerNibble) {
+  // Chi-square-lite: each of 16 nibble values of the low 4 bits should
+  // appear roughly n/16 times.
+  Pcg64 g(23);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[g() & 0xF];
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_NEAR(counts[v], n / 16, n / 16 * 0.08) << "nibble " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mmph::rnd

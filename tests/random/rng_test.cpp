@@ -1,0 +1,182 @@
+// Tests for the Rng facade: ranges, determinism, forking, moments.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+TEST(Rng, SeedIsRecorded) {
+  const Rng rng(99);
+  EXPECT_EQ(rng.seed(), 99u);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(1, 5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable, incl. both endpoints
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, -2);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -2);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(8);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalValidation) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.categorical({}), InvalidArgument);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW((void)rng.categorical({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(Rng, ZipfRanksAreInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t v = rng.zipf(10, 1.0);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t v = rng.zipf(100, 1.2);
+    if (v <= 10) ++low;
+    if (v > 90) ++high;
+  }
+  EXPECT_GT(low, 5 * high);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(12);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(5, 0.0) - 1];
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_NEAR(counts[v], n / 5, n / 5 * 0.1);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  const auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, SameSeedSameDraws) {
+  Rng a(100);
+  Rng b(100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng parent(42);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(0);
+  Rng c3 = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // Different salts give (with overwhelming probability) different streams.
+  Rng c1b = parent.fork(0);
+  EXPECT_NE(c1b.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng parent(42);
+  const std::uint64_t before = Rng(42).next_u64();
+  (void)parent.fork(5);
+  EXPECT_EQ(parent.next_u64(), before);
+}
+
+}  // namespace
+}  // namespace mmph::rnd

@@ -1,0 +1,178 @@
+// Tests for synthetic workload generation (the paper's simulation inputs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::rnd {
+namespace {
+
+TEST(WorkloadSpec, DescribeMentionsKeyFields) {
+  WorkloadSpec spec;
+  spec.n = 40;
+  spec.dim = 3;
+  const std::string d = spec.describe();
+  EXPECT_NE(d.find("n=40"), std::string::npos);
+  EXPECT_NE(d.find("dim=3"), std::string::npos);
+  EXPECT_NE(d.find("uniform"), std::string::npos);
+}
+
+TEST(Workload, PaperDefaultShape) {
+  WorkloadSpec spec;  // n=40, 2-D, 4x4 box, weights 1..5
+  Rng rng(42);
+  const Workload wl = generate_workload(spec, rng);
+  EXPECT_EQ(wl.points.size(), 40u);
+  EXPECT_EQ(wl.points.dim(), 2u);
+  EXPECT_EQ(wl.weights.size(), 40u);
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(wl.points[i][d], 0.0);
+      EXPECT_LE(wl.points[i][d], 4.0);
+    }
+    EXPECT_GE(wl.weights[i], 1.0);
+    EXPECT_LE(wl.weights[i], 5.0);
+    EXPECT_EQ(wl.weights[i], std::floor(wl.weights[i]));  // integer weights
+  }
+}
+
+TEST(Workload, SameWeightScheme) {
+  WorkloadSpec spec;
+  spec.weights = WeightScheme::kSame;
+  spec.same_weight = 1.0;
+  Rng rng(1);
+  const Workload wl = generate_workload(spec, rng);
+  for (double w : wl.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+  EXPECT_DOUBLE_EQ(wl.total_weight(), 40.0);
+}
+
+TEST(Workload, ZipfWeightsAreRanks) {
+  WorkloadSpec spec;
+  spec.weights = WeightScheme::kZipf;
+  spec.n = 50;
+  Rng rng(2);
+  const Workload wl = generate_workload(spec, rng);
+  for (double w : wl.weights) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 50.0);
+  }
+}
+
+TEST(Workload, ThreeDBox) {
+  WorkloadSpec spec;
+  spec.dim = 3;
+  spec.n = 160;
+  Rng rng(3);
+  const Workload wl = generate_workload(spec, rng);
+  EXPECT_EQ(wl.points.dim(), 3u);
+  EXPECT_EQ(wl.points.size(), 160u);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  WorkloadSpec spec;
+  Rng a(7);
+  Rng b(7);
+  const Workload w1 = generate_workload(spec, a);
+  const Workload w2 = generate_workload(spec, b);
+  EXPECT_EQ(w1.weights, w2.weights);
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1.points[i][0], w2.points[i][0]);
+    EXPECT_EQ(w1.points[i][1], w2.points[i][1]);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadSpec spec;
+  Rng a(7);
+  Rng b(8);
+  const Workload w1 = generate_workload(spec, a);
+  const Workload w2 = generate_workload(spec, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < w1.size() && !any_diff; ++i) {
+    any_diff = w1.points[i][0] != w2.points[i][0];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, HaltonPlacementFillsEvenly) {
+  WorkloadSpec spec;
+  spec.placement = Placement::kHalton;
+  spec.n = 400;
+  Rng rng(4);
+  const Workload wl = generate_workload(spec, rng);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    const int q = (wl.points[i][0] < 2.0 ? 0 : 1) +
+                  (wl.points[i][1] < 2.0 ? 0 : 2);
+    ++quadrants[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_NEAR(quadrants[q], 100, 10);
+}
+
+TEST(Workload, ClusteredPlacementStaysInBox) {
+  WorkloadSpec spec;
+  spec.placement = Placement::kClustered;
+  spec.clusters = 2;
+  spec.cluster_stddev = 0.3;
+  spec.n = 200;
+  Rng rng(5);
+  const Workload wl = generate_workload(spec, rng);
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_GE(wl.points[i][0], 0.0);
+    EXPECT_LE(wl.points[i][0], 4.0);
+  }
+}
+
+TEST(Workload, ClusteredPlacementActuallyClusters) {
+  // With tiny stddev, points concentrate near at most `clusters` locations:
+  // mean nearest-neighbor distance is much smaller than uniform.
+  WorkloadSpec spec;
+  spec.placement = Placement::kClustered;
+  spec.clusters = 3;
+  spec.cluster_stddev = 0.05;
+  spec.n = 60;
+  Rng rng(6);
+  const Workload wl = generate_workload(spec, rng);
+  double total_nn = 0.0;
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    double nn = 1e9;
+    for (std::size_t j = 0; j < wl.size(); ++j) {
+      if (i == j) continue;
+      const double dx = wl.points[i][0] - wl.points[j][0];
+      const double dy = wl.points[i][1] - wl.points[j][1];
+      nn = std::min(nn, std::sqrt(dx * dx + dy * dy));
+    }
+    total_nn += nn;
+  }
+  EXPECT_LT(total_nn / static_cast<double>(wl.size()), 0.15);
+}
+
+TEST(Workload, Validation) {
+  Rng rng(9);
+  WorkloadSpec bad;
+  bad.n = 0;
+  EXPECT_THROW((void)generate_workload(bad, rng), mmph::InvalidArgument);
+  bad = WorkloadSpec{};
+  bad.box_side = 0.0;
+  EXPECT_THROW((void)generate_workload(bad, rng), mmph::InvalidArgument);
+  bad = WorkloadSpec{};
+  bad.weight_lo = 5;
+  bad.weight_hi = 1;
+  EXPECT_THROW((void)generate_workload(bad, rng), mmph::InvalidArgument);
+}
+
+TEST(WorkloadNames, EnumNames) {
+  EXPECT_STREQ(placement_name(Placement::kUniform), "uniform");
+  EXPECT_STREQ(placement_name(Placement::kHalton), "halton");
+  EXPECT_STREQ(placement_name(Placement::kClustered), "clustered");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kSame), "same");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kUniformInt), "uniform-int");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kZipf), "zipf");
+}
+
+}  // namespace
+}  // namespace mmph::rnd

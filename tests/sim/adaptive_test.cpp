@@ -1,0 +1,100 @@
+// Tests for the adaptive (cost-model) scheduler selection.
+
+#include <gtest/gtest.h>
+
+#include "mmph/sim/adaptive.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::sim {
+namespace {
+
+TEST(Adaptive, Validation) {
+  EXPECT_THROW(AdaptivePlanner(0.0), mmph::InvalidArgument);
+  EXPECT_THROW(AdaptivePlanner(100.0, {}), mmph::InvalidArgument);
+  EXPECT_THROW(AdaptivePlanner(100.0, {{"", 1.0}}), mmph::InvalidArgument);
+  EXPECT_THROW(AdaptivePlanner(100.0, {{"greedy3", -1.0}}),
+               mmph::InvalidArgument);
+  AdaptivePlanner ok(100.0);
+  EXPECT_THROW((void)ok.factory(0), mmph::InvalidArgument);
+}
+
+TEST(Adaptive, PredictedCostFollowsComplexity) {
+  const AdaptiveRung linear{"greedy3", 1.0};
+  const AdaptiveRung cubic{"greedy4", 3.0};
+  EXPECT_DOUBLE_EQ(AdaptivePlanner::predicted_cost(linear, 100, 4), 400.0);
+  EXPECT_DOUBLE_EQ(AdaptivePlanner::predicted_cost(cubic, 10, 2), 2000.0);
+}
+
+TEST(Adaptive, PicksBestAffordableRung) {
+  // Budget 10000 ops, k=4: greedy4 fits for n <= cbrt(2500) ~ 13,
+  // greedy2 for n <= 50, greedy3 beyond.
+  const AdaptivePlanner planner(10000.0);
+  EXPECT_EQ(planner.choose(10, 4).solver, "greedy4");
+  EXPECT_EQ(planner.choose(40, 4).solver, "greedy2");
+  EXPECT_EQ(planner.choose(500, 4).solver, "greedy3");
+}
+
+TEST(Adaptive, FallsBackToCheapestWhenNothingFits) {
+  const AdaptivePlanner planner(1.0);  // nothing fits
+  EXPECT_EQ(planner.choose(1000, 4).solver, "greedy3");
+}
+
+TEST(Adaptive, ChoiceCountsTrackUsage) {
+  AdaptivePlanner planner(10000.0);
+  (void)planner.choose(10, 4);   // greedy4
+  (void)planner.choose(10, 4);   // greedy4
+  (void)planner.choose(40, 4);   // greedy2
+  (void)planner.choose(500, 4);  // greedy3
+  const auto& counts = planner.choice_counts();
+  EXPECT_EQ(counts[0], 1u);  // greedy3
+  EXPECT_EQ(counts[1], 1u);  // greedy2
+  EXPECT_EQ(counts[2], 2u);  // greedy4
+}
+
+TEST(Adaptive, CustomLadder) {
+  const AdaptivePlanner planner(
+      1e9, {{"random", 0.0}, {"greedy2-lazy", 2.0}});
+  EXPECT_EQ(planner.choose(100, 4).solver, "greedy2-lazy");
+  EXPECT_EQ(planner.ladder().size(), 2u);
+}
+
+TEST(Adaptive, DrivesSimulatorAndStaysDeterministic) {
+  AdaptivePlanner planner(20000.0);
+  SimConfig cfg;
+  cfg.users = 30;
+  cfg.slots = 5;
+  cfg.k = 4;
+  cfg.radius = 1.0;
+  cfg.seed = 9;
+  BroadcastSimulator sim(cfg, planner.factory(cfg.k));
+  const SimReport report = sim.run();
+  EXPECT_EQ(report.slots.size(), 5u);
+  EXPECT_GT(report.total_reward, 0.0);
+  // n=30, k=4: greedy4 costs 4*27000 > budget; greedy2 costs 3600 <=
+  // budget -> greedy2 every slot.
+  EXPECT_EQ(planner.choice_counts()[1], 5u);
+
+  AdaptivePlanner planner2(20000.0);
+  BroadcastSimulator sim2(cfg, planner2.factory(cfg.k));
+  EXPECT_DOUBLE_EQ(sim2.run().total_reward, report.total_reward);
+}
+
+TEST(Adaptive, LargerBudgetNeverWorseOnAverage) {
+  // More budget unlocks better algorithms; reward should not regress.
+  SimConfig cfg;
+  cfg.users = 25;
+  cfg.slots = 8;
+  cfg.k = 3;
+  cfg.radius = 1.0;
+  cfg.seed = 10;
+  AdaptivePlanner tight(100.0);     // greedy3 only
+  AdaptivePlanner roomy(1.0e9);     // greedy4 always
+  BroadcastSimulator sim_tight(cfg, tight.factory(cfg.k));
+  BroadcastSimulator sim_roomy(cfg, roomy.factory(cfg.k));
+  const double reward_tight = sim_tight.run().total_reward;
+  const double reward_roomy = sim_roomy.run().total_reward;
+  EXPECT_GE(reward_roomy, reward_tight * 0.99);
+}
+
+}  // namespace
+}  // namespace mmph::sim

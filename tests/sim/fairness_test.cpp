@@ -1,0 +1,150 @@
+// Tests for the proportional-fairness planner.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/sim/fairness.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::sim {
+namespace {
+
+SolverFactory greedy2_factory() {
+  return [](const core::Problem&) {
+    return std::make_unique<core::GreedyLocalSolver>();
+  };
+}
+
+// A lopsided instance: a dense cluster plus fringe users that plain
+// greedy ignores every slot.
+core::Problem lopsided_problem() {
+  geo::PointSet ps(2);
+  std::vector<double> w;
+  // Dense cluster around (1, 1).
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<double> pt{1.0 + 0.05 * (i % 4), 1.0 + 0.05 * (i / 4)};
+    ps.push_back(pt);
+    w.push_back(1.0);
+  }
+  // Fringe users, pairwise coverable but far from the cluster.
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<double> pt{3.5, 0.5 + 1.0 * i};
+    ps.push_back(pt);
+    w.push_back(1.0);
+  }
+  return core::Problem(std::move(ps), std::move(w), 0.8, geo::l2_metric());
+}
+
+TEST(Fairness, Validation) {
+  EXPECT_THROW(FairnessAwarePlanner(SolverFactory{}, 1.0),
+               mmph::InvalidArgument);
+  EXPECT_THROW(FairnessAwarePlanner(greedy2_factory(), -0.1),
+               mmph::InvalidArgument);
+}
+
+TEST(Fairness, AlphaZeroMatchesPlainScheduler) {
+  FairnessAwarePlanner planner(greedy2_factory(), 0.0);
+  const core::Problem p = lopsided_problem();
+  for (int slot = 0; slot < 3; ++slot) {
+    const core::Solution fair = planner.plan(p, 1);
+    const core::Solution plain = core::GreedyLocalSolver().solve(p, 1);
+    EXPECT_DOUBLE_EQ(fair.total_reward, plain.total_reward);
+    EXPECT_TRUE(geo::approx_equal(fair.centers[0], plain.centers[0], 0.0));
+  }
+}
+
+TEST(Fairness, SolutionIsTruthfulAgainstOriginalWeights) {
+  FairnessAwarePlanner planner(greedy2_factory(), 4.0);
+  const core::Problem p = lopsided_problem();
+  for (int slot = 0; slot < 4; ++slot) {
+    const core::Solution s = planner.plan(p, 1);
+    EXPECT_NEAR(s.total_reward, core::objective_value(p, s.centers), 1e-9);
+  }
+}
+
+TEST(Fairness, DeficitsTrackStarvedUsers) {
+  FairnessAwarePlanner planner(greedy2_factory(), 0.0);
+  const core::Problem p = lopsided_problem();
+  (void)planner.plan(p, 1);  // plain greedy serves the cluster only
+  const auto& deficits = planner.deficits();
+  ASSERT_EQ(deficits.size(), p.size());
+  // Fringe users (indices 12..15) accumulated deficit; cluster users not.
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_GT(deficits[i], 0.0) << i;
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(deficits[i], 0.0, 1e-9) << i;
+  }
+}
+
+TEST(Fairness, EventuallyServesTheFringe) {
+  // With strong fairness pressure, the fringe must get a broadcast within
+  // a few slots even though the cluster always wins the myopic choice.
+  FairnessAwarePlanner planner(greedy2_factory(), 24.0);
+  const core::Problem p = lopsided_problem();
+  bool fringe_served = false;
+  for (int slot = 0; slot < 10 && !fringe_served; ++slot) {
+    const core::Solution s = planner.plan(p, 1);
+    for (std::size_t i = 12; i < 16 && !fringe_served; ++i) {
+      fringe_served = s.residual[i] < 1.0 - 1e-9;
+    }
+  }
+  EXPECT_TRUE(fringe_served);
+
+  // Plain greedy never serves them on this instance.
+  const core::Solution plain = core::GreedyLocalSolver().solve(p, 1);
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(plain.residual[i], 1.0);
+  }
+}
+
+TEST(Fairness, ImprovesLongRunJainIndexAtModestRewardCost) {
+  const core::Problem p = lopsided_problem();
+  const auto run = [&](double alpha) {
+    FairnessAwarePlanner planner(greedy2_factory(), alpha);
+    std::vector<double> accumulated(p.size(), 0.0);
+    double total = 0.0;
+    for (int slot = 0; slot < 20; ++slot) {
+      const core::Solution s = planner.plan(p, 1);
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        accumulated[i] += p.weight(i) * (1.0 - s.residual[i]);
+      }
+      total += s.total_reward;
+    }
+    return std::make_pair(io::jain_fairness(accumulated), total);
+  };
+  const auto [jain_plain, total_plain] = run(0.0);
+  const auto [jain_fair, total_fair] = run(24.0);
+  EXPECT_GT(jain_fair, jain_plain + 0.05);   // meaningfully fairer
+  EXPECT_GT(total_fair, 0.5 * total_plain);  // at a bounded reward cost
+}
+
+TEST(Fairness, PlugsIntoSimulatorAndHandlesChurn) {
+  FairnessAwarePlanner planner(greedy2_factory(), 2.0);
+  SimConfig cfg;
+  cfg.users = 15;
+  cfg.slots = 6;
+  cfg.k = 2;
+  cfg.radius = 1.0;
+  cfg.drift.churn_prob = 0.5;  // population identity churns heavily
+  cfg.seed = 12;
+  BroadcastSimulator sim(cfg, planner.factory());
+  const SimReport report = sim.run();
+  EXPECT_EQ(report.slots.size(), 6u);
+  EXPECT_GT(report.total_reward, 0.0);
+}
+
+TEST(Fairness, ResetClearsState) {
+  FairnessAwarePlanner planner(greedy2_factory(), 2.0);
+  const core::Problem p = lopsided_problem();
+  (void)planner.plan(p, 1);
+  planner.reset();
+  EXPECT_TRUE(planner.deficits().empty());
+}
+
+}  // namespace
+}  // namespace mmph::sim

@@ -1,0 +1,219 @@
+// Tests for the multi-cell network simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/sim/network.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::sim {
+namespace {
+
+SolverFactory greedy3_factory() {
+  return [](const core::Problem&) {
+    return std::make_unique<core::GreedySimpleSolver>();
+  };
+}
+
+NetworkConfig small_config() {
+  NetworkConfig cfg;
+  cfg.stations = 3;
+  cfg.users = 30;
+  cfg.slots = 8;
+  cfg.k_per_station = 2;
+  cfg.radius = 1.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Network, Validation) {
+  NetworkConfig cfg = small_config();
+  cfg.stations = 0;
+  EXPECT_THROW(NetworkSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  cfg = small_config();
+  cfg.users = 0;
+  EXPECT_THROW(NetworkSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  cfg = small_config();
+  cfg.area_side = 0.0;
+  EXPECT_THROW(NetworkSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  EXPECT_THROW(NetworkSimulator(small_config(), SolverFactory{}),
+               mmph::InvalidArgument);
+}
+
+TEST(Network, InitialAssociationIsNearestStation) {
+  NetworkSimulator sim(small_config(), greedy3_factory());
+  const geo::PointSet& stations = sim.stations();
+  for (const NetworkUser& u : sim.users()) {
+    const double attached = geo::l2_distance(u.position,
+                                             stations[u.station]);
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      EXPECT_LE(attached, geo::l2_distance(u.position, stations[s]) + 1e-12);
+    }
+  }
+}
+
+TEST(Network, RunProducesOneMetricPerSlot) {
+  NetworkSimulator sim(small_config(), greedy3_factory());
+  const NetworkReport report = sim.run();
+  ASSERT_EQ(report.slots.size(), 8u);
+  for (std::size_t t = 0; t < report.slots.size(); ++t) {
+    EXPECT_EQ(report.slots[t].slot, t);
+  }
+}
+
+TEST(Network, MetricsInRange) {
+  NetworkConfig cfg = small_config();
+  cfg.mobility_sigma = 0.4;
+  cfg.interest_sigma = 0.1;
+  NetworkSimulator sim(cfg, greedy3_factory());
+  const NetworkReport report = sim.run();
+  for (const NetworkSlotMetrics& m : report.slots) {
+    EXPECT_GE(m.reward, 0.0);
+    EXPECT_LE(m.reward, m.total_weight + 1e-9);
+    EXPECT_GE(m.satisfaction, 0.0);
+    EXPECT_LE(m.satisfaction, 1.0 + 1e-12);
+    EXPECT_LE(m.handovers, cfg.users);
+    EXPECT_LE(m.max_cell_load, cfg.users);
+    EXPECT_LE(m.min_cell_load, m.max_cell_load);
+  }
+}
+
+TEST(Network, NoMobilityNoHandovers) {
+  NetworkConfig cfg = small_config();
+  cfg.mobility_sigma = 0.0;
+  NetworkSimulator sim(cfg, greedy3_factory());
+  const NetworkReport report = sim.run();
+  EXPECT_EQ(report.total_handovers, 0u);
+}
+
+TEST(Network, MobilityCausesHandovers) {
+  NetworkConfig cfg = small_config();
+  cfg.mobility_sigma = 2.0;  // violent movement over a 10x10 area
+  cfg.slots = 20;
+  NetworkSimulator sim(cfg, greedy3_factory());
+  const NetworkReport report = sim.run();
+  EXPECT_GT(report.total_handovers, 0u);
+}
+
+TEST(Network, DeterministicGivenSeed) {
+  NetworkConfig cfg = small_config();
+  cfg.mobility_sigma = 0.3;
+  NetworkSimulator a(cfg, greedy3_factory());
+  NetworkSimulator b(cfg, greedy3_factory());
+  const NetworkReport ra = a.run();
+  const NetworkReport rb = b.run();
+  ASSERT_EQ(ra.slots.size(), rb.slots.size());
+  for (std::size_t t = 0; t < ra.slots.size(); ++t) {
+    EXPECT_DOUBLE_EQ(ra.slots[t].reward, rb.slots[t].reward);
+    EXPECT_EQ(ra.slots[t].handovers, rb.slots[t].handovers);
+  }
+}
+
+TEST(Network, HysteresisValidation) {
+  NetworkConfig cfg = small_config();
+  cfg.handover_hysteresis = -0.1;
+  EXPECT_THROW(NetworkSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  cfg.handover_hysteresis = 1.0;
+  EXPECT_THROW(NetworkSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+}
+
+TEST(Network, HysteresisReducesHandovers) {
+  const auto handovers_with = [](double h) {
+    NetworkConfig cfg = small_config();
+    cfg.mobility_sigma = 0.8;
+    cfg.slots = 25;
+    cfg.handover_hysteresis = h;
+    NetworkSimulator sim(cfg, greedy3_factory());
+    return sim.run().total_handovers;
+  };
+  const std::uint64_t eager = handovers_with(0.0);
+  const std::uint64_t damped = handovers_with(0.3);
+  const std::uint64_t heavy = handovers_with(0.8);
+  EXPECT_GE(eager, damped);
+  EXPECT_GE(damped, heavy);
+  EXPECT_GT(eager, heavy);  // strict somewhere along the sweep
+}
+
+TEST(Network, HysteresisDoesNotAffectInitialAttachment) {
+  NetworkConfig cfg = small_config();
+  cfg.handover_hysteresis = 0.9;
+  NetworkSimulator sim(cfg, greedy3_factory());
+  const geo::PointSet& stations = sim.stations();
+  for (const NetworkUser& u : sim.users()) {
+    const double attached =
+        geo::l2_distance(u.position, stations[u.station]);
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      EXPECT_LE(attached, geo::l2_distance(u.position, stations[s]) + 1e-12);
+    }
+  }
+}
+
+TEST(Network, CellLoadsSumToUsers) {
+  NetworkSimulator sim(small_config(), greedy3_factory());
+  std::vector<std::size_t> loads(3, 0);
+  for (const NetworkUser& u : sim.users()) {
+    ASSERT_LT(u.station, 3u);
+    ++loads[u.station];
+  }
+  EXPECT_EQ(loads[0] + loads[1] + loads[2], 30u);
+}
+
+TEST(Network, SingleStationBehavesLikeOneCell) {
+  NetworkConfig cfg = small_config();
+  cfg.stations = 1;
+  NetworkSimulator sim(cfg, greedy3_factory());
+  const NetworkReport report = sim.run();
+  EXPECT_EQ(report.total_handovers, 0u);
+  for (const NetworkSlotMetrics& m : report.slots) {
+    EXPECT_EQ(m.max_cell_load, 30u);
+    EXPECT_EQ(m.min_cell_load, 30u);
+  }
+}
+
+TEST(Network, AccumulatedRewardsGrow) {
+  NetworkSimulator sim(small_config(), greedy3_factory());
+  (void)sim.run();
+  double total = 0.0;
+  for (const NetworkUser& u : sim.users()) total += u.accumulated_reward;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Network, WorksWithRegistrySolvers) {
+  for (const std::string name : {"greedy2", "greedy4", "sieve"}) {
+    NetworkConfig cfg = small_config();
+    cfg.slots = 3;
+    NetworkSimulator sim(cfg, [name](const core::Problem& p) {
+      return core::make_solver(name, p);
+    });
+    const NetworkReport report = sim.run();
+    EXPECT_GT(report.total_reward, 0.0) << name;
+  }
+}
+
+TEST(NetworkReport, FinalizeAggregates) {
+  NetworkReport report;
+  NetworkSlotMetrics a;
+  a.reward = 3.0;
+  a.satisfaction = 0.3;
+  a.handovers = 2;
+  NetworkSlotMetrics b;
+  b.reward = 5.0;
+  b.satisfaction = 0.5;
+  b.handovers = 1;
+  report.slots = {a, b};
+  report.finalize();
+  EXPECT_DOUBLE_EQ(report.total_reward, 8.0);
+  EXPECT_DOUBLE_EQ(report.mean_satisfaction, 0.4);
+  EXPECT_EQ(report.total_handovers, 3u);
+}
+
+}  // namespace
+}  // namespace mmph::sim

@@ -1,0 +1,184 @@
+// Tests for the broadcast simulator: determinism, accounting, dynamics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/sim/simulator.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::sim {
+namespace {
+
+SolverFactory greedy3_factory() {
+  return [](const core::Problem&) {
+    return std::make_unique<core::GreedySimpleSolver>();
+  };
+}
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.users = 20;
+  cfg.slots = 10;
+  cfg.k = 2;
+  cfg.radius = 1.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Simulator, Validation) {
+  SimConfig cfg = small_config();
+  cfg.users = 0;
+  EXPECT_THROW(BroadcastSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  cfg = small_config();
+  cfg.k = 0;
+  EXPECT_THROW(BroadcastSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  cfg = small_config();
+  cfg.radius = 0.0;
+  EXPECT_THROW(BroadcastSimulator(cfg, greedy3_factory()),
+               mmph::InvalidArgument);
+  EXPECT_THROW(BroadcastSimulator(small_config(), SolverFactory{}),
+               mmph::InvalidArgument);
+}
+
+TEST(Simulator, PopulationIsStable) {
+  BroadcastSimulator sim(small_config(), greedy3_factory());
+  EXPECT_EQ(sim.users().size(), 20u);
+  (void)sim.step();
+  EXPECT_EQ(sim.users().size(), 20u);
+  EXPECT_EQ(sim.current_slot(), 1u);
+}
+
+TEST(Simulator, RunProducesOneMetricPerSlot) {
+  BroadcastSimulator sim(small_config(), greedy3_factory());
+  const SimReport report = sim.run();
+  ASSERT_EQ(report.slots.size(), 10u);
+  for (std::size_t t = 0; t < report.slots.size(); ++t) {
+    EXPECT_EQ(report.slots[t].slot, t);
+  }
+}
+
+TEST(Simulator, MetricsAreInRange) {
+  BroadcastSimulator sim(small_config(), greedy3_factory());
+  const SimReport report = sim.run();
+  for (const SlotMetrics& m : report.slots) {
+    EXPECT_GE(m.reward, 0.0);
+    EXPECT_LE(m.reward, m.total_weight + 1e-9);
+    EXPECT_GE(m.satisfaction, 0.0);
+    EXPECT_LE(m.satisfaction, 1.0 + 1e-12);
+    EXPECT_GE(m.fairness, 0.0);
+    EXPECT_LE(m.fairness, 1.0 + 1e-12);
+    EXPECT_LE(m.users_happy, 20u);
+    EXPECT_GE(m.solve_seconds, 0.0);
+  }
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  BroadcastSimulator a(small_config(), greedy3_factory());
+  BroadcastSimulator b(small_config(), greedy3_factory());
+  const SimReport ra = a.run();
+  const SimReport rb = b.run();
+  ASSERT_EQ(ra.slots.size(), rb.slots.size());
+  for (std::size_t t = 0; t < ra.slots.size(); ++t) {
+    EXPECT_DOUBLE_EQ(ra.slots[t].reward, rb.slots[t].reward);
+  }
+}
+
+TEST(Simulator, StaticInterestsGiveConstantReward) {
+  SimConfig cfg = small_config();
+  cfg.drift = DriftModel{};  // no drift, no jumps, no churn
+  BroadcastSimulator sim(cfg, greedy3_factory());
+  const SimReport report = sim.run();
+  for (std::size_t t = 1; t < report.slots.size(); ++t) {
+    EXPECT_DOUBLE_EQ(report.slots[t].reward, report.slots[0].reward);
+  }
+}
+
+TEST(Simulator, DriftChangesTheProblem) {
+  SimConfig cfg = small_config();
+  cfg.drift.sigma = 0.5;
+  BroadcastSimulator sim(cfg, greedy3_factory());
+  const SimReport report = sim.run();
+  bool any_change = false;
+  for (std::size_t t = 1; t < report.slots.size() && !any_change; ++t) {
+    any_change = report.slots[t].reward != report.slots[0].reward;
+  }
+  EXPECT_TRUE(any_change);
+}
+
+TEST(Simulator, ChurnReplacesUsers) {
+  SimConfig cfg = small_config();
+  cfg.drift.churn_prob = 1.0;  // everyone leaves every slot
+  BroadcastSimulator sim(cfg, greedy3_factory());
+  const auto ids_before = sim.users();
+  (void)sim.step();
+  const auto& ids_after = sim.users();
+  for (std::size_t i = 0; i < ids_after.size(); ++i) {
+    EXPECT_NE(ids_after[i].id, ids_before[i].id);
+    EXPECT_EQ(ids_after[i].joined_slot, 0u);  // spawned during slot 0
+    EXPECT_DOUBLE_EQ(ids_after[i].accumulated_reward, 0.0);
+  }
+}
+
+TEST(Simulator, AccumulatedRewardGrows) {
+  SimConfig cfg = small_config();
+  BroadcastSimulator sim(cfg, greedy3_factory());
+  (void)sim.run();
+  double total = 0.0;
+  for (const User& u : sim.users()) total += u.accumulated_reward;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Simulator, SameWeightSchemeGivesUnitWeights) {
+  SimConfig cfg = small_config();
+  cfg.weights = rnd::WeightScheme::kSame;
+  BroadcastSimulator sim(cfg, greedy3_factory());
+  for (const User& u : sim.users()) EXPECT_DOUBLE_EQ(u.weight, 1.0);
+}
+
+TEST(Simulator, WorksWithRegistrySolvers) {
+  for (const std::string name : {"greedy2", "greedy3", "greedy4"}) {
+    SimConfig cfg = small_config();
+    cfg.slots = 3;
+    BroadcastSimulator sim(cfg, [name](const core::Problem& p) {
+      return core::make_solver(name, p);
+    });
+    const SimReport report = sim.run();
+    EXPECT_EQ(report.slots.size(), 3u) << name;
+    EXPECT_GT(report.total_reward, 0.0) << name;
+  }
+}
+
+TEST(SimReport, FinalizeAggregates) {
+  SimReport report;
+  SlotMetrics a;
+  a.reward = 2.0;
+  a.satisfaction = 0.5;
+  a.fairness = 1.0;
+  a.solve_seconds = 0.25;
+  SlotMetrics b;
+  b.reward = 4.0;
+  b.satisfaction = 0.7;
+  b.fairness = 0.8;
+  b.solve_seconds = 0.75;
+  report.slots = {a, b};
+  report.finalize();
+  EXPECT_DOUBLE_EQ(report.total_reward, 6.0);
+  EXPECT_DOUBLE_EQ(report.mean_satisfaction, 0.6);
+  EXPECT_DOUBLE_EQ(report.mean_fairness, 0.9);
+  EXPECT_DOUBLE_EQ(report.total_solve_seconds, 1.0);
+}
+
+TEST(SimReport, FinalizeOnEmptyIsZero) {
+  SimReport report;
+  report.finalize();
+  EXPECT_DOUBLE_EQ(report.total_reward, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_satisfaction, 0.0);
+}
+
+}  // namespace
+}  // namespace mmph::sim

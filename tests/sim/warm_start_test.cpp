@@ -1,0 +1,134 @@
+// Tests for the warm-started replanner.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mmph/core/greedy_local.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/sim/warm_start.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::sim {
+namespace {
+
+SolverFactory greedy2_factory() {
+  return [](const core::Problem&) {
+    return std::make_unique<core::GreedyLocalSolver>();
+  };
+}
+
+core::Problem instance(std::uint64_t seed, std::size_t n = 25) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  return core::Problem::from_workload(rnd::generate_workload(spec, rng), 1.0,
+                                      geo::l2_metric());
+}
+
+TEST(WarmStart, Validation) {
+  EXPECT_THROW(WarmStartPlanner(SolverFactory{}), mmph::InvalidArgument);
+  EXPECT_THROW(WarmStartPlanner(greedy2_factory(), 0), mmph::InvalidArgument);
+}
+
+TEST(WarmStart, FirstPlanIsCold) {
+  WarmStartPlanner planner(greedy2_factory());
+  const core::Problem p = instance(1);
+  const core::Solution s = planner.plan(p, 3);
+  EXPECT_EQ(planner.cold_solves(), 1u);
+  EXPECT_EQ(planner.warm_solves(), 0u);
+  EXPECT_EQ(s.centers.size(), 3u);
+  // First plan comes straight from the cold solver.
+  const core::Solution direct = core::GreedyLocalSolver().solve(p, 3);
+  EXPECT_DOUBLE_EQ(s.total_reward, direct.total_reward);
+}
+
+TEST(WarmStart, SecondPlanIsWarmAndNotWorseOnSameInstance) {
+  WarmStartPlanner planner(greedy2_factory());
+  const core::Problem p = instance(2);
+  const double cold = planner.plan(p, 3).total_reward;
+  const double warm = planner.plan(p, 3).total_reward;
+  EXPECT_EQ(planner.warm_solves(), 1u);
+  EXPECT_GE(warm + 1e-9, cold);  // refinement never loses on the same input
+}
+
+TEST(WarmStart, TracksQualityUnderSmallPerturbations) {
+  WarmStartPlanner planner(greedy2_factory());
+  rnd::Rng rng(3);
+  core::Problem base = instance(3, 30);
+  (void)planner.plan(base, 3);
+  // Drift every point slightly and replan warm; compare to cold greedy.
+  for (int slot = 0; slot < 5; ++slot) {
+    geo::PointSet pts(2);
+    std::vector<double> w;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const std::vector<double> moved{
+          std::clamp(base.point(i)[0] + rng.normal(0.0, 0.05), 0.0, 4.0),
+          std::clamp(base.point(i)[1] + rng.normal(0.0, 0.05), 0.0, 4.0)};
+      pts.push_back(moved);
+      w.push_back(base.weight(i));
+    }
+    base = core::Problem(std::move(pts), std::move(w), 1.0,
+                         geo::l2_metric());
+    const double warm = planner.plan(base, 3).total_reward;
+    const double cold = core::GreedyLocalSolver().solve(base, 3).total_reward;
+    EXPECT_GE(warm, 0.9 * cold) << "slot " << slot;
+  }
+  EXPECT_EQ(planner.warm_solves(), 5u);
+}
+
+TEST(WarmStart, KChangeFallsBackToCold) {
+  WarmStartPlanner planner(greedy2_factory());
+  const core::Problem p = instance(4);
+  (void)planner.plan(p, 3);
+  (void)planner.plan(p, 4);  // different k: history unusable
+  EXPECT_EQ(planner.cold_solves(), 2u);
+}
+
+TEST(WarmStart, ResetForcesCold) {
+  WarmStartPlanner planner(greedy2_factory());
+  const core::Problem p = instance(5);
+  (void)planner.plan(p, 2);
+  planner.reset();
+  (void)planner.plan(p, 2);
+  EXPECT_EQ(planner.cold_solves(), 2u);
+  EXPECT_EQ(planner.warm_solves(), 0u);
+}
+
+TEST(WarmStart, PlugsIntoSimulator) {
+  WarmStartPlanner planner(greedy2_factory());
+  SimConfig cfg;
+  cfg.users = 20;
+  cfg.slots = 6;
+  cfg.k = 2;
+  cfg.radius = 1.0;
+  cfg.drift.sigma = 0.1;
+  cfg.seed = 6;
+  BroadcastSimulator sim(cfg, planner.factory());
+  const SimReport report = sim.run();
+  EXPECT_EQ(report.slots.size(), 6u);
+  EXPECT_EQ(planner.cold_solves(), 1u);
+  EXPECT_EQ(planner.warm_solves(), 5u);
+  EXPECT_GT(report.total_reward, 0.0);
+}
+
+TEST(WarmStart, ComparableToColdGreedyInDriftingSimulation) {
+  const auto run_with = [](SolverFactory factory, std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.users = 25;
+    cfg.slots = 12;
+    cfg.k = 3;
+    cfg.radius = 1.0;
+    cfg.drift.sigma = 0.05;
+    cfg.seed = seed;
+    BroadcastSimulator sim(cfg, std::move(factory));
+    return sim.run().total_reward;
+  };
+  WarmStartPlanner planner(greedy2_factory());
+  const double warm = run_with(planner.factory(), 7);
+  const double cold = run_with(greedy2_factory(), 7);
+  EXPECT_GE(warm, 0.9 * cold);
+}
+
+}  // namespace
+}  // namespace mmph::sim

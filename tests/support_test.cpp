@@ -1,0 +1,60 @@
+// Tests for the support library: error types and MMPH_REQUIRE semantics.
+
+#include <gtest/gtest.h>
+
+#include "mmph/support/assert.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph {
+namespace {
+
+TEST(ErrorHierarchy, InvalidArgumentIsAnError) {
+  const InvalidArgument e("bad");
+  EXPECT_NE(dynamic_cast<const Error*>(&e), nullptr);
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+}
+
+TEST(ErrorHierarchy, StateAndParseErrorsAreErrors) {
+  EXPECT_THROW(throw StateError("s"), Error);
+  EXPECT_THROW(throw ParseError("p"), Error);
+}
+
+TEST(ErrorHierarchy, WhatIsPreserved) {
+  const Error e("something broke");
+  EXPECT_STREQ(e.what(), "something broke");
+}
+
+TEST(Require, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(MMPH_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Require, FailingConditionThrowsInvalidArgument) {
+  EXPECT_THROW(MMPH_REQUIRE(false, "always fails"), InvalidArgument);
+}
+
+TEST(Require, MessageContainsContext) {
+  try {
+    MMPH_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, ConditionEvaluatedExactlyOnce) {
+  int count = 0;
+  MMPH_REQUIRE(++count > 0, "increments once");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Assert, PassingAssertIsSilent) {
+  int count = 0;
+  MMPH_ASSERT(++count == 1, "side effect allowed in tests");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mmph

@@ -1,0 +1,129 @@
+// Robustness tests for the trace reader: randomly mutated valid traces
+// must either parse (to a valid Problem) or throw ParseError — never
+// crash, hang, or propagate anything else.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "mmph/core/greedy_simple.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+#include "mmph/trace/trace.hpp"
+
+namespace mmph::trace {
+namespace {
+
+std::string valid_problem_text(std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = 8;
+  rnd::Rng rng(seed);
+  const core::Problem p = core::Problem::from_workload(
+      rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+  std::ostringstream os;
+  write_problem(os, p);
+  return os.str();
+}
+
+// Attempts a parse; passes iff it returns cleanly or throws ParseError.
+void expect_parse_or_parse_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    const core::Problem p = read_problem(is);
+    // If it parsed, the object must be usable.
+    EXPECT_GE(p.size(), 1u);
+    EXPECT_GT(p.radius(), 0.0);
+    (void)core::GreedySimpleSolver().solve(p, 1);
+  } catch (const ParseError&) {
+    // acceptable
+  } catch (const std::exception& e) {
+    FAIL() << "unexpected exception type: " << e.what() << "\ninput:\n"
+           << text.substr(0, 200);
+  }
+}
+
+TEST(TraceFuzz, TruncationsAtEveryByte) {
+  const std::string base = valid_problem_text(1);
+  // Truncate at a spread of offsets (every byte is overkill but cheap).
+  for (std::size_t cut = 0; cut < base.size(); cut += 3) {
+    expect_parse_or_parse_error(base.substr(0, cut));
+  }
+}
+
+TEST(TraceFuzz, SingleCharacterCorruptions) {
+  const std::string base = valid_problem_text(2);
+  rnd::Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(base.size()) - 1));
+    const char replacement = static_cast<char>(rng.uniform_int(32, 126));
+    mutated[pos] = replacement;
+    expect_parse_or_parse_error(mutated);
+  }
+}
+
+TEST(TraceFuzz, LineDeletions) {
+  const std::string base = valid_problem_text(4);
+  std::vector<std::string> lines;
+  std::istringstream is(base);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i != drop) os << lines[i] << "\n";
+    }
+    expect_parse_or_parse_error(os.str());
+  }
+}
+
+TEST(TraceFuzz, RandomGarbage) {
+  rnd::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.uniform_int(0, 400));
+    for (int i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.uniform_int(9, 126));
+    }
+    expect_parse_or_parse_error(garbage);
+  }
+}
+
+TEST(TraceFuzz, NumbersReplacedWithExtremes) {
+  const std::string base = valid_problem_text(6);
+  for (const char* extreme :
+       {"1e309", "-1e309", "nan", "inf", "-inf", "0", "-0"}) {
+    // Replace the radius value.
+    std::string mutated = base;
+    const std::size_t pos = mutated.find("radius ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t eol = mutated.find('\n', pos);
+    mutated = mutated.substr(0, pos + 7) + extreme + mutated.substr(eol);
+    expect_parse_or_parse_error(mutated);
+  }
+}
+
+TEST(TraceFuzz, SolutionReaderRobustToTruncation) {
+  core::Solution sol;
+  sol.solver_name = "greedy3";
+  sol.centers = geo::PointSet::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  sol.round_rewards = {2.0, 1.0};
+  sol.total_reward = 3.0;
+  std::ostringstream os;
+  write_solution(os, sol);
+  const std::string base = os.str();
+  for (std::size_t cut = 0; cut < base.size(); cut += 2) {
+    std::istringstream is(base.substr(0, cut));
+    try {
+      (void)read_solution(is);
+    } catch (const ParseError&) {
+    } catch (const std::exception& e) {
+      FAIL() << "unexpected exception: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmph::trace

@@ -1,0 +1,143 @@
+// Tests for problem/solution trace serialization: round-trips, format
+// errors, file helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "mmph/core/greedy_complex.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/support/error.hpp"
+#include "mmph/trace/trace.hpp"
+
+namespace mmph::trace {
+namespace {
+
+core::Problem random_problem(geo::Metric metric, std::size_t dim,
+                             std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = 15;
+  spec.dim = dim;
+  rnd::Rng rng(seed);
+  return core::Problem::from_workload(rnd::generate_workload(spec, rng),
+                                      1.25, metric);
+}
+
+TEST(TraceProblem, RoundTripIsExact) {
+  for (geo::Metric metric :
+       {geo::l1_metric(), geo::l2_metric(), geo::linf_metric(),
+        geo::Metric(3.5)}) {
+    const core::Problem original = random_problem(metric, 2, 1);
+    std::stringstream buf;
+    write_problem(buf, original);
+    const core::Problem loaded = read_problem(buf);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.dim(), original.dim());
+    EXPECT_EQ(loaded.metric().norm(), original.metric().norm());
+    EXPECT_DOUBLE_EQ(loaded.metric().p(), original.metric().p());
+    EXPECT_DOUBLE_EQ(loaded.radius(), original.radius());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded.weight(i), original.weight(i));
+      for (std::size_t d = 0; d < original.dim(); ++d) {
+        EXPECT_DOUBLE_EQ(loaded.point(i)[d], original.point(i)[d]);
+      }
+    }
+  }
+}
+
+TEST(TraceProblem, RoundTripPreservesSolverBehavior) {
+  const core::Problem original = random_problem(geo::l2_metric(), 3, 2);
+  std::stringstream buf;
+  write_problem(buf, original);
+  const core::Problem loaded = read_problem(buf);
+  const double a =
+      core::GreedyComplexSolver().solve(original, 3).total_reward;
+  const double b = core::GreedyComplexSolver().solve(loaded, 3).total_reward;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TraceSolution, RoundTripIsExact) {
+  const core::Problem p = random_problem(geo::l2_metric(), 2, 3);
+  const core::Solution original = core::GreedyComplexSolver().solve(p, 3);
+  std::stringstream buf;
+  write_solution(buf, original);
+  const core::Solution loaded = read_solution(buf);
+
+  EXPECT_EQ(loaded.solver_name, original.solver_name);
+  ASSERT_EQ(loaded.centers.size(), original.centers.size());
+  EXPECT_DOUBLE_EQ(loaded.total_reward, original.total_reward);
+  for (std::size_t j = 0; j < original.centers.size(); ++j) {
+    EXPECT_DOUBLE_EQ(loaded.round_rewards[j], original.round_rewards[j]);
+    for (std::size_t d = 0; d < original.centers.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(loaded.centers[j][d], original.centers[j][d]);
+    }
+  }
+  // Loaded solution evaluates identically against the problem.
+  EXPECT_DOUBLE_EQ(core::objective_value(p, loaded.centers),
+                   core::objective_value(p, original.centers));
+}
+
+TEST(TraceProblem, MalformedInputsThrowParseError) {
+  const auto expect_parse_error = [](const std::string& text) {
+    std::stringstream buf(text);
+    EXPECT_THROW((void)read_problem(buf), ParseError) << text;
+  };
+  expect_parse_error("");
+  expect_parse_error("wrong-magic v1");
+  expect_parse_error("mmph-problem v2");
+  expect_parse_error("mmph-problem v1\ndim 0\n");
+  expect_parse_error("mmph-problem v1\ndim 2\nmetric L7\n");
+  expect_parse_error(
+      "mmph-problem v1\ndim 2\nmetric L2\nradius abc\n");
+  expect_parse_error(
+      "mmph-problem v1\ndim 2\nmetric L2\nradius 1\nshape quadratic\n");
+  expect_parse_error(
+      "mmph-problem v1\ndim 2\nmetric L2\nradius 1\nshape linear\nn 1\npoint 1 0\n");
+  // Invalid semantic content (negative weight) surfaces as ParseError too.
+  expect_parse_error(
+      "mmph-problem v1\ndim 2\nmetric L2\nradius 1\nshape linear\nn 1\npoint -1 0 0\n");
+}
+
+TEST(TraceSolution, MalformedInputsThrowParseError) {
+  std::stringstream empty;
+  EXPECT_THROW((void)read_solution(empty), ParseError);
+  std::stringstream truncated(
+      "mmph-solution v1\nsolver g\ndim 2\nk 2\ntotal 1\ncenter 0.5 1 1\n");
+  EXPECT_THROW((void)read_solution(truncated), ParseError);
+}
+
+TEST(TraceFiles, SaveAndLoad) {
+  const std::string problem_path = "/tmp/mmph_trace_test_problem.txt";
+  const std::string solution_path = "/tmp/mmph_trace_test_solution.txt";
+  const core::Problem p = random_problem(geo::l1_metric(), 2, 4);
+  const core::Solution s = core::GreedyComplexSolver().solve(p, 2);
+
+  save_problem(problem_path, p);
+  save_solution(solution_path, s);
+  const core::Problem lp = load_problem(problem_path);
+  const core::Solution ls = load_solution(solution_path);
+  EXPECT_EQ(lp.size(), p.size());
+  EXPECT_DOUBLE_EQ(ls.total_reward, s.total_reward);
+  std::remove(problem_path.c_str());
+  std::remove(solution_path.c_str());
+}
+
+TEST(TraceFiles, UnopenableFileThrowsStateError) {
+  EXPECT_THROW((void)load_problem("/nonexistent/dir/x.txt"), StateError);
+  const core::Problem p = random_problem(geo::l2_metric(), 2, 5);
+  EXPECT_THROW(save_problem("/nonexistent/dir/x.txt", p), StateError);
+}
+
+TEST(TraceFormat, HumanReadableHeader) {
+  const core::Problem p = random_problem(geo::l2_metric(), 2, 6);
+  std::stringstream buf;
+  write_problem(buf, p);
+  const std::string text = buf.str();
+  EXPECT_EQ(text.rfind("mmph-problem v1\ndim 2\nmetric L2\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace mmph::trace

@@ -1,0 +1,266 @@
+// mmph command-line tool: generate, solve, evaluate and describe problem
+// traces without writing any C++.
+//
+//   mmph_cli generate --n 40 --dim 2 --seed 7 --out problem.txt
+//   mmph_cli solve    --problem problem.txt --solver greedy4 --k 4
+//                     --out solution.txt
+//   mmph_cli evaluate --problem problem.txt --solution solution.txt
+//   mmph_cli describe --problem problem.txt
+//   mmph_cli simulate --users 60 --slots 50 --solver greedy2 --k 4
+//
+// Traces use the versioned text format of mmph/trace/trace.hpp, so files
+// produced here replay bit-exactly in library code and vice versa.
+
+#include <iostream>
+#include <string>
+
+#include "mmph/core/certificate.hpp"
+#include "mmph/core/objective.hpp"
+#include "mmph/core/registry.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/table.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/sim/simulator.hpp"
+#include "mmph/trace/trace.hpp"
+
+namespace {
+
+using namespace mmph;
+
+int usage() {
+  std::cerr <<
+      "usage: mmph_cli <command> [--flags]\n"
+      "commands:\n"
+      "  generate  --n N --dim D --box SIDE --placement uniform|halton|clustered\n"
+      "            --weights same|uniform-int|zipf --seed S --radius R\n"
+      "            --norm l1|l2|linf --out FILE\n"
+      "  solve     --problem FILE --solver NAME --k K [--pitch P] [--out FILE]\n"
+      "  evaluate  --problem FILE --solution FILE\n"
+      "  describe  --problem FILE\n"
+      "  compare   --problem FILE --k K [--solvers a,b,c] [--pitch P]\n"
+      "  certify   --problem FILE --solution FILE [--pitch P]\n"
+      "  simulate  --users N --slots T --solver NAME --k K [--radius R]\n"
+      "            [--drift SIGMA] [--churn P] [--seed S]\n";
+  return 2;
+}
+
+rnd::Placement parse_placement(const std::string& text) {
+  if (text == "uniform") return rnd::Placement::kUniform;
+  if (text == "halton") return rnd::Placement::kHalton;
+  if (text == "clustered") return rnd::Placement::kClustered;
+  throw ParseError("unknown placement '" + text + "'");
+}
+
+rnd::WeightScheme parse_weights(const std::string& text) {
+  if (text == "same") return rnd::WeightScheme::kSame;
+  if (text == "uniform-int") return rnd::WeightScheme::kUniformInt;
+  if (text == "zipf") return rnd::WeightScheme::kZipf;
+  throw ParseError("unknown weight scheme '" + text + "'");
+}
+
+int cmd_generate(io::Args& args) {
+  rnd::WorkloadSpec spec;
+  spec.n = static_cast<std::size_t>(args.get_int("n", 40));
+  spec.dim = static_cast<std::size_t>(args.get_int("dim", 2));
+  spec.box_side = args.get_double("box", 4.0);
+  spec.placement = parse_placement(args.get_string("placement", "uniform"));
+  spec.weights = parse_weights(args.get_string("weights", "uniform-int"));
+  const double radius = args.get_double("radius", 1.0);
+  const geo::Metric metric(geo::parse_norm(args.get_string("norm", "l2")));
+  rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2011)));
+  const std::string out = args.get_string("out", "");
+  args.finish();
+
+  const core::Problem problem = core::Problem::from_workload(
+      rnd::generate_workload(spec, rng), radius, metric);
+  if (out.empty()) {
+    trace::write_problem(std::cout, problem);
+  } else {
+    trace::save_problem(out, problem);
+    std::cout << "wrote " << out << " (" << spec.describe() << ")\n";
+  }
+  return 0;
+}
+
+int cmd_solve(io::Args& args) {
+  const std::string problem_path = args.get_string("problem", "");
+  const std::string solver_name = args.get_string("solver", "greedy2");
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
+  core::SolverConfig config;
+  config.grid_pitch = args.get_double("pitch", 0.5);
+  const std::string out = args.get_string("out", "");
+  args.finish();
+  if (problem_path.empty()) {
+    throw ParseError("solve: --problem FILE is required");
+  }
+
+  const core::Problem problem = trace::load_problem(problem_path);
+  const core::Solution solution =
+      core::make_solver(solver_name, problem, config)->solve(problem, k);
+  if (out.empty()) {
+    trace::write_solution(std::cout, solution);
+  } else {
+    trace::save_solution(out, solution);
+  }
+  std::cerr << solver_name << ": total reward "
+            << io::fixed(solution.total_reward, 4) << " ("
+            << io::percent(solution.total_reward / problem.total_weight())
+            << " of demand)\n";
+  return 0;
+}
+
+int cmd_evaluate(io::Args& args) {
+  const std::string problem_path = args.get_string("problem", "");
+  const std::string solution_path = args.get_string("solution", "");
+  args.finish();
+  if (problem_path.empty() || solution_path.empty()) {
+    throw ParseError("evaluate: --problem and --solution are required");
+  }
+  const core::Problem problem = trace::load_problem(problem_path);
+  const core::Solution solution = trace::load_solution(solution_path);
+  const double f = core::objective_value(problem, solution.centers);
+  io::Table table({"field", "value"});
+  table.add_row({"solver", solution.solver_name});
+  table.add_row({"k", std::to_string(solution.centers.size())});
+  table.add_row({"stored total", io::fixed(solution.total_reward, 6)});
+  table.add_row({"re-evaluated f(C)", io::fixed(f, 6)});
+  table.add_row({"demand satisfied",
+                 io::percent(f / problem.total_weight())});
+  table.print(std::cout);
+  const bool consistent = std::abs(f - solution.total_reward) < 1e-6;
+  std::cout << (consistent ? "consistent\n"
+                           : "MISMATCH between stored total and f(C)\n");
+  return consistent ? 0 : 1;
+}
+
+int cmd_describe(io::Args& args) {
+  const std::string problem_path = args.get_string("problem", "");
+  args.finish();
+  if (problem_path.empty()) {
+    throw ParseError("describe: --problem FILE is required");
+  }
+  const core::Problem p = trace::load_problem(problem_path);
+  const geo::Box box = p.points().bounding_box();
+  io::Table table({"field", "value"});
+  table.add_row({"points", std::to_string(p.size())});
+  table.add_row({"dim", std::to_string(p.dim())});
+  table.add_row({"metric", p.metric().name()});
+  table.add_row({"radius", io::fixed(p.radius(), 4)});
+  table.add_row({"reward shape",
+                 core::reward_shape_name(p.reward_shape())});
+  table.add_row({"total weight", io::fixed(p.total_weight(), 4)});
+  std::string lo = "(", hi = "(";
+  for (std::size_t d = 0; d < p.dim(); ++d) {
+    lo += (d ? ", " : "") + io::fixed(box.lo[d], 2);
+    hi += (d ? ", " : "") + io::fixed(box.hi[d], 2);
+  }
+  table.add_row({"bbox lo", lo + ")"});
+  table.add_row({"bbox hi", hi + ")"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_compare(io::Args& args) {
+  const std::string problem_path = args.get_string("problem", "");
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
+  core::SolverConfig config;
+  config.grid_pitch = args.get_double("pitch", 0.5);
+  const std::string solver_list =
+      args.get_string("solvers", "greedy1,greedy2,greedy3,greedy4");
+  args.finish();
+  if (problem_path.empty()) {
+    throw ParseError("compare: --problem FILE is required");
+  }
+  const core::Problem problem = trace::load_problem(problem_path);
+
+  std::vector<std::string> names;
+  for (std::size_t pos = 0; pos <= solver_list.size();) {
+    const std::size_t comma = solver_list.find(',', pos);
+    const std::size_t end =
+        comma == std::string::npos ? solver_list.size() : comma;
+    if (end > pos) names.push_back(solver_list.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (names.empty()) throw ParseError("compare: empty solver list");
+
+  io::Table table({"solver", "total reward", "share of demand"});
+  for (const std::string& name : names) {
+    const core::Solution s =
+        core::make_solver(name, problem, config)->solve(problem, k);
+    table.add_row({name, io::fixed(s.total_reward, 4),
+                   io::percent(s.total_reward / problem.total_weight())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_certify(io::Args& args) {
+  const std::string problem_path = args.get_string("problem", "");
+  const std::string solution_path = args.get_string("solution", "");
+  const double pitch = args.get_double("pitch", 0.1);
+  args.finish();
+  if (problem_path.empty() || solution_path.empty()) {
+    throw ParseError("certify: --problem and --solution are required");
+  }
+  const core::Problem problem = trace::load_problem(problem_path);
+  const core::Solution solution = trace::load_solution(solution_path);
+  const core::RatioCertificate cert =
+      core::certify_ratio(problem, solution, pitch);
+  io::Table table({"field", "value"});
+  table.add_row({"solution value f(C)", io::fixed(cert.value, 6)});
+  table.add_row({"certified continuous-optimum bound",
+                 io::fixed(cert.upper_bound, 6)});
+  table.add_row({"certified ratio (>= of true OPT)",
+                 io::percent(cert.certified_ratio)});
+  table.add_row({"certificate grid pitch", io::fixed(pitch, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(io::Args& args) {
+  sim::SimConfig cfg;
+  cfg.users = static_cast<std::size_t>(args.get_int("users", 40));
+  cfg.slots = static_cast<std::size_t>(args.get_int("slots", 50));
+  cfg.k = static_cast<std::size_t>(args.get_int("k", 4));
+  cfg.radius = args.get_double("radius", 1.0);
+  cfg.drift.sigma = args.get_double("drift", 0.1);
+  cfg.drift.churn_prob = args.get_double("churn", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  const std::string solver_name = args.get_string("solver", "greedy2");
+  args.finish();
+
+  sim::BroadcastSimulator simulator(cfg, [&](const core::Problem& p) {
+    return core::make_solver(solver_name, p);
+  });
+  const sim::SimReport report = simulator.run();
+  io::Table table({"metric", "value"});
+  table.add_row({"slots", std::to_string(report.slots.size())});
+  table.add_row({"mean satisfaction", io::percent(report.mean_satisfaction)});
+  table.add_row({"mean fairness", io::fixed(report.mean_fairness, 4)});
+  table.add_row({"total reward", io::fixed(report.total_reward, 2)});
+  table.add_row({"solve time (s)", io::fixed(report.total_solve_seconds, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    io::Args args(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "describe") return cmd_describe(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "certify") return cmd_certify(args);
+    if (command == "simulate") return cmd_simulate(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mmph_cli " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,28 @@
+// Prints the golden-regression constants for tests/golden_regression_test.
+// Run after an intentional behavior change and paste the output between
+// the GOLDEN_VALUES markers.
+
+#include <cstdio>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/random/workload.hpp"
+
+int main() {
+  using namespace mmph;
+  rnd::WorkloadSpec spec;
+  rnd::Rng rng(2011);
+  const core::Problem p = core::Problem::from_workload(
+      rnd::generate_workload(spec, rng), 1.0, geo::l2_metric());
+  std::printf("point0 = (%.17g, %.17g), weight0 = %.17g\n", p.point(0)[0],
+              p.point(0)[1], p.weight(0));
+  for (const char* name :
+       {"greedy1", "greedy1+polish", "greedy2", "greedy2-lazy",
+        "greedy2-indexed", "greedy2+ls", "greedy2-stoch", "greedy3",
+        "greedy4", "greedy4-indexed", "exhaustive", "sieve", "kmeans",
+        "random"}) {
+    const double total =
+        core::make_solver(name, p)->solve(p, 4).total_reward;
+    std::printf("GoldenCase{\"%s\", %.17g},\n", name, total);
+  }
+  return 0;
+}
