@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_center.dir/ablation_l1_center.cpp.o"
+  "CMakeFiles/ablation_l1_center.dir/ablation_l1_center.cpp.o.d"
+  "ablation_l1_center"
+  "ablation_l1_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pnorm.dir/ablation_pnorm.cpp.o"
+  "CMakeFiles/ablation_pnorm.dir/ablation_pnorm.cpp.o.d"
+  "ablation_pnorm"
+  "ablation_pnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reward_shape.dir/ablation_reward_shape.cpp.o"
+  "CMakeFiles/ablation_reward_shape.dir/ablation_reward_shape.cpp.o.d"
+  "ablation_reward_shape"
+  "ablation_reward_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reward_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_model.dir/analysis_model.cpp.o"
+  "CMakeFiles/analysis_model.dir/analysis_model.cpp.o.d"
+  "analysis_model"
+  "analysis_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

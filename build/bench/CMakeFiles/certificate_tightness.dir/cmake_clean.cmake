@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificate_tightness.dir/certificate_tightness.cpp.o"
+  "CMakeFiles/certificate_tightness.dir/certificate_tightness.cpp.o.d"
+  "certificate_tightness"
+  "certificate_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificate_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

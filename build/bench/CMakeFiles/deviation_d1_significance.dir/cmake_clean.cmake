@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deviation_d1_significance.dir/deviation_d1_significance.cpp.o"
+  "CMakeFiles/deviation_d1_significance.dir/deviation_d1_significance.cpp.o.d"
+  "deviation_d1_significance"
+  "deviation_d1_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deviation_d1_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deviation_d1_significance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bounds.dir/fig2_bounds.cpp.o"
+  "CMakeFiles/fig2_bounds.dir/fig2_bounds.cpp.o.d"
+  "fig2_bounds"
+  "fig2_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2d_l2_weighted.dir/fig4_2d_l2_weighted.cpp.o"
+  "CMakeFiles/fig4_2d_l2_weighted.dir/fig4_2d_l2_weighted.cpp.o.d"
+  "fig4_2d_l2_weighted"
+  "fig4_2d_l2_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2d_l2_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

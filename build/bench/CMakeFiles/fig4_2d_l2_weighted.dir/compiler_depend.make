@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_2d_l2_weighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2d_l2_unweighted.dir/fig5_2d_l2_unweighted.cpp.o"
+  "CMakeFiles/fig5_2d_l2_unweighted.dir/fig5_2d_l2_unweighted.cpp.o.d"
+  "fig5_2d_l2_unweighted"
+  "fig5_2d_l2_unweighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2d_l2_unweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_2d_l1_weighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_2d_l1_unweighted.
+# This may be replaced when dependencies are built.

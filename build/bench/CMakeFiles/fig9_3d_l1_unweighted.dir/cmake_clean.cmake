@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_3d_l1_unweighted.dir/fig9_3d_l1_unweighted.cpp.o"
+  "CMakeFiles/fig9_3d_l1_unweighted.dir/fig9_3d_l1_unweighted.cpp.o.d"
+  "fig9_3d_l1_unweighted"
+  "fig9_3d_l1_unweighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_3d_l1_unweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_3d_l1_unweighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_quality_cost.dir/frontier_quality_cost.cpp.o"
+  "CMakeFiles/frontier_quality_cost.dir/frontier_quality_cost.cpp.o.d"
+  "frontier_quality_cost"
+  "frontier_quality_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_quality_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_exhaustive.dir/perf_exhaustive.cpp.o"
+  "CMakeFiles/perf_exhaustive.dir/perf_exhaustive.cpp.o.d"
+  "perf_exhaustive"
+  "perf_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_kd_tree.dir/perf_kd_tree.cpp.o"
+  "CMakeFiles/perf_kd_tree.dir/perf_kd_tree.cpp.o.d"
+  "perf_kd_tree"
+  "perf_kd_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kd_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

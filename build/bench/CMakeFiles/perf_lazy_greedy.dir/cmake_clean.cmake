@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_lazy_greedy.dir/perf_lazy_greedy.cpp.o"
+  "CMakeFiles/perf_lazy_greedy.dir/perf_lazy_greedy.cpp.o.d"
+  "perf_lazy_greedy"
+  "perf_lazy_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_lazy_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_placement.dir/robustness_placement.cpp.o"
+  "CMakeFiles/robustness_placement.dir/robustness_placement.cpp.o.d"
+  "robustness_placement"
+  "robustness_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

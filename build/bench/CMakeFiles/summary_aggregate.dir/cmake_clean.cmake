@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_aggregate.dir/summary_aggregate.cpp.o"
+  "CMakeFiles/summary_aggregate.dir/summary_aggregate.cpp.o.d"
+  "summary_aggregate"
+  "summary_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

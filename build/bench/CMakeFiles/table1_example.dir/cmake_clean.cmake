@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_example.dir/table1_example.cpp.o"
+  "CMakeFiles/table1_example.dir/table1_example.cpp.o.d"
+  "table1_example"
+  "table1_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airtime_budget.dir/airtime_budget.cpp.o"
+  "CMakeFiles/airtime_budget.dir/airtime_budget.cpp.o.d"
+  "airtime_budget"
+  "airtime_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airtime_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_scheduler.dir/broadcast_scheduler.cpp.o"
+  "CMakeFiles/broadcast_scheduler.dir/broadcast_scheduler.cpp.o.d"
+  "broadcast_scheduler"
+  "broadcast_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

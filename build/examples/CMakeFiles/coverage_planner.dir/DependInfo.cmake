@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/coverage_planner.cpp" "examples/CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o" "gcc" "examples/CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mmph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mmph_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mmph_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/mmph_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mmph_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mmph_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_recommender.dir/interest_recommender.cpp.o"
+  "CMakeFiles/interest_recommender.dir/interest_recommender.cpp.o.d"
+  "interest_recommender"
+  "interest_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cell_network.dir/multi_cell_network.cpp.o"
+  "CMakeFiles/multi_cell_network.dir/multi_cell_network.cpp.o.d"
+  "multi_cell_network"
+  "multi_cell_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cell_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

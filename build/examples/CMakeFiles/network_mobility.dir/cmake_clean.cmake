@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_mobility.dir/network_mobility.cpp.o"
+  "CMakeFiles/network_mobility.dir/network_mobility.cpp.o.d"
+  "network_mobility"
+  "network_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

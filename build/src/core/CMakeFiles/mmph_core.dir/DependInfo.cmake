@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/mmph_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/mmph_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/mmph_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/budgeted.cpp" "src/core/CMakeFiles/mmph_core.dir/budgeted.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/budgeted.cpp.o.d"
+  "/root/repo/src/core/candidate_set.cpp" "src/core/CMakeFiles/mmph_core.dir/candidate_set.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/candidate_set.cpp.o.d"
+  "/root/repo/src/core/certificate.cpp" "src/core/CMakeFiles/mmph_core.dir/certificate.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/certificate.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/mmph_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/greedy_complex.cpp" "src/core/CMakeFiles/mmph_core.dir/greedy_complex.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/greedy_complex.cpp.o.d"
+  "/root/repo/src/core/greedy_local.cpp" "src/core/CMakeFiles/mmph_core.dir/greedy_local.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/greedy_local.cpp.o.d"
+  "/root/repo/src/core/greedy_simple.cpp" "src/core/CMakeFiles/mmph_core.dir/greedy_simple.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/greedy_simple.cpp.o.d"
+  "/root/repo/src/core/indexed_reward.cpp" "src/core/CMakeFiles/mmph_core.dir/indexed_reward.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/indexed_reward.cpp.o.d"
+  "/root/repo/src/core/lazy_greedy.cpp" "src/core/CMakeFiles/mmph_core.dir/lazy_greedy.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/lazy_greedy.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/mmph_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/mmph_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/mmph_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/mmph_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "src/core/CMakeFiles/mmph_core.dir/reward.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/reward.cpp.o.d"
+  "/root/repo/src/core/round_based.cpp" "src/core/CMakeFiles/mmph_core.dir/round_based.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/round_based.cpp.o.d"
+  "/root/repo/src/core/round_polish.cpp" "src/core/CMakeFiles/mmph_core.dir/round_polish.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/round_polish.cpp.o.d"
+  "/root/repo/src/core/sieve_streaming.cpp" "src/core/CMakeFiles/mmph_core.dir/sieve_streaming.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/sieve_streaming.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/mmph_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/stochastic_greedy.cpp" "src/core/CMakeFiles/mmph_core.dir/stochastic_greedy.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/stochastic_greedy.cpp.o.d"
+  "/root/repo/src/core/submodular.cpp" "src/core/CMakeFiles/mmph_core.dir/submodular.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/submodular.cpp.o.d"
+  "/root/repo/src/core/swap_evaluator.cpp" "src/core/CMakeFiles/mmph_core.dir/swap_evaluator.cpp.o" "gcc" "src/core/CMakeFiles/mmph_core.dir/swap_evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mmph_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/mmph_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mmph_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

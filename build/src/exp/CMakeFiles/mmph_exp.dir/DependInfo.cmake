@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/experiment.cpp" "src/exp/CMakeFiles/mmph_exp.dir/experiment.cpp.o" "gcc" "src/exp/CMakeFiles/mmph_exp.dir/experiment.cpp.o.d"
+  "/root/repo/src/exp/paired.cpp" "src/exp/CMakeFiles/mmph_exp.dir/paired.cpp.o" "gcc" "src/exp/CMakeFiles/mmph_exp.dir/paired.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/mmph_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/mmph_exp.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mmph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mmph_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/mmph_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mmph_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_exp.dir/experiment.cpp.o"
+  "CMakeFiles/mmph_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/mmph_exp.dir/paired.cpp.o"
+  "CMakeFiles/mmph_exp.dir/paired.cpp.o.d"
+  "CMakeFiles/mmph_exp.dir/report.cpp.o"
+  "CMakeFiles/mmph_exp.dir/report.cpp.o.d"
+  "libmmph_exp.a"
+  "libmmph_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

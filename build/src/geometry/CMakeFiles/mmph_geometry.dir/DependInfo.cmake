@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/cell_grid.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/cell_grid.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/cell_grid.cpp.o.d"
+  "/root/repo/src/geometry/enclosing.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing.cpp.o.d"
+  "/root/repo/src/geometry/enclosing_ball.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing_ball.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing_ball.cpp.o.d"
+  "/root/repo/src/geometry/enclosing_l1.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing_l1.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/enclosing_l1.cpp.o.d"
+  "/root/repo/src/geometry/kd_tree.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/kd_tree.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/kd_tree.cpp.o.d"
+  "/root/repo/src/geometry/norms.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/norms.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/norms.cpp.o.d"
+  "/root/repo/src/geometry/point_set.cpp" "src/geometry/CMakeFiles/mmph_geometry.dir/point_set.cpp.o" "gcc" "src/geometry/CMakeFiles/mmph_geometry.dir/point_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_geometry.dir/cell_grid.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/cell_grid.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/enclosing.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/enclosing.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/enclosing_ball.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/enclosing_ball.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/enclosing_l1.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/enclosing_l1.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/kd_tree.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/kd_tree.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/norms.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/norms.cpp.o.d"
+  "CMakeFiles/mmph_geometry.dir/point_set.cpp.o"
+  "CMakeFiles/mmph_geometry.dir/point_set.cpp.o.d"
+  "libmmph_geometry.a"
+  "libmmph_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

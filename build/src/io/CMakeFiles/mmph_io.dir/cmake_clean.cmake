@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_io.dir/args.cpp.o"
+  "CMakeFiles/mmph_io.dir/args.cpp.o.d"
+  "CMakeFiles/mmph_io.dir/stats.cpp.o"
+  "CMakeFiles/mmph_io.dir/stats.cpp.o.d"
+  "CMakeFiles/mmph_io.dir/table.cpp.o"
+  "CMakeFiles/mmph_io.dir/table.cpp.o.d"
+  "libmmph_io.a"
+  "libmmph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

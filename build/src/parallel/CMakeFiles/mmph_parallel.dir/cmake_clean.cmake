@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mmph_parallel.dir/thread_pool.cpp.o.d"
+  "libmmph_parallel.a"
+  "libmmph_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/random/halton.cpp" "src/random/CMakeFiles/mmph_random.dir/halton.cpp.o" "gcc" "src/random/CMakeFiles/mmph_random.dir/halton.cpp.o.d"
+  "/root/repo/src/random/rng.cpp" "src/random/CMakeFiles/mmph_random.dir/rng.cpp.o" "gcc" "src/random/CMakeFiles/mmph_random.dir/rng.cpp.o.d"
+  "/root/repo/src/random/workload.cpp" "src/random/CMakeFiles/mmph_random.dir/workload.cpp.o" "gcc" "src/random/CMakeFiles/mmph_random.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mmph_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_random.dir/halton.cpp.o"
+  "CMakeFiles/mmph_random.dir/halton.cpp.o.d"
+  "CMakeFiles/mmph_random.dir/rng.cpp.o"
+  "CMakeFiles/mmph_random.dir/rng.cpp.o.d"
+  "CMakeFiles/mmph_random.dir/workload.cpp.o"
+  "CMakeFiles/mmph_random.dir/workload.cpp.o.d"
+  "libmmph_random.a"
+  "libmmph_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adaptive.cpp" "src/sim/CMakeFiles/mmph_sim.dir/adaptive.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/adaptive.cpp.o.d"
+  "/root/repo/src/sim/fairness.cpp" "src/sim/CMakeFiles/mmph_sim.dir/fairness.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/fairness.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mmph_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/mmph_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/sim/CMakeFiles/mmph_sim.dir/recorder.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/recorder.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mmph_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/warm_start.cpp" "src/sim/CMakeFiles/mmph_sim.dir/warm_start.cpp.o" "gcc" "src/sim/CMakeFiles/mmph_sim.dir/warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmph_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mmph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mmph_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/mmph_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mmph_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mmph_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

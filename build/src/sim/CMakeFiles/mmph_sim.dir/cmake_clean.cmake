@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_sim.dir/adaptive.cpp.o"
+  "CMakeFiles/mmph_sim.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/fairness.cpp.o"
+  "CMakeFiles/mmph_sim.dir/fairness.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mmph_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/network.cpp.o"
+  "CMakeFiles/mmph_sim.dir/network.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/recorder.cpp.o"
+  "CMakeFiles/mmph_sim.dir/recorder.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mmph_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mmph_sim.dir/warm_start.cpp.o"
+  "CMakeFiles/mmph_sim.dir/warm_start.cpp.o.d"
+  "libmmph_sim.a"
+  "libmmph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

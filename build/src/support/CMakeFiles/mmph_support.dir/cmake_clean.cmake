@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_support.dir/error.cpp.o"
+  "CMakeFiles/mmph_support.dir/error.cpp.o.d"
+  "libmmph_support.a"
+  "libmmph_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_trace.dir/trace.cpp.o"
+  "CMakeFiles/mmph_trace.dir/trace.cpp.o.d"
+  "libmmph_trace.a"
+  "libmmph_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

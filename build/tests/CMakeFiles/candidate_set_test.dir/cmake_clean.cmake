@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_set_test.dir/core/candidate_set_test.cpp.o"
+  "CMakeFiles/candidate_set_test.dir/core/candidate_set_test.cpp.o.d"
+  "candidate_set_test"
+  "candidate_set_test.pdb"
+  "candidate_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_grid_test.dir/geometry/cell_grid_test.cpp.o"
+  "CMakeFiles/cell_grid_test.dir/geometry/cell_grid_test.cpp.o.d"
+  "cell_grid_test"
+  "cell_grid_test.pdb"
+  "cell_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_bound_test.dir/core/classical_bound_test.cpp.o"
+  "CMakeFiles/classical_bound_test.dir/core/classical_bound_test.cpp.o.d"
+  "classical_bound_test"
+  "classical_bound_test.pdb"
+  "classical_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

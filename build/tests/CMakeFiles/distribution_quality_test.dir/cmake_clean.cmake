@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_quality_test.dir/random/distribution_quality_test.cpp.o"
+  "CMakeFiles/distribution_quality_test.dir/random/distribution_quality_test.cpp.o.d"
+  "distribution_quality_test"
+  "distribution_quality_test.pdb"
+  "distribution_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

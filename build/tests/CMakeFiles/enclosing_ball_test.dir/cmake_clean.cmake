@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclosing_ball_test.dir/geometry/enclosing_ball_test.cpp.o"
+  "CMakeFiles/enclosing_ball_test.dir/geometry/enclosing_ball_test.cpp.o.d"
+  "enclosing_ball_test"
+  "enclosing_ball_test.pdb"
+  "enclosing_ball_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclosing_ball_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

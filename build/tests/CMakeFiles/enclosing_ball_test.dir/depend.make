@@ -1,0 +1,2 @@
+# Empty dependencies file for enclosing_ball_test.
+# This may be replaced when dependencies are built.

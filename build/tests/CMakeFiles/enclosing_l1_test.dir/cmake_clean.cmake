@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclosing_l1_test.dir/geometry/enclosing_l1_test.cpp.o"
+  "CMakeFiles/enclosing_l1_test.dir/geometry/enclosing_l1_test.cpp.o.d"
+  "enclosing_l1_test"
+  "enclosing_l1_test.pdb"
+  "enclosing_l1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclosing_l1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

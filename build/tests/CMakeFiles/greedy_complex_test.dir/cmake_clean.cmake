@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_complex_test.dir/core/greedy_complex_test.cpp.o"
+  "CMakeFiles/greedy_complex_test.dir/core/greedy_complex_test.cpp.o.d"
+  "greedy_complex_test"
+  "greedy_complex_test.pdb"
+  "greedy_complex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

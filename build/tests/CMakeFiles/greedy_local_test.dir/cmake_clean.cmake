@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_local_test.dir/core/greedy_local_test.cpp.o"
+  "CMakeFiles/greedy_local_test.dir/core/greedy_local_test.cpp.o.d"
+  "greedy_local_test"
+  "greedy_local_test.pdb"
+  "greedy_local_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_simple_test.dir/core/greedy_simple_test.cpp.o"
+  "CMakeFiles/greedy_simple_test.dir/core/greedy_simple_test.cpp.o.d"
+  "greedy_simple_test"
+  "greedy_simple_test.pdb"
+  "greedy_simple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halton_test.dir/random/halton_test.cpp.o"
+  "CMakeFiles/halton_test.dir/random/halton_test.cpp.o.d"
+  "halton_test"
+  "halton_test.pdb"
+  "halton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

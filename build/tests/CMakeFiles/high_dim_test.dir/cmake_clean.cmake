@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_dim_test.dir/core/high_dim_test.cpp.o"
+  "CMakeFiles/high_dim_test.dir/core/high_dim_test.cpp.o.d"
+  "high_dim_test"
+  "high_dim_test.pdb"
+  "high_dim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_dim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_reward_test.dir/core/indexed_reward_test.cpp.o"
+  "CMakeFiles/indexed_reward_test.dir/core/indexed_reward_test.cpp.o.d"
+  "indexed_reward_test"
+  "indexed_reward_test.pdb"
+  "indexed_reward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_greedy_test.dir/core/lazy_greedy_test.cpp.o"
+  "CMakeFiles/lazy_greedy_test.dir/core/lazy_greedy_test.cpp.o.d"
+  "lazy_greedy_test"
+  "lazy_greedy_test.pdb"
+  "lazy_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

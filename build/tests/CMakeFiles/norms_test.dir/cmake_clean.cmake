@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norms_test.dir/geometry/norms_test.cpp.o"
+  "CMakeFiles/norms_test.dir/geometry/norms_test.cpp.o.d"
+  "norms_test"
+  "norms_test.pdb"
+  "norms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

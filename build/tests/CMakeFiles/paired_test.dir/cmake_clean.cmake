@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paired_test.dir/exp/paired_test.cpp.o"
+  "CMakeFiles/paired_test.dir/exp/paired_test.cpp.o.d"
+  "paired_test"
+  "paired_test.pdb"
+  "paired_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paired_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

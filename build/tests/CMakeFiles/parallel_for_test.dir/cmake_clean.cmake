@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_for_test.dir/parallel/parallel_for_test.cpp.o"
+  "CMakeFiles/parallel_for_test.dir/parallel/parallel_for_test.cpp.o.d"
+  "parallel_for_test"
+  "parallel_for_test.pdb"
+  "parallel_for_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_for_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

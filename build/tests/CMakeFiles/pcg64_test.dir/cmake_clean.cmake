@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcg64_test.dir/random/pcg64_test.cpp.o"
+  "CMakeFiles/pcg64_test.dir/random/pcg64_test.cpp.o.d"
+  "pcg64_test"
+  "pcg64_test.pdb"
+  "pcg64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcg64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

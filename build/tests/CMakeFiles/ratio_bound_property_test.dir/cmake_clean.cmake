@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_bound_property_test.dir/core/ratio_bound_property_test.cpp.o"
+  "CMakeFiles/ratio_bound_property_test.dir/core/ratio_bound_property_test.cpp.o.d"
+  "ratio_bound_property_test"
+  "ratio_bound_property_test.pdb"
+  "ratio_bound_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_bound_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

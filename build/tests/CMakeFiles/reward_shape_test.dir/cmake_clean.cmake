@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reward_shape_test.dir/core/reward_shape_test.cpp.o"
+  "CMakeFiles/reward_shape_test.dir/core/reward_shape_test.cpp.o.d"
+  "reward_shape_test"
+  "reward_shape_test.pdb"
+  "reward_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reward_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

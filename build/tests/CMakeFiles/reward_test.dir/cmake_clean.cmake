@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reward_test.dir/core/reward_test.cpp.o"
+  "CMakeFiles/reward_test.dir/core/reward_test.cpp.o.d"
+  "reward_test"
+  "reward_test.pdb"
+  "reward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_based_test.dir/core/round_based_test.cpp.o"
+  "CMakeFiles/round_based_test.dir/core/round_based_test.cpp.o.d"
+  "round_based_test"
+  "round_based_test.pdb"
+  "round_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

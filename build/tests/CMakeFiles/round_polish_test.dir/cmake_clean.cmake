@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_polish_test.dir/core/round_polish_test.cpp.o"
+  "CMakeFiles/round_polish_test.dir/core/round_polish_test.cpp.o.d"
+  "round_polish_test"
+  "round_polish_test.pdb"
+  "round_polish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_polish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sieve_streaming_test.dir/core/sieve_streaming_test.cpp.o"
+  "CMakeFiles/sieve_streaming_test.dir/core/sieve_streaming_test.cpp.o.d"
+  "sieve_streaming_test"
+  "sieve_streaming_test.pdb"
+  "sieve_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sieve_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_base_test.dir/core/solver_base_test.cpp.o"
+  "CMakeFiles/solver_base_test.dir/core/solver_base_test.cpp.o.d"
+  "solver_base_test"
+  "solver_base_test.pdb"
+  "solver_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

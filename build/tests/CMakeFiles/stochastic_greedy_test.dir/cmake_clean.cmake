@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_greedy_test.dir/core/stochastic_greedy_test.cpp.o"
+  "CMakeFiles/stochastic_greedy_test.dir/core/stochastic_greedy_test.cpp.o.d"
+  "stochastic_greedy_test"
+  "stochastic_greedy_test.pdb"
+  "stochastic_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

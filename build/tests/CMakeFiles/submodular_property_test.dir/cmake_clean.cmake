@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_property_test.dir/core/submodular_property_test.cpp.o"
+  "CMakeFiles/submodular_property_test.dir/core/submodular_property_test.cpp.o.d"
+  "submodular_property_test"
+  "submodular_property_test.pdb"
+  "submodular_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_evaluator_test.dir/core/swap_evaluator_test.cpp.o"
+  "CMakeFiles/swap_evaluator_test.dir/core/swap_evaluator_test.cpp.o.d"
+  "swap_evaluator_test"
+  "swap_evaluator_test.pdb"
+  "swap_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_fuzz_test.dir/trace/trace_fuzz_test.cpp.o"
+  "CMakeFiles/trace_fuzz_test.dir/trace/trace_fuzz_test.cpp.o.d"
+  "trace_fuzz_test"
+  "trace_fuzz_test.pdb"
+  "trace_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmph_cli.dir/mmph_cli.cpp.o"
+  "CMakeFiles/mmph_cli.dir/mmph_cli.cpp.o.d"
+  "mmph_cli"
+  "mmph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

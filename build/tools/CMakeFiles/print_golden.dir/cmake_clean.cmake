@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_golden.dir/print_golden.cpp.o"
+  "CMakeFiles/print_golden.dir/print_golden.cpp.o.d"
+  "print_golden"
+  "print_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
