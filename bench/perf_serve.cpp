@@ -1,0 +1,166 @@
+// Serving-layer throughput: how fast can each strategy absorb a churn
+// slot (1% of users replaced) and produce fresh centers?
+//
+//   monolithic          rebuild the Problem, re-run core::LazyGreedySolver
+//   sharded-full        PlacementService forced to a full sharded solve
+//   sharded-incremental PlacementService warm-refining from the last centers
+//
+// items/sec is churn slots per second. The acceptance target is
+// sharded-incremental >= 2x monolithic at n = 100000; the monolithic
+// 100000 case runs a single iteration because one solve is already tens
+// of seconds of O(n^2) heap initialisation.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mmph/core/lazy_greedy.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/serve/placement_service.hpp"
+
+namespace {
+
+using namespace mmph;
+
+constexpr std::size_t kCenters = 8;
+constexpr double kRadius = 1.0;
+constexpr double kBoxSide = 4.0;
+
+serve::UserRecord fresh_user(std::uint64_t id, rnd::Rng& rng) {
+  serve::UserRecord rec;
+  rec.id = id;
+  rec.weight = static_cast<double>(rng.uniform_int(1, 5));
+  rec.interest = {rng.uniform(0.0, kBoxSide), rng.uniform(0.0, kBoxSide)};
+  return rec;
+}
+
+std::vector<serve::UserRecord> seed_users(std::size_t n, rnd::Rng& rng) {
+  std::vector<serve::UserRecord> users;
+  users.reserve(n);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    users.push_back(fresh_user(id, rng));
+  }
+  return users;
+}
+
+/// Replaces ~1% of the population, returning the churned user count.
+std::size_t churn_users(std::vector<serve::UserRecord>& users,
+                        std::uint64_t& next_id, rnd::Rng& rng) {
+  const std::size_t churn = std::max<std::size_t>(1, users.size() / 100);
+  for (std::size_t c = 0; c < churn; ++c) {
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1));
+    users[slot] = fresh_user(next_id++, rng);
+  }
+  return churn;
+}
+
+/// One churn slot against a PlacementService: remove the victims, add
+/// their replacements, ask for the new placement.
+double service_slot(serve::PlacementService& service,
+                    std::vector<serve::UserRecord>& users,
+                    std::uint64_t& next_id, rnd::Rng& rng) {
+  const std::size_t churn = std::max<std::size_t>(1, users.size() / 100);
+  std::vector<std::uint64_t> removed;
+  std::vector<serve::UserRecord> added;
+  removed.reserve(churn);
+  added.reserve(churn);
+  for (std::size_t c = 0; c < churn; ++c) {
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1));
+    removed.push_back(users[slot].id);
+    users[slot] = fresh_user(next_id++, rng);
+    added.push_back(users[slot]);
+  }
+  service.apply_remove(removed);
+  service.apply_add(added);
+  return service.placement().objective;
+}
+
+void BM_MonolithicResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rnd::Rng rng(7);
+  std::vector<serve::UserRecord> users = seed_users(n, rng);
+  std::uint64_t next_id = n;
+  const core::LazyGreedySolver solver;
+  for (auto _ : state) {
+    churn_users(users, next_id, rng);
+    geo::PointSet points(2);
+    points.reserve(users.size());
+    std::vector<double> weights;
+    weights.reserve(users.size());
+    for (const serve::UserRecord& u : users) {
+      points.push_back(geo::ConstVec(u.interest.data(), u.interest.size()));
+      weights.push_back(u.weight);
+    }
+    core::Problem problem(std::move(points), std::move(weights), kRadius,
+                          geo::l2_metric());
+    benchmark::DoNotOptimize(solver.solve(problem, kCenters).total_reward);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonolithicResolve)
+    ->RangeMultiplier(4)
+    ->Range(4096, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MonolithicResolve)
+    ->Arg(100000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+serve::ServiceConfig service_config(double full_solve_churn_fraction) {
+  serve::ServiceConfig config;
+  config.k = kCenters;
+  config.radius = kRadius;
+  config.full_solve_churn_fraction = full_solve_churn_fraction;
+  return config;
+}
+
+void BM_ShardedFullResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rnd::Rng rng(7);
+  std::vector<serve::UserRecord> users = seed_users(n, rng);
+  std::uint64_t next_id = n;
+  // Threshold 0: any churn at all forces the full sharded solve.
+  serve::PlacementService service(service_config(0.0));
+  service.apply_add(users);
+  (void)service.placement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service_slot(service, users, next_id, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedFullResolve)
+    ->RangeMultiplier(4)
+    ->Range(4096, 65536)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedIncremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rnd::Rng rng(7);
+  std::vector<serve::UserRecord> users = seed_users(n, rng);
+  std::uint64_t next_id = n;
+  // 1% churn per slot stays under the 5% default threshold, so every
+  // slot after the first warm history is an incremental refine.
+  serve::PlacementService service(service_config(0.05));
+  service.apply_add(users);
+  (void)service.placement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service_slot(service, users, next_id, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["incremental_ratio"] = service.metrics().incremental_ratio();
+}
+BENCHMARK(BM_ShardedIncremental)
+    ->RangeMultiplier(4)
+    ->Range(4096, 65536)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

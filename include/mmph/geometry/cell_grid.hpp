@@ -18,6 +18,7 @@
 
 #include "mmph/geometry/norms.hpp"
 #include "mmph/geometry/point_set.hpp"
+#include "mmph/support/assert.hpp"
 
 namespace mmph::geo {
 
@@ -44,6 +45,15 @@ class CellGrid {
   [[nodiscard]] std::vector<std::size_t> query_ball(ConstVec center,
                                                     double radius,
                                                     const Metric& metric) const;
+
+  /// Flattened id of the cell containing point \p i. Ids are stable for
+  /// the index's lifetime and ordered row-major over the cell box, so
+  /// sorting points by cell id groups spatial neighbors (the serving
+  /// layer's grid sharding relies on this).
+  [[nodiscard]] std::size_t cell_of_point(std::size_t i) const {
+    MMPH_ASSERT(i < cell_of_point_.size(), "CellGrid: index out of range");
+    return cell_of_point_[i];
+  }
 
  private:
   [[nodiscard]] std::size_t cell_coord(double v, std::size_t d) const;

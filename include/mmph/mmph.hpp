@@ -64,6 +64,7 @@
 #include "mmph/core/swap_evaluator.hpp"
 
 // Traces
+#include "mmph/trace/span.hpp"
 #include "mmph/trace/trace.hpp"
 
 // Simulation
@@ -75,6 +76,14 @@
 #include "mmph/sim/simulator.hpp"
 #include "mmph/sim/user.hpp"
 #include "mmph/sim/warm_start.hpp"
+
+// Serving layer
+#include "mmph/serve/instance_store.hpp"
+#include "mmph/serve/metrics.hpp"
+#include "mmph/serve/placement_service.hpp"
+#include "mmph/serve/request.hpp"
+#include "mmph/serve/request_batcher.hpp"
+#include "mmph/serve/sharded_solver.hpp"
 
 // Experiment harness
 #include "mmph/exp/experiment.hpp"

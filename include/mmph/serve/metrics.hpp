@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Operational counters of the placement service.
+///
+/// Everything an operator needs to see on a dashboard: queue pressure
+/// (submitted / rejected / expired), batching efficiency (batches, mean
+/// batch size), and solve behavior (full vs incremental counts, p50/p99
+/// solve latency). Counters are mutex-guarded — solve rates are a few Hz,
+/// so contention is irrelevant — and latency percentiles come from a
+/// retained sample capped at a fixed size (reservoir-free: the cap is far
+/// above any realistic diagnostic window).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mmph::serve {
+
+/// Point-in-time copy of every counter (plain data, safe to print/ship).
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shutdown = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t full_solves = 0;
+  std::uint64_t incremental_solves = 0;
+  std::size_t queue_depth = 0;
+
+  double mean_batch_size = 0.0;
+  double solve_p50_seconds = 0.0;
+  double solve_p99_seconds = 0.0;
+  double total_solve_seconds = 0.0;
+
+  /// incremental / (full + incremental); 0 when no solve happened yet.
+  [[nodiscard]] double incremental_ratio() const noexcept {
+    const std::uint64_t total = full_solves + incremental_solves;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(incremental_solves) /
+                     static_cast<double>(total);
+  }
+};
+
+class ServeMetrics {
+ public:
+  void count_submitted();
+  void count_rejected();
+  void count_expired();
+  void count_shutdown();
+  void count_mutations(std::uint64_t n);
+  void count_queries(std::uint64_t n);
+  void record_batch(std::size_t size);
+  void record_solve(double seconds, bool incremental);
+  void set_queue_depth(std::size_t depth);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  /// Retained latency samples are capped; beyond the cap the oldest half
+  /// is dropped so percentiles track recent behavior.
+  static constexpr std::size_t kMaxSolveSamples = 1 << 16;
+
+  mutable std::mutex mutex_;
+  MetricsSnapshot counters_;
+  std::vector<double> solve_seconds_;
+};
+
+}  // namespace mmph::serve

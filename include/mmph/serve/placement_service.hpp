@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file placement_service.hpp
+/// \brief Long-running placement service: store -> shards -> merge -> reply.
+///
+/// Turns the one-shot library into the server the ROADMAP asks for. The
+/// service owns a versioned InstanceStore of users, accepts batched
+/// requests (add / remove / query / evaluate) through a bounded
+/// RequestBatcher, and keeps a current k-center placement:
+///
+///   clients -> RequestBatcher -> [apply mutations] -> solve -> replies
+///                                     |                 |
+///                                InstanceStore      ShardedSolver (full)
+///                                (epoch snapshots)  or 1-swap warm refine
+///                                                   (incremental)
+///
+/// Re-solves are *incremental by default*: after a small churn delta the
+/// service warm-starts from the previous centers (sim::WarmStartPlanner)
+/// and 1-swap-refines them against a curated candidate pool — cached
+/// per-shard winners plus recently churned users — instead of re-running
+/// the sharded greedy. When churn since the last solve exceeds
+/// `full_solve_churn_fraction` of the population (or there is no usable
+/// history: first solve, k change, emptied store), it falls back to the
+/// full sharded solve. Every stage reports trace:: spans and ServeMetrics.
+///
+/// Threading: the synchronous API (apply_* / placement / evaluate) and
+/// pump() serialize on an internal mutex, so any thread may call them;
+/// submit() is safe from any thread. Batches are drained either by an
+/// owned worker thread (start()/stop()) or by explicit pump() calls —
+/// use one or the other, not both.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/core/solution.hpp"
+#include "mmph/parallel/thread_pool.hpp"
+#include "mmph/serve/instance_store.hpp"
+#include "mmph/serve/metrics.hpp"
+#include "mmph/serve/request.hpp"
+#include "mmph/serve/request_batcher.hpp"
+#include "mmph/serve/sharded_solver.hpp"
+#include "mmph/sim/warm_start.hpp"
+
+namespace mmph::serve {
+
+struct ServiceConfig {
+  std::size_t dim = 2;
+  std::size_t k = 8;
+  double radius = 1.0;
+  geo::Metric metric{};
+  core::RewardShape shape = core::RewardShape::kLinear;
+
+  ShardedSolverConfig shard{};
+
+  /// Churn (mutations since last solve) above this fraction of the
+  /// population forces a full sharded re-solve instead of a warm refine.
+  double full_solve_churn_fraction = 0.05;
+  /// Swap-candidate pool size for incremental re-solves.
+  std::size_t max_incremental_candidates = 32;
+  /// Refinement sweeps per incremental re-solve.
+  std::size_t warm_sweeps = 1;
+
+  std::size_t queue_capacity = 1024;
+  std::size_t max_batch = 256;
+};
+
+/// The answer to "where are the centers right now".
+struct PlacementView {
+  std::uint64_t epoch = 0;       ///< store epoch the placement reflects
+  double objective = 0.0;        ///< f(C) on that population
+  std::size_t population = 0;
+  core::Solution solution;       ///< empty centers for an empty population
+};
+
+class PlacementService {
+ public:
+  /// \p pool runs shard solves; nullptr selects ThreadPool::global().
+  explicit PlacementService(ServiceConfig config,
+                            par::ThreadPool* pool = nullptr);
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  // --- synchronous API (tests, benches, embedded use) ---
+
+  /// Upserts users; marks the placement stale.
+  void apply_add(const std::vector<UserRecord>& users);
+  /// Removes users (unknown ids are ignored); marks the placement stale.
+  void apply_remove(const std::vector<std::uint64_t>& ids);
+  /// Current placement, re-solving first when the store changed.
+  [[nodiscard]] PlacementView placement();
+  /// f(\p centers) on the live population (0 when empty).
+  [[nodiscard]] double evaluate(const geo::PointSet& centers);
+
+  [[nodiscard]] std::size_t population() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  // --- batched asynchronous API ---
+
+  /// Enqueues; the future resolves when the worker processes the batch
+  /// (immediately with kRejected when the queue is full).
+  [[nodiscard]] std::future<Response> submit(Request request);
+  /// Drains and processes at most one batch; waits up to \p wait for the
+  /// first request. Returns the number of requests handled.
+  std::size_t pump(std::chrono::milliseconds wait = std::chrono::milliseconds(0));
+  /// Starts the owned worker thread draining batches.
+  void start();
+  /// Stops the worker and closes the queue (terminal: later submits are
+  /// rejected). Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] std::size_t queue_depth() const { return batcher_.depth(); }
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+  /// Stage diagnostics of the last full (sharded) solve.
+  [[nodiscard]] ShardStats last_shard_stats() const;
+
+ private:
+  void apply_add_locked(const std::vector<UserRecord>& users);
+  void apply_remove_locked(const std::vector<std::uint64_t>& ids);
+  [[nodiscard]] const PlacementView& solve_locked();
+  [[nodiscard]] geo::PointSet incremental_pool_locked() const;
+  void process_batch(std::vector<Request> batch);
+  [[nodiscard]] core::Problem problem_locked();
+
+  ServiceConfig config_;
+  par::ThreadPool& pool_;
+  ServeMetrics metrics_;
+  RequestBatcher batcher_;
+
+  mutable std::mutex mutex_;
+  InstanceStore store_;
+  std::unique_ptr<ShardedSolver> sharded_;
+  std::unique_ptr<sim::WarmStartPlanner> planner_;
+  std::optional<PlacementView> view_;
+  std::uint64_t churn_since_solve_ = 0;
+  /// Interest rows of recently churned-in users (swap candidates).
+  std::deque<std::vector<double>> recent_points_;
+
+  std::atomic<bool> running_{false};
+  std::thread worker_;
+};
+
+}  // namespace mmph::serve

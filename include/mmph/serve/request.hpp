@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file request.hpp
+/// \brief Request/response types of the placement service's batched API.
+///
+/// Clients talk to the service in batches of four request kinds: add (or
+/// update) users, remove users, query the current placement, and evaluate
+/// an arbitrary center set against the live population. Every request
+/// carries a deadline; a request still queued when its deadline passes is
+/// answered kExpired instead of being processed (mutations included —
+/// "too late" data must not silently mutate the store). Replies travel
+/// over per-request futures so a caller can fan out many requests and
+/// collect answers as the worker drains the queue.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "mmph/core/solution.hpp"
+#include "mmph/geometry/point_set.hpp"
+#include "mmph/serve/instance_store.hpp"
+
+namespace mmph::serve {
+
+enum class RequestType {
+  kAddUsers,        ///< upsert `users` into the store
+  kRemoveUsers,     ///< remove `ids` from the store
+  kQueryPlacement,  ///< reply with the post-batch placement
+  kEvaluate,        ///< reply with f(`centers`) on the live population
+};
+
+enum class ResponseStatus {
+  kOk,
+  kExpired,   ///< deadline passed while queued
+  kRejected,  ///< bounded queue was full at submit time
+  kShutdown,  ///< service stopped before the request was processed
+};
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Store epoch after the request's batch was applied.
+  std::uint64_t epoch = 0;
+  /// Placement objective (kQueryPlacement) or evaluated f(C) (kEvaluate).
+  double objective = 0.0;
+  /// Full placement, for kQueryPlacement.
+  std::optional<core::Solution> solution;
+};
+
+/// Move-only (owns the reply promise).
+struct Request {
+  RequestType type = RequestType::kQueryPlacement;
+  std::vector<UserRecord> users;                 ///< kAddUsers payload
+  std::vector<std::uint64_t> ids;                ///< kRemoveUsers payload
+  std::optional<geo::PointSet> centers;          ///< kEvaluate payload
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::promise<Response> reply;
+
+  [[nodiscard]] static Request add_users(std::vector<UserRecord> users);
+  [[nodiscard]] static Request remove_users(std::vector<std::uint64_t> ids);
+  [[nodiscard]] static Request query_placement();
+  [[nodiscard]] static Request evaluate(geo::PointSet centers);
+};
+
+}  // namespace mmph::serve

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file request_batcher.hpp
+/// \brief Bounded MPSC queue that hands the service worker request batches.
+///
+/// Producers (client threads) push requests; the single consumer (the
+/// service worker, or a test calling pump()) drains up to max_batch at a
+/// time. The queue is bounded: a full queue rejects at submit time (the
+/// request's promise is fulfilled with kRejected immediately), which gives
+/// backpressure instead of unbounded memory growth. Deadlines are enforced
+/// at dequeue: expired requests are answered kExpired and excluded from
+/// the batch. close() wakes blocked consumers and answers everything still
+/// queued with kShutdown.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "mmph/serve/request.hpp"
+
+namespace mmph::serve {
+
+class ServeMetrics;
+
+class RequestBatcher {
+ public:
+  /// \p capacity bounds the queued requests (>= 1). \p metrics may be
+  /// null; when set, queue events are counted there.
+  explicit RequestBatcher(std::size_t capacity, ServeMetrics* metrics = nullptr);
+
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues; returns false (after answering the promise kRejected) when
+  /// the queue is full or closed.
+  bool push(Request&& request);
+
+  /// Dequeues up to \p max_batch non-expired requests, waiting up to
+  /// \p wait for the first one. Expired requests are answered kExpired
+  /// and skipped. Returns an empty batch on timeout or when closed-and-
+  /// drained.
+  [[nodiscard]] std::vector<Request> pop_batch(
+      std::size_t max_batch,
+      std::chrono::milliseconds wait = std::chrono::milliseconds(0));
+
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Rejects future pushes, wakes waiting consumers, and answers every
+  /// queued request kShutdown.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  ServeMetrics* metrics_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace mmph::serve

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file sharded_solver.hpp
+/// \brief Spatially sharded greedy placement for large populations.
+///
+/// The point-restricted greedies are O(k n^2): every candidate evaluation
+/// scans the whole population. At serving scale (10^5+ users) a monolithic
+/// solve is seconds-to-minutes, so this solver follows the low-complexity
+/// geographic-partitioning idea (Avrachenkov et al.): split the population
+/// into S spatially coherent shards, run the lazy greedy *inside* each
+/// shard concurrently on a ThreadPool — O(n^2 / S) total work instead of
+/// O(n^2) — then merge the per-shard winners into one candidate pool and
+/// run a final lazy-greedy pass over that pool against the *full*
+/// population. The merge pass restores the global view the shards lack, so
+/// with one shard the result is bit-identical to core::LazyGreedySolver
+/// (tests pin this), and with many shards it tracks it closely.
+///
+/// Shard boundaries come from the existing spatial substrate: either
+/// kd-style recursive median splits (balanced regardless of clustering) or
+/// geo::CellGrid buckets packed in flattened-cell order.
+
+#include <cstddef>
+#include <vector>
+
+#include "mmph/core/solution.hpp"
+#include "mmph/core/solver.hpp"
+#include "mmph/geometry/point_set.hpp"
+#include "mmph/parallel/thread_pool.hpp"
+
+namespace mmph::serve {
+
+/// How the population is split into shards.
+enum class ShardPolicy {
+  kMedianSplit,  ///< kd-tree-style recursive median splits (default).
+  kGridCells,    ///< geo::CellGrid cells packed into contiguous shards.
+};
+
+struct ShardedSolverConfig {
+  /// Upper bound on shards; 0 selects max(worker count, n / 2048) so
+  /// large populations shard even on few workers (per-shard cost is
+  /// quadratic, so S shards cut total work ~S-fold regardless of cores).
+  std::size_t max_shards = 0;
+  /// Shards are never split below this many users.
+  std::size_t min_shard_size = 64;
+  /// Centers each shard contributes to the merge pool; 0 = same as the
+  /// final k.
+  std::size_t per_shard_k = 0;
+  ShardPolicy policy = ShardPolicy::kMedianSplit;
+  /// Cell size for ShardPolicy::kGridCells; 0 = the problem radius.
+  double grid_cell_size = 0.0;
+};
+
+/// Diagnostics of the last solve() (wall times and sizes per stage).
+struct ShardStats {
+  std::size_t shards = 0;
+  std::size_t candidate_pool = 0;
+  double shard_seconds = 0.0;
+  double merge_seconds = 0.0;
+};
+
+/// Splits [0, points.size()) into spatially coherent, roughly balanced
+/// index groups (exposed for tests and the service's shard diagnostics).
+[[nodiscard]] std::vector<std::vector<std::size_t>> shard_indices(
+    const geo::PointSet& points, const ShardedSolverConfig& config,
+    std::size_t workers, double radius);
+
+/// Lazy greedy restricted to an explicit candidate-center pool, evaluated
+/// against the full problem. Mirrors core::LazyGreedySolver (same
+/// tie-breaking toward lower pool index; re-picking exhausted candidates
+/// is allowed) but the center domain is \p pool instead of the input
+/// points. Used for the merge pass and reusable on its own.
+[[nodiscard]] core::Solution lazy_greedy_over_pool(
+    const core::Problem& problem, const geo::PointSet& pool, std::size_t k,
+    const std::string& solver_name = "pool-lazy");
+
+class ShardedSolver final : public core::Solver {
+ public:
+  /// Solves shards on \p pool (which must outlive the solver).
+  explicit ShardedSolver(par::ThreadPool& pool,
+                         ShardedSolverConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "sharded-lazy"; }
+
+  [[nodiscard]] core::Solution solve(const core::Problem& problem,
+                                     std::size_t k) const override;
+
+  /// Merged candidate pool of the last solve() — the per-shard winners.
+  /// The service caches these as swap candidates for incremental re-solve.
+  /// Not thread-safe across concurrent solves on the same instance.
+  [[nodiscard]] const geo::PointSet& last_candidates() const noexcept {
+    return last_candidates_;
+  }
+  [[nodiscard]] const ShardStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
+ private:
+  par::ThreadPool& pool_;
+  ShardedSolverConfig config_;
+  mutable geo::PointSet last_candidates_{1};
+  mutable ShardStats last_stats_;
+};
+
+}  // namespace mmph::serve

@@ -14,6 +14,7 @@
 /// A WarmStartPlanner is *stateful* across slots; create one per
 /// simulation run and wrap it with factory() for BroadcastSimulator.
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -22,12 +23,22 @@
 
 namespace mmph::sim {
 
+/// Produces the swap-candidate centers for a warm refinement pass.
+/// The default is every input point, which is thorough but O(n) trials
+/// per center; a serving deployment substitutes a small curated pool
+/// (e.g. cached per-shard winners plus recently churned users).
+using CandidateProvider =
+    std::function<geo::PointSet(const core::Problem&)>;
+
 class WarmStartPlanner {
  public:
   /// \p cold builds the from-scratch solver for a slot's Problem (used on
   /// the first slot and whenever history is unusable).
   /// \p max_sweeps bounds the refinement passes per slot.
-  explicit WarmStartPlanner(SolverFactory cold, std::size_t max_sweeps = 2);
+  /// \p candidates overrides the swap-candidate pool; the default (or an
+  /// empty pool returned at plan time) falls back to the input points.
+  explicit WarmStartPlanner(SolverFactory cold, std::size_t max_sweeps = 2,
+                            CandidateProvider candidates = nullptr);
 
   /// Plans one slot: refine the previous centers, or cold-solve.
   [[nodiscard]] core::Solution plan(const core::Problem& problem,
@@ -41,6 +52,11 @@ class WarmStartPlanner {
   /// Forgets history (e.g. after a handover); next plan() cold-solves.
   void reset() noexcept { previous_.reset(); }
 
+  /// True when the next plan() can warm-start a k-center solve.
+  [[nodiscard]] bool has_history(std::size_t k) const noexcept {
+    return previous_.has_value() && previous_->size() == k;
+  }
+
   [[nodiscard]] std::uint64_t cold_solves() const noexcept {
     return cold_solves_;
   }
@@ -51,6 +67,7 @@ class WarmStartPlanner {
  private:
   SolverFactory cold_;
   std::size_t max_sweeps_;
+  CandidateProvider candidates_;
   std::optional<geo::PointSet> previous_;
   std::uint64_t cold_solves_ = 0;
   std::uint64_t warm_solves_ = 0;

@@ -1,0 +1,84 @@
+#include "mmph/serve/instance_store.hpp"
+
+#include <algorithm>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::serve {
+
+InstanceStore::InstanceStore(std::size_t dim) : dim_(dim) {
+  MMPH_REQUIRE(dim_ >= 1, "InstanceStore: dim must be >= 1");
+}
+
+bool InstanceStore::upsert(const UserRecord& user) {
+  MMPH_REQUIRE(user.interest.size() == dim_,
+               "InstanceStore::upsert: interest dimension mismatch");
+  MMPH_REQUIRE(user.weight > 0.0,
+               "InstanceStore::upsert: weight must be positive");
+  ++epoch_;
+  ++churn_since_snapshot_;
+  const auto it = index_.find(user.id);
+  if (it != index_.end()) {
+    const std::size_t row = it->second;
+    weights_[row] = user.weight;
+    std::copy(user.interest.begin(), user.interest.end(),
+              coords_.begin() + static_cast<std::ptrdiff_t>(row * dim_));
+    return false;
+  }
+  index_.emplace(user.id, ids_.size());
+  ids_.push_back(user.id);
+  weights_.push_back(user.weight);
+  coords_.insert(coords_.end(), user.interest.begin(), user.interest.end());
+  return true;
+}
+
+bool InstanceStore::remove(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::size_t row = it->second;
+  const std::size_t last = ids_.size() - 1;
+  if (row != last) {
+    ids_[row] = ids_[last];
+    weights_[row] = weights_[last];
+    std::copy(coords_.begin() + static_cast<std::ptrdiff_t>(last * dim_),
+              coords_.begin() + static_cast<std::ptrdiff_t>((last + 1) * dim_),
+              coords_.begin() + static_cast<std::ptrdiff_t>(row * dim_));
+    index_[ids_[row]] = row;
+  }
+  ids_.pop_back();
+  weights_.pop_back();
+  coords_.resize(coords_.size() - dim_);
+  index_.erase(it);
+  ++epoch_;
+  ++churn_since_snapshot_;
+  return true;
+}
+
+bool InstanceStore::contains(std::uint64_t id) const {
+  return index_.count(id) != 0;
+}
+
+std::optional<UserRecord> InstanceStore::find(std::uint64_t id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  const std::size_t row = it->second;
+  UserRecord rec;
+  rec.id = id;
+  rec.weight = weights_[row];
+  rec.interest.assign(
+      coords_.begin() + static_cast<std::ptrdiff_t>(row * dim_),
+      coords_.begin() + static_cast<std::ptrdiff_t>((row + 1) * dim_));
+  return rec;
+}
+
+StoreSnapshot InstanceStore::snapshot() {
+  StoreSnapshot snap;
+  snap.epoch = epoch_;
+  snap.points = geo::PointSet(dim_, coords_);
+  snap.weights = weights_;
+  snap.ids = ids_;
+  churn_since_snapshot_ = 0;
+  return snap;
+}
+
+}  // namespace mmph::serve

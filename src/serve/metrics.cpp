@@ -1,0 +1,83 @@
+#include "mmph/serve/metrics.hpp"
+
+#include "mmph/io/stats.hpp"
+
+namespace mmph::serve {
+
+void ServeMetrics::count_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+}
+
+void ServeMetrics::count_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.rejected_full;
+}
+
+void ServeMetrics::count_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.expired;
+}
+
+void ServeMetrics::count_shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shutdown;
+}
+
+void ServeMetrics::count_mutations(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.mutations += n;
+}
+
+void ServeMetrics::count_queries(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.queries += n;
+}
+
+void ServeMetrics::record_batch(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.batches;
+  counters_.batched_requests += size;
+}
+
+void ServeMetrics::record_solve(double seconds, bool incremental) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (incremental) {
+    ++counters_.incremental_solves;
+  } else {
+    ++counters_.full_solves;
+  }
+  counters_.total_solve_seconds += seconds;
+  if (solve_seconds_.size() >= kMaxSolveSamples) {
+    solve_seconds_.erase(solve_seconds_.begin(),
+                         solve_seconds_.begin() + kMaxSolveSamples / 2);
+  }
+  solve_seconds_.push_back(seconds);
+}
+
+void ServeMetrics::set_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.queue_depth = depth;
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap = counters_;
+  snap.mean_batch_size =
+      snap.batches == 0 ? 0.0
+                        : static_cast<double>(snap.batched_requests) /
+                              static_cast<double>(snap.batches);
+  if (!solve_seconds_.empty()) {
+    snap.solve_p50_seconds = io::percentile(solve_seconds_, 0.50);
+    snap.solve_p99_seconds = io::percentile(solve_seconds_, 0.99);
+  }
+  return snap;
+}
+
+void ServeMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = MetricsSnapshot{};
+  solve_seconds_.clear();
+}
+
+}  // namespace mmph::serve

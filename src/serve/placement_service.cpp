@@ -1,0 +1,277 @@
+#include "mmph/serve/placement_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mmph/core/objective.hpp"
+#include "mmph/support/assert.hpp"
+#include "mmph/trace/span.hpp"
+
+namespace mmph::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Adapts the service's shared ShardedSolver instance to the
+/// WarmStartPlanner's factory shape without transferring ownership (the
+/// service keeps the instance to read last_candidates()/last_stats()).
+class SharedSolverAdapter final : public core::Solver {
+ public:
+  explicit SharedSolverAdapter(const ShardedSolver* inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] core::Solution solve(const core::Problem& problem,
+                                     std::size_t k) const override {
+    return inner_->solve(problem, k);
+  }
+
+ private:
+  const ShardedSolver* inner_;
+};
+
+}  // namespace
+
+PlacementService::PlacementService(ServiceConfig config, par::ThreadPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? *pool : par::ThreadPool::global()),
+      batcher_(config.queue_capacity, &metrics_),
+      store_(config.dim) {
+  MMPH_REQUIRE(config_.k >= 1, "PlacementService: k must be >= 1");
+  MMPH_REQUIRE(config_.radius > 0.0,
+               "PlacementService: radius must be positive");
+  MMPH_REQUIRE(config_.max_batch >= 1,
+               "PlacementService: max_batch must be >= 1");
+  MMPH_REQUIRE(config_.full_solve_churn_fraction >= 0.0,
+               "PlacementService: churn fraction must be >= 0");
+  sharded_ = std::make_unique<ShardedSolver>(pool_, config_.shard);
+  planner_ = std::make_unique<sim::WarmStartPlanner>(
+      [this](const core::Problem&) {
+        return std::make_unique<SharedSolverAdapter>(sharded_.get());
+      },
+      std::max<std::size_t>(config_.warm_sweeps, 1),
+      [this](const core::Problem&) { return incremental_pool_locked(); });
+}
+
+PlacementService::~PlacementService() { stop(); }
+
+void PlacementService::apply_add(const std::vector<UserRecord>& users) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  apply_add_locked(users);
+}
+
+void PlacementService::apply_remove(const std::vector<std::uint64_t>& ids) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  apply_remove_locked(ids);
+}
+
+PlacementView PlacementService::placement() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return solve_locked();
+}
+
+double PlacementService::evaluate(const geo::PointSet& centers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_.empty() || centers.empty()) return 0.0;
+  MMPH_REQUIRE(centers.dim() == config_.dim,
+               "evaluate: centers dimension mismatch");
+  return core::objective_value(problem_locked(), centers);
+}
+
+std::size_t PlacementService::population() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
+std::uint64_t PlacementService::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_.epoch();
+}
+
+std::future<Response> PlacementService::submit(Request request) {
+  std::future<Response> future = request.reply.get_future();
+  batcher_.push(std::move(request));
+  return future;
+}
+
+std::size_t PlacementService::pump(std::chrono::milliseconds wait) {
+  std::vector<Request> batch = batcher_.pop_batch(config_.max_batch, wait);
+  if (batch.empty()) return 0;
+  const std::size_t handled = batch.size();
+  process_batch(std::move(batch));
+  return handled;
+}
+
+void PlacementService::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  worker_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      pump(std::chrono::milliseconds(20));
+    }
+    // Final drain so requests racing stop() still get answers.
+    while (pump(std::chrono::milliseconds(0)) > 0) {
+    }
+  });
+}
+
+void PlacementService::stop() {
+  running_.store(false);
+  batcher_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+ShardStats PlacementService::last_shard_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sharded_->last_stats();
+}
+
+void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
+  for (const UserRecord& user : users) {
+    store_.upsert(user);
+    ++churn_since_solve_;
+    recent_points_.push_back(user.interest);
+  }
+  // Keep only a few multiples of the candidate cap; older churn points
+  // have already been seen by a solve or crowded out.
+  const std::size_t keep =
+      std::max<std::size_t>(4 * config_.max_incremental_candidates, 4);
+  while (recent_points_.size() > keep) recent_points_.pop_front();
+  metrics_.count_mutations(users.size());
+}
+
+void PlacementService::apply_remove_locked(
+    const std::vector<std::uint64_t>& ids) {
+  std::uint64_t removed = 0;
+  for (const std::uint64_t id : ids) {
+    if (store_.remove(id)) {
+      ++removed;
+      ++churn_since_solve_;
+    }
+  }
+  metrics_.count_mutations(removed);
+}
+
+core::Problem PlacementService::problem_locked() {
+  StoreSnapshot snap = store_.snapshot();
+  return core::Problem(std::move(snap.points), std::move(snap.weights),
+                       config_.radius, config_.metric, config_.shape);
+}
+
+const PlacementView& PlacementService::solve_locked() {
+  if (view_.has_value() && churn_since_solve_ == 0) return *view_;
+
+  if (store_.empty()) {
+    PlacementView view;
+    view.epoch = store_.epoch();
+    view.solution.solver_name = "empty";
+    view.solution.centers = geo::PointSet(config_.dim);
+    planner_->reset();  // stale centers are meaningless after an empty-out
+    view_ = std::move(view);
+    churn_since_solve_ = 0;
+    recent_points_.clear();
+    return *view_;
+  }
+
+  const std::uint64_t epoch = store_.epoch();
+  const std::size_t population = store_.size();
+  const core::Problem problem = problem_locked();
+
+  const double churn_fraction =
+      static_cast<double>(churn_since_solve_) /
+      static_cast<double>(std::max<std::size_t>(population, 1));
+  if (churn_fraction > config_.full_solve_churn_fraction) planner_->reset();
+
+  const std::uint64_t warm_before = planner_->warm_solves();
+  const auto start = Clock::now();
+  core::Solution solution = planner_->plan(problem, config_.k);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const bool incremental = planner_->warm_solves() > warm_before;
+  metrics_.record_solve(seconds, incremental);
+  trace::SpanCollector::global().record(
+      incremental ? "serve.solve.incremental" : "serve.solve.full", seconds);
+
+  PlacementView view;
+  view.epoch = epoch;
+  view.objective = solution.total_reward;
+  view.population = population;
+  view.solution = std::move(solution);
+  view_ = std::move(view);
+  churn_since_solve_ = 0;
+  recent_points_.clear();
+  return *view_;
+}
+
+geo::PointSet PlacementService::incremental_pool_locked() const {
+  geo::PointSet pool(config_.dim);
+  const std::size_t cap =
+      std::max<std::size_t>(config_.max_incremental_candidates, 1);
+  // Newest churned-in users first: they are where coverage is missing.
+  for (auto it = recent_points_.rbegin();
+       it != recent_points_.rend() && pool.size() < cap; ++it) {
+    pool.push_back(geo::ConstVec(it->data(), it->size()));
+  }
+  // Then the cached per-shard winners of the last full solve: good centers
+  // for the surviving population.
+  const geo::PointSet& cached = sharded_->last_candidates();
+  for (std::size_t j = 0; j < cached.size() && pool.size() < cap; ++j) {
+    pool.push_back(cached[j]);
+  }
+  return pool;  // empty -> planner falls back to all input points
+}
+
+void PlacementService::process_batch(std::vector<Request> batch) {
+  trace::ScopedSpan span("serve.batch");
+  metrics_.record_batch(batch.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Mutations first, in arrival order; queries then observe the whole
+  // batch (that is the point of batching: one solve amortizes over every
+  // request that arrived together).
+  std::uint64_t queries = 0;
+  for (Request& request : batch) {
+    switch (request.type) {
+      case RequestType::kAddUsers:
+        apply_add_locked(request.users);
+        break;
+      case RequestType::kRemoveUsers:
+        apply_remove_locked(request.ids);
+        break;
+      case RequestType::kQueryPlacement:
+      case RequestType::kEvaluate:
+        ++queries;
+        break;
+    }
+  }
+  metrics_.count_queries(queries);
+
+  for (Request& request : batch) {
+    Response response;
+    response.status = ResponseStatus::kOk;
+    response.epoch = store_.epoch();
+    switch (request.type) {
+      case RequestType::kAddUsers:
+      case RequestType::kRemoveUsers:
+        break;
+      case RequestType::kQueryPlacement: {
+        const PlacementView& view = solve_locked();
+        response.objective = view.objective;
+        response.solution = view.solution;
+        break;
+      }
+      case RequestType::kEvaluate: {
+        if (!store_.empty() && request.centers.has_value() &&
+            !request.centers->empty() &&
+            request.centers->dim() == config_.dim) {
+          response.objective =
+              core::objective_value(problem_locked(), *request.centers);
+        }
+        break;
+      }
+    }
+    request.reply.set_value(std::move(response));
+  }
+}
+
+}  // namespace mmph::serve

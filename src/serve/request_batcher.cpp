@@ -1,0 +1,115 @@
+#include "mmph/serve/request_batcher.hpp"
+
+#include <utility>
+
+#include "mmph/serve/metrics.hpp"
+#include "mmph/support/assert.hpp"
+
+namespace mmph::serve {
+
+Request Request::add_users(std::vector<UserRecord> users) {
+  Request r;
+  r.type = RequestType::kAddUsers;
+  r.users = std::move(users);
+  return r;
+}
+
+Request Request::remove_users(std::vector<std::uint64_t> ids) {
+  Request r;
+  r.type = RequestType::kRemoveUsers;
+  r.ids = std::move(ids);
+  return r;
+}
+
+Request Request::query_placement() {
+  Request r;
+  r.type = RequestType::kQueryPlacement;
+  return r;
+}
+
+Request Request::evaluate(geo::PointSet centers) {
+  Request r;
+  r.type = RequestType::kEvaluate;
+  r.centers = std::move(centers);
+  return r;
+}
+
+RequestBatcher::RequestBatcher(std::size_t capacity, ServeMetrics* metrics)
+    : capacity_(capacity), metrics_(metrics) {
+  MMPH_REQUIRE(capacity_ >= 1, "RequestBatcher: capacity must be >= 1");
+}
+
+RequestBatcher::~RequestBatcher() { close(); }
+
+bool RequestBatcher::push(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (metrics_ != nullptr) metrics_->count_submitted();
+    if (!closed_ && queue_.size() < capacity_) {
+      queue_.push_back(std::move(request));
+      if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
+      cv_.notify_one();
+      return true;
+    }
+  }
+  if (metrics_ != nullptr) metrics_->count_rejected();
+  Response response;
+  response.status = ResponseStatus::kRejected;
+  request.reply.set_value(std::move(response));
+  return false;
+}
+
+std::vector<Request> RequestBatcher::pop_batch(std::size_t max_batch,
+                                               std::chrono::milliseconds wait) {
+  std::vector<Request> batch;
+  if (max_batch == 0) return batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.empty() && wait.count() > 0) {
+    cv_.wait_for(lock, wait, [&] { return !queue_.empty() || closed_; });
+  }
+  const auto now = std::chrono::steady_clock::now();
+  while (!queue_.empty() && batch.size() < max_batch) {
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    if (request.deadline < now) {
+      if (metrics_ != nullptr) metrics_->count_expired();
+      Response response;
+      response.status = ResponseStatus::kExpired;
+      request.reply.set_value(std::move(response));
+      continue;
+    }
+    batch.push_back(std::move(request));
+  }
+  if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
+  return batch;
+}
+
+std::size_t RequestBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RequestBatcher::close() {
+  std::deque<Request> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && queue_.empty()) return;
+    closed_ = true;
+    drained.swap(queue_);
+  }
+  cv_.notify_all();
+  for (Request& request : drained) {
+    if (metrics_ != nullptr) metrics_->count_shutdown();
+    Response response;
+    response.status = ResponseStatus::kShutdown;
+    request.reply.set_value(std::move(response));
+  }
+  if (metrics_ != nullptr) metrics_->set_queue_depth(0);
+}
+
+bool RequestBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace mmph::serve

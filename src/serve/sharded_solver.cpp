@@ -1,0 +1,255 @@
+#include "mmph/serve/sharded_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <utility>
+
+#include "mmph/core/lazy_greedy.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/geometry/cell_grid.hpp"
+#include "mmph/parallel/parallel_for.hpp"
+#include "mmph/support/assert.hpp"
+#include "mmph/trace/span.hpp"
+
+namespace mmph::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Widest dimension of the bounding box of the indexed subset.
+std::size_t widest_dim(const geo::PointSet& points,
+                       std::span<const std::size_t> indices) {
+  const std::size_t dim = points.dim();
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (const std::size_t i : indices) {
+    const geo::ConstVec p = points[i];
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < dim; ++d) {
+    if (hi[d] - lo[d] > hi[best] - lo[best]) best = d;
+  }
+  return best;
+}
+
+/// Kd-style recursive median split of \p indices into at most \p budget
+/// groups, never splitting below min_shard_size.
+void median_split(const geo::PointSet& points, std::vector<std::size_t>& indices,
+                  std::size_t begin, std::size_t end, std::size_t budget,
+                  std::size_t min_shard_size,
+                  std::vector<std::vector<std::size_t>>& out) {
+  const std::size_t count = end - begin;
+  if (budget <= 1 || count <= min_shard_size || count < 2) {
+    out.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                     indices.begin() + static_cast<std::ptrdiff_t>(end));
+    return;
+  }
+  const std::size_t left_budget = budget / 2;
+  const std::size_t right_budget = budget - left_budget;
+  // Split position proportional to the budget split so uneven budgets
+  // (e.g. 3 shards) still balance.
+  const std::size_t mid = begin + count * left_budget / budget;
+  const std::span<const std::size_t> view(indices.data() + begin, count);
+  const std::size_t axis = widest_dim(points, view);
+  std::nth_element(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                   indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = points[a][axis], vb = points[b][axis];
+                     if (va != vb) return va < vb;
+                     return a < b;  // deterministic under duplicate coords
+                   });
+  median_split(points, indices, begin, mid, left_budget, min_shard_size, out);
+  median_split(points, indices, mid, end, right_budget, min_shard_size, out);
+}
+
+/// Buckets points by CellGrid cell, then packs cells (in flattened-id
+/// order, i.e. spatial row-major order) into at most \p budget groups of
+/// roughly n/budget points each.
+std::vector<std::vector<std::size_t>> grid_split(const geo::PointSet& points,
+                                                 double cell_size,
+                                                 std::size_t budget) {
+  const geo::CellGrid grid(points, cell_size);
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ca = grid.cell_of_point(a), cb = grid.cell_of_point(b);
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  const std::size_t target = (points.size() + budget - 1) / budget;
+  std::vector<std::vector<std::size_t>> out;
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    std::size_t end = std::min(pos + target, order.size());
+    // Never split a cell across shards: extend to the cell boundary.
+    while (end < order.size() && end > pos &&
+           grid.cell_of_point(order[end]) ==
+               grid.cell_of_point(order[end - 1])) {
+      ++end;
+    }
+    out.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                     order.begin() + static_cast<std::ptrdiff_t>(end));
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> shard_indices(
+    const geo::PointSet& points, const ShardedSolverConfig& config,
+    std::size_t workers, double radius) {
+  MMPH_REQUIRE(!points.empty(), "shard_indices: empty point set");
+  const std::size_t n = points.size();
+  std::size_t budget = config.max_shards;
+  if (budget == 0) {
+    // Auto: at least one shard per worker for parallelism, but also cap
+    // shard size — the per-shard greedy is O(shard^2), so S shards cut
+    // total work by ~S even on a single worker.
+    constexpr std::size_t kTargetShardSize = 2048;
+    budget = std::max(workers, (n + kTargetShardSize - 1) / kTargetShardSize);
+  }
+  budget = std::max<std::size_t>(budget, 1);
+  const std::size_t min_size = std::max<std::size_t>(config.min_shard_size, 1);
+  budget = std::min(budget, std::max<std::size_t>(n / min_size, 1));
+
+  if (config.policy == ShardPolicy::kGridCells) {
+    const double cell =
+        config.grid_cell_size > 0.0 ? config.grid_cell_size : radius;
+    return grid_split(points, cell, budget);
+  }
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<std::vector<std::size_t>> out;
+  median_split(points, indices, 0, n, budget, min_size, out);
+  return out;
+}
+
+core::Solution lazy_greedy_over_pool(const core::Problem& problem,
+                                     const geo::PointSet& pool, std::size_t k,
+                                     const std::string& solver_name) {
+  MMPH_REQUIRE(k >= 1, "lazy_greedy_over_pool: k must be >= 1");
+  MMPH_REQUIRE(!pool.empty(), "lazy_greedy_over_pool: empty candidate pool");
+  MMPH_REQUIRE(pool.dim() == problem.dim(),
+               "lazy_greedy_over_pool: pool dimension mismatch");
+
+  core::Solution sol;
+  sol.solver_name = solver_name;
+  sol.centers = geo::PointSet(problem.dim());
+  sol.centers.reserve(k);
+  sol.residual = core::fresh_residual(problem);
+
+  struct Entry {
+    double gain;
+    std::size_t index;
+    std::size_t round;
+  };
+  // Max-heap on gain, ties toward the lowest pool index (matches the
+  // ascending-scan tie-breaking of core::LazyGreedySolver).
+  const auto less = [](const Entry& a, const Entry& b) noexcept {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.index > b.index;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(less)> heap(less);
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    heap.push(Entry{core::coverage_reward(problem, pool[c], sol.residual), c,
+                    1});
+  }
+  for (std::size_t round = 1; round <= k; ++round) {
+    Entry top = heap.top();
+    while (top.round != round) {
+      heap.pop();
+      top.gain = core::coverage_reward(problem, pool[top.index], sol.residual);
+      top.round = round;
+      heap.push(top);
+      top = heap.top();
+    }
+    sol.centers.push_back(pool[top.index]);
+    const double g = core::apply_center(problem, pool[top.index], sol.residual);
+    sol.round_rewards.push_back(g);
+    sol.total_reward += g;
+  }
+  return sol;
+}
+
+ShardedSolver::ShardedSolver(par::ThreadPool& pool, ShardedSolverConfig config)
+    : pool_(pool), config_(config) {}
+
+core::Solution ShardedSolver::solve(const core::Problem& problem,
+                                    std::size_t k) const {
+  MMPH_REQUIRE(k >= 1, "solve: k must be >= 1");
+  last_stats_ = ShardStats{};
+
+  const auto shard_start = Clock::now();
+  std::vector<std::vector<std::size_t>> shards;
+  geo::PointSet candidates(problem.dim());
+  {
+    trace::ScopedSpan span("serve.shard");
+    shards = shard_indices(problem.points(), config_, pool_.thread_count(),
+                           problem.radius());
+    const std::size_t base_k =
+        config_.per_shard_k == 0 ? k : config_.per_shard_k;
+
+    // Each shard solves its own sub-problem and reports up to base_k
+    // centers; results land in per-shard slots so the merged pool order is
+    // deterministic regardless of scheduling.
+    std::vector<geo::PointSet> shard_centers(shards.size(),
+                                             geo::PointSet(problem.dim()));
+    par::parallel_for(
+        pool_, 0, shards.size(),
+        [&](std::size_t s) {
+          const std::vector<std::size_t>& members = shards[s];
+          geo::PointSet points(problem.dim());
+          points.reserve(members.size());
+          std::vector<double> weights;
+          weights.reserve(members.size());
+          for (const std::size_t i : members) {
+            points.push_back(problem.point(i));
+            weights.push_back(problem.weight(i));
+          }
+          const core::Problem sub(std::move(points), std::move(weights),
+                                  problem.radius(), problem.metric(),
+                                  problem.reward_shape());
+          const std::size_t shard_k =
+              std::max<std::size_t>(1, std::min(base_k, members.size()));
+          const core::Solution sol =
+              core::LazyGreedySolver().solve(sub, shard_k);
+          shard_centers[s] = sol.centers;
+        },
+        /*grain=*/1);
+
+    for (const geo::PointSet& centers : shard_centers) {
+      for (std::size_t j = 0; j < centers.size(); ++j) {
+        candidates.push_back(centers[j]);
+      }
+    }
+  }
+  last_stats_.shards = shards.size();
+  last_stats_.candidate_pool = candidates.size();
+  last_stats_.shard_seconds = seconds_since(shard_start);
+
+  const auto merge_start = Clock::now();
+  core::Solution sol;
+  {
+    trace::ScopedSpan span("serve.merge");
+    sol = lazy_greedy_over_pool(problem, candidates, k, name());
+  }
+  last_stats_.merge_seconds = seconds_since(merge_start);
+  last_candidates_ = std::move(candidates);
+  return sol;
+}
+
+}  // namespace mmph::serve

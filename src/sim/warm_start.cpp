@@ -32,8 +32,11 @@ class PlannerSolver final : public core::Solver {
 
 }  // namespace
 
-WarmStartPlanner::WarmStartPlanner(SolverFactory cold, std::size_t max_sweeps)
-    : cold_(std::move(cold)), max_sweeps_(max_sweeps) {
+WarmStartPlanner::WarmStartPlanner(SolverFactory cold, std::size_t max_sweeps,
+                                   CandidateProvider candidates)
+    : cold_(std::move(cold)),
+      max_sweeps_(max_sweeps),
+      candidates_(std::move(candidates)) {
   MMPH_REQUIRE(static_cast<bool>(cold_),
                "WarmStartPlanner needs a cold solver factory");
   MMPH_REQUIRE(max_sweeps_ >= 1, "WarmStartPlanner needs max_sweeps >= 1");
@@ -53,8 +56,13 @@ core::Solution WarmStartPlanner::plan(const core::Problem& problem,
   ++warm_solves_;
 
   // 1-swap refinement of the previous centers over the current points,
-  // via the O(n)-per-trial incremental evaluator.
-  const geo::PointSet candidates = core::candidates_from_points(problem);
+  // via the O(n)-per-trial incremental evaluator. A custom provider can
+  // shrink the swap pool from "every point" to a curated few.
+  geo::PointSet candidates =
+      candidates_ ? candidates_(problem) : core::candidates_from_points(problem);
+  if (candidates.empty() || candidates.dim() != problem.dim()) {
+    candidates = core::candidates_from_points(problem);
+  }
   constexpr double kMinGain = 1e-9;
   core::SwapEvaluator evaluator(problem, *previous_);
   for (std::size_t sweep = 0; sweep < max_sweeps_; ++sweep) {

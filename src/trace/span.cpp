@@ -1,0 +1,37 @@
+#include "mmph/trace/span.hpp"
+
+#include <algorithm>
+
+namespace mmph::trace {
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector collector;
+  return collector;
+}
+
+void SpanCollector::record(const std::string& name, double seconds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Cell& cell = cells_[name];
+  ++cell.count;
+  cell.total_seconds += seconds;
+  cell.max_seconds = std::max(cell.max_seconds, seconds);
+}
+
+std::vector<SpanStats> SpanCollector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanStats> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) {
+    out.push_back(
+        SpanStats{name, cell.count, cell.total_seconds, cell.max_seconds});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void SpanCollector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_.clear();
+}
+
+}  // namespace mmph::trace

@@ -27,6 +27,11 @@ grep -q "greedy3" "$DIR/cmp.txt"
 # simulate smoke
 "$CLI" simulate --users 10 --slots 5 --solver greedy3 | grep -q "total reward"
 
+# serve-replay smoke: batched churn replay reports solve metrics and spans
+"$CLI" serve-replay --users 120 --slots 4 --k 3 --churn 0.02 > "$DIR/serve.txt"
+grep -q "incremental ratio" "$DIR/serve.txt"
+grep -q "serve.batch" "$DIR/serve.txt"
+
 # error handling: unknown command and unknown solver exit nonzero
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
 if "$CLI" solve --problem "$DIR/p.txt" --solver nope --k 2 2>/dev/null; then

@@ -1,0 +1,106 @@
+// RequestBatcher: bounded-queue backpressure, FIFO batching, deadline
+// expiry at dequeue, and shutdown draining.
+
+#include "mmph/serve/request_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+
+#include "mmph/serve/metrics.hpp"
+
+namespace mmph::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(RequestBatcher, BatchesInFifoOrder) {
+  RequestBatcher batcher(8);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    EXPECT_TRUE(batcher.push(Request::remove_users({id})));
+  }
+  EXPECT_EQ(batcher.depth(), 3u);
+  const std::vector<Request> batch = batcher.pop_batch(8);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    EXPECT_EQ(batch[id].ids, std::vector<std::uint64_t>{id});
+  }
+  EXPECT_EQ(batcher.depth(), 0u);
+}
+
+TEST(RequestBatcher, MaxBatchLimitsDrain) {
+  RequestBatcher batcher(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(batcher.push(Request::query_placement()));
+  }
+  EXPECT_EQ(batcher.pop_batch(2).size(), 2u);
+  EXPECT_EQ(batcher.depth(), 3u);
+  EXPECT_EQ(batcher.pop_batch(8).size(), 3u);
+}
+
+TEST(RequestBatcher, FullQueueRejectsWithReadyFuture) {
+  ServeMetrics metrics;
+  RequestBatcher batcher(2, &metrics);
+  EXPECT_TRUE(batcher.push(Request::query_placement()));
+  EXPECT_TRUE(batcher.push(Request::query_placement()));
+
+  Request overflow = Request::query_placement();
+  std::future<Response> future = overflow.reply.get_future();
+  EXPECT_FALSE(batcher.push(std::move(overflow)));
+  ASSERT_EQ(future.wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_EQ(future.get().status, ResponseStatus::kRejected);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.submitted, 3u);
+  EXPECT_EQ(snap.rejected_full, 1u);
+  EXPECT_EQ(snap.queue_depth, 2u);
+}
+
+TEST(RequestBatcher, ExpiredRequestsAreAnsweredNotBatched) {
+  ServeMetrics metrics;
+  RequestBatcher batcher(8, &metrics);
+
+  Request expired = Request::query_placement();
+  expired.deadline = steady_clock::now() - milliseconds(10);
+  std::future<Response> expired_future = expired.reply.get_future();
+  EXPECT_TRUE(batcher.push(std::move(expired)));
+  EXPECT_TRUE(batcher.push(Request::query_placement()));
+
+  const std::vector<Request> batch = batcher.pop_batch(8);
+  ASSERT_EQ(batch.size(), 1u);  // only the live request survives
+  ASSERT_EQ(expired_future.wait_for(milliseconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(expired_future.get().status, ResponseStatus::kExpired);
+  EXPECT_EQ(metrics.snapshot().expired, 1u);
+}
+
+TEST(RequestBatcher, CloseAnswersQueuedAndRejectsNewPushes) {
+  RequestBatcher batcher(8);
+  Request queued = Request::query_placement();
+  std::future<Response> queued_future = queued.reply.get_future();
+  EXPECT_TRUE(batcher.push(std::move(queued)));
+
+  batcher.close();
+  EXPECT_TRUE(batcher.closed());
+  ASSERT_EQ(queued_future.wait_for(milliseconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(queued_future.get().status, ResponseStatus::kShutdown);
+
+  Request late = Request::query_placement();
+  std::future<Response> late_future = late.reply.get_future();
+  EXPECT_FALSE(batcher.push(std::move(late)));
+  EXPECT_EQ(late_future.get().status, ResponseStatus::kRejected);
+  EXPECT_TRUE(batcher.pop_batch(8).empty());
+}
+
+TEST(RequestBatcher, PopWithWaitReturnsEmptyOnTimeout) {
+  RequestBatcher batcher(8);
+  const auto start = steady_clock::now();
+  EXPECT_TRUE(batcher.pop_batch(8, milliseconds(30)).empty());
+  EXPECT_GE(steady_clock::now() - start, milliseconds(20));
+}
+
+}  // namespace
+}  // namespace mmph::serve

@@ -1,0 +1,69 @@
+// SpanCollector / ScopedSpan: disabled collectors cost nothing, enabled
+// collectors aggregate by name, and the global collector is shared.
+
+#include "mmph/trace/span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmph::trace {
+namespace {
+
+TEST(SpanCollector, DisabledRecordsNothing) {
+  SpanCollector collector;
+  EXPECT_FALSE(collector.enabled());
+  collector.record("stage", 1.0);
+  { ScopedSpan span("scoped", collector); }
+  EXPECT_TRUE(collector.stats().empty());
+}
+
+TEST(SpanCollector, AggregatesByName) {
+  SpanCollector collector;
+  collector.set_enabled(true);
+  collector.record("merge", 0.25);
+  collector.record("merge", 0.75);
+  collector.record("shard", 0.5);
+
+  const std::vector<SpanStats> stats = collector.stats();
+  ASSERT_EQ(stats.size(), 2u);  // sorted by name: merge, shard
+  EXPECT_EQ(stats[0].name, "merge");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].total_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].max_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(stats[0].mean_seconds(), 0.5);
+  EXPECT_EQ(stats[1].name, "shard");
+  EXPECT_EQ(stats[1].count, 1u);
+}
+
+TEST(SpanCollector, ScopedSpanReportsElapsedTime) {
+  SpanCollector collector;
+  collector.set_enabled(true);
+  { ScopedSpan span("work", collector); }
+  const std::vector<SpanStats> stats = collector.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "work");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_GE(stats[0].total_seconds, 0.0);
+}
+
+TEST(SpanCollector, ResetClearsStatsButNotEnable) {
+  SpanCollector collector;
+  collector.set_enabled(true);
+  collector.record("x", 1.0);
+  collector.reset();
+  EXPECT_TRUE(collector.stats().empty());
+  EXPECT_TRUE(collector.enabled());
+}
+
+TEST(SpanCollector, GlobalIsShared) {
+  SpanCollector::global().set_enabled(true);
+  SpanCollector::global().reset();
+  { ScopedSpan span("global-stage"); }
+  const std::vector<SpanStats> stats = SpanCollector::global().stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "global-stage");
+  SpanCollector::global().set_enabled(false);
+  SpanCollector::global().reset();
+}
+
+}  // namespace
+}  // namespace mmph::trace

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: configure, build, and run the full test suite — the exact
+# line CI and reviewers run. Usage:
+#
+#   tools/check.sh              # plain build + ctest
+#   MMPH_SANITIZE=ON tools/check.sh   # same, under ASan/UBSan
+#
+# Extra args are forwarded to ctest (e.g. tools/check.sh -R serve).
+set -e
+cd "$(dirname "$0")/.."
+
+SANITIZE="${MMPH_SANITIZE:-OFF}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DMMPH_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+exec ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"

@@ -11,8 +11,13 @@
 // Traces use the versioned text format of mmph/trace/trace.hpp, so files
 // produced here replay bit-exactly in library code and vice versa.
 
+#include <algorithm>
+#include <future>
 #include <iostream>
 #include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "mmph/core/certificate.hpp"
 #include "mmph/core/objective.hpp"
@@ -20,7 +25,9 @@
 #include "mmph/io/args.hpp"
 #include "mmph/io/table.hpp"
 #include "mmph/random/workload.hpp"
+#include "mmph/serve/placement_service.hpp"
 #include "mmph/sim/simulator.hpp"
+#include "mmph/trace/span.hpp"
 #include "mmph/trace/trace.hpp"
 
 namespace {
@@ -40,7 +47,9 @@ int usage() {
       "  compare   --problem FILE --k K [--solvers a,b,c] [--pitch P]\n"
       "  certify   --problem FILE --solution FILE [--pitch P]\n"
       "  simulate  --users N --slots T --solver NAME --k K [--radius R]\n"
-      "            [--drift SIGMA] [--churn P] [--seed S]\n";
+      "            [--drift SIGMA] [--churn P] [--seed S]\n"
+      "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
+      "            [--batch B] [--shards S] [--threshold F] [--seed S]\n";
   return 2;
 }
 
@@ -243,6 +252,118 @@ int cmd_simulate(io::Args& args) {
   return 0;
 }
 
+// Replays a churn workload against the serving layer: every slot removes
+// and re-adds a fraction of the population, then queries the placement —
+// all through the batched request path, so the run exercises the bounded
+// queue, the sharded solver, and the incremental warm re-solve together.
+int cmd_serve_replay(io::Args& args) {
+  const std::size_t users = static_cast<std::size_t>(args.get_int("users", 2000));
+  const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 20));
+  serve::ServiceConfig config;
+  config.k = static_cast<std::size_t>(args.get_int("k", 4));
+  config.radius = args.get_double("radius", 1.0);
+  config.shard.max_shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  config.full_solve_churn_fraction = args.get_double("threshold", 0.05);
+  config.max_batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  const double churn = args.get_double("churn", 0.01);
+  rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2011)));
+  args.finish();
+  if (users == 0 || churn < 0.0 || churn > 1.0) {
+    throw ParseError("serve-replay: need --users > 0 and --churn in [0, 1]");
+  }
+
+  trace::SpanCollector::global().set_enabled(true);
+  trace::SpanCollector::global().reset();
+
+  const auto fresh_user = [&rng](std::uint64_t id) {
+    serve::UserRecord rec;
+    rec.id = id;
+    rec.weight = static_cast<double>(rng.uniform_int(1, 5));
+    rec.interest = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    return rec;
+  };
+
+  serve::PlacementService service(config);
+  std::vector<serve::UserRecord> population;
+  population.reserve(users);
+  for (std::uint64_t id = 0; id < users; ++id) {
+    population.push_back(fresh_user(id));
+  }
+  std::uint64_t next_id = users;
+
+  std::vector<std::future<serve::Response>> queries;
+  queries.reserve(slots + 1);
+  std::vector<std::future<serve::Response>> replies;
+  replies.push_back(service.submit(serve::Request::add_users(population)));
+  queries.push_back(service.submit(serve::Request::query_placement()));
+  const std::size_t per_slot =
+      std::max<std::size_t>(churn > 0.0 ? 1 : 0,
+                            static_cast<std::size_t>(churn * users));
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    std::vector<std::uint64_t> removed;
+    std::vector<serve::UserRecord> added;
+    std::unordered_set<std::size_t> victims;
+    for (std::size_t c = 0; c < per_slot; ++c) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1));
+      // Re-picking a slot already churned this round would remove an id
+      // whose add is still queued behind it, silently growing the
+      // population. Keep each victim unique within the slot.
+      if (!victims.insert(victim).second) continue;
+      removed.push_back(population[victim].id);
+      population[victim] = fresh_user(next_id++);
+      added.push_back(population[victim]);
+    }
+    if (!removed.empty()) {
+      replies.push_back(
+          service.submit(serve::Request::remove_users(std::move(removed))));
+      replies.push_back(
+          service.submit(serve::Request::add_users(std::move(added))));
+    }
+    queries.push_back(service.submit(serve::Request::query_placement()));
+    // Drain eagerly so the bounded queue never rejects the replay itself.
+    while (service.queue_depth() > 0) (void)service.pump();
+  }
+  while (service.queue_depth() > 0) (void)service.pump();
+
+  double last_objective = 0.0;
+  std::size_t answered = 0;
+  for (auto& q : queries) {
+    const serve::Response r = q.get();
+    if (r.status == serve::ResponseStatus::kOk) {
+      last_objective = r.objective;
+      ++answered;
+    }
+  }
+  for (auto& r : replies) (void)r.get();
+
+  const serve::MetricsSnapshot m = service.metrics();
+  io::Table table({"metric", "value"});
+  table.add_row({"population", std::to_string(service.population())});
+  table.add_row({"store epoch", std::to_string(service.epoch())});
+  table.add_row({"placements answered", std::to_string(answered)});
+  table.add_row({"last objective", io::fixed(last_objective, 4)});
+  table.add_row({"batches", std::to_string(m.batches)});
+  table.add_row({"mean batch size", io::fixed(m.mean_batch_size, 2)});
+  table.add_row({"mutations applied", std::to_string(m.mutations)});
+  table.add_row({"full solves", std::to_string(m.full_solves)});
+  table.add_row({"incremental solves", std::to_string(m.incremental_solves)});
+  table.add_row({"incremental ratio", io::percent(m.incremental_ratio())});
+  table.add_row({"solve p50 (s)", io::fixed(m.solve_p50_seconds, 5)});
+  table.add_row({"solve p99 (s)", io::fixed(m.solve_p99_seconds, 5)});
+  table.add_row({"solve total (s)", io::fixed(m.total_solve_seconds, 3)});
+  table.print(std::cout);
+
+  io::Table spans({"span", "count", "total (s)", "mean (s)", "max (s)"});
+  for (const trace::SpanStats& s : trace::SpanCollector::global().stats()) {
+    spans.add_row({s.name, std::to_string(s.count), io::fixed(s.total_seconds, 4),
+                   io::fixed(s.mean_seconds(), 5), io::fixed(s.max_seconds, 5)});
+  }
+  spans.print(std::cout);
+  trace::SpanCollector::global().set_enabled(false);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +378,7 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(args);
     if (command == "certify") return cmd_certify(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "serve-replay") return cmd_serve_replay(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
