@@ -1,0 +1,207 @@
+// Scalar vs. blocked vs. blocked+active-set vs. parallel-init evaluation
+// cost for the coverage reward (the inner loop of every greedy solver).
+//
+// Unlike the google-benchmark perf_* binaries this is a plain timed repro:
+// it emits a machine-readable BENCH_kernels.json (n, variant, ns/eval,
+// speedup vs. scalar) so CI and the tutorial can diff numbers across
+// machines, and it self-checks blocked-vs-scalar agreement before timing
+// so a kernel regression fails the run instead of producing fast garbage.
+//
+//   ./perf_kernels --n 1000,10000,100000 --out BENCH_kernels.json
+//
+// Scenario per n: clustered 2-D L2 workload (the paper's hardest-covered
+// placement), radius 1.0, linear reward; the residual is taken mid-solve
+// (after k lazy-greedy rounds) so the active-set variant sees the partial
+// exhaustion it is designed to exploit.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mmph/core/kernels.hpp"
+#include "mmph/core/lazy_greedy.hpp"
+#include "mmph/core/problem.hpp"
+#include "mmph/core/reward.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/parallel/thread_pool.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace {
+
+using namespace mmph;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::size_t n;
+  std::string variant;
+  double ns_per_eval;
+  double speedup;  // vs. the scalar baseline at the same n
+};
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Times \p body (one pass = \p evals evaluations) until ~0.2 s elapsed;
+/// returns ns per evaluation. \p body returns a checksum kept live so the
+/// compiler cannot delete the loop.
+template <typename Body>
+double time_ns_per_eval(std::size_t evals, Body&& body) {
+  double sink = 0.0;
+  // Warm-up pass (faults pages, warms caches).
+  sink += body();
+  std::size_t passes = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.2 && passes < 1000) {
+    sink += body();
+    ++passes;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  if (sink == -1.0) std::printf("unreachable\n");  // keep `sink` live
+  return elapsed * 1e9 / (static_cast<double>(passes) *
+                          static_cast<double>(evals));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  io::Args args(argc, argv);
+  const std::string n_csv = args.get_string("n", "1000,10000,100000");
+  const std::string out_path = args.get_string("out", "BENCH_kernels.json");
+  const std::size_t candidates_cap =
+      static_cast<std::size_t>(args.get_int("candidates", 512));
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 16));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  args.finish();
+
+  std::vector<Row> rows;
+  for (const std::size_t n : parse_sizes(n_csv)) {
+    rnd::WorkloadSpec spec;
+    spec.n = n;
+    spec.dim = 2;
+    spec.placement = rnd::Placement::kClustered;
+    spec.clusters = 8;
+    rnd::Rng rng(seed);
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), /*radius=*/1.0, geo::l2_metric());
+
+    // Mid-solve residual: what the evaluation loop actually sees after the
+    // first k rounds have claimed the dense clusters.
+    const std::vector<double> y_mid =
+        core::LazyGreedySolver().solve(problem, std::min(k, n)).residual;
+
+    // Candidate centers: an even stride through the population.
+    const std::size_t cand = std::min(candidates_cap, n);
+    std::vector<std::size_t> cand_idx(cand);
+    for (std::size_t c = 0; c < cand; ++c) cand_idx[c] = c * (n / cand);
+
+    // Self-check before timing: the blocked kernel must agree with the
+    // per-point reference path on this exact workload.
+    for (std::size_t c = 0; c < std::min<std::size_t>(cand, 32); ++c) {
+      const geo::ConstVec center = problem.point(cand_idx[c]);
+      double ref;
+      {
+        core::kernels::ScopedBlockedKernels off(false);
+        ref = core::coverage_reward(problem, center, y_mid);
+      }
+      const double got =
+          core::kernels::block_coverage_reward(problem, center, y_mid);
+      if (std::fabs(got - ref) > 1e-9 * (1.0 + std::fabs(ref))) {
+        std::fprintf(stderr,
+                     "FAIL: blocked kernel disagrees with scalar at n=%zu "
+                     "candidate=%zu (blocked=%.17g scalar=%.17g)\n",
+                     n, c, got, ref);
+        return 1;
+      }
+    }
+
+    const double scalar_ns = time_ns_per_eval(cand, [&] {
+      core::kernels::ScopedBlockedKernels off(false);
+      double acc = 0.0;
+      for (const std::size_t i : cand_idx) {
+        acc += core::coverage_reward(problem, problem.point(i), y_mid);
+      }
+      return acc;
+    });
+    rows.push_back({n, "scalar", scalar_ns, 1.0});
+
+    const double blocked_ns = time_ns_per_eval(cand, [&] {
+      double acc = 0.0;
+      for (const std::size_t i : cand_idx) {
+        acc += core::kernels::block_coverage_reward(problem,
+                                                    problem.point(i), y_mid);
+      }
+      return acc;
+    });
+    rows.push_back({n, "blocked", blocked_ns, scalar_ns / blocked_ns});
+
+    const core::kernels::ActiveSet active(problem, y_mid);
+    const double active_ns = time_ns_per_eval(cand, [&] {
+      double acc = 0.0;
+      for (const std::size_t i : cand_idx) {
+        acc += active.coverage_reward(problem.point(i));
+      }
+      return acc;
+    });
+    rows.push_back({n, "blocked+active", active_ns, scalar_ns / active_ns});
+
+    // First-round scan: serial vs. sharded across the global pool (the
+    // LazyGreedySolver(pool) init path). Same blocked+active evaluation
+    // per candidate, so the delta is pure scheduling.
+    const core::kernels::ParallelEvaluator serial(nullptr);
+    const core::kernels::ParallelEvaluator parallel(&par::ThreadPool::global());
+    const auto scan = [&](const core::kernels::ParallelEvaluator& ev) {
+      const std::vector<double> gains = ev.map(
+          cand, [&](std::size_t c) {
+            return active.coverage_reward(problem.point(cand_idx[c]));
+          });
+      double acc = 0.0;
+      for (const double g : gains) acc += g;
+      return acc;
+    };
+    const double serial_scan_ns = time_ns_per_eval(cand, [&] { return scan(serial); });
+    const double par_scan_ns = time_ns_per_eval(cand, [&] { return scan(parallel); });
+    rows.push_back({n, "parallel-init", par_scan_ns,
+                    serial_scan_ns / par_scan_ns});
+
+    std::printf("n=%-8zu scalar %9.1f ns/eval | blocked %9.1f (%4.2fx) | "
+                "+active %9.1f (%4.2fx) | parallel-init %9.1f (%4.2fx)\n",
+                n, scalar_ns, blocked_ns, scalar_ns / blocked_ns, active_ns,
+                scalar_ns / active_ns, par_scan_ns,
+                serial_scan_ns / par_scan_ns);
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"kernels\",\n  \"scenario\": "
+         "\"clustered 2-D L2, radius 1.0, linear reward, mid-solve residual\","
+         "\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"n\": " << r.n << ", \"variant\": \"" << r.variant
+        << "\", \"ns_per_eval\": " << r.ns_per_eval
+        << ", \"speedup\": " << r.speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "perf_kernels: %s\n", e.what());
+  return 1;
+}

@@ -10,27 +10,50 @@
 /// O(n) scan per round in the common case. Selects exactly the same centers
 /// as GreedyLocalSolver (same tie-breaking) — verified by tests — while
 /// evaluating far fewer coverage rewards (see bench/perf_lazy_greedy).
+///
+/// Lazy evaluation cuts how many reward evaluations run; the blocked
+/// kernels (kernels.hpp) make each one stream at memory bandwidth. When
+/// they are enabled the solver scans a residual-aware ActiveSet, and the
+/// first-round all-candidates scan — the O(n^2) initialization laziness
+/// cannot avoid — can be sharded across a ThreadPool. Both paths select
+/// identical centers (pinned by tests).
+
+#include <atomic>
+#include <cstddef>
 
 #include "mmph/core/solver.hpp"
+#include "mmph/parallel/thread_pool.hpp"
 
 namespace mmph::core {
 
 class LazyGreedySolver final : public Solver {
  public:
+  LazyGreedySolver() = default;
+
+  /// With a pool, the first-round gain scan is sharded across its workers
+  /// (deterministic per-slot reduction; see kernels::ParallelEvaluator).
+  /// Do NOT pass a pool when solve() itself may run on one of that pool's
+  /// workers (e.g. per-shard solves inside ShardedSolver): blocking on
+  /// work queued behind the callers can deadlock.
+  explicit LazyGreedySolver(par::ThreadPool* pool) noexcept : pool_(pool) {}
+
   [[nodiscard]] std::string name() const override { return "greedy2-lazy"; }
 
   [[nodiscard]] Solution solve(const Problem& problem,
                                std::size_t k) const override;
 
-  /// Number of coverage_reward evaluations the last solve() performed
-  /// (for the ablation bench). Not thread-safe across concurrent solves
-  /// on the same instance object.
+  /// Number of coverage-reward evaluations the last solve() performed (for
+  /// the ablation bench). The counter is atomic, so solves running
+  /// concurrently on the same instance (e.g. under a sharded/parallel
+  /// harness) cannot tear it; each solve resets it, so with concurrent
+  /// solves the value reflects the evaluations since the latest reset.
   [[nodiscard]] std::size_t last_evaluation_count() const noexcept {
-    return last_evals_;
+    return last_evals_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::size_t last_evals_ = 0;
+  par::ThreadPool* pool_ = nullptr;
+  mutable std::atomic<std::size_t> last_evals_{0};
 };
 
 }  // namespace mmph::core

@@ -40,6 +40,44 @@ class CellGrid {
   void for_each_in_box(ConstVec center, double radius,
                        const std::function<void(std::size_t)>& fn) const;
 
+  /// Calls fn(span<const size_t>) once per intersecting cell with that
+  /// cell's contiguous CSR slice of point indices — the zero-overhead form
+  /// of for_each_in_box that feeds whole cell ranges to the block reward
+  /// kernels. Cells are visited in the same row-major odometer order, and
+  /// indices within a cell keep their bucketed order, so per-point visit
+  /// order is identical to for_each_in_box.
+  template <typename Fn>
+  void for_each_cell_span(ConstVec center, double radius, Fn&& fn) const {
+    MMPH_REQUIRE(center.size() == points_.dim(),
+                 "CellGrid: query dimension mismatch");
+    MMPH_REQUIRE(radius >= 0.0, "CellGrid: negative query radius");
+    const std::size_t dim = points_.dim();
+    std::vector<std::size_t> lo(dim), hi(dim), cur(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = cell_coord(center[d] - radius, d);
+      hi[d] = cell_coord(center[d] + radius, d);
+      cur[d] = lo[d];
+    }
+    // Odometer over the cell box.
+    for (;;) {
+      const std::size_t cell = flatten(cur);
+      const std::size_t begin = cell_start_[cell];
+      const std::size_t count = cell_start_[cell + 1] - begin;
+      if (count > 0) {
+        fn(std::span<const std::size_t>(cell_items_.data() + begin, count));
+      }
+      bool advanced = false;
+      for (std::size_t d = dim; d-- > 0;) {
+        if (++cur[d] <= hi[d]) {
+          advanced = true;
+          break;
+        }
+        cur[d] = lo[d];
+      }
+      if (!advanced) return;
+    }
+  }
+
   /// Indices of points within \p radius of \p center under \p metric
   /// (exact; uses for_each_in_box then filters).
   [[nodiscard]] std::vector<std::size_t> query_ball(ConstVec center,

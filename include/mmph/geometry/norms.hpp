@@ -73,6 +73,13 @@ class Metric {
 [[nodiscard]] inline Metric l2_metric() { return Metric(Norm::kL2); }
 [[nodiscard]] inline Metric linf_metric() { return Metric(Norm::kLinf); }
 
+/// Relative margin for L2 squared-distance early-outs: a point may be
+/// rejected without a sqrt only when d^2 > r^2 * kSquaredSkipMargin, which
+/// guarantees d > r by more than the rounding error of either comparison.
+/// Points inside the margin must fall through to the exact sqrt test, so
+/// guarded fast paths keep exactly the same points as the plain kernels.
+inline constexpr double kSquaredSkipMargin = 1.0 + 1e-9;
+
 /// Stand-alone distance kernels (used directly in hot loops).
 [[nodiscard]] double l1_distance(ConstVec a, ConstVec b);
 [[nodiscard]] double l2_distance(ConstVec a, ConstVec b);

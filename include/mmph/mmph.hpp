@@ -48,6 +48,7 @@
 #include "mmph/core/greedy_local.hpp"
 #include "mmph/core/greedy_simple.hpp"
 #include "mmph/core/indexed_reward.hpp"
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/lazy_greedy.hpp"
 #include "mmph/core/local_search.hpp"
 #include "mmph/core/objective.hpp"

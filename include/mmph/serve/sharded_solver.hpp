@@ -69,9 +69,16 @@ struct ShardStats {
 /// tie-breaking toward lower pool index; re-picking exhausted candidates
 /// is allowed) but the center domain is \p pool instead of the input
 /// points. Used for the merge pass and reusable on its own.
+///
+/// Evaluations run on the blocked kernels with a residual-aware active
+/// set when core::kernels::blocked_enabled(); with \p thread_pool the
+/// first-round scan of all pool candidates is sharded across its workers
+/// (deterministic; see kernels::ParallelEvaluator). Only pass a pool when
+/// the caller is not itself running on one of its workers.
 [[nodiscard]] core::Solution lazy_greedy_over_pool(
     const core::Problem& problem, const geo::PointSet& pool, std::size_t k,
-    const std::string& solver_name = "pool-lazy");
+    const std::string& solver_name = "pool-lazy",
+    par::ThreadPool* thread_pool = nullptr);
 
 class ShardedSolver final : public core::Solver {
  public:

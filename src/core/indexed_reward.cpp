@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/reward.hpp"
 #include "mmph/geometry/vec.hpp"
 #include "mmph/support/assert.hpp"
@@ -15,6 +16,16 @@ double IndexedProblem::coverage_reward(geo::ConstVec center,
                                        std::span<const double> y) const {
   MMPH_ASSERT(y.size() == problem_.size(), "indexed coverage: residual size");
   double g = 0.0;
+  if (kernels::blocked_enabled()) {
+    // Each cell's CSR slice feeds the index-list block kernel; the kernel
+    // accumulates term by term onto the running sum, so the association
+    // matches the per-point loop over the same visit order exactly.
+    grid_.for_each_cell_span(
+        center, problem_.radius(), [&](std::span<const std::size_t> items) {
+          kernels::block_coverage_reward(problem_, center, y, items, g);
+        });
+    return g;
+  }
   grid_.for_each_in_box(center, problem_.radius(), [&](std::size_t i) {
     const double u = unit_coverage(problem_, center, i);
     if (u <= 0.0) return;
@@ -27,6 +38,13 @@ double IndexedProblem::apply_center(geo::ConstVec center,
                                     std::span<double> y) const {
   MMPH_ASSERT(y.size() == problem_.size(), "indexed apply: residual size");
   double g = 0.0;
+  if (kernels::blocked_enabled()) {
+    grid_.for_each_cell_span(
+        center, problem_.radius(), [&](std::span<const std::size_t> items) {
+          kernels::block_apply_center(problem_, center, y, items, g);
+        });
+    return g;
+  }
   grid_.for_each_in_box(center, problem_.radius(), [&](std::size_t i) {
     const double u = unit_coverage(problem_, center, i);
     if (u <= 0.0) return;

@@ -1,8 +1,11 @@
 #include "mmph/core/lazy_greedy.hpp"
 
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/reward.hpp"
 #include "mmph/support/assert.hpp"
 
@@ -33,14 +36,34 @@ Solution LazyGreedySolver::solve(const Problem& problem, std::size_t k) const {
   sol.centers = geo::PointSet(problem.dim());
   sol.centers.reserve(k);
   sol.residual = fresh_residual(problem);
-  last_evals_ = 0;
+  last_evals_.store(0, std::memory_order_relaxed);
+
+  // With the blocked kernels on, the residual state lives in an ActiveSet:
+  // exhausted points compact away, so later rounds scan only points that
+  // can still contribute. Sums (and therefore center selection) are
+  // unchanged — dropped terms are exact zeros.
+  const bool blocked = kernels::blocked_enabled();
+  std::optional<kernels::ActiveSet> active;
+  if (blocked) active.emplace(problem);
+
+  const auto evaluate = [&](std::size_t i) {
+    last_evals_.fetch_add(1, std::memory_order_relaxed);
+    return blocked ? active->coverage_reward(problem.point(i))
+                   : coverage_reward(problem, problem.point(i), sol.residual);
+  };
+
+  // First-round scan: every candidate's fresh gain. This O(n^2) pass is
+  // the one cost laziness cannot avoid, so it shards across the pool when
+  // one was provided (per-slot writes keep the result deterministic).
+  const kernels::ParallelEvaluator evaluator(pool_);
+  const std::vector<double> gains =
+      blocked ? evaluator.point_gains(*active)
+              : evaluator.point_gains(problem, sol.residual);
+  last_evals_.fetch_add(problem.size(), std::memory_order_relaxed);
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
   for (std::size_t i = 0; i < problem.size(); ++i) {
-    const double g = coverage_reward(problem, problem.point(i), sol.residual);
-    ++last_evals_;
-    heap.push(HeapEntry{g, i, 1});  // fresh for round 1
-
+    heap.push(HeapEntry{gains[i], i, 1});  // fresh for round 1
   }
 
   for (std::size_t round = 1; round <= k; ++round) {
@@ -49,22 +72,22 @@ Solution LazyGreedySolver::solve(const Problem& problem, std::size_t k) const {
     HeapEntry top = heap.top();
     while (top.round != round) {
       heap.pop();
-      top.gain = coverage_reward(problem, problem.point(top.index),
-                                 sol.residual);
-      ++last_evals_;
+      top.gain = evaluate(top.index);
       top.round = round;
       heap.push(top);
       top = heap.top();
     }
     sol.centers.push_back(problem.point(top.index));
     const double g =
-        apply_center(problem, problem.point(top.index), sol.residual);
+        blocked ? active->apply_center(problem.point(top.index))
+                : apply_center(problem, problem.point(top.index), sol.residual);
     sol.round_rewards.push_back(g);
     sol.total_reward += g;
     // The chosen entry stays in the heap with a now-stale gain; future
     // re-evaluation yields ~0 marginal gain, which is correct (re-picking
     // an exhausted center is allowed by the paper's formulation).
   }
+  if (blocked) active->export_residual(sol.residual);
   return sol;
 }
 

@@ -1,7 +1,10 @@
 #include "mmph/core/reward.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "mmph/core/kernels.hpp"
+#include "mmph/geometry/vec.hpp"
 #include "mmph/support/assert.hpp"
 
 namespace mmph::core {
@@ -12,17 +15,32 @@ std::vector<double> fresh_residual(const Problem& problem) {
 
 double unit_coverage(const Problem& problem, geo::ConstVec center,
                      std::size_t i) {
-  const double d = problem.metric().distance(center, problem.point(i));
-  if (problem.reward_shape() == RewardShape::kBinary) {
-    return d <= problem.radius() ? 1.0 : 0.0;
+  const double r = problem.radius();
+  double d;
+  if (problem.metric().norm() == geo::Norm::kL2) {
+    // Hot path: points outside the ball (the vast majority at scale) are
+    // rejected on the squared distance and never pay the sqrt. The margin
+    // keeps boundary handling identical to the plain distance test.
+    const double d2 = geo::dist2_sq(center, problem.point(i));
+    if (d2 > r * r * geo::kSquaredSkipMargin) return 0.0;
+    d = std::sqrt(d2);
+  } else {
+    d = problem.metric().distance(center, problem.point(i));
   }
-  const double u = 1.0 - d / problem.radius();
+  if (problem.reward_shape() == RewardShape::kBinary) {
+    return d <= r ? 1.0 : 0.0;
+  }
+  const double u = 1.0 - d / r;
   return u > 0.0 ? u : 0.0;
 }
 
 double coverage_reward(const Problem& problem, geo::ConstVec center,
                        std::span<const double> y) {
   MMPH_ASSERT(y.size() == problem.size(), "coverage_reward: residual size");
+  if (kernels::blocked_enabled()) {
+    return kernels::block_coverage_reward(problem, center, y);
+  }
+  // Per-point reference path, kept for A/B tests and the perf baseline.
   double g = 0.0;
   for (std::size_t i = 0; i < problem.size(); ++i) {
     const double u = unit_coverage(problem, center, i);
@@ -35,6 +53,9 @@ double coverage_reward(const Problem& problem, geo::ConstVec center,
 double apply_center(const Problem& problem, geo::ConstVec center,
                     std::span<double> y) {
   MMPH_ASSERT(y.size() == problem.size(), "apply_center: residual size");
+  if (kernels::blocked_enabled()) {
+    return kernels::block_apply_center(problem, center, y);
+  }
   double g = 0.0;
   for (std::size_t i = 0; i < problem.size(); ++i) {
     const double u = unit_coverage(problem, center, i);

@@ -69,40 +69,29 @@ std::size_t CellGrid::flatten(std::span<const std::size_t> coords) const {
 void CellGrid::for_each_in_box(
     ConstVec center, double radius,
     const std::function<void(std::size_t)>& fn) const {
-  MMPH_REQUIRE(center.size() == points_.dim(),
-               "CellGrid: query dimension mismatch");
-  MMPH_REQUIRE(radius >= 0.0, "CellGrid: negative query radius");
-  const std::size_t dim = points_.dim();
-  std::vector<std::size_t> lo(dim), hi(dim), cur(dim);
-  for (std::size_t d = 0; d < dim; ++d) {
-    lo[d] = cell_coord(center[d] - radius, d);
-    hi[d] = cell_coord(center[d] + radius, d);
-    cur[d] = lo[d];
-  }
-  // Odometer over the cell box.
-  for (;;) {
-    const std::size_t cell = flatten(cur);
-    for (std::size_t s = cell_start_[cell]; s < cell_start_[cell + 1]; ++s) {
-      fn(cell_items_[s]);
-    }
-    bool advanced = false;
-    for (std::size_t d = dim; d-- > 0;) {
-      if (++cur[d] <= hi[d]) {
-        advanced = true;
-        break;
-      }
-      cur[d] = lo[d];
-    }
-    if (!advanced) return;
-  }
+  for_each_cell_span(center, radius,
+                     [&](std::span<const std::size_t> items) {
+                       for (const std::size_t i : items) fn(i);
+                     });
 }
 
 std::vector<std::size_t> CellGrid::query_ball(ConstVec center, double radius,
                                               const Metric& metric) const {
   std::vector<std::size_t> out;
-  for_each_in_box(center, radius, [&](std::size_t i) {
-    if (metric.distance(center, points_[i]) <= radius) out.push_back(i);
-  });
+  if (metric.norm() == Norm::kL2) {
+    // Squared-distance reject: candidates clearly outside the ball skip
+    // the sqrt; the margin keeps the boundary test exact.
+    const double r2_skip = radius * radius * kSquaredSkipMargin;
+    for_each_in_box(center, radius, [&](std::size_t i) {
+      const double d2 = dist2_sq(center, points_[i]);
+      if (d2 > r2_skip) return;
+      if (std::sqrt(d2) <= radius) out.push_back(i);
+    });
+  } else {
+    for_each_in_box(center, radius, [&](std::size_t i) {
+      if (metric.distance(center, points_[i]) <= radius) out.push_back(i);
+    });
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <span>
 #include <utility>
 
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/lazy_greedy.hpp"
 #include "mmph/core/reward.hpp"
 #include "mmph/geometry/cell_grid.hpp"
@@ -140,7 +142,8 @@ std::vector<std::vector<std::size_t>> shard_indices(
 
 core::Solution lazy_greedy_over_pool(const core::Problem& problem,
                                      const geo::PointSet& pool, std::size_t k,
-                                     const std::string& solver_name) {
+                                     const std::string& solver_name,
+                                     par::ThreadPool* thread_pool) {
   MMPH_REQUIRE(k >= 1, "lazy_greedy_over_pool: k must be >= 1");
   MMPH_REQUIRE(!pool.empty(), "lazy_greedy_over_pool: empty candidate pool");
   MMPH_REQUIRE(pool.dim() == problem.dim(),
@@ -151,6 +154,16 @@ core::Solution lazy_greedy_over_pool(const core::Problem& problem,
   sol.centers = geo::PointSet(problem.dim());
   sol.centers.reserve(k);
   sol.residual = core::fresh_residual(problem);
+
+  // Blocked kernels: scan a residual-aware active set instead of the full
+  // population (identical sums; exhausted points contribute exact zeros).
+  const bool blocked = core::kernels::blocked_enabled();
+  std::optional<core::kernels::ActiveSet> active;
+  if (blocked) active.emplace(problem);
+  const auto evaluate = [&](std::size_t c) {
+    return blocked ? active->coverage_reward(pool[c])
+                   : core::coverage_reward(problem, pool[c], sol.residual);
+  };
 
   struct Entry {
     double gain;
@@ -164,24 +177,33 @@ core::Solution lazy_greedy_over_pool(const core::Problem& problem,
     return a.index > b.index;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(less)> heap(less);
-  for (std::size_t c = 0; c < pool.size(); ++c) {
-    heap.push(Entry{core::coverage_reward(problem, pool[c], sol.residual), c,
-                    1});
+  {
+    // First-round scan of every pool candidate against the full population
+    // — the dominant cost of the merge pass, sharded when a pool is given.
+    const core::kernels::ParallelEvaluator evaluator(thread_pool);
+    const std::vector<double> gains =
+        evaluator.map(pool.size(), [&](std::size_t c) { return evaluate(c); });
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      heap.push(Entry{gains[c], c, 1});
+    }
   }
   for (std::size_t round = 1; round <= k; ++round) {
     Entry top = heap.top();
     while (top.round != round) {
       heap.pop();
-      top.gain = core::coverage_reward(problem, pool[top.index], sol.residual);
+      top.gain = evaluate(top.index);
       top.round = round;
       heap.push(top);
       top = heap.top();
     }
     sol.centers.push_back(pool[top.index]);
-    const double g = core::apply_center(problem, pool[top.index], sol.residual);
+    const double g =
+        blocked ? active->apply_center(pool[top.index])
+                : core::apply_center(problem, pool[top.index], sol.residual);
     sol.round_rewards.push_back(g);
     sol.total_reward += g;
   }
+  if (blocked) active->export_residual(sol.residual);
   return sol;
 }
 
@@ -245,7 +267,9 @@ core::Solution ShardedSolver::solve(const core::Problem& problem,
   core::Solution sol;
   {
     trace::ScopedSpan span("serve.merge");
-    sol = lazy_greedy_over_pool(problem, candidates, k, name());
+    // solve() runs on the caller's thread (never on a pool_ worker), so
+    // the merge pass can shard its first-round scan across pool_.
+    sol = lazy_greedy_over_pool(problem, candidates, k, name(), &pool_);
   }
   last_stats_.merge_seconds = seconds_since(merge_start);
   last_candidates_ = std::move(candidates);

@@ -4,6 +4,9 @@
 #
 #   tools/check.sh              # plain build + ctest
 #   MMPH_SANITIZE=ON tools/check.sh   # same, under ASan/UBSan
+#   tools/check.sh perf-smoke   # build + perf_kernels at n=1000 (fast
+#                               # kernel-speedup sanity; self-checks
+#                               # blocked-vs-scalar agreement)
 #
 # Extra args are forwarded to ctest (e.g. tools/check.sh -R serve).
 set -e
@@ -14,5 +17,10 @@ BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DMMPH_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j
+
+if [ "$1" = "perf-smoke" ]; then
+  exec "$BUILD_DIR/bench/perf_kernels" --n 1000 --out "$BUILD_DIR/BENCH_kernels.json"
+fi
+
 cd "$BUILD_DIR"
 exec ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
