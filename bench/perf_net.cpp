@@ -1,0 +1,176 @@
+// Socket-layer throughput: an in-process NetServer on loopback hammered
+// by N blocking NetClient threads issuing query_placement against a
+// warm (cached) placement, plus a low-rate churn thread so the run also
+// crosses the mutation path. Reports client-observed round-trip
+// latency and aggregate req/s; the acceptance bar for the serving tier
+// is >= 10k req/s over loopback on a development machine.
+//
+// Emits BENCH_net.json (config, throughput, latency percentiles, error
+// counts, server-side metrics) in the same spirit as BENCH_kernels.json
+// and BENCH_serve.json.
+//
+//   ./perf_net --clients 4 --seconds 2 --users 200 --out BENCH_net.json
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmph/io/args.hpp"
+#include "mmph/io/stats.hpp"
+#include "mmph/net/client.hpp"
+#include "mmph/net/server.hpp"
+#include "mmph/random/rng.hpp"
+
+namespace {
+
+using namespace mmph;
+using Clock = std::chrono::steady_clock;
+
+serve::UserRecord fresh_user(std::uint64_t id, rnd::Rng& rng) {
+  serve::UserRecord rec;
+  rec.id = id;
+  rec.weight = static_cast<double>(rng.uniform_int(1, 5));
+  rec.interest = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+  return rec;
+}
+
+struct WorkerResult {
+  std::uint64_t ok = 0;
+  std::uint64_t bad = 0;
+  std::vector<double> latency_seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  io::Args args(argc, argv);
+  const std::size_t clients =
+      static_cast<std::size_t>(args.get_int("clients", 4));
+  const double seconds = args.get_double("seconds", 2.0);
+  const std::size_t users = static_cast<std::size_t>(args.get_int("users", 200));
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
+  const std::string out_path = args.get_string("out", "BENCH_net.json");
+  args.finish();
+
+  serve::ServiceConfig service_config;
+  service_config.k = k;
+  net::NetServerConfig net_config;
+  net_config.max_connections = clients + 2;
+  net_config.poll_interval = std::chrono::milliseconds(1);
+  net::NetServer server(service_config, net_config);
+  server.start();
+
+  net::NetClientConfig client_config;
+  client_config.port = server.port();
+
+  // Seed the population and warm the placement so the measured loop hits
+  // the cached-view path (the common case for a read-heavy serving tier).
+  {
+    rnd::Rng rng(7);
+    std::vector<serve::UserRecord> population;
+    population.reserve(users);
+    for (std::uint64_t id = 0; id < users; ++id) {
+      population.push_back(fresh_user(id, rng));
+    }
+    net::NetClient seeder(client_config);
+    if (seeder.add_users(population).status != net::WireStatus::kOk ||
+        seeder.query_placement().status != net::WireStatus::kOk) {
+      std::fprintf(stderr, "perf_net: seeding failed\n");
+      return 1;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const auto bench_start = Clock::now();
+  for (std::size_t w = 0; w < clients; ++w) {
+    workers.emplace_back([&, w] {
+      net::NetClient client(client_config);
+      WorkerResult& r = results[w];
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = Clock::now();
+        const net::ResponseFrame reply = client.query_placement();
+        const double rtt =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (reply.status == net::WireStatus::kOk) {
+          ++r.ok;
+          r.latency_seconds.push_back(rtt);
+        } else {
+          ++r.bad;
+        }
+      }
+    });
+  }
+  // Background churn at ~20 mutations/sec: the queries race real epochs.
+  std::thread churner([&] {
+    rnd::Rng rng(11);
+    net::NetClient client(client_config);
+    std::uint64_t next_id = users;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t victim = next_id - users;
+      (void)client.remove_users({victim});
+      (void)client.add_users({fresh_user(next_id++, rng)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+  churner.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+  server.stop();
+
+  std::uint64_t ok = 0, bad = 0;
+  std::vector<double> latency;
+  for (const WorkerResult& r : results) {
+    ok += r.ok;
+    bad += r.bad;
+    latency.insert(latency.end(), r.latency_seconds.begin(),
+                   r.latency_seconds.end());
+  }
+  const double rps = static_cast<double>(ok) / elapsed;
+  const double p50 = io::percentile(latency, 0.50);
+  const double p99 = io::percentile_inplace(latency, 0.99);
+  const net::NetMetricsSnapshot m = server.metrics();
+
+  std::printf("clients=%zu users=%zu k=%zu: %llu ok, %llu failed in %.2fs "
+              "-> %.0f req/s (p50 %.1f us, p99 %.1f us)%s\n",
+              clients, users, k, static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(bad), elapsed, rps, p50 * 1e6,
+              p99 * 1e6, rps >= 10000.0 ? "" : "  [below 10k req/s target]");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"net\",\n  \"scenario\": "
+         "\"loopback query_placement on a warm placement, background churn\","
+         "\n  \"config\": {\"clients\": " << clients
+      << ", \"users\": " << users << ", \"k\": " << k
+      << ", \"seconds\": " << seconds << "},\n"
+      << "  \"throughput_req_per_sec\": " << rps << ",\n"
+      << "  \"requests_ok\": " << ok << ",\n"
+      << "  \"requests_failed\": " << bad << ",\n"
+      << "  \"latency_p50_seconds\": " << p50 << ",\n"
+      << "  \"latency_p99_seconds\": " << p99 << ",\n"
+      << "  \"server\": {\"accepted\": " << m.accepted
+      << ", \"bytes_in\": " << m.bytes_in << ", \"bytes_out\": " << m.bytes_out
+      << ", \"frames_in\": " << m.frames_in
+      << ", \"frames_out\": " << m.frames_out
+      << ", \"frame_errors\": " << m.frame_errors
+      << ", \"timeouts\": " << m.timeouts
+      << ", \"latency_p50_seconds\": " << m.latency_p50_seconds
+      << ", \"latency_p99_seconds\": " << m.latency_p99_seconds << "}\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return bad == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "perf_net: %s\n", e.what());
+  return 1;
+}

@@ -5,29 +5,60 @@
 //   sharded-full        PlacementService forced to a full sharded solve
 //   sharded-incremental PlacementService warm-refining from the last centers
 //
-// items/sec is churn slots per second. The acceptance target is
-// sharded-incremental >= 2x monolithic at n = 100000; the monolithic
-// 100000 case runs a single iteration because one solve is already tens
-// of seconds of O(n^2) heap initialisation.
-
-#include <benchmark/benchmark.h>
+// A plain timed repro (like perf_kernels): it emits BENCH_serve.json
+// (config + per-strategy slots/sec and per-slot latency percentiles) so
+// CI and the tutorial can diff numbers across machines. slots/sec is
+// churn slots absorbed per second, center-refresh included.
+//
+//   ./perf_serve --n 2048,8192 --slots 12 --out BENCH_serve.json
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "mmph/core/lazy_greedy.hpp"
+#include "mmph/io/args.hpp"
+#include "mmph/io/stats.hpp"
 #include "mmph/random/rng.hpp"
 #include "mmph/serve/placement_service.hpp"
 
 namespace {
 
 using namespace mmph;
+using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kCenters = 8;
 constexpr double kRadius = 1.0;
 constexpr double kBoxSide = 4.0;
+
+struct Row {
+  std::size_t n = 0;
+  std::string strategy;
+  std::size_t slots = 0;
+  double slots_per_sec = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double speedup = 1.0;  // vs. monolithic at the same n
+};
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
 
 serve::UserRecord fresh_user(std::uint64_t id, rnd::Rng& rng) {
   serve::UserRecord rec;
@@ -46,28 +77,13 @@ std::vector<serve::UserRecord> seed_users(std::size_t n, rnd::Rng& rng) {
   return users;
 }
 
-/// Replaces ~1% of the population, returning the churned user count.
-std::size_t churn_users(std::vector<serve::UserRecord>& users,
-                        std::uint64_t& next_id, rnd::Rng& rng) {
+/// Replaces ~1% of the population; fills removed/added with the delta.
+void churn_slot(std::vector<serve::UserRecord>& users, std::uint64_t& next_id,
+                rnd::Rng& rng, std::vector<std::uint64_t>& removed,
+                std::vector<serve::UserRecord>& added) {
+  removed.clear();
+  added.clear();
   const std::size_t churn = std::max<std::size_t>(1, users.size() / 100);
-  for (std::size_t c = 0; c < churn; ++c) {
-    const auto slot = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1));
-    users[slot] = fresh_user(next_id++, rng);
-  }
-  return churn;
-}
-
-/// One churn slot against a PlacementService: remove the victims, add
-/// their replacements, ask for the new placement.
-double service_slot(serve::PlacementService& service,
-                    std::vector<serve::UserRecord>& users,
-                    std::uint64_t& next_id, rnd::Rng& rng) {
-  const std::size_t churn = std::max<std::size_t>(1, users.size() / 100);
-  std::vector<std::uint64_t> removed;
-  std::vector<serve::UserRecord> added;
-  removed.reserve(churn);
-  added.reserve(churn);
   for (std::size_t c = 0; c < churn; ++c) {
     const auto slot = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1));
@@ -75,19 +91,70 @@ double service_slot(serve::PlacementService& service,
     users[slot] = fresh_user(next_id++, rng);
     added.push_back(users[slot]);
   }
-  service.apply_remove(removed);
-  service.apply_add(added);
-  return service.placement().objective;
 }
 
-void BM_MonolithicResolve(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+Row summarize(std::size_t n, std::string strategy,
+              std::vector<double> slot_seconds) {
+  Row row;
+  row.n = n;
+  row.strategy = std::move(strategy);
+  row.slots = slot_seconds.size();
+  double total = 0.0;
+  for (const double s : slot_seconds) total += s;
+  row.slots_per_sec =
+      total > 0.0 ? static_cast<double>(slot_seconds.size()) / total : 0.0;
+  row.p50_seconds = io::percentile(slot_seconds, 0.50);
+  row.p99_seconds = io::percentile_inplace(slot_seconds, 0.99);
+  return row;
+}
+
+serve::ServiceConfig service_config(double full_solve_churn_fraction) {
+  serve::ServiceConfig config;
+  config.k = kCenters;
+  config.radius = kRadius;
+  config.full_solve_churn_fraction = full_solve_churn_fraction;
+  return config;
+}
+
+/// Times `slots` churn slots against a PlacementService configured with
+/// the given full-solve threshold (0 = always full, 0.05 = incremental).
+Row run_service(std::size_t n, std::size_t slots, const char* name,
+                double threshold, double& sink) {
+  rnd::Rng rng(7);
+  std::vector<serve::UserRecord> users = seed_users(n, rng);
+  std::uint64_t next_id = n;
+  serve::PlacementService service(service_config(threshold));
+  service.apply_add(users);
+  sink += service.placement().objective;  // warm: first solve is untimed
+
+  std::vector<std::uint64_t> removed;
+  std::vector<serve::UserRecord> added;
+  std::vector<double> slot_seconds;
+  slot_seconds.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    churn_slot(users, next_id, rng, removed, added);
+    const auto start = Clock::now();
+    service.apply_remove(removed);
+    service.apply_add(added);
+    sink += service.placement().objective;
+    slot_seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return summarize(n, name, std::move(slot_seconds));
+}
+
+Row run_monolithic(std::size_t n, std::size_t slots, double& sink) {
   rnd::Rng rng(7);
   std::vector<serve::UserRecord> users = seed_users(n, rng);
   std::uint64_t next_id = n;
   const core::LazyGreedySolver solver;
-  for (auto _ : state) {
-    churn_users(users, next_id, rng);
+  std::vector<std::uint64_t> removed;
+  std::vector<serve::UserRecord> added;
+  std::vector<double> slot_seconds;
+  slot_seconds.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    churn_slot(users, next_id, rng, removed, added);
+    const auto start = Clock::now();
     geo::PointSet points(2);
     points.reserve(users.size());
     std::vector<double> weights;
@@ -98,69 +165,57 @@ void BM_MonolithicResolve(benchmark::State& state) {
     }
     core::Problem problem(std::move(points), std::move(weights), kRadius,
                           geo::l2_metric());
-    benchmark::DoNotOptimize(solver.solve(problem, kCenters).total_reward);
+    sink += solver.solve(problem, kCenters).total_reward;
+    slot_seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  return summarize(n, "monolithic", std::move(slot_seconds));
 }
-BENCHMARK(BM_MonolithicResolve)
-    ->RangeMultiplier(4)
-    ->Range(4096, 16384)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MonolithicResolve)
-    ->Arg(100000)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-serve::ServiceConfig service_config(double full_solve_churn_fraction) {
-  serve::ServiceConfig config;
-  config.k = kCenters;
-  config.radius = kRadius;
-  config.full_solve_churn_fraction = full_solve_churn_fraction;
-  return config;
-}
-
-void BM_ShardedFullResolve(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rnd::Rng rng(7);
-  std::vector<serve::UserRecord> users = seed_users(n, rng);
-  std::uint64_t next_id = n;
-  // Threshold 0: any churn at all forces the full sharded solve.
-  serve::PlacementService service(service_config(0.0));
-  service.apply_add(users);
-  (void)service.placement();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(service_slot(service, users, next_id, rng));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_ShardedFullResolve)
-    ->RangeMultiplier(4)
-    ->Range(4096, 65536)
-    ->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ShardedIncremental(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  rnd::Rng rng(7);
-  std::vector<serve::UserRecord> users = seed_users(n, rng);
-  std::uint64_t next_id = n;
-  // 1% churn per slot stays under the 5% default threshold, so every
-  // slot after the first warm history is an incremental refine.
-  serve::PlacementService service(service_config(0.05));
-  service.apply_add(users);
-  (void)service.placement();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(service_slot(service, users, next_id, rng));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.counters["incremental_ratio"] = service.metrics().incremental_ratio();
-}
-BENCHMARK(BM_ShardedIncremental)
-    ->RangeMultiplier(4)
-    ->Range(4096, 65536)
-    ->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+  io::Args args(argc, argv);
+  const std::string n_csv = args.get_string("n", "2048,8192");
+  const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 12));
+  const std::string out_path = args.get_string("out", "BENCH_serve.json");
+  args.finish();
+
+  double sink = 0.0;  // keeps every objective live
+  std::vector<Row> rows;
+  for (const std::size_t n : parse_sizes(n_csv)) {
+    Row mono = run_monolithic(n, slots, sink);
+    Row full = run_service(n, slots, "sharded-full", 0.0, sink);
+    Row incr = run_service(n, slots, "sharded-incremental", 0.05, sink);
+    full.speedup = full.slots_per_sec / mono.slots_per_sec;
+    incr.speedup = incr.slots_per_sec / mono.slots_per_sec;
+    std::printf("n=%-7zu monolithic %8.2f slots/s | sharded-full %8.2f "
+                "(%4.2fx) | incremental %8.2f (%4.2fx)\n",
+                n, mono.slots_per_sec, full.slots_per_sec, full.speedup,
+                incr.slots_per_sec, incr.speedup);
+    rows.push_back(std::move(mono));
+    rows.push_back(std::move(full));
+    rows.push_back(std::move(incr));
+  }
+  if (sink == -1.0) std::printf("unreachable\n");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"serve\",\n  \"scenario\": "
+         "\"uniform 2-D L2 box 4.0, k 8, radius 1.0, 1% churn per slot\","
+         "\n  \"config\": {\"slots\": " << slots << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"n\": " << r.n << ", \"strategy\": \"" << r.strategy
+        << "\", \"slots_per_sec\": " << r.slots_per_sec
+        << ", \"p50_seconds\": " << r.p50_seconds
+        << ", \"p99_seconds\": " << r.p99_seconds
+        << ", \"speedup_vs_monolithic\": " << r.speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "perf_serve: %s\n", e.what());
+  return 1;
+}

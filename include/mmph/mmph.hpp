@@ -86,6 +86,13 @@
 #include "mmph/serve/request_batcher.hpp"
 #include "mmph/serve/sharded_solver.hpp"
 
+// Network layer
+#include "mmph/net/client.hpp"
+#include "mmph/net/metrics.hpp"
+#include "mmph/net/server.hpp"
+#include "mmph/net/socket.hpp"
+#include "mmph/net/wire.hpp"
+
 // Experiment harness
 #include "mmph/exp/experiment.hpp"
 #include "mmph/exp/paired.hpp"

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief Blocking TCP client for the placement service wire protocol.
+///
+/// One call = one request frame out, one response frame back, with
+/// explicit connect/send/recv timeouts and reconnect-on-failure: a call
+/// that hits a dead or timed-out connection tears it down and retries on
+/// a fresh one up to max_attempts times before throwing NetError. All
+/// four request kinds are idempotent (upsert, remove, query, evaluate),
+/// so a retry after a half-delivered request is safe.
+///
+/// Thread compatibility: one NetClient per thread. Calls serialize on the
+/// single connection; there is no cross-thread locking by design — load
+/// generators want N independent clients, not N threads on one socket.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmph/net/socket.hpp"
+#include "mmph/net/wire.hpp"
+#include "mmph/serve/instance_store.hpp"
+
+namespace mmph::net {
+
+struct NetClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{1000};
+  std::chrono::milliseconds send_timeout{1000};
+  std::chrono::milliseconds recv_timeout{5000};
+  /// Total tries per call (first attempt + reconnect retries).
+  std::size_t max_attempts = 2;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(NetClientConfig config);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Each call returns the decoded response frame (status inspected by
+  /// the caller — a kTimeout/kRejected answer is a *delivered* answer,
+  /// not a transport failure). \throws NetError when no attempt got an
+  /// answer; \throws InvalidArgument on protocol-limit violations.
+  ResponseFrame add_users(std::vector<serve::UserRecord> users);
+  ResponseFrame remove_users(std::vector<std::uint64_t> ids);
+  ResponseFrame query_placement();
+  ResponseFrame evaluate(const geo::PointSet& centers);
+
+  [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
+  void disconnect() noexcept;
+
+  /// Transport-level retries performed so far (diagnostics).
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+
+ private:
+  void ensure_connected();
+  [[nodiscard]] ResponseFrame roundtrip(RequestFrame frame);
+  /// Sends the encoded frame and reads until the matching response (or a
+  /// connection-level request_id==0 notice) arrives. Throws NetError on
+  /// any transport or decode failure.
+  [[nodiscard]] ResponseFrame attempt(const std::vector<std::uint8_t>& bytes);
+
+  NetClientConfig config_;
+  Socket sock_;
+  FrameDecoder decoder_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace mmph::net

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Operational counters of the socket layer (NetServer).
+///
+/// Mirrors serve::ServeMetrics one level down: connection lifecycle
+/// (accepted / shed / closed), byte and frame volume in both directions,
+/// protocol health (frame_errors, timeouts), and request latency
+/// percentiles measured from first byte buffered to response encoded.
+/// Mutex-guarded like ServeMetrics — the event loop records a handful of
+/// times per poll iteration, so contention is irrelevant.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mmph::net {
+
+/// Point-in-time copy of every counter (plain data, safe to print/ship).
+struct NetMetricsSnapshot {
+  std::uint64_t accepted = 0;           ///< connections accepted
+  std::uint64_t rejected_overloaded = 0;  ///< shed by max-connections
+  std::uint64_t closed_idle = 0;        ///< dropped by the idle deadline
+  std::uint64_t closed_error = 0;       ///< dropped after a frame error
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;          ///< complete request frames decoded
+  std::uint64_t frames_out = 0;         ///< response frames encoded
+  std::uint64_t frame_errors = 0;       ///< typed decode failures
+  std::uint64_t requests = 0;           ///< requests submitted to the service
+  std::uint64_t timeouts = 0;           ///< answered kTimeout
+  std::size_t open_connections = 0;
+
+  double latency_p50_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+};
+
+class NetMetrics {
+ public:
+  void count_accepted();
+  void count_rejected_overloaded();
+  void count_closed_idle();
+  void count_closed_error();
+  void add_bytes_in(std::uint64_t n);
+  void add_bytes_out(std::uint64_t n);
+  void count_frame_in();
+  void count_frame_out();
+  void count_frame_error();
+  void count_request();
+  void count_timeout();
+  void set_open_connections(std::size_t n);
+  void record_latency(double seconds);
+
+  [[nodiscard]] NetMetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  /// Retained latency samples are capped; beyond the cap the oldest half
+  /// is dropped so percentiles track recent behavior.
+  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+  mutable std::mutex mutex_;
+  NetMetricsSnapshot counters_;
+  std::vector<double> latency_seconds_;
+};
+
+}  // namespace mmph::net

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file server.hpp
+/// \brief poll(2)-based TCP server fronting a PlacementService.
+///
+/// The network boundary the ROADMAP's "serve millions of users" goal
+/// needs: clients speak the wire protocol of wire.hpp over plain TCP,
+/// the server decodes frames into serve::Requests, pushes them through
+/// the service's bounded RequestBatcher, and writes the replies back.
+///
+///   sockets ──poll──▶ read buffers ──FrameDecoder──▶ serve::Request
+///                                                        │ submit
+///   sockets ◀─flush── write buffers ◀─encode─ Response ◀─┘ pump
+///
+/// One thread runs the whole loop (accept, read, decode, pump, encode,
+/// flush), which keeps request handling deterministic: requests decoded
+/// in one poll iteration are submitted in arrival order and answered
+/// after a single pump pass, so a workload replayed over loopback yields
+/// bit-identical placements to the same workload applied in-process.
+///
+/// Defenses, each surfaced as an explicit status instead of UB or silent
+/// drops:
+///   - malformed/hostile frames  -> typed decode error, kBadRequest
+///     reply, connection dropped (framing is untrustworthy afterwards);
+///   - too many connections      -> accept, reply kOverloaded, close;
+///   - per-request deadline      -> batcher answers kTimeout, mutation
+///     is NOT applied;
+///   - idle connections          -> closed after idle_timeout;
+///   - slow readers              -> bounded write buffers; a peer whose
+///     backlog exceeds max_buffered_bytes is dropped.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmph/net/metrics.hpp"
+#include "mmph/net/socket.hpp"
+#include "mmph/net/wire.hpp"
+#include "mmph/parallel/thread_pool.hpp"
+#include "mmph/serve/placement_service.hpp"
+
+namespace mmph::net {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
+  /// Connections beyond this are shed with kOverloaded.
+  std::size_t max_connections = 64;
+  /// A connection with no complete frame for this long is closed.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Deadline stamped on every request at decode time; exceeded while
+  /// queued -> kTimeout.
+  std::chrono::milliseconds request_deadline{1000};
+  /// poll() timeout — bounds stop() latency and idle-scan period.
+  std::chrono::milliseconds poll_interval{20};
+  /// Per-connection read+write backlog cap (slow-reader defense).
+  std::size_t max_buffered_bytes = 8u << 20;
+};
+
+class NetServer {
+ public:
+  /// Builds the owned PlacementService from \p service_config; \p pool
+  /// follows the same convention as PlacementService (null = global).
+  NetServer(serve::ServiceConfig service_config, NetServerConfig net_config,
+            par::ThreadPool* pool = nullptr);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens (throws NetError on failure) and starts the event
+  /// loop thread. port() is valid once start() returns.
+  void start();
+  /// Stops the loop, closes every connection, and stops the service.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Bound listening port (only meaningful after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// The owned service — for tests and in-process callers that want to
+  /// compare against the direct API. Synchronous calls are safe while
+  /// the server runs (the service serializes internally).
+  [[nodiscard]] serve::PlacementService& service() noexcept {
+    return *service_;
+  }
+
+  [[nodiscard]] NetMetricsSnapshot metrics() const {
+    return metrics_.snapshot();
+  }
+  [[nodiscard]] const NetServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Connection;
+
+  void event_loop();
+  void accept_pending();
+  /// Reads, decodes, and submits every complete frame; returns false
+  /// when the connection must be dropped.
+  [[nodiscard]] bool read_and_submit(Connection& conn);
+  void collect_replies(Connection& conn);
+  [[nodiscard]] bool flush(Connection& conn);
+  void close_connection(std::size_t index);
+
+  NetServerConfig config_;
+  std::unique_ptr<serve::PlacementService> service_;
+  NetMetrics metrics_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> running_{false};
+  std::thread loop_;
+};
+
+}  // namespace mmph::net

@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file wire.hpp
+/// \brief Length-prefixed binary wire protocol of the placement service.
+///
+/// Everything that crosses the socket is a *frame*: a fixed 20-byte header
+/// followed by a typed payload. All integers are little-endian regardless
+/// of host byte order (encoded byte-by-byte, so the format is identical on
+/// big-endian machines); doubles travel as the little-endian bytes of
+/// their IEEE-754 bit pattern.
+///
+///   offset  size  field
+///        0     4  magic      0x4D4D5048 ("HPMM" on the wire, LE)
+///        4     1  version    kWireVersion (currently 1)
+///        5     1  type       FrameType
+///        6     2  reserved   must be zero
+///        8     8  request_id caller-chosen; echoed in the response
+///       16     4  payload_len  bytes following the header
+///
+/// The decoder is deliberately paranoid: frames from the network are
+/// *hostile input*. Every length is bounds-checked against hard limits
+/// (kMaxPayloadBytes, kMaxBatchCount, kMaxDim) before any allocation
+/// sized by it, every double is required to be finite where the store
+/// requires finiteness, and any violation yields a typed DecodeStatus —
+/// never UB, never an exception, never a partially decoded frame. After
+/// the first error the decoder is poisoned (framing can no longer be
+/// trusted) and the owning connection must be dropped.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mmph/geometry/point_set.hpp"
+#include "mmph/serve/instance_store.hpp"
+#include "mmph/serve/request.hpp"
+
+namespace mmph::net {
+
+/// First four header bytes; rejects non-mmph peers and desynced streams.
+inline constexpr std::uint32_t kMagic = 0x4D4D5048u;  // "MMPH"
+/// Bumped on any incompatible layout change; decoders reject mismatches.
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Hard cap on one frame's payload: bigger frames are rejected before any
+/// buffering decision is made from the attacker-controlled length.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 22;  // 4 MiB
+/// Hard cap on users / ids / centers carried by a single frame.
+inline constexpr std::uint32_t kMaxBatchCount = 1u << 16;
+/// Hard cap on the interest-space dimension.
+inline constexpr std::uint16_t kMaxDim = 1024;
+
+enum class FrameType : std::uint8_t {
+  kAddUsers = 1,        ///< request: upsert a batch of users
+  kRemoveUsers = 2,     ///< request: remove a batch of ids
+  kQueryPlacement = 3,  ///< request: current placement (empty payload)
+  kEvaluate = 4,        ///< request: f(centers) on the live population
+  kResponse = 5,        ///< reply to any request
+};
+
+/// Response status on the wire: serve::ResponseStatus plus the two
+/// network-only conditions (kOverloaded, kBadRequest).
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,     ///< deadline passed before the batch was drained
+  kRejected = 2,    ///< service queue was full (backpressure)
+  kShutdown = 3,    ///< server stopped before processing
+  kOverloaded = 4,  ///< connection shed by the max-connections policy
+  kBadRequest = 5,  ///< peer sent a frame the decoder rejected
+};
+
+/// Every way a frame can fail to decode. kNeedMoreData is the only
+/// non-error value besides kOk; everything else poisons the stream.
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMoreData,      ///< frame incomplete; feed more bytes
+  kBadMagic,          ///< header does not start with kMagic
+  kBadVersion,        ///< version byte != kWireVersion
+  kBadType,           ///< unknown FrameType
+  kOversizedFrame,    ///< payload_len > kMaxPayloadBytes
+  kOversizedBatch,    ///< count field > kMaxBatchCount
+  kBadDimension,      ///< dim == 0 or dim > kMaxDim
+  kMalformedPayload,  ///< payload size/content inconsistent with its type
+};
+
+[[nodiscard]] const char* to_string(FrameType type) noexcept;
+[[nodiscard]] const char* to_string(WireStatus status) noexcept;
+[[nodiscard]] const char* to_string(DecodeStatus status) noexcept;
+
+/// serve -> wire status (lossless: every serve status has a wire value).
+[[nodiscard]] WireStatus to_wire_status(serve::ResponseStatus status) noexcept;
+
+/// One decoded request frame (type selects which payload field is live).
+struct RequestFrame {
+  FrameType type = FrameType::kQueryPlacement;
+  std::uint64_t request_id = 0;
+  std::vector<serve::UserRecord> users;  ///< kAddUsers
+  std::vector<std::uint64_t> ids;        ///< kRemoveUsers
+  std::optional<geo::PointSet> centers;  ///< kEvaluate
+};
+
+/// One decoded response frame.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::uint64_t epoch = 0;
+  double objective = 0.0;
+  std::optional<geo::PointSet> centers;  ///< kQueryPlacement answers
+};
+
+/// Appends the encoded frame to \p out. \throws InvalidArgument when the
+/// frame violates the protocol limits (outbound frames are trusted code,
+/// so a violation is a caller bug, not a peer attack).
+void encode_request(const RequestFrame& frame, std::vector<std::uint8_t>& out);
+void encode_response(const ResponseFrame& frame,
+                     std::vector<std::uint8_t>& out);
+
+/// Incremental frame decoder: feed() raw socket bytes, next() extracts
+/// complete frames one at a time. Frames decode atomically — next()
+/// either returns a fully validated frame (kOk), asks for more bytes
+/// (kNeedMoreData), or reports a typed error, after which the decoder is
+/// poisoned and every later next() repeats the error.
+class FrameDecoder {
+ public:
+  struct Result {
+    DecodeStatus status = DecodeStatus::kNeedMoreData;
+    /// Header request id when the header parsed, 0 otherwise — lets a
+    /// server address its kBadRequest reply even for malformed payloads.
+    std::uint64_t request_id = 0;
+    bool is_response = false;
+    RequestFrame request;
+    ResponseFrame response;
+  };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next frame. O(1) amortized: consumed bytes are
+  /// reclaimed lazily once they exceed half the buffer.
+  [[nodiscard]] Result next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - offset_;
+  }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+  bool poisoned_ = false;
+  DecodeStatus poison_status_ = DecodeStatus::kOk;
+  std::uint64_t poison_request_id_ = 0;
+};
+
+}  // namespace mmph::net

@@ -22,7 +22,7 @@ namespace mmph::serve {
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t rejected_full = 0;
-  std::uint64_t expired = 0;
+  std::uint64_t timeouts = 0;  ///< deadline passed while queued
   std::uint64_t shutdown = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;
@@ -51,7 +51,7 @@ class ServeMetrics {
  public:
   void count_submitted();
   void count_rejected();
-  void count_expired();
+  void count_timeout();
   void count_shutdown();
   void count_mutations(std::uint64_t n);
   void count_queries(std::uint64_t n);

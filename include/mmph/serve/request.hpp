@@ -7,7 +7,7 @@
 /// update) users, remove users, query the current placement, and evaluate
 /// an arbitrary center set against the live population. Every request
 /// carries a deadline; a request still queued when its deadline passes is
-/// answered kExpired instead of being processed (mutations included —
+/// answered kTimeout instead of being processed (mutations included —
 /// "too late" data must not silently mutate the store). Replies travel
 /// over per-request futures so a caller can fan out many requests and
 /// collect answers as the worker drains the queue.
@@ -33,10 +33,14 @@ enum class RequestType {
 
 enum class ResponseStatus {
   kOk,
-  kExpired,   ///< deadline passed while queued
+  kTimeout,   ///< deadline passed while queued
   kRejected,  ///< bounded queue was full at submit time
   kShutdown,  ///< service stopped before the request was processed
 };
+
+/// Human-readable enum names for logs and test failure messages.
+[[nodiscard]] const char* to_string(RequestType type) noexcept;
+[[nodiscard]] const char* to_string(ResponseStatus status) noexcept;
 
 struct Response {
   ResponseStatus status = ResponseStatus::kOk;

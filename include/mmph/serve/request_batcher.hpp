@@ -8,7 +8,7 @@
 /// time. The queue is bounded: a full queue rejects at submit time (the
 /// request's promise is fulfilled with kRejected immediately), which gives
 /// backpressure instead of unbounded memory growth. Deadlines are enforced
-/// at dequeue: expired requests are answered kExpired and excluded from
+/// at dequeue: expired requests are answered kTimeout and excluded from
 /// the batch. close() wakes blocked consumers and answers everything still
 /// queued with kShutdown.
 
@@ -41,7 +41,7 @@ class RequestBatcher {
   bool push(Request&& request);
 
   /// Dequeues up to \p max_batch non-expired requests, waiting up to
-  /// \p wait for the first one. Expired requests are answered kExpired
+  /// \p wait for the first one. Expired requests are answered kTimeout
   /// and skipped. Returns an empty batch on timeout or when closed-and-
   /// drained.
   [[nodiscard]] std::vector<Request> pop_batch(

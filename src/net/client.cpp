@@ -1,0 +1,122 @@
+#include "mmph/net/client.hpp"
+
+#include <utility>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+NetClient::NetClient(NetClientConfig config) : config_(std::move(config)) {
+  MMPH_REQUIRE(config_.max_attempts >= 1,
+               "NetClient: max_attempts must be >= 1");
+}
+
+NetClient::~NetClient() { disconnect(); }
+
+void NetClient::disconnect() noexcept {
+  sock_.close();
+  decoder_ = FrameDecoder{};  // a fresh connection needs a fresh stream
+}
+
+void NetClient::ensure_connected() {
+  if (sock_.valid()) return;
+  sock_ = tcp_connect(config_.host, config_.port, config_.connect_timeout);
+  decoder_ = FrameDecoder{};
+}
+
+ResponseFrame NetClient::add_users(std::vector<serve::UserRecord> users) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.users = std::move(users);
+  return roundtrip(std::move(frame));
+}
+
+ResponseFrame NetClient::remove_users(std::vector<std::uint64_t> ids) {
+  RequestFrame frame;
+  frame.type = FrameType::kRemoveUsers;
+  frame.ids = std::move(ids);
+  return roundtrip(std::move(frame));
+}
+
+ResponseFrame NetClient::query_placement() {
+  RequestFrame frame;
+  frame.type = FrameType::kQueryPlacement;
+  return roundtrip(std::move(frame));
+}
+
+ResponseFrame NetClient::evaluate(const geo::PointSet& centers) {
+  RequestFrame frame;
+  frame.type = FrameType::kEvaluate;
+  frame.centers = centers;
+  return roundtrip(std::move(frame));
+}
+
+ResponseFrame NetClient::roundtrip(RequestFrame frame) {
+  frame.request_id = next_request_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);  // throws InvalidArgument on limit abuse
+
+  std::string last_error = "no attempt made";
+  for (std::size_t try_n = 0; try_n < config_.max_attempts; ++try_n) {
+    if (try_n > 0) ++reconnects_;
+    try {
+      ensure_connected();
+      return attempt(bytes);
+    } catch (const NetError& e) {
+      last_error = e.what();
+      disconnect();  // next attempt starts from a clean connection
+    }
+  }
+  throw NetError("request " + std::to_string(frame.request_id) + " to " +
+                 config_.host + ":" + std::to_string(config_.port) +
+                 " failed after " + std::to_string(config_.max_attempts) +
+                 " attempts: " + last_error);
+}
+
+ResponseFrame NetClient::attempt(const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t want_id = next_request_id_ - 1;
+  if (!send_all(sock_, bytes.data(), bytes.size(),
+                Clock::now() + config_.send_timeout)) {
+    throw NetError("send failed or timed out");
+  }
+
+  const auto deadline = Clock::now() + config_.recv_timeout;
+  std::uint8_t chunk[kRecvChunk];
+  for (;;) {
+    // Drain already-buffered frames before touching the socket.
+    for (;;) {
+      FrameDecoder::Result decoded = decoder_.next();
+      if (decoded.status == DecodeStatus::kNeedMoreData) break;
+      if (decoded.status != DecodeStatus::kOk) {
+        throw NetError(std::string("protocol error from server: ") +
+                       to_string(decoded.status));
+      }
+      if (!decoded.is_response) {
+        throw NetError("server sent a request frame");
+      }
+      if (decoded.response.request_id == want_id) return decoded.response;
+      // request_id 0 carries connection-level notices (kOverloaded,
+      // kBadRequest for an unparseable header): that *is* the answer.
+      if (decoded.response.request_id == 0) return decoded.response;
+      // Stale response (e.g. from a request whose reply we abandoned on
+      // a previous timeout): skip it and keep reading.
+    }
+    const IoResult r = recv_some(sock_, chunk, sizeof(chunk), deadline);
+    if (r.status == IoStatus::kWouldBlock) {
+      throw NetError("recv timed out");
+    }
+    if (r.status != IoStatus::kOk) {
+      throw NetError("connection closed by server");
+    }
+    decoder_.feed(chunk, r.bytes);
+  }
+}
+
+}  // namespace mmph::net

@@ -1,0 +1,92 @@
+#include "mmph/net/metrics.hpp"
+
+#include "mmph/io/stats.hpp"
+
+namespace mmph::net {
+
+void NetMetrics::count_accepted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.accepted;
+}
+
+void NetMetrics::count_rejected_overloaded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.rejected_overloaded;
+}
+
+void NetMetrics::count_closed_idle() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.closed_idle;
+}
+
+void NetMetrics::count_closed_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.closed_error;
+}
+
+void NetMetrics::add_bytes_in(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.bytes_in += n;
+}
+
+void NetMetrics::add_bytes_out(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.bytes_out += n;
+}
+
+void NetMetrics::count_frame_in() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.frames_in;
+}
+
+void NetMetrics::count_frame_out() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.frames_out;
+}
+
+void NetMetrics::count_frame_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.frame_errors;
+}
+
+void NetMetrics::count_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests;
+}
+
+void NetMetrics::count_timeout() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.timeouts;
+}
+
+void NetMetrics::set_open_connections(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.open_connections = n;
+}
+
+void NetMetrics::record_latency(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latency_seconds_.size() >= kMaxLatencySamples) {
+    latency_seconds_.erase(latency_seconds_.begin(),
+                           latency_seconds_.begin() + kMaxLatencySamples / 2);
+  }
+  latency_seconds_.push_back(seconds);
+}
+
+NetMetricsSnapshot NetMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NetMetricsSnapshot snap = counters_;
+  if (!latency_seconds_.empty()) {
+    snap.latency_p50_seconds = io::percentile(latency_seconds_, 0.50);
+    snap.latency_p99_seconds = io::percentile(latency_seconds_, 0.99);
+  }
+  return snap;
+}
+
+void NetMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = NetMetricsSnapshot{};
+  latency_seconds_.clear();
+}
+
+}  // namespace mmph::net

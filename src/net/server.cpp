@@ -1,0 +1,315 @@
+#include "mmph/net/server.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "mmph/support/assert.hpp"
+#include "mmph/trace/span.hpp"
+
+namespace mmph::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+/// Per-connection state: decoder for inbound bytes, a bounded write
+/// buffer for outbound frames, and the FIFO of submitted-but-unanswered
+/// requests (responses are encoded in arrival order, so a pipelining
+/// client can match replies to requests positionally as well as by id).
+struct NetServer::Connection {
+  Socket sock;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> out;
+  std::size_t out_offset = 0;
+  Clock::time_point opened = Clock::now();
+  Clock::time_point last_activity = Clock::now();
+  bool close_after_flush = false;
+
+  struct Pending {
+    std::uint64_t request_id = 0;
+    Clock::time_point arrival;
+    std::future<serve::Response> future;
+  };
+  std::deque<Pending> pending;
+
+  [[nodiscard]] std::size_t unsent() const noexcept {
+    return out.size() - out_offset;
+  }
+};
+
+NetServer::NetServer(serve::ServiceConfig service_config,
+                     NetServerConfig net_config, par::ThreadPool* pool)
+    : config_(std::move(net_config)),
+      service_(std::make_unique<serve::PlacementService>(service_config,
+                                                         pool)) {
+  MMPH_REQUIRE(config_.max_connections >= 1,
+               "NetServer: max_connections must be >= 1");
+  MMPH_REQUIRE(config_.poll_interval.count() >= 1,
+               "NetServer: poll_interval must be >= 1ms");
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  try {
+    auto [sock, port] = tcp_listen(config_.host, config_.port);
+    listener_ = std::move(sock);
+    port_ = port;
+  } catch (...) {
+    running_.store(false);
+    throw;
+  }
+  loop_ = std::thread([this] { event_loop(); });
+}
+
+void NetServer::stop() {
+  running_.store(false);
+  if (loop_.joinable()) loop_.join();
+  while (!connections_.empty()) close_connection(connections_.size() - 1);
+  listener_.close();
+  service_->stop();
+}
+
+void NetServer::event_loop() {
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->close_after_flush) events |= POLLIN;
+      if (conn->unsent() > 0) events |= POLLOUT;
+      fds.push_back({conn->sock.fd(), events, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(config_.poll_interval.count()));
+    if (rc < 0 && errno != EINTR) break;  // poll itself failed: shut down
+
+    if ((fds[0].revents & POLLIN) != 0) accept_pending();
+
+    // Read + decode + submit. Walk backwards so close_connection's
+    // swap-remove cannot skip an element.
+    for (std::size_t i = connections_.size(); i-- > 0;) {
+      Connection& conn = *connections_[i];
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        close_connection(i);
+        continue;
+      }
+      if ((revents & POLLIN) != 0 && !read_and_submit(conn)) {
+        close_connection(i);
+        continue;
+      }
+    }
+
+    // One synchronous drain answers everything decoded this iteration
+    // (and anything a direct in-process submit() queued meanwhile).
+    while (service_->pump(std::chrono::milliseconds(0)) > 0) {
+    }
+
+    const auto now = Clock::now();
+    for (std::size_t i = connections_.size(); i-- > 0;) {
+      Connection& conn = *connections_[i];
+      collect_replies(conn);
+      if (conn.unsent() > 0 && !flush(conn)) {
+        close_connection(i);
+        continue;
+      }
+      if (conn.close_after_flush && conn.unsent() == 0) {
+        metrics_.count_closed_error();
+        close_connection(i);
+        continue;
+      }
+      // Idle or wedged (peer neither sends frames nor drains replies
+      // for a whole idle window): reclaim the slot.
+      if (conn.pending.empty() &&
+          now - conn.last_activity > config_.idle_timeout) {
+        metrics_.count_closed_idle();
+        close_connection(i);
+        continue;
+      }
+    }
+  }
+}
+
+void NetServer::accept_pending() {
+  for (;;) {
+    Socket sock = tcp_accept(listener_);
+    if (!sock.valid()) return;
+    if (connections_.size() >= config_.max_connections) {
+      // Shed load explicitly: tell the peer why before closing. The
+      // write is best-effort — a peer that cannot take ~50 bytes
+      // immediately learns of the shed via the close instead.
+      ResponseFrame shed;
+      shed.status = WireStatus::kOverloaded;
+      std::vector<std::uint8_t> bytes;
+      encode_response(shed, bytes);
+      (void)sock_write(sock, bytes.data(), bytes.size());
+      metrics_.count_rejected_overloaded();
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(sock);
+    connections_.push_back(std::move(conn));
+    metrics_.count_accepted();
+    metrics_.set_open_connections(connections_.size());
+  }
+}
+
+bool NetServer::read_and_submit(Connection& conn) {
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    const IoResult r = sock_read(conn.sock, chunk, sizeof(chunk));
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status != IoStatus::kOk) return false;  // EOF or error
+    metrics_.add_bytes_in(r.bytes);
+    conn.decoder.feed(chunk, r.bytes);
+    if (conn.decoder.buffered() + conn.unsent() > config_.max_buffered_bytes) {
+      return false;  // peer floods faster than we drain: drop it
+    }
+  }
+
+  const auto arrival = Clock::now();
+  for (;;) {
+    FrameDecoder::Result decoded = conn.decoder.next();
+    if (decoded.status == DecodeStatus::kNeedMoreData) break;
+    if (decoded.status != DecodeStatus::kOk || decoded.is_response) {
+      // Typed decode failure (or a peer speaking the wrong direction):
+      // answer kBadRequest so the peer can log *why*, then drop the
+      // connection — after a framing error the stream is garbage.
+      metrics_.count_frame_error();
+      ResponseFrame reply;
+      reply.request_id = decoded.request_id;
+      reply.status = WireStatus::kBadRequest;
+      encode_response(reply, conn.out);
+      metrics_.count_frame_out();
+      conn.close_after_flush = true;
+      break;
+    }
+
+    metrics_.count_frame_in();
+    conn.last_activity = arrival;
+    RequestFrame& frame = decoded.request;
+
+    // Well-framed but unusable for *this* service: wrong interest-space
+    // dimension. Answered per-request; the connection stays healthy.
+    const std::size_t service_dim = service_->config().dim;
+    const bool dim_mismatch =
+        (frame.type == FrameType::kAddUsers &&
+         frame.users.front().interest.size() != service_dim) ||
+        (frame.type == FrameType::kEvaluate && frame.centers.has_value() &&
+         frame.centers->dim() != service_dim);
+    if (dim_mismatch) {
+      ResponseFrame reply;
+      reply.request_id = frame.request_id;
+      reply.status = WireStatus::kBadRequest;
+      reply.epoch = service_->epoch();
+      encode_response(reply, conn.out);
+      metrics_.count_frame_out();
+      continue;
+    }
+
+    serve::Request request;
+    switch (frame.type) {
+      case FrameType::kAddUsers:
+        request = serve::Request::add_users(std::move(frame.users));
+        break;
+      case FrameType::kRemoveUsers:
+        request = serve::Request::remove_users(std::move(frame.ids));
+        break;
+      case FrameType::kQueryPlacement:
+        request = serve::Request::query_placement();
+        break;
+      case FrameType::kEvaluate:
+        request = serve::Request::evaluate(std::move(*frame.centers));
+        break;
+      case FrameType::kResponse:
+        continue;  // unreachable: is_response handled above
+    }
+    request.deadline = arrival + config_.request_deadline;
+
+    Connection::Pending pending;
+    pending.request_id = frame.request_id;
+    pending.arrival = arrival;
+    pending.future = service_->submit(std::move(request));
+    conn.pending.push_back(std::move(pending));
+    metrics_.count_request();
+  }
+  return true;
+}
+
+void NetServer::collect_replies(Connection& conn) {
+  while (!conn.pending.empty()) {
+    Connection::Pending& head = conn.pending.front();
+    if (head.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      break;  // keep per-connection response order
+    }
+    const serve::Response response = head.future.get();
+
+    ResponseFrame reply;
+    reply.request_id = head.request_id;
+    reply.status = to_wire_status(response.status);
+    reply.epoch = response.epoch;
+    reply.objective = response.objective;
+    if (response.solution.has_value()) {
+      reply.centers = response.solution->centers;
+    }
+    encode_response(reply, conn.out);
+    metrics_.count_frame_out();
+    if (reply.status == WireStatus::kTimeout) metrics_.count_timeout();
+
+    const double latency = seconds_since(head.arrival);
+    metrics_.record_latency(latency);
+    trace::SpanCollector::global().record("net.request", latency);
+    conn.pending.pop_front();
+  }
+}
+
+bool NetServer::flush(Connection& conn) {
+  while (conn.unsent() > 0) {
+    const IoResult r = sock_write(conn.sock, conn.out.data() + conn.out_offset,
+                                  conn.unsent());
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status != IoStatus::kOk) return false;
+    conn.out_offset += r.bytes;
+    metrics_.add_bytes_out(r.bytes);
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset > conn.out.size() / 2) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() +
+                       static_cast<std::ptrdiff_t>(conn.out_offset));
+    conn.out_offset = 0;
+  }
+  return true;
+}
+
+void NetServer::close_connection(std::size_t index) {
+  trace::SpanCollector::global().record(
+      "net.conn", seconds_since(connections_[index]->opened));
+  // Gauge first: a peer observes EOF the moment the fd below is closed,
+  // and may read the metrics snapshot before this thread runs again.
+  metrics_.set_open_connections(connections_.size() - 1);
+  connections_[index] = std::move(connections_.back());
+  connections_.pop_back();
+}
+
+}  // namespace mmph::net

@@ -1,0 +1,188 @@
+#include "mmph/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace mmph::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+/// Remaining milliseconds until \p deadline, clamped to [0, INT_MAX].
+int poll_timeout_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::clamp<long long>(left.count(), 0, 1 << 30));
+}
+
+/// poll() one fd for \p events; true when an event arrived in time.
+bool poll_one(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, std::uint16_t> tcp_listen(const std::string& host,
+                                            std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) < 0) throw_errno("listen");
+  set_nonblocking(sock.fd());
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  return {std::move(sock), ntohs(bound.sin_port)};
+}
+
+Socket tcp_accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket{};  // EAGAIN/transient: nothing pending
+  Socket sock(fd);
+  set_nonblocking(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  set_nonblocking(sock.fd());
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
+    if (!poll_one(sock.fd(), POLLOUT, deadline)) {
+      throw NetError("connect " + host + ":" + std::to_string(port) +
+                     ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      throw NetError("connect " + host + ":" + std::to_string(port) + ": " +
+                     std::strerror(err != 0 ? err : errno));
+    }
+  }
+  // Back to blocking: the client serializes one call at a time and uses
+  // poll() per operation for deadlines.
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK);
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+IoResult sock_read(const Socket& sock, std::uint8_t* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::read(sock.fd(), buf, cap);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
+                    std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(sock.fd(), buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool send_all(const Socket& sock, const std::uint8_t* buf, std::size_t len,
+              Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const IoResult r = sock_write(sock, buf + sent, len - sent);
+    switch (r.status) {
+      case IoStatus::kOk:
+        sent += r.bytes;
+        break;
+      case IoStatus::kWouldBlock:
+        if (!poll_one(sock.fd(), POLLOUT, deadline)) return false;
+        break;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return false;
+    }
+  }
+  return true;
+}
+
+IoResult recv_some(const Socket& sock, std::uint8_t* buf, std::size_t cap,
+                   Clock::time_point deadline) {
+  if (!poll_one(sock.fd(), POLLIN, deadline)) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return sock_read(sock, buf, cap);
+}
+
+}  // namespace mmph::net

@@ -14,9 +14,9 @@ void ServeMetrics::count_rejected() {
   ++counters_.rejected_full;
 }
 
-void ServeMetrics::count_expired() {
+void ServeMetrics::count_timeout() {
   std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.expired;
+  ++counters_.timeouts;
 }
 
 void ServeMetrics::count_shutdown() {

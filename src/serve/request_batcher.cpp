@@ -7,6 +7,26 @@
 
 namespace mmph::serve {
 
+const char* to_string(RequestType type) noexcept {
+  switch (type) {
+    case RequestType::kAddUsers: return "kAddUsers";
+    case RequestType::kRemoveUsers: return "kRemoveUsers";
+    case RequestType::kQueryPlacement: return "kQueryPlacement";
+    case RequestType::kEvaluate: return "kEvaluate";
+  }
+  return "RequestType(?)";
+}
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::kOk: return "kOk";
+    case ResponseStatus::kTimeout: return "kTimeout";
+    case ResponseStatus::kRejected: return "kRejected";
+    case ResponseStatus::kShutdown: return "kShutdown";
+  }
+  return "ResponseStatus(?)";
+}
+
 Request Request::add_users(std::vector<UserRecord> users) {
   Request r;
   r.type = RequestType::kAddUsers;
@@ -72,9 +92,9 @@ std::vector<Request> RequestBatcher::pop_batch(std::size_t max_batch,
     Request request = std::move(queue_.front());
     queue_.pop_front();
     if (request.deadline < now) {
-      if (metrics_ != nullptr) metrics_->count_expired();
+      if (metrics_ != nullptr) metrics_->count_timeout();
       Response response;
-      response.status = ResponseStatus::kExpired;
+      response.status = ResponseStatus::kTimeout;
       request.reply.set_value(std::move(response));
       continue;
     }

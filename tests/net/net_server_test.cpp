@@ -1,0 +1,260 @@
+// NetServer end-to-end over loopback: the acceptance bar is that a
+// workload replayed through NetClient -> TCP -> NetServer produces
+// *bit-identical* placements and objectives (EXPECT_DOUBLE_EQ) to the
+// same workload applied to an in-process PlacementService, plus explicit
+// coverage of every defense: overload shedding, malformed-frame
+// rejection, per-request deadlines, dimension mismatches, idle reaping.
+
+#include "mmph/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "mmph/net/client.hpp"
+#include "mmph/net/socket.hpp"
+#include "mmph/net/wire.hpp"
+#include "mmph/random/pcg64.hpp"
+#include "mmph/serve/placement_service.hpp"
+
+namespace mmph::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+serve::ServiceConfig small_service() {
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 3;
+  config.radius = 0.35;
+  return config;
+}
+
+NetServerConfig fast_server() {
+  NetServerConfig config;
+  config.poll_interval = milliseconds(2);
+  return config;
+}
+
+NetClientConfig client_for(const NetServer& server) {
+  NetClientConfig config;
+  config.port = server.port();
+  return config;
+}
+
+TEST(NetServer, LoopbackReplayIsBitIdenticalToInProcess) {
+  const serve::ServiceConfig service_config = small_service();
+  NetServer server(service_config, fast_server());
+  server.start();
+
+  // Reference: the same workload applied directly, no sockets involved.
+  serve::PlacementService direct(service_config);
+
+  NetClient client(client_for(server));
+  rnd::Pcg64 rng(2026);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+  const geo::PointSet probe =
+      geo::PointSet::from_rows({{0.2, 0.2}, {0.8, 0.5}, {0.5, 0.9}});
+  std::uint64_t sent = 0;
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<serve::UserRecord> batch;
+    for (int j = 0; j < 6; ++j) {
+      serve::UserRecord user;
+      user.id = next_id++;
+      user.interest = {rng.next_double(), rng.next_double()};
+      user.weight = 0.5 + rng.next_double();
+      live.push_back(user.id);
+      batch.push_back(user);
+    }
+    const ResponseFrame add = client.add_users(batch);
+    ++sent;
+    ASSERT_EQ(add.status, WireStatus::kOk) << to_string(add.status);
+    direct.apply_add(batch);
+    EXPECT_EQ(add.epoch, direct.epoch());
+
+    if (round % 2 == 1) {  // churn: drop two random live users
+      std::vector<std::uint64_t> victims;
+      for (int j = 0; j < 2; ++j) {
+        const std::size_t at = rng.next_below(live.size());
+        victims.push_back(live[at]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      const ResponseFrame removed = client.remove_users(victims);
+      ++sent;
+      ASSERT_EQ(removed.status, WireStatus::kOk) << to_string(removed.status);
+      direct.apply_remove(victims);
+      EXPECT_EQ(removed.epoch, direct.epoch());
+    }
+
+    const ResponseFrame query = client.query_placement();
+    ++sent;
+    ASSERT_EQ(query.status, WireStatus::kOk) << to_string(query.status);
+    const serve::PlacementView view = direct.placement();
+    EXPECT_EQ(query.epoch, view.epoch);
+    EXPECT_DOUBLE_EQ(query.objective, view.objective);
+    ASSERT_TRUE(query.centers.has_value());
+    const geo::PointSet& got = *query.centers;
+    const geo::PointSet& want = view.solution.centers;
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(got.dim(), want.dim());
+    for (std::size_t c = 0; c < got.size(); ++c) {
+      for (std::size_t d = 0; d < got.dim(); ++d) {
+        EXPECT_DOUBLE_EQ(got[c][d], want[c][d])
+            << "round " << round << " center " << c << " coord " << d;
+      }
+    }
+
+    const ResponseFrame eval = client.evaluate(probe);
+    ++sent;
+    ASSERT_EQ(eval.status, WireStatus::kOk) << to_string(eval.status);
+    EXPECT_DOUBLE_EQ(eval.objective, direct.evaluate(probe));
+  }
+
+  const NetMetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.accepted, 1u);
+  EXPECT_EQ(m.requests, sent);
+  EXPECT_EQ(m.frames_in, sent);
+  EXPECT_EQ(m.frames_out, sent);
+  EXPECT_EQ(m.frame_errors, 0u);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_GT(m.bytes_in, 0u);
+  EXPECT_GT(m.bytes_out, 0u);
+  EXPECT_EQ(client.reconnects(), 0u);
+  server.stop();
+}
+
+TEST(NetServer, ShedsConnectionsBeyondMaxWithOverloaded) {
+  NetServerConfig net = fast_server();
+  net.max_connections = 1;
+  NetServer server(small_service(), net);
+  server.start();
+
+  NetClient first(client_for(server));
+  const ResponseFrame ok = first.query_placement();
+  ASSERT_EQ(ok.status, WireStatus::kOk);  // first slot is owned + live
+
+  NetClientConfig second_config = client_for(server);
+  second_config.max_attempts = 1;  // a shed must surface, not retry away
+  NetClient second(second_config);
+  const ResponseFrame shed = second.query_placement();
+  EXPECT_EQ(shed.status, WireStatus::kOverloaded) << to_string(shed.status);
+  EXPECT_EQ(shed.request_id, 0u);  // connection-level notice
+
+  // The first connection keeps working: shedding is per-connection.
+  EXPECT_EQ(first.query_placement().status, WireStatus::kOk);
+  EXPECT_GE(server.metrics().rejected_overloaded, 1u);
+  server.stop();
+}
+
+TEST(NetServer, MalformedFrameGetsBadRequestThenClose) {
+  NetServer server(small_service(), fast_server());
+  server.start();
+
+  Socket raw = tcp_connect("127.0.0.1", server.port(), milliseconds(1000));
+  std::vector<std::uint8_t> garbage(64, 0xFF);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ASSERT_TRUE(send_all(raw, garbage.data(), garbage.size(), deadline));
+
+  // Expect exactly one kBadRequest reply, then EOF.
+  FrameDecoder decoder;
+  bool got_reply = false;
+  bool got_eof = false;
+  std::uint8_t chunk[4096];
+  while (!got_eof) {
+    const IoResult r = recv_some(raw, chunk, sizeof(chunk), deadline);
+    ASSERT_NE(r.status, IoStatus::kWouldBlock) << "server never answered";
+    ASSERT_NE(r.status, IoStatus::kError);
+    if (r.status == IoStatus::kClosed) {
+      got_eof = true;
+      break;
+    }
+    decoder.feed(chunk, r.bytes);
+    FrameDecoder::Result decoded = decoder.next();
+    if (decoded.status == DecodeStatus::kNeedMoreData) continue;
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk)
+        << to_string(decoded.status);
+    ASSERT_TRUE(decoded.is_response);
+    EXPECT_EQ(decoded.response.status, WireStatus::kBadRequest)
+        << to_string(decoded.response.status);
+    got_reply = true;
+  }
+  EXPECT_TRUE(got_reply);
+  EXPECT_TRUE(got_eof);
+
+  const NetMetricsSnapshot m = server.metrics();
+  EXPECT_GE(m.frame_errors, 1u);
+  EXPECT_GE(m.closed_error, 1u);
+  EXPECT_EQ(m.requests, 0u) << "garbage must never reach the service";
+  server.stop();
+}
+
+TEST(NetServer, ExpiredDeadlineAnswersTimeoutAndDropsMutation) {
+  NetServerConfig net = fast_server();
+  net.request_deadline = milliseconds(0);  // every request is born expired
+  NetServer server(small_service(), net);
+  server.start();
+
+  NetClient client(client_for(server));
+  const ResponseFrame add =
+      client.add_users({serve::UserRecord{1, {0.5, 0.5}, 1.0}});
+  EXPECT_EQ(add.status, WireStatus::kTimeout) << to_string(add.status);
+  EXPECT_EQ(server.service().population(), 0u)
+      << "expired mutation must not be applied";
+  EXPECT_GE(server.metrics().timeouts, 1u);
+  server.stop();
+}
+
+TEST(NetServer, DimensionMismatchIsPerRequestNotFatal) {
+  NetServer server(small_service(), fast_server());  // dim = 2
+  server.start();
+
+  NetClient client(client_for(server));
+  const ResponseFrame bad =
+      client.add_users({serve::UserRecord{1, {0.1, 0.2, 0.3}, 1.0}});
+  EXPECT_EQ(bad.status, WireStatus::kBadRequest) << to_string(bad.status);
+
+  // Same connection still serves well-dimensioned requests.
+  const ResponseFrame good =
+      client.add_users({serve::UserRecord{2, {0.1, 0.2}, 1.0}});
+  EXPECT_EQ(good.status, WireStatus::kOk) << to_string(good.status);
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(server.service().population(), 1u);
+  server.stop();
+}
+
+TEST(NetServer, IdleConnectionsAreReaped) {
+  NetServerConfig net = fast_server();
+  net.idle_timeout = milliseconds(60);
+  NetServer server(small_service(), net);
+  server.start();
+
+  Socket raw = tcp_connect("127.0.0.1", server.port(), milliseconds(1000));
+  // Never send a frame; the server must hang up on its own.
+  std::uint8_t byte = 0;
+  const IoResult r =
+      recv_some(raw, &byte, 1,
+                std::chrono::steady_clock::now() + std::chrono::seconds(5));
+  EXPECT_EQ(r.status, IoStatus::kClosed) << "expected idle reap";
+  EXPECT_GE(server.metrics().closed_idle, 1u);
+  EXPECT_EQ(server.metrics().open_connections, 0u);
+  server.stop();
+}
+
+TEST(NetServer, StartStopIsIdempotent) {
+  NetServer server(small_service(), fast_server());
+  server.start();
+  const std::uint16_t port = server.port();
+  EXPECT_GT(port, 0u);
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace mmph::net

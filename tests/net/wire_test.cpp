@@ -1,0 +1,318 @@
+// Wire codec: byte-exact header layout (endianness pin), round-trips for
+// every frame type through whole-buffer and byte-at-a-time feeding, and
+// typed rejection of every class of malformed frame.
+
+#include "mmph/net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace mmph::net {
+namespace {
+
+std::vector<serve::UserRecord> two_users() {
+  return {serve::UserRecord{7, {1.5, -2.25}, 3.0},
+          serve::UserRecord{9, {0.0, 4.0}, 1.0}};
+}
+
+/// Decodes exactly one frame, asserting success.
+FrameDecoder::Result decode_one(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  FrameDecoder::Result result = decoder.next();
+  EXPECT_EQ(result.status, DecodeStatus::kOk)
+      << "decode failed: " << to_string(result.status);
+  return result;
+}
+
+TEST(Wire, HeaderLayoutIsLittleEndianAndPinned) {
+  RequestFrame frame;
+  frame.type = FrameType::kQueryPlacement;
+  frame.request_id = 0x1122334455667788ull;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+
+  ASSERT_EQ(bytes.size(), kHeaderBytes);  // empty payload
+  // magic 0x4D4D5048 little-endian
+  EXPECT_EQ(bytes[0], 0x48);
+  EXPECT_EQ(bytes[1], 0x50);
+  EXPECT_EQ(bytes[2], 0x4D);
+  EXPECT_EQ(bytes[3], 0x4D);
+  EXPECT_EQ(bytes[4], kWireVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kQueryPlacement));
+  EXPECT_EQ(bytes[6], 0);  // reserved
+  EXPECT_EQ(bytes[7], 0);
+  // request id little-endian
+  EXPECT_EQ(bytes[8], 0x88);
+  EXPECT_EQ(bytes[15], 0x11);
+  // payload_len == 0
+  EXPECT_EQ(bytes[16], 0);
+  EXPECT_EQ(bytes[19], 0);
+}
+
+TEST(Wire, AddUsersRoundTrip) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.request_id = 42;
+  frame.users = two_users();
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_FALSE(result.is_response);
+  EXPECT_EQ(result.request.type, FrameType::kAddUsers);
+  EXPECT_EQ(result.request.request_id, 42u);
+  ASSERT_EQ(result.request.users.size(), 2u);
+  EXPECT_EQ(result.request.users[0].id, 7u);
+  EXPECT_EQ(result.request.users[0].weight, 3.0);
+  EXPECT_EQ(result.request.users[0].interest,
+            (std::vector<double>{1.5, -2.25}));
+  EXPECT_EQ(result.request.users[1].id, 9u);
+}
+
+TEST(Wire, RemoveUsersRoundTrip) {
+  RequestFrame frame;
+  frame.type = FrameType::kRemoveUsers;
+  frame.request_id = 1;
+  frame.ids = {5, 0xFFFFFFFFFFFFFFFFull, 12};
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_EQ(result.request.type, FrameType::kRemoveUsers);
+  EXPECT_EQ(result.request.ids,
+            (std::vector<std::uint64_t>{5, 0xFFFFFFFFFFFFFFFFull, 12}));
+}
+
+TEST(Wire, EvaluateRoundTrip) {
+  RequestFrame frame;
+  frame.type = FrameType::kEvaluate;
+  frame.request_id = 3;
+  frame.centers = geo::PointSet::from_rows({{1.0, 2.0}, {-3.5, 0.25}});
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_EQ(result.request.type, FrameType::kEvaluate);
+  ASSERT_TRUE(result.request.centers.has_value());
+  ASSERT_EQ(result.request.centers->size(), 2u);
+  EXPECT_EQ((*result.request.centers)[1][0], -3.5);
+  EXPECT_EQ((*result.request.centers)[1][1], 0.25);
+}
+
+TEST(Wire, ResponseRoundTripWithAndWithoutCenters) {
+  ResponseFrame with;
+  with.request_id = 77;
+  with.status = WireStatus::kOk;
+  with.epoch = 123456789ull;
+  with.objective = 98.0625;
+  with.centers = geo::PointSet::from_rows({{0.5, 0.5}, {2.0, 3.0}});
+  std::vector<std::uint8_t> bytes;
+  encode_response(with, bytes);
+
+  ResponseFrame without;
+  without.request_id = 78;
+  without.status = WireStatus::kTimeout;
+  encode_response(without, bytes);  // second frame in the same buffer
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  FrameDecoder::Result first = decoder.next();
+  ASSERT_EQ(first.status, DecodeStatus::kOk);
+  EXPECT_TRUE(first.is_response);
+  EXPECT_EQ(first.response.request_id, 77u);
+  EXPECT_EQ(first.response.epoch, 123456789ull);
+  EXPECT_EQ(first.response.objective, 98.0625);
+  ASSERT_TRUE(first.response.centers.has_value());
+  EXPECT_EQ(first.response.centers->size(), 2u);
+  EXPECT_EQ((*first.response.centers)[1][1], 3.0);
+
+  FrameDecoder::Result second = decoder.next();
+  ASSERT_EQ(second.status, DecodeStatus::kOk);
+  EXPECT_EQ(second.response.status, WireStatus::kTimeout)
+      << to_string(second.response.status);
+  EXPECT_FALSE(second.response.centers.has_value());
+  EXPECT_EQ(decoder.next().status, DecodeStatus::kNeedMoreData);
+}
+
+TEST(Wire, ByteAtATimeFeedingReassemblesIdentically) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.request_id = 11;
+  frame.users = two_users();
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i + 1 < bytes.size()) {
+      // Every prefix must just ask for more data, never error.
+      ASSERT_EQ(decoder.next().status, DecodeStatus::kNeedMoreData)
+          << "at byte " << i;
+    }
+    decoder.feed(&bytes[i], 1);
+  }
+  FrameDecoder::Result result = decoder.next();
+  ASSERT_EQ(result.status, DecodeStatus::kOk);
+  ASSERT_EQ(result.request.users.size(), 2u);
+  EXPECT_EQ(result.request.users[1].interest, (std::vector<double>{0.0, 4.0}));
+}
+
+// --- malformed input: every rejection is a typed status -------------------
+
+std::vector<std::uint8_t> valid_query_bytes() {
+  RequestFrame frame;
+  frame.type = FrameType::kQueryPlacement;
+  frame.request_id = 5;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  return bytes;
+}
+
+DecodeStatus status_of(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  return decoder.next().status;
+}
+
+TEST(Wire, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kBadMagic);
+}
+
+TEST(Wire, BadVersionRejected) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[4] = kWireVersion + 1;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kBadVersion);
+}
+
+TEST(Wire, BadTypeRejected) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[5] = 0;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kBadType);
+  bytes[5] = 200;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kBadType);
+}
+
+TEST(Wire, NonzeroReservedRejected) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[6] = 1;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, OversizedPayloadLengthRejectedBeforeBuffering) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[19] = 0xFF;  // payload_len high byte -> ~4 GB claim
+  // Only the header is present, yet the decoder must reject immediately
+  // instead of waiting for (and buffering toward) an absurd length.
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kOversizedFrame);
+}
+
+TEST(Wire, QueryWithPayloadRejected) {
+  std::vector<std::uint8_t> bytes = valid_query_bytes();
+  bytes[16] = 4;  // payload_len = 4
+  bytes.insert(bytes.end(), {1, 2, 3, 4});
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, OversizedBatchCountRejected) {
+  RequestFrame frame;
+  frame.type = FrameType::kRemoveUsers;
+  frame.ids = {1, 2, 3};
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  // Forge count = kMaxBatchCount + 1 (first payload field).
+  const std::uint32_t count = kMaxBatchCount + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[kHeaderBytes + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kOversizedBatch);
+}
+
+TEST(Wire, TruncatedPayloadIsIncompleteNotError) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.users = two_users();
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  bytes.resize(bytes.size() - 5);  // drop the tail
+  // The header promises more bytes than arrived: that is "wait", not
+  // "error" — TCP delivers the rest later.
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kNeedMoreData);
+}
+
+TEST(Wire, PayloadShorterThanRecordsRejected) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.users = two_users();
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  // Shrink payload_len by one record so header and content disagree.
+  const std::uint32_t lied = static_cast<std::uint32_t>(bytes.size()) -
+                             static_cast<std::uint32_t>(kHeaderBytes) - 8;
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(lied >> (8 * i));
+  }
+  bytes.resize(kHeaderBytes + lied);
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, NonFiniteWeightRejected) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.users = {serve::UserRecord{1, {0.0, 0.0}, 1.0}};
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  // weight starts at header + count(4) + dim(2) + id(8) = +14; make NaN.
+  const std::size_t weight_at = kHeaderBytes + 14;
+  for (std::size_t i = 0; i < 8; ++i) bytes[weight_at + i] = 0xFF;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, PoisonedDecoderStaysPoisoned) {
+  std::vector<std::uint8_t> bad = valid_query_bytes();
+  bad[0] ^= 0xFF;
+  FrameDecoder decoder;
+  decoder.feed(bad.data(), bad.size());
+  EXPECT_EQ(decoder.next().status, DecodeStatus::kBadMagic);
+  // A valid frame after the poison must NOT resurrect the stream.
+  const std::vector<std::uint8_t> good = valid_query_bytes();
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next().status, DecodeStatus::kBadMagic);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Wire, ErrorResultCarriesHeaderRequestId) {
+  RequestFrame frame;
+  frame.type = FrameType::kQueryPlacement;
+  frame.request_id = 31337;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  bytes[16] = 1;  // query with nonempty payload
+  bytes.push_back(0);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const FrameDecoder::Result result = decoder.next();
+  EXPECT_EQ(result.status, DecodeStatus::kMalformedPayload);
+  EXPECT_EQ(result.request_id, 31337u)
+      << "server needs the id to address its kBadRequest reply";
+}
+
+TEST(Wire, StatusMappingCoversServeStatuses) {
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kOk), WireStatus::kOk);
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kTimeout),
+            WireStatus::kTimeout);
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kRejected),
+            WireStatus::kRejected);
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kShutdown),
+            WireStatus::kShutdown);
+}
+
+}  // namespace
+}  // namespace mmph::net

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Two-process smoke test of the socket layer: start `mmph_cli serve-net
+# --listen` on an ephemeral loopback port, replay a churn workload into
+# it with `serve-net --connect` (NetClient), and check the replies. Used
+# both by tools/check.sh net-smoke and by tests/cli_test.sh (ctest).
+# Usage: net_smoke.sh <path-to-mmph_cli>
+set -e
+CLI="$1"
+[ -n "$CLI" ] || { echo "usage: net_smoke.sh <mmph_cli>"; exit 2; }
+DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# Server: ephemeral port (0 = kernel-assigned), written to a port file;
+# --run-seconds caps the lifetime so a wedged test cannot leak a process.
+"$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
+  --run-seconds 30 > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the port file (up to ~5 s).
+tries=0
+while [ ! -s "$DIR/port" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 50 ] || { echo "server never published its port"; cat "$DIR/server.log"; exit 1; }
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; cat "$DIR/server.log"; exit 1; }
+  sleep 0.1
+done
+PORT=$(cat "$DIR/port")
+
+# Client: replay a small churn workload over the socket and verify every
+# request was answered kOk with a live placement.
+"$CLI" serve-net --connect 127.0.0.1 --port "$PORT" \
+  --users 150 --slots 4 --churn 0.02 > "$DIR/client.txt"
+grep -q "requests failed *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+grep -q "requests timed out *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+grep -Eq "last centers *[1-9]" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+
+# Graceful shutdown: SIGTERM makes the server print its metrics table.
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q "frame errors *0" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+grep -q "connections accepted" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+echo "net_smoke OK"

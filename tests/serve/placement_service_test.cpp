@@ -217,9 +217,10 @@ TEST(PlacementService, ExpiredDeadlineIsNotApplied) {
   late.deadline = std::chrono::steady_clock::now() - milliseconds(5);
   std::future<Response> late_reply = service.submit(std::move(late));
   (void)service.pump();
-  EXPECT_EQ(late_reply.get().status, ResponseStatus::kExpired);
+  const ResponseStatus status = late_reply.get().status;
+  EXPECT_EQ(status, ResponseStatus::kTimeout) << "got " << to_string(status);
   EXPECT_EQ(service.population(), 30u) << "expired mutation must not apply";
-  EXPECT_EQ(service.metrics().expired, 1u);
+  EXPECT_EQ(service.metrics().timeouts, 1u);
 }
 
 TEST(PlacementService, WorkerThreadDrainsQueue) {

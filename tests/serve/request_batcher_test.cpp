@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 
 #include "mmph/serve/metrics.hpp"
 
@@ -72,8 +73,33 @@ TEST(RequestBatcher, ExpiredRequestsAreAnsweredNotBatched) {
   ASSERT_EQ(batch.size(), 1u);  // only the live request survives
   ASSERT_EQ(expired_future.wait_for(milliseconds(0)),
             std::future_status::ready);
-  EXPECT_EQ(expired_future.get().status, ResponseStatus::kExpired);
-  EXPECT_EQ(metrics.snapshot().expired, 1u);
+  const ResponseStatus status = expired_future.get().status;
+  EXPECT_EQ(status, ResponseStatus::kTimeout) << "got " << to_string(status);
+  EXPECT_EQ(metrics.snapshot().timeouts, 1u);
+}
+
+// Pins the contract the net layer relies on: a *mutation* whose deadline
+// passes while it sits in the queue must be answered kTimeout and must
+// NOT appear in any drained batch (it would otherwise be silently applied
+// to the store after its deadline).
+TEST(RequestBatcher, DeadlinePassingWhileQueuedTimesOutMutation) {
+  ServeMetrics metrics;
+  RequestBatcher batcher(8, &metrics);
+
+  Request add = Request::add_users({UserRecord{7, {0.5, 0.5}, 1.0}});
+  add.deadline = steady_clock::now() + milliseconds(10);
+  std::future<Response> add_future = add.reply.get_future();
+  EXPECT_TRUE(batcher.push(std::move(add)));  // live at submit time
+
+  std::this_thread::sleep_for(milliseconds(30));  // deadline passes queued
+  const std::vector<Request> batch = batcher.pop_batch(8);
+  EXPECT_TRUE(batch.empty()) << "expired mutation must not be drained";
+  ASSERT_EQ(add_future.wait_for(milliseconds(0)), std::future_status::ready);
+  const Response response = add_future.get();
+  EXPECT_EQ(response.status, ResponseStatus::kTimeout)
+      << "got " << to_string(response.status);
+  EXPECT_EQ(metrics.snapshot().timeouts, 1u);
+  EXPECT_EQ(batcher.depth(), 0u);
 }
 
 TEST(RequestBatcher, CloseAnswersQueuedAndRejectsNewPushes) {

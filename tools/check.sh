@@ -7,6 +7,11 @@
 #   tools/check.sh perf-smoke   # build + perf_kernels at n=1000 (fast
 #                               # kernel-speedup sanity; self-checks
 #                               # blocked-vs-scalar agreement)
+#   tools/check.sh net-smoke    # build + two-process socket smoke test
+#                               # (serve-net --listen / --connect over an
+#                               # ephemeral loopback port)
+#   tools/check.sh net-fuzz     # build + run the wire-decoder fuzz corpus
+#                               # (honors MMPH_SANITIZE=ON for ASan/UBSan)
 #
 # Extra args are forwarded to ctest (e.g. tools/check.sh -R serve).
 set -e
@@ -20,6 +25,15 @@ cmake --build "$BUILD_DIR" -j
 
 if [ "$1" = "perf-smoke" ]; then
   exec "$BUILD_DIR/bench/perf_kernels" --n 1000 --out "$BUILD_DIR/BENCH_kernels.json"
+fi
+
+if [ "$1" = "net-smoke" ]; then
+  exec sh tests/net_smoke.sh "$BUILD_DIR/tools/mmph_cli"
+fi
+
+if [ "$1" = "net-fuzz" ]; then
+  "$BUILD_DIR/tests/wire_fuzz_test"
+  exec "$BUILD_DIR/tests/wire_test"
 fi
 
 cd "$BUILD_DIR"

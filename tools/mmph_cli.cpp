@@ -12,9 +12,14 @@
 // produced here replay bit-exactly in library code and vice versa.
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -24,6 +29,8 @@
 #include "mmph/core/registry.hpp"
 #include "mmph/io/args.hpp"
 #include "mmph/io/table.hpp"
+#include "mmph/net/client.hpp"
+#include "mmph/net/server.hpp"
 #include "mmph/random/workload.hpp"
 #include "mmph/serve/placement_service.hpp"
 #include "mmph/sim/simulator.hpp"
@@ -49,7 +56,11 @@ int usage() {
       "  simulate  --users N --slots T --solver NAME --k K [--radius R]\n"
       "            [--drift SIGMA] [--churn P] [--seed S]\n"
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
-      "            [--batch B] [--shards S] [--threshold F] [--seed S]\n";
+      "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
+      "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]]\n"
+      "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
+      "            [--radius R] [--churn P] [--seed S]\n"
+      "            (neither --listen nor --connect: in-process self-test)\n";
   return 2;
 }
 
@@ -364,6 +375,180 @@ int cmd_serve_replay(io::Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void request_stop(int) { g_stop_requested = 1; }
+
+void print_net_metrics(const net::NetMetricsSnapshot& m) {
+  io::Table table({"net metric", "value"});
+  table.add_row({"connections accepted", std::to_string(m.accepted)});
+  table.add_row({"connections shed", std::to_string(m.rejected_overloaded)});
+  table.add_row({"closed idle", std::to_string(m.closed_idle)});
+  table.add_row({"closed on error", std::to_string(m.closed_error)});
+  table.add_row({"bytes in", std::to_string(m.bytes_in)});
+  table.add_row({"bytes out", std::to_string(m.bytes_out)});
+  table.add_row({"frames in", std::to_string(m.frames_in)});
+  table.add_row({"frames out", std::to_string(m.frames_out)});
+  table.add_row({"frame errors", std::to_string(m.frame_errors)});
+  table.add_row({"requests", std::to_string(m.requests)});
+  table.add_row({"timeouts", std::to_string(m.timeouts)});
+  table.add_row({"latency p50 (s)", io::fixed(m.latency_p50_seconds, 6)});
+  table.add_row({"latency p99 (s)", io::fixed(m.latency_p99_seconds, 6)});
+  table.print(std::cout);
+}
+
+/// Replays the serve-replay churn workload through a NetClient, so the
+/// same request stream crosses the wire instead of the in-process queue.
+int run_net_replay(net::NetClient& client, std::size_t users,
+                   std::size_t slots, double churn, std::uint64_t seed) {
+  rnd::Rng rng(seed);
+  const auto fresh_user = [&rng](std::uint64_t id) {
+    serve::UserRecord rec;
+    rec.id = id;
+    rec.weight = static_cast<double>(rng.uniform_int(1, 5));
+    rec.interest = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    return rec;
+  };
+
+  std::uint64_t ok = 0, timeout = 0, rejected = 0, bad = 0;
+  const auto note = [&](const net::ResponseFrame& reply) {
+    switch (reply.status) {
+      case net::WireStatus::kOk: ++ok; break;
+      case net::WireStatus::kTimeout: ++timeout; break;
+      case net::WireStatus::kRejected: ++rejected; break;
+      default: ++bad; break;
+    }
+    return reply;
+  };
+
+  std::vector<serve::UserRecord> population;
+  population.reserve(users);
+  for (std::uint64_t id = 0; id < users; ++id) {
+    population.push_back(fresh_user(id));
+  }
+  std::uint64_t next_id = users;
+
+  // Initial load in wire-sized chunks (one frame may carry at most
+  // kMaxBatchCount users; stay far below it to keep frames small).
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t at = 0; at < population.size(); at += kChunk) {
+    const std::size_t end = std::min(population.size(), at + kChunk);
+    (void)note(client.add_users({population.begin() +
+                                     static_cast<std::ptrdiff_t>(at),
+                                 population.begin() +
+                                     static_cast<std::ptrdiff_t>(end)}));
+  }
+
+  net::ResponseFrame last_query = note(client.query_placement());
+  const std::size_t per_slot =
+      std::max<std::size_t>(churn > 0.0 ? 1 : 0,
+                            static_cast<std::size_t>(churn * users));
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    std::vector<std::uint64_t> removed;
+    std::vector<serve::UserRecord> added;
+    std::unordered_set<std::size_t> victims;
+    for (std::size_t c = 0; c < per_slot; ++c) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1));
+      if (!victims.insert(victim).second) continue;
+      removed.push_back(population[victim].id);
+      population[victim] = fresh_user(next_id++);
+      added.push_back(population[victim]);
+    }
+    if (!removed.empty()) {
+      (void)note(client.remove_users(std::move(removed)));
+      (void)note(client.add_users(std::move(added)));
+    }
+    last_query = note(client.query_placement());
+  }
+
+  io::Table table({"metric", "value"});
+  table.add_row({"requests ok", std::to_string(ok)});
+  table.add_row({"requests timed out", std::to_string(timeout)});
+  table.add_row({"requests rejected", std::to_string(rejected)});
+  table.add_row({"requests failed", std::to_string(bad)});
+  table.add_row({"client reconnects", std::to_string(client.reconnects())});
+  table.add_row({"last epoch", std::to_string(last_query.epoch)});
+  table.add_row({"last objective", io::fixed(last_query.objective, 4)});
+  table.add_row({"last centers",
+                 std::to_string(last_query.centers ? last_query.centers->size()
+                                                   : 0)});
+  table.print(std::cout);
+  return bad == 0 ? 0 : 1;
+}
+
+// Socket-serving mode of the placement service. Three sub-modes:
+//   --listen         run a NetServer until SIGINT/SIGTERM or --run-seconds;
+//   --connect HOST   replay the churn workload against a remote server;
+//   (neither)        self-test: in-process server + client over loopback.
+int cmd_serve_net(io::Args& args) {
+  const bool listen = args.get_flag("listen");
+  const std::string connect_host = args.get_string("connect", "");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  const std::string port_file = args.get_string("port-file", "");
+  const double run_seconds = args.get_double("run-seconds", 0.0);
+  const std::size_t users = static_cast<std::size_t>(args.get_int("users", 500));
+  const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 10));
+  const double churn = args.get_double("churn", 0.01);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  serve::ServiceConfig service_config;
+  service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
+  service_config.radius = args.get_double("radius", 1.0);
+  args.finish();
+  if (listen && !connect_host.empty()) {
+    throw ParseError("serve-net: --listen and --connect are exclusive");
+  }
+  if (churn < 0.0 || churn > 1.0) {
+    throw ParseError("serve-net: --churn must be in [0, 1]");
+  }
+
+  if (listen) {
+    net::NetServerConfig net_config;
+    net_config.port = port;
+    net::NetServer server(service_config, net_config);
+    server.start();
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+      if (!out) throw ParseError("serve-net: cannot write " + port_file);
+    }
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        run_seconds > 0.0
+            ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(run_seconds))
+            : Clock::time_point::max();
+    while (g_stop_requested == 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    print_net_metrics(server.metrics());
+    return 0;
+  }
+
+  std::optional<net::NetServer> local;
+  net::NetClientConfig client_config;
+  if (connect_host.empty()) {
+    local.emplace(service_config, net::NetServerConfig{});
+    local->start();
+    client_config.port = local->port();
+  } else {
+    if (port == 0) throw ParseError("serve-net: --connect needs --port");
+    client_config.host = connect_host;
+    client_config.port = port;
+  }
+  net::NetClient client(client_config);
+  const int rc = run_net_replay(client, users, slots, churn, seed);
+  if (local.has_value()) {
+    local->stop();
+    print_net_metrics(local->metrics());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,6 +564,7 @@ int main(int argc, char** argv) {
     if (command == "certify") return cmd_certify(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "serve-replay") return cmd_serve_replay(args);
+    if (command == "serve-net") return cmd_serve_net(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
