@@ -38,7 +38,7 @@
 namespace mmph::net {
 
 /// First four header bytes; rejects non-mmph peers and desynced streams.
-inline constexpr std::uint32_t kMagic = 0x4D4D5048u;  // "MMPH"
+inline constexpr std::uint32_t kMagic = 0x4D4D5048u;  // LE bytes 0x48 0x50 0x4D 0x4D ("HPMM" on the wire)
 /// Bumped on any incompatible layout change; decoders reject mismatches.
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 20;

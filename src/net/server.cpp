@@ -73,7 +73,17 @@ void NetServer::start() {
     running_.store(false);
     throw;
   }
-  loop_ = std::thread([this] { event_loop(); });
+  // Last-resort barrier: anything the per-connection try/catch in
+  // event_loop() cannot attribute to one peer (accept, pump, poll
+  // bookkeeping) stops the server instead of std::terminate'ing the
+  // whole process.
+  loop_ = std::thread([this] {
+    try {
+      event_loop();
+    } catch (...) {
+      running_.store(false);
+    }
+  });
 }
 
 void NetServer::stop() {
@@ -99,11 +109,16 @@ void NetServer::event_loop() {
                           static_cast<int>(config_.poll_interval.count()));
     if (rc < 0 && errno != EINTR) break;  // poll itself failed: shut down
 
+    // Connections accepted below have no pollfd entry yet; only the
+    // first `polled` connections may consult fds[i + 1].
+    const std::size_t polled = fds.size() - 1;
     if ((fds[0].revents & POLLIN) != 0) accept_pending();
 
     // Read + decode + submit. Walk backwards so close_connection's
-    // swap-remove cannot skip an element.
-    for (std::size_t i = connections_.size(); i-- > 0;) {
+    // swap-remove cannot skip an element (the element swapped into a
+    // closed slot is always one this loop has already visited or a
+    // just-accepted connection with nothing to read yet).
+    for (std::size_t i = polled; i-- > 0;) {
       Connection& conn = *connections_[i];
       const short revents = fds[i + 1].revents;
       if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
@@ -111,10 +126,17 @@ void NetServer::event_loop() {
         close_connection(i);
         continue;
       }
-      if ((revents & POLLIN) != 0 && !read_and_submit(conn)) {
-        close_connection(i);
-        continue;
+      if ((revents & POLLIN) == 0) continue;
+      bool alive;
+      try {
+        alive = read_and_submit(conn);
+      } catch (...) {
+        // Exception barrier: a throw here (encode limits, allocation)
+        // is this connection's problem, not the server's.
+        metrics_.count_closed_error();
+        alive = false;
       }
+      if (!alive) close_connection(i);
     }
 
     // One synchronous drain answers everything decoded this iteration
@@ -125,8 +147,16 @@ void NetServer::event_loop() {
     const auto now = Clock::now();
     for (std::size_t i = connections_.size(); i-- > 0;) {
       Connection& conn = *connections_[i];
-      collect_replies(conn);
-      if (conn.unsent() > 0 && !flush(conn)) {
+      bool alive = true;
+      try {
+        collect_replies(conn);
+        if (conn.unsent() > 0) alive = flush(conn);
+      } catch (...) {
+        // future.get() rethrow or encode failure: same barrier as above.
+        metrics_.count_closed_error();
+        alive = false;
+      }
+      if (!alive) {
         close_connection(i);
         continue;
       }

@@ -307,9 +307,12 @@ int cmd_serve_replay(io::Args& args) {
   std::vector<std::future<serve::Response>> replies;
   replies.push_back(service.submit(serve::Request::add_users(population)));
   queries.push_back(service.submit(serve::Request::query_placement()));
+  // No population means no one to churn: --users 0 must not pick victims.
   const std::size_t per_slot =
-      std::max<std::size_t>(churn > 0.0 ? 1 : 0,
-                            static_cast<std::size_t>(churn * users));
+      population.empty()
+          ? 0
+          : std::max<std::size_t>(churn > 0.0 ? 1 : 0,
+                                  static_cast<std::size_t>(churn * users));
   for (std::size_t slot = 0; slot < slots; ++slot) {
     std::vector<std::uint64_t> removed;
     std::vector<serve::UserRecord> added;
@@ -440,9 +443,12 @@ int run_net_replay(net::NetClient& client, std::size_t users,
   }
 
   net::ResponseFrame last_query = note(client.query_placement());
+  // No population means no one to churn: --users 0 must not pick victims.
   const std::size_t per_slot =
-      std::max<std::size_t>(churn > 0.0 ? 1 : 0,
-                            static_cast<std::size_t>(churn * users));
+      population.empty()
+          ? 0
+          : std::max<std::size_t>(churn > 0.0 ? 1 : 0,
+                                  static_cast<std::size_t>(churn * users));
   for (std::size_t slot = 0; slot < slots; ++slot) {
     std::vector<std::uint64_t> removed;
     std::vector<serve::UserRecord> added;
