@@ -128,6 +128,21 @@ int main(int argc, char** argv) try {
   churner.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  // Exercise the operator scrape path under the metrics the run produced:
+  // one kStats round-trip while the server is still up.
+  bool stats_scrape_ok = false;
+  {
+    net::NetClient scraper(client_config);
+    const net::ResponseFrame reply = scraper.stats();
+    stats_scrape_ok =
+        reply.status == net::WireStatus::kOk && reply.stats.has_value() &&
+        reply.stats->find("mmph_net_requests_total") != std::string::npos;
+    if (!stats_scrape_ok) {
+      std::fprintf(stderr, "perf_net: kStats scrape failed (%s)\n",
+                   net::to_string(reply.status));
+    }
+  }
   server.stop();
 
   std::uint64_t ok = 0, bad = 0;
@@ -160,6 +175,8 @@ int main(int argc, char** argv) try {
       << "  \"requests_failed\": " << bad << ",\n"
       << "  \"latency_p50_seconds\": " << p50 << ",\n"
       << "  \"latency_p99_seconds\": " << p99 << ",\n"
+      << "  \"stats_scrape_ok\": " << (stats_scrape_ok ? "true" : "false")
+      << ",\n"
       << "  \"server\": {\"accepted\": " << m.accepted
       << ", \"bytes_in\": " << m.bytes_in << ", \"bytes_out\": " << m.bytes_out
       << ", \"frames_in\": " << m.frames_in
@@ -169,7 +186,7 @@ int main(int argc, char** argv) try {
       << ", \"latency_p50_seconds\": " << m.latency_p50_seconds
       << ", \"latency_p99_seconds\": " << m.latency_p99_seconds << "}\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return bad == 0 ? 0 : 1;
+  return (bad == 0 && stats_scrape_ok) ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "perf_net: %s\n", e.what());
   return 1;

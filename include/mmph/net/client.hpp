@@ -51,6 +51,9 @@ class NetClient {
   ResponseFrame remove_users(std::vector<std::uint64_t> ids);
   ResponseFrame query_placement();
   ResponseFrame evaluate(const geo::PointSet& centers);
+  /// Scrapes the server's metrics registries; the reply's `stats` field
+  /// holds the Prometheus-style exposition text.
+  ResponseFrame stats();
 
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
   void disconnect() noexcept;

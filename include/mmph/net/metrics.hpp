@@ -1,19 +1,20 @@
 #pragma once
 
 /// \file metrics.hpp
-/// \brief Operational counters of the socket layer (NetServer).
+/// \brief Operational counters of the socket layer (NetServer), on mmph::obs.
 ///
 /// Mirrors serve::ServeMetrics one level down: connection lifecycle
 /// (accepted / shed / closed), byte and frame volume in both directions,
-/// protocol health (frame_errors, timeouts), and request latency
-/// percentiles measured from first byte buffered to response encoded.
-/// Mutex-guarded like ServeMetrics — the event loop records a handful of
-/// times per poll iteration, so contention is irrelevant.
+/// protocol health (frame_errors, timeouts), and request latency measured
+/// from first byte buffered to response encoded. Counters are lock-free
+/// atomics and latency quantiles come from a fixed-bucket histogram, so
+/// the single-threaded event loop records without taking any lock; the
+/// registry() can be scraped remotely via the kStats wire request.
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "mmph/obs/registry.hpp"
 
 namespace mmph::net {
 
@@ -38,32 +39,48 @@ struct NetMetricsSnapshot {
 
 class NetMetrics {
  public:
-  void count_accepted();
-  void count_rejected_overloaded();
-  void count_closed_idle();
-  void count_closed_error();
-  void add_bytes_in(std::uint64_t n);
-  void add_bytes_out(std::uint64_t n);
-  void count_frame_in();
-  void count_frame_out();
-  void count_frame_error();
-  void count_request();
-  void count_timeout();
-  void set_open_connections(std::size_t n);
-  void record_latency(double seconds);
+  NetMetrics();
+
+  void count_accepted() { accepted_->add(); }
+  void count_rejected_overloaded() { rejected_overloaded_->add(); }
+  void count_closed_idle() { closed_idle_->add(); }
+  void count_closed_error() { closed_error_->add(); }
+  void add_bytes_in(std::uint64_t n) { bytes_in_->add(n); }
+  void add_bytes_out(std::uint64_t n) { bytes_out_->add(n); }
+  void count_frame_in() { frames_in_->add(); }
+  void count_frame_out() { frames_out_->add(); }
+  void count_frame_error() { frame_errors_->add(); }
+  void count_request() { requests_->add(); }
+  void count_timeout() { timeouts_->add(); }
+  void set_open_connections(std::size_t n) {
+    open_connections_->set(static_cast<double>(n));
+  }
+  void record_latency(double seconds) { latency_seconds_->observe(seconds); }
 
   [[nodiscard]] NetMetricsSnapshot snapshot() const;
 
-  void reset();
+  /// Underlying registry, for Prometheus-style exposition (kStats scrape).
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
+
+  void reset() { registry_.reset(); }
 
  private:
-  /// Retained latency samples are capped; beyond the cap the oldest half
-  /// is dropped so percentiles track recent behavior.
-  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
-
-  mutable std::mutex mutex_;
-  NetMetricsSnapshot counters_;
-  std::vector<double> latency_seconds_;
+  obs::Registry registry_;
+  obs::Counter* accepted_;
+  obs::Counter* rejected_overloaded_;
+  obs::Counter* closed_idle_;
+  obs::Counter* closed_error_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* frames_in_;
+  obs::Counter* frames_out_;
+  obs::Counter* frame_errors_;
+  obs::Counter* requests_;
+  obs::Counter* timeouts_;
+  obs::Gauge* open_connections_;
+  obs::Histogram* latency_seconds_;
 };
 
 }  // namespace mmph::net

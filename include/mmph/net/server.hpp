@@ -99,6 +99,10 @@ class NetServer {
     return config_;
   }
 
+  /// Merged Prometheus-style exposition of the net, serve, and span
+  /// registries — the blob a kStats request is answered with.
+  [[nodiscard]] std::string render_stats() const;
+
  private:
   struct Connection;
 

@@ -11,7 +11,7 @@
 ///
 ///   offset  size  field
 ///        0     4  magic      0x4D4D5048 ("HPMM" on the wire, LE)
-///        4     1  version    kWireVersion (currently 1)
+///        4     1  version    kWireVersion (currently 2)
 ///        5     1  type       FrameType
 ///        6     2  reserved   must be zero
 ///        8     8  request_id caller-chosen; echoed in the response
@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mmph/geometry/point_set.hpp"
@@ -40,7 +41,9 @@ namespace mmph::net {
 /// First four header bytes; rejects non-mmph peers and desynced streams.
 inline constexpr std::uint32_t kMagic = 0x4D4D5048u;  // LE bytes 0x48 0x50 0x4D 0x4D ("HPMM" on the wire)
 /// Bumped on any incompatible layout change; decoders reject mismatches.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: kStats request, response flags byte (centers | stats blob),
+/// WireStatus::kInternalError.
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 20;
 /// Hard cap on one frame's payload: bigger frames are rejected before any
 /// buffering decision is made from the attacker-controlled length.
@@ -56,17 +59,19 @@ enum class FrameType : std::uint8_t {
   kQueryPlacement = 3,  ///< request: current placement (empty payload)
   kEvaluate = 4,        ///< request: f(centers) on the live population
   kResponse = 5,        ///< reply to any request
+  kStats = 6,           ///< request: metrics exposition (empty payload)
 };
 
-/// Response status on the wire: serve::ResponseStatus plus the two
-/// network-only conditions (kOverloaded, kBadRequest).
+/// Response status on the wire: serve::ResponseStatus plus the
+/// network-only condition kOverloaded.
 enum class WireStatus : std::uint8_t {
   kOk = 0,
-  kTimeout = 1,     ///< deadline passed before the batch was drained
-  kRejected = 2,    ///< service queue was full (backpressure)
-  kShutdown = 3,    ///< server stopped before processing
-  kOverloaded = 4,  ///< connection shed by the max-connections policy
-  kBadRequest = 5,  ///< peer sent a frame the decoder rejected
+  kTimeout = 1,        ///< deadline passed before the batch was drained
+  kRejected = 2,       ///< service queue was full (backpressure)
+  kShutdown = 3,       ///< server stopped before processing
+  kOverloaded = 4,     ///< connection shed by the max-connections policy
+  kBadRequest = 5,     ///< frame rejected by decoder or request validation
+  kInternalError = 6,  ///< server-side failure while processing
 };
 
 /// Every way a frame can fail to decode. kNeedMoreData is the only
@@ -106,6 +111,7 @@ struct ResponseFrame {
   std::uint64_t epoch = 0;
   double objective = 0.0;
   std::optional<geo::PointSet> centers;  ///< kQueryPlacement answers
+  std::optional<std::string> stats;      ///< kStats answers (exposition text)
 };
 
 /// Appends the encoded frame to \p out. \throws InvalidArgument when the

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief Named instrument registry with Prometheus-style text exposition.
+///
+/// The registry mutex guards only registration and exposition — instrument
+/// record paths stay pure atomics. Instruments live in deques so the
+/// pointers handed out by counter()/gauge()/histogram() stay valid for the
+/// registry's lifetime regardless of later registrations.
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mmph/obs/instruments.hpp"
+
+namespace mmph::obs {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under \p name, creating it on first
+  /// use. Metric names should match [a-zA-Z_][a-zA-Z0-9_]* (Prometheus
+  /// convention); registering the same name as two different instrument
+  /// kinds throws mmph::InvalidArgument.
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {});
+
+  /// Writes all instruments in registration order as Prometheus text
+  /// exposition format: "# TYPE" lines, `_bucket{le="..."}` cumulative
+  /// series plus `_sum` / `_count` for histograms.
+  void write_exposition(std::ostream& out) const;
+
+  /// Same as write_exposition, into a string.
+  [[nodiscard]] std::string exposition_text() const;
+
+  /// Zeroes every registered instrument (tests and bench warmup).
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;  // registration order, for exposition
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace mmph::obs

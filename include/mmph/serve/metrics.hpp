@@ -1,20 +1,20 @@
 #pragma once
 
 /// \file metrics.hpp
-/// \brief Operational counters of the placement service.
+/// \brief Operational counters of the placement service, built on mmph::obs.
 ///
 /// Everything an operator needs to see on a dashboard: queue pressure
 /// (submitted / rejected / expired), batching efficiency (batches, mean
-/// batch size), and solve behavior (full vs incremental counts, p50/p99
-/// solve latency). Counters are mutex-guarded — solve rates are a few Hz,
-/// so contention is irrelevant — and latency percentiles come from a
-/// retained sample capped at a fixed size (reservoir-free: the cap is far
-/// above any realistic diagnostic window).
+/// batch size), error accounting (bad requests, internal errors), and
+/// solve behavior (full vs incremental counts, p50/p99 solve latency from
+/// a fixed-bucket atomic histogram — no sample retention, no mutex on the
+/// record path). The registry() can be scraped as Prometheus text, and
+/// snapshot() keeps the flat struct shape older callers print.
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "mmph/obs/registry.hpp"
 
 namespace mmph::serve {
 
@@ -24,6 +24,8 @@ struct MetricsSnapshot {
   std::uint64_t rejected_full = 0;
   std::uint64_t timeouts = 0;  ///< deadline passed while queued
   std::uint64_t shutdown = 0;
+  std::uint64_t bad_requests = 0;     ///< malformed request payloads
+  std::uint64_t internal_errors = 0;  ///< solver threw mid-batch
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;
   std::uint64_t mutations = 0;
@@ -49,28 +51,47 @@ struct MetricsSnapshot {
 
 class ServeMetrics {
  public:
-  void count_submitted();
-  void count_rejected();
-  void count_timeout();
-  void count_shutdown();
-  void count_mutations(std::uint64_t n);
-  void count_queries(std::uint64_t n);
+  ServeMetrics();
+
+  void count_submitted() { submitted_->add(); }
+  void count_rejected() { rejected_full_->add(); }
+  void count_timeout() { timeouts_->add(); }
+  void count_shutdown() { shutdown_->add(); }
+  void count_bad_request() { bad_requests_->add(); }
+  void count_internal_error() { internal_errors_->add(); }
+  void count_mutations(std::uint64_t n) { mutations_->add(n); }
+  void count_queries(std::uint64_t n) { queries_->add(n); }
   void record_batch(std::size_t size);
   void record_solve(double seconds, bool incremental);
-  void set_queue_depth(std::size_t depth);
+  void set_queue_depth(std::size_t depth) {
+    queue_depth_->set(static_cast<double>(depth));
+  }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
-  void reset();
+  /// Underlying registry, for Prometheus-style exposition (kStats scrape).
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
+
+  void reset() { registry_.reset(); }
 
  private:
-  /// Retained latency samples are capped; beyond the cap the oldest half
-  /// is dropped so percentiles track recent behavior.
-  static constexpr std::size_t kMaxSolveSamples = 1 << 16;
-
-  mutable std::mutex mutex_;
-  MetricsSnapshot counters_;
-  std::vector<double> solve_seconds_;
+  obs::Registry registry_;
+  obs::Counter* submitted_;
+  obs::Counter* rejected_full_;
+  obs::Counter* timeouts_;
+  obs::Counter* shutdown_;
+  obs::Counter* bad_requests_;
+  obs::Counter* internal_errors_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Counter* mutations_;
+  obs::Counter* queries_;
+  obs::Counter* full_solves_;
+  obs::Counter* incremental_solves_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* solve_seconds_;
 };
 
 }  // namespace mmph::serve

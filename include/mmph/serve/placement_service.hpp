@@ -121,6 +121,10 @@ class PlacementService {
 
   [[nodiscard]] std::size_t queue_depth() const { return batcher_.depth(); }
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Underlying instrument registry, for Prometheus-style exposition.
+  [[nodiscard]] const obs::Registry& metrics_registry() const noexcept {
+    return metrics_.registry();
+  }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
   /// Stage diagnostics of the last full (sharded) solve.
   [[nodiscard]] ShardStats last_shard_stats() const;

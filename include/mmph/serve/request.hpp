@@ -33,9 +33,11 @@ enum class RequestType {
 
 enum class ResponseStatus {
   kOk,
-  kTimeout,   ///< deadline passed while queued
-  kRejected,  ///< bounded queue was full at submit time
-  kShutdown,  ///< service stopped before the request was processed
+  kTimeout,        ///< deadline passed while queued
+  kRejected,       ///< bounded queue was full at submit time
+  kShutdown,       ///< service stopped before the request was processed
+  kBadRequest,     ///< malformed payload (missing/empty/mismatched centers)
+  kInternalError,  ///< solver threw while processing the batch
 };
 
 /// Human-readable enum names for logs and test failure messages.

@@ -58,6 +58,12 @@ ResponseFrame NetClient::evaluate(const geo::PointSet& centers) {
   return roundtrip(std::move(frame));
 }
 
+ResponseFrame NetClient::stats() {
+  RequestFrame frame;
+  frame.type = FrameType::kStats;
+  return roundtrip(std::move(frame));
+}
+
 ResponseFrame NetClient::roundtrip(RequestFrame frame) {
   frame.request_id = next_request_id_++;
   std::vector<std::uint8_t> bytes;

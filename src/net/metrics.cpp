@@ -1,92 +1,56 @@
 #include "mmph/net/metrics.hpp"
 
-#include "mmph/io/stats.hpp"
-
 namespace mmph::net {
 
-void NetMetrics::count_accepted() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.accepted;
-}
-
-void NetMetrics::count_rejected_overloaded() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.rejected_overloaded;
-}
-
-void NetMetrics::count_closed_idle() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.closed_idle;
-}
-
-void NetMetrics::count_closed_error() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.closed_error;
-}
-
-void NetMetrics::add_bytes_in(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.bytes_in += n;
-}
-
-void NetMetrics::add_bytes_out(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.bytes_out += n;
-}
-
-void NetMetrics::count_frame_in() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.frames_in;
-}
-
-void NetMetrics::count_frame_out() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.frames_out;
-}
-
-void NetMetrics::count_frame_error() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.frame_errors;
-}
-
-void NetMetrics::count_request() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.requests;
-}
-
-void NetMetrics::count_timeout() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.timeouts;
-}
-
-void NetMetrics::set_open_connections(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.open_connections = n;
-}
-
-void NetMetrics::record_latency(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (latency_seconds_.size() >= kMaxLatencySamples) {
-    latency_seconds_.erase(latency_seconds_.begin(),
-                           latency_seconds_.begin() + kMaxLatencySamples / 2);
-  }
-  latency_seconds_.push_back(seconds);
-}
+NetMetrics::NetMetrics()
+    : accepted_(&registry_.counter("mmph_net_accepted_total",
+                                   "connections accepted")),
+      rejected_overloaded_(
+          &registry_.counter("mmph_net_rejected_overloaded_total",
+                             "connections shed by max-connections")),
+      closed_idle_(&registry_.counter("mmph_net_closed_idle_total",
+                                      "connections reaped idle")),
+      closed_error_(&registry_.counter("mmph_net_closed_error_total",
+                                       "connections closed after error")),
+      bytes_in_(&registry_.counter("mmph_net_bytes_in_total",
+                                   "bytes read from peers")),
+      bytes_out_(&registry_.counter("mmph_net_bytes_out_total",
+                                    "bytes written to peers")),
+      frames_in_(&registry_.counter("mmph_net_frames_in_total",
+                                    "request frames decoded")),
+      frames_out_(&registry_.counter("mmph_net_frames_out_total",
+                                     "response frames encoded")),
+      frame_errors_(&registry_.counter("mmph_net_frame_errors_total",
+                                       "typed decode failures")),
+      requests_(&registry_.counter("mmph_net_requests_total",
+                                   "requests submitted to the service")),
+      timeouts_(&registry_.counter("mmph_net_timeouts_total",
+                                   "requests answered kTimeout")),
+      open_connections_(&registry_.gauge("mmph_net_open_connections",
+                                         "currently open connections")),
+      latency_seconds_(
+          &registry_.histogram("mmph_net_request_latency_seconds",
+                               "request latency, decode to encode")) {}
 
 NetMetricsSnapshot NetMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  NetMetricsSnapshot snap = counters_;
-  if (!latency_seconds_.empty()) {
-    snap.latency_p50_seconds = io::percentile(latency_seconds_, 0.50);
-    snap.latency_p99_seconds = io::percentile(latency_seconds_, 0.99);
-  }
+  NetMetricsSnapshot snap;
+  snap.accepted = accepted_->value();
+  snap.rejected_overloaded = rejected_overloaded_->value();
+  snap.closed_idle = closed_idle_->value();
+  snap.closed_error = closed_error_->value();
+  snap.bytes_in = bytes_in_->value();
+  snap.bytes_out = bytes_out_->value();
+  snap.frames_in = frames_in_->value();
+  snap.frames_out = frames_out_->value();
+  snap.frame_errors = frame_errors_->value();
+  snap.requests = requests_->value();
+  snap.timeouts = timeouts_->value();
+  snap.open_connections =
+      static_cast<std::size_t>(open_connections_->value());
+  const obs::HistogramSnapshot hist = latency_seconds_->snapshot();
+  snap.latency_p50_seconds = hist.quantile(0.50);
+  snap.latency_p99_seconds = hist.quantile(0.99);
   return snap;
-}
-
-void NetMetrics::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_ = NetMetricsSnapshot{};
-  latency_seconds_.clear();
 }
 
 }  // namespace mmph::net

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <deque>
 #include <future>
+#include <sstream>
 #include <utility>
 
 #include "mmph/support/assert.hpp"
@@ -236,6 +237,23 @@ bool NetServer::read_and_submit(Connection& conn) {
     conn.last_activity = arrival;
     RequestFrame& frame = decoded.request;
 
+    // Stats scrapes are answered inline from the registries, not routed
+    // through the service queue: they must work even when the queue is
+    // saturated (that is exactly when an operator scrapes). Like the
+    // dim-mismatch reply below, this jumps the per-connection FIFO ahead
+    // of still-pending service requests.
+    if (frame.type == FrameType::kStats) {
+      ResponseFrame reply;
+      reply.request_id = frame.request_id;
+      reply.status = WireStatus::kOk;
+      reply.epoch = service_->epoch();
+      reply.stats = render_stats();
+      encode_response(reply, conn.out);
+      metrics_.count_frame_out();
+      metrics_.count_request();
+      continue;
+    }
+
     // Well-framed but unusable for *this* service: wrong interest-space
     // dimension. Answered per-request; the connection stays healthy.
     const std::size_t service_dim = service_->config().dim;
@@ -269,7 +287,8 @@ bool NetServer::read_and_submit(Connection& conn) {
         request = serve::Request::evaluate(std::move(*frame.centers));
         break;
       case FrameType::kResponse:
-        continue;  // unreachable: is_response handled above
+      case FrameType::kStats:
+        continue;  // unreachable: both handled above
     }
     request.deadline = arrival + config_.request_deadline;
 
@@ -330,6 +349,14 @@ bool NetServer::flush(Connection& conn) {
     conn.out_offset = 0;
   }
   return true;
+}
+
+std::string NetServer::render_stats() const {
+  std::ostringstream out;
+  metrics_.registry().write_exposition(out);
+  service_->metrics_registry().write_exposition(out);
+  trace::SpanCollector::global().registry().write_exposition(out);
+  return out.str();
 }
 
 void NetServer::close_connection(std::size_t index) {

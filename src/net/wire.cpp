@@ -124,6 +124,7 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kQueryPlacement: return "kQueryPlacement";
     case FrameType::kEvaluate: return "kEvaluate";
     case FrameType::kResponse: return "kResponse";
+    case FrameType::kStats: return "kStats";
   }
   return "FrameType(?)";
 }
@@ -136,6 +137,7 @@ const char* to_string(WireStatus status) noexcept {
     case WireStatus::kShutdown: return "kShutdown";
     case WireStatus::kOverloaded: return "kOverloaded";
     case WireStatus::kBadRequest: return "kBadRequest";
+    case WireStatus::kInternalError: return "kInternalError";
   }
   return "WireStatus(?)";
 }
@@ -161,8 +163,11 @@ WireStatus to_wire_status(serve::ResponseStatus status) noexcept {
     case serve::ResponseStatus::kTimeout: return WireStatus::kTimeout;
     case serve::ResponseStatus::kRejected: return WireStatus::kRejected;
     case serve::ResponseStatus::kShutdown: return WireStatus::kShutdown;
+    case serve::ResponseStatus::kBadRequest: return WireStatus::kBadRequest;
+    case serve::ResponseStatus::kInternalError:
+      return WireStatus::kInternalError;
   }
-  return WireStatus::kBadRequest;
+  return WireStatus::kInternalError;
 }
 
 void encode_request(const RequestFrame& frame,
@@ -194,6 +199,7 @@ void encode_request(const RequestFrame& frame,
       for (const std::uint64_t id : frame.ids) put_u64(out, id);
       break;
     case FrameType::kQueryPlacement:
+    case FrameType::kStats:
       break;  // empty payload
     case FrameType::kEvaluate: {
       MMPH_REQUIRE(frame.centers.has_value(), "wire: evaluate needs centers");
@@ -225,8 +231,19 @@ void encode_response(const ResponseFrame& frame,
     MMPH_REQUIRE(centers->dim() >= 1 && centers->dim() <= kMaxDim,
                  "wire: bad center dimension");
   }
+  const std::string* stats =
+      frame.stats.has_value() ? &*frame.stats : nullptr;
+  if (stats != nullptr) {
+    MMPH_REQUIRE(stats->size() <= kMaxPayloadBytes,
+                 "wire: stats blob exceeds kMaxPayloadBytes");
+  }
   out.push_back(static_cast<std::uint8_t>(frame.status));
-  out.push_back(centers != nullptr ? 1 : 0);
+  // Flags byte (v1's has_centers): bit0 = centers follow, bit1 = stats
+  // blob follows the centers.
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((centers != nullptr ? 1 : 0) |
+                                (stats != nullptr ? 2 : 0));
+  out.push_back(flags);
   put_u16(out, centers != nullptr
                    ? static_cast<std::uint16_t>(centers->dim())
                    : 0);
@@ -237,6 +254,10 @@ void encode_response(const ResponseFrame& frame,
   put_f64(out, frame.objective);
   if (centers != nullptr) {
     for (const double c : centers->raw()) put_f64(out, c);
+  }
+  if (stats != nullptr) {
+    put_u32(out, static_cast<std::uint32_t>(stats->size()));
+    out.insert(out.end(), stats->begin(), stats->end());
   }
   patch_payload_len(out, header_start);
 }
@@ -277,7 +298,7 @@ FrameDecoder::Result FrameDecoder::next() {
   if (magic != kMagic) return fail(DecodeStatus::kBadMagic);
   if (version != kWireVersion) return fail(DecodeStatus::kBadVersion);
   if (type_byte < static_cast<std::uint8_t>(FrameType::kAddUsers) ||
-      type_byte > static_cast<std::uint8_t>(FrameType::kResponse)) {
+      type_byte > static_cast<std::uint8_t>(FrameType::kStats)) {
     return fail(DecodeStatus::kBadType);
   }
   if (reserved != 0) return fail(DecodeStatus::kMalformedPayload);
@@ -337,6 +358,7 @@ FrameDecoder::Result FrameDecoder::next() {
       break;
     }
     case FrameType::kQueryPlacement:
+    case FrameType::kStats:
       if (payload_len != 0) return fail(DecodeStatus::kMalformedPayload);
       break;
     case FrameType::kEvaluate: {
@@ -363,28 +385,30 @@ FrameDecoder::Result FrameDecoder::next() {
     }
     case FrameType::kResponse: {
       const std::uint8_t status = body.u8();
-      const std::uint8_t has_centers = body.u8();
+      const std::uint8_t flags = body.u8();
       const std::uint16_t dim = body.u16();
       const std::uint32_t count = body.u32();
       result.response.epoch = body.u64();
       result.response.objective = body.f64();
       if (!body.ok()) return fail(DecodeStatus::kMalformedPayload);
-      if (status > static_cast<std::uint8_t>(WireStatus::kBadRequest) ||
-          has_centers > 1) {
+      if (status > static_cast<std::uint8_t>(WireStatus::kInternalError) ||
+          flags > 3) {
         return fail(DecodeStatus::kMalformedPayload);
       }
       if (!finite(result.response.objective)) {
         return fail(DecodeStatus::kMalformedPayload);
       }
       result.response.status = static_cast<WireStatus>(status);
-      if (has_centers == 1) {
+      const bool has_centers = (flags & 1) != 0;
+      const bool has_stats = (flags & 2) != 0;
+      if (has_centers) {
         if (count > kMaxBatchCount) {
           return fail(DecodeStatus::kOversizedBatch);
         }
         if (dim == 0 || dim > kMaxDim) {
           return fail(DecodeStatus::kBadDimension);
         }
-        if (body.remaining() != 8ull * count * dim) {
+        if (body.remaining() < 8ull * count * dim) {
           return fail(DecodeStatus::kMalformedPayload);
         }
         geo::PointSet centers(dim);
@@ -400,7 +424,22 @@ FrameDecoder::Result FrameDecoder::next() {
           centers.push_back(geo::ConstVec(row.data(), row.size()));
         }
         result.response.centers = std::move(centers);
-      } else if (dim != 0 || count != 0 || body.remaining() != 0) {
+      } else if (dim != 0 || count != 0) {
+        return fail(DecodeStatus::kMalformedPayload);
+      }
+      if (has_stats) {
+        const std::uint32_t stats_len = body.u32();
+        if (!body.ok() || body.remaining() != stats_len) {
+          return fail(DecodeStatus::kMalformedPayload);
+        }
+        std::string stats(stats_len, '\0');
+        for (std::uint32_t i = 0; i < stats_len; ++i) {
+          stats[i] = static_cast<char>(body.u8());
+        }
+        result.response.stats = std::move(stats);
+      }
+      // Exact-size check: a consistent frame has no trailing bytes.
+      if (body.remaining() != 0) {
         return fail(DecodeStatus::kMalformedPayload);
       }
       result.response.request_id = request_id;

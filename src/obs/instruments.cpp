@@ -1,0 +1,61 @@
+#include "mmph/obs/instruments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmph::obs {
+
+std::size_t bucket_index(double value) noexcept {
+  if (!std::isfinite(value)) return kBucketCount - 1;
+  const auto it =
+      std::lower_bound(kBucketBounds.begin(), kBucketBounds.end(), value);
+  return static_cast<std::size_t>(it - kBucketBounds.begin());
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; q=0 means the first one.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (i == kBucketCount - 1) {
+        // Overflow bucket has no finite upper bound; report the largest
+        // finite boundary rather than inventing a value beyond it.
+        return kBucketBounds.back();
+      }
+      const double lower = (i == 0) ? 0.0 : kBucketBounds[i - 1];
+      const double upper = kBucketBounds[i];
+      const double in_bucket = static_cast<double>(buckets[i]);
+      const double position = rank - static_cast<double>(prev);
+      return lower + (upper - lower) * (position / in_bucket);
+    }
+  }
+  return kBucketBounds.back();
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace mmph::obs

@@ -1,0 +1,122 @@
+#include "mmph/obs/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "mmph/support/assert.hpp"
+
+namespace mmph::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double ("%.17g" is exact but
+/// ugly; "%.9g" survives parsing for every value these metrics produce
+/// while keeping the exposition readable).
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    MMPH_REQUIRE(entry.kind == Kind::kCounter,
+                 "metric registered with a different instrument kind");
+    return *entry.counter;
+  }
+  counters_.emplace_back();
+  Entry entry{std::string(name), std::string(help), Kind::kCounter,
+              &counters_.back(), nullptr, nullptr};
+  index_.emplace(entry.name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return counters_.back();
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    MMPH_REQUIRE(entry.kind == Kind::kGauge,
+                 "metric registered with a different instrument kind");
+    return *entry.gauge;
+  }
+  gauges_.emplace_back();
+  Entry entry{std::string(name), std::string(help), Kind::kGauge, nullptr,
+              &gauges_.back(), nullptr};
+  index_.emplace(entry.name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    MMPH_REQUIRE(entry.kind == Kind::kHistogram,
+                 "metric registered with a different instrument kind");
+    return *entry.histogram;
+  }
+  histograms_.emplace_back();
+  Entry entry{std::string(name), std::string(help), Kind::kHistogram, nullptr,
+              nullptr, &histograms_.back()};
+  index_.emplace(entry.name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return histograms_.back();
+}
+
+void Registry::write_exposition(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << entry.name << " counter\n";
+        out << entry.name << ' ' << entry.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << entry.name << " gauge\n";
+        out << entry.name << ' ' << format_double(entry.gauge->value())
+            << '\n';
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << entry.name << " histogram\n";
+        const HistogramSnapshot snap = entry.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i + 1 < kBucketCount; ++i) {
+          cumulative += snap.buckets[i];
+          out << entry.name << "_bucket{le=\""
+              << format_double(kBucketBounds[i]) << "\"} " << cumulative
+              << '\n';
+        }
+        out << entry.name << "_bucket{le=\"+Inf\"} " << snap.count << '\n';
+        out << entry.name << "_sum " << format_double(snap.sum) << '\n';
+        out << entry.name << "_count " << snap.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string Registry::exposition_text() const {
+  std::ostringstream out;
+  write_exposition(out);
+  return out.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter& c : counters_) c.reset();
+  for (Gauge& g : gauges_) g.reset();
+  for (Histogram& h : histograms_) h.reset();
+}
+
+}  // namespace mmph::obs

@@ -1,83 +1,77 @@
 #include "mmph/serve/metrics.hpp"
 
-#include "mmph/io/stats.hpp"
-
 namespace mmph::serve {
 
-void ServeMetrics::count_submitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.submitted;
-}
-
-void ServeMetrics::count_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.rejected_full;
-}
-
-void ServeMetrics::count_timeout() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.timeouts;
-}
-
-void ServeMetrics::count_shutdown() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.shutdown;
-}
-
-void ServeMetrics::count_mutations(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.mutations += n;
-}
-
-void ServeMetrics::count_queries(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.queries += n;
-}
+ServeMetrics::ServeMetrics()
+    : submitted_(&registry_.counter("mmph_serve_submitted_total",
+                                    "requests accepted into the queue")),
+      rejected_full_(&registry_.counter("mmph_serve_rejected_total",
+                                        "requests shed: queue full")),
+      timeouts_(&registry_.counter("mmph_serve_timeouts_total",
+                                   "requests expired while queued")),
+      shutdown_(&registry_.counter("mmph_serve_shutdown_total",
+                                   "requests answered kShutdown")),
+      bad_requests_(&registry_.counter("mmph_serve_bad_requests_total",
+                                       "requests answered kBadRequest")),
+      internal_errors_(
+          &registry_.counter("mmph_serve_internal_errors_total",
+                             "requests answered kInternalError")),
+      batches_(&registry_.counter("mmph_serve_batches_total",
+                                  "worker batches processed")),
+      batched_requests_(&registry_.counter(
+          "mmph_serve_batched_requests_total", "requests across batches")),
+      mutations_(&registry_.counter("mmph_serve_mutations_total",
+                                    "add/remove requests applied")),
+      queries_(&registry_.counter("mmph_serve_queries_total",
+                                  "placement/evaluate requests answered")),
+      full_solves_(&registry_.counter("mmph_serve_full_solves_total",
+                                      "full sharded re-solves")),
+      incremental_solves_(
+          &registry_.counter("mmph_serve_incremental_solves_total",
+                             "incremental warm re-solves")),
+      queue_depth_(&registry_.gauge("mmph_serve_queue_depth",
+                                    "requests currently queued")),
+      solve_seconds_(&registry_.histogram("mmph_serve_solve_seconds",
+                                          "placement solve latency")) {}
 
 void ServeMetrics::record_batch(std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.batches;
-  counters_.batched_requests += size;
+  batches_->add();
+  batched_requests_->add(size);
 }
 
 void ServeMetrics::record_solve(double seconds, bool incremental) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (incremental) {
-    ++counters_.incremental_solves;
+    incremental_solves_->add();
   } else {
-    ++counters_.full_solves;
+    full_solves_->add();
   }
-  counters_.total_solve_seconds += seconds;
-  if (solve_seconds_.size() >= kMaxSolveSamples) {
-    solve_seconds_.erase(solve_seconds_.begin(),
-                         solve_seconds_.begin() + kMaxSolveSamples / 2);
-  }
-  solve_seconds_.push_back(seconds);
-}
-
-void ServeMetrics::set_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_.queue_depth = depth;
+  solve_seconds_->observe(seconds);
 }
 
 MetricsSnapshot ServeMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  MetricsSnapshot snap = counters_;
+  MetricsSnapshot snap;
+  snap.submitted = submitted_->value();
+  snap.rejected_full = rejected_full_->value();
+  snap.timeouts = timeouts_->value();
+  snap.shutdown = shutdown_->value();
+  snap.bad_requests = bad_requests_->value();
+  snap.internal_errors = internal_errors_->value();
+  snap.batches = batches_->value();
+  snap.batched_requests = batched_requests_->value();
+  snap.mutations = mutations_->value();
+  snap.queries = queries_->value();
+  snap.full_solves = full_solves_->value();
+  snap.incremental_solves = incremental_solves_->value();
+  snap.queue_depth = static_cast<std::size_t>(queue_depth_->value());
   snap.mean_batch_size =
       snap.batches == 0 ? 0.0
                         : static_cast<double>(snap.batched_requests) /
                               static_cast<double>(snap.batches);
-  if (!solve_seconds_.empty()) {
-    snap.solve_p50_seconds = io::percentile(solve_seconds_, 0.50);
-    snap.solve_p99_seconds = io::percentile(solve_seconds_, 0.99);
-  }
+  const obs::HistogramSnapshot hist = solve_seconds_->snapshot();
+  snap.solve_p50_seconds = hist.quantile(0.50);
+  snap.solve_p99_seconds = hist.quantile(0.99);
+  snap.total_solve_seconds = hist.sum;
   return snap;
-}
-
-void ServeMetrics::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_ = MetricsSnapshot{};
-  solve_seconds_.clear();
 }
 
 }  // namespace mmph::serve

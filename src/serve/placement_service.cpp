@@ -228,49 +228,83 @@ void PlacementService::process_batch(std::vector<Request> batch) {
 
   // Mutations first, in arrival order; queries then observe the whole
   // batch (that is the point of batching: one solve amortizes over every
-  // request that arrived together).
+  // request that arrived together). A request that fails validation or
+  // throws must not poison the rest of the batch: its status is recorded
+  // and every promise below is still fulfilled — a broken promise hangs
+  // (or throws std::future_error at) every blocking client.
+  std::vector<ResponseStatus> status(batch.size(), ResponseStatus::kOk);
   std::uint64_t queries = 0;
-  for (Request& request : batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
     switch (request.type) {
       case RequestType::kAddUsers:
-        apply_add_locked(request.users);
+        try {
+          apply_add_locked(request.users);
+        } catch (const InvalidArgument&) {
+          status[i] = ResponseStatus::kBadRequest;
+          metrics_.count_bad_request();
+        } catch (...) {
+          status[i] = ResponseStatus::kInternalError;
+          metrics_.count_internal_error();
+        }
         break;
       case RequestType::kRemoveUsers:
         apply_remove_locked(request.ids);
         break;
       case RequestType::kQueryPlacement:
+        ++queries;
+        break;
       case RequestType::kEvaluate:
         ++queries;
+        // The direct evaluate() API throws on these; the batched path must
+        // answer instead of silently replying kOk with objective 0.
+        if (!request.centers.has_value() || request.centers->empty() ||
+            request.centers->dim() != config_.dim) {
+          status[i] = ResponseStatus::kBadRequest;
+          metrics_.count_bad_request();
+        }
         break;
     }
   }
   metrics_.count_queries(queries);
 
-  for (Request& request : batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
     Response response;
-    response.status = ResponseStatus::kOk;
+    response.status = status[i];
     response.epoch = store_.epoch();
-    switch (request.type) {
-      case RequestType::kAddUsers:
-      case RequestType::kRemoveUsers:
-        break;
-      case RequestType::kQueryPlacement: {
-        const PlacementView& view = solve_locked();
-        response.objective = view.objective;
-        response.solution = view.solution;
-        break;
-      }
-      case RequestType::kEvaluate: {
-        if (!store_.empty() && request.centers.has_value() &&
-            !request.centers->empty() &&
-            request.centers->dim() == config_.dim) {
-          response.objective =
-              core::objective_value(problem_locked(), *request.centers);
+    if (response.status == ResponseStatus::kOk) {
+      try {
+        switch (request.type) {
+          case RequestType::kAddUsers:
+          case RequestType::kRemoveUsers:
+            break;
+          case RequestType::kQueryPlacement: {
+            const PlacementView& view = solve_locked();
+            response.objective = view.objective;
+            response.solution = view.solution;
+            break;
+          }
+          case RequestType::kEvaluate: {
+            if (!store_.empty()) {
+              response.objective =
+                  core::objective_value(problem_locked(), *request.centers);
+            }
+            break;
+          }
         }
-        break;
+      } catch (...) {
+        response = Response{};
+        response.status = ResponseStatus::kInternalError;
+        response.epoch = store_.epoch();
+        metrics_.count_internal_error();
       }
     }
-    request.reply.set_value(std::move(response));
+    try {
+      request.reply.set_value(std::move(response));
+    } catch (const std::future_error&) {
+      // Promise already satisfied or abandoned — nothing left to tell.
+    }
   }
 }
 

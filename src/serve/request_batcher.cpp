@@ -23,6 +23,8 @@ const char* to_string(ResponseStatus status) noexcept {
     case ResponseStatus::kTimeout: return "kTimeout";
     case ResponseStatus::kRejected: return "kRejected";
     case ResponseStatus::kShutdown: return "kShutdown";
+    case ResponseStatus::kBadRequest: return "kBadRequest";
+    case ResponseStatus::kInternalError: return "kInternalError";
   }
   return "ResponseStatus(?)";
 }
@@ -62,19 +64,31 @@ RequestBatcher::RequestBatcher(std::size_t capacity, ServeMetrics* metrics)
 RequestBatcher::~RequestBatcher() { close(); }
 
 bool RequestBatcher::push(Request&& request) {
+  bool was_closed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (metrics_ != nullptr) metrics_->count_submitted();
-    if (!closed_ && queue_.size() < capacity_) {
-      queue_.push_back(std::move(request));
-      if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
-      cv_.notify_one();
-      return true;
+    was_closed = closed_;
+    if (!was_closed) {
+      // A push racing close() is a shutdown, not backpressure: it never
+      // entered the queue, so it is not "submitted" and must not read as
+      // queue-full to callers tuning capacity.
+      if (metrics_ != nullptr) metrics_->count_submitted();
+      if (queue_.size() < capacity_) {
+        queue_.push_back(std::move(request));
+        if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
+        cv_.notify_one();
+        return true;
+      }
     }
   }
-  if (metrics_ != nullptr) metrics_->count_rejected();
   Response response;
-  response.status = ResponseStatus::kRejected;
+  if (was_closed) {
+    if (metrics_ != nullptr) metrics_->count_shutdown();
+    response.status = ResponseStatus::kShutdown;
+  } else {
+    if (metrics_ != nullptr) metrics_->count_rejected();
+    response.status = ResponseStatus::kRejected;
+  }
   request.reply.set_value(std::move(response));
   return false;
 }

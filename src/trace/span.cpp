@@ -9,6 +9,23 @@ SpanCollector& SpanCollector::global() {
   return collector;
 }
 
+namespace {
+
+/// Span names are dotted ("serve.solve.full"); Prometheus metric names
+/// only allow [a-zA-Z0-9_:], so anything else becomes '_'.
+std::string metric_name_for_span(const std::string& span_name) {
+  std::string out = "mmph_span_";
+  for (char c : span_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  out += "_seconds";
+  return out;
+}
+
+}  // namespace
+
 void SpanCollector::record(const std::string& name, double seconds) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -16,6 +33,11 @@ void SpanCollector::record(const std::string& name, double seconds) {
   ++cell.count;
   cell.total_seconds += seconds;
   cell.max_seconds = std::max(cell.max_seconds, seconds);
+  if (cell.histogram == nullptr) {
+    cell.histogram = &registry_.histogram(metric_name_for_span(name),
+                                          "span duration: " + name);
+  }
+  cell.histogram->observe(seconds);
 }
 
 std::vector<SpanStats> SpanCollector::stats() const {
@@ -32,6 +54,7 @@ std::vector<SpanStats> SpanCollector::stats() const {
 void SpanCollector::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   cells_.clear();
+  registry_.reset();
 }
 
 }  // namespace mmph::trace

@@ -32,13 +32,19 @@ grep -q "greedy3" "$DIR/cmp.txt"
 grep -q "incremental ratio" "$DIR/serve.txt"
 grep -q "serve.batch" "$DIR/serve.txt"
 
-# serve-net self-test smoke: in-process server + client over loopback
-"$CLI" serve-net --users 100 --slots 3 --churn 0.02 > "$DIR/net.txt"
+# serve-net self-test smoke: in-process server + client over loopback;
+# --stats appends the scraped Prometheus exposition to the report.
+"$CLI" serve-net --users 100 --slots 3 --churn 0.02 --stats > "$DIR/net.txt"
 grep -q "requests failed *0" "$DIR/net.txt"
 grep -q "frame errors *0" "$DIR/net.txt"
+grep -Eq "^mmph_net_requests_total [1-9]" "$DIR/net.txt"
+grep -Eq "^mmph_serve_submitted_total [1-9]" "$DIR/net.txt"
 
 # serve-net two-process smoke: listen + connect across real sockets
 sh "$(dirname "$0")/net_smoke.sh" "$CLI"
+
+# kStats two-process smoke: listen, replay, scrape with `stats`
+sh "$(dirname "$0")/stats_smoke.sh" "$CLI"
 
 # error handling: unknown command and unknown solver exit nonzero
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi

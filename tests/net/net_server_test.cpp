@@ -11,13 +11,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "mmph/net/client.hpp"
 #include "mmph/net/socket.hpp"
 #include "mmph/net/wire.hpp"
+#include "mmph/obs/instruments.hpp"
 #include "mmph/random/pcg64.hpp"
 #include "mmph/serve/placement_service.hpp"
+#include "mmph/trace/span.hpp"
 
 namespace mmph::net {
 namespace {
@@ -243,6 +248,134 @@ TEST(NetServer, IdleConnectionsAreReaped) {
   EXPECT_GE(server.metrics().closed_idle, 1u);
   EXPECT_EQ(server.metrics().open_connections, 0u);
   server.stop();
+}
+
+TEST(NetServer, EvaluateEmptyCentersAnswersBadRequestNotOk) {
+  NetServer server(small_service(), fast_server());  // dim = 2
+  server.start();
+
+  NetClient client(client_for(server));
+  // An empty center set is wire-legal (matching dim, count = 0), so it
+  // passes the server's dimension pre-check and must be flagged by the
+  // service itself -- not scored as a successful objective of 0.0.
+  const ResponseFrame bad = client.evaluate(geo::PointSet(2));
+  EXPECT_EQ(bad.status, WireStatus::kBadRequest) << to_string(bad.status);
+
+  // Per-request failure: the same connection keeps serving.
+  const ResponseFrame good = client.query_placement();
+  EXPECT_EQ(good.status, WireStatus::kOk) << to_string(good.status);
+  EXPECT_EQ(client.reconnects(), 0u);
+  server.stop();
+}
+
+// --- kStats scrape plumbing ------------------------------------------------
+
+// Value of `name<SP>value` exposition line; npos-like sentinel if absent.
+std::uint64_t parse_counter(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = name + " ";
+  while (std::getline(in, line)) {
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      return std::stoull(line.substr(prefix.size()));
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+// Rebuild an obs::HistogramSnapshot from the cumulative `_bucket{le=...}`
+// lines (+Inf last), `_sum`, and `_count` of one exposition histogram.
+obs::HistogramSnapshot parse_histogram(const std::string& text,
+                                       const std::string& name) {
+  obs::HistogramSnapshot snap{};
+  std::vector<std::uint64_t> cumulative;
+  const std::string bucket_prefix = name + "_bucket{le=\"";
+  const std::string sum_prefix = name + "_sum ";
+  const std::string count_prefix = name + "_count ";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, bucket_prefix.size(), bucket_prefix) == 0) {
+      const std::size_t close = line.find("\"} ");
+      if (close != std::string::npos) {
+        cumulative.push_back(std::stoull(line.substr(close + 3)));
+      }
+    } else if (line.compare(0, sum_prefix.size(), sum_prefix) == 0) {
+      snap.sum = std::stod(line.substr(sum_prefix.size()));
+    } else if (line.compare(0, count_prefix.size(), count_prefix) == 0) {
+      snap.count = std::stoull(line.substr(count_prefix.size()));
+    }
+  }
+  EXPECT_EQ(cumulative.size(), obs::kBucketCount)
+      << "exposition for " << name << " is missing bucket lines";
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < cumulative.size() && i < snap.buckets.size();
+       ++i) {
+    snap.buckets[i] = cumulative[i] - prev;  // de-cumulate
+    prev = cumulative[i];
+  }
+  return snap;
+}
+
+TEST(NetServer, StatsScrapeMatchesInProcessSnapshot) {
+  // Spans are opt-in; flip the global collector on so the scrape carries
+  // mmph_span_* series too, and restore it afterwards.
+  trace::SpanCollector::global().set_enabled(true);
+  trace::SpanCollector::global().reset();
+
+  NetServer server(small_service(), fast_server());
+  server.start();
+
+  NetClient client(client_for(server));
+  rnd::Pcg64 rng(77);
+  std::uint64_t next_id = 1;
+  std::uint64_t sent = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<serve::UserRecord> batch;
+    for (int j = 0; j < 4; ++j) {
+      serve::UserRecord user;
+      user.id = next_id++;
+      user.interest = {rng.next_double(), rng.next_double()};
+      user.weight = 1.0;
+      batch.push_back(user);
+    }
+    ASSERT_EQ(client.add_users(batch).status, WireStatus::kOk);
+    ++sent;
+    ASSERT_EQ(client.query_placement().status, WireStatus::kOk);
+    ++sent;
+  }
+
+  // In-process truth, captured *before* the scrape. The stats request only
+  // counts itself after the exposition is rendered and never records a
+  // latency sample, so both views describe the same request stream.
+  const NetMetricsSnapshot m = server.metrics();
+  ASSERT_EQ(m.requests, sent);
+
+  const ResponseFrame reply = client.stats();
+  ASSERT_EQ(reply.status, WireStatus::kOk) << to_string(reply.status);
+  ASSERT_TRUE(reply.stats.has_value());
+  const std::string& text = *reply.stats;
+
+  // Counters from all three registries are present and agree.
+  EXPECT_EQ(parse_counter(text, "mmph_net_requests_total"), m.requests);
+  EXPECT_EQ(parse_counter(text, "mmph_net_frame_errors_total"), 0u);
+  EXPECT_EQ(parse_counter(text, "mmph_serve_submitted_total"), sent);
+  EXPECT_NE(text.find("mmph_span_net_request_seconds_bucket"),
+            std::string::npos)
+      << "trace spans must be scrapable";
+
+  // The latency histogram round-trips exactly: buckets and count are
+  // integers in the exposition, so quantiles recomputed by a remote
+  // scraper match the in-process snapshot bit-for-bit.
+  const obs::HistogramSnapshot latency =
+      parse_histogram(text, "mmph_net_request_latency_seconds");
+  EXPECT_EQ(latency.count, sent);
+  EXPECT_DOUBLE_EQ(latency.quantile(0.50), m.latency_p50_seconds);
+  EXPECT_DOUBLE_EQ(latency.quantile(0.99), m.latency_p99_seconds);
+  EXPECT_GT(latency.sum, 0.0);
+  server.stop();
+  trace::SpanCollector::global().set_enabled(false);
+  trace::SpanCollector::global().reset();
 }
 
 TEST(NetServer, StartStopIsIdempotent) {

@@ -312,6 +312,99 @@ TEST(Wire, StatusMappingCoversServeStatuses) {
             WireStatus::kRejected);
   EXPECT_EQ(to_wire_status(serve::ResponseStatus::kShutdown),
             WireStatus::kShutdown);
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kBadRequest),
+            WireStatus::kBadRequest);
+  EXPECT_EQ(to_wire_status(serve::ResponseStatus::kInternalError),
+            WireStatus::kInternalError);
+}
+
+TEST(Wire, StatsRequestRoundTrip) {
+  RequestFrame frame;
+  frame.type = FrameType::kStats;
+  frame.request_id = 99;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  ASSERT_EQ(bytes.size(), kHeaderBytes) << "stats request has no payload";
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_FALSE(result.is_response);
+  EXPECT_EQ(result.request.type, FrameType::kStats);
+  EXPECT_EQ(result.request.request_id, 99u);
+}
+
+TEST(Wire, StatsRequestWithPayloadRejected) {
+  RequestFrame frame;
+  frame.type = FrameType::kStats;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  bytes[16] = 1;  // claim a 1-byte payload
+  bytes.push_back(0);
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, ResponseWithStatsBlobRoundTrip) {
+  ResponseFrame frame;
+  frame.request_id = 44;
+  frame.status = WireStatus::kOk;
+  frame.epoch = 17;
+  frame.stats = "# TYPE mmph_net_requests_total counter\n"
+                "mmph_net_requests_total 12\n";
+  std::vector<std::uint8_t> bytes;
+  encode_response(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_TRUE(result.is_response);
+  EXPECT_EQ(result.response.request_id, 44u);
+  EXPECT_FALSE(result.response.centers.has_value());
+  ASSERT_TRUE(result.response.stats.has_value());
+  EXPECT_EQ(*result.response.stats, *frame.stats);
+}
+
+TEST(Wire, ResponseWithCentersAndStatsRoundTrip) {
+  ResponseFrame frame;
+  frame.request_id = 45;
+  frame.centers = geo::PointSet::from_rows({{1.0, 2.0}});
+  frame.stats = "mmph_serve_queue_depth 0\n";
+  std::vector<std::uint8_t> bytes;
+  encode_response(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  ASSERT_TRUE(result.response.centers.has_value());
+  EXPECT_EQ((*result.response.centers)[0][1], 2.0);
+  ASSERT_TRUE(result.response.stats.has_value());
+  EXPECT_EQ(*result.response.stats, "mmph_serve_queue_depth 0\n");
+}
+
+TEST(Wire, ResponseStatsBlobWithTrailingBytesRejected) {
+  ResponseFrame frame;
+  frame.request_id = 46;
+  frame.stats = "x";
+  std::vector<std::uint8_t> bytes;
+  encode_response(frame, bytes);
+  // Append a junk byte and fix up payload_len: the blob-length field now
+  // disagrees with the remaining bytes.
+  bytes.push_back(0xAB);
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(bytes.size() - kHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, ResponseInternalErrorStatusRoundTrip) {
+  ResponseFrame frame;
+  frame.request_id = 47;
+  frame.status = WireStatus::kInternalError;
+  std::vector<std::uint8_t> bytes;
+  encode_response(frame, bytes);
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_EQ(result.response.status, WireStatus::kInternalError);
+  // One past the last status value is malformed, not silently accepted.
+  bytes[kHeaderBytes] =
+      static_cast<std::uint8_t>(WireStatus::kInternalError) + 1;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
 }
 
 }  // namespace

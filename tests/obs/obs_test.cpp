@@ -1,0 +1,166 @@
+// mmph::obs: pinned histogram bucket layout, exact quantile math against
+// a brute-force sort, registry identity, and the exposition format.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mmph/io/stats.hpp"
+#include "mmph/obs/instruments.hpp"
+#include "mmph/obs/registry.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph::obs {
+namespace {
+
+TEST(ObsHistogram, BucketBoundsArePinned) {
+  // The layout is a wire-visible contract (scrapers reconstruct quantiles
+  // from it): 63 finite bounds from 1 microsecond growing by sqrt(2).
+  ASSERT_EQ(kBucketCount, 64u);
+  ASSERT_EQ(kBucketBounds.size(), 63u);
+  EXPECT_DOUBLE_EQ(kBucketBounds[0], 1e-6);
+  EXPECT_NEAR(kBucketBounds[2], 2e-6, 1e-18);  // two sqrt(2) steps = octave
+  for (std::size_t i = 0; i + 1 < kBucketBounds.size(); ++i) {
+    EXPECT_NEAR(kBucketBounds[i + 1] / kBucketBounds[i], kBucketGrowth,
+                1e-12);
+  }
+  // 62 steps of sqrt(2) from 1e-6 is 2^31 microseconds ~ 2147 seconds.
+  EXPECT_NEAR(kBucketBounds.back(), 2147.483648, 1e-3);
+}
+
+TEST(ObsHistogram, BucketIndexUsesLessOrEqualSemantics) {
+  EXPECT_EQ(bucket_index(0.0), 0u);
+  EXPECT_EQ(bucket_index(1e-7), 0u);
+  EXPECT_EQ(bucket_index(kBucketBounds[0]), 0u);  // le: boundary stays low
+  EXPECT_EQ(bucket_index(std::nextafter(kBucketBounds[0], 1.0)), 1u);
+  EXPECT_EQ(bucket_index(kBucketBounds[10]), 10u);
+  EXPECT_EQ(bucket_index(kBucketBounds.back()), kBucketBounds.size() - 1);
+  // Past the last finite bound and non-finite values: overflow bucket.
+  EXPECT_EQ(bucket_index(1e9), kBucketCount - 1);
+  EXPECT_EQ(bucket_index(std::numeric_limits<double>::infinity()),
+            kBucketCount - 1);
+  EXPECT_EQ(bucket_index(std::numeric_limits<double>::quiet_NaN()),
+            kBucketCount - 1);
+}
+
+TEST(ObsHistogram, QuantileInterpolationIsExactOnKnownCounts) {
+  Histogram hist;
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0) << "empty histogram";
+
+  // 10 observations, all in bucket 0 ([0, 1e-6]): quantile(q) must
+  // interpolate linearly across the bucket, rank = max(1, q*count).
+  for (int i = 0; i < 10; ++i) hist.observe(5e-7);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 1e-6 * (5.0 / 10.0));
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 1e-6 * (1.0 / 10.0));
+  EXPECT_EQ(hist.count(), 10u);
+  EXPECT_NEAR(hist.sum(), 5e-6, 1e-15);
+
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  // All mass in the overflow bucket: answer the largest finite bound
+  // instead of inventing a value beyond the layout.
+  hist.observe(1e9);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.99), kBucketBounds.back());
+}
+
+TEST(ObsHistogram, QuantilesMatchBruteForceSortWithinOneBucket) {
+  Histogram hist;
+  rnd::Rng rng(404);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform across the interesting latency range, ~1us to ~10s.
+    const double v = std::pow(10.0, rng.uniform(-6.0, 1.0));
+    samples.push_back(v);
+    hist.observe(v);
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+  for (const double q : {0.05, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+    const double exact = io::percentile(samples, q);
+    const double approx = snap.quantile(q);
+    // Both the true order statistic and the interpolated estimate live in
+    // the same log-spaced bucket, so they differ by at most one growth
+    // factor (sqrt(2)); interpolation error on the rank adds at most one
+    // more bucket at the seams.
+    EXPECT_GE(approx, exact / (kBucketGrowth * kBucketGrowth))
+        << "q=" << q << " exact=" << exact;
+    EXPECT_LE(approx, exact * kBucketGrowth * kBucketGrowth)
+        << "q=" << q << " exact=" << exact;
+  }
+}
+
+TEST(ObsHistogram, NonFiniteObservationsAreCountedButExcludedFromSum) {
+  Histogram hist;
+  hist.observe(1.0);
+  hist.observe(std::numeric_limits<double>::quiet_NaN());
+  hist.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 1.0);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("mmph_test_total");
+  Counter& b = registry.counter("mmph_test_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Same name as a different kind is a caller bug, not a silent alias.
+  EXPECT_THROW((void)registry.gauge("mmph_test_total"), InvalidArgument);
+}
+
+TEST(ObsRegistry, PointersSurviveLaterRegistrations) {
+  Registry registry;
+  Counter& first = registry.counter("mmph_first_total");
+  for (int i = 0; i < 100; ++i) {
+    (void)registry.counter("mmph_filler_" + std::to_string(i) + "_total");
+  }
+  first.add(7);
+  EXPECT_EQ(registry.counter("mmph_first_total").value(), 7u);
+}
+
+TEST(ObsRegistry, ExpositionFormatIsPrometheusShaped) {
+  Registry registry;
+  registry.counter("mmph_requests_total", "requests served").add(42);
+  registry.gauge("mmph_depth").set(3.5);
+  Histogram& hist = registry.histogram("mmph_latency_seconds");
+  hist.observe(5e-7);  // bucket 0
+  hist.observe(3e-6);  // bucket 4 (bounds 2.83e-6 < 3e-6 <= 4e-6)
+
+  const std::string text = registry.exposition_text();
+  EXPECT_NE(text.find("# TYPE mmph_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmph_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mmph_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("mmph_depth 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mmph_latency_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: bucket 0 holds 1, every bucket from index 4
+  // on holds 2, and +Inf equals _count.
+  EXPECT_NE(text.find("mmph_latency_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmph_latency_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmph_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmph_latency_seconds_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("mmph_latency_seconds_sum 3.5e-06\n"),
+            std::string::npos);
+
+  registry.reset();
+  const std::string zeroed = registry.exposition_text();
+  EXPECT_NE(zeroed.find("mmph_requests_total 0\n"), std::string::npos);
+  EXPECT_NE(zeroed.find("mmph_latency_seconds_count 0\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmph::obs

@@ -237,9 +237,73 @@ TEST(PlacementService, WorkerThreadDrainsQueue) {
   EXPECT_GT(query_response.objective, 0.0);
   service.stop();
 
-  // stop() is terminal: new submissions are answered immediately.
+  // stop() is terminal: new submissions are answered immediately, and as
+  // a shutdown — not as queue-full backpressure.
   std::future<Response> after = service.submit(Request::query_placement());
-  EXPECT_EQ(after.get().status, ResponseStatus::kRejected);
+  EXPECT_EQ(after.get().status, ResponseStatus::kShutdown);
+}
+
+TEST(PlacementService, EvaluateBadCentersAnswersBadRequest) {
+  Population pop = make_population(40, 17);
+  PlacementService service(ServiceConfig{});
+  service.apply_add(pop.users);
+
+  // Dimension mismatch (service dim is 2).
+  geo::PointSet wrong_dim(3);
+  const std::vector<double> p3 = {0.5, 0.5, 0.5};
+  wrong_dim.push_back(geo::ConstVec(p3.data(), p3.size()));
+  std::future<Response> mismatch_reply =
+      service.submit(Request::evaluate(std::move(wrong_dim)));
+
+  // Empty center set, correct dimension.
+  std::future<Response> empty_reply =
+      service.submit(Request::evaluate(geo::PointSet(2)));
+
+  // A valid evaluate in the same batch must be unaffected.
+  geo::PointSet good(2);
+  const std::vector<double> p2 = {1.0, 1.0};
+  good.push_back(geo::ConstVec(p2.data(), p2.size()));
+  std::future<Response> good_reply =
+      service.submit(Request::evaluate(std::move(good)));
+
+  EXPECT_EQ(service.pump(), 3u);
+  const Response mismatch = mismatch_reply.get();
+  EXPECT_EQ(mismatch.status, ResponseStatus::kBadRequest)
+      << "got " << to_string(mismatch.status);
+  const Response empty = empty_reply.get();
+  EXPECT_EQ(empty.status, ResponseStatus::kBadRequest)
+      << "got " << to_string(empty.status);
+  const Response valid = good_reply.get();
+  EXPECT_EQ(valid.status, ResponseStatus::kOk);
+  EXPECT_GT(valid.objective, 0.0);
+  EXPECT_EQ(service.metrics().bad_requests, 2u);
+}
+
+TEST(PlacementService, MidBatchThrowStillFulfillsEveryPromise) {
+  Population pop = make_population(40, 23);
+  PlacementService service(ServiceConfig{});
+  service.apply_add(pop.users);
+
+  // A wrong-dimension user makes InstanceStore::upsert throw inside
+  // process_batch's mutation phase. Before the reply-loop hardening this
+  // escaped the worker, broke every later promise in the batch, and left
+  // blocking clients hung on std::future_error.
+  Request poison = Request::add_users({UserRecord{777, {1.0, 2.0, 3.0}, 1.0}});
+  std::future<Response> poison_reply = service.submit(std::move(poison));
+  std::future<Response> query_reply =
+      service.submit(Request::query_placement());
+
+  EXPECT_EQ(service.pump(), 2u);
+  const Response poisoned = poison_reply.get();
+  EXPECT_EQ(poisoned.status, ResponseStatus::kBadRequest)
+      << "got " << to_string(poisoned.status);
+  const Response query = query_reply.get();
+  EXPECT_EQ(query.status, ResponseStatus::kOk)
+      << "a bad request must not poison the rest of its batch";
+  EXPECT_GT(query.objective, 0.0);
+  EXPECT_EQ(service.population(), 40u)
+      << "failed mutation must not partially apply a later epoch";
+  EXPECT_GE(service.metrics().bad_requests, 1u);
 }
 
 }  // namespace

@@ -102,8 +102,9 @@ TEST(RequestBatcher, DeadlinePassingWhileQueuedTimesOutMutation) {
   EXPECT_EQ(batcher.depth(), 0u);
 }
 
-TEST(RequestBatcher, CloseAnswersQueuedAndRejectsNewPushes) {
-  RequestBatcher batcher(8);
+TEST(RequestBatcher, CloseAnswersQueuedAndShutsDownNewPushes) {
+  ServeMetrics metrics;
+  RequestBatcher batcher(8, &metrics);
   Request queued = Request::query_placement();
   std::future<Response> queued_future = queued.reply.get_future();
   EXPECT_TRUE(batcher.push(std::move(queued)));
@@ -114,11 +115,47 @@ TEST(RequestBatcher, CloseAnswersQueuedAndRejectsNewPushes) {
             std::future_status::ready);
   EXPECT_EQ(queued_future.get().status, ResponseStatus::kShutdown);
 
+  // A push racing close() is a shutdown, not backpressure: it must not
+  // read as kRejected (queue-full) nor count as submitted.
   Request late = Request::query_placement();
   std::future<Response> late_future = late.reply.get_future();
   EXPECT_FALSE(batcher.push(std::move(late)));
-  EXPECT_EQ(late_future.get().status, ResponseStatus::kRejected);
+  EXPECT_EQ(late_future.get().status, ResponseStatus::kShutdown);
   EXPECT_TRUE(batcher.pop_batch(8).empty());
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.submitted, 1u) << "late push must not count as submitted";
+  EXPECT_EQ(snap.rejected_full, 0u);
+  EXPECT_EQ(snap.shutdown, 2u) << "one drained + one late push";
+}
+
+TEST(RequestBatcher, PushCloseRaceAlwaysFulfillsEveryPromise) {
+  // Hammer push against close from another thread: every push must get
+  // exactly one answer (kOk-queued-then-drained-kShutdown, or immediate
+  // kShutdown), never a broken promise and never kRejected while the
+  // queue has room.
+  for (int round = 0; round < 20; ++round) {
+    RequestBatcher batcher(1024);
+    std::vector<std::future<Response>> futures;
+    futures.reserve(64);
+    std::thread closer([&batcher] { batcher.close(); });
+    for (int i = 0; i < 64; ++i) {
+      Request request = Request::query_placement();
+      futures.push_back(request.reply.get_future());
+      batcher.push(std::move(request));
+    }
+    closer.join();
+    batcher.close();  // answer anything that slipped in after the race
+    for (auto& future : futures) {
+      ASSERT_EQ(future.wait_for(milliseconds(1000)),
+                std::future_status::ready)
+          << "push/close race left a promise unfulfilled";
+      const ResponseStatus status = future.get().status;
+      EXPECT_TRUE(status == ResponseStatus::kOk ||
+                  status == ResponseStatus::kShutdown)
+          << "got " << to_string(status);
+    }
+  }
 }
 
 TEST(RequestBatcher, PopWithWaitReturnsEmptyOnTimeout) {

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Two-process smoke test of the kStats scrape path: start `mmph_cli
+# serve-net --listen` on an ephemeral loopback port, push a small replay
+# through it, then scrape `mmph_cli stats` and check that the Prometheus
+# exposition carries non-zero counters from all three registries (net,
+# serve, trace spans come and go with enablement so only net/serve are
+# asserted). Used both by tools/check.sh stats-smoke and by
+# tests/cli_test.sh (ctest). Usage: stats_smoke.sh <path-to-mmph_cli>
+set -e
+CLI="$1"
+[ -n "$CLI" ] || { echo "usage: stats_smoke.sh <mmph_cli>"; exit 2; }
+DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# Server: ephemeral port (0 = kernel-assigned), written to a port file;
+# --run-seconds caps the lifetime so a wedged test cannot leak a process.
+"$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
+  --run-seconds 30 > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the port file (up to ~5 s).
+tries=0
+while [ ! -s "$DIR/port" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 50 ] || { echo "server never published its port"; cat "$DIR/server.log"; exit 1; }
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; cat "$DIR/server.log"; exit 1; }
+  sleep 0.1
+done
+PORT=$(cat "$DIR/port")
+
+# Generate some traffic so the counters and the latency histogram move.
+"$CLI" serve-net --connect 127.0.0.1 --port "$PORT" \
+  --users 100 --slots 3 --churn 0.02 > "$DIR/client.txt"
+grep -q "requests failed *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+
+# Scrape: the exposition must show the requests that just happened, a
+# moving latency histogram, and the service-level submit counter.
+"$CLI" stats --port "$PORT" > "$DIR/stats.txt"
+grep -Eq "^mmph_net_requests_total [1-9]" "$DIR/stats.txt" \
+  || { echo "missing net requests"; cat "$DIR/stats.txt"; exit 1; }
+grep -Eq "^mmph_serve_submitted_total [1-9]" "$DIR/stats.txt" \
+  || { echo "missing serve submitted"; cat "$DIR/stats.txt"; exit 1; }
+grep -Eq "^mmph_net_request_latency_seconds_count [1-9]" "$DIR/stats.txt" \
+  || { echo "missing latency histogram"; cat "$DIR/stats.txt"; exit 1; }
+grep -q "mmph_net_request_latency_seconds_bucket{le=\"+Inf\"}" "$DIR/stats.txt" \
+  || { echo "missing +Inf bucket"; cat "$DIR/stats.txt"; exit 1; }
+
+# Scrapes are idempotent reads: a second one still answers.
+"$CLI" stats --port "$PORT" > "$DIR/stats2.txt"
+grep -Eq "^mmph_net_requests_total [1-9]" "$DIR/stats2.txt" \
+  || { echo "second scrape failed"; cat "$DIR/stats2.txt"; exit 1; }
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "stats_smoke OK"

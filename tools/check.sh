@@ -12,6 +12,9 @@
 #                               # ephemeral loopback port)
 #   tools/check.sh net-fuzz     # build + run the wire-decoder fuzz corpus
 #                               # (honors MMPH_SANITIZE=ON for ASan/UBSan)
+#   tools/check.sh stats-smoke  # build + two-process metrics smoke test
+#                               # (serve-net --listen scraped by `stats`
+#                               # over an ephemeral loopback port)
 #
 # Extra args are forwarded to ctest (e.g. tools/check.sh -R serve).
 set -e
@@ -29,6 +32,10 @@ fi
 
 if [ "$1" = "net-smoke" ]; then
   exec sh tests/net_smoke.sh "$BUILD_DIR/tools/mmph_cli"
+fi
+
+if [ "$1" = "stats-smoke" ]; then
+  exec sh tests/stats_smoke.sh "$BUILD_DIR/tools/mmph_cli"
 fi
 
 if [ "$1" = "net-fuzz" ]; then

@@ -59,8 +59,11 @@ int usage() {
       "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
       "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
-      "            [--radius R] [--churn P] [--seed S]\n"
-      "            (neither --listen nor --connect: in-process self-test)\n";
+      "            [--radius R] [--churn P] [--seed S] [--stats]\n"
+      "            (neither --listen nor --connect: in-process self-test;\n"
+      "             --stats scrapes and prints the metrics exposition)\n"
+      "  stats     --port P [--host H]\n"
+      "            (print Prometheus-style metrics from a serve-net --listen)\n";
   return 2;
 }
 
@@ -483,6 +486,33 @@ int run_net_replay(net::NetClient& client, std::size_t users,
   return bad == 0 ? 0 : 1;
 }
 
+/// Issues a kStats request and prints the exposition verbatim; shared by
+/// `stats` and the `serve-net --stats` paths. Returns a process exit code.
+int scrape_and_print_stats(net::NetClient& client) {
+  const net::ResponseFrame reply = client.stats();
+  if (reply.status != net::WireStatus::kOk || !reply.stats.has_value()) {
+    std::cerr << "stats scrape failed: " << net::to_string(reply.status)
+              << "\n";
+    return 1;
+  }
+  std::cout << *reply.stats;
+  return 0;
+}
+
+// Remote metrics scrape: one kStats round-trip against a running
+// `serve-net --listen`, exposition printed to stdout for grep/Prometheus.
+int cmd_stats(io::Args& args) {
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  args.finish();
+  if (port == 0) throw ParseError("stats: --port is required");
+  net::NetClientConfig config;
+  config.host = host;
+  config.port = port;
+  net::NetClient client(config);
+  return scrape_and_print_stats(client);
+}
+
 // Socket-serving mode of the placement service. Three sub-modes:
 //   --listen         run a NetServer until SIGINT/SIGTERM or --run-seconds;
 //   --connect HOST   replay the churn workload against a remote server;
@@ -497,12 +527,16 @@ int cmd_serve_net(io::Args& args) {
   const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 10));
   const double churn = args.get_double("churn", 0.01);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  const bool want_stats = args.get_flag("stats");
   serve::ServiceConfig service_config;
   service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
   service_config.radius = args.get_double("radius", 1.0);
   args.finish();
   if (listen && !connect_host.empty()) {
     throw ParseError("serve-net: --listen and --connect are exclusive");
+  }
+  if (listen && want_stats) {
+    throw ParseError("serve-net: --stats applies to --connect or self-test");
   }
   if (churn < 0.0 || churn > 1.0) {
     throw ParseError("serve-net: --churn must be in [0, 1]");
@@ -547,7 +581,12 @@ int cmd_serve_net(io::Args& args) {
     client_config.port = port;
   }
   net::NetClient client(client_config);
-  const int rc = run_net_replay(client, users, slots, churn, seed);
+  int rc = run_net_replay(client, users, slots, churn, seed);
+  if (want_stats && rc == 0) {
+    // Scrape over the same connection, before any local server stops, so
+    // the exposition reflects the replay that just finished.
+    rc = scrape_and_print_stats(client);
+  }
   if (local.has_value()) {
     local->stop();
     print_net_metrics(local->metrics());
@@ -571,6 +610,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "serve-replay") return cmd_serve_replay(args);
     if (command == "serve-net") return cmd_serve_net(args);
+    if (command == "stats") return cmd_stats(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
