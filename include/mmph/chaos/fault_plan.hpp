@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// \brief Seed-derived schedule of which fault sites fire how often.
+///
+/// A FaultPlan is the whole description of one chaos schedule: a master
+/// seed plus a per-site firing probability. Everything downstream is a
+/// deterministic function of it — the Injector derives an independent
+/// PCG64 stream per site from `seed ^ fnv1a64(site)`, so two runs of the
+/// same plan make identical fire/skip decisions at every site no matter
+/// which other sites exist, and a failure reproduces from its printed
+/// seed alone.
+///
+/// Probabilities are deliberately capped below 1 for the retrying net
+/// sites: an injected EINTR/EAGAIN feeds the same retry loop a real one
+/// would, so a site that fired on *every* consult would spin that loop
+/// forever. kMaxRetryProbability keeps every schedule terminating.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmph::chaos {
+
+/// FNV-1a 64-bit — stable, dependency-free site-name hash used to derive
+/// per-site RNG streams.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+/// Ceiling for sites that feed retry loops (net read/write/accept): the
+/// expected retry chain stays short and every loop terminates.
+inline constexpr double kMaxRetryProbability = 0.35;
+
+struct FaultSite {
+  std::string site;          ///< exact name consulted at the seam
+  double probability = 0.0;  ///< chance each consult fires, in [0, 1]
+};
+
+/// One reproducible chaos schedule. Construct by hand for targeted tests
+/// or via the harness generators (serve_plan_for_seed / net_plan_for_seed)
+/// for sweeps.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSite> sites;
+
+  /// Adds (or overwrites) a site's probability; returns *this for chaining.
+  FaultPlan& with(std::string_view site, double probability);
+
+  /// Probability of \p site (0 when absent from the plan).
+  [[nodiscard]] double probability_of(std::string_view site) const noexcept;
+};
+
+}  // namespace mmph::chaos

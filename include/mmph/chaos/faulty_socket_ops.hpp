@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file faulty_socket_ops.hpp
+/// \brief SocketOps decorator that injects transport faults from a seed.
+///
+/// Wraps a real (or otherwise inner) net::SocketOps and consults an
+/// Injector before every syscall. Injected faults are errno-shaped — the
+/// caller's existing retry/teardown logic handles an injected EINTR or
+/// ECONNRESET exactly as it would a real one, which is the point: chaos
+/// runs exercise the *production* failure paths, not special test paths.
+///
+/// Sites (prefix + name; prefix separates server-side from client-side
+/// streams so each stream is consumed by exactly one thread):
+///   <p>read_eintr   read returns -1/EINTR before touching the socket
+///   <p>read_reset   read returns -1/ECONNRESET (peer vanished mid-frame)
+///   <p>read_short   read capped to 1 byte (mid-header truncation)
+///   <p>write_eintr  write returns -1/EINTR
+///   <p>write_reset  write returns -1/EPIPE (peer closed; send() shape)
+///   <p>write_short  write capped to 1 byte (slow-peer back-pressure)
+///   <p>accept_eintr accept returns -1/EINTR (retried next poll pass)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mmph/chaos/injector.hpp"
+#include "mmph/net/socket.hpp"
+
+namespace mmph::chaos {
+
+/// Conventional prefixes: one per consuming thread/role.
+inline constexpr std::string_view kServerSitePrefix = "net.srv.";
+inline constexpr std::string_view kClientSitePrefix = "net.cli.";
+
+class FaultySocketOps final : public net::SocketOps {
+ public:
+  /// \p injector and \p inner must outlive this object. \p site_prefix is
+  /// prepended to every site name consulted.
+  FaultySocketOps(Injector& injector, std::string site_prefix,
+                  net::SocketOps& inner = net::SocketOps::system());
+
+  ssize_t read(int fd, std::uint8_t* buf, std::size_t cap) override;
+  ssize_t write(int fd, const std::uint8_t* buf, std::size_t len) override;
+  int accept(int listener_fd) override;
+
+ private:
+  [[nodiscard]] bool fire(std::string_view name);
+
+  Injector& injector_;
+  std::string prefix_;
+  net::SocketOps& inner_;
+};
+
+}  // namespace mmph::chaos

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file harness.hpp
+/// \brief Seeded chaos schedules over the serve and net stacks.
+///
+/// Two entry points, shared by the gtest suite and the chaos_runner
+/// sweep binary. Each takes a single seed, derives a full fault schedule
+/// plus a request workload from it, runs the stack under fire, and checks
+/// the invariants that must survive *any* schedule:
+///
+///   1. exactly-once replies — every submitted request is answered
+///      exactly once with a status from the valid set;
+///   2. counter conservation — submitted == batched + timeouts +
+///      rejected_full once the queue quiesces;
+///   3. survival — the pipeline still answers cleanly after the faults
+///      are disarmed;
+///   4. convergence — the surviving state is *bit-identical* (objective,
+///      centers, population) to a fault-free reference fed the same
+///      effective operations.
+///
+/// Convergence is checked two different ways, matched to what each layer
+/// can promise:
+///   - serve: strict history replay. Faults fire before any store
+///     mutation, so "answered kOk" implies "fully applied"; replaying the
+///     kOk mutations in submit order onto a fresh service must reproduce
+///     the placement, epoch included.
+///   - net: content-based rebuild. A lost *reply* leaves an applied
+///     mutation the client saw fail, so history is ambiguous; instead the
+///     harness disarms, removes every id it ever used, re-adds the final
+///     desired population in one known order, and compares against a
+///     direct service given that same final sequence (epochs excluded).
+///
+/// Both force full_solve_churn_fraction = 0 so every placement is a full
+/// sharded solve — a pure function of store content and row order.
+
+#include <cstdint>
+#include <string>
+
+#include "mmph/chaos/fault_plan.hpp"
+
+namespace mmph::chaos {
+
+/// Outcome of one seeded schedule. `ok == false` messages always embed
+/// the seed, so any failure is reproducible from its log line.
+struct ChaosResult {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  std::string message;       ///< failure description (empty when ok)
+  std::uint64_t requests = 0;  ///< requests submitted during the run
+  std::uint64_t faults_fired = 0;
+};
+
+struct ServeChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t operations = 120;  ///< scripted requests per schedule
+  std::size_t queue_capacity = 32;
+};
+
+struct NetChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t operations = 40;  ///< client calls per schedule
+};
+
+/// Seed-derived schedules (exposed so tests can inspect/override them).
+[[nodiscard]] FaultPlan serve_plan_for_seed(std::uint64_t seed);
+[[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed);
+
+/// Direct-API chaos: PlacementService + RequestBatcher under the four
+/// serve fault sites, pump-driven (no sockets, no threads).
+[[nodiscard]] ChaosResult run_serve_chaos(const ServeChaosOptions& options);
+
+/// Full-stack chaos: NetClient -> faulty sockets -> NetServer ->
+/// FrameDecoder -> batcher -> service, both socket directions injected.
+[[nodiscard]] ChaosResult run_net_chaos(const NetChaosOptions& options);
+
+}  // namespace mmph::chaos

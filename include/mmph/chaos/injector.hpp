@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file injector.hpp
+/// \brief Deterministic fault decision engine behind every chaos seam.
+///
+/// One Injector serves every fault site of a run. Each site gets its own
+/// PCG64 stream seeded `plan.seed ^ fnv1a64(site)`, so the decision
+/// sequence *at one site* is a pure function of (seed, site, consult
+/// index) — adding a site, reordering sites, or interleaving consults
+/// across threads never perturbs another site's stream. Timing can still
+/// vary how many times a site is consulted (a retry loop consults again
+/// after every injected EINTR), which is why the harness asserts
+/// timing-robust invariants rather than byte-exact schedules.
+///
+/// Thread-safe: decisions serialize on an internal mutex. The mutex is a
+/// leaf (no callbacks run under it), so consulting from inside the
+/// batcher's or server's own locks cannot deadlock.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mmph/chaos/fault_plan.hpp"
+#include "mmph/random/pcg64.hpp"
+#include "mmph/serve/fault.hpp"
+
+namespace mmph::chaos {
+
+/// Per-site consult/fire tallies (diagnostics and test assertions).
+struct SiteReport {
+  std::string site;
+  std::uint64_t consulted = 0;
+  std::uint64_t fired = 0;
+};
+
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// One fault decision at \p site. Deterministic per (seed, site,
+  /// consult index) while armed; always false while disarmed (the draw is
+  /// NOT consumed, so disarm/re-arm does not shift the stream).
+  [[nodiscard]] bool fire(std::string_view site);
+
+  /// Disarmed injectors never fire — the harness disarms before its
+  /// fault-free reconciliation/verification phase.
+  void set_armed(bool armed) noexcept;
+  [[nodiscard]] bool armed() const noexcept;
+
+  /// Adapter for ServiceConfig::fault_hook / RequestBatcher.
+  [[nodiscard]] serve::FaultHook hook();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Tallies for every site consulted so far, sorted by site name.
+  [[nodiscard]] std::vector<SiteReport> report() const;
+
+ private:
+  struct SiteState {
+    double probability = 0.0;
+    rnd::Pcg64 rng{0};
+    std::uint64_t consulted = 0;
+    std::uint64_t fired = 0;
+  };
+
+  SiteState& state_for(std::string_view site);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  bool armed_ = true;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace mmph::chaos

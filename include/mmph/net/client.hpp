@@ -33,6 +33,10 @@ struct NetClientConfig {
   std::chrono::milliseconds recv_timeout{5000};
   /// Total tries per call (first attempt + reconnect retries).
   std::size_t max_attempts = 2;
+  /// Syscall hook table every send/recv goes through; null selects
+  /// SocketOps::system(). Tests point this at a fault injector
+  /// (mmph::chaos::FaultySocketOps). Must outlive the client.
+  SocketOps* socket_ops = nullptr;
 };
 
 class NetClient {
@@ -64,6 +68,10 @@ class NetClient {
   }
 
  private:
+  [[nodiscard]] SocketOps& ops() const noexcept {
+    return config_.socket_ops != nullptr ? *config_.socket_ops
+                                         : SocketOps::system();
+  }
   void ensure_connected();
   [[nodiscard]] ResponseFrame roundtrip(RequestFrame frame);
   /// Sends the encoded frame and reads until the matching response (or a

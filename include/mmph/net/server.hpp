@@ -59,6 +59,10 @@ struct NetServerConfig {
   std::chrono::milliseconds poll_interval{20};
   /// Per-connection read+write backlog cap (slow-reader defense).
   std::size_t max_buffered_bytes = 8u << 20;
+  /// Syscall hook table every read/write/accept goes through; null selects
+  /// SocketOps::system(). Tests point this at a fault injector
+  /// (mmph::chaos::FaultySocketOps). Must outlive the server.
+  SocketOps* socket_ops = nullptr;
 };
 
 class NetServer {
@@ -116,6 +120,7 @@ class NetServer {
   void close_connection(std::size_t index);
 
   NetServerConfig config_;
+  SocketOps& ops_;
   std::unique_ptr<serve::PlacementService> service_;
   NetMetrics metrics_;
 

@@ -10,6 +10,8 @@
 /// itself. IPv4 only — the serving tier fronts placement shards on
 /// private addresses, not the public internet.
 
+#include <sys/types.h>
+
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -19,6 +21,31 @@
 #include "mmph/support/error.hpp"
 
 namespace mmph::net {
+
+/// Syscall hook table the socket layer routes every read / write / accept
+/// through. The default implementation forwards to the real syscalls;
+/// tests override single hooks to inject short reads, EINTR, ECONNRESET,
+/// EAGAIN, or failed accepts deterministically (see mmph::chaos).
+///
+/// Hooks are errno-shaped: each has the exact return/errno contract of
+/// the syscall it replaces, so the retry loops in sock_read/sock_write
+/// treat injected faults identically to real ones. One SocketOps instance
+/// must only be shared across threads if its implementation is
+/// thread-safe (system() is; fault injectors serialize internally).
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  /// ::read(fd, buf, cap) — returns bytes read, 0 on EOF, -1 + errno.
+  virtual ssize_t read(int fd, std::uint8_t* buf, std::size_t cap);
+  /// ::send(fd, buf, len, MSG_NOSIGNAL) — returns bytes sent, -1 + errno.
+  virtual ssize_t write(int fd, const std::uint8_t* buf, std::size_t len);
+  /// ::accept(listener_fd, nullptr, nullptr) — returns fd or -1 + errno.
+  virtual int accept(int listener_fd);
+
+  /// Process-wide passthrough instance (stateless, thread-safe).
+  [[nodiscard]] static SocketOps& system() noexcept;
+};
 
 /// A socket/system call failed (message carries the errno text).
 class NetError : public Error {
@@ -73,7 +100,8 @@ struct IoResult {
 
 /// Accepts one pending connection as a nonblocking socket. Returns an
 /// invalid Socket when no connection is pending.
-[[nodiscard]] Socket tcp_accept(const Socket& listener);
+[[nodiscard]] Socket tcp_accept(const Socket& listener,
+                                SocketOps& ops = SocketOps::system());
 
 /// Connects to \p host:\p port within \p timeout (nonblocking connect +
 /// poll). The returned socket is left *blocking*: the client uses poll()
@@ -84,21 +112,25 @@ struct IoResult {
 
 /// Nonblocking read into \p buf.
 [[nodiscard]] IoResult sock_read(const Socket& sock, std::uint8_t* buf,
-                                 std::size_t cap);
+                                 std::size_t cap,
+                                 SocketOps& ops = SocketOps::system());
 /// Nonblocking write from \p buf.
 [[nodiscard]] IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
-                                  std::size_t len);
+                                  std::size_t len,
+                                  SocketOps& ops = SocketOps::system());
 
 /// Blocking send of the whole buffer, polling for writability between
 /// chunks; false once \p deadline passes or the connection dies.
 [[nodiscard]] bool send_all(const Socket& sock, const std::uint8_t* buf,
                             std::size_t len,
-                            std::chrono::steady_clock::time_point deadline);
+                            std::chrono::steady_clock::time_point deadline,
+                            SocketOps& ops = SocketOps::system());
 
 /// Blocking read of at most \p cap bytes, waiting for readability until
 /// \p deadline. bytes == 0 with kWouldBlock means the deadline passed.
 [[nodiscard]] IoResult recv_some(
     const Socket& sock, std::uint8_t* buf, std::size_t cap,
-    std::chrono::steady_clock::time_point deadline);
+    std::chrono::steady_clock::time_point deadline,
+    SocketOps& ops = SocketOps::system());
 
 }  // namespace mmph::net

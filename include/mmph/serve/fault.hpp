@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file fault.hpp
+/// \brief Test-only fault-injection seam of the serve stack.
+///
+/// The serve pipeline has failure paths (queue full, deadline passed,
+/// solver throw, allocation failure) that real traffic exercises rarely
+/// and non-deterministically. A FaultHook lets a test make them fire on
+/// demand: the service and batcher consult the hook at *named fault
+/// sites*, and a hook that returns true makes that site fail exactly as
+/// the organic failure would — same status, same counters, same promise
+/// discipline. Production leaves the hook empty (null std::function), so
+/// every site collapses to one cheap bool check.
+///
+/// The deterministic, seed-driven implementation of the hook lives in
+/// mmph::chaos (serve must not depend on it — the dependency points the
+/// other way).
+
+#include <functional>
+#include <string_view>
+
+namespace mmph::serve {
+
+/// Called at a named fault site; returning true forces that site to fail
+/// this invocation. Implementations must be thread-safe: sites fire from
+/// producer threads (push) and the consumer thread (pump) concurrently.
+using FaultHook = std::function<bool(std::string_view site)>;
+
+// --- fault-site catalog (serve layer) --------------------------------------
+// Every name is <layer>.<failure>; the chaos harness keys its schedule and
+// its report on these exact strings.
+
+/// RequestBatcher::push treats the queue as full -> kRejected.
+inline constexpr std::string_view kFaultQueueFull = "serve.queue_full";
+/// RequestBatcher::pop_batch treats the request's deadline as passed ->
+/// kTimeout, request dropped from the batch (mutation NOT applied).
+inline constexpr std::string_view kFaultDeadlineSkew = "serve.deadline_skew";
+/// PlacementService query/evaluate processing throws mid-batch ->
+/// kInternalError for that request, rest of the batch unaffected.
+inline constexpr std::string_view kFaultSolverThrow = "serve.solver_throw";
+/// PlacementService add-users processing throws std::bad_alloc *before*
+/// any store mutation -> kInternalError, store untouched.
+inline constexpr std::string_view kFaultAllocFail = "serve.alloc_fail";
+
+}  // namespace mmph::serve

@@ -43,6 +43,7 @@
 #include "mmph/core/problem.hpp"
 #include "mmph/core/solution.hpp"
 #include "mmph/parallel/thread_pool.hpp"
+#include "mmph/serve/fault.hpp"
 #include "mmph/serve/instance_store.hpp"
 #include "mmph/serve/metrics.hpp"
 #include "mmph/serve/request.hpp"
@@ -71,6 +72,11 @@ struct ServiceConfig {
 
   std::size_t queue_capacity = 1024;
   std::size_t max_batch = 256;
+
+  /// Test-only fault seam (see fault.hpp); empty in production. Fired at
+  /// serve.queue_full / serve.deadline_skew (batcher) and
+  /// serve.solver_throw / serve.alloc_fail (batch processing).
+  FaultHook fault_hook{};
 };
 
 /// The answer to "where are the centers right now".

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mmph/serve/fault.hpp"
 #include "mmph/serve/request.hpp"
 
 namespace mmph::serve {
@@ -28,8 +29,10 @@ class ServeMetrics;
 class RequestBatcher {
  public:
   /// \p capacity bounds the queued requests (>= 1). \p metrics may be
-  /// null; when set, queue events are counted there.
-  explicit RequestBatcher(std::size_t capacity, ServeMetrics* metrics = nullptr);
+  /// null; when set, queue events are counted there. \p fault_hook (may
+  /// be empty) is consulted at kFaultQueueFull / kFaultDeadlineSkew.
+  explicit RequestBatcher(std::size_t capacity, ServeMetrics* metrics = nullptr,
+                          FaultHook fault_hook = {});
 
   ~RequestBatcher();
 
@@ -59,6 +62,7 @@ class RequestBatcher {
  private:
   const std::size_t capacity_;
   ServeMetrics* metrics_;
+  FaultHook fault_hook_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request> queue_;

@@ -1,0 +1,52 @@
+#include "mmph/chaos/faulty_socket_ops.hpp"
+
+#include <cerrno>
+
+#include <utility>
+
+namespace mmph::chaos {
+
+FaultySocketOps::FaultySocketOps(Injector& injector, std::string site_prefix,
+                                 net::SocketOps& inner)
+    : injector_(injector), prefix_(std::move(site_prefix)), inner_(inner) {}
+
+bool FaultySocketOps::fire(std::string_view name) {
+  return injector_.fire(prefix_ + std::string(name));
+}
+
+ssize_t FaultySocketOps::read(int fd, std::uint8_t* buf, std::size_t cap) {
+  if (fire("read_eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fire("read_reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (cap > 1 && fire("read_short")) cap = 1;
+  return inner_.read(fd, buf, cap);
+}
+
+ssize_t FaultySocketOps::write(int fd, const std::uint8_t* buf,
+                               std::size_t len) {
+  if (fire("write_eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fire("write_reset")) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (len > 1 && fire("write_short")) len = 1;
+  return inner_.write(fd, buf, len);
+}
+
+int FaultySocketOps::accept(int listener_fd) {
+  if (fire("accept_eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  return inner_.accept(listener_fd);
+}
+
+}  // namespace mmph::chaos

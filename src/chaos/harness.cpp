@@ -1,0 +1,474 @@
+#include "mmph/chaos/harness.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "mmph/chaos/faulty_socket_ops.hpp"
+#include "mmph/chaos/injector.hpp"
+#include "mmph/net/client.hpp"
+#include "mmph/net/server.hpp"
+#include "mmph/random/pcg64.hpp"
+#include "mmph/serve/placement_service.hpp"
+
+namespace mmph::chaos {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Distinct stream tags: the fault schedule and the request workload are
+/// derived from the same seed but must not share a stream (adding a fault
+/// site must not reshuffle the workload).
+constexpr std::uint64_t kPlanStream = 0x9A7C0FFEE1234567ull;
+constexpr std::uint64_t kWorkloadStream = 0x3C6EF372FE94F82Aull;
+
+std::string describe(std::uint64_t seed, const std::string& what) {
+  std::ostringstream out;
+  out << "seed=" << seed << ": " << what;
+  return out.str();
+}
+
+std::uint64_t total_fired(const Injector& injector) {
+  std::uint64_t fired = 0;
+  for (const SiteReport& site : injector.report()) fired += site.fired;
+  return fired;
+}
+
+serve::UserRecord make_user(std::uint64_t id, rnd::Pcg64& rng) {
+  serve::UserRecord user;
+  user.id = id;
+  user.interest = {rng.next_double(), rng.next_double()};
+  user.weight = 0.5 + rng.next_double();
+  return user;
+}
+
+geo::PointSet make_probe(rnd::Pcg64& rng) {
+  geo::PointSet probe(2);
+  const std::size_t count = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double row[2] = {rng.next_double(), rng.next_double()};
+    probe.push_back(geo::ConstVec(row, 2));
+  }
+  return probe;
+}
+
+bool same_centers(const geo::PointSet& got, const geo::PointSet& want) {
+  if (got.size() != want.size() || got.dim() != want.dim()) return false;
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    for (std::size_t d = 0; d < got.dim(); ++d) {
+      if (got[c][d] != want[c][d]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultPlan serve_plan_for_seed(std::uint64_t seed) {
+  rnd::Pcg64 rng(seed ^ kPlanStream);
+  FaultPlan plan;
+  plan.seed = seed;
+  // Each schedule draws its own mix; any site may also land near zero, so
+  // the sweep covers "one dominant fault" as well as "everything at once".
+  plan.with(serve::kFaultQueueFull, 0.25 * rng.next_double());
+  plan.with(serve::kFaultDeadlineSkew, 0.20 * rng.next_double());
+  plan.with(serve::kFaultSolverThrow, 0.20 * rng.next_double());
+  plan.with(serve::kFaultAllocFail, 0.20 * rng.next_double());
+  return plan;
+}
+
+FaultPlan net_plan_for_seed(std::uint64_t seed) {
+  rnd::Pcg64 rng(seed ^ kPlanStream);
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::string_view prefix : {kServerSitePrefix, kClientSitePrefix}) {
+    const std::string p(prefix);
+    // Retry-shaped faults stay under kMaxRetryProbability so every
+    // EINTR/short-IO loop terminates; resets are kept rare because each
+    // one costs a whole connection teardown + reconnect round.
+    plan.with(p + "read_eintr", 0.20 * rng.next_double());
+    plan.with(p + "read_short", kMaxRetryProbability * rng.next_double());
+    plan.with(p + "read_reset", 0.04 * rng.next_double());
+    plan.with(p + "write_eintr", 0.20 * rng.next_double());
+    plan.with(p + "write_short", kMaxRetryProbability * rng.next_double());
+    plan.with(p + "write_reset", 0.04 * rng.next_double());
+    plan.with(p + "accept_eintr", 0.20 * rng.next_double());
+  }
+  return plan;
+}
+
+ChaosResult run_serve_chaos(const ServeChaosOptions& options) {
+  ChaosResult result;
+  result.seed = options.seed;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.message = describe(options.seed, what);
+    return result;
+  };
+
+  Injector injector(serve_plan_for_seed(options.seed));
+
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 4;
+  config.radius = 0.3;
+  // Every re-solve is a full sharded solve: the placement is then a pure
+  // function of store content + row order, which makes the fault-free
+  // replay below comparable bit-for-bit.
+  config.full_solve_churn_fraction = 0.0;
+  config.queue_capacity = options.queue_capacity;
+  config.max_batch = 16;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  // The same sequence of kOk-answered mutations, replayed fault-free,
+  // must land on the same placement. Op payloads are recorded up front;
+  // which of them "took" is known only after the futures resolve.
+  struct Mutation {
+    bool is_add = false;
+    std::vector<serve::UserRecord> users;
+    std::vector<std::uint64_t> ids;
+  };
+  std::vector<Mutation> mutations;              // one per submitted op
+  std::vector<std::size_t> mutation_of;         // future idx -> mutation idx
+  std::vector<std::future<serve::Response>> futures;
+
+  rnd::Pcg64 rng(options.seed ^ kWorkloadStream);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+
+  for (std::size_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    serve::Request request;
+    Mutation mutation;
+    if (kind < 5 || live.empty()) {  // add 1..4 users (some upserts)
+      std::vector<serve::UserRecord> batch;
+      const std::size_t count = 1 + rng.next_below(4);
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool reuse = !live.empty() && rng.next_below(10) < 3;
+        const std::uint64_t id =
+            reuse ? live[rng.next_below(live.size())] : next_id++;
+        if (!reuse) live.push_back(id);
+        batch.push_back(make_user(id, rng));
+      }
+      mutation.is_add = true;
+      mutation.users = batch;
+      request = serve::Request::add_users(std::move(batch));
+    } else if (kind < 7) {  // remove 1..2 ids (sometimes unknown)
+      std::vector<std::uint64_t> ids;
+      const std::size_t count = 1 + rng.next_below(2);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (rng.next_below(10) < 8) {
+          const std::size_t at = rng.next_below(live.size());
+          ids.push_back(live[at]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+        } else {
+          ids.push_back(0xDEAD0000ull + rng.next_below(64));  // unknown id
+        }
+        if (live.empty()) break;
+      }
+      mutation.ids = ids;
+      request = serve::Request::remove_users(std::move(ids));
+    } else if (kind < 9) {
+      request = serve::Request::query_placement();
+    } else {
+      request = serve::Request::evaluate(make_probe(rng));
+    }
+    request.deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+    const bool is_mutation = !mutation.users.empty() || !mutation.ids.empty();
+    mutations.push_back(std::move(mutation));
+    mutation_of.push_back(is_mutation ? mutations.size() - 1
+                                      : static_cast<std::size_t>(-1));
+    futures.push_back(service.submit(std::move(request)));
+    ++result.requests;
+
+    // Drain in bursts so the queue both fills (kRejected coverage) and
+    // empties (deadline_skew coverage at dequeue).
+    if (rng.next_below(4) == 0) {
+      while (service.pump(milliseconds(0)) > 0) {
+      }
+    }
+  }
+  while (service.pump(milliseconds(0)) > 0) {
+  }
+  if (service.queue_depth() != 0) return fail("queue did not drain");
+
+  // Invariant 1: exactly-once replies, every status from the valid set.
+  std::vector<serve::ResponseStatus> statuses;
+  statuses.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].valid() ||
+        futures[i].wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+      return fail("request " + std::to_string(i) + " was never answered");
+    }
+    serve::Response response;
+    try {
+      response = futures[i].get();
+    } catch (const std::future_error&) {
+      return fail("request " + std::to_string(i) + " promise was abandoned");
+    }
+    switch (response.status) {
+      case serve::ResponseStatus::kOk:
+      case serve::ResponseStatus::kRejected:
+      case serve::ResponseStatus::kTimeout:
+      case serve::ResponseStatus::kInternalError:
+        break;
+      default:
+        return fail("request " + std::to_string(i) + " got invalid status " +
+                    std::string(serve::to_string(response.status)));
+    }
+    statuses.push_back(response.status);
+  }
+
+  // Invariant 2: counter conservation after quiesce (shutdown untouched —
+  // the service has not been stopped).
+  const serve::MetricsSnapshot m = service.metrics();
+  if (m.submitted != m.batched_requests + m.timeouts + m.rejected_full) {
+    std::ostringstream out;
+    out << "counter conservation violated: submitted=" << m.submitted
+        << " batched=" << m.batched_requests << " timeouts=" << m.timeouts
+        << " rejected=" << m.rejected_full;
+    return fail(out.str());
+  }
+  if (m.shutdown != 0) return fail("spurious shutdown answers");
+
+  // Invariants 3+4: disarm, then the survivor must match a fault-free
+  // replay of exactly the kOk mutations, bit for bit and epoch included
+  // (a kOk answer promises the mutation was fully applied; anything else
+  // promises it was not applied at all).
+  injector.set_armed(false);
+
+  serve::ServiceConfig ref_config = config;
+  ref_config.fault_hook = {};
+  serve::PlacementService reference(ref_config);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (statuses[i] != serve::ResponseStatus::kOk) continue;
+    if (mutation_of[i] == static_cast<std::size_t>(-1)) continue;
+    const Mutation& mutation = mutations[mutation_of[i]];
+    if (mutation.is_add) {
+      reference.apply_add(mutation.users);
+    } else {
+      reference.apply_remove(mutation.ids);
+    }
+  }
+
+  const serve::PlacementView survivor = service.placement();
+  const serve::PlacementView replay = reference.placement();
+  if (service.population() != reference.population()) {
+    return fail("population diverged from fault-free replay");
+  }
+  if (survivor.epoch != replay.epoch) {
+    std::ostringstream out;
+    out << "epoch diverged: survivor=" << survivor.epoch
+        << " replay=" << replay.epoch;
+    return fail(out.str());
+  }
+  if (survivor.objective != replay.objective) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "objective diverged: survivor=" << survivor.objective
+        << " replay=" << replay.objective;
+    return fail(out.str());
+  }
+  if (!same_centers(survivor.solution.centers, replay.solution.centers)) {
+    return fail("centers diverged from fault-free replay");
+  }
+
+  result.faults_fired = total_fired(injector);
+  return result;
+}
+
+ChaosResult run_net_chaos(const NetChaosOptions& options) {
+  ChaosResult result;
+  result.seed = options.seed;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.message = describe(options.seed, what);
+    return result;
+  };
+
+  Injector injector(net_plan_for_seed(options.seed));
+  FaultySocketOps server_ops(injector, std::string(kServerSitePrefix));
+  FaultySocketOps client_ops(injector, std::string(kClientSitePrefix));
+
+  serve::ServiceConfig service_config;
+  service_config.dim = 2;
+  service_config.k = 3;
+  service_config.radius = 0.35;
+  service_config.full_solve_churn_fraction = 0.0;  // see run_serve_chaos
+
+  net::NetServerConfig net_config;
+  net_config.poll_interval = milliseconds(2);
+  // Each injected reset makes the client reconnect, and the dead server
+  // side lingers until the next poll pass notices EOF — leave headroom so
+  // a reset-heavy schedule does not trip the shed policy mid-run.
+  net_config.max_connections = 128;
+  net_config.idle_timeout = milliseconds(10000);
+  // Generous deadline: injected slow IO must surface as retries, not as
+  // spurious kTimeout noise in the conservation accounting.
+  net_config.request_deadline = milliseconds(5000);
+  net_config.socket_ops = &server_ops;
+
+  net::NetServer server(std::move(service_config), net_config);
+  server.start();
+
+  net::NetClientConfig client_config;
+  client_config.port = server.port();
+  client_config.socket_ops = &client_ops;
+  client_config.max_attempts = 8;
+  client_config.connect_timeout = milliseconds(2000);
+  client_config.send_timeout = milliseconds(2000);
+  client_config.recv_timeout = milliseconds(2000);
+  net::NetClient client(client_config);
+
+  rnd::Pcg64 rng(options.seed ^ kWorkloadStream);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+  std::map<std::uint64_t, serve::UserRecord> desired;  // target end state
+  std::uint64_t gave_up = 0;
+
+  auto check_status = [&](const net::ResponseFrame& reply) {
+    switch (reply.status) {
+      case net::WireStatus::kOk:
+      case net::WireStatus::kTimeout:
+      case net::WireStatus::kRejected:
+      case net::WireStatus::kOverloaded:
+        return true;
+      default:
+        return false;  // kBadRequest/kShutdown/kInternalError: we sent
+                       // valid requests to a live server
+    }
+  };
+
+  for (std::size_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    try {
+      net::ResponseFrame reply;
+      if (kind < 5 || live.empty()) {
+        std::vector<serve::UserRecord> batch;
+        const std::size_t count = 1 + rng.next_below(4);
+        for (std::size_t j = 0; j < count; ++j) {
+          const bool reuse = !live.empty() && rng.next_below(10) < 3;
+          const std::uint64_t id =
+              reuse ? live[rng.next_below(live.size())] : next_id++;
+          if (!reuse) live.push_back(id);
+          serve::UserRecord user = make_user(id, rng);
+          desired[id] = user;
+          batch.push_back(std::move(user));
+        }
+        reply = client.add_users(std::move(batch));
+      } else if (kind < 7) {
+        const std::size_t at = rng.next_below(live.size());
+        const std::uint64_t id = live[at];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+        desired.erase(id);
+        reply = client.remove_users({id});
+      } else if (kind < 9) {
+        reply = client.query_placement();
+      } else {
+        reply = client.evaluate(make_probe(rng));
+      }
+      ++result.requests;
+      if (!check_status(reply)) {
+        return fail("op " + std::to_string(op) + " got invalid status " +
+                    std::string(net::to_string(reply.status)));
+      }
+    } catch (const net::NetError&) {
+      // Transport gave up after max_attempts: legal under injected
+      // resets. The op's effect is now ambiguous (applied or not), which
+      // is exactly why reconciliation below rebuilds by content.
+      ++result.requests;
+      ++gave_up;
+    }
+  }
+
+  // Disarm and reconcile: strip the ambiguous history (remove every id
+  // ever used — unknown ids are ignored), then impose the desired end
+  // state in one known order. Afterwards the store's content AND row
+  // order equal a fresh service fed the same sequence, so the placement
+  // must match bit-for-bit. Epochs are excluded by design: lost replies
+  // make the server-side mutation count unknowable.
+  injector.set_armed(false);
+  client.disconnect();
+
+  std::vector<std::uint64_t> all_ids;
+  all_ids.reserve(static_cast<std::size_t>(next_id));
+  for (std::uint64_t id = 1; id < next_id; ++id) all_ids.push_back(id);
+  std::vector<serve::UserRecord> final_users;
+  final_users.reserve(desired.size());
+  for (const auto& [id, user] : desired) final_users.push_back(user);
+
+  try {
+    if (!all_ids.empty()) {
+      const net::ResponseFrame removed = client.remove_users(all_ids);
+      if (removed.status != net::WireStatus::kOk) {
+        return fail("post-disarm remove answered " +
+                    std::string(net::to_string(removed.status)));
+      }
+    }
+    if (server.service().population() != 0) {
+      return fail("population nonzero after removing every known id");
+    }
+    if (!final_users.empty()) {
+      const net::ResponseFrame added = client.add_users(final_users);
+      if (added.status != net::WireStatus::kOk) {
+        return fail("post-disarm add answered " +
+                    std::string(net::to_string(added.status)));
+      }
+    }
+
+    const net::ResponseFrame query = client.query_placement();
+    if (query.status != net::WireStatus::kOk) {
+      return fail("post-disarm query answered " +
+                  std::string(net::to_string(query.status)));
+    }
+
+    serve::ServiceConfig ref_config = server.service().config();
+    serve::PlacementService reference(ref_config);
+    if (!final_users.empty()) reference.apply_add(final_users);
+    const serve::PlacementView replay = reference.placement();
+
+    if (server.service().population() != reference.population()) {
+      return fail("population diverged from content rebuild");
+    }
+    if (query.objective != replay.objective) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "objective diverged: wire=" << query.objective
+          << " rebuild=" << replay.objective << " (gave_up=" << gave_up
+          << ")";
+      return fail(out.str());
+    }
+    const geo::PointSet empty(ref_config.dim);
+    const geo::PointSet& got =
+        query.centers.has_value() ? *query.centers : empty;
+    if (!same_centers(got, replay.solution.centers)) {
+      return fail("centers diverged from content rebuild");
+    }
+  } catch (const net::NetError& e) {
+    return fail(std::string("transport failed after disarm: ") + e.what());
+  }
+
+  // Conservation on the serve side: every request the batcher accepted is
+  // accounted for. (All client calls have completed, so the queue has
+  // fully quiesced.)
+  const serve::MetricsSnapshot m = server.service().metrics();
+  if (m.submitted != m.batched_requests + m.timeouts + m.rejected_full) {
+    std::ostringstream out;
+    out << "counter conservation violated: submitted=" << m.submitted
+        << " batched=" << m.batched_requests << " timeouts=" << m.timeouts
+        << " rejected=" << m.rejected_full;
+    return fail(out.str());
+  }
+
+  server.stop();
+  result.faults_fired = total_fired(injector);
+  return result;
+}
+
+}  // namespace mmph::chaos

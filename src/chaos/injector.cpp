@@ -1,0 +1,81 @@
+#include "mmph/chaos/injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mmph::chaos {
+
+FaultPlan& FaultPlan::with(std::string_view site, double probability) {
+  for (FaultSite& existing : sites) {
+    if (existing.site == site) {
+      existing.probability = probability;
+      return *this;
+    }
+  }
+  sites.push_back(FaultSite{std::string(site), probability});
+  return *this;
+}
+
+double FaultPlan::probability_of(std::string_view site) const noexcept {
+  for (const FaultSite& s : sites) {
+    if (s.site == site) return s.probability;
+  }
+  return 0.0;
+}
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+Injector::SiteState& Injector::state_for(std::string_view site) {
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) {
+    SiteState state;
+    state.probability = plan_.probability_of(site);
+    state.rng = rnd::Pcg64(plan_.seed ^ fnv1a64(site));
+    it = sites_.emplace(std::string(site), std::move(state)).first;
+  }
+  return it->second;
+}
+
+bool Injector::fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = state_for(site);
+  ++state.consulted;
+  // A disarmed consult does not consume a draw, so disarm/re-arm leaves
+  // the armed decision sequence unshifted.
+  if (!armed_ || state.probability <= 0.0) return false;
+  const bool fired = state.rng.next_double() < state.probability;
+  if (fired) ++state.fired;
+  return fired;
+}
+
+void Injector::set_armed(bool armed) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = armed;
+}
+
+bool Injector::armed() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+serve::FaultHook Injector::hook() {
+  return [this](std::string_view site) { return fire(site); };
+}
+
+std::vector<SiteReport> Injector::report() const {
+  std::vector<SiteReport> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(sites_.size());
+    for (const auto& [site, state] : sites_) {
+      out.push_back(SiteReport{site, state.consulted, state.fired});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SiteReport& a, const SiteReport& b) {
+              return a.site < b.site;
+            });
+  return out;
+}
+
+}  // namespace mmph::chaos

@@ -89,7 +89,7 @@ ResponseFrame NetClient::roundtrip(RequestFrame frame) {
 ResponseFrame NetClient::attempt(const std::vector<std::uint8_t>& bytes) {
   const std::uint64_t want_id = next_request_id_ - 1;
   if (!send_all(sock_, bytes.data(), bytes.size(),
-                Clock::now() + config_.send_timeout)) {
+                Clock::now() + config_.send_timeout, ops())) {
     throw NetError("send failed or timed out");
   }
 
@@ -114,7 +114,7 @@ ResponseFrame NetClient::attempt(const std::vector<std::uint8_t>& bytes) {
       // Stale response (e.g. from a request whose reply we abandoned on
       // a previous timeout): skip it and keep reading.
     }
-    const IoResult r = recv_some(sock_, chunk, sizeof(chunk), deadline);
+    const IoResult r = recv_some(sock_, chunk, sizeof(chunk), deadline, ops());
     if (r.status == IoStatus::kWouldBlock) {
       throw NetError("recv timed out");
     }

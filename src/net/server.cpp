@@ -53,6 +53,8 @@ struct NetServer::Connection {
 NetServer::NetServer(serve::ServiceConfig service_config,
                      NetServerConfig net_config, par::ThreadPool* pool)
     : config_(std::move(net_config)),
+      ops_(config_.socket_ops != nullptr ? *config_.socket_ops
+                                         : SocketOps::system()),
       service_(std::make_unique<serve::PlacementService>(service_config,
                                                          pool)) {
   MMPH_REQUIRE(config_.max_connections >= 1,
@@ -180,7 +182,7 @@ void NetServer::event_loop() {
 
 void NetServer::accept_pending() {
   for (;;) {
-    Socket sock = tcp_accept(listener_);
+    Socket sock = tcp_accept(listener_, ops_);
     if (!sock.valid()) return;
     if (connections_.size() >= config_.max_connections) {
       // Shed load explicitly: tell the peer why before closing. The
@@ -190,7 +192,7 @@ void NetServer::accept_pending() {
       shed.status = WireStatus::kOverloaded;
       std::vector<std::uint8_t> bytes;
       encode_response(shed, bytes);
-      (void)sock_write(sock, bytes.data(), bytes.size());
+      (void)sock_write(sock, bytes.data(), bytes.size(), ops_);
       metrics_.count_rejected_overloaded();
       continue;
     }
@@ -205,7 +207,7 @@ void NetServer::accept_pending() {
 bool NetServer::read_and_submit(Connection& conn) {
   std::uint8_t chunk[kReadChunk];
   for (;;) {
-    const IoResult r = sock_read(conn.sock, chunk, sizeof(chunk));
+    const IoResult r = sock_read(conn.sock, chunk, sizeof(chunk), ops_);
     if (r.status == IoStatus::kWouldBlock) break;
     if (r.status != IoStatus::kOk) return false;  // EOF or error
     metrics_.add_bytes_in(r.bytes);
@@ -333,7 +335,7 @@ void NetServer::collect_replies(Connection& conn) {
 bool NetServer::flush(Connection& conn) {
   while (conn.unsent() > 0) {
     const IoResult r = sock_write(conn.sock, conn.out.data() + conn.out_offset,
-                                  conn.unsent());
+                                  conn.unsent(), ops_);
     if (r.status == IoStatus::kWouldBlock) break;
     if (r.status != IoStatus::kOk) return false;
     conn.out_offset += r.bytes;

@@ -58,6 +58,23 @@ bool poll_one(int fd, short events, Clock::time_point deadline) {
 
 }  // namespace
 
+ssize_t SocketOps::read(int fd, std::uint8_t* buf, std::size_t cap) {
+  return ::read(fd, buf, cap);
+}
+
+ssize_t SocketOps::write(int fd, const std::uint8_t* buf, std::size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int SocketOps::accept(int listener_fd) {
+  return ::accept(listener_fd, nullptr, nullptr);
+}
+
+SocketOps& SocketOps::system() noexcept {
+  static SocketOps instance;
+  return instance;
+}
+
 void Socket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -88,8 +105,8 @@ std::pair<Socket, std::uint16_t> tcp_listen(const std::string& host,
   return {std::move(sock), ntohs(bound.sin_port)};
 }
 
-Socket tcp_accept(const Socket& listener) {
-  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+Socket tcp_accept(const Socket& listener, SocketOps& ops) {
+  const int fd = ops.accept(listener.fd());
   if (fd < 0) return Socket{};  // EAGAIN/transient: nothing pending
   Socket sock(fd);
   set_nonblocking(fd);
@@ -131,9 +148,10 @@ Socket tcp_connect(const std::string& host, std::uint16_t port,
   return sock;
 }
 
-IoResult sock_read(const Socket& sock, std::uint8_t* buf, std::size_t cap) {
+IoResult sock_read(const Socket& sock, std::uint8_t* buf, std::size_t cap,
+                   SocketOps& ops) {
   for (;;) {
-    const ssize_t n = ::read(sock.fd(), buf, cap);
+    const ssize_t n = ops.read(sock.fd(), buf, cap);
     if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
     if (n == 0) return {IoStatus::kClosed, 0};
     if (errno == EINTR) continue;
@@ -145,9 +163,9 @@ IoResult sock_read(const Socket& sock, std::uint8_t* buf, std::size_t cap) {
 }
 
 IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
-                    std::size_t len) {
+                    std::size_t len, SocketOps& ops) {
   for (;;) {
-    const ssize_t n = ::send(sock.fd(), buf, len, MSG_NOSIGNAL);
+    const ssize_t n = ops.write(sock.fd(), buf, len);
     if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -158,10 +176,10 @@ IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
 }
 
 bool send_all(const Socket& sock, const std::uint8_t* buf, std::size_t len,
-              Clock::time_point deadline) {
+              Clock::time_point deadline, SocketOps& ops) {
   std::size_t sent = 0;
   while (sent < len) {
-    const IoResult r = sock_write(sock, buf + sent, len - sent);
+    const IoResult r = sock_write(sock, buf + sent, len - sent, ops);
     switch (r.status) {
       case IoStatus::kOk:
         sent += r.bytes;
@@ -178,11 +196,11 @@ bool send_all(const Socket& sock, const std::uint8_t* buf, std::size_t len,
 }
 
 IoResult recv_some(const Socket& sock, std::uint8_t* buf, std::size_t cap,
-                   Clock::time_point deadline) {
+                   Clock::time_point deadline, SocketOps& ops) {
   if (!poll_one(sock.fd(), POLLIN, deadline)) {
     return {IoStatus::kWouldBlock, 0};
   }
-  return sock_read(sock, buf, cap);
+  return sock_read(sock, buf, cap, ops);
 }
 
 }  // namespace mmph::net

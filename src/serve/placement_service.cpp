@@ -1,6 +1,8 @@
 #include "mmph/serve/placement_service.hpp"
 
 #include <algorithm>
+#include <new>
+#include <stdexcept>
 #include <utility>
 
 #include "mmph/core/objective.hpp"
@@ -35,7 +37,7 @@ class SharedSolverAdapter final : public core::Solver {
 PlacementService::PlacementService(ServiceConfig config, par::ThreadPool* pool)
     : config_(config),
       pool_(pool != nullptr ? *pool : par::ThreadPool::global()),
-      batcher_(config.queue_capacity, &metrics_),
+      batcher_(config.queue_capacity, &metrics_, config.fault_hook),
       store_(config.dim) {
   MMPH_REQUIRE(config_.k >= 1, "PlacementService: k must be >= 1");
   MMPH_REQUIRE(config_.radius > 0.0,
@@ -239,6 +241,12 @@ void PlacementService::process_batch(std::vector<Request> batch) {
     switch (request.type) {
       case RequestType::kAddUsers:
         try {
+          // Fault seam: a forced allocation failure fires *before* any
+          // store mutation, so a kInternalError answer implies an
+          // untouched store (the chaos replay check depends on this).
+          if (config_.fault_hook && config_.fault_hook(kFaultAllocFail)) {
+            throw std::bad_alloc();
+          }
           apply_add_locked(request.users);
         } catch (const InvalidArgument&) {
           status[i] = ResponseStatus::kBadRequest;
@@ -280,12 +288,20 @@ void PlacementService::process_batch(std::vector<Request> batch) {
           case RequestType::kRemoveUsers:
             break;
           case RequestType::kQueryPlacement: {
+            // Fault seam: fires before solve_locked touches any state, so
+            // the cached view and churn accounting stay consistent.
+            if (config_.fault_hook && config_.fault_hook(kFaultSolverThrow)) {
+              throw std::runtime_error("injected solver failure");
+            }
             const PlacementView& view = solve_locked();
             response.objective = view.objective;
             response.solution = view.solution;
             break;
           }
           case RequestType::kEvaluate: {
+            if (config_.fault_hook && config_.fault_hook(kFaultSolverThrow)) {
+              throw std::runtime_error("injected solver failure");
+            }
             if (!store_.empty()) {
               response.objective =
                   core::objective_value(problem_locked(), *request.centers);

@@ -56,8 +56,11 @@ Request Request::evaluate(geo::PointSet centers) {
   return r;
 }
 
-RequestBatcher::RequestBatcher(std::size_t capacity, ServeMetrics* metrics)
-    : capacity_(capacity), metrics_(metrics) {
+RequestBatcher::RequestBatcher(std::size_t capacity, ServeMetrics* metrics,
+                               FaultHook fault_hook)
+    : capacity_(capacity),
+      metrics_(metrics),
+      fault_hook_(std::move(fault_hook)) {
   MMPH_REQUIRE(capacity_ >= 1, "RequestBatcher: capacity must be >= 1");
 }
 
@@ -73,7 +76,9 @@ bool RequestBatcher::push(Request&& request) {
       // entered the queue, so it is not "submitted" and must not read as
       // queue-full to callers tuning capacity.
       if (metrics_ != nullptr) metrics_->count_submitted();
-      if (queue_.size() < capacity_) {
+      const bool forced_full =
+          fault_hook_ && fault_hook_(kFaultQueueFull);
+      if (!forced_full && queue_.size() < capacity_) {
         queue_.push_back(std::move(request));
         if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
         cv_.notify_one();
@@ -105,7 +110,8 @@ std::vector<Request> RequestBatcher::pop_batch(std::size_t max_batch,
   while (!queue_.empty() && batch.size() < max_batch) {
     Request request = std::move(queue_.front());
     queue_.pop_front();
-    if (request.deadline < now) {
+    const bool skewed = fault_hook_ && fault_hook_(kFaultDeadlineSkew);
+    if (skewed || request.deadline < now) {
       if (metrics_ != nullptr) metrics_->count_timeout();
       Response response;
       response.status = ResponseStatus::kTimeout;

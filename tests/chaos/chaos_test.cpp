@@ -1,0 +1,259 @@
+// mmph::chaos unit + sweep coverage. The unit half pins the determinism
+// contract of the Injector and the errno shapes of FaultySocketOps at
+// probability 1/0 (no randomness in the assertion); the sweep half runs
+// seeded schedules through run_serve_chaos / run_net_chaos and requires
+// every one to hold the harness invariants. Failures print the seed, and
+// `chaos_runner --mode serve --seed N` (or --mode net) reproduces one
+// schedule exactly.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "mmph/chaos/fault_plan.hpp"
+#include "mmph/chaos/faulty_socket_ops.hpp"
+#include "mmph/chaos/harness.hpp"
+#include "mmph/chaos/injector.hpp"
+#include "mmph/serve/placement_service.hpp"
+
+namespace mmph::chaos {
+namespace {
+
+TEST(FaultPlan, WithOverwritesAndProbabilityOf) {
+  FaultPlan plan;
+  plan.with("a", 0.5).with("b", 0.25).with("a", 0.75);
+  EXPECT_DOUBLE_EQ(plan.probability_of("a"), 0.75);
+  EXPECT_DOUBLE_EQ(plan.probability_of("b"), 0.25);
+  EXPECT_DOUBLE_EQ(plan.probability_of("absent"), 0.0);
+  EXPECT_EQ(plan.sites.size(), 2u);
+}
+
+TEST(Injector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.with("x", 0.5).with("y", 0.5);
+  Injector a(plan);
+  Injector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.fire("x"), b.fire("x")) << "consult " << i;
+    EXPECT_EQ(a.fire("y"), b.fire("y")) << "consult " << i;
+  }
+}
+
+TEST(Injector, SiteStreamsAreIndependent) {
+  // The decision sequence at "x" must not depend on how often other
+  // sites are consulted — that is what makes schedules reproducible
+  // even when timing varies the interleaving.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.with("x", 0.5).with("noise", 0.5);
+  Injector quiet(plan);
+  Injector noisy(plan);
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 3; ++j) (void)noisy.fire("noise");
+    EXPECT_EQ(quiet.fire("x"), noisy.fire("x")) << "consult " << i;
+  }
+}
+
+TEST(Injector, ProbabilityEndpointsAndDisarm) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.with("always", 1.0).with("never", 0.0);
+  Injector injector(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.fire("always"));
+    EXPECT_FALSE(injector.fire("never"));
+    EXPECT_FALSE(injector.fire("unplanned"));
+  }
+  injector.set_armed(false);
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(injector.fire("always"));
+  injector.set_armed(true);
+  EXPECT_TRUE(injector.fire("always"));
+
+  const std::vector<SiteReport> report = injector.report();
+  ASSERT_EQ(report.size(), 3u);  // sorted: always, never, unplanned
+  EXPECT_EQ(report[0].site, "always");
+  EXPECT_EQ(report[0].consulted, 101u);
+  EXPECT_EQ(report[0].fired, 51u);
+  EXPECT_EQ(report[1].fired, 0u);
+}
+
+TEST(Injector, HookAdaptsToServeFaultHook) {
+  FaultPlan plan;
+  plan.with(serve::kFaultQueueFull, 1.0);
+  Injector injector(plan);
+  const serve::FaultHook hook = injector.hook();
+  EXPECT_TRUE(hook(serve::kFaultQueueFull));
+  EXPECT_FALSE(hook(serve::kFaultSolverThrow));
+}
+
+class FaultySocketOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FaultySocketOpsTest, InjectedErrnosAndShortIo) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.with("t.read_eintr", 1.0);
+  Injector injector(plan);
+  FaultySocketOps ops(injector, "t.");
+
+  std::uint8_t buf[16] = {};
+  errno = 0;
+  EXPECT_EQ(ops.read(fds_[0], buf, sizeof(buf)), -1);
+  EXPECT_EQ(errno, EINTR);
+
+  // Only the planned site fires: writes pass straight through...
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  EXPECT_EQ(ops.write(fds_[1], payload, sizeof(payload)), 4);
+
+  // ...and with a short-read plan the next read is capped to one byte.
+  FaultPlan short_plan;
+  short_plan.with("t.read_short", 1.0);
+  Injector short_injector(short_plan);
+  FaultySocketOps short_ops(short_injector, "t.");
+  EXPECT_EQ(short_ops.read(fds_[0], buf, sizeof(buf)), 1);
+  EXPECT_EQ(buf[0], 1);
+}
+
+TEST_F(FaultySocketOpsTest, WriteFaults) {
+  FaultPlan plan;
+  plan.with("t.write_reset", 1.0);
+  Injector injector(plan);
+  FaultySocketOps ops(injector, "t.");
+  const std::uint8_t payload[2] = {9, 9};
+  errno = 0;
+  EXPECT_EQ(ops.write(fds_[1], payload, sizeof(payload)), -1);
+  EXPECT_EQ(errno, EPIPE);
+
+  FaultPlan short_plan;
+  short_plan.with("t.write_short", 1.0);
+  Injector short_injector(short_plan);
+  FaultySocketOps short_ops(short_injector, "t.");
+  EXPECT_EQ(short_ops.write(fds_[1], payload, sizeof(payload)), 1);
+}
+
+// --- forced serve fault sites (probability 1, no sweep randomness) ---------
+
+TEST(ServeFaultSites, AllocFailAnswersInternalErrorWithoutMutating) {
+  FaultPlan plan;
+  plan.with(serve::kFaultAllocFail, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  auto future = service.submit(
+      serve::Request::add_users({serve::UserRecord{1, {0.5, 0.5}, 1.0}}));
+  while (service.pump(std::chrono::milliseconds(0)) > 0) {
+  }
+  EXPECT_EQ(future.get().status, serve::ResponseStatus::kInternalError);
+  EXPECT_EQ(service.population(), 0u) << "store must stay untouched";
+}
+
+TEST(ServeFaultSites, SolverThrowFailsQueryButNotBatchmates) {
+  FaultPlan plan;
+  plan.with(serve::kFaultSolverThrow, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  auto add = service.submit(
+      serve::Request::add_users({serve::UserRecord{1, {0.5, 0.5}, 1.0}}));
+  auto query = service.submit(serve::Request::query_placement());
+  while (service.pump(std::chrono::milliseconds(0)) > 0) {
+  }
+  EXPECT_EQ(add.get().status, serve::ResponseStatus::kOk);
+  EXPECT_EQ(query.get().status, serve::ResponseStatus::kInternalError);
+  EXPECT_EQ(service.population(), 1u);
+}
+
+TEST(ServeFaultSites, QueueFullRejectsAtSubmit) {
+  FaultPlan plan;
+  plan.with(serve::kFaultQueueFull, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  auto future = service.submit(serve::Request::query_placement());
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a forced-full queue must answer immediately";
+  EXPECT_EQ(future.get().status, serve::ResponseStatus::kRejected);
+}
+
+TEST(ServeFaultSites, DeadlineSkewAnswersTimeoutAndDropsMutation) {
+  FaultPlan plan;
+  plan.with(serve::kFaultDeadlineSkew, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  auto future = service.submit(
+      serve::Request::add_users({serve::UserRecord{1, {0.5, 0.5}, 1.0}}));
+  while (service.pump(std::chrono::milliseconds(0)) > 0) {
+  }
+  EXPECT_EQ(future.get().status, serve::ResponseStatus::kTimeout);
+  EXPECT_EQ(service.population(), 0u) << "skewed mutation must not apply";
+  EXPECT_GE(service.metrics().timeouts, 1u);
+}
+
+// --- seeded schedule sweeps ------------------------------------------------
+
+TEST(ChaosSweep, ServeSchedulesHoldInvariants) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    ServeChaosOptions options;
+    options.seed = seed;
+    const ChaosResult result = run_serve_chaos(options);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_EQ(result.requests, options.operations);
+  }
+}
+
+TEST(ChaosSweep, NetSchedulesHoldInvariants) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    NetChaosOptions options;
+    options.seed = seed;
+    const ChaosResult result = run_net_chaos(options);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_EQ(result.requests, options.operations);
+  }
+}
+
+TEST(ChaosSweep, ScheduleActuallyInjects) {
+  // Guard against a silently disconnected seam: across a handful of
+  // seeds, faults must actually fire.
+  std::uint64_t fired = 0;
+  for (std::uint64_t seed = 101; seed <= 105; ++seed) {
+    ServeChaosOptions options;
+    options.seed = seed;
+    const ChaosResult result = run_serve_chaos(options);
+    ASSERT_TRUE(result.ok) << result.message;
+    fired += result.faults_fired;
+  }
+  EXPECT_GT(fired, 0u) << "no fault ever fired — seam disconnected?";
+}
+
+}  // namespace
+}  // namespace mmph::chaos

@@ -1,0 +1,150 @@
+// Seed-sweep driver for the chaos harness — the binary behind
+// `tools/check.sh chaos`. Runs hundreds of seeded fault schedules
+// through the serve and net stacks and exits nonzero on the first
+// invariant violation, printing the seed so the failure reproduces with
+//
+//   chaos_runner --mode serve --seed <N>      (or --mode net)
+//
+// Usage:
+//   chaos_runner [--serve-seeds N] [--net-seeds M] [--base-seed B]
+//                [--mode all|serve|net] [--seed S] [--ops K]
+//
+// --seed runs exactly one schedule per selected mode (reproduction);
+// otherwise seeds B .. B+N-1 (serve) and B .. B+M-1 (net) are swept.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mmph/chaos/harness.hpp"
+
+namespace {
+
+struct RunnerOptions {
+  std::uint64_t serve_seeds = 400;
+  std::uint64_t net_seeds = 100;
+  std::uint64_t base_seed = 1;
+  std::uint64_t one_seed = 0;  // 0 = sweep
+  std::size_t ops = 0;         // 0 = harness default
+  bool run_serve = true;
+  bool run_net = true;
+};
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr,
+               "chaos_runner: %s\n"
+               "usage: chaos_runner [--serve-seeds N] [--net-seeds M]\n"
+               "                    [--base-seed B] [--mode all|serve|net]\n"
+               "                    [--seed S] [--ops K]\n",
+               what);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') usage_error("bad number");
+  return static_cast<std::uint64_t>(value);
+}
+
+RunnerOptions parse(int argc, char** argv) {
+  RunnerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--serve-seeds") {
+      options.serve_seeds = parse_u64(value());
+    } else if (arg == "--net-seeds") {
+      options.net_seeds = parse_u64(value());
+    } else if (arg == "--base-seed") {
+      options.base_seed = parse_u64(value());
+    } else if (arg == "--seed") {
+      options.one_seed = parse_u64(value());
+    } else if (arg == "--ops") {
+      options.ops = static_cast<std::size_t>(parse_u64(value()));
+    } else if (arg == "--mode") {
+      const std::string mode = value();
+      options.run_serve = mode == "all" || mode == "serve";
+      options.run_net = mode == "all" || mode == "net";
+      if (!options.run_serve && !options.run_net) usage_error("bad --mode");
+    } else {
+      usage_error(("unknown flag " + arg).c_str());
+    }
+  }
+  return options;
+}
+
+bool report(const mmph::chaos::ChaosResult& result, const char* mode) {
+  if (!result.ok) {
+    std::fprintf(stderr,
+                 "FAIL [%s] %s\n"
+                 "reproduce: chaos_runner --mode %s --seed %llu\n",
+                 mode, result.message.c_str(), mode,
+                 static_cast<unsigned long long>(result.seed));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RunnerOptions options = parse(argc, argv);
+  std::uint64_t schedules = 0;
+  std::uint64_t faults = 0;
+
+  if (options.run_serve) {
+    const std::uint64_t first =
+        options.one_seed != 0 ? options.one_seed : options.base_seed;
+    const std::uint64_t count =
+        options.one_seed != 0 ? 1 : options.serve_seeds;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      mmph::chaos::ServeChaosOptions serve_options;
+      serve_options.seed = first + i;
+      if (options.ops != 0) serve_options.operations = options.ops;
+      const mmph::chaos::ChaosResult result =
+          mmph::chaos::run_serve_chaos(serve_options);
+      if (!report(result, "serve")) return 1;
+      ++schedules;
+      faults += result.faults_fired;
+      if ((i + 1) % 50 == 0) {
+        std::printf("serve: %llu/%llu schedules ok\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(count));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (options.run_net) {
+    const std::uint64_t first =
+        options.one_seed != 0 ? options.one_seed : options.base_seed;
+    const std::uint64_t count = options.one_seed != 0 ? 1 : options.net_seeds;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      mmph::chaos::NetChaosOptions net_options;
+      net_options.seed = first + i;
+      if (options.ops != 0) net_options.operations = options.ops;
+      const mmph::chaos::ChaosResult result =
+          mmph::chaos::run_net_chaos(net_options);
+      if (!report(result, "net")) return 1;
+      ++schedules;
+      faults += result.faults_fired;
+      if ((i + 1) % 20 == 0) {
+        std::printf("net: %llu/%llu schedules ok\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(count));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  std::printf("chaos: %llu schedules clean, %llu faults injected\n",
+              static_cast<unsigned long long>(schedules),
+              static_cast<unsigned long long>(faults));
+  return 0;
+}

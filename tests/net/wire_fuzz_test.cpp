@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mmph/random/pcg64.hpp"
@@ -18,10 +19,12 @@ namespace {
 
 using rnd::Pcg64;
 
-/// Builds one well-formed frame of a rng-chosen type.
+/// Builds one well-formed frame of a rng-chosen type, covering the whole
+/// v2 surface: all five request kinds (kStats included) and responses
+/// with any mix of centers and stats blobs.
 std::vector<std::uint8_t> random_valid_frame(Pcg64& rng) {
   std::vector<std::uint8_t> bytes;
-  switch (rng.next_below(5)) {
+  switch (rng.next_below(6)) {
     case 0: {
       RequestFrame frame;
       frame.type = FrameType::kAddUsers;
@@ -72,6 +75,13 @@ std::vector<std::uint8_t> random_valid_frame(Pcg64& rng) {
       encode_request(frame, bytes);
       break;
     }
+    case 4: {
+      RequestFrame frame;
+      frame.type = FrameType::kStats;
+      frame.request_id = rng();
+      encode_request(frame, bytes);
+      break;
+    }
     default: {
       ResponseFrame frame;
       frame.request_id = rng();
@@ -80,6 +90,16 @@ std::vector<std::uint8_t> random_valid_frame(Pcg64& rng) {
       frame.objective = rng.next_double() * 100.0;
       if (rng.next_below(2) == 0) {
         frame.centers = geo::PointSet::from_rows({{0.25, 0.75}});
+      }
+      if (rng.next_below(2) == 0) {
+        // v2 stats blob (kStats replies): arbitrary exposition text,
+        // empty included.
+        std::string stats;
+        const std::size_t len = rng.next_below(96);
+        for (std::size_t i = 0; i < len; ++i) {
+          stats.push_back(static_cast<char>('\n' + rng.next_below(96)));
+        }
+        frame.stats = std::move(stats);
       }
       encode_response(frame, bytes);
       break;
@@ -189,6 +209,79 @@ TEST(WireFuzz, BadVersionsRejected) {
     if (version == kWireVersion) version ^= 0x80;
     bytes[4] = version;
     EXPECT_EQ(drain(bytes), DecodeStatus::kBadVersion);
+  }
+}
+
+TEST(WireFuzz, TruncatedStatsBlobRejected) {
+  // A no-centers response frame is header (20) + fixed body (24), so the
+  // stats_len word sits at byte 44. Forging it to claim more (or fewer)
+  // bytes than the payload actually carries must be a typed rejection —
+  // a decoder that trusts stats_len would read past the frame.
+  Pcg64 rng(0x57A75);
+  for (int iter = 0; iter < 100; ++iter) {
+    ResponseFrame frame;
+    frame.request_id = rng();
+    frame.status = WireStatus::kOk;
+    frame.epoch = rng();
+    std::string stats(1 + rng.next_below(64), '#');
+    const std::uint32_t real_len = static_cast<std::uint32_t>(stats.size());
+    frame.stats = std::move(stats);
+    std::vector<std::uint8_t> bytes;
+    encode_response(frame, bytes);
+
+    std::uint32_t forged;
+    if (rng.next_below(3) == 0) {
+      forged = 0xFFFFFFFFu;  // oversized claim, way past the frame
+    } else if (rng.next_below(2) == 0) {
+      forged = real_len + 1 + static_cast<std::uint32_t>(rng.next_below(64));
+    } else {
+      forged = rng.next_below(real_len);  // undersized: trailing bytes
+    }
+    constexpr std::size_t kStatsLenOffset = 44;
+    for (int i = 0; i < 4; ++i) {
+      bytes[kStatsLenOffset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(forged >> (8 * i));
+    }
+    EXPECT_EQ(drain(bytes), DecodeStatus::kMalformedPayload)
+        << "real_len=" << real_len << " forged=" << forged;
+  }
+}
+
+TEST(WireFuzz, StatsRequestWithPayloadRejected) {
+  // kStats (like kQueryPlacement) is argument-free: a nonzero payload is
+  // malformed by definition, however plausible its bytes look.
+  Pcg64 rng(0x57A76);
+  for (int iter = 0; iter < 50; ++iter) {
+    RequestFrame frame;
+    frame.type = FrameType::kStats;
+    frame.request_id = rng();
+    std::vector<std::uint8_t> bytes;
+    encode_request(frame, bytes);
+
+    const std::uint32_t extra = 1 + static_cast<std::uint32_t>(
+                                        rng.next_below(32));
+    for (std::uint32_t i = 0; i < extra; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng()));
+    }
+    for (int i = 0; i < 4; ++i) {  // patch payload_len (offset 16)
+      bytes[16 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(extra >> (8 * i));
+    }
+    EXPECT_EQ(drain(bytes), DecodeStatus::kMalformedPayload);
+  }
+}
+
+TEST(WireFuzz, V1VersionMismatchRejected) {
+  // v1 peers are explicitly rejected, not best-effort parsed: the v2
+  // response layout moved the flags byte, so decoding a v1 frame as v2
+  // would misread fields rather than fail cleanly. The decoder must
+  // refuse from the header alone, for every frame shape.
+  Pcg64 rng(0x57A77);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::uint8_t> bytes = random_valid_frame(rng);
+    bytes[4] = 1;  // the previous protocol version
+    EXPECT_EQ(drain(bytes), DecodeStatus::kBadVersion);
+    ASSERT_GE(kWireVersion, 2) << "v1 regression in kWireVersion";
   }
 }
 

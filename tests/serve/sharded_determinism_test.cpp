@@ -1,0 +1,85 @@
+// ShardedSolver determinism across worker counts: with the shard budget
+// pinned (auto mode scales shards with the worker count, changing the
+// partition itself), the same seeded instance solved on pools of 1, 2,
+// and 8 threads must produce the same centers and objective bit-for-bit.
+// The sharded pipeline was designed for this (deterministic median
+// splits, per-slot result slots, ordered merges); this golden test pins
+// it so a future "optimization" that introduces scheduling-order
+// dependence is caught immediately.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mmph/core/problem.hpp"
+#include "mmph/geometry/norms.hpp"
+#include "mmph/parallel/thread_pool.hpp"
+#include "mmph/random/workload.hpp"
+#include "mmph/serve/sharded_solver.hpp"
+
+namespace mmph::serve {
+namespace {
+
+void expect_identical(const core::Solution& got, const core::Solution& want,
+                      const std::string& context) {
+  ASSERT_EQ(got.centers.size(), want.centers.size()) << context;
+  EXPECT_EQ(got.total_reward, want.total_reward) << context;  // bitwise
+  for (std::size_t c = 0; c < got.centers.size(); ++c) {
+    for (std::size_t d = 0; d < got.centers.dim(); ++d) {
+      EXPECT_EQ(got.centers[c][d], want.centers[c][d])
+          << context << " center " << c << " coord " << d;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, IdenticalAcrossThreadCounts) {
+  // Large enough that the solver actually shards (several multiples of
+  // min_shard_size), across both paper metrics and weight schemes.
+  const struct {
+    std::uint64_t seed;
+    std::size_t n;
+    std::size_t k;
+    geo::Metric metric;
+    rnd::WeightScheme weights;
+  } cases[] = {
+      {11, 300, 6, geo::l2_metric(), rnd::WeightScheme::kUniformInt},
+      {12, 512, 8, geo::l1_metric(), rnd::WeightScheme::kSame},
+      {13, 700, 5, geo::l2_metric(), rnd::WeightScheme::kZipf},
+  };
+
+  for (const auto& c : cases) {
+    rnd::WorkloadSpec spec;
+    spec.n = c.n;
+    spec.weights = c.weights;
+    rnd::Rng rng(c.seed);
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), 1.0, c.metric);
+
+    ShardedSolverConfig shard_config;
+    shard_config.max_shards = 5;  // fixed partition across pool sizes
+
+    par::ThreadPool pool1(1);
+    const core::Solution baseline =
+        ShardedSolver(pool1, shard_config).solve(problem, c.k);
+    ASSERT_EQ(baseline.centers.size(), c.k);
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      par::ThreadPool pool(threads);
+      const core::Solution got =
+          ShardedSolver(pool, shard_config).solve(problem, c.k);
+      expect_identical(got, baseline,
+                       "seed=" + std::to_string(c.seed) + " threads=" +
+                           std::to_string(threads));
+    }
+
+    // Same pool, repeated solve: no hidden state between runs.
+    const core::Solution again =
+        ShardedSolver(pool1, shard_config).solve(problem, c.k);
+    expect_identical(again, baseline,
+                     "seed=" + std::to_string(c.seed) + " repeat");
+  }
+}
+
+}  // namespace
+}  // namespace mmph::serve

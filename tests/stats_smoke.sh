@@ -18,19 +18,43 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Server: ephemeral port (0 = kernel-assigned), written to a port file;
-# --run-seconds caps the lifetime so a wedged test cannot leak a process.
-"$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
-  --run-seconds 30 > "$DIR/server.log" 2>&1 &
-SERVER_PID=$!
+# Start the server on an ephemeral port (0 = kernel-assigned, published
+# via a port file; --run-seconds caps the lifetime so a wedged test
+# cannot leak a process). A bind/listen failure — possible when the host
+# is churning sockets even with kernel-assigned ports — retries with a
+# fresh attempt instead of flaking; any other premature death, or a
+# timeout waiting for the port file, fails loudly with the server log.
+attempt=0
+while :; do
+  attempt=$((attempt + 1))
+  rm -f "$DIR/port"
+  "$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
+    --run-seconds 30 > "$DIR/server.log" 2>&1 &
+  SERVER_PID=$!
 
-# Wait for the port file (up to ~5 s).
-tries=0
-while [ ! -s "$DIR/port" ]; do
-  tries=$((tries + 1))
-  [ "$tries" -le 50 ] || { echo "server never published its port"; cat "$DIR/server.log"; exit 1; }
-  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; cat "$DIR/server.log"; exit 1; }
-  sleep 0.1
+  tries=0
+  while [ ! -s "$DIR/port" ]; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      wait "$SERVER_PID" 2>/dev/null || true
+      SERVER_PID=""
+      if [ "$attempt" -lt 3 ] && grep -Eq "bind|listen" "$DIR/server.log"; then
+        echo "server bind failed (attempt $attempt), retrying with a fresh port" >&2
+        sleep 0.2
+        continue 2
+      fi
+      echo "server died before publishing its port; server log:"
+      cat "$DIR/server.log"
+      exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 50 ]; then
+      echo "timed out waiting for the server port file; server log:"
+      cat "$DIR/server.log"
+      exit 1
+    fi
+    sleep 0.1
+  done
+  break
 done
 PORT=$(cat "$DIR/port")
 

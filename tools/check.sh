@@ -15,8 +15,17 @@
 #   tools/check.sh stats-smoke  # build + two-process metrics smoke test
 #                               # (serve-net --listen scraped by `stats`
 #                               # over an ephemeral loopback port)
+#   tools/check.sh chaos        # build + chaos_runner seed sweep: 500
+#                               # deterministic fault schedules (400 serve
+#                               # + 100 net) through the full stack; any
+#                               # failure prints its reproducing seed.
+#                               # MMPH_SANITIZE=ON tools/check.sh chaos
+#                               # is the pre-merge gate for serve/net
+#                               # changes (same sweep under ASan/UBSan).
 #
-# Extra args are forwarded to ctest (e.g. tools/check.sh -R serve).
+# Extra args are forwarded to ctest: tools/check.sh -R serve filters by
+# name, tools/check.sh -L unit filters by label (labels: unit, net,
+# slow, chaos — see tests/CMakeLists.txt).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -41,6 +50,11 @@ fi
 if [ "$1" = "net-fuzz" ]; then
   "$BUILD_DIR/tests/wire_fuzz_test"
   exec "$BUILD_DIR/tests/wire_test"
+fi
+
+if [ "$1" = "chaos" ]; then
+  shift
+  exec "$BUILD_DIR/tests/chaos_runner" "$@"
 fi
 
 cd "$BUILD_DIR"
