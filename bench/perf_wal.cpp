@@ -1,0 +1,187 @@
+// Write-ahead-log throughput and recovery speed. Four timed scenarios:
+//
+//   mem/never    append+encode ceiling: MemFileOps, no syncing — what the
+//                codec and writer bookkeeping cost by themselves;
+//   disk/group   the production default: real files, one fsync per
+//                commit_every appends (the service commits per batch);
+//   disk/always  the paranoid policy: fsync inside every append. Runs a
+//                reduced op count (--sync-ops) because each op pays a
+//                full device round trip;
+//   recovery     replay speed of the disk/group log: time recover() over
+//                the whole segment set and report records/sec.
+//
+// Emits BENCH_wal.json in the same spirit as BENCH_net.json. The
+// acceptance bar for the durable serving tier is >= 50k appends/s under
+// disk/group on a development machine; disk/always is expected to sit
+// orders of magnitude below it — that gap is the point of group commit.
+//
+//   ./perf_wal --ops 1000000 --commit-every 256 --sync-ops 2000
+//              --out BENCH_wal.json
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mmph/io/args.hpp"
+#include "mmph/random/pcg64.hpp"
+#include "mmph/wal/file_ops.hpp"
+#include "mmph/wal/recovery.hpp"
+#include "mmph/wal/writer.hpp"
+
+namespace {
+
+using namespace mmph;
+using Clock = std::chrono::steady_clock;
+
+struct ScenarioResult {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+  [[nodiscard]] double mb_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
+  }
+};
+
+/// Appends \p ops single-user upsert records (dim 2, ~68 encoded bytes)
+/// and commits every \p commit_every. Returns the measured wall time.
+ScenarioResult run_appends(wal::FileOps& ops_table, const std::string& dir,
+                           wal::FsyncPolicy policy, std::uint64_t ops,
+                           std::uint64_t commit_every) {
+  wal::WalConfig config;
+  config.dir = dir;
+  config.fsync = policy;
+  config.file_ops = &ops_table;
+  // Keep the replication tail small: this bench measures the disk path,
+  // not the in-memory ring.
+  config.tail_retain_bytes = 1u << 16;
+  wal::WalWriter writer(config);
+
+  rnd::Pcg64 rng(2011);
+  ScenarioResult result;
+  result.ops = ops;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    wal::WalRecord record;
+    record.type = wal::RecordType::kUpsert;
+    record.dim = 2;
+    record.ids = {i};
+    record.weights = {1.0 + static_cast<double>(i % 5)};
+    record.coords = {rng.next_double() * 4.0, rng.next_double() * 4.0};
+    writer.append(record);
+    result.bytes += wal::kRecordHeaderBytes + 32;
+    if (commit_every != 0 && (i + 1) % commit_every == 0) writer.commit();
+  }
+  writer.commit();
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+std::string scenario_json(const char* name, const ScenarioResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"%s\": {\"ops\": %llu, \"seconds\": %.4f, "
+                "\"ops_per_sec\": %.0f, \"mb_per_sec\": %.1f}",
+                name, static_cast<unsigned long long>(r.ops), r.seconds,
+                r.ops_per_sec(), r.mb_per_sec());
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  io::Args args(argc, argv);
+  const auto ops = static_cast<std::uint64_t>(args.get_int("ops", 1000000));
+  const auto commit_every =
+      static_cast<std::uint64_t>(args.get_int("commit-every", 256));
+  const auto sync_ops =
+      static_cast<std::uint64_t>(args.get_int("sync-ops", 2000));
+  const std::string out_path = args.get_string("out", "BENCH_wal.json");
+  args.finish();
+
+  char dir_template[] = "/tmp/mmph_perf_wal_XXXXXX";
+  const char* root = ::mkdtemp(dir_template);
+  if (root == nullptr) {
+    std::fprintf(stderr, "perf_wal: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string disk_group = std::string(root) + "/group";
+  const std::string disk_always = std::string(root) + "/always";
+
+  wal::MemFileOps mem;
+  const ScenarioResult mem_never =
+      run_appends(mem, "wal", wal::FsyncPolicy::kNever, ops, 0);
+  std::printf("mem/never:    %llu appends in %.2fs -> %.0f ops/s\n",
+              static_cast<unsigned long long>(mem_never.ops),
+              mem_never.seconds, mem_never.ops_per_sec());
+
+  const ScenarioResult group = run_appends(
+      wal::FileOps::system(), disk_group, wal::FsyncPolicy::kGroupCommit, ops,
+      commit_every);
+  std::printf("disk/group:   %llu appends (fsync per %llu) in %.2fs -> "
+              "%.0f ops/s%s\n",
+              static_cast<unsigned long long>(group.ops),
+              static_cast<unsigned long long>(commit_every), group.seconds,
+              group.ops_per_sec(),
+              group.ops_per_sec() >= 50000.0 ? ""
+                                             : "  [below 50k ops/s target]");
+
+  const ScenarioResult always = run_appends(
+      wal::FileOps::system(), disk_always, wal::FsyncPolicy::kAlways, sync_ops,
+      0);
+  std::printf("disk/always:  %llu appends in %.2fs -> %.0f ops/s\n",
+              static_cast<unsigned long long>(always.ops), always.seconds,
+              always.ops_per_sec());
+
+  // Recovery replay speed over the group log written above.
+  const auto recover_start = Clock::now();
+  const wal::RecoveryResult recovered = wal::recover(disk_group, 2);
+  const double recover_seconds =
+      std::chrono::duration<double>(Clock::now() - recover_start).count();
+  const bool recovery_ok =
+      recovered.clean && recovered.records_applied == ops;
+  const double replay_per_sec =
+      recover_seconds > 0.0
+          ? static_cast<double>(recovered.records_applied) / recover_seconds
+          : 0.0;
+  std::printf("recovery:     %llu records in %.2fs -> %.0f records/s "
+              "(clean=%s)\n",
+              static_cast<unsigned long long>(recovered.records_applied),
+              recover_seconds, replay_per_sec,
+              recovered.clean ? "yes" : "no");
+  if (!recovery_ok) {
+    std::fprintf(stderr, "perf_wal: recovery mismatch: %s\n",
+                 recovered.detail.c_str());
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);  // best-effort cleanup
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"wal\",\n  \"scenario\": "
+         "\"single-user upsert records (dim 2), append+commit per policy, "
+         "then full-log recovery\",\n"
+      << "  \"config\": {\"ops\": " << ops
+      << ", \"commit_every\": " << commit_every
+      << ", \"sync_ops\": " << sync_ops << "},\n"
+      << scenario_json("mem_never", mem_never) << ",\n"
+      << scenario_json("disk_group", group) << ",\n"
+      << scenario_json("disk_always", always) << ",\n"
+      << "  \"recovery\": {\"records\": " << recovered.records_applied
+      << ", \"seconds\": " << recover_seconds
+      << ", \"records_per_sec\": " << static_cast<std::uint64_t>(replay_per_sec)
+      << ", \"clean\": " << (recovered.clean ? "true" : "false") << "}\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return recovery_ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "perf_wal: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file faulty_file_ops.hpp
+/// \brief wal::FileOps decorator that injects storage faults from a seed.
+///
+/// Wraps an inner wal::FileOps (MemFileOps in chaos runs, so crashes can
+/// be simulated by cloning the filesystem) and consults an Injector
+/// before write/fsync. Injected faults are errno-shaped — the WalWriter's
+/// short-write loop and poison logic handle an injected EIO exactly as
+/// they would a real one, so chaos runs exercise the production failure
+/// paths, never special test paths.
+///
+/// Sites (registered in serve/fault.hpp):
+///   wal.short_write  write capped to 1 byte (the write_all loop must
+///                    finish the record over many calls)
+///   wal.torn_record  roughly half the buffer reaches the inner file,
+///                    then the write fails with EIO — the classic torn
+///                    record recovery has to drop at the segment tail
+///   wal.fsync_fail   fsync returns -1/EIO (the writer poisons itself;
+///                    bytes already written stay valid for replay)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mmph/chaos/injector.hpp"
+#include "mmph/wal/file_ops.hpp"
+
+namespace mmph::chaos {
+
+class FaultyFileOps final : public wal::FileOps {
+ public:
+  /// \p injector and \p inner must outlive this object.
+  FaultyFileOps(Injector& injector, wal::FileOps& inner);
+
+  int open(const std::string& path, wal::OpenMode mode) override;
+  ssize_t read(int fd, std::uint8_t* buf, std::size_t cap) override;
+  ssize_t write(int fd, const std::uint8_t* buf, std::size_t len) override;
+  int fsync(int fd) override;
+  int close(int fd) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int remove(const std::string& path) override;
+  int mkdir(const std::string& path) override;
+  int sync_dir(const std::string& dir) override;
+  std::optional<std::vector<std::string>> list(const std::string& dir) override;
+
+ private:
+  Injector& injector_;
+  wal::FileOps& inner_;
+};
+
+}  // namespace mmph::chaos

@@ -1,9 +1,9 @@
 #pragma once
 
 /// \file harness.hpp
-/// \brief Seeded chaos schedules over the serve and net stacks.
+/// \brief Seeded chaos schedules over the serve, net, and wal stacks.
 ///
-/// Two entry points, shared by the gtest suite and the chaos_runner
+/// Three entry points, shared by the gtest suite and the chaos_runner
 /// sweep binary. Each takes a single seed, derives a full fault schedule
 /// plus a request workload from it, runs the stack under fire, and checks
 /// the invariants that must survive *any* schedule:
@@ -32,6 +32,14 @@
 ///
 /// Both force full_solve_churn_fraction = 0 so every placement is a full
 /// sharded solve — a pure function of store content and row order.
+///
+/// The wal harness runs a WAL-attached service over an in-memory
+/// filesystem with injected short writes, torn records, and fsync
+/// failures, then "pulls the plug" (clones the filesystem as-is) and
+/// requires recovery to reproduce the live store *bitwise* — same rows,
+/// same order, same epoch (wal::snapshot_digest equality). A second probe
+/// chops a random tail off the newest segment and requires recovery to
+/// land on an exact earlier op boundary.
 
 #include <cstdint>
 #include <string>
@@ -61,9 +69,15 @@ struct NetChaosOptions {
   std::size_t operations = 40;  ///< client calls per schedule
 };
 
+struct WalChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t operations = 80;  ///< scripted direct-API ops per schedule
+};
+
 /// Seed-derived schedules (exposed so tests can inspect/override them).
 [[nodiscard]] FaultPlan serve_plan_for_seed(std::uint64_t seed);
 [[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed);
+[[nodiscard]] FaultPlan wal_plan_for_seed(std::uint64_t seed);
 
 /// Direct-API chaos: PlacementService + RequestBatcher under the four
 /// serve fault sites, pump-driven (no sockets, no threads).
@@ -72,5 +86,10 @@ struct NetChaosOptions {
 /// Full-stack chaos: NetClient -> faulty sockets -> NetServer ->
 /// FrameDecoder -> batcher -> service, both socket directions injected.
 [[nodiscard]] ChaosResult run_net_chaos(const NetChaosOptions& options);
+
+/// Durability chaos: WAL-attached PlacementService over a MemFileOps
+/// filesystem under the wal.* fault sites, then crash-clone + recover.
+/// Invariant: recovered store == pre-crash store, bitwise.
+[[nodiscard]] ChaosResult run_wal_chaos(const WalChaosOptions& options);
 
 }  // namespace mmph::chaos

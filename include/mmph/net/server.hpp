@@ -116,6 +116,10 @@ class NetServer {
   /// when the connection must be dropped.
   [[nodiscard]] bool read_and_submit(Connection& conn);
   void collect_replies(Connection& conn);
+  /// Advances a kReplSubscribe subscriber: streams snapshot chunks while
+  /// it is behind the WAL's retained window, then kReplOps batches from
+  /// the in-memory tail, bounded by a write-buffer watermark.
+  void pump_replication(Connection& conn);
   [[nodiscard]] bool flush(Connection& conn);
   void close_connection(std::size_t index);
 

@@ -11,11 +11,18 @@
 ///
 ///   offset  size  field
 ///        0     4  magic      0x4D4D5048 ("HPMM" on the wire, LE)
-///        4     1  version    kWireVersion (currently 2)
+///        4     1  version    kWireVersion (currently 3)
 ///        5     1  type       FrameType
 ///        6     2  reserved   must be zero
 ///        8     8  request_id caller-chosen; echoed in the response
 ///       16     4  payload_len  bytes following the header
+///
+/// v3 adds the replication frames: kReplSubscribe (a replica asks the
+/// primary to stream the log from an epoch), kReplSnapshot (a chunked
+/// full-store image for subscribers behind the retained log window), and
+/// kReplOps (a batch of encoded WAL records). Snapshot and ops frames are
+/// primary->replica pushes, not responses — they carry the subscribe
+/// request_id so one connection can interleave replies and stream.
 ///
 /// The decoder is deliberately paranoid: frames from the network are
 /// *hostile input*. Every length is bounds-checked against hard limits
@@ -42,8 +49,9 @@ namespace mmph::net {
 inline constexpr std::uint32_t kMagic = 0x4D4D5048u;  // LE bytes 0x48 0x50 0x4D 0x4D ("HPMM" on the wire)
 /// Bumped on any incompatible layout change; decoders reject mismatches.
 /// v2: kStats request, response flags byte (centers | stats blob),
-/// WireStatus::kInternalError.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// WireStatus::kInternalError. v3: replication frames (kReplSubscribe /
+/// kReplSnapshot / kReplOps).
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 20;
 /// Hard cap on one frame's payload: bigger frames are rejected before any
 /// buffering decision is made from the attacker-controlled length.
@@ -60,6 +68,9 @@ enum class FrameType : std::uint8_t {
   kEvaluate = 4,        ///< request: f(centers) on the live population
   kResponse = 5,        ///< reply to any request
   kStats = 6,           ///< request: metrics exposition (empty payload)
+  kReplSubscribe = 7,   ///< request: stream the log from have_epoch
+  kReplSnapshot = 8,    ///< push: one chunk of a full-store snapshot
+  kReplOps = 9,         ///< push: a batch of encoded WAL records
 };
 
 /// Response status on the wire: serve::ResponseStatus plus the
@@ -102,7 +113,31 @@ struct RequestFrame {
   std::vector<serve::UserRecord> users;  ///< kAddUsers
   std::vector<std::uint64_t> ids;        ///< kRemoveUsers
   std::optional<geo::PointSet> centers;  ///< kEvaluate
+  std::uint64_t have_epoch = 0;          ///< kReplSubscribe
 };
+
+/// One replication push frame (kReplSnapshot chunk or kReplOps batch).
+/// The payload blob is opaque at the wire layer: snapshot-file bytes or
+/// concatenated encoded WAL records, each guarded by its own CRC — the
+/// replica validates content with the wal codecs when applying.
+struct ReplFrame {
+  FrameType type = FrameType::kReplOps;
+  std::uint64_t request_id = 0;  ///< echoes the kReplSubscribe id
+  /// kReplSnapshot: the snapshot's epoch (same for every chunk);
+  /// kReplOps: store epoch after applying every record in the blob.
+  std::uint64_t epoch = 0;
+  /// kReplSnapshot only: bit0 = first chunk, bit1 = last chunk.
+  std::uint8_t flags = 0;
+  std::uint32_t count = 0;  ///< kReplOps only: whole records in the blob
+  std::vector<std::uint8_t> blob;
+};
+
+/// kReplSnapshot chunk flag bits.
+inline constexpr std::uint8_t kReplChunkFirst = 1;
+inline constexpr std::uint8_t kReplChunkLast = 2;
+/// Snapshot chunk size: comfortably under kMaxPayloadBytes with header
+/// fields, large enough that a 1M-user store streams in ~tens of frames.
+inline constexpr std::size_t kReplChunkBytes = 1u << 20;
 
 /// One decoded response frame.
 struct ResponseFrame {
@@ -120,6 +155,7 @@ struct ResponseFrame {
 void encode_request(const RequestFrame& frame, std::vector<std::uint8_t>& out);
 void encode_response(const ResponseFrame& frame,
                      std::vector<std::uint8_t>& out);
+void encode_repl(const ReplFrame& frame, std::vector<std::uint8_t>& out);
 
 /// Incremental frame decoder: feed() raw socket bytes, next() extracts
 /// complete frames one at a time. Frames decode atomically — next()
@@ -134,8 +170,10 @@ class FrameDecoder {
     /// server address its kBadRequest reply even for malformed payloads.
     std::uint64_t request_id = 0;
     bool is_response = false;
+    bool is_repl = false;  ///< kReplSnapshot / kReplOps push frame
     RequestFrame request;
     ResponseFrame response;
+    ReplFrame repl;
   };
 
   void feed(const std::uint8_t* data, std::size_t n);

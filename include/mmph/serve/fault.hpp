@@ -42,4 +42,21 @@ inline constexpr std::string_view kFaultSolverThrow = "serve.solver_throw";
 /// any store mutation -> kInternalError, store untouched.
 inline constexpr std::string_view kFaultAllocFail = "serve.alloc_fail";
 
+// --- fault-site catalog (wal / replication layers) -------------------------
+// Consulted by chaos::FaultyFileOps (wal.*) and net::ReplicaAgent
+// (replica.*); listed here because fault.hpp is the one site registry.
+
+/// FileOps::write caps the write at one byte (short write; the WAL's
+/// write_all loop must finish the record regardless).
+inline constexpr std::string_view kFaultWalShortWrite = "wal.short_write";
+/// FileOps::write persists roughly half the buffer, then fails -> a torn
+/// record at the segment tail; recovery must drop exactly that record.
+inline constexpr std::string_view kFaultWalTornRecord = "wal.torn_record";
+/// FileOps::fsync fails with EIO -> the writer poisons itself; already
+/// written bytes stay valid for replay.
+inline constexpr std::string_view kFaultWalFsyncFail = "wal.fsync_fail";
+/// ReplicaAgent delays applying a received stream frame, inflating the
+/// observable mmph_repl_lag_ops gauge.
+inline constexpr std::string_view kFaultReplicaLag = "replica.lag";
+
 }  // namespace mmph::serve

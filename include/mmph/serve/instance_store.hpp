@@ -58,8 +58,24 @@ class InstanceStore {
 
   /// Inserts or overwrites the user. Returns true on insert, false on
   /// update. \throws InvalidArgument on interest-dimension mismatch or
-  /// non-positive weight.
+  /// non-positive weight. Strong guarantee: on any throw (including
+  /// allocation failure) the store — rows, index, and epoch — is exactly
+  /// what it was before the call.
   bool upsert(const UserRecord& user);
+
+  /// Pre-grows all row storage so the next \p rows upsert-inserts cannot
+  /// allocate (and therefore cannot throw past validation).
+  void reserve_rows(std::size_t rows);
+
+  /// Replaces the whole population in one step (WAL recovery / replica
+  /// snapshot install). \p coords is row-major, ids.size() * dim(). The
+  /// epoch must be >= ids.size() (each resident row cost at least one
+  /// mutation) and must not move backwards. Strong guarantee. Resets the
+  /// churn counter — callers that need a re-solve should force one.
+  /// \throws InvalidArgument on size mismatch, duplicate or invalid rows,
+  /// or an inconsistent epoch.
+  void restore(std::uint64_t epoch, std::vector<std::uint64_t> ids,
+               std::vector<double> weights, std::vector<double> coords);
 
   /// Removes the user (swap-remove, O(1)). Returns false for unknown ids
   /// (no epoch change).
@@ -77,6 +93,15 @@ class InstanceStore {
   /// counter. Epochs of successive snapshots are non-decreasing, and
   /// strictly increasing whenever a mutation happened in between.
   [[nodiscard]] StoreSnapshot snapshot();
+
+  /// Raw row arrays in live row order (ids / weights / row-major coords),
+  /// for WAL checkpointing. Unlike snapshot() this is a pure read: no
+  /// churn-counter reset, no PointSet construction. Row order is the
+  /// store's history-dependent order — the recovery invariant is bitwise
+  /// equality, so the order must round-trip exactly.
+  void export_rows(std::vector<std::uint64_t>& ids,
+                   std::vector<double>& weights,
+                   std::vector<double>& coords) const;
 
  private:
   std::size_t dim_;

@@ -33,6 +33,7 @@ struct MetricsSnapshot {
   std::uint64_t full_solves = 0;
   std::uint64_t incremental_solves = 0;
   std::size_t queue_depth = 0;
+  double repl_lag_ops = 0.0;  ///< replica: ops behind the primary
 
   double mean_batch_size = 0.0;
   double solve_p50_seconds = 0.0;
@@ -66,6 +67,9 @@ class ServeMetrics {
   void set_queue_depth(std::size_t depth) {
     queue_depth_->set(static_cast<double>(depth));
   }
+  /// Replica-side replication lag (primary epoch minus local epoch);
+  /// stays 0 on a primary so the family is always present in scrapes.
+  void set_repl_lag(double ops) { repl_lag_ops_->set(ops); }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -91,6 +95,7 @@ class ServeMetrics {
   obs::Counter* full_solves_;
   obs::Counter* incremental_solves_;
   obs::Gauge* queue_depth_;
+  obs::Gauge* repl_lag_ops_;
   obs::Histogram* solve_seconds_;
 };
 

@@ -50,6 +50,9 @@
 #include "mmph/serve/request_batcher.hpp"
 #include "mmph/serve/sharded_solver.hpp"
 #include "mmph/sim/warm_start.hpp"
+#include "mmph/wal/record.hpp"
+#include "mmph/wal/snapshot.hpp"
+#include "mmph/wal/writer.hpp"
 
 namespace mmph::serve {
 
@@ -77,6 +80,13 @@ struct ServiceConfig {
   /// serve.queue_full / serve.deadline_skew (batcher) and
   /// serve.solver_throw / serve.alloc_fail (batch processing).
   FaultHook fault_hook{};
+
+  /// Optional write-ahead log. When set, every mutation is appended to
+  /// the log *before* it touches the store and committed before the
+  /// batch's replies go out, so a kOk ack implies the op is logged as
+  /// durably as the writer's fsync policy promises. Must outlive the
+  /// service. Null: no durability (the pre-WAL behavior).
+  wal::WalWriter* wal = nullptr;
 };
 
 /// The answer to "where are the centers right now".
@@ -111,6 +121,42 @@ class PlacementService {
   [[nodiscard]] std::size_t population() const;
   [[nodiscard]] std::uint64_t epoch() const;
 
+  // --- WAL / replication API ---
+
+  /// Replaces the whole population from a recovered or replicated
+  /// snapshot (placement history is dropped; the next query re-solves).
+  /// With a WAL attached the snapshot is also checkpointed, aligning the
+  /// log with the new state. \throws InvalidArgument on a dimension or
+  /// epoch mismatch, wal::WalError when the checkpoint cannot be written.
+  void restore_from(const wal::WalSnapshot& snapshot);
+
+  /// Applies one replicated log record (replica ingest path; works even
+  /// in read-only mode). The record's epoch must continue the store's
+  /// chain exactly. \throws StateError on a chain break — the caller
+  /// should resubscribe from a snapshot.
+  void apply_replicated(const wal::WalRecord& record);
+
+  /// The live population as a WAL snapshot (what write_snapshot persists
+  /// and what kReplSnapshot streams).
+  [[nodiscard]] wal::WalSnapshot wal_snapshot();
+
+  /// Attached log writer; null when running without durability.
+  [[nodiscard]] wal::WalWriter* wal() const noexcept { return config_.wal; }
+
+  /// Publishes the replica's current lag (mmph_repl_lag_ops gauge).
+  /// Called by net::ReplicaAgent; thread-safe (atomic gauge).
+  void set_repl_lag(double ops) { metrics_.set_repl_lag(ops); }
+
+  /// Read-only mode: mutations are answered kBadRequest (direct API:
+  /// StateError). Replicas run read-only until promoted; promotion is
+  /// simply set_read_only(false).
+  void set_read_only(bool read_only) noexcept {
+    read_only_.store(read_only, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool read_only() const noexcept {
+    return read_only_.load(std::memory_order_relaxed);
+  }
+
   // --- batched asynchronous API ---
 
   /// Enqueues; the future resolves when the worker processes the batch
@@ -138,6 +184,9 @@ class PlacementService {
  private:
   void apply_add_locked(const std::vector<UserRecord>& users);
   void apply_remove_locked(const std::vector<std::uint64_t>& ids);
+  void commit_wal_locked();
+  void maybe_snapshot_locked();
+  [[nodiscard]] wal::WalSnapshot wal_snapshot_locked() const;
   [[nodiscard]] const PlacementView& solve_locked();
   [[nodiscard]] geo::PointSet incremental_pool_locked() const;
   void process_batch(std::vector<Request> batch);
@@ -158,6 +207,7 @@ class PlacementService {
   std::deque<std::vector<double>> recent_points_;
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> read_only_{false};
   std::thread worker_;
 };
 

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file file_ops.hpp
+/// \brief Syscall seam + in-memory filesystem for the write-ahead log.
+///
+/// Mirror of net::SocketOps for file I/O: every open / read / write /
+/// fsync / rename the WAL performs goes through a FileOps hook table, so
+/// tests and the chaos harness can inject short writes, torn records, and
+/// fsync failures with the exact errno shape the real syscalls produce —
+/// the writer's retry/poison logic then exercises its production failure
+/// paths, never special test paths.
+///
+/// Two implementations ship:
+///   - FileOps::system(): forwards to the POSIX calls;
+///   - MemFileOps: a deterministic in-memory filesystem whose whole state
+///     can be clone()d, which is what makes crash-point matrix tests cheap
+///     (clone after every step, recover from the clone, compare stores).
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmph/support/error.hpp"
+
+namespace mmph::wal {
+
+/// A WAL file/system operation failed, or the writer is poisoned (message
+/// carries the errno text where one exists).
+class WalError : public Error {
+ public:
+  explicit WalError(const std::string& what) : Error(what) {}
+};
+
+/// How a file is opened. A tiny enum instead of raw O_* flags keeps the
+/// seam portable and the in-memory implementation honest.
+enum class OpenMode : std::uint8_t {
+  kRead,      ///< existing file, read-only, positioned at the start
+  kAppend,    ///< create if missing, write-only, positioned at the end
+  kTruncate,  ///< create or wipe, write-only
+};
+
+/// Hook table for every file syscall the WAL performs. Each hook has the
+/// return/errno contract of the syscall it replaces (-1 + errno on
+/// failure), so injected faults are indistinguishable from real ones.
+/// Implementations must be thread-safe (system() is; MemFileOps and the
+/// chaos injector serialize internally).
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// ::open — returns an fd >= 0 or -1 + errno.
+  virtual int open(const std::string& path, OpenMode mode);
+  /// ::read(fd, buf, cap) — bytes read, 0 on EOF, -1 + errno.
+  virtual ssize_t read(int fd, std::uint8_t* buf, std::size_t cap);
+  /// ::write(fd, buf, len) — bytes written (possibly short), -1 + errno.
+  virtual ssize_t write(int fd, const std::uint8_t* buf, std::size_t len);
+  /// ::fsync(fd) — 0 or -1 + errno.
+  virtual int fsync(int fd);
+  /// ::close(fd) — 0 or -1 + errno.
+  virtual int close(int fd);
+  /// ::rename — atomic replace; 0 or -1 + errno.
+  virtual int rename(const std::string& from, const std::string& to);
+  /// ::unlink — 0 or -1 + errno.
+  virtual int remove(const std::string& path);
+  /// ::mkdir (0755) — 0 or -1 + errno; EEXIST is the caller's to ignore.
+  virtual int mkdir(const std::string& path);
+  /// Durability point for renames/creates in \p dir — 0 or -1 + errno.
+  virtual int sync_dir(const std::string& dir);
+  /// Names (not paths) of regular files directly inside \p dir, sorted;
+  /// nullopt when the directory cannot be read.
+  virtual std::optional<std::vector<std::string>> list(const std::string& dir);
+
+  /// Process-wide POSIX passthrough instance (stateless, thread-safe).
+  [[nodiscard]] static FileOps& system() noexcept;
+};
+
+/// Deterministic in-memory filesystem. Paths are opaque strings; a file
+/// "is in directory d" when its path is d + "/" + name with no further
+/// separator. fsync is a no-op (everything written is already "durable"),
+/// which matches the crash model the recovery invariant is stated under:
+/// a crash preserves every byte a write() reported written.
+class MemFileOps final : public FileOps {
+ public:
+  int open(const std::string& path, OpenMode mode) override;
+  ssize_t read(int fd, std::uint8_t* buf, std::size_t cap) override;
+  ssize_t write(int fd, const std::uint8_t* buf, std::size_t len) override;
+  int fsync(int fd) override;
+  int close(int fd) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int remove(const std::string& path) override;
+  int mkdir(const std::string& path) override;
+  int sync_dir(const std::string& dir) override;
+  std::optional<std::vector<std::string>> list(const std::string& dir) override;
+
+  /// Deep copy of the file contents (open fds are not cloned) — the
+  /// "pull the plug here" primitive of the crash-point matrix test.
+  [[nodiscard]] std::unique_ptr<MemFileOps> clone() const;
+
+  /// Test access to raw bytes: nullopt for unknown paths.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> file_bytes(
+      const std::string& path) const;
+  /// Overwrites a file's bytes (corruption injection); creates it if new.
+  void set_file_bytes(const std::string& path, std::vector<std::uint8_t> bytes);
+  /// Drops the last \p n bytes of \p path (simulated unsynced-tail loss).
+  /// Returns false for unknown paths.
+  bool truncate_tail(const std::string& path, std::size_t n);
+  [[nodiscard]] std::vector<std::string> all_paths() const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    OpenMode mode = OpenMode::kRead;
+    std::size_t pos = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::uint8_t>> files_;
+  std::map<int, OpenFile> open_files_;
+  int next_fd_ = 1000;
+};
+
+}  // namespace mmph::wal

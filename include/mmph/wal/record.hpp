@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file record.hpp
+/// \brief Versioned, CRC-guarded WAL record codec.
+///
+/// One record logs one effective mutation batch against the store: a
+/// batch of upserts or the ids a remove batch actually removed (unknown
+/// ids are filtered *before* logging, so replay advances the store epoch
+/// exactly as the original execution did). Layout, little-endian like
+/// wire.hpp, 36-byte header followed by the payload:
+///
+///   offset  size  field
+///        0     4  magic        0x4C41574D ("MWAL" on disk, LE)
+///        4     1  version      kWalVersion (currently 1)
+///        5     1  type         RecordType
+///        6     2  dim          interest dimension (kUpsert; 0 for kRemove)
+///        8     8  lsn          writer-assigned, strictly increasing
+///       16     8  epoch        store epoch AFTER applying this record
+///       24     4  count        users (kUpsert) / removed ids (kRemove)
+///       28     4  payload_len  bytes following the header
+///       32     4  crc32c       over header bytes [0,32) ++ payload
+///
+///   kUpsert payload: count x { id u64, weight f64, coords dim x f64 }
+///   kRemove payload: count x { id u64 }
+///
+/// Because every applied element advances the store epoch by exactly one,
+/// `epoch - count` is the epoch the record was appended at — replay can
+/// verify the chain without any extra field. The decoder mirrors the wire
+/// decoder's paranoia: bytes from disk are treated as hostile (a torn
+/// tail IS hostile input), every length is bounds-checked before any
+/// allocation, the CRC is verified before any field is trusted beyond the
+/// header, and every failure is a typed status — never UB or a throw.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmph::wal {
+
+inline constexpr std::uint32_t kRecordMagic = 0x4C41574Du;  // "MWAL" LE
+inline constexpr std::uint8_t kWalVersion = 1;
+inline constexpr std::size_t kRecordHeaderBytes = 36;
+/// Hard cap on one record's payload, checked before buffering decisions.
+inline constexpr std::uint32_t kMaxRecordPayloadBytes = 1u << 26;  // 64 MiB
+/// Hard cap on users/ids per record (matches net::kMaxBatchCount).
+inline constexpr std::uint32_t kMaxRecordCount = 1u << 16;
+/// Hard cap on the interest dimension (matches net::kMaxDim).
+inline constexpr std::uint16_t kMaxRecordDim = 1024;
+
+enum class RecordType : std::uint8_t {
+  kUpsert = 1,  ///< insert-or-overwrite a batch of users
+  kRemove = 2,  ///< remove a batch of ids (all present when logged)
+};
+
+/// One decoded (or to-be-encoded) log record. Plain vectors, not
+/// serve::UserRecord — wal sits *below* serve in the layer diagram.
+struct WalRecord {
+  RecordType type = RecordType::kUpsert;
+  std::uint64_t lsn = 0;
+  std::uint64_t epoch = 0;  ///< store epoch after applying this record
+  std::uint16_t dim = 0;    ///< kUpsert only; 0 for kRemove
+  std::vector<std::uint64_t> ids;
+  std::vector<double> weights;  ///< kUpsert: one per id
+  std::vector<double> coords;   ///< kUpsert: ids.size() * dim, row-major
+
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return static_cast<std::uint32_t>(ids.size());
+  }
+};
+
+/// CRC-32C (Castagnoli), the polynomial storage stacks standardize on.
+/// \p seed chains partial computations (pass the previous return value).
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t n,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// Appends the encoded record to \p out. \throws InvalidArgument when the
+/// record violates the format limits (outbound records come from trusted
+/// code, so a violation is a caller bug).
+void encode_record(const WalRecord& record, std::vector<std::uint8_t>& out);
+
+/// Every way a stored record can fail to decode. kNeedMoreData is the
+/// only non-error value besides kOk; at end-of-log it means a torn tail
+/// (the crash interrupted an append) and recovery drops it.
+enum class RecordDecodeStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMoreData,  ///< buffer ends inside the header or payload
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,  ///< payload_len / count / dim above its hard cap
+  kBadCrc,     ///< checksum mismatch (bit rot or a torn rewrite)
+  kMalformed,  ///< payload size inconsistent with type/count/dim
+};
+
+[[nodiscard]] const char* to_string(RecordDecodeStatus status) noexcept;
+
+struct RecordDecodeResult {
+  RecordDecodeStatus status = RecordDecodeStatus::kNeedMoreData;
+  std::size_t consumed = 0;  ///< bytes consumed (only meaningful on kOk)
+  WalRecord record;
+};
+
+/// Decodes one record from the front of [data, data + size). Atomic like
+/// the wire decoder: a fully validated record, a request for more bytes,
+/// or a typed error — never a partially decoded record.
+[[nodiscard]] RecordDecodeResult decode_record(const std::uint8_t* data,
+                                               std::size_t size);
+
+}  // namespace mmph::wal

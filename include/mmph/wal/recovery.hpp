@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file recovery.hpp
+/// \brief Crash recovery: newest valid checkpoint + log-suffix replay.
+///
+/// The recovery state machine, in file order:
+///
+///   1. SNAPSHOT — try snap-*.mmps files newest-first; the first one that
+///      decodes (magic, version, CRC) becomes the base state. Corrupt
+///      snapshots are counted and skipped — an older checkpoint plus a
+///      longer replay reaches the same state.
+///   2. REPLAY — walk wal-*.mmpl segments in ascending epoch order.
+///      Records at or below the current epoch are redundant (already in
+///      the checkpoint) and skipped; a record whose epoch equals
+///      current + count chains and is applied with the store's exact
+///      upsert/swap-remove semantics.
+///   3. TORN TAIL — a record cut short at the end of a segment is the
+///      crash interrupting an append. The append never returned, so the
+///      op was never applied or acked: the tail bytes are dropped and
+///      replay continues with the next segment (which a post-crash writer
+///      started exactly at the pre-tear epoch).
+///   4. STOP — any other corruption (bad CRC mid-file, a broken epoch
+///      chain, a remove of an absent id) ends replay: bytes past an
+///      untrusted region are not provably contiguous with the state.
+///
+/// The result is bitwise-identical to the pre-crash store — same rows,
+/// same order, same epoch — because every applied element advanced the
+/// epoch by one and the append-before-apply discipline makes "in the
+/// log" a superset of "applied" that the epoch chain trims exactly.
+
+#include <cstdint>
+#include <string>
+
+#include "mmph/wal/file_ops.hpp"
+#include "mmph/wal/snapshot.hpp"
+
+namespace mmph::wal {
+
+struct RecoveryResult {
+  /// The recovered store content (row order preserved).
+  WalSnapshot store;
+  /// Epoch of the checkpoint replay started from (0 = none found).
+  std::uint64_t snapshot_epoch = 0;
+  /// Highest record lsn replayed (0 when none) — new writers continue
+  /// after it.
+  std::uint64_t last_lsn = 0;
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_skipped = 0;  ///< redundant (covered by checkpoint)
+  std::uint64_t torn_bytes_dropped = 0;
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t snapshots_discarded = 0;  ///< corrupt checkpoints skipped
+  /// False when replay stopped at corruption other than a clean torn
+  /// tail (mid-file CRC failure, broken epoch chain). The store is still
+  /// a consistent historical state, just possibly not the newest one.
+  bool clean = true;
+  /// Human-readable note about why clean == false (empty otherwise).
+  std::string detail;
+};
+
+/// Recovers the store image from \p dir. \p dim_hint seeds the dimension
+/// for an empty/fresh directory (0 = adopt from the first snapshot or
+/// record); a record whose dim contradicts the established one stops
+/// replay as corruption. Never throws on bad data — corruption is
+/// reported through the result, not exceptions.
+[[nodiscard]] RecoveryResult recover(const std::string& dir,
+                                     std::uint16_t dim_hint = 0,
+                                     FileOps& ops = FileOps::system());
+
+}  // namespace mmph::wal

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// \brief Epoch-stamped store image: the WAL's checkpoint format.
+///
+/// A WalSnapshot is the exact byte content of the InstanceStore's
+/// structure-of-arrays at one epoch — ids, weights, and row-major coords
+/// *in row order*. Row order matters: swap-remove makes the store's row
+/// layout history-dependent, and the recovery invariant is bitwise
+/// equality with the pre-crash store, so a checkpoint must capture the
+/// rows exactly as they sat, not in any canonical order. File layout
+/// (little-endian):
+///
+///   offset  size  field
+///        0     4  magic     0x53504D4D ("MMPS" on disk, LE)
+///        4     1  version   kWalVersion
+///        5     1  reserved  0
+///        6     2  dim
+///        8     8  epoch
+///       16     8  count
+///       24     -  ids (count x u64), weights (count x f64),
+///                 coords (count x dim x f64)
+///      end     4  crc32c over every preceding byte
+///
+/// Snapshots are written to a temp name, fsync'd, then renamed into
+/// place, so a reader never sees a half-written snapshot under its final
+/// name; the CRC catches the remaining cases (bit rot, torn rename on
+/// non-atomic filesystems) and recovery falls back to the previous
+/// snapshot.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mmph/wal/record.hpp"
+
+namespace mmph::wal {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x53504D4Du;  // "MMPS" LE
+
+struct WalSnapshot {
+  std::uint64_t epoch = 0;
+  std::uint16_t dim = 1;
+  std::vector<std::uint64_t> ids;
+  std::vector<double> weights;
+  std::vector<double> coords;  ///< ids.size() * dim, row-major
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids.size(); }
+};
+
+/// Appends the encoded snapshot to \p out. \throws InvalidArgument on
+/// inconsistent field sizes (trusted-caller contract, like encode_record).
+void encode_snapshot(const WalSnapshot& snapshot,
+                     std::vector<std::uint8_t>& out);
+
+/// Decodes a whole snapshot file. Exact-size: trailing bytes are
+/// kMalformed (a snapshot is one atomic unit, not a stream).
+[[nodiscard]] RecordDecodeStatus decode_snapshot(const std::uint8_t* data,
+                                                 std::size_t size,
+                                                 WalSnapshot& out);
+
+/// Order-sensitive 64-bit digest over (epoch, dim, ids, weights, coords)
+/// — equal digests mean bitwise-equal store content. This is what
+/// `mmph_cli wal-dump` prints so two directories (a recovered primary and
+/// a promoted replica) can be compared with grep.
+[[nodiscard]] std::uint64_t snapshot_digest(const WalSnapshot& snapshot) noexcept;
+
+}  // namespace mmph::wal

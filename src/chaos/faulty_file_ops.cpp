@@ -1,0 +1,67 @@
+#include "mmph/chaos/faulty_file_ops.hpp"
+
+#include <cerrno>
+
+#include "mmph/serve/fault.hpp"
+
+namespace mmph::chaos {
+
+FaultyFileOps::FaultyFileOps(Injector& injector, wal::FileOps& inner)
+    : injector_(injector), inner_(inner) {}
+
+int FaultyFileOps::open(const std::string& path, wal::OpenMode mode) {
+  return inner_.open(path, mode);
+}
+
+ssize_t FaultyFileOps::read(int fd, std::uint8_t* buf, std::size_t cap) {
+  return inner_.read(fd, buf, cap);
+}
+
+ssize_t FaultyFileOps::write(int fd, const std::uint8_t* buf,
+                             std::size_t len) {
+  if (len > 1 && injector_.fire(serve::kFaultWalTornRecord)) {
+    // Half the buffer lands, then the device "fails". The persisted
+    // prefix is a torn record recovery must drop; the caller sees the
+    // same -1/EIO a real mid-write media error produces.
+    (void)inner_.write(fd, buf, len / 2);
+    errno = EIO;
+    return -1;
+  }
+  if (len > 1 && injector_.fire(serve::kFaultWalShortWrite)) {
+    return inner_.write(fd, buf, 1);
+  }
+  return inner_.write(fd, buf, len);
+}
+
+int FaultyFileOps::fsync(int fd) {
+  if (injector_.fire(serve::kFaultWalFsyncFail)) {
+    errno = EIO;
+    return -1;
+  }
+  return inner_.fsync(fd);
+}
+
+int FaultyFileOps::close(int fd) { return inner_.close(fd); }
+
+int FaultyFileOps::rename(const std::string& from, const std::string& to) {
+  return inner_.rename(from, to);
+}
+
+int FaultyFileOps::remove(const std::string& path) {
+  return inner_.remove(path);
+}
+
+int FaultyFileOps::mkdir(const std::string& path) {
+  return inner_.mkdir(path);
+}
+
+int FaultyFileOps::sync_dir(const std::string& dir) {
+  return inner_.sync_dir(dir);
+}
+
+std::optional<std::vector<std::string>> FaultyFileOps::list(
+    const std::string& dir) {
+  return inner_.list(dir);
+}
+
+}  // namespace mmph::chaos

@@ -1,19 +1,25 @@
 #include "mmph/chaos/harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <future>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "mmph/chaos/faulty_file_ops.hpp"
 #include "mmph/chaos/faulty_socket_ops.hpp"
 #include "mmph/chaos/injector.hpp"
 #include "mmph/net/client.hpp"
 #include "mmph/net/server.hpp"
 #include "mmph/random/pcg64.hpp"
 #include "mmph/serve/placement_service.hpp"
+#include "mmph/wal/recovery.hpp"
+#include "mmph/wal/snapshot.hpp"
+#include "mmph/wal/writer.hpp"
 
 namespace mmph::chaos {
 namespace {
@@ -467,6 +473,205 @@ ChaosResult run_net_chaos(const NetChaosOptions& options) {
   }
 
   server.stop();
+  result.faults_fired = total_fired(injector);
+  return result;
+}
+
+FaultPlan wal_plan_for_seed(std::uint64_t seed) {
+  rnd::Pcg64 rng(seed ^ kPlanStream);
+  FaultPlan plan;
+  plan.seed = seed;
+  // short_write is retry-shaped (the write_all loop consults again for
+  // every 1-byte continuation), so it can run hot. torn_record and
+  // fsync_fail poison the writer — they stay rare so most schedules get a
+  // meaningful working prefix before the log dies, while the sweep as a
+  // whole still covers "log dies early" seeds.
+  plan.with(serve::kFaultWalShortWrite,
+            kMaxRetryProbability * rng.next_double());
+  plan.with(serve::kFaultWalTornRecord, 0.015 * rng.next_double());
+  plan.with(serve::kFaultWalFsyncFail, 0.02 * rng.next_double());
+  return plan;
+}
+
+ChaosResult run_wal_chaos(const WalChaosOptions& options) {
+  ChaosResult result;
+  result.seed = options.seed;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.message = describe(options.seed, what);
+    return result;
+  };
+
+  Injector injector(wal_plan_for_seed(options.seed));
+  wal::MemFileOps mem;
+  FaultyFileOps faulty(injector, mem);
+
+  wal::WalConfig wal_config;
+  wal_config.dir = "wal";
+  // Group commit keeps the invariant exact: append returning ⟺ the
+  // record's bytes are in the (crash-preserving) file ⟺ the mutation was
+  // applied. Under kAlways a failed append fsync can leave a durable
+  // record the service never applied — legal (the op was never acked)
+  // but not bitwise-comparable to the live store.
+  wal_config.fsync = wal::FsyncPolicy::kGroupCommit;
+  wal_config.snapshot_every_ops = 24;  // checkpoints + prunes mid-run
+  wal_config.file_ops = &faulty;
+  wal::WalWriter writer(wal_config);
+
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 4;
+  config.radius = 0.3;
+  config.full_solve_churn_fraction = 0.0;  // see run_serve_chaos
+  config.wal = &writer;
+  serve::PlacementService service(config);
+
+  // Every mutation whose effect reached the store, in order, with the
+  // store epoch it left behind — the replay source for the torn-tail
+  // probe. "Reached the store" is read off the epoch, not the exception:
+  // a commit/checkpoint failure throws WalError *after* the apply.
+  struct Mutation {
+    bool is_add = false;
+    std::vector<serve::UserRecord> users;
+    std::vector<std::uint64_t> ids;
+    std::uint64_t epoch_after = 0;
+  };
+  std::vector<Mutation> applied;
+
+  rnd::Pcg64 rng(options.seed ^ kWorkloadStream);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+
+  for (std::size_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind >= 9) {  // keep the solve path in the loop; wal-neutral
+      (void)service.placement();
+      continue;
+    }
+    Mutation mutation;
+    if (kind < 6 || live.empty()) {  // add 1..4 users (some upserts)
+      const std::size_t count = 1 + rng.next_below(4);
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool reuse = !live.empty() && rng.next_below(10) < 3;
+        const std::uint64_t id =
+            reuse ? live[rng.next_below(live.size())] : next_id++;
+        if (!reuse) live.push_back(id);
+        mutation.users.push_back(make_user(id, rng));
+      }
+      mutation.is_add = true;
+    } else {  // remove 1..2 ids (sometimes unknown)
+      const std::size_t count = 1 + rng.next_below(2);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (rng.next_below(10) < 8) {
+          const std::size_t at = rng.next_below(live.size());
+          mutation.ids.push_back(live[at]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+        } else {
+          mutation.ids.push_back(0xDEAD0000ull + rng.next_below(64));
+        }
+        if (live.empty()) break;
+      }
+    }
+
+    const std::uint64_t before = service.epoch();
+    try {
+      if (mutation.is_add) {
+        service.apply_add(mutation.users);
+      } else {
+        service.apply_remove(mutation.ids);
+      }
+    } catch (const wal::WalError&) {
+      // Poisoned/failed log: append failures leave the store untouched,
+      // commit failures leave it mutated — the epoch probe below tells
+      // the two apart. Either way the run continues against the dead log.
+    }
+    ++result.requests;
+    if (service.epoch() != before) {
+      mutation.epoch_after = service.epoch();
+      applied.push_back(std::move(mutation));
+    }
+  }
+
+  // Crash: clone the filesystem exactly as the writer left it. MemFileOps
+  // preserves every byte a write() reported written — the documented
+  // crash model — so this is "power loss now".
+  const wal::WalSnapshot live_image = service.wal_snapshot();
+  const std::unique_ptr<wal::MemFileOps> crashed = mem.clone();
+  const wal::RecoveryResult recovered =
+      wal::recover(wal_config.dir, 2, *crashed);
+
+  // Invariant 1: recovery is clean — injected faults only ever tear the
+  // segment *tail* (the first failed write poisons the writer, so nothing
+  // is appended after a tear).
+  if (!recovered.clean) {
+    return fail("recovery not clean: " + recovered.detail);
+  }
+  // Invariant 2: recovered store == pre-crash store, bitwise (rows, row
+  // order, epoch — snapshot_digest covers all of it).
+  if (recovered.store.epoch != live_image.epoch) {
+    std::ostringstream out;
+    out << "recovered epoch " << recovered.store.epoch
+        << " != live epoch " << live_image.epoch;
+    return fail(out.str());
+  }
+  if (wal::snapshot_digest(recovered.store) !=
+      wal::snapshot_digest(live_image)) {
+    return fail("recovered store diverged bitwise from the live store");
+  }
+
+  // Invariant 3 (torn-tail probe): chop a random tail off the newest
+  // segment of a second clone. Recovery must land cleanly on an exact
+  // earlier op boundary — replaying the applied-op prefix up to that
+  // epoch must reproduce the recovered store bitwise.
+  const std::unique_ptr<wal::MemFileOps> torn = mem.clone();
+  const auto names = torn->list(wal_config.dir);
+  if (!names.has_value()) return fail("wal dir unreadable in torn probe");
+  std::uint64_t newest_epoch = 0;
+  bool have_segment = false;
+  for (const std::string& name : *names) {
+    const auto seg_epoch = wal::parse_file_epoch(name, "wal-", ".mmpl");
+    if (seg_epoch.has_value() && (!have_segment || *seg_epoch > newest_epoch)) {
+      newest_epoch = *seg_epoch;
+      have_segment = true;
+    }
+  }
+  if (have_segment) {
+    const std::string seg =
+        wal_config.dir + "/" + wal::segment_file_name(newest_epoch);
+    const auto seg_bytes = torn->file_bytes(seg);
+    if (seg_bytes.has_value() && !seg_bytes->empty()) {
+      const std::size_t chop =
+          1 + rng.next_below(std::min<std::size_t>(seg_bytes->size(), 512));
+      (void)torn->truncate_tail(seg, chop);
+      const wal::RecoveryResult prefix =
+          wal::recover(wal_config.dir, 2, *torn);
+      if (!prefix.clean) {
+        return fail("torn-tail recovery not clean: " + prefix.detail);
+      }
+      serve::ServiceConfig ref_config = config;
+      ref_config.wal = nullptr;
+      serve::PlacementService reference(ref_config);
+      for (const Mutation& mutation : applied) {
+        if (reference.epoch() >= prefix.store.epoch) break;
+        if (mutation.is_add) {
+          reference.apply_add(mutation.users);
+        } else {
+          reference.apply_remove(mutation.ids);
+        }
+      }
+      if (reference.epoch() != prefix.store.epoch) {
+        std::ostringstream out;
+        out << "torn-tail recovery stopped off any op boundary: epoch "
+            << prefix.store.epoch;
+        return fail(out.str());
+      }
+      if (wal::snapshot_digest(reference.wal_snapshot()) !=
+          wal::snapshot_digest(prefix.store)) {
+        return fail("torn-tail recovery diverged from the op-prefix replay");
+      }
+    }
+  }
+
   result.faults_fired = total_fired(injector);
   return result;
 }

@@ -18,6 +18,9 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+/// Stop queueing replication frames once a subscriber's unsent backlog
+/// reaches this; the stream resumes as the socket drains.
+constexpr std::size_t kReplWatermark = 1u << 20;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -44,6 +47,16 @@ struct NetServer::Connection {
     std::future<serve::Response> future;
   };
   std::deque<Pending> pending;
+
+  // Replication subscriber state (set by kReplSubscribe; see
+  // pump_replication). A non-empty repl_snapshot means a full-store
+  // image is mid-stream and ops are held back until it finishes.
+  bool repl_subscriber = false;
+  std::uint64_t repl_request_id = 0;
+  std::uint64_t repl_epoch = 0;  ///< subscriber is synced through here
+  std::uint64_t repl_snapshot_epoch = 0;
+  std::vector<std::uint8_t> repl_snapshot;  ///< encoded snapshot file
+  std::size_t repl_snapshot_offset = 0;
 
   [[nodiscard]] std::size_t unsent() const noexcept {
     return out.size() - out_offset;
@@ -153,6 +166,7 @@ void NetServer::event_loop() {
       bool alive = true;
       try {
         collect_replies(conn);
+        pump_replication(conn);
         if (conn.unsent() > 0) alive = flush(conn);
       } catch (...) {
         // future.get() rethrow or encode failure: same barrier as above.
@@ -169,8 +183,10 @@ void NetServer::event_loop() {
         continue;
       }
       // Idle or wedged (peer neither sends frames nor drains replies
-      // for a whole idle window): reclaim the slot.
-      if (conn.pending.empty() &&
+      // for a whole idle window): reclaim the slot. Replication
+      // subscribers are exempt — a caught-up replica is legitimately
+      // silent for as long as the primary has no churn.
+      if (!conn.repl_subscriber && conn.pending.empty() &&
           now - conn.last_activity > config_.idle_timeout) {
         metrics_.count_closed_idle();
         close_connection(i);
@@ -221,7 +237,8 @@ bool NetServer::read_and_submit(Connection& conn) {
   for (;;) {
     FrameDecoder::Result decoded = conn.decoder.next();
     if (decoded.status == DecodeStatus::kNeedMoreData) break;
-    if (decoded.status != DecodeStatus::kOk || decoded.is_response) {
+    if (decoded.status != DecodeStatus::kOk || decoded.is_response ||
+        decoded.is_repl) {
       // Typed decode failure (or a peer speaking the wrong direction):
       // answer kBadRequest so the peer can log *why*, then drop the
       // connection — after a framing error the stream is garbage.
@@ -253,6 +270,28 @@ bool NetServer::read_and_submit(Connection& conn) {
       encode_response(reply, conn.out);
       metrics_.count_frame_out();
       metrics_.count_request();
+      continue;
+    }
+
+    // A replica announcing itself. Answered inline like kStats; from the
+    // next pump_replication pass this connection receives the stream.
+    // Servers running without a WAL have no log to stream: kBadRequest.
+    if (frame.type == FrameType::kReplSubscribe) {
+      metrics_.count_request();
+      if (service_->wal() == nullptr) {
+        ResponseFrame reply;
+        reply.request_id = frame.request_id;
+        reply.status = WireStatus::kBadRequest;
+        reply.epoch = service_->epoch();
+        encode_response(reply, conn.out);
+        metrics_.count_frame_out();
+        continue;
+      }
+      conn.repl_subscriber = true;
+      conn.repl_request_id = frame.request_id;
+      conn.repl_epoch = frame.have_epoch;
+      conn.repl_snapshot.clear();
+      conn.repl_snapshot_offset = 0;
       continue;
     }
 
@@ -290,7 +329,10 @@ bool NetServer::read_and_submit(Connection& conn) {
         break;
       case FrameType::kResponse:
       case FrameType::kStats:
-        continue;  // unreachable: both handled above
+      case FrameType::kReplSubscribe:
+      case FrameType::kReplSnapshot:
+      case FrameType::kReplOps:
+        continue;  // unreachable: all handled or rejected above
     }
     request.deadline = arrival + config_.request_deadline;
 
@@ -332,6 +374,64 @@ void NetServer::collect_replies(Connection& conn) {
   }
 }
 
+void NetServer::pump_replication(Connection& conn) {
+  if (!conn.repl_subscriber) return;
+  wal::WalWriter* wal = service_->wal();
+  if (wal == nullptr) return;
+  while (conn.unsent() < kReplWatermark) {
+    if (!conn.repl_snapshot.empty()) {
+      // A full-store image is mid-stream: next chunk.
+      const std::size_t remaining =
+          conn.repl_snapshot.size() - conn.repl_snapshot_offset;
+      const std::size_t n = std::min(remaining, kReplChunkBytes);
+      ReplFrame chunk;
+      chunk.type = FrameType::kReplSnapshot;
+      chunk.request_id = conn.repl_request_id;
+      chunk.epoch = conn.repl_snapshot_epoch;
+      chunk.flags = static_cast<std::uint8_t>(
+          (conn.repl_snapshot_offset == 0 ? kReplChunkFirst : 0) |
+          (n == remaining ? kReplChunkLast : 0));
+      const auto* base = conn.repl_snapshot.data() + conn.repl_snapshot_offset;
+      chunk.blob.assign(base, base + n);
+      encode_repl(chunk, conn.out);
+      metrics_.count_frame_out();
+      conn.repl_snapshot_offset += n;
+      if (n == remaining) {
+        conn.repl_snapshot.clear();
+        conn.repl_snapshot_offset = 0;
+        conn.repl_epoch = conn.repl_snapshot_epoch;
+      }
+      continue;
+    }
+    wal::WalWriter::TailResult tail =
+        wal->tail_since(conn.repl_epoch, kReplChunkBytes);
+    if (!tail.covered) {
+      // The subscriber is behind the retained log window; restart it
+      // from a full snapshot of the live store.
+      wal::WalSnapshot snap = service_->wal_snapshot();
+      conn.repl_snapshot_epoch = snap.epoch;
+      conn.repl_snapshot.clear();
+      conn.repl_snapshot_offset = 0;
+      encode_snapshot(snap, conn.repl_snapshot);
+      continue;
+    }
+    if (tail.count == 0) break;  // subscriber is caught up
+    ReplFrame ops;
+    ops.type = FrameType::kReplOps;
+    ops.request_id = conn.repl_request_id;
+    ops.epoch = tail.last_epoch;
+    ops.count = tail.count;
+    ops.blob = std::move(tail.bytes);
+    // encode_repl throws past the event loop's per-connection barrier if
+    // one record alone exceeds the frame cap (possible only through the
+    // direct API with a batch far above net::kMaxBatchCount) — the
+    // subscriber is dropped rather than sent a torn stream.
+    encode_repl(ops, conn.out);
+    metrics_.count_frame_out();
+    conn.repl_epoch = tail.last_epoch;
+  }
+}
+
 bool NetServer::flush(Connection& conn) {
   while (conn.unsent() > 0) {
     const IoResult r = sock_write(conn.sock, conn.out.data() + conn.out_offset,
@@ -357,6 +457,9 @@ std::string NetServer::render_stats() const {
   std::ostringstream out;
   metrics_.registry().write_exposition(out);
   service_->metrics_registry().write_exposition(out);
+  if (service_->wal() != nullptr) {
+    service_->wal()->registry().write_exposition(out);
+  }
   trace::SpanCollector::global().registry().write_exposition(out);
   return out.str();
 }

@@ -125,6 +125,9 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kEvaluate: return "kEvaluate";
     case FrameType::kResponse: return "kResponse";
     case FrameType::kStats: return "kStats";
+    case FrameType::kReplSubscribe: return "kReplSubscribe";
+    case FrameType::kReplSnapshot: return "kReplSnapshot";
+    case FrameType::kReplOps: return "kReplOps";
   }
   return "FrameType(?)";
 }
@@ -201,6 +204,9 @@ void encode_request(const RequestFrame& frame,
     case FrameType::kQueryPlacement:
     case FrameType::kStats:
       break;  // empty payload
+    case FrameType::kReplSubscribe:
+      put_u64(out, frame.have_epoch);
+      break;
     case FrameType::kEvaluate: {
       MMPH_REQUIRE(frame.centers.has_value(), "wire: evaluate needs centers");
       const geo::PointSet& centers = *frame.centers;
@@ -214,9 +220,38 @@ void encode_request(const RequestFrame& frame,
       break;
     }
     case FrameType::kResponse:
-      throw InvalidArgument("wire: encode_request given a response type");
+    case FrameType::kReplSnapshot:
+    case FrameType::kReplOps:
+      throw InvalidArgument("wire: encode_request given a non-request type");
   }
   patch_payload_len(out, header_start);
+}
+
+void encode_repl(const ReplFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t header_start = out.size();
+  switch (frame.type) {
+    case FrameType::kReplSnapshot:
+      MMPH_REQUIRE(frame.flags <= (kReplChunkFirst | kReplChunkLast),
+                   "wire: bad snapshot chunk flags");
+      MMPH_REQUIRE(frame.count == 0, "wire: snapshot chunk carries no count");
+      put_header(out, frame.type, frame.request_id, 0);
+      put_u64(out, frame.epoch);
+      out.push_back(frame.flags);
+      put_u32(out, static_cast<std::uint32_t>(frame.blob.size()));
+      break;
+    case FrameType::kReplOps:
+      MMPH_REQUIRE(frame.flags == 0, "wire: ops frame carries no flags");
+      MMPH_REQUIRE(frame.count >= 1, "wire: empty ops frame");
+      put_header(out, frame.type, frame.request_id, 0);
+      put_u64(out, frame.epoch);
+      put_u32(out, frame.count);
+      put_u32(out, static_cast<std::uint32_t>(frame.blob.size()));
+      break;
+    default:
+      throw InvalidArgument("wire: encode_repl given a non-repl type");
+  }
+  out.insert(out.end(), frame.blob.begin(), frame.blob.end());
+  patch_payload_len(out, header_start);  // also enforces kMaxPayloadBytes
 }
 
 void encode_response(const ResponseFrame& frame,
@@ -298,7 +333,7 @@ FrameDecoder::Result FrameDecoder::next() {
   if (magic != kMagic) return fail(DecodeStatus::kBadMagic);
   if (version != kWireVersion) return fail(DecodeStatus::kBadVersion);
   if (type_byte < static_cast<std::uint8_t>(FrameType::kAddUsers) ||
-      type_byte > static_cast<std::uint8_t>(FrameType::kStats)) {
+      type_byte > static_cast<std::uint8_t>(FrameType::kReplOps)) {
     return fail(DecodeStatus::kBadType);
   }
   if (reserved != 0) return fail(DecodeStatus::kMalformedPayload);
@@ -361,6 +396,42 @@ FrameDecoder::Result FrameDecoder::next() {
     case FrameType::kStats:
       if (payload_len != 0) return fail(DecodeStatus::kMalformedPayload);
       break;
+    case FrameType::kReplSubscribe:
+      if (payload_len != 8) return fail(DecodeStatus::kMalformedPayload);
+      result.request.have_epoch = body.u64();
+      break;
+    case FrameType::kReplSnapshot: {
+      result.repl.epoch = body.u64();
+      result.repl.flags = body.u8();
+      const std::uint32_t blob_len = body.u32();
+      if (!body.ok() ||
+          result.repl.flags > (kReplChunkFirst | kReplChunkLast) ||
+          body.remaining() != blob_len) {
+        return fail(DecodeStatus::kMalformedPayload);
+      }
+      const std::uint8_t* blob = head + kHeaderBytes + (payload_len - blob_len);
+      result.repl.blob.assign(blob, blob + blob_len);
+      result.repl.type = type;
+      result.repl.request_id = request_id;
+      result.is_repl = true;
+      break;
+    }
+    case FrameType::kReplOps: {
+      result.repl.epoch = body.u64();
+      result.repl.count = body.u32();
+      const std::uint32_t blob_len = body.u32();
+      if (!body.ok() || result.repl.count == 0 ||
+          result.repl.count > kMaxBatchCount ||
+          body.remaining() != blob_len) {
+        return fail(DecodeStatus::kMalformedPayload);
+      }
+      const std::uint8_t* blob = head + kHeaderBytes + (payload_len - blob_len);
+      result.repl.blob.assign(blob, blob + blob_len);
+      result.repl.type = type;
+      result.repl.request_id = request_id;
+      result.is_repl = true;
+      break;
+    }
     case FrameType::kEvaluate: {
       const std::uint32_t count = body.u32();
       const std::uint16_t dim = body.u16();

@@ -15,21 +15,69 @@ bool InstanceStore::upsert(const UserRecord& user) {
                "InstanceStore::upsert: interest dimension mismatch");
   MMPH_REQUIRE(user.weight > 0.0,
                "InstanceStore::upsert: weight must be positive");
-  ++epoch_;
-  ++churn_since_snapshot_;
   const auto it = index_.find(user.id);
   if (it != index_.end()) {
+    // Update path: in-place writes into existing rows, nothing can throw.
     const std::size_t row = it->second;
     weights_[row] = user.weight;
     std::copy(user.interest.begin(), user.interest.end(),
               coords_.begin() + static_cast<std::ptrdiff_t>(row * dim_));
+    ++epoch_;
+    ++churn_since_snapshot_;
     return false;
   }
+  // Insert path: every allocation happens before the first mutation, so a
+  // bad_alloc anywhere leaves the store untouched. The index entry goes in
+  // last among the throwing steps — the push_backs after it are guaranteed
+  // not to reallocate.
+  reserve_rows(1);
   index_.emplace(user.id, ids_.size());
   ids_.push_back(user.id);
   weights_.push_back(user.weight);
   coords_.insert(coords_.end(), user.interest.begin(), user.interest.end());
+  ++epoch_;
+  ++churn_since_snapshot_;
   return true;
+}
+
+void InstanceStore::reserve_rows(std::size_t rows) {
+  const std::size_t want = ids_.size() + rows;
+  if (want <= ids_.capacity() && want * dim_ <= coords_.capacity() &&
+      want <= weights_.capacity()) {
+    return;
+  }
+  // Keep the usual geometric growth so repeated single-row reserves stay
+  // amortized O(1).
+  const std::size_t target = std::max(want, ids_.capacity() * 2);
+  ids_.reserve(target);
+  weights_.reserve(target);
+  coords_.reserve(target * dim_);
+}
+
+void InstanceStore::restore(std::uint64_t epoch,
+                            std::vector<std::uint64_t> ids,
+                            std::vector<double> weights,
+                            std::vector<double> coords) {
+  MMPH_REQUIRE(weights.size() == ids.size() &&
+                   coords.size() == ids.size() * dim_,
+               "InstanceStore::restore: row array size mismatch");
+  MMPH_REQUIRE(epoch >= ids.size() && epoch >= epoch_,
+               "InstanceStore::restore: epoch inconsistent with population");
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(ids.size());
+  for (std::size_t row = 0; row < ids.size(); ++row) {
+    MMPH_REQUIRE(weights[row] > 0.0,
+                 "InstanceStore::restore: weight must be positive");
+    MMPH_REQUIRE(index.emplace(ids[row], row).second,
+                 "InstanceStore::restore: duplicate user id");
+  }
+  // All validation and allocation done; the swap block cannot throw.
+  ids_ = std::move(ids);
+  weights_ = std::move(weights);
+  coords_ = std::move(coords);
+  index_ = std::move(index);
+  epoch_ = epoch;
+  churn_since_snapshot_ = 0;
 }
 
 bool InstanceStore::remove(std::uint64_t id) {
@@ -69,6 +117,14 @@ std::optional<UserRecord> InstanceStore::find(std::uint64_t id) const {
       coords_.begin() + static_cast<std::ptrdiff_t>(row * dim_),
       coords_.begin() + static_cast<std::ptrdiff_t>((row + 1) * dim_));
   return rec;
+}
+
+void InstanceStore::export_rows(std::vector<std::uint64_t>& ids,
+                                std::vector<double>& weights,
+                                std::vector<double>& coords) const {
+  ids = ids_;
+  weights = weights_;
+  coords = coords_;
 }
 
 StoreSnapshot InstanceStore::snapshot() {

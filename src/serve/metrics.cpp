@@ -31,6 +31,8 @@ ServeMetrics::ServeMetrics()
                              "incremental warm re-solves")),
       queue_depth_(&registry_.gauge("mmph_serve_queue_depth",
                                     "requests currently queued")),
+      repl_lag_ops_(&registry_.gauge("mmph_repl_lag_ops",
+                                     "replication lag in applied ops")),
       solve_seconds_(&registry_.histogram("mmph_serve_solve_seconds",
                                           "placement solve latency")) {}
 
@@ -63,6 +65,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   snap.full_solves = full_solves_->value();
   snap.incremental_solves = incremental_solves_->value();
   snap.queue_depth = static_cast<std::size_t>(queue_depth_->value());
+  snap.repl_lag_ops = repl_lag_ops_->value();
   snap.mean_batch_size =
       snap.batches == 0 ? 0.0
                         : static_cast<double>(snap.batched_requests) /

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <new>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "mmph/core/objective.hpp"
 #include "mmph/support/assert.hpp"
+#include "mmph/support/error.hpp"
 #include "mmph/trace/span.hpp"
 
 namespace mmph::serve {
@@ -59,12 +61,66 @@ PlacementService::~PlacementService() { stop(); }
 
 void PlacementService::apply_add(const std::vector<UserRecord>& users) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (read_only()) throw StateError("apply_add: service is read-only");
   apply_add_locked(users);
+  commit_wal_locked();
+  maybe_snapshot_locked();
 }
 
 void PlacementService::apply_remove(const std::vector<std::uint64_t>& ids) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (read_only()) throw StateError("apply_remove: service is read-only");
   apply_remove_locked(ids);
+  commit_wal_locked();
+  maybe_snapshot_locked();
+}
+
+void PlacementService::restore_from(const wal::WalSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MMPH_REQUIRE(snapshot.dim == config_.dim,
+               "restore_from: snapshot dimension mismatch");
+  store_.restore(snapshot.epoch, snapshot.ids, snapshot.weights,
+                 snapshot.coords);
+  // Placement history is about a population that no longer exists.
+  view_.reset();
+  planner_->reset();
+  churn_since_solve_ = 0;
+  recent_points_.clear();
+  // Checkpoint the installed state so the local log chains from it (for
+  // a boot-time restore this re-checkpoints what recovery read; for a
+  // replica install it jumps the writer to the primary's epoch).
+  if (config_.wal != nullptr) config_.wal->write_snapshot(snapshot);
+}
+
+void PlacementService::apply_replicated(const wal::WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record.epoch != store_.epoch() + record.count()) {
+    throw StateError("apply_replicated: record breaks the epoch chain");
+  }
+  if (record.type == wal::RecordType::kUpsert) {
+    MMPH_REQUIRE(record.dim == config_.dim,
+                 "apply_replicated: record dimension mismatch");
+    std::vector<UserRecord> users(record.ids.size());
+    for (std::size_t i = 0; i < record.ids.size(); ++i) {
+      users[i].id = record.ids[i];
+      users[i].weight = record.weights[i];
+      users[i].interest.assign(
+          record.coords.begin() +
+              static_cast<std::ptrdiff_t>(i * config_.dim),
+          record.coords.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * config_.dim));
+    }
+    apply_add_locked(users);
+  } else {
+    apply_remove_locked(record.ids);
+  }
+  commit_wal_locked();
+  maybe_snapshot_locked();
+}
+
+wal::WalSnapshot PlacementService::wal_snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_snapshot_locked();
 }
 
 PlacementView PlacementService::placement() {
@@ -129,10 +185,46 @@ ShardStats PlacementService::last_shard_stats() const {
 }
 
 void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
+  // Validate the whole batch up front: a batch is atomic — either every
+  // row goes in (logged first when a WAL is attached) or the store is
+  // exactly what it was. Without this, a mid-batch validation throw used
+  // to leave the earlier rows applied.
   for (const UserRecord& user : users) {
-    store_.upsert(user);
-    ++churn_since_solve_;
-    recent_points_.push_back(user.interest);
+    MMPH_REQUIRE(user.interest.size() == config_.dim,
+                 "apply_add: interest dimension mismatch");
+    MMPH_REQUIRE(user.weight > 0.0, "apply_add: weight must be positive");
+  }
+  if (users.empty()) return;
+  store_.reserve_rows(users.size());
+  if (config_.wal != nullptr) {
+    wal::WalRecord record;
+    record.type = wal::RecordType::kUpsert;
+    record.dim = static_cast<std::uint16_t>(config_.dim);
+    record.ids.reserve(users.size());
+    record.weights.reserve(users.size());
+    record.coords.reserve(users.size() * config_.dim);
+    for (const UserRecord& user : users) {
+      record.ids.push_back(user.id);
+      record.weights.push_back(user.weight);
+      record.coords.insert(record.coords.end(), user.interest.begin(),
+                           user.interest.end());
+    }
+    config_.wal->append(record);  // WalError here: store untouched
+  }
+  try {
+    for (const UserRecord& user : users) {
+      store_.upsert(user);  // cannot throw: validated and reserved above
+      ++churn_since_solve_;
+      recent_points_.push_back(user.interest);
+    }
+  } catch (...) {
+    // Only the churn-deque allocation can land here, but if it does the
+    // log and the store have diverged mid-batch — poison the log so the
+    // recovered state, not this process, is the durable truth.
+    if (config_.wal != nullptr) {
+      config_.wal->poison("apply_add: apply diverged from the log");
+    }
+    throw;
   }
   // Keep only a few multiples of the candidate cap; older churn points
   // have already been seen by a solve or crowded out.
@@ -144,14 +236,53 @@ void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
 
 void PlacementService::apply_remove_locked(
     const std::vector<std::uint64_t>& ids) {
-  std::uint64_t removed = 0;
+  // Only effective removals are logged — replay must advance the epoch
+  // exactly as execution did — so filter unknown ids and within-batch
+  // duplicates (no-ops after the first hit) before the append.
+  std::vector<std::uint64_t> effective;
+  effective.reserve(ids.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(ids.size());
   for (const std::uint64_t id : ids) {
-    if (store_.remove(id)) {
-      ++removed;
-      ++churn_since_solve_;
+    if (store_.contains(id) && seen.insert(id).second) {
+      effective.push_back(id);
     }
   }
-  metrics_.count_mutations(removed);
+  if (effective.empty()) return;
+  if (config_.wal != nullptr) {
+    wal::WalRecord record;
+    record.type = wal::RecordType::kRemove;
+    record.ids = effective;
+    config_.wal->append(record);  // WalError here: store untouched
+  }
+  for (const std::uint64_t id : effective) {
+    store_.remove(id);  // cannot fail: present per the filter above
+    ++churn_since_solve_;
+  }
+  metrics_.count_mutations(effective.size());
+}
+
+void PlacementService::commit_wal_locked() {
+  if (config_.wal != nullptr) config_.wal->commit();
+}
+
+void PlacementService::maybe_snapshot_locked() {
+  if (config_.wal == nullptr || !config_.wal->wants_snapshot()) return;
+  // A failed checkpoint poisons the writer but must not retro-fail the
+  // mutations that were already logged and acked; the next append
+  // surfaces the poison as kInternalError.
+  try {
+    config_.wal->write_snapshot(wal_snapshot_locked());
+  } catch (const wal::WalError&) {
+  }
+}
+
+wal::WalSnapshot PlacementService::wal_snapshot_locked() const {
+  wal::WalSnapshot snap;
+  snap.epoch = store_.epoch();
+  snap.dim = static_cast<std::uint16_t>(config_.dim);
+  store_.export_rows(snap.ids, snap.weights, snap.coords);
+  return snap;
 }
 
 core::Problem PlacementService::problem_locked() {
@@ -241,6 +372,7 @@ void PlacementService::process_batch(std::vector<Request> batch) {
     switch (request.type) {
       case RequestType::kAddUsers:
         try {
+          if (read_only()) throw InvalidArgument("service is read-only");
           // Fault seam: a forced allocation failure fires *before* any
           // store mutation, so a kInternalError answer implies an
           // untouched store (the chaos replay check depends on this).
@@ -252,12 +384,23 @@ void PlacementService::process_batch(std::vector<Request> batch) {
           status[i] = ResponseStatus::kBadRequest;
           metrics_.count_bad_request();
         } catch (...) {
+          // Includes wal::WalError: the append failed, so the store was
+          // not touched and nothing was acked durable.
           status[i] = ResponseStatus::kInternalError;
           metrics_.count_internal_error();
         }
         break;
       case RequestType::kRemoveUsers:
-        apply_remove_locked(request.ids);
+        try {
+          if (read_only()) throw InvalidArgument("service is read-only");
+          apply_remove_locked(request.ids);
+        } catch (const InvalidArgument&) {
+          status[i] = ResponseStatus::kBadRequest;
+          metrics_.count_bad_request();
+        } catch (...) {
+          status[i] = ResponseStatus::kInternalError;
+          metrics_.count_internal_error();
+        }
         break;
       case RequestType::kQueryPlacement:
         ++queries;
@@ -275,6 +418,34 @@ void PlacementService::process_batch(std::vector<Request> batch) {
     }
   }
   metrics_.count_queries(queries);
+
+  // Durability barrier before any reply leaves: one fsync covers every
+  // mutation in the batch (the point of group commit). If it fails, the
+  // mutations are applied in memory but of unknown durability — every
+  // would-be-kOk mutation is re-answered kInternalError instead.
+  const auto is_mutation = [](const Request& request) {
+    return request.type == RequestType::kAddUsers ||
+           request.type == RequestType::kRemoveUsers;
+  };
+  bool mutated = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (is_mutation(batch[i]) && status[i] == ResponseStatus::kOk) {
+      mutated = true;
+    }
+  }
+  if (config_.wal != nullptr && mutated) {
+    try {
+      commit_wal_locked();
+      maybe_snapshot_locked();
+    } catch (const wal::WalError&) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (is_mutation(batch[i]) && status[i] == ResponseStatus::kOk) {
+          status[i] = ResponseStatus::kInternalError;
+          metrics_.count_internal_error();
+        }
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Request& request = batch[i];

@@ -1,0 +1,241 @@
+#include "mmph/wal/file_ops.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace mmph::wal {
+namespace {
+
+/// True when \p path names a file directly inside \p dir.
+bool directly_inside(const std::string& dir, const std::string& path) {
+  if (path.size() <= dir.size() + 1) return false;
+  if (path.compare(0, dir.size(), dir) != 0) return false;
+  if (path[dir.size()] != '/') return false;
+  return path.find('/', dir.size() + 1) == std::string::npos;
+}
+
+}  // namespace
+
+int FileOps::open(const std::string& path, OpenMode mode) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead: flags = O_RDONLY; break;
+    case OpenMode::kAppend: flags = O_WRONLY | O_CREAT | O_APPEND; break;
+    case OpenMode::kTruncate: flags = O_WRONLY | O_CREAT | O_TRUNC; break;
+  }
+  return ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+}
+
+ssize_t FileOps::read(int fd, std::uint8_t* buf, std::size_t cap) {
+  return ::read(fd, buf, cap);
+}
+
+ssize_t FileOps::write(int fd, const std::uint8_t* buf, std::size_t len) {
+  return ::write(fd, buf, len);
+}
+
+int FileOps::fsync(int fd) { return ::fsync(fd); }
+
+int FileOps::close(int fd) { return ::close(fd); }
+
+int FileOps::rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str());
+}
+
+int FileOps::remove(const std::string& path) { return ::unlink(path.c_str()); }
+
+int FileOps::mkdir(const std::string& path) {
+  return ::mkdir(path.c_str(), 0755);
+}
+
+int FileOps::sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  return rc;
+}
+
+std::optional<std::vector<std::string>> FileOps::list(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return std::nullopt;
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FileOps& FileOps::system() noexcept {
+  static FileOps instance;
+  return instance;
+}
+
+// --- MemFileOps -------------------------------------------------------------
+
+int MemFileOps::open(const std::string& path, OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (mode == OpenMode::kRead) {
+    if (it == files_.end()) {
+      errno = ENOENT;
+      return -1;
+    }
+  } else if (it == files_.end()) {
+    it = files_.emplace(path, std::vector<std::uint8_t>{}).first;
+  } else if (mode == OpenMode::kTruncate) {
+    it->second.clear();
+  }
+  const int fd = next_fd_++;
+  OpenFile file;
+  file.path = path;
+  file.mode = mode;
+  file.pos = mode == OpenMode::kAppend ? it->second.size() : 0;
+  open_files_.emplace(fd, std::move(file));
+  return fd;
+}
+
+ssize_t MemFileOps::read(int fd, std::uint8_t* buf, std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end() || it->second.mode != OpenMode::kRead) {
+    errno = EBADF;
+    return -1;
+  }
+  const auto file = files_.find(it->second.path);
+  if (file == files_.end()) {
+    errno = EIO;
+    return -1;
+  }
+  const std::vector<std::uint8_t>& bytes = file->second;
+  if (it->second.pos >= bytes.size()) return 0;
+  const std::size_t n = std::min(cap, bytes.size() - it->second.pos);
+  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(it->second.pos), n,
+              buf);
+  it->second.pos += n;
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t MemFileOps::write(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end() || it->second.mode == OpenMode::kRead) {
+    errno = EBADF;
+    return -1;
+  }
+  const auto file = files_.find(it->second.path);
+  if (file == files_.end()) {
+    errno = EIO;
+    return -1;
+  }
+  file->second.insert(file->second.end(), buf, buf + len);
+  it->second.pos = file->second.size();
+  return static_cast<ssize_t>(len);
+}
+
+int MemFileOps::fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_files_.count(fd) == 0) {
+    errno = EBADF;
+    return -1;
+  }
+  return 0;
+}
+
+int MemFileOps::close(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_files_.erase(fd) == 0) {
+    errno = EBADF;
+    return -1;
+  }
+  return 0;
+}
+
+int MemFileOps::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return 0;
+}
+
+int MemFileOps::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) {
+    errno = ENOENT;
+    return -1;
+  }
+  return 0;
+}
+
+int MemFileOps::mkdir(const std::string&) { return 0; }
+
+int MemFileOps::sync_dir(const std::string&) { return 0; }
+
+std::optional<std::vector<std::string>> MemFileOps::list(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [path, bytes] : files_) {
+    (void)bytes;
+    if (directly_inside(dir, path)) names.push_back(path.substr(dir.size() + 1));
+  }
+  return names;  // std::map iterates sorted, names stay sorted
+}
+
+std::unique_ptr<MemFileOps> MemFileOps::clone() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto copy = std::make_unique<MemFileOps>();
+  copy->files_ = files_;
+  return copy;
+}
+
+std::optional<std::vector<std::uint8_t>> MemFileOps::file_bytes(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemFileOps::set_file_bytes(const std::string& path,
+                                std::vector<std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = std::move(bytes);
+}
+
+bool MemFileOps::truncate_tail(const std::string& path, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  it->second.resize(it->second.size() - std::min(n, it->second.size()));
+  return true;
+}
+
+std::vector<std::string> MemFileOps::all_paths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> paths;
+  for (const auto& [path, bytes] : files_) {
+    (void)bytes;
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace mmph::wal

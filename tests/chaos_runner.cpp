@@ -3,14 +3,15 @@
 // through the serve and net stacks and exits nonzero on the first
 // invariant violation, printing the seed so the failure reproduces with
 //
-//   chaos_runner --mode serve --seed <N>      (or --mode net)
+//   chaos_runner --mode serve --seed <N>      (or --mode net / --mode wal)
 //
 // Usage:
-//   chaos_runner [--serve-seeds N] [--net-seeds M] [--base-seed B]
-//                [--mode all|serve|net] [--seed S] [--ops K]
+//   chaos_runner [--serve-seeds N] [--net-seeds M] [--wal-seeds W]
+//                [--base-seed B] [--mode all|serve|net|wal]
+//                [--seed S] [--ops K]
 //
 // --seed runs exactly one schedule per selected mode (reproduction);
-// otherwise seeds B .. B+N-1 (serve) and B .. B+M-1 (net) are swept.
+// otherwise seeds B .. B+N-1 per mode are swept.
 
 #include <cstdint>
 #include <cstdio>
@@ -25,18 +26,21 @@ namespace {
 struct RunnerOptions {
   std::uint64_t serve_seeds = 400;
   std::uint64_t net_seeds = 100;
+  std::uint64_t wal_seeds = 250;
   std::uint64_t base_seed = 1;
   std::uint64_t one_seed = 0;  // 0 = sweep
   std::size_t ops = 0;         // 0 = harness default
   bool run_serve = true;
   bool run_net = true;
+  bool run_wal = true;
 };
 
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr,
                "chaos_runner: %s\n"
                "usage: chaos_runner [--serve-seeds N] [--net-seeds M]\n"
-               "                    [--base-seed B] [--mode all|serve|net]\n"
+               "                    [--wal-seeds W] [--base-seed B]\n"
+               "                    [--mode all|serve|net|wal]\n"
                "                    [--seed S] [--ops K]\n",
                what);
   std::exit(2);
@@ -61,6 +65,8 @@ RunnerOptions parse(int argc, char** argv) {
       options.serve_seeds = parse_u64(value());
     } else if (arg == "--net-seeds") {
       options.net_seeds = parse_u64(value());
+    } else if (arg == "--wal-seeds") {
+      options.wal_seeds = parse_u64(value());
     } else if (arg == "--base-seed") {
       options.base_seed = parse_u64(value());
     } else if (arg == "--seed") {
@@ -71,7 +77,10 @@ RunnerOptions parse(int argc, char** argv) {
       const std::string mode = value();
       options.run_serve = mode == "all" || mode == "serve";
       options.run_net = mode == "all" || mode == "net";
-      if (!options.run_serve && !options.run_net) usage_error("bad --mode");
+      options.run_wal = mode == "all" || mode == "wal";
+      if (!options.run_serve && !options.run_net && !options.run_wal) {
+        usage_error("bad --mode");
+      }
     } else {
       usage_error(("unknown flag " + arg).c_str());
     }
@@ -136,6 +145,28 @@ int main(int argc, char** argv) {
       faults += result.faults_fired;
       if ((i + 1) % 20 == 0) {
         std::printf("net: %llu/%llu schedules ok\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(count));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (options.run_wal) {
+    const std::uint64_t first =
+        options.one_seed != 0 ? options.one_seed : options.base_seed;
+    const std::uint64_t count = options.one_seed != 0 ? 1 : options.wal_seeds;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      mmph::chaos::WalChaosOptions wal_options;
+      wal_options.seed = first + i;
+      if (options.ops != 0) wal_options.operations = options.ops;
+      const mmph::chaos::ChaosResult result =
+          mmph::chaos::run_wal_chaos(wal_options);
+      if (!report(result, "wal")) return 1;
+      ++schedules;
+      faults += result.faults_fired;
+      if ((i + 1) % 50 == 0) {
+        std::printf("wal: %llu/%llu schedules ok\n",
                     static_cast<unsigned long long>(i + 1),
                     static_cast<unsigned long long>(count));
         std::fflush(stdout);

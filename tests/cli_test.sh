@@ -46,6 +46,36 @@ sh "$(dirname "$0")/net_smoke.sh" "$CLI"
 # kStats two-process smoke: listen, replay, scrape with `stats`
 sh "$(dirname "$0")/stats_smoke.sh" "$CLI"
 
+# WAL round trip: run a durable server twice over the same --wal-dir; the
+# second run must recover exactly the epoch the first one reached, and
+# wal-dump/wal-recover must agree on the recovered digest.
+run_wal_server() {
+  rm -f "$DIR/wport"
+  "$CLI" serve-net --listen --port 0 --port-file "$DIR/wport" \
+    --run-seconds 30 --wal-dir "$DIR/wal" > "$1" 2>&1 &
+  WAL_PID=$!
+  tries=0
+  while [ ! -s "$DIR/wport" ]; do
+    kill -0 "$WAL_PID" 2>/dev/null || { cat "$1"; exit 1; }
+    tries=$((tries + 1))
+    [ "$tries" -gt 50 ] && { echo "no port file"; cat "$1"; exit 1; }
+    sleep 0.1
+  done
+}
+run_wal_server "$DIR/wal1.log"
+"$CLI" serve-net --connect 127.0.0.1 --port "$(cat "$DIR/wport")" \
+  --users 40 --slots 2 --churn 0.05 > "$DIR/walclient.txt"
+grep -q "requests failed *0" "$DIR/walclient.txt"
+kill "$WAL_PID" && wait "$WAL_PID" 2>/dev/null || true
+"$CLI" wal-recover --dir "$DIR/wal" > "$DIR/recover.txt"
+grep -q "clean *yes" "$DIR/recover.txt"
+DIGEST=$(grep "store digest" "$DIR/recover.txt" | grep -o "0x[0-9a-f]*")
+"$CLI" wal-dump --dir "$DIR/wal" | grep -q "digest $DIGEST"
+run_wal_server "$DIR/wal2.log"
+kill "$WAL_PID" && wait "$WAL_PID" 2>/dev/null || true
+grep -q "wal: recovered" "$DIR/wal2.log"
+grep -q "digest $DIGEST" "$DIR/wal2.log"
+
 # error handling: unknown command and unknown solver exit nonzero
 if "$CLI" frobnicate 2>/dev/null; then echo "unknown command accepted"; exit 1; fi
 if "$CLI" solve --problem "$DIR/p.txt" --solver nope --k 2 2>/dev/null; then

@@ -407,5 +407,111 @@ TEST(Wire, ResponseInternalErrorStatusRoundTrip) {
   EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
 }
 
+// --- v3 replication frames --------------------------------------------------
+
+TEST(Wire, ReplSubscribeRoundTrip) {
+  RequestFrame frame;
+  frame.type = FrameType::kReplSubscribe;
+  frame.request_id = 11;
+  frame.have_epoch = 0xAABBCCDD11223344ull;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 8);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  EXPECT_FALSE(result.is_response);
+  EXPECT_FALSE(result.is_repl);
+  EXPECT_EQ(result.request.type, FrameType::kReplSubscribe);
+  EXPECT_EQ(result.request.request_id, 11u);
+  EXPECT_EQ(result.request.have_epoch, 0xAABBCCDD11223344ull);
+
+  // Payload must be exactly the u64: anything else is malformed.
+  std::vector<std::uint8_t> longer = bytes;
+  longer[16] = 9;  // payload_len = 9
+  longer.push_back(0);
+  EXPECT_EQ(status_of(longer), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, ReplOpsRoundTrip) {
+  ReplFrame frame;
+  frame.type = FrameType::kReplOps;
+  frame.request_id = 5;
+  frame.epoch = 123;
+  frame.count = 2;
+  frame.blob = {1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> bytes;
+  encode_repl(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  ASSERT_TRUE(result.is_repl);
+  EXPECT_FALSE(result.is_response);
+  EXPECT_EQ(result.repl.type, FrameType::kReplOps);
+  EXPECT_EQ(result.repl.request_id, 5u);
+  EXPECT_EQ(result.repl.epoch, 123u);
+  EXPECT_EQ(result.repl.count, 2u);
+  EXPECT_EQ(result.repl.flags, 0u);
+  EXPECT_EQ(result.repl.blob, frame.blob);
+}
+
+TEST(Wire, ReplSnapshotChunkRoundTrip) {
+  ReplFrame frame;
+  frame.type = FrameType::kReplSnapshot;
+  frame.request_id = 6;
+  frame.epoch = 77;
+  frame.flags = kReplChunkFirst | kReplChunkLast;
+  frame.blob = {9, 8, 7};
+  std::vector<std::uint8_t> bytes;
+  encode_repl(frame, bytes);
+
+  const FrameDecoder::Result result = decode_one(bytes);
+  ASSERT_TRUE(result.is_repl);
+  EXPECT_EQ(result.repl.type, FrameType::kReplSnapshot);
+  EXPECT_EQ(result.repl.epoch, 77u);
+  EXPECT_EQ(result.repl.flags, kReplChunkFirst | kReplChunkLast);
+  EXPECT_EQ(result.repl.blob, frame.blob);
+}
+
+TEST(Wire, ReplOpsZeroCountRejected) {
+  ReplFrame frame;
+  frame.type = FrameType::kReplOps;
+  frame.epoch = 1;
+  frame.count = 1;
+  frame.blob = {1};
+  std::vector<std::uint8_t> bytes;
+  encode_repl(frame, bytes);
+  // Forge count = 0 (first field after the epoch).
+  for (int i = 0; i < 4; ++i) {
+    bytes[kHeaderBytes + 8 + static_cast<std::size_t>(i)] = 0;
+  }
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, ReplSnapshotBadFlagsRejected) {
+  ReplFrame frame;
+  frame.type = FrameType::kReplSnapshot;
+  frame.epoch = 1;
+  frame.flags = kReplChunkLast;
+  frame.blob = {1};
+  std::vector<std::uint8_t> bytes;
+  encode_repl(frame, bytes);
+  bytes[kHeaderBytes + 8] = 0x7F;  // undefined flag bits
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
+TEST(Wire, ReplBlobLengthMustMatchPayloadExactly) {
+  ReplFrame frame;
+  frame.type = FrameType::kReplOps;
+  frame.epoch = 2;
+  frame.count = 1;
+  frame.blob = {1, 2, 3, 4};
+  std::vector<std::uint8_t> bytes;
+  encode_repl(frame, bytes);
+  // Shrink the inner blob_len claim by one: payload now has a stray byte.
+  const std::size_t blob_len_at = kHeaderBytes + 8 + 4;
+  ASSERT_EQ(bytes[blob_len_at], 4);
+  bytes[blob_len_at] = 3;
+  EXPECT_EQ(status_of(bytes), DecodeStatus::kMalformedPayload);
+}
+
 }  // namespace
 }  // namespace mmph::net

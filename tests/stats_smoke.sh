@@ -29,7 +29,7 @@ while :; do
   attempt=$((attempt + 1))
   rm -f "$DIR/port"
   "$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
-    --run-seconds 30 > "$DIR/server.log" 2>&1 &
+    --run-seconds 30 --wal-dir "$DIR/wal" > "$DIR/server.log" 2>&1 &
   SERVER_PID=$!
 
   tries=0
@@ -74,6 +74,16 @@ grep -Eq "^mmph_net_request_latency_seconds_count [1-9]" "$DIR/stats.txt" \
   || { echo "missing latency histogram"; cat "$DIR/stats.txt"; exit 1; }
 grep -q "mmph_net_request_latency_seconds_bucket{le=\"+Inf\"}" "$DIR/stats.txt" \
   || { echo "missing +Inf bucket"; cat "$DIR/stats.txt"; exit 1; }
+
+# The server runs with --wal-dir, so the exposition must merge the WAL
+# registry (appends moved with the replay) and carry the replication lag
+# gauge (0 on a primary, but always present).
+grep -Eq "^mmph_wal_appends_total [1-9]" "$DIR/stats.txt" \
+  || { echo "missing wal appends"; cat "$DIR/stats.txt"; exit 1; }
+grep -Eq "^mmph_wal_fsync_seconds_count [0-9]" "$DIR/stats.txt" \
+  || { echo "missing wal fsync histogram"; cat "$DIR/stats.txt"; exit 1; }
+grep -Eq "^mmph_repl_lag_ops [0-9]" "$DIR/stats.txt" \
+  || { echo "missing repl lag gauge"; cat "$DIR/stats.txt"; exit 1; }
 
 # Scrapes are idempotent reads: a second one still answers.
 "$CLI" stats --port "$PORT" > "$DIR/stats2.txt"

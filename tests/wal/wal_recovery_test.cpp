@@ -1,0 +1,369 @@
+// Crash recovery tests: a crash-point matrix (pull the plug after every
+// op AND at every byte of the newest segment's tail), corrupt-snapshot
+// fallback, typed stops for non-tail corruption, and the recover ->
+// new-writer -> restore bootstrap flow a restarted server runs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mmph/random/pcg64.hpp"
+#include "mmph/serve/placement_service.hpp"
+#include "mmph/wal/file_ops.hpp"
+#include "mmph/wal/record.hpp"
+#include "mmph/wal/recovery.hpp"
+#include "mmph/wal/snapshot.hpp"
+#include "mmph/wal/writer.hpp"
+
+namespace mmph::wal {
+namespace {
+
+constexpr const char* kDir = "wal";
+
+serve::UserRecord make_user(std::uint64_t id, rnd::Pcg64& rng) {
+  serve::UserRecord user;
+  user.id = id;
+  user.interest = {rng.next_double(), rng.next_double()};
+  user.weight = 0.5 + rng.next_double();
+  return user;
+}
+
+serve::ServiceConfig service_config(WalWriter* writer) {
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 3;
+  config.radius = 0.3;
+  config.full_solve_churn_fraction = 0.0;
+  config.wal = writer;
+  return config;
+}
+
+WalConfig wal_config(FileOps& ops, std::uint64_t snapshot_every = 0) {
+  WalConfig config;
+  config.dir = kDir;
+  config.fsync = FsyncPolicy::kGroupCommit;
+  config.snapshot_every_ops = snapshot_every;
+  config.file_ops = &ops;
+  return config;
+}
+
+/// Runs a deterministic mixed add/remove workload, recording the live
+/// store digest at every op boundary (keyed by epoch).
+std::map<std::uint64_t, std::uint64_t> run_workload(
+    serve::PlacementService& service, std::size_t operations,
+    std::uint64_t seed) {
+  std::map<std::uint64_t, std::uint64_t> digests;
+  digests[service.epoch()] = snapshot_digest(service.wal_snapshot());
+  rnd::Pcg64 rng(seed);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+  for (std::size_t op = 0; op < operations; ++op) {
+    if (rng.next_below(10) < 7 || live.empty()) {
+      std::vector<serve::UserRecord> batch;
+      const std::size_t count = 1 + rng.next_below(3);
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool reuse = !live.empty() && rng.next_below(10) < 3;
+        const std::uint64_t id =
+            reuse ? live[rng.next_below(live.size())] : next_id++;
+        if (!reuse) live.push_back(id);
+        batch.push_back(make_user(id, rng));
+      }
+      service.apply_add(batch);
+    } else {
+      const std::size_t at = rng.next_below(live.size());
+      std::vector<std::uint64_t> ids = {live[at]};
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      service.apply_remove(ids);
+    }
+    digests[service.epoch()] = snapshot_digest(service.wal_snapshot());
+  }
+  return digests;
+}
+
+TEST(WalRecoveryTest, MissingDirectoryIsFreshStart) {
+  MemFileOps mem;
+  const RecoveryResult result = recover("nowhere", 3, mem);
+  EXPECT_TRUE(result.clean);
+  EXPECT_EQ(result.store.epoch, 0u);
+  EXPECT_EQ(result.store.dim, 3u);
+  EXPECT_TRUE(result.store.ids.empty());
+  EXPECT_EQ(result.last_lsn, 0u);
+}
+
+TEST(WalRecoveryTest, CrashAfterEveryOpRecoversBitwise) {
+  MemFileOps mem;
+  WalWriter writer(wal_config(mem, /*snapshot_every=*/6));
+  serve::PlacementService service(service_config(&writer));
+
+  rnd::Pcg64 rng(42);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+  for (std::size_t op = 0; op < 24; ++op) {
+    if (rng.next_below(10) < 7 || live.empty()) {
+      std::vector<serve::UserRecord> batch;
+      const std::size_t count = 1 + rng.next_below(3);
+      for (std::size_t j = 0; j < count; ++j) {
+        live.push_back(next_id);
+        batch.push_back(make_user(next_id++, rng));
+      }
+      service.apply_add(batch);
+    } else {
+      const std::size_t at = rng.next_below(live.size());
+      service.apply_remove({live[at]});
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+
+    // Pull the plug NOW: recovery from a byte-exact clone of the disk
+    // must reproduce the live store bitwise — rows, row order, epoch.
+    const std::unique_ptr<MemFileOps> crashed = mem.clone();
+    const RecoveryResult recovered = recover(kDir, 2, *crashed);
+    ASSERT_TRUE(recovered.clean) << "op " << op << ": " << recovered.detail;
+    ASSERT_EQ(recovered.store.epoch, service.epoch()) << "op " << op;
+    ASSERT_EQ(snapshot_digest(recovered.store),
+              snapshot_digest(service.wal_snapshot()))
+        << "op " << op;
+  }
+}
+
+TEST(WalRecoveryTest, TruncationMatrixLandsOnOpBoundaries) {
+  MemFileOps mem;
+  WalWriter writer(wal_config(mem, /*snapshot_every=*/8));
+  serve::PlacementService service(service_config(&writer));
+  std::map<std::uint64_t, std::uint64_t> digests =
+      run_workload(service, 20, 1234);
+
+  // Newest segment = the only one with uncheckpointed records. The last
+  // workload op may have just checkpointed (empty fresh segment) — top
+  // the log up until the tail segment actually holds records.
+  const auto newest_segment = [&] {
+    const auto names = mem.list(kDir);
+    EXPECT_TRUE(names.has_value());
+    std::uint64_t newest = 0;
+    std::string newest_name;
+    for (const std::string& name : *names) {
+      const auto epoch = parse_file_epoch(name, "wal-", ".mmpl");
+      if (epoch.has_value() && (newest_name.empty() || *epoch > newest)) {
+        newest = *epoch;
+        newest_name = name;
+      }
+    }
+    EXPECT_FALSE(newest_name.empty());
+    return std::string(kDir) + "/" + newest_name;
+  };
+  rnd::Pcg64 topup_rng(777);
+  std::string seg = newest_segment();
+  std::uint64_t topup_id = 10000;
+  while (mem.file_bytes(seg).value().empty()) {
+    service.apply_add({make_user(topup_id++, topup_rng)});
+    digests[service.epoch()] = snapshot_digest(service.wal_snapshot());
+    seg = newest_segment();
+  }
+  const auto seg_bytes = mem.file_bytes(seg);
+  ASSERT_TRUE(seg_bytes.has_value());
+  ASSERT_FALSE(seg_bytes->empty());
+
+  // Losing ANY unsynced tail suffix must recover to an exact earlier op
+  // boundary: some state the live store actually passed through.
+  for (std::size_t chop = 1; chop <= seg_bytes->size(); ++chop) {
+    const std::unique_ptr<MemFileOps> crashed = mem.clone();
+    ASSERT_TRUE(crashed->truncate_tail(seg, chop));
+    const RecoveryResult recovered = recover(kDir, 2, *crashed);
+    ASSERT_TRUE(recovered.clean) << "chop " << chop << ": " << recovered.detail;
+    const auto want = digests.find(recovered.store.epoch);
+    ASSERT_NE(want, digests.end())
+        << "chop " << chop << " recovered to epoch " << recovered.store.epoch
+        << ", not an op boundary";
+    ASSERT_EQ(snapshot_digest(recovered.store), want->second)
+        << "chop " << chop;
+  }
+}
+
+TEST(WalRecoveryTest, CorruptSnapshotFallsBackToOlderCheckpoint) {
+  MemFileOps mem;
+  ASSERT_EQ(mem.mkdir(kDir), 0);
+
+  // State A (epoch 1): one user. Checkpointed as snap-1 (valid).
+  WalSnapshot state_a;
+  state_a.epoch = 1;
+  state_a.dim = 2;
+  state_a.ids = {1};
+  state_a.weights = {1.5};
+  state_a.coords = {0.1, 0.2};
+  std::vector<std::uint8_t> bytes;
+  encode_snapshot(state_a, bytes);
+  mem.set_file_bytes(std::string(kDir) + "/" + snapshot_file_name(1), bytes);
+
+  // Segment wal-1: the record taking the store to epoch 2.
+  WalRecord rec2;
+  rec2.type = RecordType::kUpsert;
+  rec2.lsn = 2;
+  rec2.epoch = 2;
+  rec2.dim = 2;
+  rec2.ids = {2};
+  rec2.weights = {2.5};
+  rec2.coords = {0.3, 0.4};
+  bytes.clear();
+  encode_record(rec2, bytes);
+  mem.set_file_bytes(std::string(kDir) + "/" + segment_file_name(1), bytes);
+
+  // snap-2: the epoch-2 checkpoint, bit-rotted on disk.
+  WalSnapshot state_b = state_a;
+  state_b.epoch = 2;
+  state_b.ids.push_back(2);
+  state_b.weights.push_back(2.5);
+  state_b.coords.insert(state_b.coords.end(), {0.3, 0.4});
+  bytes.clear();
+  encode_snapshot(state_b, bytes);
+  bytes[bytes.size() / 2] ^= 0x40;
+  mem.set_file_bytes(std::string(kDir) + "/" + snapshot_file_name(2), bytes);
+
+  // Segment wal-2: one more record on top of the (corrupt) checkpoint.
+  WalRecord rec3;
+  rec3.type = RecordType::kUpsert;
+  rec3.lsn = 3;
+  rec3.epoch = 3;
+  rec3.dim = 2;
+  rec3.ids = {3};
+  rec3.weights = {3.5};
+  rec3.coords = {0.5, 0.6};
+  bytes.clear();
+  encode_record(rec3, bytes);
+  mem.set_file_bytes(std::string(kDir) + "/" + segment_file_name(2), bytes);
+
+  // Recovery must discard snap-2, fall back to snap-1, and reach epoch 3
+  // through the longer replay — same final state, one discarded file.
+  const RecoveryResult result = recover(kDir, 2, mem);
+  EXPECT_TRUE(result.clean) << result.detail;
+  EXPECT_EQ(result.snapshots_discarded, 1u);
+  EXPECT_EQ(result.snapshot_epoch, 1u);
+  EXPECT_EQ(result.store.epoch, 3u);
+  EXPECT_EQ(result.records_applied, 2u);
+  EXPECT_EQ(result.last_lsn, 3u);
+  const std::vector<std::uint64_t> want_ids = {1, 2, 3};
+  EXPECT_EQ(result.store.ids, want_ids);
+}
+
+TEST(WalRecoveryTest, MidFileCorruptionStopsWithCleanFalse) {
+  MemFileOps mem;
+  {
+    WalWriter writer(wal_config(mem));
+    serve::PlacementService service(service_config(&writer));
+    run_workload(service, 8, 99);
+  }
+  const std::string seg = std::string(kDir) + "/" + segment_file_name(0);
+  auto bytes = mem.file_bytes(seg);
+  ASSERT_TRUE(bytes.has_value());
+  ASSERT_GT(bytes->size(), kRecordHeaderBytes);
+  // Flip a payload byte of the FIRST record: not a torn tail, so replay
+  // must stop — bytes past an untrusted region are not provably chained.
+  (*bytes)[kRecordHeaderBytes] ^= 0xFF;
+  mem.set_file_bytes(seg, *bytes);
+
+  const RecoveryResult result = recover(kDir, 2, mem);
+  EXPECT_FALSE(result.clean);
+  EXPECT_FALSE(result.detail.empty());
+  EXPECT_EQ(result.store.epoch, 0u);  // stopped before anything applied
+}
+
+TEST(WalRecoveryTest, RemoveOfAbsentIdStopsReplay) {
+  MemFileOps mem;
+  ASSERT_EQ(mem.mkdir(kDir), 0);
+  WalRecord rec;
+  rec.type = RecordType::kRemove;
+  rec.lsn = 1;
+  rec.epoch = 1;
+  rec.ids = {42};  // nothing was ever added
+  std::vector<std::uint8_t> bytes;
+  encode_record(rec, bytes);
+  mem.set_file_bytes(std::string(kDir) + "/" + segment_file_name(0), bytes);
+
+  const RecoveryResult result = recover(kDir, 2, mem);
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.store.epoch, 0u);
+}
+
+TEST(WalRecoveryTest, BrokenEpochChainStopsReplay) {
+  MemFileOps mem;
+  ASSERT_EQ(mem.mkdir(kDir), 0);
+  WalRecord rec;
+  rec.type = RecordType::kUpsert;
+  rec.lsn = 1;
+  rec.epoch = 5;  // from epoch 0, a 1-user upsert must land on epoch 1
+  rec.dim = 2;
+  rec.ids = {1};
+  rec.weights = {1.0};
+  rec.coords = {0.1, 0.2};
+  std::vector<std::uint8_t> bytes;
+  encode_record(rec, bytes);
+  mem.set_file_bytes(std::string(kDir) + "/" + segment_file_name(0), bytes);
+
+  const RecoveryResult result = recover(kDir, 2, mem);
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.store.epoch, 0u);
+}
+
+TEST(WalRecoveryTest, CheckpointPrunesCoveredFiles) {
+  MemFileOps mem;
+  WalWriter writer(wal_config(mem));
+  serve::PlacementService service(service_config(&writer));
+  run_workload(service, 6, 7);
+
+  EXPECT_FALSE(writer.wants_snapshot());  // snapshot_every_ops = 0
+  writer.write_snapshot(service.wal_snapshot());
+
+  const auto names = mem.list(kDir);
+  ASSERT_TRUE(names.has_value());
+  for (const std::string& name : *names) {
+    const auto snap_epoch = parse_file_epoch(name, "snap-", ".mmps");
+    const auto seg_epoch = parse_file_epoch(name, "wal-", ".mmpl");
+    ASSERT_TRUE(snap_epoch.has_value() || seg_epoch.has_value()) << name;
+    const std::uint64_t epoch =
+        snap_epoch.has_value() ? *snap_epoch : *seg_epoch;
+    EXPECT_EQ(epoch, service.epoch()) << "stale file survived: " << name;
+  }
+}
+
+TEST(WalRecoveryTest, RestartContinuesTheLog) {
+  // First life: run, then "crash".
+  MemFileOps mem;
+  std::uint64_t first_epoch = 0;
+  {
+    WalWriter writer(wal_config(mem, /*snapshot_every=*/5));
+    serve::PlacementService service(service_config(&writer));
+    run_workload(service, 15, 2026);
+    first_epoch = service.epoch();
+  }
+  const std::unique_ptr<MemFileOps> disk = mem.clone();
+
+  // Reboot: recover, seat a new writer after the recovered position,
+  // restore the service from the recovered image (the exact bootstrap
+  // the CLI runs), and keep going on the same disk.
+  const RecoveryResult rr = recover(kDir, 2, *disk);
+  ASSERT_TRUE(rr.clean) << rr.detail;
+  ASSERT_EQ(rr.store.epoch, first_epoch);
+
+  WalWriter writer2(wal_config(*disk, /*snapshot_every=*/5), rr.store.epoch,
+                    rr.last_lsn);
+  serve::PlacementService service2(service_config(&writer2));
+  service2.restore_from(rr.store);
+  ASSERT_EQ(service2.epoch(), first_epoch);
+
+  run_workload(service2, 10, 3000);
+  ASSERT_GT(service2.epoch(), first_epoch);
+
+  // Second crash: the continued log must still recover bitwise, with
+  // lsns strictly continuing the first life's.
+  const RecoveryResult rr2 = recover(kDir, 2, *disk);
+  ASSERT_TRUE(rr2.clean) << rr2.detail;
+  EXPECT_EQ(rr2.store.epoch, service2.epoch());
+  EXPECT_GT(rr2.last_lsn, rr.last_lsn);
+  EXPECT_EQ(snapshot_digest(rr2.store),
+            snapshot_digest(service2.wal_snapshot()));
+}
+
+}  // namespace
+}  // namespace mmph::wal

@@ -15,17 +15,22 @@
 #   tools/check.sh stats-smoke  # build + two-process metrics smoke test
 #                               # (serve-net --listen scraped by `stats`
 #                               # over an ephemeral loopback port)
-#   tools/check.sh chaos        # build + chaos_runner seed sweep: 500
+#   tools/check.sh chaos        # build + chaos_runner seed sweep: 750
 #                               # deterministic fault schedules (400 serve
-#                               # + 100 net) through the full stack; any
-#                               # failure prints its reproducing seed.
+#                               # + 100 net + 250 wal) through the full
+#                               # stack; any failure prints its
+#                               # reproducing seed.
 #                               # MMPH_SANITIZE=ON tools/check.sh chaos
-#                               # is the pre-merge gate for serve/net
+#                               # is the pre-merge gate for serve/net/wal
 #                               # changes (same sweep under ASan/UBSan).
+#   tools/check.sh wal          # build + every wal-labeled test (codec,
+#                               # crash-point matrix, replication,
+#                               # atomicity) — the fast WAL gate; the
+#                               # chaos sweep above is the thorough one.
 #
 # Extra args are forwarded to ctest: tools/check.sh -R serve filters by
 # name, tools/check.sh -L unit filters by label (labels: unit, net,
-# slow, chaos — see tests/CMakeLists.txt).
+# slow, chaos, wal — see tests/CMakeLists.txt).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -55,6 +60,11 @@ fi
 if [ "$1" = "chaos" ]; then
   shift
   exec "$BUILD_DIR/tests/chaos_runner" "$@"
+fi
+
+if [ "$1" = "wal" ]; then
+  cd "$BUILD_DIR"
+  exec ctest --output-on-failure -L wal -j "$(nproc 2>/dev/null || echo 4)"
 fi
 
 cd "$BUILD_DIR"

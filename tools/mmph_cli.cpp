@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -30,12 +31,15 @@
 #include "mmph/io/args.hpp"
 #include "mmph/io/table.hpp"
 #include "mmph/net/client.hpp"
+#include "mmph/net/replica.hpp"
 #include "mmph/net/server.hpp"
 #include "mmph/random/workload.hpp"
 #include "mmph/serve/placement_service.hpp"
 #include "mmph/sim/simulator.hpp"
 #include "mmph/trace/span.hpp"
 #include "mmph/trace/trace.hpp"
+#include "mmph/wal/recovery.hpp"
+#include "mmph/wal/writer.hpp"
 
 namespace {
 
@@ -58,12 +62,24 @@ int usage() {
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
       "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
       "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]]\n"
+      "            [--wal-dir DIR [--fsync always|group|never]\n"
+      "             [--snapshot-every N]] [--primary HOST --primary-port P]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
       "            [--radius R] [--churn P] [--seed S] [--stats]\n"
       "            (neither --listen nor --connect: in-process self-test;\n"
-      "             --stats scrapes and prints the metrics exposition)\n"
+      "             --stats scrapes and prints the metrics exposition;\n"
+      "             --wal-dir makes a --listen server durable: it recovers\n"
+      "             the store from DIR, then logs every mutation;\n"
+      "             --primary makes a --listen server a read-only replica\n"
+      "             streaming from another serve-net --listen --wal-dir)\n"
       "  stats     --port P [--host H]\n"
-      "            (print Prometheus-style metrics from a serve-net --listen)\n";
+      "            (print Prometheus-style metrics from a serve-net --listen)\n"
+      "  wal-dump  --dir DIR\n"
+      "            (list checkpoints and log records, then the recovered\n"
+      "             store digest — compare two directories with grep)\n"
+      "  wal-recover --dir DIR [--dim D]\n"
+      "            (dry-run crash recovery; exit 1 when the log is not\n"
+      "             cleanly recoverable)\n";
   return 2;
 }
 
@@ -513,10 +529,151 @@ int cmd_stats(io::Args& args) {
   return scrape_and_print_stats(client);
 }
 
+std::string hex_digest(std::uint64_t digest) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+/// Whole-file read through the WAL syscall seam, so wal-dump examines the
+/// exact bytes recovery would. nullopt when the file cannot be opened.
+std::optional<std::vector<std::uint8_t>> read_wal_file(
+    wal::FileOps& ops, const std::string& path) {
+  const int fd = ops.open(path, wal::OpenMode::kRead);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1u << 16];
+  for (;;) {
+    const ssize_t got = ops.read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      (void)ops.close(fd);
+      return std::nullopt;
+    }
+    if (got == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  (void)ops.close(fd);
+  return bytes;
+}
+
+void print_recovery_result(const wal::RecoveryResult& rr) {
+  io::Table table({"recovery", "value"});
+  table.add_row({"snapshot epoch", std::to_string(rr.snapshot_epoch)});
+  table.add_row({"snapshots discarded", std::to_string(rr.snapshots_discarded)});
+  table.add_row({"segments scanned", std::to_string(rr.segments_scanned)});
+  table.add_row({"records applied", std::to_string(rr.records_applied)});
+  table.add_row({"records skipped", std::to_string(rr.records_skipped)});
+  table.add_row({"torn bytes dropped", std::to_string(rr.torn_bytes_dropped)});
+  table.add_row({"clean", rr.clean ? "yes" : "no"});
+  if (!rr.detail.empty()) table.add_row({"detail", rr.detail});
+  table.add_row({"store epoch", std::to_string(rr.store.epoch)});
+  table.add_row({"store rows", std::to_string(rr.store.size())});
+  table.add_row({"store digest", hex_digest(wal::snapshot_digest(rr.store))});
+  table.print(std::cout);
+}
+
+// Offline inspection of a WAL directory: every checkpoint, every log
+// record, then the digest recovery would reconstruct. Two directories
+// holding the same store state print the same final digest line, which
+// is how the tutorial compares a primary against a promoted replica.
+int cmd_wal_dump(io::Args& args) {
+  const std::string dir = args.get_string("dir", "");
+  args.finish();
+  if (dir.empty()) throw ParseError("wal-dump: --dir is required");
+
+  wal::FileOps& ops = wal::FileOps::system();
+  const auto names = ops.list(dir);
+  if (!names.has_value()) {
+    throw ParseError("wal-dump: cannot read directory " + dir);
+  }
+
+  // parse_file_epoch ignores foreign files; sorted names + zero-padded
+  // epochs mean this walk is already in ascending epoch order.
+  bool corrupt = false;
+  std::uint64_t total_records = 0, total_bytes = 0;
+  for (const std::string& name : *names) {
+    const std::string path = dir + "/" + name;
+    if (wal::parse_file_epoch(name, "snap-", ".mmps").has_value()) {
+      const auto bytes = read_wal_file(ops, path);
+      wal::WalSnapshot snap;
+      const auto status =
+          bytes.has_value()
+              ? wal::decode_snapshot(bytes->data(), bytes->size(), snap)
+              : wal::RecordDecodeStatus::kNeedMoreData;
+      if (status == wal::RecordDecodeStatus::kOk) {
+        std::cout << name << "  checkpoint epoch " << snap.epoch << "  rows "
+                  << snap.size() << "  digest "
+                  << hex_digest(wal::snapshot_digest(snap)) << "\n";
+      } else {
+        std::cout << name << "  checkpoint CORRUPT (" << to_string(status)
+                  << ")\n";
+        corrupt = true;
+      }
+      continue;
+    }
+    if (!wal::parse_file_epoch(name, "wal-", ".mmpl").has_value()) continue;
+    const auto bytes = read_wal_file(ops, path);
+    if (!bytes.has_value()) {
+      std::cout << name << "  segment UNREADABLE\n";
+      corrupt = true;
+      continue;
+    }
+    std::cout << name << "  segment, " << bytes->size() << " bytes\n";
+    total_bytes += bytes->size();
+    std::size_t at = 0;
+    while (at < bytes->size()) {
+      const auto decoded =
+          wal::decode_record(bytes->data() + at, bytes->size() - at);
+      if (decoded.status != wal::RecordDecodeStatus::kOk) {
+        // A short read at end-of-file is the torn tail recovery drops;
+        // anything else is real corruption.
+        const bool torn =
+            decoded.status == wal::RecordDecodeStatus::kNeedMoreData;
+        std::cout << "  +" << at << "  " << (torn ? "torn tail" : "CORRUPT")
+                  << " (" << to_string(decoded.status) << ", "
+                  << (bytes->size() - at) << " bytes)\n";
+        corrupt = corrupt || !torn;
+        break;
+      }
+      const wal::WalRecord& rec = decoded.record;
+      std::cout << "  lsn " << rec.lsn << "  "
+                << (rec.type == wal::RecordType::kUpsert ? "upsert" : "remove")
+                << " x" << rec.count() << "  -> epoch " << rec.epoch << "\n";
+      ++total_records;
+      at += decoded.consumed;
+    }
+  }
+  std::cout << "total: " << total_records << " records, " << total_bytes
+            << " segment bytes\n";
+
+  const wal::RecoveryResult rr = wal::recover(dir, 0, ops);
+  std::cout << "recovered: epoch " << rr.store.epoch << "  rows "
+            << rr.store.size() << "  digest "
+            << hex_digest(wal::snapshot_digest(rr.store))
+            << (rr.clean ? "" : "  (NOT CLEAN: " + rr.detail + ")") << "\n";
+  return corrupt || !rr.clean ? 1 : 0;
+}
+
+// Dry-run recovery: what a restarting server would reconstruct from
+// --dir, without writing anything. Exit 1 when replay stopped at
+// corruption (the store is then a consistent but possibly stale state).
+int cmd_wal_recover(io::Args& args) {
+  const std::string dir = args.get_string("dir", "");
+  const auto dim = static_cast<std::uint16_t>(args.get_int("dim", 0));
+  args.finish();
+  if (dir.empty()) throw ParseError("wal-recover: --dir is required");
+  const wal::RecoveryResult rr = wal::recover(dir, dim);
+  print_recovery_result(rr);
+  return rr.clean ? 0 : 1;
+}
+
 // Socket-serving mode of the placement service. Three sub-modes:
 //   --listen         run a NetServer until SIGINT/SIGTERM or --run-seconds;
 //   --connect HOST   replay the churn workload against a remote server;
 //   (neither)        self-test: in-process server + client over loopback.
+// --listen composes with --wal-dir (durable primary) and/or --primary
+// (streaming replica of another listener).
 int cmd_serve_net(io::Args& args) {
   const bool listen = args.get_flag("listen");
   const std::string connect_host = args.get_string("connect", "");
@@ -528,6 +685,13 @@ int cmd_serve_net(io::Args& args) {
   const double churn = args.get_double("churn", 0.01);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
   const bool want_stats = args.get_flag("stats");
+  const std::string wal_dir = args.get_string("wal-dir", "");
+  const std::string fsync_text = args.get_string("fsync", "group");
+  const auto snapshot_every =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every", 4096));
+  const std::string primary_host = args.get_string("primary", "");
+  const auto primary_port =
+      static_cast<std::uint16_t>(args.get_int("primary-port", 0));
   serve::ServiceConfig service_config;
   service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
   service_config.radius = args.get_double("radius", 1.0);
@@ -541,12 +705,64 @@ int cmd_serve_net(io::Args& args) {
   if (churn < 0.0 || churn > 1.0) {
     throw ParseError("serve-net: --churn must be in [0, 1]");
   }
+  if (!listen && (!wal_dir.empty() || !primary_host.empty())) {
+    throw ParseError("serve-net: --wal-dir and --primary require --listen");
+  }
+  if (!primary_host.empty() && primary_port == 0) {
+    throw ParseError("serve-net: --primary needs --primary-port");
+  }
 
   if (listen) {
+    // Durability bootstrap: recover whatever a previous process left in
+    // --wal-dir, continue the log from the recovered epoch/lsn, and seed
+    // the service with the recovered store before the socket opens.
+    std::optional<wal::WalWriter> writer;
+    wal::RecoveryResult recovered;
+    if (!wal_dir.empty()) {
+      const auto policy = wal::fsync_policy_from_string(fsync_text);
+      if (!policy.has_value()) {
+        throw ParseError("serve-net: --fsync must be always|group|never");
+      }
+      recovered = wal::recover(
+          wal_dir, static_cast<std::uint16_t>(service_config.dim));
+      if (!recovered.clean) {
+        std::cerr << "warning: recovery stopped early: " << recovered.detail
+                  << "\n";
+      }
+      wal::WalConfig wal_config;
+      wal_config.dir = wal_dir;
+      wal_config.fsync = *policy;
+      wal_config.snapshot_every_ops = snapshot_every;
+      writer.emplace(wal_config, recovered.store.epoch, recovered.last_lsn);
+      service_config.wal = &*writer;
+    }
     net::NetServerConfig net_config;
     net_config.port = port;
     net::NetServer server(service_config, net_config);
+    if (writer.has_value()) {
+      if (recovered.store.epoch > 0) {
+        server.service().restore_from(recovered.store);
+      }
+      std::cout << "wal: recovered epoch " << recovered.store.epoch << " ("
+                << recovered.store.size() << " rows, "
+                << recovered.records_applied << " records replayed, digest "
+                << hex_digest(wal::snapshot_digest(recovered.store))
+                << "), fsync=" << to_string(writer->config().fsync)
+                << std::endl;
+    }
     server.start();
+    // A replica subscribes after the server is up so a promoted-to-primary
+    // operator can point clients at this port the whole time.
+    std::optional<net::ReplicaAgent> replica;
+    if (!primary_host.empty()) {
+      net::ReplicaAgentConfig replica_config;
+      replica_config.host = primary_host;
+      replica_config.port = primary_port;
+      replica.emplace(server.service(), replica_config);
+      replica->start();
+      std::cout << "replicating from " << primary_host << ":" << primary_port
+                << " (read-only until promoted)" << std::endl;
+    }
     if (!port_file.empty()) {
       std::ofstream out(port_file);
       out << server.port() << "\n";
@@ -563,6 +779,20 @@ int cmd_serve_net(io::Args& args) {
             : Clock::time_point::max();
     while (g_stop_requested == 0 && Clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (replica.has_value()) {
+      replica->stop();
+      io::Table table({"replication", "value"});
+      table.add_row({"primary epoch", std::to_string(replica->primary_epoch())});
+      table.add_row({"local epoch",
+                     std::to_string(server.service().epoch())});
+      table.add_row({"lag (ops)", std::to_string(replica->lag_ops())});
+      table.add_row({"records applied",
+                     std::to_string(replica->records_applied())});
+      table.add_row({"snapshots installed",
+                     std::to_string(replica->snapshots_installed())});
+      table.add_row({"resyncs", std::to_string(replica->resyncs())});
+      table.print(std::cout);
     }
     server.stop();
     print_net_metrics(server.metrics());
@@ -611,6 +841,8 @@ int main(int argc, char** argv) {
     if (command == "serve-replay") return cmd_serve_replay(args);
     if (command == "serve-net") return cmd_serve_net(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "wal-dump") return cmd_wal_dump(args);
+    if (command == "wal-recover") return cmd_wal_recover(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
