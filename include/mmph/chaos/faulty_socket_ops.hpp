@@ -18,6 +18,10 @@
 ///   <p>write_reset  write returns -1/EPIPE (peer closed; send() shape)
 ///   <p>write_short  write capped to 1 byte (slow-peer back-pressure)
 ///   <p>accept_eintr accept returns -1/EINTR (retried next poll pass)
+///
+/// writev() consults the same write_* sites (a gather-write is one send
+/// syscall); write_short truncates it to 1 byte of the first buffer, the
+/// partial-progress shape a kernel short write produces.
 
 #include <cstddef>
 #include <cstdint>
@@ -32,6 +36,13 @@ namespace mmph::chaos {
 inline constexpr std::string_view kServerSitePrefix = "net.srv.";
 inline constexpr std::string_view kClientSitePrefix = "net.cli.";
 
+/// Per-event-loop server prefix ("net.srv.l<i>.") for multi-loop
+/// servers: each loop gets its own injector stream, so one loop's retry
+/// storm never perturbs another loop's fault sequence.
+[[nodiscard]] inline std::string server_loop_site_prefix(std::size_t loop) {
+  return std::string(kServerSitePrefix) + "l" + std::to_string(loop) + ".";
+}
+
 class FaultySocketOps final : public net::SocketOps {
  public:
   /// \p injector and \p inner must outlive this object. \p site_prefix is
@@ -41,6 +52,7 @@ class FaultySocketOps final : public net::SocketOps {
 
   ssize_t read(int fd, std::uint8_t* buf, std::size_t cap) override;
   ssize_t write(int fd, const std::uint8_t* buf, std::size_t len) override;
+  ssize_t writev(int fd, const iovec* iov, int iovcnt) override;
   int accept(int listener_fd) override;
 
  private:

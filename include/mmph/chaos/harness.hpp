@@ -67,6 +67,11 @@ struct ServeChaosOptions {
 struct NetChaosOptions {
   std::uint64_t seed = 1;
   std::size_t operations = 40;  ///< client calls per schedule
+  /// Server event loops. 1 (the default) runs the historical
+  /// single-loop schedule with the `net.srv.` site prefix, unchanged
+  /// seed-for-seed. More loops give every loop its own injected fault
+  /// stream under the `net.srv.l<i>.` prefixes.
+  std::size_t loops = 1;
 };
 
 struct WalChaosOptions {
@@ -77,6 +82,10 @@ struct WalChaosOptions {
 /// Seed-derived schedules (exposed so tests can inspect/override them).
 [[nodiscard]] FaultPlan serve_plan_for_seed(std::uint64_t seed);
 [[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed);
+/// Multi-loop variant: sites under net.srv.l<i>. per loop plus the
+/// client sites. loops == 1 returns exactly net_plan_for_seed(seed).
+[[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed,
+                                          std::size_t loops);
 [[nodiscard]] FaultPlan wal_plan_for_seed(std::uint64_t seed);
 
 /// Direct-API chaos: PlacementService + RequestBatcher under the four

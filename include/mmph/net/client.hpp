@@ -10,12 +10,22 @@
 /// four request kinds are idempotent (upsert, remove, query, evaluate),
 /// so a retry after a half-delivered request is safe.
 ///
+/// Besides the blocking one-at-a-time calls (the default), the client
+/// offers *bounded pipelining*: pipeline_*() sends a request without
+/// waiting for its reply, up to pipeline_window frames in flight, and
+/// drain_one() blocks for the oldest outstanding reply (the server
+/// answers each connection strictly FIFO). Pipelining trades the retry
+/// safety net for throughput: a transport failure mid-pipeline abandons
+/// every in-flight request and throws, because the client cannot know
+/// which of them the server executed.
+///
 /// Thread compatibility: one NetClient per thread. Calls serialize on the
 /// single connection; there is no cross-thread locking by design — load
 /// generators want N independent clients, not N threads on one socket.
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -33,6 +43,10 @@ struct NetClientConfig {
   std::chrono::milliseconds recv_timeout{5000};
   /// Total tries per call (first attempt + reconnect retries).
   std::size_t max_attempts = 2;
+  /// Max requests a pipeline_*() call may leave in flight before
+  /// drain_one() must be called. Only the pipelined API is bounded by
+  /// this; the blocking calls always run one at a time.
+  std::size_t pipeline_window = 32;
   /// Syscall hook table every send/recv goes through; null selects
   /// SocketOps::system(). Tests point this at a fault injector
   /// (mmph::chaos::FaultySocketOps). Must outlive the client.
@@ -59,6 +73,28 @@ class NetClient {
   /// holds the Prometheus-style exposition text.
   ResponseFrame stats();
 
+  // --- bounded pipelining (load generators, bulk loading) ---
+
+  /// Sends the request immediately and returns its request id without
+  /// waiting for the reply. At most pipeline_window requests may be in
+  /// flight; exceeding it throws InvalidArgument (drain first). Unlike
+  /// the blocking calls there is NO reconnect-retry: a transport failure
+  /// throws NetError and abandons every in-flight request. Blocking
+  /// calls require an empty pipeline (InvalidArgument otherwise) — the
+  /// two modes must not interleave on one connection.
+  std::uint64_t pipeline_add_users(std::vector<serve::UserRecord> users);
+  std::uint64_t pipeline_remove_users(std::vector<std::uint64_t> ids);
+  std::uint64_t pipeline_query_placement();
+  std::uint64_t pipeline_evaluate(const geo::PointSet& centers);
+  /// Blocks for the oldest in-flight reply (FIFO). \throws NetError on
+  /// transport/decode failure (pipeline abandoned), InvalidArgument when
+  /// nothing is in flight.
+  [[nodiscard]] ResponseFrame drain_one();
+  /// Pipelined requests sent but not yet drained.
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.size();
+  }
+
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
   void disconnect() noexcept;
 
@@ -79,11 +115,15 @@ class NetClient {
   /// any transport or decode failure.
   [[nodiscard]] ResponseFrame attempt(const std::vector<std::uint8_t>& bytes);
 
+  std::uint64_t pipeline_send(RequestFrame frame);
+
   NetClientConfig config_;
   Socket sock_;
   FrameDecoder decoder_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t reconnects_ = 0;
+  /// Request ids sent via pipeline_*() and not yet drained, oldest first.
+  std::deque<std::uint64_t> inflight_;
 };
 
 }  // namespace mmph::net

@@ -8,17 +8,27 @@
 /// protocol health (frame_errors, timeouts), and request latency measured
 /// from first byte buffered to response encoded. Counters are lock-free
 /// atomics and latency quantiles come from a fixed-bucket histogram, so
-/// the single-threaded event loop records without taking any lock; the
-/// registry() can be scraped remotely via the kStats wire request.
+/// event loops record without taking any lock; the registry() can be
+/// scraped remotely via the kStats wire request.
+///
+/// Multi-loop: the aggregate series (`mmph_net_*`) keep their pre-refactor
+/// names and meanings — every event counts there regardless of which loop
+/// produced it — and each event loop additionally gets a labeled channel
+/// of `mmph_net_loop_*{loop="i"}` series in the same registry, so one
+/// kStats scrape shows both the totals and the per-loop breakdown. Loop
+/// channels are handed out as NetMetrics::Loop, whose record methods bump
+/// the labeled series and the aggregate in one call.
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "mmph/obs/registry.hpp"
 
 namespace mmph::net {
 
-/// Point-in-time copy of every counter (plain data, safe to print/ship).
+/// Point-in-time copy of every aggregate counter (plain data, safe to
+/// print/ship).
 struct NetMetricsSnapshot {
   std::uint64_t accepted = 0;           ///< connections accepted
   std::uint64_t rejected_overloaded = 0;  ///< shed by max-connections
@@ -31,33 +41,99 @@ struct NetMetricsSnapshot {
   std::uint64_t frame_errors = 0;       ///< typed decode failures
   std::uint64_t requests = 0;           ///< requests submitted to the service
   std::uint64_t timeouts = 0;           ///< answered kTimeout
+  std::uint64_t ownership_checks = 0;   ///< loop-affinity assertions passed
   std::size_t open_connections = 0;
 
   double latency_p50_seconds = 0.0;
   double latency_p99_seconds = 0.0;
 };
 
+/// Per-loop slice of the counters that make a loop's share of the traffic
+/// visible (accept distribution, throughput skew, ownership coverage).
+struct NetLoopSnapshot {
+  std::uint64_t accepted = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t ownership_checks = 0;
+  std::size_t open_connections = 0;
+};
+
 class NetMetrics {
  public:
-  NetMetrics();
+  /// \p loops sizes the labeled per-loop channels (clamped to >= 1).
+  explicit NetMetrics(std::size_t loops = 1);
 
-  void count_accepted() { accepted_->add(); }
+  // --- aggregate recording (connection-agnostic events) ---
   void count_rejected_overloaded() { rejected_overloaded_->add(); }
   void count_closed_idle() { closed_idle_->add(); }
   void count_closed_error() { closed_error_->add(); }
-  void add_bytes_in(std::uint64_t n) { bytes_in_->add(n); }
-  void add_bytes_out(std::uint64_t n) { bytes_out_->add(n); }
-  void count_frame_in() { frames_in_->add(); }
-  void count_frame_out() { frames_out_->add(); }
   void count_frame_error() { frame_errors_->add(); }
-  void count_request() { requests_->add(); }
   void count_timeout() { timeouts_->add(); }
   void set_open_connections(std::size_t n) {
     open_connections_->set(static_cast<double>(n));
   }
   void record_latency(double seconds) { latency_seconds_->observe(seconds); }
 
+  /// Per-loop channel: records into the labeled `mmph_net_loop_*` series
+  /// and the aggregate series together. Channels are independent atomics;
+  /// each is written by exactly one event-loop thread.
+  class Loop {
+   public:
+    void count_accepted() {
+      agg_->accepted_->add();
+      accepted_->add();
+    }
+    void count_frame_in() {
+      agg_->frames_in_->add();
+      frames_in_->add();
+    }
+    void count_frame_out() {
+      agg_->frames_out_->add();
+      frames_out_->add();
+    }
+    void count_request() {
+      agg_->requests_->add();
+      requests_->add();
+    }
+    void add_bytes_in(std::uint64_t n) {
+      agg_->bytes_in_->add(n);
+      bytes_in_->add(n);
+    }
+    void add_bytes_out(std::uint64_t n) {
+      agg_->bytes_out_->add(n);
+      bytes_out_->add(n);
+    }
+    void count_ownership_check() {
+      agg_->ownership_checks_->add();
+      ownership_checks_->add();
+    }
+    void set_open_connections(std::size_t n) {
+      open_connections_->set(static_cast<double>(n));
+    }
+
+   private:
+    friend class NetMetrics;
+    NetMetrics* agg_ = nullptr;
+    obs::Counter* accepted_ = nullptr;
+    obs::Counter* frames_in_ = nullptr;
+    obs::Counter* frames_out_ = nullptr;
+    obs::Counter* requests_ = nullptr;
+    obs::Counter* bytes_in_ = nullptr;
+    obs::Counter* bytes_out_ = nullptr;
+    obs::Counter* ownership_checks_ = nullptr;
+    obs::Gauge* open_connections_ = nullptr;
+  };
+
+  [[nodiscard]] Loop& loop(std::size_t index) { return loops_.at(index); }
+  [[nodiscard]] std::size_t loop_count() const noexcept {
+    return loops_.size();
+  }
+
   [[nodiscard]] NetMetricsSnapshot snapshot() const;
+  [[nodiscard]] NetLoopSnapshot loop_snapshot(std::size_t index) const;
 
   /// Underlying registry, for Prometheus-style exposition (kStats scrape).
   [[nodiscard]] const obs::Registry& registry() const noexcept {
@@ -79,8 +155,10 @@ class NetMetrics {
   obs::Counter* frame_errors_;
   obs::Counter* requests_;
   obs::Counter* timeouts_;
+  obs::Counter* ownership_checks_;
   obs::Gauge* open_connections_;
   obs::Histogram* latency_seconds_;
+  std::vector<Loop> loops_;
 };
 
 }  // namespace mmph::net

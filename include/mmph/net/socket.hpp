@@ -11,6 +11,7 @@
 /// private addresses, not the public internet.
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <chrono>
 #include <cstddef>
@@ -40,6 +41,10 @@ class SocketOps {
   virtual ssize_t read(int fd, std::uint8_t* buf, std::size_t cap);
   /// ::send(fd, buf, len, MSG_NOSIGNAL) — returns bytes sent, -1 + errno.
   virtual ssize_t write(int fd, const std::uint8_t* buf, std::size_t len);
+  /// ::sendmsg(fd, iov..., MSG_NOSIGNAL) — gather-write of \p iovcnt
+  /// buffers; returns bytes sent, -1 + errno. The event loops use this to
+  /// flush many queued response frames in one syscall.
+  virtual ssize_t writev(int fd, const iovec* iov, int iovcnt);
   /// ::accept(listener_fd, nullptr, nullptr) — returns fd or -1 + errno.
   virtual int accept(int listener_fd);
 
@@ -94,9 +99,13 @@ struct IoResult {
 
 /// Binds and listens on \p host:\p port (port 0 picks an ephemeral port).
 /// Returns the listening socket (nonblocking, SO_REUSEADDR) and the bound
-/// port. \throws NetError on failure.
+/// port. With \p reuse_port, SO_REUSEPORT is set before bind so several
+/// listeners can share one port and the kernel spreads accepts across
+/// them (the multi-loop server's primary accept mode). \throws NetError
+/// on failure.
 [[nodiscard]] std::pair<Socket, std::uint16_t> tcp_listen(
-    const std::string& host, std::uint16_t port, int backlog = 64);
+    const std::string& host, std::uint16_t port, int backlog = 64,
+    bool reuse_port = false);
 
 /// Accepts one pending connection as a nonblocking socket. Returns an
 /// invalid Socket when no connection is pending.
@@ -118,6 +127,11 @@ struct IoResult {
 [[nodiscard]] IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
                                   std::size_t len,
                                   SocketOps& ops = SocketOps::system());
+
+/// Nonblocking gather-write of \p iovcnt buffers (writev batching).
+[[nodiscard]] IoResult sock_writev(const Socket& sock, const iovec* iov,
+                                   int iovcnt,
+                                   SocketOps& ops = SocketOps::system());
 
 /// Blocking send of the whole buffer, polling for writability between
 /// chunks; false once \p deadline passes or the connection dies.

@@ -30,6 +30,13 @@ class Registry {
   /// use. Metric names should match [a-zA-Z_][a-zA-Z0-9_]* (Prometheus
   /// convention); registering the same name as two different instrument
   /// kinds throws mmph::InvalidArgument.
+  ///
+  /// Counters and gauges may carry an inline label set in the name, e.g.
+  /// `mmph_net_loop_requests_total{loop="0"}`: the sample line is emitted
+  /// verbatim while the HELP/TYPE header uses the base name (before `{`)
+  /// and is written once per run of same-base registrations, so N labeled
+  /// series exposit as one metric family. Histograms synthesize their own
+  /// `_bucket{le=...}` series and therefore reject labeled names.
   Counter& counter(std::string_view name, std::string_view help = {});
   Gauge& gauge(std::string_view name, std::string_view help = {});
   Histogram& histogram(std::string_view name, std::string_view help = {});

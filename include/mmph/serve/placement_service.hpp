@@ -162,6 +162,12 @@ class PlacementService {
   /// Enqueues; the future resolves when the worker processes the batch
   /// (immediately with kRejected when the queue is full).
   [[nodiscard]] std::future<Response> submit(Request request);
+  /// Enqueues many requests under one queue lock, preserving order;
+  /// futures are returned in the same order. Equivalent to submit() per
+  /// element, minus the per-request lock round-trips — the NetServer
+  /// event loops submit everything they decoded in one pass this way.
+  [[nodiscard]] std::vector<std::future<Response>> submit_batch(
+      std::vector<Request> requests);
   /// Drains and processes at most one batch; waits up to \p wait for the
   /// first request. Returns the number of requests handled.
   std::size_t pump(std::chrono::milliseconds wait = std::chrono::milliseconds(0));

@@ -50,7 +50,10 @@ struct Response {
   std::uint64_t epoch = 0;
   /// Placement objective (kQueryPlacement) or evaluated f(C) (kEvaluate).
   double objective = 0.0;
-  /// Full placement, for kQueryPlacement.
+  /// Placement for kQueryPlacement: solver name, centers, and reward
+  /// summary. The per-point residual vector is deliberately left empty —
+  /// it is O(population) and the batched callers never read it; use the
+  /// synchronous placement() API when the residual is needed.
   std::optional<core::Solution> solution;
 };
 

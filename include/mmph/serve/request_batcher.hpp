@@ -43,6 +43,13 @@ class RequestBatcher {
   /// the queue is full or closed.
   bool push(Request&& request);
 
+  /// Enqueues a whole batch under one lock — the event loops' submit path
+  /// (N pushes would pay N lock round-trips on the hottest edge of the
+  /// funnel). Semantically identical to calling push() per element in
+  /// order: each request is individually admitted or answered
+  /// kRejected/kShutdown.
+  void push_batch(std::vector<Request>&& requests);
+
   /// Dequeues up to \p max_batch non-expired requests, waiting up to
   /// \p wait for the first one. Expired requests are answered kTimeout
   /// and skipped. Returns an empty batch on timeout or when closed-and-

@@ -41,6 +41,26 @@ ssize_t FaultySocketOps::write(int fd, const std::uint8_t* buf,
   return inner_.write(fd, buf, len);
 }
 
+ssize_t FaultySocketOps::writev(int fd, const iovec* iov, int iovcnt) {
+  if (fire("write_eintr")) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fire("write_reset")) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (fire("write_short")) {
+    // Short gather-write: 1 byte of the first non-empty buffer.
+    for (int i = 0; i < iovcnt; ++i) {
+      if (iov[i].iov_len == 0) continue;
+      return inner_.write(fd, static_cast<const std::uint8_t*>(iov[i].iov_base),
+                          1);
+    }
+  }
+  return inner_.writev(fd, iov, iovcnt);
+}
+
 int FaultySocketOps::accept(int listener_fd) {
   if (fire("accept_eintr")) {
     errno = EINTR;

@@ -88,11 +88,28 @@ FaultPlan serve_plan_for_seed(std::uint64_t seed) {
 }
 
 FaultPlan net_plan_for_seed(std::uint64_t seed) {
+  return net_plan_for_seed(seed, 1);
+}
+
+FaultPlan net_plan_for_seed(std::uint64_t seed, std::size_t loops) {
   rnd::Pcg64 rng(seed ^ kPlanStream);
   FaultPlan plan;
   plan.seed = seed;
-  for (const std::string_view prefix : {kServerSitePrefix, kClientSitePrefix}) {
-    const std::string p(prefix);
+  // loops == 1 keeps the historical prefix pair (and thus the exact
+  // per-seed probabilities); loops > 1 gives every loop its own server
+  // prefix. Probabilities are drawn from one sequential stream, but each
+  // *site*'s fire/no-fire stream is keyed by site name in the Injector,
+  // so per-loop streams are independent regardless.
+  std::vector<std::string> prefixes;
+  if (loops <= 1) {
+    prefixes.emplace_back(kServerSitePrefix);
+  } else {
+    for (std::size_t i = 0; i < loops; ++i) {
+      prefixes.push_back(server_loop_site_prefix(i));
+    }
+  }
+  prefixes.emplace_back(kClientSitePrefix);
+  for (const std::string& p : prefixes) {
     // Retry-shaped faults stay under kMaxRetryProbability so every
     // EINTR/short-IO loop terminates; resets are kept rare because each
     // one costs a whole connection teardown + reconnect round.
@@ -298,9 +315,19 @@ ChaosResult run_net_chaos(const NetChaosOptions& options) {
     return result;
   };
 
-  Injector injector(net_plan_for_seed(options.seed));
+  const std::size_t loops = options.loops == 0 ? 1 : options.loops;
+  Injector injector(net_plan_for_seed(options.seed, loops));
   FaultySocketOps server_ops(injector, std::string(kServerSitePrefix));
   FaultySocketOps client_ops(injector, std::string(kClientSitePrefix));
+  // Multi-loop servers get one injector stream per loop so each loop's
+  // fault sequence is independent of the others' consult timing.
+  std::vector<std::unique_ptr<FaultySocketOps>> loop_ops;
+  if (loops > 1) {
+    for (std::size_t i = 0; i < loops; ++i) {
+      loop_ops.push_back(std::make_unique<FaultySocketOps>(
+          injector, server_loop_site_prefix(i)));
+    }
+  }
 
   serve::ServiceConfig service_config;
   service_config.dim = 2;
@@ -309,6 +336,7 @@ ChaosResult run_net_chaos(const NetChaosOptions& options) {
   service_config.full_solve_churn_fraction = 0.0;  // see run_serve_chaos
 
   net::NetServerConfig net_config;
+  net_config.loops = loops;
   net_config.poll_interval = milliseconds(2);
   // Each injected reset makes the client reconnect, and the dead server
   // side lingers until the next poll pass notices EOF — leave headroom so
@@ -319,6 +347,7 @@ ChaosResult run_net_chaos(const NetChaosOptions& options) {
   // spurious kTimeout noise in the conservation accounting.
   net_config.request_deadline = milliseconds(5000);
   net_config.socket_ops = &server_ops;
+  for (auto& ops : loop_ops) net_config.loop_socket_ops.push_back(ops.get());
 
   net::NetServer server(std::move(service_config), net_config);
   server.start();

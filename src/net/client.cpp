@@ -16,6 +16,8 @@ constexpr std::size_t kRecvChunk = 64 * 1024;
 NetClient::NetClient(NetClientConfig config) : config_(std::move(config)) {
   MMPH_REQUIRE(config_.max_attempts >= 1,
                "NetClient: max_attempts must be >= 1");
+  MMPH_REQUIRE(config_.pipeline_window >= 1,
+               "NetClient: pipeline_window must be >= 1");
 }
 
 NetClient::~NetClient() { disconnect(); }
@@ -23,6 +25,7 @@ NetClient::~NetClient() { disconnect(); }
 void NetClient::disconnect() noexcept {
   sock_.close();
   decoder_ = FrameDecoder{};  // a fresh connection needs a fresh stream
+  inflight_.clear();          // their replies died with the connection
 }
 
 void NetClient::ensure_connected() {
@@ -64,7 +67,107 @@ ResponseFrame NetClient::stats() {
   return roundtrip(std::move(frame));
 }
 
+std::uint64_t NetClient::pipeline_add_users(
+    std::vector<serve::UserRecord> users) {
+  RequestFrame frame;
+  frame.type = FrameType::kAddUsers;
+  frame.users = std::move(users);
+  return pipeline_send(std::move(frame));
+}
+
+std::uint64_t NetClient::pipeline_remove_users(
+    std::vector<std::uint64_t> ids) {
+  RequestFrame frame;
+  frame.type = FrameType::kRemoveUsers;
+  frame.ids = std::move(ids);
+  return pipeline_send(std::move(frame));
+}
+
+std::uint64_t NetClient::pipeline_query_placement() {
+  RequestFrame frame;
+  frame.type = FrameType::kQueryPlacement;
+  return pipeline_send(std::move(frame));
+}
+
+std::uint64_t NetClient::pipeline_evaluate(const geo::PointSet& centers) {
+  RequestFrame frame;
+  frame.type = FrameType::kEvaluate;
+  frame.centers = centers;
+  return pipeline_send(std::move(frame));
+}
+
+std::uint64_t NetClient::pipeline_send(RequestFrame frame) {
+  MMPH_REQUIRE(inflight_.size() < config_.pipeline_window,
+               "NetClient: pipeline window full — drain_one() first");
+  frame.request_id = next_request_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);  // throws InvalidArgument on limit abuse
+  try {
+    ensure_connected();
+    if (!send_all(sock_, bytes.data(), bytes.size(),
+                  Clock::now() + config_.send_timeout, ops())) {
+      throw NetError("send failed or timed out");
+    }
+  } catch (...) {
+    // No retry on the pipelined path: earlier in-flight requests may or
+    // may not have executed, so a resend could double-apply them.
+    disconnect();
+    throw;
+  }
+  inflight_.push_back(frame.request_id);
+  return frame.request_id;
+}
+
+ResponseFrame NetClient::drain_one() {
+  MMPH_REQUIRE(!inflight_.empty(),
+               "NetClient: drain_one with no requests in flight");
+  const std::uint64_t want_id = inflight_.front();
+  const auto deadline = Clock::now() + config_.recv_timeout;
+  std::uint8_t chunk[kRecvChunk];
+  try {
+    for (;;) {
+      for (;;) {
+        FrameDecoder::Result decoded = decoder_.next();
+        if (decoded.status == DecodeStatus::kNeedMoreData) break;
+        if (decoded.status != DecodeStatus::kOk) {
+          throw NetError(std::string("protocol error from server: ") +
+                         to_string(decoded.status));
+        }
+        if (!decoded.is_response) {
+          throw NetError("server sent a request frame");
+        }
+        // Replies are FIFO per connection, so the next response is the
+        // oldest in-flight request's — or a connection-level id-0 notice
+        // (kOverloaded), which *is* that request's answer.
+        if (decoded.response.request_id == want_id ||
+            decoded.response.request_id == 0) {
+          inflight_.pop_front();
+          return decoded.response;
+        }
+        throw NetError("pipelined reply out of order: want " +
+                       std::to_string(want_id) + ", got " +
+                       std::to_string(decoded.response.request_id));
+      }
+      const IoResult r =
+          recv_some(sock_, chunk, sizeof(chunk), deadline, ops());
+      if (r.status == IoStatus::kWouldBlock) {
+        throw NetError("recv timed out");
+      }
+      if (r.status != IoStatus::kOk) {
+        throw NetError("connection closed by server");
+      }
+      decoder_.feed(chunk, r.bytes);
+    }
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
 ResponseFrame NetClient::roundtrip(RequestFrame frame) {
+  MMPH_REQUIRE(inflight_.empty(),
+               "NetClient: blocking call while pipelined requests are in "
+               "flight — drain them first");
   frame.request_id = next_request_id_++;
   std::vector<std::uint8_t> bytes;
   encode_request(frame, bytes);  // throws InvalidArgument on limit abuse

@@ -1,0 +1,65 @@
+#include "mmph/net/epoll.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mmph::net {
+
+EpollSet::EpollSet() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (fd_ < 0) {
+    throw NetError(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+}
+
+EpollSet::~EpollSet() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EpollSet::add(int fd, std::uint32_t events, void* tag) noexcept {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  (void)::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void EpollSet::mod(int fd, std::uint32_t events, void* tag) noexcept {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  (void)::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EpollSet::del(int fd) noexcept {
+  (void)::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EpollSet::wait(epoll_event* out, int cap, int timeout_ms) noexcept {
+  const int n = ::epoll_wait(fd_, out, cap, timeout_ms);
+  return n < 0 ? 0 : n;  // EINTR (or any wait error): treat as timeout
+}
+
+Wakeup::Wakeup() : fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (fd_ < 0) {
+    throw NetError(std::string("eventfd: ") + std::strerror(errno));
+  }
+}
+
+Wakeup::~Wakeup() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wakeup::signal() noexcept {
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is already nonzero — the wakeup is pending.
+  (void)::write(fd_, &one, sizeof(one));
+}
+
+void Wakeup::drain() noexcept {
+  std::uint64_t value = 0;
+  (void)::read(fd_, &value, sizeof(value));
+}
+
+}  // namespace mmph::net

@@ -1,8 +1,17 @@
 #include "mmph/net/metrics.hpp"
 
-namespace mmph::net {
+#include <string>
 
-NetMetrics::NetMetrics()
+namespace mmph::net {
+namespace {
+
+std::string labeled(const char* base, std::size_t loop) {
+  return std::string(base) + "{loop=\"" + std::to_string(loop) + "\"}";
+}
+
+}  // namespace
+
+NetMetrics::NetMetrics(std::size_t loops)
     : accepted_(&registry_.counter("mmph_net_accepted_total",
                                    "connections accepted")),
       rejected_overloaded_(
@@ -26,11 +35,59 @@ NetMetrics::NetMetrics()
                                    "requests submitted to the service")),
       timeouts_(&registry_.counter("mmph_net_timeouts_total",
                                    "requests answered kTimeout")),
+      ownership_checks_(
+          &registry_.counter("mmph_net_ownership_checks_total",
+                             "loop-affinity assertions passed")),
       open_connections_(&registry_.gauge("mmph_net_open_connections",
                                          "currently open connections")),
       latency_seconds_(
           &registry_.histogram("mmph_net_request_latency_seconds",
-                               "request latency, decode to encode")) {}
+                               "request latency, decode to encode")) {
+  if (loops == 0) loops = 1;
+  loops_.resize(loops);
+  // Register each labeled family's series together so the exposition
+  // writer emits one HELP/TYPE header per family (see obs::Registry).
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].agg_ = this;
+    loops_[i].accepted_ = &registry_.counter(
+        labeled("mmph_net_loop_accepted_total", i),
+        "connections accepted, by owning loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].frames_in_ =
+        &registry_.counter(labeled("mmph_net_loop_frames_in_total", i),
+                           "request frames decoded, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].frames_out_ =
+        &registry_.counter(labeled("mmph_net_loop_frames_out_total", i),
+                           "response frames encoded, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].requests_ =
+        &registry_.counter(labeled("mmph_net_loop_requests_total", i),
+                           "requests submitted, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].bytes_in_ = &registry_.counter(
+        labeled("mmph_net_loop_bytes_in_total", i), "bytes read, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].bytes_out_ =
+        &registry_.counter(labeled("mmph_net_loop_bytes_out_total", i),
+                           "bytes written, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].ownership_checks_ = &registry_.counter(
+        labeled("mmph_net_loop_ownership_checks_total", i),
+        "loop-affinity assertions passed, by loop");
+  }
+  for (std::size_t i = 0; i < loops; ++i) {
+    loops_[i].open_connections_ =
+        &registry_.gauge(labeled("mmph_net_loop_open_connections", i),
+                         "open connections owned, by loop");
+  }
+}
 
 NetMetricsSnapshot NetMetrics::snapshot() const {
   NetMetricsSnapshot snap;
@@ -45,11 +102,27 @@ NetMetricsSnapshot NetMetrics::snapshot() const {
   snap.frame_errors = frame_errors_->value();
   snap.requests = requests_->value();
   snap.timeouts = timeouts_->value();
+  snap.ownership_checks = ownership_checks_->value();
   snap.open_connections =
       static_cast<std::size_t>(open_connections_->value());
   const obs::HistogramSnapshot hist = latency_seconds_->snapshot();
   snap.latency_p50_seconds = hist.quantile(0.50);
   snap.latency_p99_seconds = hist.quantile(0.99);
+  return snap;
+}
+
+NetLoopSnapshot NetMetrics::loop_snapshot(std::size_t index) const {
+  const Loop& loop = loops_.at(index);
+  NetLoopSnapshot snap;
+  snap.accepted = loop.accepted_->value();
+  snap.frames_in = loop.frames_in_->value();
+  snap.frames_out = loop.frames_out_->value();
+  snap.requests = loop.requests_->value();
+  snap.bytes_in = loop.bytes_in_->value();
+  snap.bytes_out = loop.bytes_out_->value();
+  snap.ownership_checks = loop.ownership_checks_->value();
+  snap.open_connections =
+      static_cast<std::size_t>(loop.open_connections_->value());
   return snap;
 }
 

@@ -1,11 +1,10 @@
 #include "mmph/net/server.hpp"
 
-#include <poll.h>
-
 #include <cerrno>
 #include <chrono>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -21,6 +20,14 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 /// Stop queueing replication frames once a subscriber's unsent backlog
 /// reaches this; the stream resumes as the socket drains.
 constexpr std::size_t kReplWatermark = 1u << 20;
+/// Encoded frames append to the newest write segment until it reaches
+/// this size, then a fresh segment starts; flush() gathers segments into
+/// one writev. Bounds both per-segment reallocation and iovec count.
+constexpr std::size_t kSegmentBytes = 64 * 1024;
+/// Max segments gathered into a single writev call.
+constexpr int kMaxIov = 64;
+/// Max events drained per epoll_wait.
+constexpr int kMaxEpollEvents = 128;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -28,18 +35,38 @@ double seconds_since(Clock::time_point start) {
 
 }  // namespace
 
-/// Per-connection state: decoder for inbound bytes, a bounded write
-/// buffer for outbound frames, and the FIFO of submitted-but-unanswered
-/// requests (responses are encoded in arrival order, so a pipelining
-/// client can match replies to requests positionally as well as by id).
+/// Per-connection state: decoder for inbound bytes, a segmented write
+/// queue for outbound frames (flushed with writev), the requests decoded
+/// this iteration but not yet submitted (staged), and the FIFO of
+/// submitted-but-unanswered requests (responses are encoded in arrival
+/// order, so a pipelining client can match replies to requests
+/// positionally as well as by id).
 struct NetServer::Connection {
   Socket sock;
+  std::size_t owner = 0;  ///< index of the one loop allowed to touch this
   FrameDecoder decoder;
-  std::vector<std::uint8_t> out;
+
+  /// Outbound frames, as a queue of buffer segments. out_offset is the
+  /// sent prefix of the front segment; out_bytes is the total unsent.
+  std::deque<std::vector<std::uint8_t>> outq;
   std::size_t out_offset = 0;
+  std::size_t out_bytes = 0;
+  bool want_write = false;  ///< EPOLLOUT currently registered
+
+  std::uint32_t ready = 0;  ///< epoll events gathered this iteration
+
   Clock::time_point opened = Clock::now();
   Clock::time_point last_activity = Clock::now();
   bool close_after_flush = false;
+
+  /// Requests decoded in the current read pass, awaiting one
+  /// submit_batch. Parallel arrays (request payload / wire bookkeeping).
+  std::vector<serve::Request> staged;
+  struct StagedMeta {
+    std::uint64_t request_id = 0;
+    Clock::time_point arrival;
+  };
+  std::vector<StagedMeta> staged_meta;
 
   struct Pending {
     std::uint64_t request_id = 0;
@@ -58,22 +85,72 @@ struct NetServer::Connection {
   std::vector<std::uint8_t> repl_snapshot;  ///< encoded snapshot file
   std::size_t repl_snapshot_offset = 0;
 
-  [[nodiscard]] std::size_t unsent() const noexcept {
-    return out.size() - out_offset;
+  [[nodiscard]] std::size_t unsent() const noexcept { return out_bytes; }
+
+  /// Segment new frames append to (starts a fresh one at the size cap).
+  [[nodiscard]] std::vector<std::uint8_t>& out_tail() {
+    if (outq.empty() || outq.back().size() >= kSegmentBytes) {
+      outq.emplace_back();
+    }
+    return outq.back();
   }
+
+  /// Encodes one outbound frame onto the write queue, keeping the
+  /// unsent-byte count exact.
+  void queue(const ResponseFrame& reply) {
+    std::vector<std::uint8_t>& seg = out_tail();
+    const std::size_t before = seg.size();
+    encode_response(reply, seg);
+    out_bytes += seg.size() - before;
+  }
+  void queue(const ReplFrame& frame) {
+    std::vector<std::uint8_t>& seg = out_tail();
+    const std::size_t before = seg.size();
+    encode_repl(frame, seg);
+    out_bytes += seg.size() - before;
+  }
+};
+
+/// One event loop: epoll + wakeup eventfd, an optional listener, and the
+/// connections it exclusively owns. The mailbox is the only cross-loop
+/// entry point (handoff mode): another loop deposits an accepted socket
+/// under mail_mutex and signals the wakeup; everything else on this
+/// struct is touched by the owning thread only.
+struct NetServer::Loop {
+  std::size_t index = 0;
+  SocketOps* ops = nullptr;
+  NetMetrics::Loop* met = nullptr;
+  EpollSet epoll;
+  Wakeup wakeup;
+  Socket listener;  ///< valid when this loop owns a listener
+  std::vector<std::unique_ptr<Connection>> conns;
+
+  std::mutex mail_mutex;
+  std::vector<Socket> mailbox;
+
+  std::size_t next_handoff = 0;  ///< loop 0 only, handoff mode
+  std::thread thread;
 };
 
 NetServer::NetServer(serve::ServiceConfig service_config,
                      NetServerConfig net_config, par::ThreadPool* pool)
     : config_(std::move(net_config)),
-      ops_(config_.socket_ops != nullptr ? *config_.socket_ops
-                                         : SocketOps::system()),
       service_(std::make_unique<serve::PlacementService>(service_config,
-                                                         pool)) {
+                                                         pool)),
+      metrics_(config_.loops) {
+  MMPH_REQUIRE(config_.loops >= 1 && config_.loops <= 64,
+               "NetServer: loops must be in [1, 64]");
   MMPH_REQUIRE(config_.max_connections >= 1,
                "NetServer: max_connections must be >= 1");
   MMPH_REQUIRE(config_.poll_interval.count() >= 1,
                "NetServer: poll_interval must be >= 1ms");
+  MMPH_REQUIRE(config_.loop_socket_ops.empty() ||
+                   config_.loop_socket_ops.size() == config_.loops,
+               "NetServer: loop_socket_ops must be empty or one per loop");
+  for (SocketOps* ops : config_.loop_socket_ops) {
+    MMPH_REQUIRE(ops != nullptr, "NetServer: loop_socket_ops entries must "
+                                 "be non-null");
+  }
 }
 
 NetServer::~NetServer() { stop(); }
@@ -82,104 +159,166 @@ void NetServer::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   try {
-    auto [sock, port] = tcp_listen(config_.host, config_.port);
-    listener_ = std::move(sock);
-    port_ = port;
+    resolved_mode_ = config_.accept_mode;
+    if (resolved_mode_ == AcceptMode::kAuto) {
+      resolved_mode_ =
+          config_.loops > 1 ? AcceptMode::kReusePort : AcceptMode::kHandoff;
+    }
+    SocketOps& shared_ops = config_.socket_ops != nullptr
+                                ? *config_.socket_ops
+                                : SocketOps::system();
+    loops_.clear();
+    for (std::size_t i = 0; i < config_.loops; ++i) {
+      auto loop = std::make_unique<Loop>();
+      loop->index = i;
+      loop->ops = config_.loop_socket_ops.empty()
+                      ? &shared_ops
+                      : config_.loop_socket_ops[i];
+      loop->met = &metrics_.loop(i);
+      loops_.push_back(std::move(loop));
+    }
+    if (resolved_mode_ == AcceptMode::kReusePort) {
+      // Every loop binds its own listener on the shared port. The first
+      // bind resolves an ephemeral request (port 0) to a concrete port
+      // the remaining listeners then join.
+      std::uint16_t port = config_.port;
+      for (auto& loop : loops_) {
+        auto [sock, bound] = tcp_listen(config_.host, port, 64,
+                                        /*reuse_port=*/true);
+        loop->listener = std::move(sock);
+        port = bound;
+      }
+      port_ = port;
+    } else {
+      auto [sock, bound] = tcp_listen(config_.host, config_.port);
+      loops_.front()->listener = std::move(sock);
+      port_ = bound;
+    }
   } catch (...) {
+    loops_.clear();
     running_.store(false);
     throw;
   }
   // Last-resort barrier: anything the per-connection try/catch in
-  // event_loop() cannot attribute to one peer (accept, pump, poll
+  // run_loop() cannot attribute to one peer (accept, pump, epoll
   // bookkeeping) stops the server instead of std::terminate'ing the
   // whole process.
-  loop_ = std::thread([this] {
-    try {
-      event_loop();
-    } catch (...) {
-      running_.store(false);
-    }
-  });
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] {
+      try {
+        run_loop(*raw);
+      } catch (...) {
+        running_.store(false);
+      }
+    });
+  }
 }
 
 void NetServer::stop() {
   running_.store(false);
-  if (loop_.joinable()) loop_.join();
-  while (!connections_.empty()) close_connection(connections_.size() - 1);
-  listener_.close();
+  for (auto& loop : loops_) {
+    if (loop) loop->wakeup.signal();
+  }
+  for (auto& loop : loops_) {
+    if (loop && loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& loop : loops_) {
+    if (!loop) continue;
+    while (!loop->conns.empty()) {
+      close_connection(*loop, loop->conns.size() - 1);
+    }
+    loop->listener.close();
+  }
+  loops_.clear();
+  open_total_.store(0);
   service_->stop();
 }
 
-void NetServer::event_loop() {
-  std::vector<pollfd> fds;
+void NetServer::run_loop(Loop& loop) {
+  loop.epoll.add(loop.wakeup.fd(), EPOLLIN, &loop.wakeup);
+  if (loop.listener.valid()) {
+    loop.epoll.add(loop.listener.fd(), EPOLLIN, &loop);
+  }
+  epoll_event events[kMaxEpollEvents];
   while (running_.load(std::memory_order_relaxed)) {
-    fds.clear();
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    for (const auto& conn : connections_) {
-      short events = 0;
-      if (!conn->close_after_flush) events |= POLLIN;
-      if (conn->unsent() > 0) events |= POLLOUT;
-      fds.push_back({conn->sock.fd(), events, 0});
+    const int n =
+        loop.epoll.wait(events, kMaxEpollEvents,
+                        static_cast<int>(config_.poll_interval.count()));
+    bool listener_ready = false;
+    for (int e = 0; e < n; ++e) {
+      void* tag = events[e].data.ptr;
+      if (tag == &loop) {
+        listener_ready = true;
+      } else if (tag == &loop.wakeup) {
+        loop.wakeup.drain();
+      } else {
+        static_cast<Connection*>(tag)->ready |= events[e].events;
+      }
     }
-    const int rc = ::poll(fds.data(), fds.size(),
-                          static_cast<int>(config_.poll_interval.count()));
-    if (rc < 0 && errno != EINTR) break;  // poll itself failed: shut down
+    if (listener_ready) accept_pending(loop);
+    adopt_mailbox(loop);
 
-    // Connections accepted below have no pollfd entry yet; only the
-    // first `polled` connections may consult fds[i + 1].
-    const std::size_t polled = fds.size() - 1;
-    if ((fds[0].revents & POLLIN) != 0) accept_pending();
-
-    // Read + decode + submit. Walk backwards so close_connection's
-    // swap-remove cannot skip an element (the element swapped into a
-    // closed slot is always one this loop has already visited or a
-    // just-accepted connection with nothing to read yet).
-    for (std::size_t i = polled; i-- > 0;) {
-      Connection& conn = *connections_[i];
-      const short revents = fds[i + 1].revents;
-      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-          (revents & POLLIN) == 0) {
-        close_connection(i);
+    // Read + decode + submit, in fixed (reverse) connection order —
+    // epoll readiness only selects *which* connections are visited, never
+    // the order, which is what keeps --loops 1 replay deterministic.
+    // Walking backwards means close_connection's swap-remove cannot skip
+    // an element (the element swapped into a closed slot is always one
+    // this pass has already visited or a just-accepted connection with no
+    // readiness yet).
+    for (std::size_t i = loop.conns.size(); i-- > 0;) {
+      Connection& conn = *loop.conns[i];
+      const std::uint32_t ready = conn.ready;
+      conn.ready = 0;
+      if ((ready & (EPOLLERR | EPOLLHUP)) != 0 && (ready & EPOLLIN) == 0) {
+        close_connection(loop, i);
         continue;
       }
-      if ((revents & POLLIN) == 0) continue;
+      // A connection already condemned to close-after-flush only waits
+      // for its backlog to drain; nothing further is read from it.
+      if (conn.close_after_flush) continue;
+      if ((ready & EPOLLIN) == 0) continue;
       bool alive;
       try {
-        alive = read_and_submit(conn);
+        alive = read_and_stage(loop, conn);
+        if (alive) submit_staged(loop, conn);
       } catch (...) {
         // Exception barrier: a throw here (encode limits, allocation)
         // is this connection's problem, not the server's.
         metrics_.count_closed_error();
         alive = false;
       }
-      if (!alive) close_connection(i);
+      if (!alive) close_connection(loop, i);
     }
 
     // One synchronous drain answers everything decoded this iteration
-    // (and anything a direct in-process submit() queued meanwhile).
+    // (and anything a direct in-process submit() queued meanwhile). With
+    // several loops the drain serializes on the service internally; each
+    // loop's replies come back through the per-request futures no matter
+    // which loop's drain processed them.
     while (service_->pump(std::chrono::milliseconds(0)) > 0) {
     }
 
     const auto now = Clock::now();
-    for (std::size_t i = connections_.size(); i-- > 0;) {
-      Connection& conn = *connections_[i];
+    for (std::size_t i = loop.conns.size(); i-- > 0;) {
+      Connection& conn = *loop.conns[i];
       bool alive = true;
       try {
-        collect_replies(conn);
-        pump_replication(conn);
-        if (conn.unsent() > 0) alive = flush(conn);
+        collect_replies(loop, conn);
+        pump_replication(loop, conn);
+        if (conn.unsent() > 0) alive = flush(loop, conn);
       } catch (...) {
         // future.get() rethrow or encode failure: same barrier as above.
         metrics_.count_closed_error();
         alive = false;
       }
       if (!alive) {
-        close_connection(i);
+        close_connection(loop, i);
         continue;
       }
       if (conn.close_after_flush && conn.unsent() == 0) {
         metrics_.count_closed_error();
-        close_connection(i);
+        close_connection(loop, i);
         continue;
       }
       // Idle or wedged (peer neither sends frames nor drains replies
@@ -189,18 +328,27 @@ void NetServer::event_loop() {
       if (!conn.repl_subscriber && conn.pending.empty() &&
           now - conn.last_activity > config_.idle_timeout) {
         metrics_.count_closed_idle();
-        close_connection(i);
+        close_connection(loop, i);
         continue;
+      }
+      // Re-derive write interest: EPOLLOUT is registered only while a
+      // backlog exists, so an idle socket costs no spurious wakeups.
+      const bool want = conn.unsent() > 0;
+      if (want != conn.want_write) {
+        conn.want_write = want;
+        loop.epoll.mod(conn.sock.fd(),
+                       EPOLLIN | (want ? EPOLLOUT : 0u), &conn);
       }
     }
   }
 }
 
-void NetServer::accept_pending() {
+void NetServer::accept_pending(Loop& loop) {
   for (;;) {
-    Socket sock = tcp_accept(listener_, ops_);
+    Socket sock = tcp_accept(loop.listener, *loop.ops);
     if (!sock.valid()) return;
-    if (connections_.size() >= config_.max_connections) {
+    if (open_total_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
       // Shed load explicitly: tell the peer why before closing. The
       // write is best-effort — a peer that cannot take ~50 bytes
       // immediately learns of the shed via the close instead.
@@ -208,25 +356,63 @@ void NetServer::accept_pending() {
       shed.status = WireStatus::kOverloaded;
       std::vector<std::uint8_t> bytes;
       encode_response(shed, bytes);
-      (void)sock_write(sock, bytes.data(), bytes.size(), ops_);
+      (void)sock_write(sock, bytes.data(), bytes.size(), *loop.ops);
       metrics_.count_rejected_overloaded();
       continue;
     }
-    auto conn = std::make_unique<Connection>();
-    conn->sock = std::move(sock);
-    connections_.push_back(std::move(conn));
-    metrics_.count_accepted();
-    metrics_.set_open_connections(connections_.size());
+    open_total_.fetch_add(1, std::memory_order_relaxed);
+    if (resolved_mode_ == AcceptMode::kHandoff && loops_.size() > 1) {
+      const std::size_t target = loop.next_handoff++ % loops_.size();
+      if (target != loop.index) {
+        Loop& dest = *loops_[target];
+        {
+          std::lock_guard<std::mutex> lock(dest.mail_mutex);
+          dest.mailbox.push_back(std::move(sock));
+        }
+        dest.wakeup.signal();
+        continue;
+      }
+    }
+    adopt_connection(loop, std::move(sock));
   }
 }
 
-bool NetServer::read_and_submit(Connection& conn) {
+void NetServer::adopt_mailbox(Loop& loop) {
+  if (resolved_mode_ != AcceptMode::kHandoff || loops_.size() == 1) return;
+  std::vector<Socket> adopted;
+  {
+    std::lock_guard<std::mutex> lock(loop.mail_mutex);
+    adopted.swap(loop.mailbox);
+  }
+  for (Socket& sock : adopted) adopt_connection(loop, std::move(sock));
+}
+
+void NetServer::adopt_connection(Loop& loop, Socket sock) {
+  auto conn = std::make_unique<Connection>();
+  conn->sock = std::move(sock);
+  conn->owner = loop.index;
+  loop.epoll.add(conn->sock.fd(), EPOLLIN, conn.get());
+  loop.conns.push_back(std::move(conn));
+  loop.met->count_accepted();
+  loop.met->set_open_connections(loop.conns.size());
+  metrics_.set_open_connections(
+      open_total_.load(std::memory_order_relaxed));
+}
+
+void NetServer::assert_owner(const Loop& loop, Connection& conn) {
+  MMPH_ASSERT(conn.owner == loop.index,
+              "connection touched by a loop that does not own it");
+  loop.met->count_ownership_check();
+}
+
+bool NetServer::read_and_stage(Loop& loop, Connection& conn) {
+  assert_owner(loop, conn);
   std::uint8_t chunk[kReadChunk];
   for (;;) {
-    const IoResult r = sock_read(conn.sock, chunk, sizeof(chunk), ops_);
+    const IoResult r = sock_read(conn.sock, chunk, sizeof(chunk), *loop.ops);
     if (r.status == IoStatus::kWouldBlock) break;
     if (r.status != IoStatus::kOk) return false;  // EOF or error
-    metrics_.add_bytes_in(r.bytes);
+    loop.met->add_bytes_in(r.bytes);
     conn.decoder.feed(chunk, r.bytes);
     if (conn.decoder.buffered() + conn.unsent() > config_.max_buffered_bytes) {
       return false;  // peer floods faster than we drain: drop it
@@ -246,13 +432,13 @@ bool NetServer::read_and_submit(Connection& conn) {
       ResponseFrame reply;
       reply.request_id = decoded.request_id;
       reply.status = WireStatus::kBadRequest;
-      encode_response(reply, conn.out);
-      metrics_.count_frame_out();
+      conn.queue(reply);
+      loop.met->count_frame_out();
       conn.close_after_flush = true;
       break;
     }
 
-    metrics_.count_frame_in();
+    loop.met->count_frame_in();
     conn.last_activity = arrival;
     RequestFrame& frame = decoded.request;
 
@@ -267,9 +453,9 @@ bool NetServer::read_and_submit(Connection& conn) {
       reply.status = WireStatus::kOk;
       reply.epoch = service_->epoch();
       reply.stats = render_stats();
-      encode_response(reply, conn.out);
-      metrics_.count_frame_out();
-      metrics_.count_request();
+      conn.queue(reply);
+      loop.met->count_frame_out();
+      loop.met->count_request();
       continue;
     }
 
@@ -277,14 +463,14 @@ bool NetServer::read_and_submit(Connection& conn) {
     // next pump_replication pass this connection receives the stream.
     // Servers running without a WAL have no log to stream: kBadRequest.
     if (frame.type == FrameType::kReplSubscribe) {
-      metrics_.count_request();
+      loop.met->count_request();
       if (service_->wal() == nullptr) {
         ResponseFrame reply;
         reply.request_id = frame.request_id;
         reply.status = WireStatus::kBadRequest;
         reply.epoch = service_->epoch();
-        encode_response(reply, conn.out);
-        metrics_.count_frame_out();
+        conn.queue(reply);
+        loop.met->count_frame_out();
         continue;
       }
       conn.repl_subscriber = true;
@@ -308,8 +494,8 @@ bool NetServer::read_and_submit(Connection& conn) {
       reply.request_id = frame.request_id;
       reply.status = WireStatus::kBadRequest;
       reply.epoch = service_->epoch();
-      encode_response(reply, conn.out);
-      metrics_.count_frame_out();
+      conn.queue(reply);
+      loop.met->count_frame_out();
       continue;
     }
 
@@ -336,17 +522,31 @@ bool NetServer::read_and_submit(Connection& conn) {
     }
     request.deadline = arrival + config_.request_deadline;
 
-    Connection::Pending pending;
-    pending.request_id = frame.request_id;
-    pending.arrival = arrival;
-    pending.future = service_->submit(std::move(request));
-    conn.pending.push_back(std::move(pending));
-    metrics_.count_request();
+    conn.staged.push_back(std::move(request));
+    conn.staged_meta.push_back({frame.request_id, arrival});
+    loop.met->count_request();
   }
   return true;
 }
 
-void NetServer::collect_replies(Connection& conn) {
+void NetServer::submit_staged(Loop& loop, Connection& conn) {
+  if (conn.staged.empty()) return;
+  assert_owner(loop, conn);
+  std::vector<std::future<serve::Response>> futures =
+      service_->submit_batch(std::move(conn.staged));
+  conn.staged.clear();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Connection::Pending pending;
+    pending.request_id = conn.staged_meta[i].request_id;
+    pending.arrival = conn.staged_meta[i].arrival;
+    pending.future = std::move(futures[i]);
+    conn.pending.push_back(std::move(pending));
+  }
+  conn.staged_meta.clear();
+}
+
+void NetServer::collect_replies(Loop& loop, Connection& conn) {
+  assert_owner(loop, conn);
   while (!conn.pending.empty()) {
     Connection::Pending& head = conn.pending.front();
     if (head.future.wait_for(std::chrono::seconds(0)) !=
@@ -363,8 +563,8 @@ void NetServer::collect_replies(Connection& conn) {
     if (response.solution.has_value()) {
       reply.centers = response.solution->centers;
     }
-    encode_response(reply, conn.out);
-    metrics_.count_frame_out();
+    conn.queue(reply);
+    loop.met->count_frame_out();
     if (reply.status == WireStatus::kTimeout) metrics_.count_timeout();
 
     const double latency = seconds_since(head.arrival);
@@ -374,7 +574,7 @@ void NetServer::collect_replies(Connection& conn) {
   }
 }
 
-void NetServer::pump_replication(Connection& conn) {
+void NetServer::pump_replication(Loop& loop, Connection& conn) {
   if (!conn.repl_subscriber) return;
   wal::WalWriter* wal = service_->wal();
   if (wal == nullptr) return;
@@ -393,8 +593,8 @@ void NetServer::pump_replication(Connection& conn) {
           (n == remaining ? kReplChunkLast : 0));
       const auto* base = conn.repl_snapshot.data() + conn.repl_snapshot_offset;
       chunk.blob.assign(base, base + n);
-      encode_repl(chunk, conn.out);
-      metrics_.count_frame_out();
+      conn.queue(chunk);
+      loop.met->count_frame_out();
       conn.repl_snapshot_offset += n;
       if (n == remaining) {
         conn.repl_snapshot.clear();
@@ -426,29 +626,44 @@ void NetServer::pump_replication(Connection& conn) {
     // one record alone exceeds the frame cap (possible only through the
     // direct API with a batch far above net::kMaxBatchCount) — the
     // subscriber is dropped rather than sent a torn stream.
-    encode_repl(ops, conn.out);
-    metrics_.count_frame_out();
+    conn.queue(ops);
+    loop.met->count_frame_out();
     conn.repl_epoch = tail.last_epoch;
   }
 }
 
-bool NetServer::flush(Connection& conn) {
+bool NetServer::flush(Loop& loop, Connection& conn) {
+  assert_owner(loop, conn);
   while (conn.unsent() > 0) {
-    const IoResult r = sock_write(conn.sock, conn.out.data() + conn.out_offset,
-                                  conn.unsent(), ops_);
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t offset = conn.out_offset;
+    for (auto& seg : conn.outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = seg.data() + offset;
+      iov[iovcnt].iov_len = seg.size() - offset;
+      ++iovcnt;
+      offset = 0;
+    }
+    const IoResult r = sock_writev(conn.sock, iov, iovcnt, *loop.ops);
     if (r.status == IoStatus::kWouldBlock) break;
     if (r.status != IoStatus::kOk) return false;
-    conn.out_offset += r.bytes;
-    metrics_.add_bytes_out(r.bytes);
-  }
-  if (conn.out_offset == conn.out.size()) {
-    conn.out.clear();
-    conn.out_offset = 0;
-  } else if (conn.out_offset > conn.out.size() / 2) {
-    conn.out.erase(conn.out.begin(),
-                   conn.out.begin() +
-                       static_cast<std::ptrdiff_t>(conn.out_offset));
-    conn.out_offset = 0;
+    if (r.bytes == 0) break;  // defensive: no progress, treat as blocked
+    loop.met->add_bytes_out(r.bytes);
+    conn.out_bytes -= r.bytes;
+    std::size_t left = r.bytes;
+    while (left > 0) {
+      std::vector<std::uint8_t>& front = conn.outq.front();
+      const std::size_t avail = front.size() - conn.out_offset;
+      if (left >= avail) {
+        left -= avail;
+        conn.outq.pop_front();
+        conn.out_offset = 0;
+      } else {
+        conn.out_offset += left;
+        left = 0;
+      }
+    }
   }
   return true;
 }
@@ -464,14 +679,28 @@ std::string NetServer::render_stats() const {
   return out.str();
 }
 
-void NetServer::close_connection(std::size_t index) {
-  trace::SpanCollector::global().record(
-      "net.conn", seconds_since(connections_[index]->opened));
+void NetServer::close_connection(Loop& loop, std::size_t index) {
+  Connection& conn = *loop.conns[index];
+  trace::SpanCollector::global().record("net.conn",
+                                        seconds_since(conn.opened));
+  loop.epoll.del(conn.sock.fd());
+  // Frames decoded before the failure were already accepted into the
+  // pipeline: submit them even though their replies have nowhere to go
+  // (mutations must not silently vanish once counted as requests).
+  if (!conn.staged.empty()) {
+    std::vector<std::future<serve::Response>> dropped =
+        service_->submit_batch(std::move(conn.staged));
+    conn.staged.clear();
+    conn.staged_meta.clear();
+  }
+  open_total_.fetch_sub(1, std::memory_order_relaxed);
   // Gauge first: a peer observes EOF the moment the fd below is closed,
   // and may read the metrics snapshot before this thread runs again.
-  metrics_.set_open_connections(connections_.size() - 1);
-  connections_[index] = std::move(connections_.back());
-  connections_.pop_back();
+  metrics_.set_open_connections(
+      open_total_.load(std::memory_order_relaxed));
+  loop.met->set_open_connections(loop.conns.size() - 1);
+  loop.conns[index] = std::move(loop.conns.back());
+  loop.conns.pop_back();
 }
 
 }  // namespace mmph::net

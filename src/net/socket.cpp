@@ -66,6 +66,13 @@ ssize_t SocketOps::write(int fd, const std::uint8_t* buf, std::size_t len) {
   return ::send(fd, buf, len, MSG_NOSIGNAL);
 }
 
+ssize_t SocketOps::writev(int fd, const iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
 int SocketOps::accept(int listener_fd) {
   return ::accept(listener_fd, nullptr, nullptr);
 }
@@ -83,11 +90,19 @@ void Socket::close() noexcept {
 }
 
 std::pair<Socket, std::uint16_t> tcp_listen(const std::string& host,
-                                            std::uint16_t port, int backlog) {
+                                            std::uint16_t port, int backlog,
+                                            bool reuse_port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throw_errno("socket");
   const int one = 1;
   (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    // Surface, don't degrade: a caller asking for shared-port accept
+    // distribution must not silently get one listener and N starved loops.
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
   sockaddr_in addr = make_addr(host, port);
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0) {
@@ -166,6 +181,19 @@ IoResult sock_write(const Socket& sock, const std::uint8_t* buf,
                     std::size_t len, SocketOps& ops) {
   for (;;) {
     const ssize_t n = ops.write(sock.fd(), buf, len);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult sock_writev(const Socket& sock, const iovec* iov, int iovcnt,
+                     SocketOps& ops) {
+  for (;;) {
+    const ssize_t n = ops.writev(sock.fd(), iov, iovcnt);
     if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {

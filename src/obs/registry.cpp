@@ -63,6 +63,8 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help) {
                  "metric registered with a different instrument kind");
     return *entry.histogram;
   }
+  MMPH_REQUIRE(name.find('{') == std::string_view::npos,
+               "histogram names cannot carry inline labels");
   histograms_.emplace_back();
   Entry entry{std::string(name), std::string(help), Kind::kHistogram, nullptr,
               nullptr, &histograms_.back()};
@@ -73,17 +75,22 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help) {
 
 void Registry::write_exposition(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::string last_family;  // dedupe headers of labeled same-base series
   for (const Entry& entry : entries_) {
-    if (!entry.help.empty()) {
-      out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+    const std::size_t brace = entry.name.find('{');
+    const std::string family = entry.name.substr(0, brace);
+    const bool new_family = family != last_family;
+    last_family = family;
+    if (new_family && !entry.help.empty()) {
+      out << "# HELP " << family << ' ' << entry.help << '\n';
     }
     switch (entry.kind) {
       case Kind::kCounter:
-        out << "# TYPE " << entry.name << " counter\n";
+        if (new_family) out << "# TYPE " << family << " counter\n";
         out << entry.name << ' ' << entry.counter->value() << '\n';
         break;
       case Kind::kGauge:
-        out << "# TYPE " << entry.name << " gauge\n";
+        if (new_family) out << "# TYPE " << family << " gauge\n";
         out << entry.name << ' ' << format_double(entry.gauge->value())
             << '\n';
         break;

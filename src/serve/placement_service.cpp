@@ -152,6 +152,17 @@ std::future<Response> PlacementService::submit(Request request) {
   return future;
 }
 
+std::vector<std::future<Response>> PlacementService::submit_batch(
+    std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(request.reply.get_future());
+  }
+  batcher_.push_batch(std::move(requests));
+  return futures;
+}
+
 std::size_t PlacementService::pump(std::chrono::milliseconds wait) {
   std::vector<Request> batch = batcher_.pop_batch(config_.max_batch, wait);
   if (batch.empty()) return 0;
@@ -466,7 +477,17 @@ void PlacementService::process_batch(std::vector<Request> batch) {
             }
             const PlacementView& view = solve_locked();
             response.objective = view.objective;
-            response.solution = view.solution;
+            // Trimmed copy: batched callers consume the centers (and the
+            // reward summary), never the n-sized residual vector — copying
+            // it would cost O(population) per query (8 MB per reply at
+            // n = 1M) on the hottest read path. The full residual stays
+            // available via the synchronous placement() API.
+            core::Solution trimmed;
+            trimmed.solver_name = view.solution.solver_name;
+            trimmed.centers = view.solution.centers;
+            trimmed.round_rewards = view.solution.round_rewards;
+            trimmed.total_reward = view.solution.total_reward;
+            response.solution = std::move(trimmed);
             break;
           }
           case RequestType::kEvaluate: {

@@ -98,6 +98,45 @@ bool RequestBatcher::push(Request&& request) {
   return false;
 }
 
+void RequestBatcher::push_batch(std::vector<Request>&& requests) {
+  if (requests.empty()) return;
+  std::vector<Request> overflow;  // answered outside the lock, like push()
+  bool was_closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    was_closed = closed_;
+    if (!was_closed) {
+      for (Request& request : requests) {
+        if (metrics_ != nullptr) metrics_->count_submitted();
+        const bool forced_full =
+            fault_hook_ && fault_hook_(kFaultQueueFull);
+        if (!forced_full && queue_.size() < capacity_) {
+          queue_.push_back(std::move(request));
+        } else {
+          overflow.push_back(std::move(request));
+        }
+      }
+      if (metrics_ != nullptr) metrics_->set_queue_depth(queue_.size());
+      cv_.notify_one();
+    }
+  }
+  if (was_closed) {
+    for (Request& request : requests) {
+      if (metrics_ != nullptr) metrics_->count_shutdown();
+      Response response;
+      response.status = ResponseStatus::kShutdown;
+      request.reply.set_value(std::move(response));
+    }
+    return;
+  }
+  for (Request& request : overflow) {
+    if (metrics_ != nullptr) metrics_->count_rejected();
+    Response response;
+    response.status = ResponseStatus::kRejected;
+    request.reply.set_value(std::move(response));
+  }
+}
+
 std::vector<Request> RequestBatcher::pop_batch(std::size_t max_batch,
                                                std::chrono::milliseconds wait) {
   std::vector<Request> batch;

@@ -8,16 +8,20 @@
 // Usage:
 //   chaos_runner [--serve-seeds N] [--net-seeds M] [--wal-seeds W]
 //                [--base-seed B] [--mode all|serve|net|wal]
-//                [--seed S] [--ops K]
+//                [--seed S] [--ops K] [--loops L]
 //
 // --seed runs exactly one schedule per selected mode (reproduction);
-// otherwise seeds B .. B+N-1 per mode are swept.
+// otherwise seeds B .. B+N-1 per mode are swept. --loops selects the net
+// server's event-loop count (default: sweep each seed at 1 AND 4 loops,
+// so every net seed exercises both the deterministic single-loop path
+// and the multi-loop path with per-loop fault streams).
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "mmph/chaos/harness.hpp"
 
@@ -30,6 +34,7 @@ struct RunnerOptions {
   std::uint64_t base_seed = 1;
   std::uint64_t one_seed = 0;  // 0 = sweep
   std::size_t ops = 0;         // 0 = harness default
+  std::size_t loops = 0;       // 0 = sweep both 1 and 4
   bool run_serve = true;
   bool run_net = true;
   bool run_wal = true;
@@ -41,7 +46,7 @@ struct RunnerOptions {
                "usage: chaos_runner [--serve-seeds N] [--net-seeds M]\n"
                "                    [--wal-seeds W] [--base-seed B]\n"
                "                    [--mode all|serve|net|wal]\n"
-               "                    [--seed S] [--ops K]\n",
+               "                    [--seed S] [--ops K] [--loops L]\n",
                what);
   std::exit(2);
 }
@@ -73,6 +78,9 @@ RunnerOptions parse(int argc, char** argv) {
       options.one_seed = parse_u64(value());
     } else if (arg == "--ops") {
       options.ops = static_cast<std::size_t>(parse_u64(value()));
+    } else if (arg == "--loops") {
+      options.loops = static_cast<std::size_t>(parse_u64(value()));
+      if (options.loops == 0) usage_error("--loops must be >= 1");
     } else if (arg == "--mode") {
       const std::string mode = value();
       options.run_serve = mode == "all" || mode == "serve";
@@ -134,17 +142,34 @@ int main(int argc, char** argv) {
     const std::uint64_t first =
         options.one_seed != 0 ? options.one_seed : options.base_seed;
     const std::uint64_t count = options.one_seed != 0 ? 1 : options.net_seeds;
+    std::vector<std::size_t> loop_counts;
+    if (options.loops != 0) {
+      loop_counts.push_back(options.loops);
+    } else {
+      loop_counts = {1, 4};  // deterministic path AND the sharded path
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
-      mmph::chaos::NetChaosOptions net_options;
-      net_options.seed = first + i;
-      if (options.ops != 0) net_options.operations = options.ops;
-      const mmph::chaos::ChaosResult result =
-          mmph::chaos::run_net_chaos(net_options);
-      if (!report(result, "net")) return 1;
-      ++schedules;
-      faults += result.faults_fired;
+      for (const std::size_t loops : loop_counts) {
+        mmph::chaos::NetChaosOptions net_options;
+        net_options.seed = first + i;
+        net_options.loops = loops;
+        if (options.ops != 0) net_options.operations = options.ops;
+        const mmph::chaos::ChaosResult result =
+            mmph::chaos::run_net_chaos(net_options);
+        if (!result.ok) {
+          std::fprintf(stderr,
+                       "FAIL [net] %s\n"
+                       "reproduce: chaos_runner --mode net --seed %llu "
+                       "--loops %zu\n",
+                       result.message.c_str(),
+                       static_cast<unsigned long long>(result.seed), loops);
+          return 1;
+        }
+        ++schedules;
+        faults += result.faults_fired;
+      }
       if ((i + 1) % 20 == 0) {
-        std::printf("net: %llu/%llu schedules ok\n",
+        std::printf("net: %llu/%llu seeds ok (loops swept per seed)\n",
                     static_cast<unsigned long long>(i + 1),
                     static_cast<unsigned long long>(count));
         std::fflush(stdout);

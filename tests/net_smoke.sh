@@ -1,8 +1,10 @@
 #!/bin/sh
 # Two-process smoke test of the socket layer: start `mmph_cli serve-net
 # --listen` on an ephemeral loopback port, replay a churn workload into
-# it with `serve-net --connect` (NetClient), and check the replies. Used
-# both by tools/check.sh net-smoke and by tests/cli_test.sh (ctest).
+# it with `serve-net --connect` (NetClient), and check the replies. Runs
+# the whole flow twice — at --loops 1 (the deterministic single-loop
+# schedule) and --loops 4 (SO_REUSEPORT multi-loop front end). Used both
+# by tools/check.sh net-smoke and by tests/cli_test.sh (ctest).
 # Usage: net_smoke.sh <path-to-mmph_cli>
 set -e
 CLI="$1"
@@ -16,58 +18,72 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Start the server on an ephemeral port (0 = kernel-assigned, published
-# via a port file; --run-seconds caps the lifetime so a wedged test
-# cannot leak a process). A bind/listen failure — possible when the host
-# is churning sockets even with kernel-assigned ports — retries with a
-# fresh attempt instead of flaking; any other premature death, or a
-# timeout waiting for the port file, fails loudly with the server log.
-attempt=0
-while :; do
-  attempt=$((attempt + 1))
-  rm -f "$DIR/port"
-  "$CLI" serve-net --listen --port 0 --port-file "$DIR/port" \
-    --run-seconds 30 > "$DIR/server.log" 2>&1 &
-  SERVER_PID=$!
+run_smoke() {
+  LOOPS="$1"
 
-  tries=0
-  while [ ! -s "$DIR/port" ]; do
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-      wait "$SERVER_PID" 2>/dev/null || true
-      SERVER_PID=""
-      if [ "$attempt" -lt 3 ] && grep -Eq "bind|listen" "$DIR/server.log"; then
-        echo "server bind failed (attempt $attempt), retrying with a fresh port" >&2
-        sleep 0.2
-        continue 2
+  # Start the server on an ephemeral port (0 = kernel-assigned, published
+  # via a port file; --run-seconds caps the lifetime so a wedged test
+  # cannot leak a process). A bind/listen failure — possible when the host
+  # is churning sockets even with kernel-assigned ports — retries with a
+  # fresh attempt instead of flaking; any other premature death, or a
+  # timeout waiting for the port file, fails loudly with the server log.
+  attempt=0
+  while :; do
+    attempt=$((attempt + 1))
+    rm -f "$DIR/port"
+    "$CLI" serve-net --listen --port 0 --loops "$LOOPS" \
+      --port-file "$DIR/port" \
+      --run-seconds 30 > "$DIR/server.log" 2>&1 &
+    SERVER_PID=$!
+
+    tries=0
+    while [ ! -s "$DIR/port" ]; do
+      if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        wait "$SERVER_PID" 2>/dev/null || true
+        SERVER_PID=""
+        if [ "$attempt" -lt 3 ] && grep -Eq "bind|listen" "$DIR/server.log"; then
+          echo "server bind failed (attempt $attempt), retrying with a fresh port" >&2
+          sleep 0.2
+          continue 2
+        fi
+        echo "server died before publishing its port; server log:"
+        cat "$DIR/server.log"
+        exit 1
       fi
-      echo "server died before publishing its port; server log:"
-      cat "$DIR/server.log"
-      exit 1
-    fi
-    tries=$((tries + 1))
-    if [ "$tries" -gt 50 ]; then
-      echo "timed out waiting for the server port file; server log:"
-      cat "$DIR/server.log"
-      exit 1
-    fi
-    sleep 0.1
+      tries=$((tries + 1))
+      if [ "$tries" -gt 50 ]; then
+        echo "timed out waiting for the server port file; server log:"
+        cat "$DIR/server.log"
+        exit 1
+      fi
+      sleep 0.1
+    done
+    break
   done
-  break
-done
-PORT=$(cat "$DIR/port")
+  PORT=$(cat "$DIR/port")
 
-# Client: replay a small churn workload over the socket and verify every
-# request was answered kOk with a live placement.
-"$CLI" serve-net --connect 127.0.0.1 --port "$PORT" \
-  --users 150 --slots 4 --churn 0.02 > "$DIR/client.txt"
-grep -q "requests failed *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
-grep -q "requests timed out *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
-grep -Eq "last centers *[1-9]" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+  # Client: replay a small churn workload over the socket and verify every
+  # request was answered kOk with a live placement.
+  "$CLI" serve-net --connect 127.0.0.1 --port "$PORT" \
+    --users 150 --slots 4 --churn 0.02 > "$DIR/client.txt"
+  grep -q "requests failed *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+  grep -q "requests timed out *0" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
+  grep -Eq "last centers *[1-9]" "$DIR/client.txt" || { cat "$DIR/client.txt"; exit 1; }
 
-# Graceful shutdown: SIGTERM makes the server print its metrics table.
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
-grep -q "frame errors *0" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
-grep -q "connections accepted" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+  # Graceful shutdown: SIGTERM makes the server print its metrics table
+  # (plus the per-loop breakdown when more than one loop ran).
+  kill "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  grep -q "frame errors *0" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+  grep -q "connections accepted" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+  if [ "$LOOPS" -gt 1 ]; then
+    grep -q "accept=reuseport" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+    grep -q "ownership checks" "$DIR/server.log" || { cat "$DIR/server.log"; exit 1; }
+  fi
+  echo "net_smoke --loops $LOOPS OK"
+}
+
+run_smoke 1
+run_smoke 4
 echo "net_smoke OK"

@@ -27,6 +27,13 @@
 #                               # crash-point matrix, replication,
 #                               # atomicity) — the fast WAL gate; the
 #                               # chaos sweep above is the thorough one.
+#   tools/check.sh tsan         # ThreadSanitizer build (MMPH_TSAN=ON, own
+#                               # build-tsan dir) + the net/chaos suites +
+#                               # a multi-loop chaos_runner net sweep at
+#                               # --loops 4. Pre-merge gate for any change
+#                               # to the multi-loop NetServer or anything
+#                               # its event loops touch (metrics, serve
+#                               # funnel, WAL streaming).
 #
 # Extra args are forwarded to ctest: tools/check.sh -R serve filters by
 # name, tools/check.sh -L unit filters by label (labels: unit, net,
@@ -36,6 +43,16 @@ cd "$(dirname "$0")/.."
 
 SANITIZE="${MMPH_SANITIZE:-OFF}"
 BUILD_DIR="${BUILD_DIR:-build}"
+
+# tsan mode uses its own build tree (TSan objects cannot mix with plain
+# or ASan ones) and forces MMPH_TSAN=ON / MMPH_SANITIZE=OFF.
+if [ "$1" = "tsan" ]; then
+  BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DMMPH_TSAN=ON -DMMPH_SANITIZE=OFF
+  cmake --build "$BUILD_DIR" -j
+  ( cd "$BUILD_DIR" &&     ctest --output-on-failure -L 'net|chaos' -j "$(nproc 2>/dev/null || echo 4)" )
+  exec "$BUILD_DIR/tests/chaos_runner" --mode net --net-seeds 25 --loops 4
+fi
 
 cmake -B "$BUILD_DIR" -S . -DMMPH_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j

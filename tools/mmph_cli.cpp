@@ -61,7 +61,8 @@ int usage() {
       "            [--drift SIGMA] [--churn P] [--seed S]\n"
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
       "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
-      "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]]\n"
+      "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]\n"
+      "             [--loops N]]\n"
       "            [--wal-dir DIR [--fsync always|group|never]\n"
       "             [--snapshot-every N]] [--primary HOST --primary-port P]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
@@ -401,6 +402,25 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void request_stop(int) { g_stop_requested = 1; }
 
+/// Per-loop traffic breakdown printed after the aggregate table when the
+/// server ran more than one event loop.
+void print_loop_metrics(const net::NetServer& server) {
+  // Keyed off the config, not loop_count(): the per-loop counters
+  // outlive the loops themselves (this prints after stop()).
+  const std::size_t loops = server.config().loops;
+  if (loops <= 1) return;
+  io::Table table({"loop", "accepted", "frames in", "frames out", "requests",
+                   "ownership checks"});
+  for (std::size_t i = 0; i < loops; ++i) {
+    const net::NetLoopSnapshot s = server.loop_metrics(i);
+    table.add_row({std::to_string(i), std::to_string(s.accepted),
+                   std::to_string(s.frames_in), std::to_string(s.frames_out),
+                   std::to_string(s.requests),
+                   std::to_string(s.ownership_checks)});
+  }
+  table.print(std::cout);
+}
+
 void print_net_metrics(const net::NetMetricsSnapshot& m) {
   io::Table table({"net metric", "value"});
   table.add_row({"connections accepted", std::to_string(m.accepted)});
@@ -673,13 +693,16 @@ int cmd_wal_recover(io::Args& args) {
 //   --connect HOST   replay the churn workload against a remote server;
 //   (neither)        self-test: in-process server + client over loopback.
 // --listen composes with --wal-dir (durable primary) and/or --primary
-// (streaming replica of another listener).
+// (streaming replica of another listener). --loops N shards the front
+// end across N epoll event loops (1 = the deterministic single-loop
+// schedule); a multi-loop run prints a per-loop traffic table on exit.
 int cmd_serve_net(io::Args& args) {
   const bool listen = args.get_flag("listen");
   const std::string connect_host = args.get_string("connect", "");
   const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
   const std::string port_file = args.get_string("port-file", "");
   const double run_seconds = args.get_double("run-seconds", 0.0);
+  const std::size_t loops = static_cast<std::size_t>(args.get_int("loops", 1));
   const std::size_t users = static_cast<std::size_t>(args.get_int("users", 500));
   const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 10));
   const double churn = args.get_double("churn", 0.01);
@@ -711,6 +734,10 @@ int cmd_serve_net(io::Args& args) {
   if (!primary_host.empty() && primary_port == 0) {
     throw ParseError("serve-net: --primary needs --primary-port");
   }
+  if (loops < 1) throw ParseError("serve-net: --loops must be >= 1");
+  if (!listen && loops != 1) {
+    throw ParseError("serve-net: --loops requires --listen");
+  }
 
   if (listen) {
     // Durability bootstrap: recover whatever a previous process left in
@@ -738,6 +765,7 @@ int cmd_serve_net(io::Args& args) {
     }
     net::NetServerConfig net_config;
     net_config.port = port;
+    net_config.loops = loops;
     net::NetServer server(service_config, net_config);
     if (writer.has_value()) {
       if (recovered.store.epoch > 0) {
@@ -768,7 +796,13 @@ int cmd_serve_net(io::Args& args) {
       out << server.port() << "\n";
       if (!out) throw ParseError("serve-net: cannot write " + port_file);
     }
-    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    std::cout << "listening on 127.0.0.1:" << server.port() << " ("
+              << server.loop_count() << " loop"
+              << (server.loop_count() == 1 ? "" : "s") << ", accept="
+              << (server.accept_mode() == net::AcceptMode::kReusePort
+                      ? "reuseport"
+                      : "handoff")
+              << ")" << std::endl;
     std::signal(SIGINT, request_stop);
     std::signal(SIGTERM, request_stop);
     using Clock = std::chrono::steady_clock;
@@ -796,6 +830,7 @@ int cmd_serve_net(io::Args& args) {
     }
     server.stop();
     print_net_metrics(server.metrics());
+    print_loop_metrics(server);
     return 0;
   }
 
