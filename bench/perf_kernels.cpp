@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "mmph/core/indexed_eval.hpp"
 #include "mmph/core/kernels.hpp"
 #include "mmph/core/lazy_greedy.hpp"
 #include "mmph/core/problem.hpp"
@@ -30,6 +31,7 @@
 #include "mmph/parallel/thread_pool.hpp"
 #include "mmph/random/rng.hpp"
 #include "mmph/random/workload.hpp"
+#include "mmph/spatial/spatial_index.hpp"
 
 namespace {
 
@@ -41,6 +43,19 @@ struct Row {
   std::string variant;
   double ns_per_eval;
   double speedup;  // vs. the scalar baseline at the same n
+};
+
+/// One constant-density point of the indexed-vs-blocked sweep.
+struct SpatialRow {
+  std::size_t n;
+  double box_side;
+  double build_seconds;            // grid construction over n points
+  double blocked_ns;               // O(n) full-scan eval, ns per eval
+  double indexed_ns;               // O(points-in-ball) eval, ns per eval
+  double touched_per_eval;         // mean points the index returned per eval
+  double lazy_indexed_seconds;     // lazy greedy k end to end, grid on
+  double lazy_blocked_seconds;     // measured only when affordable, else -1
+  double lazy_blocked_projected;   // first-round-scan projection: n evals
 };
 
 std::vector<std::size_t> parse_sizes(const std::string& csv) {
@@ -83,6 +98,10 @@ double time_ns_per_eval(std::size_t evals, Body&& body) {
 int main(int argc, char** argv) try {
   io::Args args(argc, argv);
   const std::string n_csv = args.get_string("n", "1000,10000,100000");
+  // Constant-density sweep sizes for the spatial coverage index
+  // (box_side grows with sqrt(n), so points-per-ball stays fixed while n
+  // explodes). "0" skips the sweep.
+  const std::string spatial_csv = args.get_string("spatial-n", "20000");
   const std::string out_path = args.get_string("out", "BENCH_kernels.json");
   const std::size_t candidates_cap =
       static_cast<std::size_t>(args.get_int("candidates", 512));
@@ -187,6 +206,125 @@ int main(int argc, char** argv) try {
                 serial_scan_ns / par_scan_ns);
   }
 
+  // --- spatial coverage-index sweep: solve cost vs density, not n ---------
+  //
+  // Uniform 2-D L2 box scaled so density is constant (~10 points per unit
+  // area => ~31 points per radius-1 ball at every n). The blocked path
+  // pays O(n) per evaluation; the grid path pays O(points-in-ball). The
+  // indexed evaluator is self-checked bitwise against the blocked kernel
+  // before anything is timed. Blocked end-to-end lazy greedy is measured
+  // only while affordable (n <= 100k: it is already ~n^2); above that the
+  // first-round scan alone (n evals at the measured blocked rate) is
+  // reported as a lower-bound projection.
+  std::vector<SpatialRow> spatial_rows;
+  for (const std::size_t n : parse_sizes(spatial_csv)) {
+    if (n == 0) continue;
+    rnd::WorkloadSpec spec;
+    spec.n = n;
+    spec.dim = 2;
+    spec.box_side = std::sqrt(static_cast<double>(n) / 10.0);
+    rnd::Rng rng(seed);
+    const core::Problem problem = core::Problem::from_workload(
+        rnd::generate_workload(spec, rng), /*radius=*/1.0, geo::l2_metric());
+
+    const core::kernels::ScopedIndexMode grid_on(
+        core::kernels::IndexMode::kGrid);
+
+    const auto build_start = Clock::now();
+    const auto indexed = core::kernels::IndexedActiveSet::try_make(problem);
+    const double build_seconds =
+        std::chrono::duration<double>(Clock::now() - build_start).count();
+    if (!indexed) {
+      std::fprintf(stderr, "FAIL: spatial index refused n=%zu\n", n);
+      return 1;
+    }
+
+    const std::vector<double> ones(n, 1.0);
+    const core::kernels::ActiveSet active(problem, ones);
+
+    const std::size_t cand = std::min<std::size_t>(n <= 1000000 ? 256 : 64, n);
+    std::vector<std::size_t> cand_idx(cand);
+    for (std::size_t c = 0; c < cand; ++c) cand_idx[c] = c * (n / cand);
+
+    // Bitwise self-check: the indexed evaluation is an acceleration of the
+    // blocked one, not an approximation — exact equality or fail.
+    for (std::size_t c = 0; c < std::min<std::size_t>(cand, 32); ++c) {
+      const geo::ConstVec center = problem.point(cand_idx[c]);
+      const double got = indexed->coverage_reward(center);
+      const double ref = active.coverage_reward(center);
+      if (got != ref) {
+        std::fprintf(stderr,
+                     "FAIL: indexed eval diverges from blocked at n=%zu "
+                     "candidate=%zu (indexed=%.17g blocked=%.17g)\n",
+                     n, c, got, ref);
+        return 1;
+      }
+    }
+
+    const double blocked_ns = time_ns_per_eval(cand, [&] {
+      double acc = 0.0;
+      for (const std::size_t i : cand_idx) {
+        acc += active.coverage_reward(problem.point(i));
+      }
+      return acc;
+    });
+
+    const spatial::IndexStats stats_before = indexed->index().stats();
+    const double indexed_ns = time_ns_per_eval(cand, [&] {
+      double acc = 0.0;
+      for (const std::size_t i : cand_idx) {
+        acc += indexed->coverage_reward(problem.point(i));
+      }
+      return acc;
+    });
+    const spatial::IndexStats stats_after = indexed->index().stats();
+    const double touched_per_eval =
+        static_cast<double>(stats_after.points_touched -
+                            stats_before.points_touched) /
+        static_cast<double>(stats_after.queries - stats_before.queries);
+
+    const std::size_t kk = std::min(k, n);
+    const auto lazy_start = Clock::now();
+    const core::Solution lazy_indexed =
+        core::LazyGreedySolver().solve(problem, kk);
+    const double lazy_indexed_seconds =
+        std::chrono::duration<double>(Clock::now() - lazy_start).count();
+
+    double lazy_blocked_seconds = -1.0;
+    if (n <= 100000) {
+      const core::kernels::ScopedIndexMode off(core::kernels::IndexMode::kNone);
+      const auto blocked_start = Clock::now();
+      const core::Solution lazy_blocked =
+          core::LazyGreedySolver().solve(problem, kk);
+      lazy_blocked_seconds =
+          std::chrono::duration<double>(Clock::now() - blocked_start).count();
+      if (lazy_blocked.total_reward != lazy_indexed.total_reward) {
+        std::fprintf(stderr,
+                     "FAIL: indexed lazy greedy diverges at n=%zu "
+                     "(indexed=%.17g blocked=%.17g)\n",
+                     n, lazy_indexed.total_reward, lazy_blocked.total_reward);
+        return 1;
+      }
+    }
+    const double lazy_blocked_projected =
+        blocked_ns * static_cast<double>(n) / 1e9;
+
+    spatial_rows.push_back({n, spec.box_side, build_seconds, blocked_ns,
+                            indexed_ns, touched_per_eval, lazy_indexed_seconds,
+                            lazy_blocked_seconds, lazy_blocked_projected});
+    std::printf(
+        "spatial n=%-9zu box=%7.1f build %6.2fs | blocked %10.1f ns/eval | "
+        "indexed %8.1f ns/eval (%6.1fx, %4.1f pts) | lazy k=%zu grid %7.2fs "
+        "blocked %s\n",
+        n, spec.box_side, build_seconds, blocked_ns, indexed_ns,
+        blocked_ns / indexed_ns, touched_per_eval, kk, lazy_indexed_seconds,
+        lazy_blocked_seconds >= 0.0
+            ? (std::to_string(lazy_blocked_seconds) + "s").c_str()
+            : (">= " + std::to_string(lazy_blocked_projected) +
+               "s (projected scan)")
+                  .c_str());
+  }
+
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"kernels\",\n  \"scenario\": "
          "\"clustered 2-D L2, radius 1.0, linear reward, mid-solve residual\","
@@ -197,6 +335,31 @@ int main(int argc, char** argv) try {
         << "\", \"ns_per_eval\": " << r.ns_per_eval
         << ", \"speedup\": " << r.speedup << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"spatial_scenario\": \"uniform 2-D L2, radius 1.0, constant "
+         "density ~10 points per unit area (box_side = sqrt(n/10)), fresh "
+         "residual; lazy greedy k=16 end to end; blocked end-to-end "
+         "measured only for n <= 100k, projected above (first-round scan "
+         "= n evals at the measured blocked rate, a lower bound)\",\n";
+  out << "  \"spatial\": [\n";
+  for (std::size_t i = 0; i < spatial_rows.size(); ++i) {
+    const SpatialRow& s = spatial_rows[i];
+    out << "    {\"n\": " << s.n << ", \"box_side\": " << s.box_side
+        << ", \"grid_build_seconds\": " << s.build_seconds
+        << ", \"blocked_ns_per_eval\": " << s.blocked_ns
+        << ", \"indexed_ns_per_eval\": " << s.indexed_ns
+        << ", \"eval_speedup\": " << s.blocked_ns / s.indexed_ns
+        << ", \"points_touched_per_eval\": " << s.touched_per_eval
+        << ", \"lazy_indexed_seconds\": " << s.lazy_indexed_seconds
+        << ", \"lazy_blocked_seconds\": ";
+    if (s.lazy_blocked_seconds >= 0.0) {
+      out << s.lazy_blocked_seconds;
+    } else {
+      out << "null";
+    }
+    out << ", \"lazy_blocked_projected_seconds\": " << s.lazy_blocked_projected
+        << "}" << (i + 1 < spatial_rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());

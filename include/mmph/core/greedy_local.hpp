@@ -19,6 +19,14 @@ class GreedyLocalSolver final : public RoundSolverBase {
  protected:
   void select_center(const Problem& problem, std::span<const double> y,
                      std::span<double> out) const override;
+
+  /// The all-candidates scan maps directly onto the spatial-index
+  /// evaluator: same ascending order, same strict-> tie-break, identical
+  /// rewards — so the indexed path picks identical centers.
+  [[nodiscard]] bool supports_indexed_scan() const override { return true; }
+  bool indexed_select(const Problem& problem,
+                      const kernels::IndexedActiveSet& active,
+                      std::span<double> out) const override;
 };
 
 }  // namespace mmph::core

@@ -34,7 +34,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "mmph/core/problem.hpp"
@@ -66,6 +68,63 @@ class ScopedBlockedKernels {
 
  private:
   bool previous_;
+};
+
+/// Whether solvers route coverage evaluations through a spatial radius
+/// index (mmph::spatial) instead of the full-population scan. The indexed
+/// path is bit-identical to the scan (see spatial_index.hpp for the
+/// contract), so this is purely a cost knob:
+///   - kNone: never index — every eval scans all n points (blocked or not).
+///   - kGrid: always index, even for tiny populations (the differential
+///     corpus uses this to exercise the indexed path; above kGridMaxDim
+///     dimensions the kd-tree stands in for the grid).
+///   - kAuto (default): index only when it is expected to pay off — the
+///     population is large enough to amortize the build
+///     (>= kAutoIndexMinPoints), low-dimensional enough for the grid
+///     (dim <= spatial::kGridMaxDim), and sparse enough that a radius
+///     query visits a small slice of the population (see
+///     kAutoMaxQueryFraction). See indexed_eval.hpp's
+///     auto_index_profitable for the exact predicate.
+enum class IndexMode {
+  kNone,
+  kGrid,
+  kAuto,
+};
+
+/// Populations below this never index under kAuto: a full scan of a few
+/// thousand points is cheaper than building the grid.
+inline constexpr std::size_t kAutoIndexMinPoints = 4096;
+
+/// Density guard for kAuto. A grid query gathers the 3^dim cell
+/// neighborhood around the center — an L-inf box of side 3r — so the
+/// expected fraction of the population visited per eval is roughly
+/// prod_d min(1, 3r / extent_d) over the bounding-box extents. When that
+/// fraction is large (dense workload: coverage balls comparable to the
+/// whole box), gathering and merging the candidate list costs more than
+/// the vectorized full scan it replaces, and indexing is a pessimization.
+/// kAuto indexes only when the estimated fraction is at most this value.
+inline constexpr double kAutoMaxQueryFraction = 0.125;
+
+void set_index_mode(IndexMode mode) noexcept;
+[[nodiscard]] IndexMode index_mode() noexcept;
+
+[[nodiscard]] const char* index_mode_name(IndexMode mode) noexcept;
+/// Parses "none" / "grid" / "auto" (the --index flag values).
+[[nodiscard]] std::optional<IndexMode> parse_index_mode(
+    std::string_view name) noexcept;
+
+/// RAII toggle for tests, mirroring ScopedBlockedKernels.
+class ScopedIndexMode {
+ public:
+  explicit ScopedIndexMode(IndexMode mode) noexcept : previous_(index_mode()) {
+    set_index_mode(mode);
+  }
+  ~ScopedIndexMode() { set_index_mode(previous_); }
+  ScopedIndexMode(const ScopedIndexMode&) = delete;
+  ScopedIndexMode& operator=(const ScopedIndexMode&) = delete;
+
+ private:
+  IndexMode previous_;
 };
 
 /// Blocked equivalent of core::coverage_reward: g(c) = sum_i w_i min(u_i, y_i).

@@ -24,6 +24,10 @@
 #include "mmph/core/solver.hpp"
 #include "mmph/parallel/thread_pool.hpp"
 
+namespace mmph::spatial {
+class SpatialIndex;
+}
+
 namespace mmph::core {
 
 class LazyGreedySolver final : public Solver {
@@ -51,8 +55,17 @@ class LazyGreedySolver final : public Solver {
     return last_evals_.load(std::memory_order_relaxed);
   }
 
+  /// Lends a caller-maintained spatial index (rows must correspond to the
+  /// problem's points) so solve() skips the index build. The index outlives
+  /// the solver's use of it; solve() re-unmasks it at start. Whether it is
+  /// consulted still follows kernels::index_mode().
+  void set_shared_index(spatial::SpatialIndex* index) noexcept {
+    index_ = index;
+  }
+
  private:
   par::ThreadPool* pool_ = nullptr;
+  spatial::SpatialIndex* index_ = nullptr;
   mutable std::atomic<std::size_t> last_evals_{0};
 };
 

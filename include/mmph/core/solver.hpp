@@ -18,6 +18,10 @@
 
 namespace mmph::core {
 
+namespace kernels {
+class IndexedActiveSet;
+}
+
 /// Interface implemented by all content-placement algorithms.
 class Solver {
  public:
@@ -45,6 +49,27 @@ class RoundSolverBase : public Solver {
   virtual void select_center(const Problem& problem,
                              std::span<const double> y,
                              std::span<double> out) const = 0;
+
+  /// Solvers whose select_center is an all-candidates reward scan can opt
+  /// into the spatial-index evaluation path by returning true here and
+  /// implementing indexed_select. The base loop then builds an
+  /// IndexedActiveSet (subject to kernels::index_mode()) and calls
+  /// indexed_select instead; selections must match select_center bit for
+  /// bit (the indexed evaluator guarantees identical rewards).
+  [[nodiscard]] virtual bool supports_indexed_scan() const { return false; }
+
+  /// Indexed counterpart of select_center, evaluating candidates through
+  /// \p active. Returns false to decline (e.g. an unsupported instance
+  /// shape), in which case the loop falls back to select_center for the
+  /// remaining rounds.
+  virtual bool indexed_select(const Problem& problem,
+                              const kernels::IndexedActiveSet& active,
+                              std::span<double> out) const {
+    (void)problem;
+    (void)active;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace mmph::core

@@ -42,6 +42,20 @@ inline constexpr std::string_view kFaultSolverThrow = "serve.solver_throw";
 /// any store mutation -> kInternalError, store untouched.
 inline constexpr std::string_view kFaultAllocFail = "serve.alloc_fail";
 
+// --- fault-site catalog (spatial index maintenance) -------------------------
+// The carried coverage index is an accelerator, never a source of truth:
+// both sites must leave responses and placements bit-identical to a
+// fault-free run (the index is dropped/rebuilt; the store and WAL are
+// untouched). Chaos tests pin that invariant.
+
+/// The incremental index update mirroring a store mutation throws
+/// std::bad_alloc -> the mutation still succeeds; the index is marked
+/// dirty and rebuilt at the next solve.
+inline constexpr std::string_view kFaultSpatialAllocFail = "spatial.alloc_fail";
+/// The carried index is treated as corrupt at solve time (verify() failure
+/// stand-in) -> rebuilt from the store snapshot before solving.
+inline constexpr std::string_view kFaultSpatialCorrupt = "spatial.corrupt";
+
 // --- fault-site catalog (wal / replication layers) -------------------------
 // Consulted by chaos::FaultyFileOps (wal.*) and net::ReplicaAgent
 // (replica.*); listed here because fault.hpp is the one site registry.

@@ -84,6 +84,12 @@ class InstanceStore {
   [[nodiscard]] bool contains(std::uint64_t id) const;
   [[nodiscard]] std::optional<UserRecord> find(std::uint64_t id) const;
 
+  /// Live row number of the user, or nullopt for unknown ids. Row numbers
+  /// are the point indices a snapshot's PointSet (and therefore a spatial
+  /// index mirroring the store) uses; they change when a later swap-remove
+  /// relocates the last row.
+  [[nodiscard]] std::optional<std::size_t> row_of(std::uint64_t id) const;
+
   /// Mutations (inserts + updates + removes) since the last snapshot().
   [[nodiscard]] std::uint64_t churn_since_snapshot() const noexcept {
     return churn_since_snapshot_;

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "mmph/obs/registry.hpp"
+#include "mmph/spatial/spatial_index.hpp"
 
 namespace mmph::serve {
 
@@ -34,6 +35,12 @@ struct MetricsSnapshot {
   std::uint64_t incremental_solves = 0;
   std::size_t queue_depth = 0;
   double repl_lag_ops = 0.0;  ///< replica: ops behind the primary
+
+  // Spatial coverage-index activity (all 0 while no index is carried).
+  std::uint64_t spatial_queries = 0;
+  std::uint64_t spatial_points_touched = 0;
+  std::uint64_t spatial_incremental_updates = 0;
+  std::uint64_t spatial_rebuilds = 0;
 
   double mean_batch_size = 0.0;
   double solve_p50_seconds = 0.0;
@@ -71,6 +78,11 @@ class ServeMetrics {
   /// stays 0 on a primary so the family is always present in scrapes.
   void set_repl_lag(double ops) { repl_lag_ops_->set(ops); }
 
+  /// Folds a spatial-index stats delta (stats() now minus stats() at the
+  /// last publication) into the mmph_spatial_* counters. The families are
+  /// registered up front, so they scrape as 0 when no index is in use.
+  void add_spatial(const spatial::IndexStats& delta);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Underlying registry, for Prometheus-style exposition (kStats scrape).
@@ -96,6 +108,10 @@ class ServeMetrics {
   obs::Counter* incremental_solves_;
   obs::Gauge* queue_depth_;
   obs::Gauge* repl_lag_ops_;
+  obs::Counter* spatial_queries_;
+  obs::Counter* spatial_points_touched_;
+  obs::Counter* spatial_updates_;
+  obs::Counter* spatial_rebuilds_;
   obs::Histogram* solve_seconds_;
 };
 

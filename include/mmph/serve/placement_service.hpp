@@ -50,6 +50,7 @@
 #include "mmph/serve/request_batcher.hpp"
 #include "mmph/serve/sharded_solver.hpp"
 #include "mmph/sim/warm_start.hpp"
+#include "mmph/spatial/uniform_grid.hpp"
 #include "mmph/wal/record.hpp"
 #include "mmph/wal/snapshot.hpp"
 #include "mmph/wal/writer.hpp"
@@ -190,6 +191,8 @@ class PlacementService {
  private:
   void apply_add_locked(const std::vector<UserRecord>& users);
   void apply_remove_locked(const std::vector<std::uint64_t>& ids);
+  void ensure_index_locked(const core::Problem& problem);
+  void publish_spatial_locked();
   void commit_wal_locked();
   void maybe_snapshot_locked();
   [[nodiscard]] wal::WalSnapshot wal_snapshot_locked() const;
@@ -211,6 +214,17 @@ class PlacementService {
   std::uint64_t churn_since_solve_ = 0;
   /// Interest rows of recently churned-in users (swap candidates).
   std::deque<std::vector<double>> recent_points_;
+
+  /// Coverage index carried across churn epochs (kernels::index_mode()
+  /// decides whether one is kept). Rows mirror the store's live rows:
+  /// every mutation applies the same add/update/swap-remove to both, so a
+  /// re-solve skips the O(n) build. The index is an accelerator, never
+  /// truth — a failed mirror marks it dirty and the next solve rebuilds
+  /// it from the snapshot (placements are bit-identical either way).
+  std::unique_ptr<spatial::UniformGridIndex> index_;
+  bool index_dirty_ = false;
+  /// stats() at the last metrics publication (counters are deltas).
+  spatial::IndexStats index_published_{};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> read_only_{false};

@@ -17,7 +17,9 @@
 ///
 /// Shard boundaries come from the existing spatial substrate: either
 /// kd-style recursive median splits (balanced regardless of clustering) or
-/// geo::CellGrid buckets packed in flattened-cell order.
+/// mmph::spatial uniform-grid cells packed in row-major cell order — the
+/// same grid structure the indexed evaluation path uses, so split and eval
+/// share one build (set_shared_index) instead of each deriving their own.
 
 #include <cstddef>
 #include <vector>
@@ -27,12 +29,17 @@
 #include "mmph/geometry/point_set.hpp"
 #include "mmph/parallel/thread_pool.hpp"
 
+namespace mmph::spatial {
+class SpatialIndex;
+class UniformGridIndex;
+}  // namespace mmph::spatial
+
 namespace mmph::serve {
 
 /// How the population is split into shards.
 enum class ShardPolicy {
   kMedianSplit,  ///< kd-tree-style recursive median splits (default).
-  kGridCells,    ///< geo::CellGrid cells packed into contiguous shards.
+  kGridCells,    ///< uniform-grid cells packed into contiguous shards.
 };
 
 struct ShardedSolverConfig {
@@ -60,9 +67,15 @@ struct ShardStats {
 
 /// Splits [0, points.size()) into spatially coherent, roughly balanced
 /// index groups (exposed for tests and the service's shard diagnostics).
+/// For ShardPolicy::kGridCells, \p grid (when given and matching the point
+/// set and cell size) supplies the cell assignment so the split reuses an
+/// index that already exists; otherwise a throwaway grid is built.
+/// Populations too high-dimensional for the grid fall back to median
+/// splits.
 [[nodiscard]] std::vector<std::vector<std::size_t>> shard_indices(
     const geo::PointSet& points, const ShardedSolverConfig& config,
-    std::size_t workers, double radius);
+    std::size_t workers, double radius,
+    const spatial::UniformGridIndex* grid = nullptr);
 
 /// Lazy greedy restricted to an explicit candidate-center pool, evaluated
 /// against the full problem. Mirrors core::LazyGreedySolver (same
@@ -75,10 +88,14 @@ struct ShardStats {
 /// first-round scan of all pool candidates is sharded across its workers
 /// (deterministic; see kernels::ParallelEvaluator). Only pass a pool when
 /// the caller is not itself running on one of its workers.
+/// \p index optionally lends a caller-maintained spatial index over the
+/// problem's points (kernels::IndexedActiveSet::try_make validates it and
+/// falls back to building or scanning per kernels::index_mode()).
 [[nodiscard]] core::Solution lazy_greedy_over_pool(
     const core::Problem& problem, const geo::PointSet& pool, std::size_t k,
     const std::string& solver_name = "pool-lazy",
-    par::ThreadPool* thread_pool = nullptr);
+    par::ThreadPool* thread_pool = nullptr,
+    spatial::SpatialIndex* index = nullptr);
 
 class ShardedSolver final : public core::Solver {
  public:
@@ -101,9 +118,20 @@ class ShardedSolver final : public core::Solver {
     return last_stats_;
   }
 
+  /// Lends a caller-maintained spatial index whose rows correspond to the
+  /// problem's points (e.g. PlacementService's carried grid). The merge
+  /// pass evaluates through it, and when it is a UniformGridIndex matching
+  /// the shard cell size, the grid split reuses its cell assignment too.
+  /// Pass nullptr to revert to per-solve builds. The index must outlive
+  /// solves; whether it is consulted follows kernels::index_mode().
+  void set_shared_index(spatial::SpatialIndex* index) noexcept {
+    shared_index_ = index;
+  }
+
  private:
   par::ThreadPool& pool_;
   ShardedSolverConfig config_;
+  spatial::SpatialIndex* shared_index_ = nullptr;
   mutable geo::PointSet last_candidates_{1};
   mutable ShardStats last_stats_;
 };

@@ -13,6 +13,7 @@
 #include "mmph/chaos/faulty_file_ops.hpp"
 #include "mmph/chaos/faulty_socket_ops.hpp"
 #include "mmph/chaos/injector.hpp"
+#include "mmph/core/kernels.hpp"
 #include "mmph/net/client.hpp"
 #include "mmph/net/server.hpp"
 #include "mmph/random/pcg64.hpp"
@@ -84,6 +85,11 @@ FaultPlan serve_plan_for_seed(std::uint64_t seed) {
   plan.with(serve::kFaultDeadlineSkew, 0.20 * rng.next_double());
   plan.with(serve::kFaultSolverThrow, 0.20 * rng.next_double());
   plan.with(serve::kFaultAllocFail, 0.20 * rng.next_double());
+  // Spatial-index faults are output-invisible by contract (the index is
+  // an accelerator, never truth): the schedule may drop or corrupt the
+  // carried grid at any point and the placement must not move a bit.
+  plan.with(serve::kFaultSpatialAllocFail, 0.25 * rng.next_double());
+  plan.with(serve::kFaultSpatialCorrupt, 0.25 * rng.next_double());
   return plan;
 }
 
@@ -134,6 +140,13 @@ ChaosResult run_serve_chaos(const ServeChaosOptions& options) {
   };
 
   Injector injector(serve_plan_for_seed(options.seed));
+
+  // Force the coverage grid on (populations here sit far below the kAuto
+  // threshold) so the spatial.* fault sites are actually consulted; the
+  // fault-free replay below runs under the same mode, and the index is
+  // bit-invisible anyway.
+  const core::kernels::ScopedIndexMode index_mode(
+      core::kernels::IndexMode::kGrid);
 
   serve::ServiceConfig config;
   config.dim = 2;

@@ -11,6 +11,7 @@ namespace mmph::core::kernels {
 namespace {
 
 std::atomic<bool> g_blocked_enabled{true};
+std::atomic<IndexMode> g_index_mode{IndexMode::kAuto};
 
 enum class NormKind { kL1, kL2, kLinf, kLp };
 
@@ -298,6 +299,33 @@ void set_blocked_enabled(bool enabled) noexcept {
 
 bool blocked_enabled() noexcept {
   return g_blocked_enabled.load(std::memory_order_relaxed);
+}
+
+void set_index_mode(IndexMode mode) noexcept {
+  g_index_mode.store(mode, std::memory_order_relaxed);
+}
+
+IndexMode index_mode() noexcept {
+  return g_index_mode.load(std::memory_order_relaxed);
+}
+
+const char* index_mode_name(IndexMode mode) noexcept {
+  switch (mode) {
+    case IndexMode::kNone:
+      return "none";
+    case IndexMode::kGrid:
+      return "grid";
+    case IndexMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<IndexMode> parse_index_mode(std::string_view name) noexcept {
+  if (name == "none") return IndexMode::kNone;
+  if (name == "grid") return IndexMode::kGrid;
+  if (name == "auto") return IndexMode::kAuto;
+  return std::nullopt;
 }
 
 double block_coverage_reward(const Problem& problem, geo::ConstVec center,

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "mmph/core/indexed_eval.hpp"
 #include "mmph/core/kernels.hpp"
 #include "mmph/core/reward.hpp"
 #include "mmph/support/assert.hpp"
@@ -38,16 +39,19 @@ Solution LazyGreedySolver::solve(const Problem& problem, std::size_t k) const {
   sol.residual = fresh_residual(problem);
   last_evals_.store(0, std::memory_order_relaxed);
 
-  // With the blocked kernels on, the residual state lives in an ActiveSet:
-  // exhausted points compact away, so later rounds scan only points that
-  // can still contribute. Sums (and therefore center selection) are
-  // unchanged — dropped terms are exact zeros.
-  const bool blocked = kernels::blocked_enabled();
+  // Evaluation backends, strongest first: a spatial radius index (per-eval
+  // cost O(points-in-ball) instead of O(n)), else an ActiveSet over the
+  // blocked kernels (exhausted points compact away). Sums — and therefore
+  // center selection — are identical across all three paths: dropped and
+  // out-of-ball terms are exact zeros.
+  const auto indexed = kernels::IndexedActiveSet::try_make(problem, index_);
+  const bool blocked = !indexed && kernels::blocked_enabled();
   std::optional<kernels::ActiveSet> active;
   if (blocked) active.emplace(problem);
 
   const auto evaluate = [&](std::size_t i) {
     last_evals_.fetch_add(1, std::memory_order_relaxed);
+    if (indexed) return indexed->coverage_reward(problem.point(i));
     return blocked ? active->coverage_reward(problem.point(i))
                    : coverage_reward(problem, problem.point(i), sol.residual);
   };
@@ -57,8 +61,13 @@ Solution LazyGreedySolver::solve(const Problem& problem, std::size_t k) const {
   // one was provided (per-slot writes keep the result deterministic).
   const kernels::ParallelEvaluator evaluator(pool_);
   const std::vector<double> gains =
-      blocked ? evaluator.point_gains(*active)
-              : evaluator.point_gains(problem, sol.residual);
+      indexed ? evaluator.map(problem.size(),
+                              [&](std::size_t i) {
+                                return indexed->coverage_reward(
+                                    problem.point(i));
+                              })
+      : blocked ? evaluator.point_gains(*active)
+                : evaluator.point_gains(problem, sol.residual);
   last_evals_.fetch_add(problem.size(), std::memory_order_relaxed);
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
@@ -79,15 +88,21 @@ Solution LazyGreedySolver::solve(const Problem& problem, std::size_t k) const {
     }
     sol.centers.push_back(problem.point(top.index));
     const double g =
-        blocked ? active->apply_center(problem.point(top.index))
-                : apply_center(problem, problem.point(top.index), sol.residual);
+        indexed ? indexed->apply_center(problem.point(top.index))
+        : blocked
+            ? active->apply_center(problem.point(top.index))
+            : apply_center(problem, problem.point(top.index), sol.residual);
     sol.round_rewards.push_back(g);
     sol.total_reward += g;
     // The chosen entry stays in the heap with a now-stale gain; future
     // re-evaluation yields ~0 marginal gain, which is correct (re-picking
     // an exhausted center is allowed by the paper's formulation).
   }
-  if (blocked) active->export_residual(sol.residual);
+  if (indexed) {
+    indexed->export_residual(sol.residual);
+  } else if (blocked) {
+    active->export_residual(sol.residual);
+  }
   return sol;
 }
 

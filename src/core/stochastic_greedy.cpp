@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mmph/core/indexed_eval.hpp"
 #include "mmph/core/reward.hpp"
 #include "mmph/geometry/vec.hpp"
 #include "mmph/support/assert.hpp"
@@ -36,6 +37,11 @@ Solution StochasticGreedySolver::solve(const Problem& problem,
   sol.centers.reserve(k);
   sol.residual = fresh_residual(problem);
 
+  // Optional spatial-index backend: per-candidate evals touch only the
+  // points within coverage radius. Bit-identical to the scan path (see
+  // indexed_eval.hpp), so the sampled picks are unchanged.
+  const auto indexed = kernels::IndexedActiveSet::try_make(problem);
+
   for (std::size_t j = 0; j < k; ++j) {
     // Sample without replacement via a partial Fisher-Yates over a fresh
     // index array (cheap at these sizes; keeps draws independent of k).
@@ -54,18 +60,22 @@ Solution StochasticGreedySolver::solve(const Problem& problem,
     std::size_t best_i = idx[0];
     for (std::size_t t = 0; t < s; ++t) {
       const double g =
-          coverage_reward(problem, problem.point(idx[t]), sol.residual);
+          indexed ? indexed->coverage_reward(problem.point(idx[t]))
+                  : coverage_reward(problem, problem.point(idx[t]),
+                                    sol.residual);
       if (g > best) {
         best = g;
         best_i = idx[t];
       }
     }
-    const double g = apply_center(problem, problem.point(best_i),
-                                  sol.residual);
+    const double g =
+        indexed ? indexed->apply_center(problem.point(best_i))
+                : apply_center(problem, problem.point(best_i), sol.residual);
     sol.centers.push_back(problem.point(best_i));
     sol.round_rewards.push_back(g);
     sol.total_reward += g;
   }
+  if (indexed) indexed->export_residual(sol.residual);
   return sol;
 }
 

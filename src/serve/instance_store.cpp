@@ -119,6 +119,12 @@ std::optional<UserRecord> InstanceStore::find(std::uint64_t id) const {
   return rec;
 }
 
+std::optional<std::size_t> InstanceStore::row_of(std::uint64_t id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
 void InstanceStore::export_rows(std::vector<std::uint64_t>& ids,
                                 std::vector<double>& weights,
                                 std::vector<double>& coords) const {

@@ -33,8 +33,25 @@ ServeMetrics::ServeMetrics()
                                     "requests currently queued")),
       repl_lag_ops_(&registry_.gauge("mmph_repl_lag_ops",
                                      "replication lag in applied ops")),
+      spatial_queries_(&registry_.counter("mmph_spatial_queries_total",
+                                          "coverage-index radius queries")),
+      spatial_points_touched_(
+          &registry_.counter("mmph_spatial_points_touched_total",
+                             "points returned across index queries")),
+      spatial_updates_(
+          &registry_.counter("mmph_spatial_incremental_updates_total",
+                             "index add/update/swap-remove operations")),
+      spatial_rebuilds_(&registry_.counter("mmph_spatial_rebuilds_total",
+                                           "index bulk (re)builds")),
       solve_seconds_(&registry_.histogram("mmph_serve_solve_seconds",
                                           "placement solve latency")) {}
+
+void ServeMetrics::add_spatial(const spatial::IndexStats& delta) {
+  spatial_queries_->add(delta.queries);
+  spatial_points_touched_->add(delta.points_touched);
+  spatial_updates_->add(delta.incremental_updates);
+  spatial_rebuilds_->add(delta.rebuilds);
+}
 
 void ServeMetrics::record_batch(std::size_t size) {
   batches_->add();
@@ -66,6 +83,10 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   snap.incremental_solves = incremental_solves_->value();
   snap.queue_depth = static_cast<std::size_t>(queue_depth_->value());
   snap.repl_lag_ops = repl_lag_ops_->value();
+  snap.spatial_queries = spatial_queries_->value();
+  snap.spatial_points_touched = spatial_points_touched_->value();
+  snap.spatial_incremental_updates = spatial_updates_->value();
+  snap.spatial_rebuilds = spatial_rebuilds_->value();
   snap.mean_batch_size =
       snap.batches == 0 ? 0.0
                         : static_cast<double>(snap.batched_requests) /

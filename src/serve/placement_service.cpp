@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "mmph/core/indexed_eval.hpp"
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/objective.hpp"
 #include "mmph/support/assert.hpp"
 #include "mmph/support/error.hpp"
@@ -86,6 +88,10 @@ void PlacementService::restore_from(const wal::WalSnapshot& snapshot) {
   planner_->reset();
   churn_since_solve_ = 0;
   recent_points_.clear();
+  // The carried index mirrored the old rows; the next solve rebuilds.
+  publish_spatial_locked();
+  index_.reset();
+  index_dirty_ = false;
   // Checkpoint the installed state so the local log chains from it (for
   // a boot-time restore this re-checkpoints what recovery read; for a
   // replica install it jumps the writer to the primary's epoch).
@@ -224,8 +230,28 @@ void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
   }
   try {
     for (const UserRecord& user : users) {
-      store_.upsert(user);  // cannot throw: validated and reserved above
+      const bool inserted =
+          store_.upsert(user);  // cannot throw: validated and reserved above
       ++churn_since_solve_;
+      if (index_ != nullptr && !index_dirty_) {
+        // Mirror the mutation into the carried index. A failure here must
+        // not fail the mutation (the store and WAL already agree): the
+        // index just goes dirty and the next solve rebuilds it.
+        try {
+          if (config_.fault_hook &&
+              config_.fault_hook(kFaultSpatialAllocFail)) {
+            throw std::bad_alloc();
+          }
+          const geo::ConstVec p(user.interest.data(), user.interest.size());
+          if (inserted) {
+            index_->add(p);
+          } else {
+            index_->update(*store_.row_of(user.id), p);
+          }
+        } catch (...) {
+          index_dirty_ = true;
+        }
+      }
       recent_points_.push_back(user.interest);
     }
   } catch (...) {
@@ -267,6 +293,20 @@ void PlacementService::apply_remove_locked(
     config_.wal->append(record);  // WalError here: store untouched
   }
   for (const std::uint64_t id : effective) {
+    if (index_ != nullptr && !index_dirty_) {
+      // The index's swap_remove relocates the same last row the store's
+      // does, so rows keep corresponding; capture the row before the
+      // store forgets the id.
+      const std::size_t row = *store_.row_of(id);
+      try {
+        if (config_.fault_hook && config_.fault_hook(kFaultSpatialAllocFail)) {
+          throw std::bad_alloc();
+        }
+        index_->swap_remove(row);
+      } catch (...) {
+        index_dirty_ = true;
+      }
+    }
     store_.remove(id);  // cannot fail: present per the filter above
     ++churn_since_solve_;
   }
@@ -296,6 +336,49 @@ wal::WalSnapshot PlacementService::wal_snapshot_locked() const {
   return snap;
 }
 
+void PlacementService::ensure_index_locked(const core::Problem& problem) {
+  const core::kernels::IndexMode mode = core::kernels::index_mode();
+  const bool want =
+      mode != core::kernels::IndexMode::kNone && !store_.empty() &&
+      config_.dim <= spatial::kGridMaxDim &&
+      (mode == core::kernels::IndexMode::kGrid ||
+       core::kernels::auto_index_profitable(problem));
+  if (!want) {
+    publish_spatial_locked();
+    index_.reset();
+    index_dirty_ = false;
+    return;
+  }
+  // Fault seam: treat the carried index as corrupt (what a failed
+  // verify() would report) and take the rebuild path.
+  if (index_ != nullptr && config_.fault_hook &&
+      config_.fault_hook(kFaultSpatialCorrupt)) {
+    index_dirty_ = true;
+  }
+  if (index_ != nullptr && !index_dirty_ &&
+      index_->size() == store_.size()) {
+    return;  // carried across the churn delta, ready to query
+  }
+  publish_spatial_locked();
+  index_ = std::make_unique<spatial::UniformGridIndex>(problem.points(),
+                                                       config_.radius);
+  index_dirty_ = false;
+  index_published_ = spatial::IndexStats{};  // fresh counters (build = 1 rebuild)
+}
+
+void PlacementService::publish_spatial_locked() {
+  if (index_ == nullptr) return;
+  const spatial::IndexStats now = index_->stats();
+  spatial::IndexStats delta;
+  delta.queries = now.queries - index_published_.queries;
+  delta.points_touched = now.points_touched - index_published_.points_touched;
+  delta.incremental_updates =
+      now.incremental_updates - index_published_.incremental_updates;
+  delta.rebuilds = now.rebuilds - index_published_.rebuilds;
+  metrics_.add_spatial(delta);
+  index_published_ = now;
+}
+
 core::Problem PlacementService::problem_locked() {
   StoreSnapshot snap = store_.snapshot();
   return core::Problem(std::move(snap.points), std::move(snap.weights),
@@ -311,6 +394,9 @@ const PlacementView& PlacementService::solve_locked() {
     view.solution.solver_name = "empty";
     view.solution.centers = geo::PointSet(config_.dim);
     planner_->reset();  // stale centers are meaningless after an empty-out
+    publish_spatial_locked();
+    index_.reset();
+    index_dirty_ = false;
     view_ = std::move(view);
     churn_since_solve_ = 0;
     recent_points_.clear();
@@ -326,12 +412,19 @@ const PlacementView& PlacementService::solve_locked() {
       static_cast<double>(std::max<std::size_t>(population, 1));
   if (churn_fraction > config_.full_solve_churn_fraction) planner_->reset();
 
+  // Carry the coverage index into the solve: rebuilt only when dirty or
+  // out of step, otherwise the incremental mirror already brought it to
+  // this epoch. The sharded solver evaluates (and grid-splits) through it.
+  ensure_index_locked(problem);
+  sharded_->set_shared_index(index_.get());
+
   const std::uint64_t warm_before = planner_->warm_solves();
   const auto start = Clock::now();
   core::Solution solution = planner_->plan(problem, config_.k);
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   const bool incremental = planner_->warm_solves() > warm_before;
+  publish_spatial_locked();
   metrics_.record_solve(seconds, incremental);
   trace::SpanCollector::global().record(
       incremental ? "serve.solve.incremental" : "serve.solve.full", seconds);

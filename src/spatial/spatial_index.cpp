@@ -1,0 +1,40 @@
+#include "mmph/spatial/spatial_index.hpp"
+
+#include "mmph/spatial/kd_index.hpp"
+#include "mmph/spatial/uniform_grid.hpp"
+
+namespace mmph::spatial {
+
+const char* index_kind_name(IndexKind kind) noexcept {
+  switch (kind) {
+    case IndexKind::kGrid:
+      return "grid";
+    case IndexKind::kKdTree:
+      return "kdtree";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SpatialIndex> make_index(const geo::PointSet& points,
+                                         double radius,
+                                         const geo::Metric& metric) {
+  const IndexKind kind =
+      points.dim() <= kGridMaxDim ? IndexKind::kGrid : IndexKind::kKdTree;
+  return make_index(kind, points, radius, metric);
+}
+
+std::unique_ptr<SpatialIndex> make_index(IndexKind kind,
+                                         const geo::PointSet& points,
+                                         double radius,
+                                         const geo::Metric& metric) {
+  switch (kind) {
+    case IndexKind::kGrid:
+      return std::make_unique<UniformGridIndex>(points, radius);
+    case IndexKind::kKdTree:
+      return std::make_unique<KdTreeIndex>(points, radius, metric);
+  }
+  MMPH_REQUIRE(false, "make_index: unknown IndexKind");
+  return nullptr;
+}
+
+}  // namespace mmph::spatial

@@ -19,10 +19,25 @@
 #include "mmph/chaos/faulty_socket_ops.hpp"
 #include "mmph/chaos/harness.hpp"
 #include "mmph/chaos/injector.hpp"
+#include "mmph/core/kernels.hpp"
+#include "mmph/random/pcg64.hpp"
 #include "mmph/serve/placement_service.hpp"
 
 namespace mmph::chaos {
 namespace {
+
+bool same_placement_centers(const serve::PlacementView& got,
+                            const serve::PlacementView& want) {
+  const geo::PointSet& a = got.solution.centers;
+  const geo::PointSet& b = want.solution.centers;
+  if (a.size() != b.size() || a.dim() != b.dim()) return false;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    for (std::size_t d = 0; d < a.dim(); ++d) {
+      if (a[c][d] != b[c][d]) return false;
+    }
+  }
+  return true;
+}
 
 TEST(FaultPlan, WithOverwritesAndProbabilityOf) {
   FaultPlan plan;
@@ -217,6 +232,103 @@ TEST(ServeFaultSites, DeadlineSkewAnswersTimeoutAndDropsMutation) {
   EXPECT_EQ(future.get().status, serve::ResponseStatus::kTimeout);
   EXPECT_EQ(service.population(), 0u) << "skewed mutation must not apply";
   EXPECT_GE(service.metrics().timeouts, 1u);
+}
+
+// --- forced spatial-index fault sites --------------------------------------
+//
+// The coverage grid is an accelerator, never truth: a mirror failure or a
+// corruption detection drops/rebuilds the index, but every response stays
+// kOk and the placement must match a fault-free service bit for bit.
+
+TEST(SpatialFaultSites, AllocFailDuringMirrorIsOutputInvisible) {
+  const core::kernels::ScopedIndexMode mode(core::kernels::IndexMode::kGrid);
+  FaultPlan plan;
+  plan.with(serve::kFaultSpatialAllocFail, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.full_solve_churn_fraction = 0.0;
+  config.fault_hook = injector.hook();
+  serve::PlacementService faulty(config);
+  serve::ServiceConfig clean = config;
+  clean.fault_hook = {};
+  serve::PlacementService reference(clean);
+
+  rnd::Pcg64 rng(11);
+  std::vector<serve::UserRecord> users;
+  for (std::uint64_t id = 1; id <= 48; ++id) {
+    users.push_back(serve::UserRecord{
+        id,
+        {static_cast<double>(rng.next_below(400)) / 100.0,
+         static_cast<double>(rng.next_below(400)) / 100.0},
+        1.0});
+  }
+  faulty.apply_add(users);
+  reference.apply_add(users);
+  (void)faulty.placement();  // builds the index; the mirror is now live
+  (void)reference.placement();
+
+  // Churn with the mirror failing on every mutation: the index goes
+  // dirty, the next solve rebuilds it, and nothing observable moves.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const std::vector<serve::UserRecord> add = {serve::UserRecord{
+        100u + static_cast<std::uint64_t>(epoch), {1.0 + 0.1 * epoch, 2.0},
+        1.0}};
+    const std::vector<std::uint64_t> remove = {
+        static_cast<std::uint64_t>(2 * epoch + 1)};
+    faulty.apply_add(add);
+    faulty.apply_remove(remove);
+    reference.apply_add(add);
+    reference.apply_remove(remove);
+
+    const serve::PlacementView got = faulty.placement();
+    const serve::PlacementView want = reference.placement();
+    ASSERT_EQ(faulty.population(), reference.population());
+    EXPECT_EQ(got.objective, want.objective) << "epoch " << epoch;  // bitwise
+    ASSERT_TRUE(same_placement_centers(got, want)) << "epoch " << epoch;
+  }
+  // The injected mirror failures forced rebuilds beyond the initial one.
+  EXPECT_GT(faulty.metrics().spatial_rebuilds, 1u);
+  EXPECT_EQ(reference.metrics().spatial_rebuilds, 1u);
+}
+
+TEST(SpatialFaultSites, CorruptDetectionRebuildsWithSamePlacement) {
+  const core::kernels::ScopedIndexMode mode(core::kernels::IndexMode::kGrid);
+  FaultPlan plan;
+  plan.with(serve::kFaultSpatialCorrupt, 1.0);
+  Injector injector(plan);
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.full_solve_churn_fraction = 0.0;
+  config.fault_hook = injector.hook();
+  serve::PlacementService faulty(config);
+  serve::ServiceConfig clean = config;
+  clean.fault_hook = {};
+  serve::PlacementService reference(clean);
+
+  std::vector<serve::UserRecord> users;
+  for (std::uint64_t id = 1; id <= 32; ++id) {
+    users.push_back(serve::UserRecord{
+        id, {0.13 * static_cast<double>(id), 0.29 * static_cast<double>(id)},
+        1.0});
+  }
+  faulty.apply_add(users);
+  reference.apply_add(users);
+
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<serve::UserRecord> add = {serve::UserRecord{
+        200u + static_cast<std::uint64_t>(round), {2.0, 0.5 * round}, 1.0}};
+    faulty.apply_add(add);
+    reference.apply_add(add);
+    const serve::PlacementView got = faulty.placement();
+    const serve::PlacementView want = reference.placement();
+    EXPECT_EQ(got.objective, want.objective) << "round " << round;  // bitwise
+    ASSERT_TRUE(same_placement_centers(got, want)) << "round " << round;
+  }
+  // Every solve after the first found its carried index "corrupt" and
+  // rebuilt; the reference reused its grid throughout.
+  EXPECT_GE(faulty.metrics().spatial_rebuilds, 3u);
+  EXPECT_EQ(reference.metrics().spatial_rebuilds, 1u);
 }
 
 // --- seeded schedule sweeps ------------------------------------------------

@@ -1,0 +1,184 @@
+// Serve-path spatial index: a PlacementService carrying its coverage grid
+// across churn epochs (incremental add/update/swap-remove mirror, warm
+// index) must answer with placements bit-identical to a twin service
+// running unindexed — and to a cold service fed the same final state.
+// Also pins the mmph_spatial_* counters: present in the registry at zero
+// when the index is off, advancing when it is on.
+
+#include "mmph/serve/placement_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mmph/core/kernels.hpp"
+#include "mmph/random/rng.hpp"
+#include "mmph/random/workload.hpp"
+
+namespace mmph::serve {
+namespace {
+
+std::vector<UserRecord> make_users(std::size_t n, std::uint64_t seed) {
+  rnd::WorkloadSpec spec;
+  spec.n = n;
+  rnd::Rng rng(seed);
+  const rnd::Workload workload = rnd::generate_workload(spec, rng);
+  std::vector<UserRecord> users;
+  users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    UserRecord rec;
+    rec.id = i;
+    rec.weight = workload.weights[i];
+    rec.interest.assign(workload.points[i].begin(), workload.points[i].end());
+    users.push_back(std::move(rec));
+  }
+  return users;
+}
+
+UserRecord fresh_user(std::uint64_t id, rnd::Rng& rng) {
+  UserRecord rec;
+  rec.id = id;
+  rec.weight = 1.0 + static_cast<double>(rng.uniform_int(0, 4));
+  rec.interest = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+  return rec;
+}
+
+void expect_same_placement(const PlacementView& got, const PlacementView& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.population, want.population) << context;
+  EXPECT_EQ(got.objective, want.objective) << context;  // bitwise
+  ASSERT_EQ(got.solution.centers.size(), want.solution.centers.size())
+      << context;
+  for (std::size_t c = 0; c < got.solution.centers.size(); ++c) {
+    for (std::size_t d = 0; d < got.solution.centers.dim(); ++d) {
+      EXPECT_EQ(got.solution.centers[c][d], want.solution.centers[c][d])
+          << context << " center " << c << " coord " << d;
+    }
+  }
+}
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.k = 3;
+  // Re-solve from scratch on every epoch so each tick exercises the
+  // carried index rather than the warm 1-swap refine.
+  config.full_solve_churn_fraction = 0.0;
+  return config;
+}
+
+/// Twin services fed the same churn stream, one indexed (kGrid: the grid
+/// is kept and incrementally mirrored through every mutation) and one
+/// unindexed, solving every epoch: placements must stay bit-identical.
+/// A third, cold service is rebuilt from the live state each epoch to pin
+/// warm-vs-cold equality of the carried index.
+TEST(SpatialServe, WarmIndexMatchesUnindexedAndColdEveryEpoch) {
+  PlacementService indexed(small_config());
+  PlacementService plain(small_config());
+
+  const std::vector<UserRecord> initial = make_users(160, 2026);
+  {
+    const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+    indexed.apply_add(initial);
+  }
+  plain.apply_add(initial);
+
+  std::vector<UserRecord> live = initial;
+  rnd::Rng rng(99);
+  std::uint64_t next_id = initial.size();
+
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    // A small mixed mutation batch: adds, moves (upserts), removes. The
+    // `live` shadow replays the exact store semantics in the same order —
+    // upserts append or update in place, removes swap-pop — so the cold
+    // control sees the identical row order (row order is FP association
+    // order, so it matters bit-for-bit).
+    std::vector<UserRecord> adds;
+    adds.push_back(fresh_user(next_id++, rng));
+    live.push_back(adds.back());
+    {  // move an existing user
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      UserRecord moved = live[at];
+      moved.interest = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+      live[at] = moved;
+      adds.push_back(std::move(moved));
+    }
+    std::vector<std::uint64_t> removes;
+    if (live.size() > 8 && epoch % 3 == 0) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      removes.push_back(live[at].id);
+      live[at] = live.back();
+      live.pop_back();
+    }
+
+    PlacementView warm, cold, unindexed;
+    {
+      const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+      indexed.apply_add(adds);
+      if (!removes.empty()) indexed.apply_remove(removes);
+      warm = indexed.placement();
+
+      // Cold control: a fresh service (fresh grid) over the same state.
+      PlacementService scratch(small_config());
+      scratch.apply_add(live);
+      cold = scratch.placement();
+    }
+    {
+      const core::kernels::ScopedIndexMode off(core::kernels::IndexMode::kNone);
+      plain.apply_add(adds);
+      if (!removes.empty()) plain.apply_remove(removes);
+      unindexed = plain.placement();
+    }
+
+    const std::string context = "epoch " + std::to_string(epoch);
+    expect_same_placement(warm, unindexed, context + " warm-vs-unindexed");
+    expect_same_placement(warm, cold, context + " warm-vs-cold");
+  }
+
+  // The carried index actually worked incrementally: mutations were
+  // mirrored rather than answered with rebuilds, and queries flowed.
+  const MetricsSnapshot snap = indexed.metrics();
+  EXPECT_GT(snap.spatial_queries, 0u);
+  EXPECT_GT(snap.spatial_points_touched, 0u);
+  EXPECT_GT(snap.spatial_incremental_updates, 0u);
+  EXPECT_GT(snap.spatial_rebuilds, 0u);  // the initial build at least
+  EXPECT_LT(snap.spatial_rebuilds, 5u)
+      << "churn should mirror into the carried grid, not rebuild it";
+
+  // Unindexed twin never touched a spatial index.
+  const MetricsSnapshot off = plain.metrics();
+  EXPECT_EQ(off.spatial_queries, 0u);
+  EXPECT_EQ(off.spatial_rebuilds, 0u);
+}
+
+/// The counters are registered (scrapable) even before any index exists,
+/// and the registry exposition carries them under their mmph_spatial_*
+/// names once the indexed path has run.
+TEST(SpatialServe, SpatialCountersAreRegisteredAndAdvance) {
+  PlacementService service(small_config());
+  const MetricsSnapshot before = service.metrics();
+  EXPECT_EQ(before.spatial_queries, 0u);
+  EXPECT_EQ(before.spatial_rebuilds, 0u);
+
+  {
+    const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+    service.apply_add(make_users(64, 7));
+    (void)service.placement();
+  }
+  const MetricsSnapshot after = service.metrics();
+  EXPECT_GT(after.spatial_queries, 0u);
+  EXPECT_EQ(after.spatial_rebuilds, 1u);
+
+  const std::string exposition = service.metrics_registry().exposition_text();
+  EXPECT_NE(exposition.find("mmph_spatial_queries_total"), std::string::npos);
+  EXPECT_NE(exposition.find("mmph_spatial_rebuilds_total"), std::string::npos);
+  EXPECT_NE(exposition.find("mmph_spatial_points_touched_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("mmph_spatial_incremental_updates_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmph::serve

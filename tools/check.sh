@@ -27,6 +27,13 @@
 #                               # crash-point matrix, replication,
 #                               # atomicity) — the fast WAL gate; the
 #                               # chaos sweep above is the thorough one.
+#   tools/check.sh index        # build + every spatial-labeled test (the
+#                               # mmph::spatial query/churn contracts, the
+#                               # indexed-vs-unindexed solver differential
+#                               # corpus, the serve-path warm-index test).
+#                               # MMPH_SANITIZE=ON tools/check.sh index
+#                               # runs the same gate under ASan/UBSan —
+#                               # the pre-merge gate for index changes.
 #   tools/check.sh tsan         # ThreadSanitizer build (MMPH_TSAN=ON, own
 #                               # build-tsan dir) + the net/chaos suites +
 #                               # a multi-loop chaos_runner net sweep at
@@ -37,7 +44,7 @@
 #
 # Extra args are forwarded to ctest: tools/check.sh -R serve filters by
 # name, tools/check.sh -L unit filters by label (labels: unit, net,
-# slow, chaos, wal — see tests/CMakeLists.txt).
+# slow, chaos, wal, spatial — see tests/CMakeLists.txt).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -82,6 +89,11 @@ fi
 if [ "$1" = "wal" ]; then
   cd "$BUILD_DIR"
   exec ctest --output-on-failure -L wal -j "$(nproc 2>/dev/null || echo 4)"
+fi
+
+if [ "$1" = "index" ]; then
+  cd "$BUILD_DIR"
+  exec ctest --output-on-failure -L spatial -j "$(nproc 2>/dev/null || echo 4)"
 fi
 
 cd "$BUILD_DIR"

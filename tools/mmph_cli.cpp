@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mmph/core/certificate.hpp"
+#include "mmph/core/kernels.hpp"
 #include "mmph/core/objective.hpp"
 #include "mmph/core/registry.hpp"
 #include "mmph/io/args.hpp"
@@ -52,7 +53,8 @@ int usage() {
       "  generate  --n N --dim D --box SIDE --placement uniform|halton|clustered\n"
       "            --weights same|uniform-int|zipf --seed S --radius R\n"
       "            --norm l1|l2|linf --out FILE\n"
-      "  solve     --problem FILE --solver NAME --k K [--pitch P] [--out FILE]\n"
+      "  solve     --problem FILE --solver NAME --k K [--pitch P]\n"
+      "            [--index none|grid|auto] [--out FILE]\n"
       "  evaluate  --problem FILE --solution FILE\n"
       "  describe  --problem FILE\n"
       "  compare   --problem FILE --k K [--solvers a,b,c] [--pitch P]\n"
@@ -61,12 +63,14 @@ int usage() {
       "            [--drift SIGMA] [--churn P] [--seed S]\n"
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
       "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
+      "            [--index none|grid|auto]\n"
       "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]\n"
       "             [--loops N]]\n"
       "            [--wal-dir DIR [--fsync always|group|never]\n"
       "             [--snapshot-every N]] [--primary HOST --primary-port P]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
       "            [--radius R] [--churn P] [--seed S] [--stats]\n"
+      "            [--index none|grid|auto]\n"
       "            (neither --listen nor --connect: in-process self-test;\n"
       "             --stats scrapes and prints the metrics exposition;\n"
       "             --wal-dir makes a --listen server durable: it recovers\n"
@@ -82,6 +86,18 @@ int usage() {
       "            (dry-run crash recovery; exit 1 when the log is not\n"
       "             cleanly recoverable)\n";
   return 2;
+}
+
+/// Consumes --index {none,grid,auto} and installs it as the process-wide
+/// coverage-index mode (kernels::set_index_mode). The index only changes
+/// solve cost, never output bits, so the default stays kAuto.
+void apply_index_flag(io::Args& args) {
+  const std::string text = args.get_string("index", "auto");
+  const auto mode = core::kernels::parse_index_mode(text);
+  if (!mode.has_value()) {
+    throw ParseError("unknown --index '" + text + "' (none|grid|auto)");
+  }
+  core::kernels::set_index_mode(*mode);
 }
 
 rnd::Placement parse_placement(const std::string& text) {
@@ -129,14 +145,20 @@ int cmd_solve(io::Args& args) {
   core::SolverConfig config;
   config.grid_pitch = args.get_double("pitch", 0.5);
   const std::string out = args.get_string("out", "");
+  apply_index_flag(args);
   args.finish();
   if (problem_path.empty()) {
     throw ParseError("solve: --problem FILE is required");
   }
 
   const core::Problem problem = trace::load_problem(problem_path);
+  const auto solve_start = std::chrono::steady_clock::now();
   const core::Solution solution =
       core::make_solver(solver_name, problem, config)->solve(problem, k);
+  const double solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_start)
+          .count();
   if (out.empty()) {
     trace::write_solution(std::cout, solution);
   } else {
@@ -145,7 +167,9 @@ int cmd_solve(io::Args& args) {
   std::cerr << solver_name << ": total reward "
             << io::fixed(solution.total_reward, 4) << " ("
             << io::percent(solution.total_reward / problem.total_weight())
-            << " of demand)\n";
+            << " of demand) in " << io::fixed(solve_seconds, 3) << "s ["
+            << core::kernels::index_mode_name(core::kernels::index_mode())
+            << "]\n";
   return 0;
 }
 
@@ -298,6 +322,7 @@ int cmd_serve_replay(io::Args& args) {
   config.max_batch = static_cast<std::size_t>(args.get_int("batch", 256));
   const double churn = args.get_double("churn", 0.01);
   rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2011)));
+  apply_index_flag(args);
   args.finish();
   if (users == 0 || churn < 0.0 || churn > 1.0) {
     throw ParseError("serve-replay: need --users > 0 and --churn in [0, 1]");
@@ -386,6 +411,14 @@ int cmd_serve_replay(io::Args& args) {
   table.add_row({"solve p50 (s)", io::fixed(m.solve_p50_seconds, 5)});
   table.add_row({"solve p99 (s)", io::fixed(m.solve_p99_seconds, 5)});
   table.add_row({"solve total (s)", io::fixed(m.total_solve_seconds, 3)});
+  table.add_row({"index mode",
+                 core::kernels::index_mode_name(core::kernels::index_mode())});
+  table.add_row({"spatial queries", std::to_string(m.spatial_queries)});
+  table.add_row({"spatial points touched",
+                 std::to_string(m.spatial_points_touched)});
+  table.add_row({"spatial incremental updates",
+                 std::to_string(m.spatial_incremental_updates)});
+  table.add_row({"spatial rebuilds", std::to_string(m.spatial_rebuilds)});
   table.print(std::cout);
 
   io::Table spans({"span", "count", "total (s)", "mean (s)", "max (s)"});
@@ -718,6 +751,7 @@ int cmd_serve_net(io::Args& args) {
   serve::ServiceConfig service_config;
   service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
   service_config.radius = args.get_double("radius", 1.0);
+  apply_index_flag(args);
   args.finish();
   if (listen && !connect_host.empty()) {
     throw ParseError("serve-net: --listen and --connect are exclusive");
