@@ -4,9 +4,10 @@
 // plus a churn thread so every run also crosses the mutation path.
 //
 // Two parts:
-//   1. A sweep over --sweep-loops x --sweep-clients (default
-//      {1,2,4,8} x {1,4}) on a small warm instance — the scaling story
-//      of the per-loop refactor.
+//   1. A sweep over --sweep-loops x --sweep-store-shards x
+//      --sweep-clients (default {1,2,4,8} x {1,4} x {1,4}) on a small
+//      warm instance — the scaling story of the per-loop refactor
+//      crossed with the region-sharded store.
 //   2. A large-instance scenario (--big-users, default 1,000,000) with
 //      sustained churn at --big-loops, showing the front end holding a
 //      production-sized population (seed + full-solve warm-up timed
@@ -61,6 +62,7 @@ struct Scenario {
   std::size_t clients = 4;
   std::size_t users = 200;
   std::size_t k = 4;
+  std::size_t store_shards = 1;
   std::size_t window = 32;
   double seconds = 2.0;
   std::chrono::milliseconds churn_period{50};
@@ -138,6 +140,7 @@ RunResult run_scenario(const Scenario& sc) {
 
   serve::ServiceConfig service_config;
   service_config.k = sc.k;
+  service_config.store_shards = sc.store_shards;
   service_config.queue_capacity =
       std::max<std::size_t>(1024, sc.clients * sc.window * 4 + 64);
   net::NetServerConfig net_config;
@@ -263,17 +266,19 @@ RunResult run_scenario(const Scenario& sc) {
 
 void print_result(const char* tag, const RunResult& r) {
   std::printf(
-      "%s loops=%zu clients=%zu users=%zu window=%zu accept=%s: "
+      "%s loops=%zu shards=%zu clients=%zu users=%zu window=%zu accept=%s: "
       "%llu ok, %llu failed in %.2fs -> %.0f req/s "
       "(p50 %.1f us, p99 %.1f us, %llu churn ops)\n",
-      tag, r.scenario.loops, r.scenario.clients, r.scenario.users,
-      r.scenario.window, r.accept, static_cast<unsigned long long>(r.ok),
+      tag, r.scenario.loops, r.scenario.store_shards, r.scenario.clients,
+      r.scenario.users, r.scenario.window, r.accept,
+      static_cast<unsigned long long>(r.ok),
       static_cast<unsigned long long>(r.bad), r.elapsed, r.rps, r.p50 * 1e6,
       r.p99 * 1e6, static_cast<unsigned long long>(r.mutations));
 }
 
 void emit_run(std::ostream& out, const RunResult& r, const char* indent) {
   out << indent << "{\"loops\": " << r.scenario.loops
+      << ", \"store_shards\": " << r.scenario.store_shards
       << ", \"clients\": " << r.scenario.clients
       << ", \"users\": " << r.scenario.users
       << ", \"pipeline_window\": " << r.scenario.window << ", \"accept\": \""
@@ -347,6 +352,8 @@ int main(int argc, char** argv) try {
       parse_list(args.get_string("sweep-loops", "1,2,4,8"));
   const std::vector<std::size_t> sweep_clients =
       parse_list(args.get_string("sweep-clients", "1,4"));
+  const std::vector<std::size_t> sweep_shards =
+      parse_list(args.get_string("sweep-store-shards", "1,4"));
   const double seconds = args.get_double("seconds", 2.0);
   const std::size_t users = static_cast<std::size_t>(args.get_int("users", 200));
   const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
@@ -358,6 +365,13 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(args.get_int("big-loops", 4));
   const std::size_t big_clients =
       static_cast<std::size_t>(args.get_int("big-clients", 2));
+  // The big run defaults to one store shard: region groups replace the
+  // solver's own fine-grained split, and at --big-users a handful of
+  // 250k-row groups is a much slower solve on one core — sweep shards
+  // on the small instance, keep the large instance comparable across
+  // bench history. --big-store-shards opts in on a multi-core box.
+  const std::size_t big_shards =
+      static_cast<std::size_t>(args.get_int("big-store-shards", 1));
   const double big_seconds = args.get_double("big-seconds", 10.0);
   const double big_churn_ms = args.get_double("big-churn-ms", 3000.0);
   const std::string out_path = args.get_string("out", "BENCH_net.json");
@@ -369,16 +383,19 @@ int main(int argc, char** argv) try {
 
   std::vector<RunResult> sweep;
   for (const std::size_t loops : sweep_loops) {
-    for (const std::size_t clients : sweep_clients) {
-      Scenario sc;
-      sc.loops = loops;
-      sc.clients = clients;
-      sc.users = users;
-      sc.k = k;
-      sc.window = window;
-      sc.seconds = seconds;
-      sweep.push_back(run_scenario(sc));
-      print_result("sweep", sweep.back());
+    for (const std::size_t shards : sweep_shards) {
+      for (const std::size_t clients : sweep_clients) {
+        Scenario sc;
+        sc.loops = loops;
+        sc.clients = clients;
+        sc.users = users;
+        sc.k = k;
+        sc.store_shards = shards;
+        sc.window = window;
+        sc.seconds = seconds;
+        sweep.push_back(run_scenario(sc));
+        print_result("sweep", sweep.back());
+      }
     }
   }
 
@@ -393,6 +410,7 @@ int main(int argc, char** argv) try {
     sc.clients = big_clients;
     sc.users = big_users;
     sc.k = k;
+    sc.store_shards = big_shards;
     sc.window = window;
     sc.seconds = big_seconds;
     sc.churn_period =
@@ -423,8 +441,8 @@ int main(int argc, char** argv) try {
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"net\",\n"
       << "  \"scenario\": \"loopback query_placement (pipelined) with "
-         "background churn; loops x clients sweep + large-instance "
-         "churn run\",\n"
+         "background churn; loops x store-shards x clients sweep + "
+         "large-instance churn run\",\n"
       << "  \"box\": {\"cpus\": " << cpus << ", \"model\": \"" << cpu_model()
       << "\"},\n"
       << "  \"config\": {\"sweep_users\": " << users << ", \"k\": " << k

@@ -5,6 +5,11 @@
 //   sharded-full        PlacementService forced to a full sharded solve
 //   sharded-incremental PlacementService warm-refining from the last centers
 //
+// The incremental strategy is additionally swept over region-shard
+// counts {1, 2, 4} (`store_shards` in each result row): at >1 the store
+// is split by spatial region and a churn slot re-solves only the shards
+// it dirtied.
+//
 // A plain timed repro (like perf_kernels): it emits BENCH_serve.json
 // (config + per-strategy slots/sec and per-slot latency percentiles) so
 // CI and the tutorial can diff numbers across machines. slots/sec is
@@ -39,6 +44,7 @@ constexpr double kBoxSide = 4.0;
 struct Row {
   std::size_t n = 0;
   std::string strategy;
+  std::size_t store_shards = 1;
   std::size_t slots = 0;
   double slots_per_sec = 0.0;
   double p50_seconds = 0.0;
@@ -108,22 +114,25 @@ Row summarize(std::size_t n, std::string strategy,
   return row;
 }
 
-serve::ServiceConfig service_config(double full_solve_churn_fraction) {
+serve::ServiceConfig service_config(double full_solve_churn_fraction,
+                                    std::size_t store_shards) {
   serve::ServiceConfig config;
   config.k = kCenters;
   config.radius = kRadius;
   config.full_solve_churn_fraction = full_solve_churn_fraction;
+  config.store_shards = store_shards;
   return config;
 }
 
 /// Times `slots` churn slots against a PlacementService configured with
-/// the given full-solve threshold (0 = always full, 0.05 = incremental).
+/// the given full-solve threshold (0 = always full, 0.05 = incremental)
+/// and region-shard count (1 = monolithic store, the pre-shard layout).
 Row run_service(std::size_t n, std::size_t slots, const char* name,
-                double threshold, double& sink) {
+                double threshold, std::size_t store_shards, double& sink) {
   rnd::Rng rng(7);
   std::vector<serve::UserRecord> users = seed_users(n, rng);
   std::uint64_t next_id = n;
-  serve::PlacementService service(service_config(threshold));
+  serve::PlacementService service(service_config(threshold, store_shards));
   service.apply_add(users);
   sink += service.placement().objective;  // warm: first solve is untimed
 
@@ -140,7 +149,9 @@ Row run_service(std::size_t n, std::size_t slots, const char* name,
     slot_seconds.push_back(
         std::chrono::duration<double>(Clock::now() - start).count());
   }
-  return summarize(n, name, std::move(slot_seconds));
+  Row row = summarize(n, name, std::move(slot_seconds));
+  row.store_shards = store_shards;
+  return row;
 }
 
 Row run_monolithic(std::size_t n, std::size_t slots, double& sink) {
@@ -185,8 +196,8 @@ int main(int argc, char** argv) try {
   std::vector<Row> rows;
   for (const std::size_t n : parse_sizes(n_csv)) {
     Row mono = run_monolithic(n, slots, sink);
-    Row full = run_service(n, slots, "sharded-full", 0.0, sink);
-    Row incr = run_service(n, slots, "sharded-incremental", 0.05, sink);
+    Row full = run_service(n, slots, "sharded-full", 0.0, 1, sink);
+    Row incr = run_service(n, slots, "sharded-incremental", 0.05, 1, sink);
     full.speedup = full.slots_per_sec / mono.slots_per_sec;
     incr.speedup = incr.slots_per_sec / mono.slots_per_sec;
     std::printf("n=%-7zu monolithic %8.2f slots/s | sharded-full %8.2f "
@@ -196,6 +207,19 @@ int main(int argc, char** argv) try {
     rows.push_back(std::move(mono));
     rows.push_back(std::move(full));
     rows.push_back(std::move(incr));
+    // Region-sharded store sweep: the same incremental churn workload
+    // routed through 2 and 4 store shards (each churn slot dirties only
+    // the shards it touches, so the re-solve works a fraction of the
+    // population). store_shards=1 is the "sharded-incremental" row above.
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      Row sharded = run_service(n, slots, "sharded-incremental", 0.05,
+                                shards, sink);
+      sharded.speedup = sharded.slots_per_sec / mono.slots_per_sec;
+      std::printf("n=%-7zu store-shards=%zu incremental %8.2f slots/s "
+                  "(%4.2fx vs monolithic)\n",
+                  n, shards, sharded.slots_per_sec, sharded.speedup);
+      rows.push_back(std::move(sharded));
+    }
   }
   if (sink == -1.0) std::printf("unreachable\n");
 
@@ -206,7 +230,8 @@ int main(int argc, char** argv) try {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"n\": " << r.n << ", \"strategy\": \"" << r.strategy
-        << "\", \"slots_per_sec\": " << r.slots_per_sec
+        << "\", \"store_shards\": " << r.store_shards
+        << ", \"slots_per_sec\": " << r.slots_per_sec
         << ", \"p50_seconds\": " << r.p50_seconds
         << ", \"p99_seconds\": " << r.p99_seconds
         << ", \"speedup_vs_monolithic\": " << r.speedup << "}"

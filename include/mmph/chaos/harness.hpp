@@ -79,6 +79,15 @@ struct WalChaosOptions {
   std::size_t operations = 80;  ///< scripted direct-API ops per schedule
 };
 
+struct StoreShardChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t operations = 80;  ///< scripted direct-API ops per schedule
+  /// Store shards (and WAL segments). 1 exercises the legacy root-dir
+  /// layout through the coordinator; >1 the per-shard dirs, the routed
+  /// batch planner, and the cross-shard commit barrier.
+  std::size_t shards = 4;
+};
+
 /// Seed-derived schedules (exposed so tests can inspect/override them).
 [[nodiscard]] FaultPlan serve_plan_for_seed(std::uint64_t seed);
 [[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed);
@@ -87,6 +96,7 @@ struct WalChaosOptions {
 [[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed,
                                           std::size_t loops);
 [[nodiscard]] FaultPlan wal_plan_for_seed(std::uint64_t seed);
+[[nodiscard]] FaultPlan store_shard_plan_for_seed(std::uint64_t seed);
 
 /// Direct-API chaos: PlacementService + RequestBatcher under the four
 /// serve fault sites, pump-driven (no sockets, no threads).
@@ -100,5 +110,16 @@ struct WalChaosOptions {
 /// filesystem under the wal.* fault sites, then crash-clone + recover.
 /// Invariant: recovered store == pre-crash store, bitwise.
 [[nodiscard]] ChaosResult run_wal_chaos(const WalChaosOptions& options);
+
+/// Sharded-store durability chaos: a region-sharded PlacementService
+/// behind a ShardedWal coordinator over one MemFileOps filesystem, under
+/// the wal.*, wal.barrier.*, and store.shard.* fault sites, then
+/// crash-clone + recover_sharded. Invariants: every shard recovers clean,
+/// each recovered shard == its live store shard *bitwise*
+/// (snapshot_digest), the recovered global epoch equals the live epoch,
+/// and a service restored from the recovery solves to the bit-identical
+/// placement.
+[[nodiscard]] ChaosResult run_store_shard_chaos(
+    const StoreShardChaosOptions& options);
 
 }  // namespace mmph::chaos

@@ -15,9 +15,13 @@
 /// waiting for its reply, up to pipeline_window frames in flight, and
 /// drain_one() blocks for the oldest outstanding reply (the server
 /// answers each connection strictly FIFO). Pipelining trades the retry
-/// safety net for throughput: a transport failure mid-pipeline abandons
-/// every in-flight request and throws, because the client cannot know
-/// which of them the server executed.
+/// safety net for throughput: a transport failure mid-pipeline fails
+/// every in-flight request, because the client cannot know which of them
+/// the server executed. Failed slots are NOT silently dropped — each one
+/// still gets exactly one drain_one() completion, a synthesized response
+/// with status kConnectionLost, so a bulk loader can tell "request i
+/// definitely answered" from "request i in limbo" without bookkeeping of
+/// its own.
 ///
 /// Thread compatibility: one NetClient per thread. Calls serialize on the
 /// single connection; there is no cross-thread locking by design — load
@@ -79,20 +83,25 @@ class NetClient {
   /// waiting for the reply. At most pipeline_window requests may be in
   /// flight; exceeding it throws InvalidArgument (drain first). Unlike
   /// the blocking calls there is NO reconnect-retry: a transport failure
-  /// throws NetError and abandons every in-flight request. Blocking
+  /// throws NetError and moves every in-flight request to the aborted
+  /// queue, where drain_one() answers each with kConnectionLost. Blocking
   /// calls require an empty pipeline (InvalidArgument otherwise) — the
   /// two modes must not interleave on one connection.
   std::uint64_t pipeline_add_users(std::vector<serve::UserRecord> users);
   std::uint64_t pipeline_remove_users(std::vector<std::uint64_t> ids);
   std::uint64_t pipeline_query_placement();
   std::uint64_t pipeline_evaluate(const geo::PointSet& centers);
-  /// Blocks for the oldest in-flight reply (FIFO). \throws NetError on
-  /// transport/decode failure (pipeline abandoned), InvalidArgument when
+  /// Blocks for the oldest in-flight reply (FIFO). Requests whose
+  /// connection died are served first (they are oldest by construction),
+  /// as synthesized kConnectionLost responses — never dropped, never
+  /// answered twice. \throws NetError on transport/decode failure (the
+  /// remaining pipeline moves to the aborted queue), InvalidArgument when
   /// nothing is in flight.
   [[nodiscard]] ResponseFrame drain_one();
-  /// Pipelined requests sent but not yet drained.
+  /// Pipelined requests not yet drained, including aborted ones still
+  /// awaiting their kConnectionLost completion.
   [[nodiscard]] std::size_t inflight() const noexcept {
-    return inflight_.size();
+    return aborted_.size() + inflight_.size();
   }
 
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
@@ -124,6 +133,10 @@ class NetClient {
   std::uint64_t reconnects_ = 0;
   /// Request ids sent via pipeline_*() and not yet drained, oldest first.
   std::deque<std::uint64_t> inflight_;
+  /// Ids whose connection died before their reply arrived, oldest first.
+  /// drain_one() answers these with kConnectionLost before touching the
+  /// socket; they predate everything in inflight_ by construction.
+  std::deque<std::uint64_t> aborted_;
 };
 
 }  // namespace mmph::net

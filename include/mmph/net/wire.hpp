@@ -83,6 +83,11 @@ enum class WireStatus : std::uint8_t {
   kOverloaded = 4,     ///< connection shed by the max-connections policy
   kBadRequest = 5,     ///< frame rejected by decoder or request validation
   kInternalError = 6,  ///< server-side failure while processing
+  /// Client-synthesized only: the connection died while this pipelined
+  /// request was in flight, so whether the server executed it is unknown.
+  /// Never sent on the wire — the decoder rejects the value (a server
+  /// cannot claim a connection it is answering on was lost).
+  kConnectionLost = 7,
 };
 
 /// Every way a frame can fail to decode. kNeedMoreData is the only

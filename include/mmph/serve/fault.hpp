@@ -73,4 +73,19 @@ inline constexpr std::string_view kFaultWalFsyncFail = "wal.fsync_fail";
 /// observable mmph_repl_lag_ops gauge.
 inline constexpr std::string_view kFaultReplicaLag = "replica.lag";
 
+// --- fault-site catalog (region-sharded store) ------------------------------
+// Fired by PlacementService when the store runs with --store-shards > 1.
+
+/// Routing a batch of mutations to store shards throws std::bad_alloc
+/// *before* any WAL append or store mutation -> kInternalError for the
+/// batch's mutations, store and log untouched.
+inline constexpr std::string_view kFaultStoreShardAllocFail =
+    "store.shard.alloc_fail";
+/// The cross-shard group-commit barrier (ShardedWal::commit_all) fails at
+/// one shard's fsync -> every shard's writer is poisoned (poison-all
+/// discipline: a half-committed barrier must not ack), mutations answer
+/// kInternalError.
+inline constexpr std::string_view kFaultWalBarrierFsyncFail =
+    "wal.barrier.fsync_fail";
+
 }  // namespace mmph::serve

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "mmph/obs/registry.hpp"
 #include "mmph/spatial/spatial_index.hpp"
@@ -83,6 +84,19 @@ class ServeMetrics {
   /// registered up front, so they scrape as 0 when no index is in use.
   void add_spatial(const spatial::IndexStats& delta);
 
+  /// Registers the per-store-shard instrument families (one labeled
+  /// series per shard, the net-loop idiom). Called once by the service
+  /// when it runs with store_shards > 1; never called -> none of the
+  /// mmph_store_shard_* families appear in scrapes, keeping the
+  /// single-store exposition byte-identical to before.
+  void configure_store_shards(std::size_t shards);
+  /// Mutations routed to store shard \p shard (no-op until configured).
+  void count_shard_mutations(std::size_t shard, std::uint64_t n);
+  /// Live row count of store shard \p shard (no-op until configured).
+  void set_shard_rows(std::size_t shard, std::size_t rows);
+  /// Loop->shard affinity of a routed mutation (no-op until configured).
+  void count_affinity(bool hit);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Underlying registry, for Prometheus-style exposition (kStats scrape).
@@ -113,6 +127,11 @@ class ServeMetrics {
   obs::Counter* spatial_updates_;
   obs::Counter* spatial_rebuilds_;
   obs::Histogram* solve_seconds_;
+  /// Per-store-shard series; empty until configure_store_shards().
+  std::vector<obs::Counter*> shard_mutations_;
+  std::vector<obs::Gauge*> shard_rows_;
+  obs::Counter* affinity_hits_ = nullptr;
+  obs::Counter* affinity_misses_ = nullptr;
 };
 
 }  // namespace mmph::serve

@@ -49,9 +49,11 @@
 #include "mmph/serve/request.hpp"
 #include "mmph/serve/request_batcher.hpp"
 #include "mmph/serve/sharded_solver.hpp"
+#include "mmph/serve/sharded_store.hpp"
 #include "mmph/sim/warm_start.hpp"
 #include "mmph/spatial/uniform_grid.hpp"
 #include "mmph/wal/record.hpp"
+#include "mmph/wal/sharded_wal.hpp"
 #include "mmph/wal/snapshot.hpp"
 #include "mmph/wal/writer.hpp"
 
@@ -86,8 +88,27 @@ struct ServiceConfig {
   /// the log *before* it touches the store and committed before the
   /// batch's replies go out, so a kOk ack implies the op is logged as
   /// durably as the writer's fsync policy promises. Must outlive the
-  /// service. Null: no durability (the pre-WAL behavior).
+  /// service. Null: no durability (the pre-WAL behavior). Only valid
+  /// with store_shards == 1; sharded stores attach shard_wal instead.
   wal::WalWriter* wal = nullptr;
+
+  /// Region shards the InstanceStore is split into (>= 1). 1 is the
+  /// bit-identity mode: one store shard receiving exactly the unsharded
+  /// call sequence (the --store-shards 1 golden-digest discipline, like
+  /// --loops 1). > 1 partitions users by interest-space region
+  /// (spatial::RegionMap over grid cells of edge region_cell): mutations
+  /// route to their region's shard, full solves run per shard and merge
+  /// globally, and durability goes through the per-shard shard_wal.
+  /// Replication endpoints are rejected while sharded (follow-on).
+  std::size_t store_shards = 1;
+  /// Region cell edge for the store's RegionMap; 0 selects `radius`.
+  double region_cell = 0.0;
+
+  /// Per-shard WAL coordinator for sharded stores (mutually exclusive
+  /// with `wal`; shard_count must equal store_shards; must outlive the
+  /// service). Appends stay append-before-apply per shard; the batch
+  /// ack barrier is ShardedWal::commit_all. Null: no durability.
+  wal::ShardedWal* shard_wal = nullptr;
 };
 
 /// The answer to "where are the centers right now".
@@ -128,8 +149,17 @@ class PlacementService {
   /// snapshot (placement history is dropped; the next query re-solves).
   /// With a WAL attached the snapshot is also checkpointed, aligning the
   /// log with the new state. \throws InvalidArgument on a dimension or
-  /// epoch mismatch, wal::WalError when the checkpoint cannot be written.
+  /// epoch mismatch, wal::WalError when the checkpoint cannot be written,
+  /// StateError with store_shards > 1 (use restore_sharded: one global
+  /// epoch cannot reconstruct per-shard chains).
   void restore_from(const wal::WalSnapshot& snapshot);
+
+  /// Boot-time install of a sharded recovery result: shard s's rows and
+  /// epoch land in store shard s, and (with shard_wal attached) each
+  /// non-empty shard is re-checkpointed so its log chains from the
+  /// installed state. \throws InvalidArgument on a shard-count or
+  /// dimension mismatch.
+  void restore_sharded(const wal::ShardedRecovery& recovered);
 
   /// Applies one replicated log record (replica ingest path; works even
   /// in read-only mode). The record's epoch must continue the store's
@@ -141,8 +171,27 @@ class PlacementService {
   /// and what kReplSnapshot streams).
   [[nodiscard]] wal::WalSnapshot wal_snapshot();
 
-  /// Attached log writer; null when running without durability.
+  /// One store shard's rows and epoch as a WAL snapshot — the unit the
+  /// per-shard logs checkpoint and recovery restores. \throws
+  /// InvalidArgument when \p s >= store_shards().
+  [[nodiscard]] wal::WalSnapshot shard_wal_snapshot(std::size_t s);
+
+  /// Attached single log writer; null when running without durability
+  /// *and* when the store is sharded (replication streams off this
+  /// writer, and sharded replication is a follow-on — the server rejects
+  /// kReplSubscribe whenever this is null).
   [[nodiscard]] wal::WalWriter* wal() const noexcept { return config_.wal; }
+
+  /// Attached per-shard WAL coordinator; null unless store_shards > 1
+  /// ran with durability.
+  [[nodiscard]] wal::ShardedWal* shard_wal() const noexcept {
+    return config_.shard_wal;
+  }
+
+  /// Region shards the store runs with (config().store_shards).
+  [[nodiscard]] std::size_t store_shards() const noexcept {
+    return store_.shard_count();
+  }
 
   /// Publishes the replica's current lag (mmph_repl_lag_ops gauge).
   /// Called by net::ReplicaAgent; thread-safe (atomic gauge).
@@ -195,7 +244,15 @@ class PlacementService {
   void publish_spatial_locked();
   void commit_wal_locked();
   void maybe_snapshot_locked();
+  void poison_wal_locked(const std::string& reason);
+  /// Single writer serving shard 0 in unsharded mode (config_.wal, or
+  /// the coordinator's writer 0 when shard_wal drives one shard); null
+  /// without durability.
+  [[nodiscard]] wal::WalWriter* single_writer_locked() const;
   [[nodiscard]] wal::WalSnapshot wal_snapshot_locked() const;
+  [[nodiscard]] wal::WalSnapshot shard_wal_snapshot_locked(
+      std::size_t s) const;
+  void count_affinity_locked(const Request& request);
   [[nodiscard]] const PlacementView& solve_locked();
   [[nodiscard]] geo::PointSet incremental_pool_locked() const;
   void process_batch(std::vector<Request> batch);
@@ -206,8 +263,15 @@ class PlacementService {
   ServeMetrics metrics_;
   RequestBatcher batcher_;
 
+  /// Serializes whole pump() passes (pop + process). pop_batch and
+  /// process_batch take different locks, so two loops pumping
+  /// concurrently could otherwise apply batch N+1 before batch N — a
+  /// store/WAL order no client submitted (the multi-loop group-commit
+  /// ordering bug).
+  std::mutex pump_mutex_;
+
   mutable std::mutex mutex_;
-  InstanceStore store_;
+  ShardedInstanceStore store_;
   std::unique_ptr<ShardedSolver> sharded_;
   std::unique_ptr<sim::WarmStartPlanner> planner_;
   std::optional<PlacementView> view_;

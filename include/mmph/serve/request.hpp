@@ -65,6 +65,14 @@ struct Request {
   std::optional<geo::PointSet> centers;          ///< kEvaluate payload
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Event-loop affinity hint stamped by the network front end (the epoll
+  /// loop index that decoded the request). With a region-sharded store
+  /// the service compares hint % store_shards against the shard the
+  /// mutation actually routes to and publishes hit/miss counters — the
+  /// observability groundwork for full loop->shard ownership. kNoShardHint
+  /// (direct API, tests) opts out of the accounting.
+  static constexpr std::uint32_t kNoShardHint = 0xffffffffu;
+  std::uint32_t shard_hint = kNoShardHint;
   std::promise<Response> reply;
 
   [[nodiscard]] static Request add_users(std::vector<UserRecord> users);

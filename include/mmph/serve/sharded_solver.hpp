@@ -22,6 +22,7 @@
 /// share one build (set_shared_index) instead of each deriving their own.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "mmph/core/solution.hpp"
@@ -128,10 +129,22 @@ class ShardedSolver final : public core::Solver {
     shared_index_ = index;
   }
 
+  /// Dictates the shard partition as explicit contiguous [begin, end) row
+  /// ranges over the next solve's problem rows (the region-sharded store
+  /// passes its per-shard ranges so each store shard solves as one unit).
+  /// The ranges must be ascending and cover [0, n) exactly; empty ranges
+  /// (empty store shards) are skipped. An empty vector reverts to the
+  /// computed split. Not thread-safe vs concurrent solves.
+  void set_row_groups(
+      std::vector<std::pair<std::size_t, std::size_t>> groups) noexcept {
+    row_groups_ = std::move(groups);
+  }
+
  private:
   par::ThreadPool& pool_;
   ShardedSolverConfig config_;
   spatial::SpatialIndex* shared_index_ = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> row_groups_;
   mutable geo::PointSet last_candidates_{1};
   mutable ShardStats last_stats_;
 };

@@ -86,6 +86,13 @@ class FileOps {
 /// separator. fsync is a no-op (everything written is already "durable"),
 /// which matches the crash model the recovery invariant is stated under:
 /// a crash preserves every byte a write() reported written.
+///
+/// Directories exist when mkdir() created them or when a file lives
+/// inside them (files planted by set_file_bytes imply their directory,
+/// which keeps older tests working). list() on a directory that exists
+/// by neither rule fails with ENOENT, exactly like opendir — so the
+/// missing-dir vs. empty-dir distinction recovery reports is testable
+/// in memory.
 class MemFileOps final : public FileOps {
  public:
   int open(const std::string& path, OpenMode mode) override;
@@ -120,8 +127,11 @@ class MemFileOps final : public FileOps {
     std::size_t pos = 0;
   };
 
+  [[nodiscard]] bool dir_exists_locked(const std::string& dir) const;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<std::uint8_t>> files_;
+  std::map<std::string, bool> dirs_;  ///< mkdir'd paths (set semantics)
   std::map<int, OpenFile> open_files_;
   int next_fd_ = 1000;
 };

@@ -53,6 +53,12 @@ struct RecoveryResult {
   /// tail (mid-file CRC failure, broken epoch chain). The store is still
   /// a consistent historical state, just possibly not the newest one.
   bool clean = true;
+  /// True when the directory existed (even empty). Distinguishes
+  /// "fresh start because the dir is missing" from "fresh start from an
+  /// existing dir that holds no log" — wal-recover and serve-net startup
+  /// report the same value, so the two tools cannot disagree about which
+  /// case they saw.
+  bool dir_found = false;
   /// Human-readable note about why clean == false (empty otherwise).
   std::string detail;
 };

@@ -19,6 +19,7 @@
 #include "mmph/random/pcg64.hpp"
 #include "mmph/serve/placement_service.hpp"
 #include "mmph/wal/recovery.hpp"
+#include "mmph/wal/sharded_wal.hpp"
 #include "mmph/wal/snapshot.hpp"
 #include "mmph/wal/writer.hpp"
 
@@ -711,6 +712,161 @@ ChaosResult run_wal_chaos(const WalChaosOptions& options) {
           wal::snapshot_digest(prefix.store)) {
         return fail("torn-tail recovery diverged from the op-prefix replay");
       }
+    }
+  }
+
+  result.faults_fired = total_fired(injector);
+  return result;
+}
+
+FaultPlan store_shard_plan_for_seed(std::uint64_t seed) {
+  rnd::Pcg64 rng(seed ^ kPlanStream);
+  FaultPlan plan;
+  plan.seed = seed;
+  // short_write is retry-shaped (records still complete), fsync_fail and
+  // the barrier site poison the writer set at commit time — *after* the
+  // batch applied and its records' bytes were written, so recovered ==
+  // live stays exact. torn_record is deliberately absent: a record torn
+  // mid-append in a multi-shard batch leaves durable-but-unapplied
+  // records in the shards appended before the tear (the documented
+  // unacked-may-survive case), which is legal but not bitwise-comparable
+  // to the live store. The single-shard wal sweep owns tearing coverage.
+  plan.with(serve::kFaultWalShortWrite,
+            kMaxRetryProbability * rng.next_double());
+  plan.with(serve::kFaultWalFsyncFail, 0.02 * rng.next_double());
+  plan.with(serve::kFaultWalBarrierFsyncFail, 0.02 * rng.next_double());
+  // Fires before any append or mutation: the batch fails as a unit and
+  // the run keeps going with nothing to reconcile.
+  plan.with(serve::kFaultStoreShardAllocFail, 0.10 * rng.next_double());
+  return plan;
+}
+
+ChaosResult run_store_shard_chaos(const StoreShardChaosOptions& options) {
+  ChaosResult result;
+  result.seed = options.seed;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.message = describe(options.seed, what);
+    return result;
+  };
+
+  Injector injector(store_shard_plan_for_seed(options.seed));
+  wal::MemFileOps mem;
+  FaultyFileOps faulty(injector, mem);
+
+  wal::WalConfig base;
+  base.dir = "wal";
+  base.fsync = wal::FsyncPolicy::kGroupCommit;  // see run_wal_chaos
+  base.snapshot_every_ops = 24;  // per-shard checkpoints + prunes mid-run
+  base.file_ops = &faulty;
+  wal::ShardedWal coordinator(base, options.shards, wal::ShardedRecovery{},
+                              injector.hook());
+
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 4;
+  config.radius = 0.3;
+  config.full_solve_churn_fraction = 0.0;  // see run_serve_chaos
+  config.store_shards = options.shards;
+  config.shard_wal = &coordinator;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  rnd::Pcg64 rng(options.seed ^ kWorkloadStream);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+
+  for (std::size_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind >= 9) {  // keep the merged sharded solve in the loop
+      (void)service.placement();
+      continue;
+    }
+    std::vector<serve::UserRecord> users;
+    std::vector<std::uint64_t> ids;
+    if (kind < 6 || live.empty()) {  // add 1..4 users (some are region moves)
+      const std::size_t count = 1 + rng.next_below(4);
+      for (std::size_t j = 0; j < count; ++j) {
+        const bool reuse = !live.empty() && rng.next_below(10) < 3;
+        const std::uint64_t id =
+            reuse ? live[rng.next_below(live.size())] : next_id++;
+        if (!reuse) live.push_back(id);
+        users.push_back(make_user(id, rng));  // fresh coords: often a move
+      }
+    } else {  // remove 1..2 ids (sometimes unknown)
+      const std::size_t count = 1 + rng.next_below(2);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (rng.next_below(10) < 8) {
+          const std::size_t at = rng.next_below(live.size());
+          ids.push_back(live[at]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+        } else {
+          ids.push_back(0xDEAD0000ull + rng.next_below(64));
+        }
+        if (live.empty()) break;
+      }
+    }
+    try {
+      if (!users.empty()) {
+        service.apply_add(users);
+      } else {
+        service.apply_remove(ids);
+      }
+    } catch (const wal::WalError&) {
+      // Barrier/fsync death: the batch applied, its records are durable,
+      // the log set is poisoned. Later appends refuse with the store
+      // untouched, so the run just coasts on a dead log.
+    } catch (const std::bad_alloc&) {
+      // store.shard.alloc_fail: fired before any append or mutation.
+    }
+    ++result.requests;
+  }
+
+  // Crash: clone the filesystem as-is, recover every shard independently.
+  const wal::WalSnapshot live_image = service.wal_snapshot();
+  const std::unique_ptr<wal::MemFileOps> crashed = mem.clone();
+  const wal::ShardedRecovery recovered =
+      wal::recover_sharded(base.dir, options.shards, 2, *crashed);
+
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    const wal::RecoveryResult& part = recovered.shards[s];
+    if (!part.clean) {
+      std::ostringstream out;
+      out << "shard " << s << " recovery not clean: " << part.detail;
+      return fail(out.str());
+    }
+    // Per-shard bitwise invariant: same rows, same order, same epoch.
+    const wal::WalSnapshot live_shard = service.shard_wal_snapshot(s);
+    if (wal::snapshot_digest(part.store) != wal::snapshot_digest(live_shard)) {
+      std::ostringstream out;
+      out << "shard " << s << " diverged bitwise from the live store shard";
+      return fail(out.str());
+    }
+  }
+  // Global invariant: the per-shard epochs sum back to the live epoch...
+  if (recovered.global_epoch != live_image.epoch) {
+    std::ostringstream out;
+    out << "recovered global epoch " << recovered.global_epoch
+        << " != live epoch " << live_image.epoch;
+    return fail(out.str());
+  }
+  // ...and a service restored from the recovery is the same service: the
+  // global snapshot and the merged solve both match bit for bit.
+  serve::ServiceConfig resumed_config = config;
+  resumed_config.shard_wal = nullptr;
+  resumed_config.fault_hook = {};
+  serve::PlacementService resumed(resumed_config);
+  resumed.restore_sharded(recovered);
+  if (wal::snapshot_digest(resumed.wal_snapshot()) !=
+      wal::snapshot_digest(live_image)) {
+    return fail("restored service diverged bitwise from the live store");
+  }
+  if (!service.wal_snapshot().ids.empty()) {
+    const serve::PlacementView want = service.placement();
+    const serve::PlacementView got = resumed.placement();
+    if (got.objective != want.objective ||
+        !same_centers(got.solution.centers, want.solution.centers)) {
+      return fail("restored service solved to a different placement");
     }
   }
 

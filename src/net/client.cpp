@@ -25,7 +25,15 @@ NetClient::~NetClient() { disconnect(); }
 void NetClient::disconnect() noexcept {
   sock_.close();
   decoder_ = FrameDecoder{};  // a fresh connection needs a fresh stream
-  inflight_.clear();          // their replies died with the connection
+  // Their replies died with the connection, but the *slots* must not:
+  // every pipelined id still owes its caller exactly one completion.
+  // Park them for drain_one() to answer with kConnectionLost instead of
+  // silently dropping them (the old behavior, which left bulk loaders
+  // unable to tell which requests were ever answered).
+  while (!inflight_.empty()) {
+    aborted_.push_back(inflight_.front());
+    inflight_.pop_front();
+  }
 }
 
 void NetClient::ensure_connected() {
@@ -97,7 +105,9 @@ std::uint64_t NetClient::pipeline_evaluate(const geo::PointSet& centers) {
 }
 
 std::uint64_t NetClient::pipeline_send(RequestFrame frame) {
-  MMPH_REQUIRE(inflight_.size() < config_.pipeline_window,
+  // Aborted-but-undrained slots count against the window: the caller must
+  // collect their kConnectionLost completions before refilling.
+  MMPH_REQUIRE(aborted_.size() + inflight_.size() < config_.pipeline_window,
                "NetClient: pipeline window full — drain_one() first");
   frame.request_id = next_request_id_++;
   std::vector<std::uint8_t> bytes;
@@ -119,8 +129,20 @@ std::uint64_t NetClient::pipeline_send(RequestFrame frame) {
 }
 
 ResponseFrame NetClient::drain_one() {
-  MMPH_REQUIRE(!inflight_.empty(),
+  MMPH_REQUIRE(!aborted_.empty() || !inflight_.empty(),
                "NetClient: drain_one with no requests in flight");
+  // Aborted slots are strictly older than anything live (they were in
+  // flight when the connection died; later sends went out afterwards), so
+  // FIFO order means answering them first. Synthesized locally — the
+  // server's reply, if it ever made one, is unreachable on the old
+  // connection.
+  if (!aborted_.empty()) {
+    ResponseFrame lost;
+    lost.request_id = aborted_.front();
+    lost.status = WireStatus::kConnectionLost;
+    aborted_.pop_front();
+    return lost;
+  }
   const std::uint64_t want_id = inflight_.front();
   const auto deadline = Clock::now() + config_.recv_timeout;
   std::uint8_t chunk[kRecvChunk];
@@ -165,9 +187,9 @@ ResponseFrame NetClient::drain_one() {
 }
 
 ResponseFrame NetClient::roundtrip(RequestFrame frame) {
-  MMPH_REQUIRE(inflight_.empty(),
+  MMPH_REQUIRE(aborted_.empty() && inflight_.empty(),
                "NetClient: blocking call while pipelined requests are in "
-               "flight — drain them first");
+               "flight or awaiting abort completions — drain them first");
   frame.request_id = next_request_id_++;
   std::vector<std::uint8_t> bytes;
   encode_request(frame, bytes);  // throws InvalidArgument on limit abuse

@@ -521,6 +521,10 @@ bool NetServer::read_and_stage(Loop& loop, Connection& conn) {
         continue;  // unreachable: all handled or rejected above
     }
     request.deadline = arrival + config_.request_deadline;
+    // Loop-affinity probe: the owning loop's index rides along so the
+    // sharded store can report how often a loop's requests land on "its"
+    // shard (hint % shards) — a routing-quality signal, never a router.
+    request.shard_hint = static_cast<std::uint32_t>(loop.index);
 
     conn.staged.push_back(std::move(request));
     conn.staged_meta.push_back({frame.request_id, arrival});

@@ -141,6 +141,7 @@ const char* to_string(WireStatus status) noexcept {
     case WireStatus::kOverloaded: return "kOverloaded";
     case WireStatus::kBadRequest: return "kBadRequest";
     case WireStatus::kInternalError: return "kInternalError";
+    case WireStatus::kConnectionLost: return "kConnectionLost";
   }
   return "WireStatus(?)";
 }
@@ -462,6 +463,8 @@ FrameDecoder::Result FrameDecoder::next() {
       result.response.epoch = body.u64();
       result.response.objective = body.f64();
       if (!body.ok()) return fail(DecodeStatus::kMalformedPayload);
+      // kConnectionLost is deliberately above the cut: it is synthesized
+      // by the client for locally-failed slots, never decoded off a wire.
       if (status > static_cast<std::uint8_t>(WireStatus::kInternalError) ||
           flags > 3) {
         return fail(DecodeStatus::kMalformedPayload);

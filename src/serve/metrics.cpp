@@ -1,5 +1,7 @@
 #include "mmph/serve/metrics.hpp"
 
+#include <string>
+
 namespace mmph::serve {
 
 ServeMetrics::ServeMetrics()
@@ -45,6 +47,41 @@ ServeMetrics::ServeMetrics()
                                            "index bulk (re)builds")),
       solve_seconds_(&registry_.histogram("mmph_serve_solve_seconds",
                                           "placement solve latency")) {}
+
+void ServeMetrics::configure_store_shards(std::size_t shards) {
+  if (!shard_mutations_.empty()) return;  // idempotent
+  shard_mutations_.reserve(shards);
+  shard_rows_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    shard_mutations_.push_back(
+        &registry_.counter("mmph_store_shard_mutations_total" + label,
+                           "mutations routed to each store shard"));
+    shard_rows_.push_back(&registry_.gauge("mmph_store_shard_rows" + label,
+                                           "live rows per store shard"));
+  }
+  affinity_hits_ = &registry_.counter(
+      "mmph_store_shard_affinity_hits_total",
+      "mutations whose event loop mapped to their store shard");
+  affinity_misses_ = &registry_.counter(
+      "mmph_store_shard_affinity_misses_total",
+      "mutations routed across the loop->shard mapping");
+}
+
+void ServeMetrics::count_shard_mutations(std::size_t shard, std::uint64_t n) {
+  if (shard < shard_mutations_.size()) shard_mutations_[shard]->add(n);
+}
+
+void ServeMetrics::set_shard_rows(std::size_t shard, std::size_t rows) {
+  if (shard < shard_rows_.size()) {
+    shard_rows_[shard]->set(static_cast<double>(rows));
+  }
+}
+
+void ServeMetrics::count_affinity(bool hit) {
+  if (affinity_hits_ == nullptr) return;
+  (hit ? affinity_hits_ : affinity_misses_)->add();
+}
 
 void ServeMetrics::add_spatial(const spatial::IndexStats& delta) {
   spatial_queries_->add(delta.queries);

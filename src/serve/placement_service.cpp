@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <new>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -36,20 +38,42 @@ class SharedSolverAdapter final : public core::Solver {
   const ShardedSolver* inner_;
 };
 
+/// Region cell for the store's RegionMap, validating radius first so the
+/// member initializer cannot hit RegionMap's own check with a confusing
+/// message.
+double region_cell_for(const ServiceConfig& config) {
+  MMPH_REQUIRE(config.radius > 0.0,
+               "PlacementService: radius must be positive");
+  return config.region_cell > 0.0 ? config.region_cell : config.radius;
+}
+
 }  // namespace
 
 PlacementService::PlacementService(ServiceConfig config, par::ThreadPool* pool)
     : config_(config),
       pool_(pool != nullptr ? *pool : par::ThreadPool::global()),
       batcher_(config.queue_capacity, &metrics_, config.fault_hook),
-      store_(config.dim) {
+      store_(config.dim, std::max<std::size_t>(config.store_shards, 1),
+             region_cell_for(config)) {
   MMPH_REQUIRE(config_.k >= 1, "PlacementService: k must be >= 1");
   MMPH_REQUIRE(config_.radius > 0.0,
                "PlacementService: radius must be positive");
+  MMPH_REQUIRE(config_.store_shards >= 1,
+               "PlacementService: store_shards must be >= 1");
   MMPH_REQUIRE(config_.max_batch >= 1,
                "PlacementService: max_batch must be >= 1");
   MMPH_REQUIRE(config_.full_solve_churn_fraction >= 0.0,
                "PlacementService: churn fraction must be >= 0");
+  MMPH_REQUIRE(config_.wal == nullptr || config_.shard_wal == nullptr,
+               "PlacementService: wal and shard_wal are mutually exclusive");
+  MMPH_REQUIRE(config_.wal == nullptr || config_.store_shards == 1,
+               "PlacementService: store_shards > 1 logs through shard_wal");
+  MMPH_REQUIRE(config_.shard_wal == nullptr ||
+                   config_.shard_wal->shard_count() == config_.store_shards,
+               "PlacementService: shard_wal shard count != store_shards");
+  if (config_.store_shards > 1) {
+    metrics_.configure_store_shards(config_.store_shards);
+  }
   sharded_ = std::make_unique<ShardedSolver>(pool_, config_.shard);
   planner_ = std::make_unique<sim::WarmStartPlanner>(
       [this](const core::Problem&) {
@@ -79,10 +103,14 @@ void PlacementService::apply_remove(const std::vector<std::uint64_t>& ids) {
 
 void PlacementService::restore_from(const wal::WalSnapshot& snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (store_.shard_count() != 1) {
+    // One global epoch cannot be split back into per-shard chains.
+    throw StateError("restore_from: sharded store installs via restore_sharded");
+  }
   MMPH_REQUIRE(snapshot.dim == config_.dim,
                "restore_from: snapshot dimension mismatch");
-  store_.restore(snapshot.epoch, snapshot.ids, snapshot.weights,
-                 snapshot.coords);
+  store_.restore_shard(0, snapshot.epoch, snapshot.ids, snapshot.weights,
+                       snapshot.coords);
   // Placement history is about a population that no longer exists.
   view_.reset();
   planner_->reset();
@@ -95,11 +123,45 @@ void PlacementService::restore_from(const wal::WalSnapshot& snapshot) {
   // Checkpoint the installed state so the local log chains from it (for
   // a boot-time restore this re-checkpoints what recovery read; for a
   // replica install it jumps the writer to the primary's epoch).
-  if (config_.wal != nullptr) config_.wal->write_snapshot(snapshot);
+  if (wal::WalWriter* writer = single_writer_locked()) {
+    writer->write_snapshot(snapshot);
+  }
+}
+
+void PlacementService::restore_sharded(const wal::ShardedRecovery& recovered) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MMPH_REQUIRE(recovered.shards.size() == store_.shard_count(),
+               "restore_sharded: recovery shard count != store_shards");
+  for (std::size_t s = 0; s < recovered.shards.size(); ++s) {
+    const wal::WalSnapshot& part = recovered.shards[s].store;
+    if (part.ids.empty() && part.epoch == 0) continue;  // untouched shard
+    MMPH_REQUIRE(part.dim == config_.dim,
+                 "restore_sharded: snapshot dimension mismatch");
+    store_.restore_shard(s, part.epoch, part.ids, part.weights, part.coords);
+  }
+  view_.reset();
+  planner_->reset();
+  churn_since_solve_ = 0;
+  recent_points_.clear();
+  publish_spatial_locked();
+  index_.reset();
+  index_dirty_ = false;
+  if (config_.shard_wal != nullptr) {
+    for (std::size_t s = 0; s < recovered.shards.size(); ++s) {
+      if (recovered.shards[s].store.epoch == 0) continue;
+      config_.shard_wal->writer(s).write_snapshot(recovered.shards[s].store);
+    }
+  }
 }
 
 void PlacementService::apply_replicated(const wal::WalRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (store_.shard_count() != 1) {
+    // A replicated record carries the single-log epoch chain; a sharded
+    // replica would need the per-shard streams (follow-on).
+    throw StateError("apply_replicated: sharded store cannot ingest a "
+                     "single-log stream");
+  }
   if (record.epoch != store_.epoch() + record.count()) {
     throw StateError("apply_replicated: record breaks the epoch chain");
   }
@@ -127,6 +189,13 @@ void PlacementService::apply_replicated(const wal::WalRecord& record) {
 wal::WalSnapshot PlacementService::wal_snapshot() {
   std::lock_guard<std::mutex> lock(mutex_);
   return wal_snapshot_locked();
+}
+
+wal::WalSnapshot PlacementService::shard_wal_snapshot(std::size_t s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MMPH_REQUIRE(s < store_.shard_count(),
+               "shard_wal_snapshot: shard out of range");
+  return shard_wal_snapshot_locked(s);
 }
 
 PlacementView PlacementService::placement() {
@@ -170,6 +239,14 @@ std::vector<std::future<Response>> PlacementService::submit_batch(
 }
 
 std::size_t PlacementService::pump(std::chrono::milliseconds wait) {
+  // One pump at a time, held across pop AND process. Each multi-loop
+  // server loop rides its own pump; pop_batch and process_batch take
+  // different locks, so without this guard loop B could pop batch N+1
+  // and win the race to the store mutex — applying (and WAL-logging)
+  // batch N+1 before batch N, an order no client submitted. The group
+  // commit then acks durability in that inverted order too. Serializing
+  // the whole pass keeps pop order == apply order == log order.
+  std::lock_guard<std::mutex> pump_lock(pump_mutex_);
   std::vector<Request> batch = batcher_.pop_batch(config_.max_batch, wait);
   if (batch.empty()) return 0;
   const std::size_t handled = batch.size();
@@ -201,6 +278,17 @@ ShardStats PlacementService::last_shard_stats() const {
   return sharded_->last_stats();
 }
 
+namespace {
+
+/// One planned store-shard operation of an add batch (batch order
+/// preserved per shard).
+struct PlannedOp {
+  bool upsert = false;       ///< false: the remove half of a region move
+  std::size_t user = 0;      ///< index into the batch's users
+};
+
+}  // namespace
+
 void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
   // Validate the whole batch up front: a batch is atomic — either every
   // row goes in (logged first when a WAL is attached) or the store is
@@ -212,44 +300,137 @@ void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
     MMPH_REQUIRE(user.weight > 0.0, "apply_add: weight must be positive");
   }
   if (users.empty()) return;
-  store_.reserve_rows(users.size());
-  if (config_.wal != nullptr) {
-    wal::WalRecord record;
-    record.type = wal::RecordType::kUpsert;
-    record.dim = static_cast<std::uint16_t>(config_.dim);
-    record.ids.reserve(users.size());
-    record.weights.reserve(users.size());
-    record.coords.reserve(users.size() * config_.dim);
-    for (const UserRecord& user : users) {
-      record.ids.push_back(user.id);
-      record.weights.push_back(user.weight);
-      record.coords.insert(record.coords.end(), user.interest.begin(),
-                           user.interest.end());
+  const std::size_t nshards = store_.shard_count();
+
+  if (nshards == 1) {
+    // Bit-identity mode: exactly the unsharded sequence — one reserve,
+    // one record, one upsert per user against store shard 0.
+    store_.shard(0).reserve_rows(users.size());
+    wal::WalWriter* writer = single_writer_locked();
+    if (writer != nullptr) {
+      wal::WalRecord record;
+      record.type = wal::RecordType::kUpsert;
+      record.dim = static_cast<std::uint16_t>(config_.dim);
+      record.ids.reserve(users.size());
+      record.weights.reserve(users.size());
+      record.coords.reserve(users.size() * config_.dim);
+      for (const UserRecord& user : users) {
+        record.ids.push_back(user.id);
+        record.weights.push_back(user.weight);
+        record.coords.insert(record.coords.end(), user.interest.begin(),
+                             user.interest.end());
+      }
+      writer->append(record);  // WalError here: store untouched
     }
-    config_.wal->append(record);  // WalError here: store untouched
+  } else {
+    // Route the batch. The overlay tracks ids this batch already touched,
+    // so a second occurrence of an id plans against its post-first-
+    // occurrence shard — the plan must equal what sequential application
+    // will do, record for record, or replay diverges.
+    if (config_.fault_hook && config_.fault_hook(kFaultStoreShardAllocFail)) {
+      throw std::bad_alloc();  // before any append or mutation
+    }
+    std::vector<std::vector<PlannedOp>> plan(nshards);
+    std::unordered_map<std::uint64_t, std::size_t> overlay;
+    overlay.reserve(users.size());
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const UserRecord& user = users[i];
+      const std::size_t to = store_.shard_of_point(
+          geo::ConstVec(user.interest.data(), user.interest.size()));
+      std::optional<std::size_t> from;
+      const auto seen = overlay.find(user.id);
+      if (seen != overlay.end()) {
+        from = seen->second;
+      } else {
+        from = store_.shard_of_id(user.id);
+      }
+      if (from.has_value() && *from != to) {
+        plan[*from].push_back(PlannedOp{false, i});  // region move: out...
+      }
+      plan[to].push_back(PlannedOp{true, i});  // ...and in (or plain upsert)
+      overlay[user.id] = to;
+    }
+    for (std::size_t s = 0; s < nshards; ++s) {
+      store_.shard(s).reserve_rows(plan[s].size());
+    }
+    if (config_.shard_wal != nullptr) {
+      // Append-before-apply per shard: each shard gets its ops (in batch
+      // order) as records, contiguous same-type runs coalesced. A failure
+      // after the first successful append leaves some shard's log ahead
+      // of every store — poison-all, nothing applied, batch answers
+      // kInternalError (the ops were never acked, so recovery replaying
+      // the stray records is the unacked-may-survive case, not a lie).
+      bool any_appended = false;
+      try {
+        for (std::size_t s = 0; s < nshards; ++s) {
+          std::size_t at = 0;
+          while (at < plan[s].size()) {
+            std::size_t end = at + 1;
+            while (end < plan[s].size() &&
+                   plan[s][end].upsert == plan[s][at].upsert) {
+              ++end;
+            }
+            wal::WalRecord record;
+            if (plan[s][at].upsert) {
+              record.type = wal::RecordType::kUpsert;
+              record.dim = static_cast<std::uint16_t>(config_.dim);
+              for (std::size_t j = at; j < end; ++j) {
+                const UserRecord& user = users[plan[s][j].user];
+                record.ids.push_back(user.id);
+                record.weights.push_back(user.weight);
+                record.coords.insert(record.coords.end(),
+                                     user.interest.begin(),
+                                     user.interest.end());
+              }
+            } else {
+              record.type = wal::RecordType::kRemove;
+              for (std::size_t j = at; j < end; ++j) {
+                record.ids.push_back(users[plan[s][j].user].id);
+              }
+            }
+            config_.shard_wal->append(s, record);
+            any_appended = true;
+            at = end;
+          }
+        }
+      } catch (const wal::WalError&) {
+        if (any_appended) {
+          config_.shard_wal->poison_all(
+              "apply_add: partial multi-shard append");
+        }
+        throw;  // store untouched either way
+      }
+    }
   }
+
   try {
     for (const UserRecord& user : users) {
-      const bool inserted =
-          store_.upsert(user);  // cannot throw: validated and reserved above
+      const auto route = store_.upsert(user);
       ++churn_since_solve_;
+      metrics_.count_shard_mutations(route.to, 1);
       if (index_ != nullptr && !index_dirty_) {
-        // Mirror the mutation into the carried index. A failure here must
-        // not fail the mutation (the store and WAL already agree): the
-        // index just goes dirty and the next solve rebuilds it.
-        try {
-          if (config_.fault_hook &&
-              config_.fault_hook(kFaultSpatialAllocFail)) {
-            throw std::bad_alloc();
-          }
-          const geo::ConstVec p(user.interest.data(), user.interest.size());
-          if (inserted) {
-            index_->add(p);
-          } else {
-            index_->update(*store_.row_of(user.id), p);
-          }
-        } catch (...) {
+        if (nshards > 1) {
+          // Rows of the global concatenation shifted (any mutation moves
+          // every later shard's rows); the next solve rebuilds.
           index_dirty_ = true;
+        } else {
+          // Mirror the mutation into the carried index. A failure here
+          // must not fail the mutation (the store and WAL already agree):
+          // the index just goes dirty and the next solve rebuilds it.
+          try {
+            if (config_.fault_hook &&
+                config_.fault_hook(kFaultSpatialAllocFail)) {
+              throw std::bad_alloc();
+            }
+            const geo::ConstVec p(user.interest.data(), user.interest.size());
+            if (route.inserted) {
+              index_->add(p);
+            } else {
+              index_->update(*store_.shard(0).row_of(user.id), p);
+            }
+          } catch (...) {
+            index_dirty_ = true;
+          }
         }
       }
       recent_points_.push_back(user.interest);
@@ -258,9 +439,7 @@ void PlacementService::apply_add_locked(const std::vector<UserRecord>& users) {
     // Only the churn-deque allocation can land here, but if it does the
     // log and the store have diverged mid-batch — poison the log so the
     // recovered state, not this process, is the durable truth.
-    if (config_.wal != nullptr) {
-      config_.wal->poison("apply_add: apply diverged from the log");
-    }
+    poison_wal_locked("apply_add: apply diverged from the log");
     throw;
   }
   // Keep only a few multiples of the candidate cap; older churn points
@@ -286,42 +465,112 @@ void PlacementService::apply_remove_locked(
     }
   }
   if (effective.empty()) return;
-  if (config_.wal != nullptr) {
-    wal::WalRecord record;
-    record.type = wal::RecordType::kRemove;
-    record.ids = effective;
-    config_.wal->append(record);  // WalError here: store untouched
+  const std::size_t nshards = store_.shard_count();
+  if (nshards == 1) {
+    if (wal::WalWriter* writer = single_writer_locked()) {
+      wal::WalRecord record;
+      record.type = wal::RecordType::kRemove;
+      record.ids = effective;
+      writer->append(record);  // WalError here: store untouched
+    }
+  } else {
+    if (config_.fault_hook && config_.fault_hook(kFaultStoreShardAllocFail)) {
+      throw std::bad_alloc();  // before any append or mutation
+    }
+  }
+  if (nshards > 1 && config_.shard_wal != nullptr) {
+    // One kRemove record per touched shard, ids in batch order (removes
+    // in different shards are independent, so per-shard order is the
+    // only order replay needs).
+    std::vector<std::vector<std::uint64_t>> per_shard(nshards);
+    for (const std::uint64_t id : effective) {
+      per_shard[*store_.shard_of_id(id)].push_back(id);
+    }
+    bool any_appended = false;
+    try {
+      for (std::size_t s = 0; s < nshards; ++s) {
+        if (per_shard[s].empty()) continue;
+        wal::WalRecord record;
+        record.type = wal::RecordType::kRemove;
+        record.ids = std::move(per_shard[s]);
+        config_.shard_wal->append(s, record);
+        any_appended = true;
+      }
+    } catch (const wal::WalError&) {
+      if (any_appended) {
+        config_.shard_wal->poison_all(
+            "apply_remove: partial multi-shard append");
+      }
+      throw;  // store untouched either way
+    }
   }
   for (const std::uint64_t id : effective) {
     if (index_ != nullptr && !index_dirty_) {
-      // The index's swap_remove relocates the same last row the store's
-      // does, so rows keep corresponding; capture the row before the
-      // store forgets the id.
-      const std::size_t row = *store_.row_of(id);
-      try {
-        if (config_.fault_hook && config_.fault_hook(kFaultSpatialAllocFail)) {
-          throw std::bad_alloc();
+      if (nshards > 1) {
+        index_dirty_ = true;  // global rows shifted; rebuild at solve
+      } else {
+        // The index's swap_remove relocates the same last row the store's
+        // does, so rows keep corresponding; capture the row before the
+        // store forgets the id.
+        const std::size_t row = *store_.shard(0).row_of(id);
+        try {
+          if (config_.fault_hook &&
+              config_.fault_hook(kFaultSpatialAllocFail)) {
+            throw std::bad_alloc();
+          }
+          index_->swap_remove(row);
+        } catch (...) {
+          index_dirty_ = true;
         }
-        index_->swap_remove(row);
-      } catch (...) {
-        index_dirty_ = true;
       }
     }
-    store_.remove(id);  // cannot fail: present per the filter above
+    const auto from = store_.remove(id);  // present per the filter above
     ++churn_since_solve_;
+    metrics_.count_shard_mutations(*from, 1);
   }
   metrics_.count_mutations(effective.size());
 }
 
 void PlacementService::commit_wal_locked() {
-  if (config_.wal != nullptr) config_.wal->commit();
+  if (config_.shard_wal != nullptr) {
+    config_.shard_wal->commit_all();  // cross-shard group-commit barrier
+  } else if (config_.wal != nullptr) {
+    config_.wal->commit();
+  }
+}
+
+void PlacementService::poison_wal_locked(const std::string& reason) {
+  if (config_.shard_wal != nullptr) config_.shard_wal->poison_all(reason);
+  if (config_.wal != nullptr) config_.wal->poison(reason);
+}
+
+wal::WalWriter* PlacementService::single_writer_locked() const {
+  if (config_.wal != nullptr) return config_.wal;
+  if (config_.shard_wal != nullptr && config_.shard_wal->shard_count() == 1) {
+    return &config_.shard_wal->writer(0);
+  }
+  return nullptr;
 }
 
 void PlacementService::maybe_snapshot_locked() {
-  if (config_.wal == nullptr || !config_.wal->wants_snapshot()) return;
   // A failed checkpoint poisons the writer but must not retro-fail the
   // mutations that were already logged and acked; the next append
   // surfaces the poison as kInternalError.
+  if (config_.shard_wal != nullptr) {
+    if (!config_.shard_wal->wants_snapshot()) return;
+    try {
+      // Shards checkpoint independently: only the writers whose own op
+      // budget tripped roll; quiet shards keep their cheap short logs.
+      for (std::size_t s = 0; s < store_.shard_count(); ++s) {
+        wal::WalWriter& writer = config_.shard_wal->writer(s);
+        if (!writer.wants_snapshot()) continue;
+        writer.write_snapshot(shard_wal_snapshot_locked(s));
+      }
+    } catch (const wal::WalError&) {
+    }
+    return;
+  }
+  if (config_.wal == nullptr || !config_.wal->wants_snapshot()) return;
   try {
     config_.wal->write_snapshot(wal_snapshot_locked());
   } catch (const wal::WalError&) {
@@ -332,7 +581,30 @@ wal::WalSnapshot PlacementService::wal_snapshot_locked() const {
   wal::WalSnapshot snap;
   snap.epoch = store_.epoch();
   snap.dim = static_cast<std::uint16_t>(config_.dim);
-  store_.export_rows(snap.ids, snap.weights, snap.coords);
+  if (store_.shard_count() == 1) {
+    store_.shard(0).export_rows(snap.ids, snap.weights, snap.coords);
+    return snap;
+  }
+  // Global image: shard rows concatenated in shard order (the same order
+  // global_snapshot() exposes).
+  for (std::size_t s = 0; s < store_.shard_count(); ++s) {
+    std::vector<std::uint64_t> ids;
+    std::vector<double> weights;
+    std::vector<double> coords;
+    store_.shard(s).export_rows(ids, weights, coords);
+    snap.ids.insert(snap.ids.end(), ids.begin(), ids.end());
+    snap.weights.insert(snap.weights.end(), weights.begin(), weights.end());
+    snap.coords.insert(snap.coords.end(), coords.begin(), coords.end());
+  }
+  return snap;
+}
+
+wal::WalSnapshot PlacementService::shard_wal_snapshot_locked(
+    std::size_t s) const {
+  wal::WalSnapshot snap;
+  snap.epoch = store_.shard(s).epoch();
+  snap.dim = static_cast<std::uint16_t>(config_.dim);
+  store_.shard(s).export_rows(snap.ids, snap.weights, snap.coords);
   return snap;
 }
 
@@ -380,7 +652,11 @@ void PlacementService::publish_spatial_locked() {
 }
 
 core::Problem PlacementService::problem_locked() {
-  StoreSnapshot snap = store_.snapshot();
+  // Per-shard epoch snapshots: only shards whose epoch moved since the
+  // last call are re-copied (the cache inside the sharded store), so a
+  // solve after localized churn pays O(churned shards), not O(n), for
+  // the snapshot assembly.
+  StoreSnapshot snap = store_.global_snapshot();
   return core::Problem(std::move(snap.points), std::move(snap.weights),
                        config_.radius, config_.metric, config_.shape);
 }
@@ -417,12 +693,25 @@ const PlacementView& PlacementService::solve_locked() {
   // this epoch. The sharded solver evaluates (and grid-splits) through it.
   ensure_index_locked(problem);
   sharded_->set_shared_index(index_.get());
+  // With a region-sharded store the full solve runs exactly one greedy
+  // per store shard (the snapshot's contiguous row ranges) and merges
+  // globally; warm re-solves don't consult the groups (they refine the
+  // previous centers against the candidate pool).
+  if (store_.shard_count() > 1) {
+    sharded_->set_row_groups(store_.shard_row_ranges());
+  }
 
   const std::uint64_t warm_before = planner_->warm_solves();
   const auto start = Clock::now();
   core::Solution solution = planner_->plan(problem, config_.k);
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (store_.shard_count() > 1) {
+    sharded_->set_row_groups({});
+    for (std::size_t s = 0; s < store_.shard_count(); ++s) {
+      metrics_.set_shard_rows(s, store_.shard(s).size());
+    }
+  }
   const bool incremental = planner_->warm_solves() > warm_before;
   publish_spatial_locked();
   metrics_.record_solve(seconds, incremental);
@@ -458,6 +747,31 @@ geo::PointSet PlacementService::incremental_pool_locked() const {
   return pool;  // empty -> planner falls back to all input points
 }
 
+void PlacementService::count_affinity_locked(const Request& request) {
+  // Loop->shard affinity observability (store_shards > 1 only): would a
+  // "loop i owns shard i % store_shards" assignment have kept this
+  // mutation loop-local? Hits/misses quantify how much cross-shard
+  // traffic full per-loop ownership (the follow-on) would eliminate.
+  if (store_.shard_count() <= 1 ||
+      request.shard_hint == Request::kNoShardHint) {
+    return;
+  }
+  std::optional<std::size_t> target;
+  if (request.type == RequestType::kAddUsers && !request.users.empty()) {
+    const auto& interest = request.users.front().interest;
+    if (interest.size() == config_.dim) {
+      target = store_.shard_of_point(
+          geo::ConstVec(interest.data(), interest.size()));
+    }
+  } else if (request.type == RequestType::kRemoveUsers &&
+             !request.ids.empty()) {
+    target = store_.shard_of_id(request.ids.front());
+  }
+  if (!target.has_value()) return;
+  const std::size_t owner_loop = request.shard_hint % store_.shard_count();
+  metrics_.count_affinity(owner_loop == *target);
+}
+
 void PlacementService::process_batch(std::vector<Request> batch) {
   trace::ScopedSpan span("serve.batch");
   metrics_.record_batch(batch.size());
@@ -473,6 +787,7 @@ void PlacementService::process_batch(std::vector<Request> batch) {
   std::uint64_t queries = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Request& request = batch[i];
+    count_affinity_locked(request);
     switch (request.type) {
       case RequestType::kAddUsers:
         try {

@@ -261,8 +261,24 @@ core::Solution ShardedSolver::solve(const core::Problem& problem,
 
   {
     trace::ScopedSpan span("serve.shard");
-    shards = shard_indices(problem.points(), config_, pool_.thread_count(),
-                           problem.radius(), split_grid);
+    if (!row_groups_.empty()) {
+      // The caller dictated the partition (the region-sharded store's
+      // per-shard row ranges): solve exactly those groups, skip the
+      // split computation entirely.
+      MMPH_REQUIRE(row_groups_.back().second == problem.size(),
+                   "solve: row groups do not cover the problem");
+      shards.reserve(row_groups_.size());
+      for (const auto& [begin, end] : row_groups_) {
+        if (begin == end) continue;  // empty store shard
+        std::vector<std::size_t> rows;
+        rows.reserve(end - begin);
+        for (std::size_t row = begin; row < end; ++row) rows.push_back(row);
+        shards.push_back(std::move(rows));
+      }
+    } else {
+      shards = shard_indices(problem.points(), config_, pool_.thread_count(),
+                             problem.radius(), split_grid);
+    }
     const std::size_t base_k =
         config_.per_shard_k == 0 ? k : config_.per_shard_k;
 

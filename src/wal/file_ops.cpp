@@ -184,13 +184,36 @@ int MemFileOps::remove(const std::string& path) {
   return 0;
 }
 
-int MemFileOps::mkdir(const std::string&) { return 0; }
+int MemFileOps::mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dir_exists_locked(path)) {
+    errno = EEXIST;
+    return -1;
+  }
+  dirs_[path] = true;
+  return 0;
+}
 
 int MemFileOps::sync_dir(const std::string&) { return 0; }
+
+bool MemFileOps::dir_exists_locked(const std::string& dir) const {
+  if (dirs_.count(dir) != 0) return true;
+  // Files planted directly (set_file_bytes, pre-dir-tracking tests) imply
+  // their directory.
+  for (const auto& [path, bytes] : files_) {
+    (void)bytes;
+    if (directly_inside(dir, path)) return true;
+  }
+  return false;
+}
 
 std::optional<std::vector<std::string>> MemFileOps::list(
     const std::string& dir) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!dir_exists_locked(dir)) {
+    errno = ENOENT;  // opendir parity: missing dir, not empty dir
+    return std::nullopt;
+  }
   std::vector<std::string> names;
   for (const auto& [path, bytes] : files_) {
     (void)bytes;
@@ -203,6 +226,7 @@ std::unique_ptr<MemFileOps> MemFileOps::clone() const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto copy = std::make_unique<MemFileOps>();
   copy->files_ = files_;
+  copy->dirs_ = dirs_;
   return copy;
 }
 

@@ -107,6 +107,10 @@ RecoveryResult recover(const std::string& dir, std::uint16_t dim_hint,
 
   const auto names = ops.list(dir);
   if (!names.has_value()) return result;  // no directory: fresh start
+  // An existing-but-empty dir is also a fresh start, but a *witnessed*
+  // one: dir_found lets wal-recover and serve-net startup report it
+  // distinctly from a dir that never existed.
+  result.dir_found = true;
 
   std::vector<std::pair<std::uint64_t, std::string>> snapshots;
   std::vector<std::pair<std::uint64_t, std::string>> segments;
@@ -171,6 +175,10 @@ RecoveryResult recover(const std::string& dir, std::uint16_t dim_hint,
       offset += decoded.consumed;
       if (record.epoch <= result.store.epoch) {
         ++result.records_skipped;  // checkpoint already covers it
+        // Still the newest lsn seen: a writer restarted after recovery
+        // must continue past skipped records' lsns too, or a fully
+        // checkpointed log would hand out duplicate lsns.
+        if (record.lsn > result.last_lsn) result.last_lsn = record.lsn;
         continue;
       }
       if (record.epoch != result.store.epoch + record.count()) {

@@ -353,6 +353,22 @@ TEST(ChaosSweep, NetSchedulesHoldInvariants) {
   }
 }
 
+TEST(ChaosSweep, StoreShardSchedulesHoldInvariants) {
+  // A pinned slice of the chaos_runner --mode shards sweep: both the
+  // legacy single-shard layout and the per-shard-dir layout must keep the
+  // bitwise crash-recovery invariant under fire.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      StoreShardChaosOptions options;
+      options.seed = seed;
+      options.shards = shards;
+      const ChaosResult result = run_store_shard_chaos(options);
+      ASSERT_TRUE(result.ok) << result.message << " (shards=" << shards
+                             << ")";
+    }
+  }
+}
+
 TEST(ChaosSweep, ScheduleActuallyInjects) {
   // Guard against a silently disconnected seam: across a handful of
   // seeds, faults must actually fire.

@@ -3,18 +3,22 @@
 // through the serve and net stacks and exits nonzero on the first
 // invariant violation, printing the seed so the failure reproduces with
 //
-//   chaos_runner --mode serve --seed <N>      (or --mode net / --mode wal)
+//   chaos_runner --mode serve --seed <N>
+//   (or --mode net / --mode wal / --mode shards)
 //
 // Usage:
 //   chaos_runner [--serve-seeds N] [--net-seeds M] [--wal-seeds W]
-//                [--base-seed B] [--mode all|serve|net|wal]
-//                [--seed S] [--ops K] [--loops L]
+//                [--shard-seeds P] [--base-seed B]
+//                [--mode all|serve|net|wal|shards]
+//                [--seed S] [--ops K] [--loops L] [--shards C]
 //
 // --seed runs exactly one schedule per selected mode (reproduction);
 // otherwise seeds B .. B+N-1 per mode are swept. --loops selects the net
 // server's event-loop count (default: sweep each seed at 1 AND 4 loops,
 // so every net seed exercises both the deterministic single-loop path
-// and the multi-loop path with per-loop fault streams).
+// and the multi-loop path with per-loop fault streams). --shards does the
+// same for the sharded-store mode's store/WAL shard count (default:
+// sweep each seed at 1 AND 4 shards — legacy layout and per-shard dirs).
 
 #include <cstdint>
 #include <cstdio>
@@ -31,22 +35,27 @@ struct RunnerOptions {
   std::uint64_t serve_seeds = 400;
   std::uint64_t net_seeds = 100;
   std::uint64_t wal_seeds = 250;
+  std::uint64_t shard_seeds = 120;
   std::uint64_t base_seed = 1;
   std::uint64_t one_seed = 0;  // 0 = sweep
   std::size_t ops = 0;         // 0 = harness default
   std::size_t loops = 0;       // 0 = sweep both 1 and 4
+  std::size_t shards = 0;      // 0 = sweep both 1 and 4
   bool run_serve = true;
   bool run_net = true;
   bool run_wal = true;
+  bool run_shards = true;
 };
 
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr,
                "chaos_runner: %s\n"
                "usage: chaos_runner [--serve-seeds N] [--net-seeds M]\n"
-               "                    [--wal-seeds W] [--base-seed B]\n"
-               "                    [--mode all|serve|net|wal]\n"
-               "                    [--seed S] [--ops K] [--loops L]\n",
+               "                    [--wal-seeds W] [--shard-seeds P]\n"
+               "                    [--base-seed B]\n"
+               "                    [--mode all|serve|net|wal|shards]\n"
+               "                    [--seed S] [--ops K] [--loops L]\n"
+               "                    [--shards C]\n",
                what);
   std::exit(2);
 }
@@ -72,6 +81,8 @@ RunnerOptions parse(int argc, char** argv) {
       options.net_seeds = parse_u64(value());
     } else if (arg == "--wal-seeds") {
       options.wal_seeds = parse_u64(value());
+    } else if (arg == "--shard-seeds") {
+      options.shard_seeds = parse_u64(value());
     } else if (arg == "--base-seed") {
       options.base_seed = parse_u64(value());
     } else if (arg == "--seed") {
@@ -81,12 +92,17 @@ RunnerOptions parse(int argc, char** argv) {
     } else if (arg == "--loops") {
       options.loops = static_cast<std::size_t>(parse_u64(value()));
       if (options.loops == 0) usage_error("--loops must be >= 1");
+    } else if (arg == "--shards") {
+      options.shards = static_cast<std::size_t>(parse_u64(value()));
+      if (options.shards == 0) usage_error("--shards must be >= 1");
     } else if (arg == "--mode") {
       const std::string mode = value();
       options.run_serve = mode == "all" || mode == "serve";
       options.run_net = mode == "all" || mode == "net";
       options.run_wal = mode == "all" || mode == "wal";
-      if (!options.run_serve && !options.run_net && !options.run_wal) {
+      options.run_shards = mode == "all" || mode == "shards";
+      if (!options.run_serve && !options.run_net && !options.run_wal &&
+          !options.run_shards) {
         usage_error("bad --mode");
       }
     } else {
@@ -192,6 +208,46 @@ int main(int argc, char** argv) {
       faults += result.faults_fired;
       if ((i + 1) % 50 == 0) {
         std::printf("wal: %llu/%llu schedules ok\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(count));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (options.run_shards) {
+    const std::uint64_t first =
+        options.one_seed != 0 ? options.one_seed : options.base_seed;
+    const std::uint64_t count =
+        options.one_seed != 0 ? 1 : options.shard_seeds;
+    std::vector<std::size_t> shard_counts;
+    if (options.shards != 0) {
+      shard_counts.push_back(options.shards);
+    } else {
+      shard_counts = {1, 4};  // legacy root layout AND per-shard dirs
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      for (const std::size_t shards : shard_counts) {
+        mmph::chaos::StoreShardChaosOptions shard_options;
+        shard_options.seed = first + i;
+        shard_options.shards = shards;
+        if (options.ops != 0) shard_options.operations = options.ops;
+        const mmph::chaos::ChaosResult result =
+            mmph::chaos::run_store_shard_chaos(shard_options);
+        if (!result.ok) {
+          std::fprintf(stderr,
+                       "FAIL [shards] %s\n"
+                       "reproduce: chaos_runner --mode shards --seed %llu "
+                       "--shards %zu\n",
+                       result.message.c_str(),
+                       static_cast<unsigned long long>(result.seed), shards);
+          return 1;
+        }
+        ++schedules;
+        faults += result.faults_fired;
+      }
+      if ((i + 1) % 20 == 0) {
+        std::printf("shards: %llu/%llu seeds ok (shard counts swept)\n",
                     static_cast<unsigned long long>(i + 1),
                     static_cast<unsigned long long>(count));
         std::fflush(stdout);

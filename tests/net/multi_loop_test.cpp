@@ -146,6 +146,51 @@ TEST(MultiLoop, GoldenReplayDigestAtFourLoops) {
   server.stop();
 }
 
+TEST(MultiLoop, GoldenReplayDigestWithOneStoreShard) {
+  // --store-shards 1 is the bit-identity mode: the sharded store must
+  // push exactly the unsharded call sequence through shard 0, so the
+  // golden digest holds through the whole net stack unchanged.
+  serve::ServiceConfig config = golden_service_config();
+  config.store_shards = 1;
+  net::NetServer server(config, fast_net_config(1));
+  server.start();
+
+  net::NetClientConfig client_config;
+  client_config.port = server.port();
+  net::NetClient client(client_config);
+
+  EXPECT_EQ(replay_golden_workload(client), kGoldenReplayDigest)
+      << "--store-shards 1 replay diverged from the pre-refactor golden";
+  server.stop();
+}
+
+TEST(MultiLoop, ShardedStoreReplayDigestIsStableAtFourShards) {
+  // At four store shards the global row order is the shard concatenation,
+  // so objective bits legitimately differ from the unsharded golden — but
+  // the replay is still a deterministic function of the workload, loops,
+  // and shard count. Two independent runs (fresh server, fresh client)
+  // must produce the same digest; the loop count must not matter either,
+  // since one connection serializes through one loop.
+  std::uint64_t digests[3] = {};
+  const std::size_t loop_counts[3] = {1, 1, 4};
+  for (int run = 0; run < 3; ++run) {
+    serve::ServiceConfig config = golden_service_config();
+    config.store_shards = 4;
+    net::NetServer server(config, fast_net_config(loop_counts[run]));
+    server.start();
+    net::NetClientConfig client_config;
+    client_config.port = server.port();
+    net::NetClient client(client_config);
+    digests[run] = replay_golden_workload(client);
+    server.stop();
+  }
+  EXPECT_EQ(digests[0], digests[1])
+      << "--store-shards 4 replay is not deterministic";
+  EXPECT_EQ(digests[0], digests[2])
+      << "--store-shards 4 digest depends on the loop count";
+  EXPECT_NE(digests[0], 0u);
+}
+
 TEST(MultiLoop, HandoffDistributesConnectionsRoundRobin) {
   net::NetServerConfig net_config = fast_net_config(4);
   net_config.accept_mode = net::AcceptMode::kHandoff;

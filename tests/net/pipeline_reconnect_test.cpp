@@ -1,0 +1,171 @@
+// Regression tests for the pipelined-client reconnect bug: disconnect()
+// used to clear the in-flight queue outright, so a transport failure
+// mid-pipeline silently dropped every outstanding request — the caller
+// could never learn which of its sends completed. Now each abandoned
+// slot is answered exactly once by drain_one() with the client-
+// synthesized kConnectionLost status. The fault is injected through the
+// chaos schedule (net.cli.read_reset: ECONNRESET mid-pipeline), so the
+// production teardown path runs, not a test-only one.
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mmph/chaos/faulty_socket_ops.hpp"
+#include "mmph/chaos/injector.hpp"
+#include "mmph/net/client.hpp"
+#include "mmph/net/server.hpp"
+#include "mmph/support/error.hpp"
+
+namespace mmph {
+namespace {
+
+serve::ServiceConfig service_config() {
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 2;
+  config.radius = 0.3;
+  config.full_solve_churn_fraction = 0.0;
+  return config;
+}
+
+serve::UserRecord user(std::uint64_t id, double x, double y) {
+  serve::UserRecord record;
+  record.id = id;
+  record.interest = {x, y};
+  record.weight = 1.0;
+  return record;
+}
+
+TEST(PipelineReconnect, MidPipelineResetFailsEverySlotExactlyOnce) {
+  net::NetServerConfig net_config;
+  net_config.loops = 1;
+  net_config.poll_interval = std::chrono::milliseconds(2);
+  net::NetServer server(service_config(), net_config);
+  server.start();
+
+  // Chaos schedule: every client read dies with ECONNRESET while armed.
+  chaos::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.with("net.cli.read_reset", 1.0);
+  chaos::Injector injector(plan);
+  injector.set_armed(false);
+  chaos::FaultySocketOps faulty(injector,
+                               std::string(chaos::kClientSitePrefix));
+
+  net::NetClientConfig client_config;
+  client_config.port = server.port();
+  client_config.pipeline_window = 8;
+  client_config.socket_ops = &faulty;
+  net::NetClient client(client_config);
+
+  std::vector<std::uint64_t> sent;
+  sent.push_back(client.pipeline_add_users({user(1, 0.1, 0.1)}));
+  sent.push_back(client.pipeline_add_users({user(2, 0.9, 0.9)}));
+  sent.push_back(client.pipeline_query_placement());
+  sent.push_back(client.pipeline_add_users({user(3, 0.5, 0.5)}));
+  EXPECT_EQ(client.inflight(), 4u);
+
+  // The connection dies under the first drain. The drain call itself
+  // reports the transport failure; every in-flight slot moves to the
+  // aborted queue instead of vanishing.
+  injector.set_armed(true);
+  EXPECT_THROW((void)client.drain_one(), net::NetError);
+  injector.set_armed(false);
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.inflight(), 4u);
+
+  // Blocking calls refuse to run over undrained abort completions: the
+  // two modes still do not interleave.
+  EXPECT_THROW((void)client.query_placement(), InvalidArgument);
+
+  // Exactly-once: each slot is answered kConnectionLost, oldest first,
+  // ids matching the sends one for one — then the pipeline is empty.
+  std::set<std::uint64_t> completed;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const net::ResponseFrame reply = client.drain_one();
+    EXPECT_EQ(reply.status, net::WireStatus::kConnectionLost);
+    EXPECT_EQ(reply.request_id, sent[i]);
+    EXPECT_TRUE(completed.insert(reply.request_id).second)
+        << "request answered twice";
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_THROW((void)client.drain_one(), InvalidArgument);
+
+  // kConnectionLost means "in limbo", not "not executed": the reset was
+  // injected on the CLIENT's read, so the server did (or will) process
+  // the adds it already received. The reconnected blocking path
+  // eventually sees their effect (polling: the old connection's frames
+  // may still be queued server-side when the new connection queries).
+  net::ResponseFrame settled;
+  for (int tries = 0; tries < 200; ++tries) {
+    settled = client.query_placement();
+    ASSERT_EQ(settled.status, net::WireStatus::kOk);
+    if (settled.epoch == 3u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(settled.epoch, 3u);
+
+  // A fresh pipeline on the reconnected client works end to end.
+  const std::uint64_t id_q = client.pipeline_query_placement();
+  const net::ResponseFrame reply = client.drain_one();
+  EXPECT_EQ(reply.request_id, id_q);
+  EXPECT_EQ(reply.status, net::WireStatus::kOk);
+  server.stop();
+}
+
+TEST(PipelineReconnect, AbortedSlotsCountAgainstTheWindow) {
+  net::NetServerConfig net_config;
+  net_config.loops = 1;
+  net_config.poll_interval = std::chrono::milliseconds(2);
+  net::NetServer server(service_config(), net_config);
+  server.start();
+
+  chaos::FaultPlan plan;
+  plan.seed = 7;
+  plan.with("net.cli.read_reset", 1.0);
+  chaos::Injector injector(plan);
+  injector.set_armed(false);
+  chaos::FaultySocketOps faulty(injector,
+                               std::string(chaos::kClientSitePrefix));
+
+  net::NetClientConfig client_config;
+  client_config.port = server.port();
+  client_config.pipeline_window = 2;
+  client_config.socket_ops = &faulty;
+  net::NetClient client(client_config);
+
+  (void)client.pipeline_query_placement();
+  (void)client.pipeline_query_placement();
+  injector.set_armed(true);
+  EXPECT_THROW((void)client.drain_one(), net::NetError);
+  injector.set_armed(false);
+
+  // Two aborted slots fill the window: refilling before draining them
+  // would let completions be outrun by new sends.
+  EXPECT_EQ(client.inflight(), 2u);
+  EXPECT_THROW((void)client.pipeline_query_placement(), InvalidArgument);
+  EXPECT_EQ(client.drain_one().status, net::WireStatus::kConnectionLost);
+  // One slot free again: the window admits exactly one new send.
+  const std::uint64_t id = client.pipeline_query_placement();
+  EXPECT_THROW((void)client.pipeline_query_placement(), InvalidArgument);
+  // FIFO across the boundary: the remaining aborted slot completes
+  // before the live request's real reply.
+  EXPECT_EQ(client.drain_one().status, net::WireStatus::kConnectionLost);
+  const net::ResponseFrame live = client.drain_one();
+  EXPECT_EQ(live.request_id, id);
+  EXPECT_EQ(live.status, net::WireStatus::kOk);
+  server.stop();
+}
+
+TEST(PipelineReconnect, ToStringCoversConnectionLost) {
+  EXPECT_STREQ(net::to_string(net::WireStatus::kConnectionLost),
+               "kConnectionLost");
+}
+
+}  // namespace
+}  // namespace mmph

@@ -153,6 +153,81 @@ TEST(SpatialServe, WarmIndexMatchesUnindexedAndColdEveryEpoch) {
   EXPECT_EQ(off.spatial_rebuilds, 0u);
 }
 
+/// Shrink to zero, then regrow. Every removal swap-pops a store row and
+/// mirrors into the carried grid as swap_remove; as the population drains,
+/// each cell eventually loses its final row, and a stale cell-map slot
+/// left behind by that eviction would poison radius queries on the next
+/// epoch. Solving after every single removal walks the grid through all of
+/// those final-row evictions with the unindexed twin as the oracle; the
+/// empty-out itself must drop the index (epoch 0 has nothing to query),
+/// and the regrown population must match the twin bitwise again.
+TEST(SpatialServe, ChurnToZeroAndRegrowKeepsTheGridExact) {
+  PlacementService indexed(small_config());
+  PlacementService plain(small_config());
+
+  const std::vector<UserRecord> initial = make_users(96, 424242);
+  {
+    const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+    indexed.apply_add(initial);
+    (void)indexed.placement();
+  }
+  plain.apply_add(initial);
+  (void)plain.placement();
+
+  // Drain one user at a time in a shuffled order (so cells empty at
+  // scattered moments, not back to front), solving both twins each step.
+  std::vector<std::uint64_t> order;
+  order.reserve(initial.size());
+  for (const UserRecord& rec : initial) order.push_back(rec.id);
+  rnd::Rng rng(7);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    PlacementView warm, unindexed;
+    {
+      const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+      indexed.apply_remove({order[i]});
+      warm = indexed.placement();
+    }
+    plain.apply_remove({order[i]});
+    unindexed = plain.placement();
+    expect_same_placement(warm, unindexed,
+                          "after removal " + std::to_string(i));
+  }
+  EXPECT_EQ(indexed.population(), 0u);
+  EXPECT_EQ(indexed.placement().solution.centers.size(), 0u);
+
+  // Regrow from empty with fresh ids at fresh coordinates: the first solve
+  // builds a new grid over the new rows, and warm churn on top of it keeps
+  // matching the twin.
+  const std::vector<UserRecord> regrown = [&] {
+    std::vector<UserRecord> users = make_users(48, 515151);
+    for (UserRecord& rec : users) rec.id += 1000;
+    return users;
+  }();
+  for (const UserRecord& rec : regrown) {
+    PlacementView warm, unindexed;
+    {
+      const core::kernels::ScopedIndexMode on(core::kernels::IndexMode::kGrid);
+      indexed.apply_add({rec});
+      warm = indexed.placement();
+    }
+    plain.apply_add({rec});
+    unindexed = plain.placement();
+    expect_same_placement(warm, unindexed, "regrow id " + std::to_string(rec.id));
+  }
+
+  // The whole drain and regrow was mirrored incrementally: one build per
+  // index lifetime (initial + post-regrow), not a rebuild per eviction.
+  const MetricsSnapshot snap = indexed.metrics();
+  EXPECT_GT(snap.spatial_incremental_updates, 0u);
+  EXPECT_LE(snap.spatial_rebuilds, 3u)
+      << "final-row evictions must mirror into the grid, not force rebuilds";
+}
+
 /// The counters are registered (scrapable) even before any index exists,
 /// and the registry exposition carries them under their mmph_spatial_*
 /// names once the indexed path has run.

@@ -1,0 +1,232 @@
+// ShardedWal contract tests: the shards == 1 layout is the legacy
+// single-log layout (bit-identity mode), shards > 1 get one directory per
+// shard, commit_all is a poison-all barrier, and recover_sharded replays
+// shards independently while re-deriving the global epoch as the sum of
+// shard epochs. Also pins the recovery edge cases this PR fixed: a
+// zero-length segment, an empty-but-existing directory vs a missing one
+// (dir_found), and lsn continuation across fully-checkpointed segments.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mmph/wal/file_ops.hpp"
+#include "mmph/wal/recovery.hpp"
+#include "mmph/wal/sharded_wal.hpp"
+#include "mmph/wal/writer.hpp"
+
+namespace mmph::wal {
+namespace {
+
+WalConfig mem_config(MemFileOps& mem, const std::string& dir) {
+  WalConfig config;
+  config.dir = dir;
+  config.file_ops = &mem;
+  return config;
+}
+
+WalRecord upsert_record(std::uint64_t id, double weight, double x, double y) {
+  WalRecord record;
+  record.type = RecordType::kUpsert;
+  record.dim = 2;
+  record.ids = {id};
+  record.weights = {weight};
+  record.coords = {x, y};
+  return record;
+}
+
+TEST(ShardedWalLayout, OneShardUsesTheLegacyRootDirectory) {
+  EXPECT_EQ(shard_wal_dir("wal", 0, 1), "wal");
+  EXPECT_EQ(shard_wal_dir("wal", 0, 4), "wal/shard-0");
+  EXPECT_EQ(shard_wal_dir("wal", 3, 4), "wal/shard-3");
+
+  MemFileOps mem;
+  ShardedWal wal(mem_config(mem, "wal"), 1, ShardedRecovery{});
+  WalRecord record = upsert_record(1, 1.0, 0.1, 0.2);
+  wal.append(0, record);
+  wal.commit_all();
+
+  // The plain single-log recovery reads it: same files, same place.
+  const RecoveryResult plain = recover("wal", 0, mem);
+  EXPECT_TRUE(plain.clean);
+  EXPECT_TRUE(plain.dir_found);
+  EXPECT_EQ(plain.store.size(), 1u);
+  EXPECT_EQ(plain.store.epoch, 1u);
+}
+
+TEST(ShardedWal, ShardsRecoverIndependentlyAndEpochsSum) {
+  MemFileOps mem;
+  {
+    ShardedWal wal(mem_config(mem, "wal"), 3, ShardedRecovery{});
+    // Shard 0: two users. Shard 2: one user then a remove. Shard 1: idle.
+    WalRecord a = upsert_record(1, 1.0, 0.1, 0.1);
+    WalRecord b = upsert_record(2, 2.0, 0.2, 0.2);
+    WalRecord c = upsert_record(3, 3.0, 0.9, 0.9);
+    wal.append(0, a);
+    wal.append(0, b);
+    wal.append(2, c);
+    wal.commit_all();
+    WalRecord rm;
+    rm.type = RecordType::kRemove;
+    rm.ids = {3};
+    wal.append(2, rm);
+    wal.commit_all();
+    EXPECT_EQ(wal.commit_epoch(), 2u);
+  }
+
+  const ShardedRecovery recovered = recover_sharded("wal", 3, 2, mem);
+  ASSERT_EQ(recovered.shards.size(), 3u);
+  EXPECT_TRUE(recovered.clean);
+  EXPECT_TRUE(recovered.dir_found);
+  EXPECT_EQ(recovered.shards[0].store.size(), 2u);
+  EXPECT_EQ(recovered.shards[0].store.epoch, 2u);
+  EXPECT_EQ(recovered.shards[1].store.size(), 0u);
+  EXPECT_EQ(recovered.shards[1].store.epoch, 0u);
+  EXPECT_EQ(recovered.shards[2].store.size(), 0u);
+  EXPECT_EQ(recovered.shards[2].store.epoch, 2u);  // upsert + remove
+  EXPECT_EQ(recovered.global_epoch, 4u);
+  EXPECT_EQ(recovered.rows, 2u);
+
+  // A new coordinator continues every shard's chain where it left off.
+  ShardedWal resumed(mem_config(mem, "wal"), 3, recovered);
+  WalRecord d = upsert_record(4, 1.0, 0.15, 0.1);
+  resumed.append(0, d);
+  EXPECT_EQ(d.epoch, 3u);  // continues shard 0's chain (was at 2)
+  resumed.commit_all();
+}
+
+TEST(ShardedWal, BarrierFailureAtOneShardPoisonsEveryWriter) {
+  MemFileOps mem;
+  std::size_t hooks_consulted = 0;
+  BarrierFaultHook hook = [&](std::string_view site) {
+    EXPECT_EQ(site, "wal.barrier.fsync_fail");
+    // Fail the barrier at the SECOND shard: shard 0's fsync already
+    // passed, so the barrier is provably half-done when it dies.
+    return ++hooks_consulted == 2;
+  };
+  ShardedWal wal(mem_config(mem, "wal"), 3, ShardedRecovery{}, hook);
+  WalRecord a = upsert_record(1, 1.0, 0.1, 0.1);
+  WalRecord b = upsert_record(2, 1.0, 0.9, 0.9);
+  wal.append(0, a);
+  wal.append(1, b);
+
+  EXPECT_THROW(wal.commit_all(), WalError);
+  EXPECT_TRUE(wal.failed());
+  EXPECT_EQ(wal.commit_epoch(), 0u);
+  // Poison-all: every shard's writer refuses further work, including the
+  // ones whose own fsync never failed.
+  WalRecord c = upsert_record(3, 1.0, 0.5, 0.5);
+  EXPECT_THROW(wal.append(2, c), WalError);
+  EXPECT_THROW(wal.commit_all(), WalError);
+}
+
+TEST(ShardedWal, TailSinceStreamsOneShardsRecords) {
+  MemFileOps mem;
+  ShardedWal wal(mem_config(mem, "wal"), 2, ShardedRecovery{});
+  WalRecord a = upsert_record(1, 1.0, 0.1, 0.1);
+  WalRecord b = upsert_record(2, 2.0, 0.2, 0.2);
+  wal.append(0, a);
+  wal.append(0, b);
+  wal.commit_all();
+
+  const WalWriter::TailResult tail = wal.tail_since(0, 0);
+  EXPECT_TRUE(tail.covered);
+  EXPECT_EQ(tail.count, 2u);
+  EXPECT_EQ(tail.last_epoch, 2u);
+  EXPECT_FALSE(tail.bytes.empty());
+  // The idle shard has nothing pending and its own epoch stream.
+  const WalWriter::TailResult idle = wal.tail_since(1, 0);
+  EXPECT_TRUE(idle.covered);
+  EXPECT_EQ(idle.count, 0u);
+}
+
+TEST(Recovery, MissingDirVsEmptyDirAreDistinguished) {
+  MemFileOps mem;
+  const RecoveryResult missing = recover("nowhere", 0, mem);
+  EXPECT_FALSE(missing.dir_found);
+  EXPECT_TRUE(missing.clean);
+  EXPECT_EQ(missing.store.size(), 0u);
+
+  ASSERT_EQ(mem.mkdir("empty"), 0);
+  const RecoveryResult empty = recover("empty", 0, mem);
+  EXPECT_TRUE(empty.dir_found);
+  EXPECT_TRUE(empty.clean);
+  EXPECT_EQ(empty.store.size(), 0u);
+  EXPECT_EQ(empty.store.epoch, 0u);
+
+  // Sharded flavor: base dir exists but no shard subdirs yet — still
+  // found, still a clean fresh start.
+  ASSERT_EQ(mem.mkdir("base"), 0);
+  const ShardedRecovery sharded = recover_sharded("base", 2, 0, mem);
+  EXPECT_TRUE(sharded.dir_found);
+  EXPECT_TRUE(sharded.clean);
+  EXPECT_EQ(sharded.rows, 0u);
+  const ShardedRecovery gone = recover_sharded("really-nowhere", 2, 0, mem);
+  EXPECT_FALSE(gone.dir_found);
+}
+
+TEST(Recovery, ZeroLengthSegmentIsACleanEmptyLog) {
+  MemFileOps mem;
+  ASSERT_EQ(mem.mkdir("wal"), 0);
+  mem.set_file_bytes("wal/" + segment_file_name(0), {});
+  const RecoveryResult result = recover("wal", 0, mem);
+  EXPECT_TRUE(result.clean) << result.detail;
+  EXPECT_TRUE(result.dir_found);
+  EXPECT_EQ(result.store.size(), 0u);
+  EXPECT_EQ(result.store.epoch, 0u);
+  EXPECT_EQ(result.segments_scanned, 1u);
+
+  // A writer opening on top of it continues from epoch/lsn zero.
+  WalConfig config = mem_config(mem, "wal");
+  WalWriter writer(config, result.store.epoch, result.last_lsn);
+  WalRecord record = upsert_record(1, 1.0, 0.1, 0.1);
+  writer.append(record);
+  EXPECT_EQ(record.lsn, 1u);
+  EXPECT_EQ(record.epoch, 1u);
+}
+
+TEST(Recovery, LsnContinuesPastFullyCheckpointedSegments) {
+  MemFileOps mem;
+  std::vector<std::uint8_t> covered_segment;
+  {
+    WalConfig config = mem_config(mem, "wal");
+    WalWriter writer(config);
+    WalRecord a = upsert_record(1, 1.0, 0.1, 0.1);
+    WalRecord b = upsert_record(2, 2.0, 0.2, 0.2);
+    writer.append(a);
+    writer.append(b);
+    writer.commit();
+    covered_segment = *mem.file_bytes("wal/" + segment_file_name(0));
+    WalSnapshot checkpoint;
+    checkpoint.epoch = 2;
+    checkpoint.dim = 2;
+    checkpoint.ids = {1, 2};
+    checkpoint.weights = {1.0, 2.0};
+    checkpoint.coords = {0.1, 0.1, 0.2, 0.2};
+    writer.write_snapshot(checkpoint);
+  }
+  // Simulate a crash between the checkpoint write and the best-effort
+  // prune: the fully-covered segment is still on disk next to it.
+  mem.set_file_bytes("wal/" + segment_file_name(0), covered_segment);
+
+  // Every record is covered by the checkpoint: replay applies nothing,
+  // but last_lsn must still reflect the skipped records — a new writer
+  // reusing their lsns would corrupt the stream's ordering invariant.
+  const RecoveryResult result = recover("wal", 2, mem);
+  EXPECT_TRUE(result.clean) << result.detail;
+  EXPECT_EQ(result.records_applied, 0u);
+  EXPECT_EQ(result.records_skipped, 2u);
+  EXPECT_EQ(result.store.epoch, 2u);
+  EXPECT_EQ(result.last_lsn, 2u);
+
+  WalConfig config = mem_config(mem, "wal");
+  WalWriter writer(config, result.store.epoch, result.last_lsn);
+  WalRecord c = upsert_record(3, 3.0, 0.3, 0.3);
+  writer.append(c);
+  EXPECT_EQ(c.lsn, 3u);
+}
+
+}  // namespace
+}  // namespace mmph::wal

@@ -34,6 +34,15 @@
 #                               # MMPH_SANITIZE=ON tools/check.sh index
 #                               # runs the same gate under ASan/UBSan —
 #                               # the pre-merge gate for index changes.
+#   tools/check.sh shards       # region-sharded store gate: the shard
+#                               # unit/wal suites, the golden replay
+#                               # digests (--store-shards 1 bit-identity
+#                               # and the 4-shard stability pins), a
+#                               # chaos_runner --mode shards sweep at
+#                               # shards {1,4}, and a TSan build+run of
+#                               # the shard-labeled suites. Pre-merge
+#                               # gate for sharded-store / sharded-WAL /
+#                               # commit-barrier changes.
 #   tools/check.sh tsan         # ThreadSanitizer build (MMPH_TSAN=ON, own
 #                               # build-tsan dir) + the net/chaos suites +
 #                               # a multi-loop chaos_runner net sweep at
@@ -44,7 +53,9 @@
 #
 # Extra args are forwarded to ctest: tools/check.sh -R serve filters by
 # name, tools/check.sh -L unit filters by label (labels: unit, net,
-# slow, chaos, wal, spatial — see tests/CMakeLists.txt).
+# slow, chaos, wal, spatial, unit_shards, wal_shards, net_chaos — see
+# tests/CMakeLists.txt; -L matches by regex, so -L shards selects the
+# shard suites).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -84,6 +95,20 @@ fi
 if [ "$1" = "chaos" ]; then
   shift
   exec "$BUILD_DIR/tests/chaos_runner" "$@"
+fi
+
+if [ "$1" = "shards" ]; then
+  ( cd "$BUILD_DIR" && \
+    ctest --output-on-failure -L shards -j "$(nproc 2>/dev/null || echo 4)" && \
+    ctest --output-on-failure -R 'multi_loop_test|store_shard_service_test' \
+      -j "$(nproc 2>/dev/null || echo 4)" )
+  "$BUILD_DIR/tests/chaos_runner" --mode shards --shard-seeds 100
+  TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  cmake -B "$TSAN_DIR" -S . -DMMPH_TSAN=ON -DMMPH_SANITIZE=OFF
+  cmake --build "$TSAN_DIR" -j
+  ( cd "$TSAN_DIR" && \
+    exec ctest --output-on-failure -L shards -j "$(nproc 2>/dev/null || echo 4)" )
+  exit $?
 fi
 
 if [ "$1" = "wal" ]; then

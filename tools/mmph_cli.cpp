@@ -62,10 +62,10 @@ int usage() {
       "  simulate  --users N --slots T --solver NAME --k K [--radius R]\n"
       "            [--drift SIGMA] [--churn P] [--seed S]\n"
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
-      "            [--batch B] [--shards S] [--threshold F] [--seed S]\n"
-      "            [--index none|grid|auto]\n"
+      "            [--batch B] [--shards S] [--store-shards C]\n"
+      "            [--threshold F] [--seed S] [--index none|grid|auto]\n"
       "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]\n"
-      "             [--loops N]]\n"
+      "             [--loops N]] [--store-shards C]\n"
       "            [--wal-dir DIR [--fsync always|group|never]\n"
       "             [--snapshot-every N]] [--primary HOST --primary-port P]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
@@ -75,6 +75,9 @@ int usage() {
       "             --stats scrapes and prints the metrics exposition;\n"
       "             --wal-dir makes a --listen server durable: it recovers\n"
       "             the store from DIR, then logs every mutation;\n"
+      "             --store-shards C > 1 region-shards the store and the\n"
+      "             log (per-shard dirs under --wal-dir; 1 = bit-identical\n"
+      "             to the unsharded layout);\n"
       "             --primary makes a --listen server a read-only replica\n"
       "             streaming from another serve-net --listen --wal-dir)\n"
       "  stats     --port P [--host H]\n"
@@ -82,9 +85,10 @@ int usage() {
       "  wal-dump  --dir DIR\n"
       "            (list checkpoints and log records, then the recovered\n"
       "             store digest — compare two directories with grep)\n"
-      "  wal-recover --dir DIR [--dim D]\n"
-      "            (dry-run crash recovery; exit 1 when the log is not\n"
-      "             cleanly recoverable)\n";
+      "  wal-recover --dir DIR [--dim D] [--shards C]\n"
+      "            (dry-run crash recovery; --shards C > 1 replays each\n"
+      "             shard dir independently and prints the per-shard table;\n"
+      "             exit 1 when the log is not cleanly recoverable)\n";
   return 2;
 }
 
@@ -318,6 +322,11 @@ int cmd_serve_replay(io::Args& args) {
   config.k = static_cast<std::size_t>(args.get_int("k", 4));
   config.radius = args.get_double("radius", 1.0);
   config.shard.max_shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  // --store-shards splits the InstanceStore itself by region (1 = the
+  // golden-digest bit-identity mode; the solver --shards above is
+  // independent of this).
+  config.store_shards =
+      static_cast<std::size_t>(args.get_int("store-shards", 1));
   config.full_solve_churn_fraction = args.get_double("threshold", 0.05);
   config.max_batch = static_cast<std::size_t>(args.get_int("batch", 256));
   const double churn = args.get_double("churn", 0.01);
@@ -400,6 +409,7 @@ int cmd_serve_replay(io::Args& args) {
   io::Table table({"metric", "value"});
   table.add_row({"population", std::to_string(service.population())});
   table.add_row({"store epoch", std::to_string(service.epoch())});
+  table.add_row({"store shards", std::to_string(service.store_shards())});
   table.add_row({"placements answered", std::to_string(answered)});
   table.add_row({"last objective", io::fixed(last_objective, 4)});
   table.add_row({"batches", std::to_string(m.batches)});
@@ -711,13 +721,44 @@ int cmd_wal_dump(io::Args& args) {
 // Dry-run recovery: what a restarting server would reconstruct from
 // --dir, without writing anything. Exit 1 when replay stopped at
 // corruption (the store is then a consistent but possibly stale state).
+// --shards N replays each shard directory independently, exactly like a
+// serve-net --listen --store-shards N startup, and prints the per-shard
+// table plus the re-derived global view; it also reports whether the
+// directory existed at all (an empty-but-existing --wal-dir is a clean
+// empty log; a missing one is a fresh deployment).
 int cmd_wal_recover(io::Args& args) {
   const std::string dir = args.get_string("dir", "");
   const auto dim = static_cast<std::uint16_t>(args.get_int("dim", 0));
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
   args.finish();
   if (dir.empty()) throw ParseError("wal-recover: --dir is required");
-  const wal::RecoveryResult rr = wal::recover(dir, dim);
-  print_recovery_result(rr);
+  if (shards < 1) throw ParseError("wal-recover: --shards must be >= 1");
+  if (shards == 1) {
+    const wal::RecoveryResult rr = wal::recover(dir, dim);
+    print_recovery_result(rr);
+    std::cout << "dir: " << (rr.dir_found ? "found" : "missing") << "\n";
+    return rr.clean ? 0 : 1;
+  }
+  const wal::ShardedRecovery rr = wal::recover_sharded(dir, shards, dim);
+  io::Table table({"shard", "epoch", "rows", "clean", "dir", "digest"});
+  for (std::size_t s = 0; s < rr.shards.size(); ++s) {
+    const wal::RecoveryResult& part = rr.shards[s];
+    table.add_row({std::to_string(s), std::to_string(part.store.epoch),
+                   std::to_string(part.store.size()),
+                   part.clean ? "yes" : "no",
+                   part.dir_found ? "found" : "missing",
+                   hex_digest(wal::snapshot_digest(part.store))});
+  }
+  table.print(std::cout);
+  std::cout << "global: epoch " << rr.global_epoch << "  rows " << rr.rows
+            << "  dir " << (rr.dir_found ? "found" : "missing")
+            << (rr.clean ? "" : "  (NOT CLEAN)") << "\n";
+  for (std::size_t s = 0; s < rr.shards.size(); ++s) {
+    if (!rr.shards[s].clean) {
+      std::cout << "shard " << s << " detail: " << rr.shards[s].detail
+                << "\n";
+    }
+  }
   return rr.clean ? 0 : 1;
 }
 
@@ -751,6 +792,8 @@ int cmd_serve_net(io::Args& args) {
   serve::ServiceConfig service_config;
   service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
   service_config.radius = args.get_double("radius", 1.0);
+  service_config.store_shards =
+      static_cast<std::size_t>(args.get_int("store-shards", 1));
   apply_index_flag(args);
   args.finish();
   if (listen && !connect_host.empty()) {
@@ -772,30 +815,65 @@ int cmd_serve_net(io::Args& args) {
   if (!listen && loops != 1) {
     throw ParseError("serve-net: --loops requires --listen");
   }
+  if (service_config.store_shards < 1) {
+    throw ParseError("serve-net: --store-shards must be >= 1");
+  }
+  if (service_config.store_shards > 1 && !primary_host.empty()) {
+    // Replication installs one global snapshot/epoch, which cannot be
+    // split back into per-shard chains.
+    throw ParseError("serve-net: --primary requires --store-shards 1");
+  }
 
   if (listen) {
     // Durability bootstrap: recover whatever a previous process left in
     // --wal-dir, continue the log from the recovered epoch/lsn, and seed
     // the service with the recovered store before the socket opens.
+    // --store-shards 1 keeps the historical single-log path verbatim;
+    // > 1 recovers each shard directory independently and re-derives the
+    // global epoch as the sum of shard epochs.
     std::optional<wal::WalWriter> writer;
+    std::optional<wal::ShardedWal> shard_wal;
     wal::RecoveryResult recovered;
+    wal::ShardedRecovery sharded_recovered;
     if (!wal_dir.empty()) {
       const auto policy = wal::fsync_policy_from_string(fsync_text);
       if (!policy.has_value()) {
         throw ParseError("serve-net: --fsync must be always|group|never");
       }
-      recovered = wal::recover(
-          wal_dir, static_cast<std::uint16_t>(service_config.dim));
-      if (!recovered.clean) {
-        std::cerr << "warning: recovery stopped early: " << recovered.detail
-                  << "\n";
+      if (service_config.store_shards == 1) {
+        recovered = wal::recover(
+            wal_dir, static_cast<std::uint16_t>(service_config.dim));
+        if (!recovered.clean) {
+          std::cerr << "warning: recovery stopped early: " << recovered.detail
+                    << "\n";
+        }
+        wal::WalConfig wal_config;
+        wal_config.dir = wal_dir;
+        wal_config.fsync = *policy;
+        wal_config.snapshot_every_ops = snapshot_every;
+        writer.emplace(wal_config, recovered.store.epoch, recovered.last_lsn);
+        service_config.wal = &*writer;
+      } else {
+        sharded_recovered = wal::recover_sharded(
+            wal_dir, service_config.store_shards,
+            static_cast<std::uint16_t>(service_config.dim));
+        if (!sharded_recovered.clean) {
+          for (std::size_t s = 0; s < sharded_recovered.shards.size(); ++s) {
+            const wal::RecoveryResult& part = sharded_recovered.shards[s];
+            if (!part.clean) {
+              std::cerr << "warning: shard " << s
+                        << " recovery stopped early: " << part.detail << "\n";
+            }
+          }
+        }
+        wal::WalConfig wal_config;
+        wal_config.dir = wal_dir;
+        wal_config.fsync = *policy;
+        wal_config.snapshot_every_ops = snapshot_every;
+        shard_wal.emplace(wal_config, service_config.store_shards,
+                          sharded_recovered);
+        service_config.shard_wal = &*shard_wal;
       }
-      wal::WalConfig wal_config;
-      wal_config.dir = wal_dir;
-      wal_config.fsync = *policy;
-      wal_config.snapshot_every_ops = snapshot_every;
-      writer.emplace(wal_config, recovered.store.epoch, recovered.last_lsn);
-      service_config.wal = &*writer;
     }
     net::NetServerConfig net_config;
     net_config.port = port;
@@ -811,6 +889,16 @@ int cmd_serve_net(io::Args& args) {
                 << hex_digest(wal::snapshot_digest(recovered.store))
                 << "), fsync=" << to_string(writer->config().fsync)
                 << std::endl;
+    }
+    if (shard_wal.has_value()) {
+      if (sharded_recovered.global_epoch > 0) {
+        server.service().restore_sharded(sharded_recovered);
+      }
+      std::cout << "wal: recovered " << sharded_recovered.shards.size()
+                << " shards, global epoch " << sharded_recovered.global_epoch
+                << " (" << sharded_recovered.rows << " rows, dir "
+                << (sharded_recovered.dir_found ? "found" : "missing")
+                << "), fsync=" << fsync_text << std::endl;
     }
     server.start();
     // A replica subscribes after the server is up so a promoted-to-primary
