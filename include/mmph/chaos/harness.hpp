@@ -79,6 +79,11 @@ struct WalChaosOptions {
   std::size_t operations = 80;  ///< scripted direct-API ops per schedule
 };
 
+struct LsChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t operations = 60;  ///< scripted requests per schedule
+};
+
 struct StoreShardChaosOptions {
   std::uint64_t seed = 1;
   std::size_t operations = 80;  ///< scripted direct-API ops per schedule
@@ -96,6 +101,7 @@ struct StoreShardChaosOptions {
 [[nodiscard]] FaultPlan net_plan_for_seed(std::uint64_t seed,
                                           std::size_t loops);
 [[nodiscard]] FaultPlan wal_plan_for_seed(std::uint64_t seed);
+[[nodiscard]] FaultPlan ls_plan_for_seed(std::uint64_t seed);
 [[nodiscard]] FaultPlan store_shard_plan_for_seed(std::uint64_t seed);
 
 /// Direct-API chaos: PlacementService + RequestBatcher under the four
@@ -110,6 +116,17 @@ struct StoreShardChaosOptions {
 /// filesystem under the wal.* fault sites, then crash-clone + recover.
 /// Invariant: recovered store == pre-crash store, bitwise.
 [[nodiscard]] ChaosResult run_wal_chaos(const WalChaosOptions& options);
+
+/// Local-search polish chaos: a PlacementService on the kLs solver tier
+/// with ls.eval_throw (plus the output-invisible spatial.* sites) armed.
+/// An eval throw mid-polish must abort only the polish: the solve keeps
+/// the unpolished seed placement and the request still answers kOk.
+/// Invariants: exactly-once replies, counter conservation, and after
+/// disarm + one clean re-solve the survivor's placement is *bit-identical*
+/// to a fault-free kLs service fed the same kOk mutations — whose
+/// objective in turn is >= the kLazy placement for the same store content
+/// (the polish-never-hurts contract).
+[[nodiscard]] ChaosResult run_ls_chaos(const LsChaosOptions& options);
 
 /// Sharded-store durability chaos: a region-sharded PlacementService
 /// behind a ShardedWal coordinator over one MemFileOps filesystem, under

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief Name-based solver construction including the ls polish tier.
+///
+/// core::make_solver cannot name the ls solvers (core sits below ls in the
+/// module layering), so CLIs resolve names through this wrapper: it owns
+/// the "ls"-family names and delegates everything else to core.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmph/core/registry.hpp"
+#include "mmph/ls/local_search.hpp"
+
+namespace mmph::ls {
+
+/// core::solver_names() plus the ls tier:
+///   "ls"       lazy greedy seed polished over the instance points
+///   "ls-tabu"  same seed, tabu best-improvement move selection
+[[nodiscard]] std::vector<std::string> solver_names();
+
+/// Builds the named solver; unknown ls names fall through to
+/// core::make_solver (which throws InvalidArgument for truly unknown
+/// names). \p ls_config tunes the polish phase of the ls-family names.
+[[nodiscard]] std::unique_ptr<core::Solver> make_solver(
+    const std::string& name, const core::Problem& problem,
+    const core::SolverConfig& config = {}, const LsConfig& ls_config = {});
+
+}  // namespace mmph::ls

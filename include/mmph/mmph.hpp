@@ -64,6 +64,11 @@
 #include "mmph/core/submodular.hpp"
 #include "mmph/core/swap_evaluator.hpp"
 
+// Local-search polish tier and certified upper bounds
+#include "mmph/ls/bounds.hpp"
+#include "mmph/ls/local_search.hpp"
+#include "mmph/ls/registry.hpp"
+
 // Traces
 #include "mmph/trace/span.hpp"
 #include "mmph/trace/trace.hpp"

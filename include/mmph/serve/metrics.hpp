@@ -43,6 +43,11 @@ struct MetricsSnapshot {
   std::uint64_t spatial_incremental_updates = 0;
   std::uint64_t spatial_rebuilds = 0;
 
+  // Local-search polish activity (all 0 unless the ls solver tier runs).
+  std::uint64_t ls_moves = 0;         ///< committed shift/swap moves
+  std::uint64_t ls_improvements = 0;  ///< solves where ls beat its seed
+  std::uint64_t ls_evals = 0;         ///< delta evaluations
+
   double mean_batch_size = 0.0;
   double solve_p50_seconds = 0.0;
   double solve_p99_seconds = 0.0;
@@ -83,6 +88,14 @@ class ServeMetrics {
   /// last publication) into the mmph_spatial_* counters. The families are
   /// registered up front, so they scrape as 0 when no index is in use.
   void add_spatial(const spatial::IndexStats& delta);
+
+  /// Folds one polish run's counters into the mmph_ls_* families
+  /// (registered up front: they scrape as 0 on the greedy/lazy tiers).
+  void add_ls(std::uint64_t moves, std::uint64_t evals, bool improved) {
+    ls_moves_->add(moves);
+    ls_evals_->add(evals);
+    if (improved) ls_improvements_->add();
+  }
 
   /// Registers the per-store-shard instrument families (one labeled
   /// series per shard, the net-loop idiom). Called once by the service
@@ -126,6 +139,9 @@ class ServeMetrics {
   obs::Counter* spatial_points_touched_;
   obs::Counter* spatial_updates_;
   obs::Counter* spatial_rebuilds_;
+  obs::Counter* ls_moves_;
+  obs::Counter* ls_improvements_;
+  obs::Counter* ls_evals_;
   obs::Histogram* solve_seconds_;
   /// Per-store-shard series; empty until configure_store_shards().
   std::vector<obs::Counter*> shard_mutations_;

@@ -42,6 +42,7 @@
 
 #include "mmph/core/problem.hpp"
 #include "mmph/core/solution.hpp"
+#include "mmph/ls/local_search.hpp"
 #include "mmph/parallel/thread_pool.hpp"
 #include "mmph/serve/fault.hpp"
 #include "mmph/serve/instance_store.hpp"
@@ -59,6 +60,28 @@
 
 namespace mmph::serve {
 
+/// Which solver tier produces placements (the --solver CLI flag).
+enum class SolverTier {
+  /// Plain greedy. Lazy greedy's selections are bitwise-identical to
+  /// greedy's (the lazy queue only skips evaluations whose stale bound
+  /// already loses), so this runs the same sharded path as kLazy and is
+  /// kept as an explicit name for operators and A/B configs.
+  kGreedy,
+  /// Sharded lazy greedy with global merge — the default since PR 1.
+  kLazy,
+  /// kLazy, then every solve's output is polished by shift/swap local
+  /// search (ls::polish) over the instance points, riding the carried
+  /// coverage index for delta evaluation. Warm re-solves seed the polish
+  /// from the previous epoch's placement (the planner's refined centers),
+  /// and the polish never returns a worse placement than its seed.
+  kLs,
+};
+
+[[nodiscard]] const char* solver_tier_name(SolverTier tier) noexcept;
+/// Parses "greedy" / "lazy" / "ls"; std::nullopt for anything else.
+[[nodiscard]] std::optional<SolverTier> parse_solver_tier(
+    std::string_view name) noexcept;
+
 struct ServiceConfig {
   std::size_t dim = 2;
   std::size_t k = 8;
@@ -67,6 +90,13 @@ struct ServiceConfig {
   core::RewardShape shape = core::RewardShape::kLinear;
 
   ShardedSolverConfig shard{};
+
+  /// Solver tier for placements (see SolverTier).
+  SolverTier solver = SolverTier::kLazy;
+  /// Polish tunables for the kLs tier. The fault_hook field here is
+  /// ignored: the service forwards its own fault_hook so the ls.eval_throw
+  /// site shares the one chaos seam.
+  ls::LsConfig ls{};
 
   /// Churn (mutations since last solve) above this fraction of the
   /// population forces a full sharded re-solve instead of a warm refine.

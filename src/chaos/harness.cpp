@@ -14,6 +14,7 @@
 #include "mmph/chaos/faulty_socket_ops.hpp"
 #include "mmph/chaos/injector.hpp"
 #include "mmph/core/kernels.hpp"
+#include "mmph/ls/local_search.hpp"
 #include "mmph/net/client.hpp"
 #include "mmph/net/server.hpp"
 #include "mmph/random/pcg64.hpp"
@@ -317,6 +318,231 @@ ChaosResult run_serve_chaos(const ServeChaosOptions& options) {
   }
 
   result.faults_fired = total_fired(injector);
+  return result;
+}
+
+FaultPlan ls_plan_for_seed(std::uint64_t seed) {
+  rnd::Pcg64 rng(seed ^ kPlanStream);
+  FaultPlan plan;
+  plan.seed = seed;
+  // The eval site is consulted once per delta evaluation — thousands of
+  // times per polish — so the per-consult probability must sit orders of
+  // magnitude below the serve sites to leave some polishes un-aborted
+  // (the sweep needs both "abort keeps the seed" and "polish survives"
+  // coverage on most seeds).
+  plan.with(ls::kFaultLsEvalThrow, 5e-4 * rng.next_double());
+  // Spatial faults stay armed too: the polish borrows the carried index,
+  // and dropping/corrupting it must remain output-invisible.
+  plan.with(serve::kFaultSpatialAllocFail, 0.25 * rng.next_double());
+  plan.with(serve::kFaultSpatialCorrupt, 0.25 * rng.next_double());
+  return plan;
+}
+
+ChaosResult run_ls_chaos(const LsChaosOptions& options) {
+  ChaosResult result;
+  result.seed = options.seed;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.message = describe(options.seed, what);
+    return result;
+  };
+
+  Injector injector(ls_plan_for_seed(options.seed));
+
+  // Force the coverage grid on (see run_serve_chaos) so the borrowed-index
+  // path of the polish and the spatial.* sites are actually exercised.
+  const core::kernels::ScopedIndexMode index_mode(
+      core::kernels::IndexMode::kGrid);
+
+  serve::ServiceConfig config;
+  config.dim = 2;
+  config.k = 4;
+  config.radius = 0.3;
+  config.solver = serve::SolverTier::kLs;
+  // Every re-solve is a full sharded solve + polish: the placement is then
+  // a pure function of store content + row order, which makes the
+  // fault-free replay below comparable bit-for-bit.
+  config.full_solve_churn_fraction = 0.0;
+  config.max_batch = 16;
+  config.fault_hook = injector.hook();
+  serve::PlacementService service(config);
+
+  struct Mutation {
+    bool is_add = false;
+    std::vector<serve::UserRecord> users;
+    std::vector<std::uint64_t> ids;
+  };
+  std::vector<Mutation> mutations;
+  std::vector<std::size_t> mutation_of;
+  std::vector<std::future<serve::Response>> futures;
+
+  rnd::Pcg64 rng(options.seed ^ kWorkloadStream);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+
+  auto submit = [&](serve::Request request, Mutation mutation) {
+    request.deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+    const bool is_mutation = !mutation.users.empty() || !mutation.ids.empty();
+    mutations.push_back(std::move(mutation));
+    mutation_of.push_back(is_mutation ? mutations.size() - 1
+                                      : static_cast<std::size_t>(-1));
+    futures.push_back(service.submit(std::move(request)));
+    ++result.requests;
+  };
+
+  for (std::size_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind < 6 || live.empty()) {  // add 1..4 users
+      std::vector<serve::UserRecord> batch;
+      const std::size_t count = 1 + rng.next_below(4);
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::uint64_t id = next_id++;
+        live.push_back(id);
+        batch.push_back(make_user(id, rng));
+      }
+      Mutation mutation;
+      mutation.is_add = true;
+      mutation.users = batch;
+      submit(serve::Request::add_users(std::move(batch)), std::move(mutation));
+    } else if (kind < 8) {  // remove 1..2 live ids
+      std::vector<std::uint64_t> ids;
+      const std::size_t count = 1 + rng.next_below(2);
+      for (std::size_t j = 0; j < count && !live.empty(); ++j) {
+        const std::size_t at = rng.next_below(live.size());
+        ids.push_back(live[at]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      Mutation mutation;
+      mutation.ids = ids;
+      submit(serve::Request::remove_users(std::move(ids)),
+             std::move(mutation));
+    } else if (kind < 9) {
+      submit(serve::Request::query_placement(), {});
+    } else {
+      submit(serve::Request::evaluate(make_probe(rng)), {});
+    }
+    if (rng.next_below(3) == 0) {
+      while (service.pump(milliseconds(0)) > 0) {
+      }
+    }
+  }
+  while (service.pump(milliseconds(0)) > 0) {
+  }
+  if (service.queue_depth() != 0) return fail("queue did not drain");
+
+  result.faults_fired = total_fired(injector);
+
+  // Survival + convergence need one clean re-solve: the last solve under
+  // fire may have kept its unpolished seed, which is valid but not what
+  // the fault-free replay produces. Disarm, apply one more known
+  // mutation, and require the final solve to polish cleanly.
+  injector.set_armed(false);
+  {
+    rnd::Pcg64 tail_rng(options.seed ^ kWorkloadStream ^ 0x5157ull);
+    Mutation mutation;
+    mutation.is_add = true;
+    mutation.users = {make_user(next_id++, tail_rng)};
+    std::vector<serve::UserRecord> batch = mutation.users;
+    submit(serve::Request::add_users(std::move(batch)), std::move(mutation));
+    while (service.pump(milliseconds(0)) > 0) {
+    }
+  }
+
+  // Invariant 1: exactly-once replies, every status from the valid set
+  // (ls.eval_throw must never surface as a failed request — an aborted
+  // polish still answers kOk with the seed placement).
+  std::vector<serve::ResponseStatus> statuses;
+  statuses.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].valid() ||
+        futures[i].wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+      return fail("request " + std::to_string(i) + " was never answered");
+    }
+    serve::Response response;
+    try {
+      response = futures[i].get();
+    } catch (const std::future_error&) {
+      return fail("request " + std::to_string(i) + " promise was abandoned");
+    }
+    switch (response.status) {
+      case serve::ResponseStatus::kOk:
+      case serve::ResponseStatus::kRejected:
+      case serve::ResponseStatus::kTimeout:
+      case serve::ResponseStatus::kInternalError:
+        break;
+      default:
+        return fail("request " + std::to_string(i) + " got invalid status " +
+                    std::string(serve::to_string(response.status)));
+    }
+    statuses.push_back(response.status);
+  }
+  if (statuses.back() != serve::ResponseStatus::kOk) {
+    return fail("post-disarm mutation did not answer kOk");
+  }
+
+  // Invariant 2: counter conservation after quiesce.
+  const serve::MetricsSnapshot m = service.metrics();
+  if (m.submitted != m.batched_requests + m.timeouts + m.rejected_full) {
+    std::ostringstream out;
+    out << "counter conservation violated: submitted=" << m.submitted
+        << " batched=" << m.batched_requests << " timeouts=" << m.timeouts
+        << " rejected=" << m.rejected_full;
+    return fail(out.str());
+  }
+
+  // Invariants 3+4: the survivor must match a fault-free kLs replay of the
+  // kOk mutations bit for bit, and that replay must sit at or above the
+  // kLazy placement for the same store content (polish never hurts).
+  serve::ServiceConfig ls_config = config;
+  ls_config.fault_hook = {};
+  serve::PlacementService ls_reference(ls_config);
+  serve::ServiceConfig lazy_config = ls_config;
+  lazy_config.solver = serve::SolverTier::kLazy;
+  serve::PlacementService lazy_reference(lazy_config);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (statuses[i] != serve::ResponseStatus::kOk) continue;
+    if (mutation_of[i] == static_cast<std::size_t>(-1)) continue;
+    const Mutation& mutation = mutations[mutation_of[i]];
+    if (mutation.is_add) {
+      ls_reference.apply_add(mutation.users);
+      lazy_reference.apply_add(mutation.users);
+    } else {
+      ls_reference.apply_remove(mutation.ids);
+      lazy_reference.apply_remove(mutation.ids);
+    }
+  }
+
+  const serve::PlacementView survivor = service.placement();
+  const serve::PlacementView replay = ls_reference.placement();
+  const serve::PlacementView lazy = lazy_reference.placement();
+  if (service.population() != ls_reference.population()) {
+    return fail("population diverged from fault-free replay");
+  }
+  if (survivor.epoch != replay.epoch) {
+    std::ostringstream out;
+    out << "epoch diverged: survivor=" << survivor.epoch
+        << " replay=" << replay.epoch;
+    return fail(out.str());
+  }
+  if (survivor.objective != replay.objective) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "objective diverged: survivor=" << survivor.objective
+        << " replay=" << replay.objective;
+    return fail(out.str());
+  }
+  if (!same_centers(survivor.solution.centers, replay.solution.centers)) {
+    return fail("centers diverged from fault-free replay");
+  }
+  if (replay.objective < lazy.objective) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "polish hurt the placement: ls=" << replay.objective
+        << " lazy=" << lazy.objective;
+    return fail(out.str());
+  }
+
   return result;
 }
 

@@ -1,0 +1,27 @@
+#include "mmph/ls/registry.hpp"
+
+#include "mmph/core/lazy_greedy.hpp"
+
+namespace mmph::ls {
+
+std::vector<std::string> solver_names() {
+  std::vector<std::string> names = core::solver_names();
+  names.push_back("ls");
+  names.push_back("ls-tabu");
+  return names;
+}
+
+std::unique_ptr<core::Solver> make_solver(const std::string& name,
+                                          const core::Problem& problem,
+                                          const core::SolverConfig& config,
+                                          const LsConfig& ls_config) {
+  if (name == "ls" || name == "ls-tabu") {
+    LsConfig polish = ls_config;
+    if (name == "ls-tabu" && polish.tabu_tenure == 0) polish.tabu_tenure = 4;
+    return std::make_unique<LocalSearchSolver>(
+        std::make_shared<core::LazyGreedySolver>(), std::move(polish));
+  }
+  return core::make_solver(name, problem, config);
+}
+
+}  // namespace mmph::ls

@@ -45,6 +45,13 @@ ServeMetrics::ServeMetrics()
                              "index add/update/swap-remove operations")),
       spatial_rebuilds_(&registry_.counter("mmph_spatial_rebuilds_total",
                                            "index bulk (re)builds")),
+      ls_moves_(&registry_.counter("mmph_ls_moves_total",
+                                   "committed local-search shift/swap moves")),
+      ls_improvements_(
+          &registry_.counter("mmph_ls_improvements_total",
+                             "solves where the ls polish beat its seed")),
+      ls_evals_(&registry_.counter("mmph_ls_evals_total",
+                                   "local-search delta evaluations")),
       solve_seconds_(&registry_.histogram("mmph_serve_solve_seconds",
                                           "placement solve latency")) {}
 
@@ -124,6 +131,9 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   snap.spatial_points_touched = spatial_points_touched_->value();
   snap.spatial_incremental_updates = spatial_updates_->value();
   snap.spatial_rebuilds = spatial_rebuilds_->value();
+  snap.ls_moves = ls_moves_->value();
+  snap.ls_improvements = ls_improvements_->value();
+  snap.ls_evals = ls_evals_->value();
   snap.mean_batch_size =
       snap.batches == 0 ? 0.0
                         : static_cast<double>(snap.batched_requests) /

@@ -49,6 +49,25 @@ double region_cell_for(const ServiceConfig& config) {
 
 }  // namespace
 
+const char* solver_tier_name(SolverTier tier) noexcept {
+  switch (tier) {
+    case SolverTier::kGreedy:
+      return "greedy";
+    case SolverTier::kLazy:
+      return "lazy";
+    case SolverTier::kLs:
+      return "ls";
+  }
+  return "lazy";
+}
+
+std::optional<SolverTier> parse_solver_tier(std::string_view name) noexcept {
+  if (name == "greedy") return SolverTier::kGreedy;
+  if (name == "lazy") return SolverTier::kLazy;
+  if (name == "ls") return SolverTier::kLs;
+  return std::nullopt;
+}
+
 PlacementService::PlacementService(ServiceConfig config, par::ThreadPool* pool)
     : config_(config),
       pool_(pool != nullptr ? *pool : par::ThreadPool::global()),
@@ -704,6 +723,24 @@ const PlacementView& PlacementService::solve_locked() {
   const std::uint64_t warm_before = planner_->warm_solves();
   const auto start = Clock::now();
   core::Solution solution = planner_->plan(problem, config_.k);
+  if (config_.solver == SolverTier::kLs && !solution.centers.empty()) {
+    // Polish the solve's output (warm path: the previous placement's
+    // refined centers — LS is seeded from the previous epoch). The carried
+    // coverage index, when present, serves the delta evaluations; the
+    // polisher unmasks it and IndexedActiveSet re-unmasks at its next
+    // solve, so lending it both ways is safe under the service mutex. A
+    // polish abort (ls.eval_throw) falls back to the seed placement.
+    ls::LsConfig polish = config_.ls;
+    polish.fault_hook = config_.fault_hook;
+    ls::LsStats ls_stats;
+    const auto polish_start = Clock::now();
+    solution = ls::polish(problem, solution, problem.points(), polish,
+                          &ls_stats, index_.get());
+    metrics_.add_ls(ls_stats.moves, ls_stats.evals, ls_stats.improved);
+    trace::SpanCollector::global().record(
+        "serve.solve.polish",
+        std::chrono::duration<double>(Clock::now() - polish_start).count());
+  }
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   if (store_.shard_count() > 1) {

@@ -4,12 +4,12 @@
 // invariant violation, printing the seed so the failure reproduces with
 //
 //   chaos_runner --mode serve --seed <N>
-//   (or --mode net / --mode wal / --mode shards)
+//   (or --mode net / --mode wal / --mode shards / --mode ls)
 //
 // Usage:
 //   chaos_runner [--serve-seeds N] [--net-seeds M] [--wal-seeds W]
-//                [--shard-seeds P] [--base-seed B]
-//                [--mode all|serve|net|wal|shards]
+//                [--shard-seeds P] [--ls-seeds Q] [--base-seed B]
+//                [--mode all|serve|net|wal|shards|ls]
 //                [--seed S] [--ops K] [--loops L] [--shards C]
 //
 // --seed runs exactly one schedule per selected mode (reproduction);
@@ -36,6 +36,7 @@ struct RunnerOptions {
   std::uint64_t net_seeds = 100;
   std::uint64_t wal_seeds = 250;
   std::uint64_t shard_seeds = 120;
+  std::uint64_t ls_seeds = 200;
   std::uint64_t base_seed = 1;
   std::uint64_t one_seed = 0;  // 0 = sweep
   std::size_t ops = 0;         // 0 = harness default
@@ -45,6 +46,7 @@ struct RunnerOptions {
   bool run_net = true;
   bool run_wal = true;
   bool run_shards = true;
+  bool run_ls = true;
 };
 
 [[noreturn]] void usage_error(const char* what) {
@@ -52,8 +54,8 @@ struct RunnerOptions {
                "chaos_runner: %s\n"
                "usage: chaos_runner [--serve-seeds N] [--net-seeds M]\n"
                "                    [--wal-seeds W] [--shard-seeds P]\n"
-               "                    [--base-seed B]\n"
-               "                    [--mode all|serve|net|wal|shards]\n"
+               "                    [--ls-seeds Q] [--base-seed B]\n"
+               "                    [--mode all|serve|net|wal|shards|ls]\n"
                "                    [--seed S] [--ops K] [--loops L]\n"
                "                    [--shards C]\n",
                what);
@@ -83,6 +85,8 @@ RunnerOptions parse(int argc, char** argv) {
       options.wal_seeds = parse_u64(value());
     } else if (arg == "--shard-seeds") {
       options.shard_seeds = parse_u64(value());
+    } else if (arg == "--ls-seeds") {
+      options.ls_seeds = parse_u64(value());
     } else if (arg == "--base-seed") {
       options.base_seed = parse_u64(value());
     } else if (arg == "--seed") {
@@ -101,8 +105,9 @@ RunnerOptions parse(int argc, char** argv) {
       options.run_net = mode == "all" || mode == "net";
       options.run_wal = mode == "all" || mode == "wal";
       options.run_shards = mode == "all" || mode == "shards";
+      options.run_ls = mode == "all" || mode == "ls";
       if (!options.run_serve && !options.run_net && !options.run_wal &&
-          !options.run_shards) {
+          !options.run_shards && !options.run_ls) {
         usage_error("bad --mode");
       }
     } else {
@@ -248,6 +253,28 @@ int main(int argc, char** argv) {
       }
       if ((i + 1) % 20 == 0) {
         std::printf("shards: %llu/%llu seeds ok (shard counts swept)\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(count));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (options.run_ls) {
+    const std::uint64_t first =
+        options.one_seed != 0 ? options.one_seed : options.base_seed;
+    const std::uint64_t count = options.one_seed != 0 ? 1 : options.ls_seeds;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      mmph::chaos::LsChaosOptions ls_options;
+      ls_options.seed = first + i;
+      if (options.ops != 0) ls_options.operations = options.ops;
+      const mmph::chaos::ChaosResult result =
+          mmph::chaos::run_ls_chaos(ls_options);
+      if (!report(result, "ls")) return 1;
+      ++schedules;
+      faults += result.faults_fired;
+      if ((i + 1) % 50 == 0) {
+        std::printf("ls: %llu/%llu schedules ok\n",
                     static_cast<unsigned long long>(i + 1),
                     static_cast<unsigned long long>(count));
         std::fflush(stdout);

@@ -27,10 +27,26 @@ grep -q "greedy3" "$DIR/cmp.txt"
 # simulate smoke
 "$CLI" simulate --users 10 --slots 5 --solver greedy3 | grep -q "total reward"
 
+# ls solver tier: solve with the polish tier, and the ls solution never
+# undercuts the lazy seed it polishes
+"$CLI" solve --problem "$DIR/p.txt" --solver ls --k 3 --out "$DIR/ls.txt"
+"$CLI" evaluate --problem "$DIR/p.txt" --solution "$DIR/ls.txt" > "$DIR/lseval.txt"
+grep -q "consistent" "$DIR/lseval.txt"
+grep -q "ls(greedy2-lazy)" "$DIR/lseval.txt"
+"$CLI" compare --problem "$DIR/p.txt" --k 3 --solvers greedy2-lazy,ls > "$DIR/lscmp.txt"
+grep -q "^greedy2-lazy " "$DIR/lscmp.txt"
+grep -q "^ls " "$DIR/lscmp.txt"
+
 # serve-replay smoke: batched churn replay reports solve metrics and spans
 "$CLI" serve-replay --users 120 --slots 4 --k 3 --churn 0.02 > "$DIR/serve.txt"
 grep -q "incremental ratio" "$DIR/serve.txt"
 grep -q "serve.batch" "$DIR/serve.txt"
+
+# serve-replay on the ls tier reports the polish counters
+"$CLI" serve-replay --users 120 --slots 3 --k 3 --solver ls > "$DIR/servels.txt"
+grep -q "ls moves" "$DIR/servels.txt"
+grep -q "ls evals" "$DIR/servels.txt"
+grep -q "serve.solve.polish" "$DIR/servels.txt"
 
 # serve-net self-test smoke: in-process server + client over loopback;
 # --stats appends the scraped Prometheus exposition to the report.
@@ -84,4 +100,27 @@ fi
 if "$CLI" evaluate --problem /does/not/exist --solution "$DIR/s.txt" 2>/dev/null; then
   echo "missing file accepted"; exit 1
 fi
+
+# typed argument validation: non-positive counts and k > n fail up front
+# with a named-flag error instead of wrapping through size_t casts
+if "$CLI" serve-replay --users 20 --slots 2 --store-shards 0 2>"$DIR/err1.txt"; then
+  echo "--store-shards 0 accepted"; exit 1
+fi
+grep -q "store-shards must be >= 1" "$DIR/err1.txt"
+if "$CLI" serve-net --loops 0 2>"$DIR/err2.txt"; then
+  echo "--loops 0 accepted"; exit 1
+fi
+grep -q "loops must be >= 1" "$DIR/err2.txt"
+if "$CLI" serve-net --loops -2 2>"$DIR/err3.txt"; then
+  echo "negative --loops accepted"; exit 1
+fi
+grep -q "loops must be >= 1" "$DIR/err3.txt"
+if "$CLI" solve --problem "$DIR/p.txt" --solver greedy3 --k 26 2>"$DIR/err4.txt"; then
+  echo "k > n accepted"; exit 1
+fi
+grep -q "exceeds the instance size" "$DIR/err4.txt"
+if "$CLI" serve-replay --users 20 --slots 2 --solver frob 2>"$DIR/err5.txt"; then
+  echo "unknown solver tier accepted"; exit 1
+fi
+grep -q "unknown --solver" "$DIR/err5.txt"
 echo "cli_test OK"

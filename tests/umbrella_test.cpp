@@ -16,6 +16,14 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   const core::Solution s = core::make_solver("greedy2", p)->solve(p, 2);
   EXPECT_GT(s.total_reward, 0.0);
   EXPECT_NEAR(s.total_reward, core::objective_value(p, s.centers), 1e-9);
+
+  // The ls tier is reachable through the umbrella too: polish the greedy
+  // solution and certify it against the upper bound.
+  const core::Solution polished = ls::polish(p, s, p.points());
+  const ls::UpperBounds bounds =
+      ls::certified_upper_bounds(p, 2, s, p.points());
+  EXPECT_GE(polished.total_reward, s.total_reward);
+  EXPECT_LE(polished.total_reward, bounds.best() + 1e-9);
 }
 
 }  // namespace

@@ -43,6 +43,17 @@
 #                               # the shard-labeled suites. Pre-merge
 #                               # gate for sharded-store / sharded-WAL /
 #                               # commit-barrier changes.
+#   tools/check.sh quality      # solver-quality gate: the quality-labeled
+#                               # ctest tier (210-instance differential
+#                               # corpus pinning exhaustive >= ls >= lazy
+#                               # >= Thm-2 floor and ls <= certified
+#                               # bound, plus a 100-seed LS determinism
+#                               # sweep) and a chaos_runner --mode ls
+#                               # sweep (ls.eval_throw fault schedules).
+#                               # MMPH_SANITIZE=ON tools/check.sh quality
+#                               # is the pre-merge gate for mmph::ls /
+#                               # bounds / solver changes (same run under
+#                               # ASan/UBSan).
 #   tools/check.sh tsan         # ThreadSanitizer build (MMPH_TSAN=ON, own
 #                               # build-tsan dir) + the net/chaos suites +
 #                               # a multi-loop chaos_runner net sweep at
@@ -53,7 +64,8 @@
 #
 # Extra args are forwarded to ctest: tools/check.sh -R serve filters by
 # name, tools/check.sh -L unit filters by label (labels: unit, net,
-# slow, chaos, wal, spatial, unit_shards, wal_shards, net_chaos — see
+# slow, chaos, wal, spatial, quality, unit_shards, wal_shards,
+# net_chaos — see
 # tests/CMakeLists.txt; -L matches by regex, so -L shards selects the
 # shard suites).
 set -e
@@ -109,6 +121,12 @@ if [ "$1" = "shards" ]; then
   ( cd "$TSAN_DIR" && \
     exec ctest --output-on-failure -L shards -j "$(nproc 2>/dev/null || echo 4)" )
   exit $?
+fi
+
+if [ "$1" = "quality" ]; then
+  ( cd "$BUILD_DIR" && \
+    ctest --output-on-failure -L quality -j "$(nproc 2>/dev/null || echo 4)" )
+  exec "$BUILD_DIR/tests/chaos_runner" --mode ls --ls-seeds 100
 fi
 
 if [ "$1" = "wal" ]; then

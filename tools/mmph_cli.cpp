@@ -31,6 +31,8 @@
 #include "mmph/core/registry.hpp"
 #include "mmph/io/args.hpp"
 #include "mmph/io/table.hpp"
+#include "mmph/ls/bounds.hpp"
+#include "mmph/ls/registry.hpp"
 #include "mmph/net/client.hpp"
 #include "mmph/net/replica.hpp"
 #include "mmph/net/server.hpp"
@@ -55,6 +57,8 @@ int usage() {
       "            --norm l1|l2|linf --out FILE\n"
       "  solve     --problem FILE --solver NAME --k K [--pitch P]\n"
       "            [--index none|grid|auto] [--out FILE]\n"
+      "            (NAME: any core solver, plus ls / ls-tabu — lazy greedy\n"
+      "             polished by shift/swap local search)\n"
       "  evaluate  --problem FILE --solution FILE\n"
       "  describe  --problem FILE\n"
       "  compare   --problem FILE --k K [--solvers a,b,c] [--pitch P]\n"
@@ -63,9 +67,10 @@ int usage() {
       "            [--drift SIGMA] [--churn P] [--seed S]\n"
       "  serve-replay --users N --slots T --k K [--radius R] [--churn P]\n"
       "            [--batch B] [--shards S] [--store-shards C]\n"
-      "            [--threshold F] [--seed S] [--index none|grid|auto]\n"
+      "            [--solver greedy|lazy|ls] [--threshold F] [--seed S]\n"
+      "            [--index none|grid|auto]\n"
       "  serve-net [--listen [--port P] [--port-file FILE] [--run-seconds S]\n"
-      "             [--loops N]] [--store-shards C]\n"
+      "             [--loops N]] [--store-shards C] [--solver greedy|lazy|ls]\n"
       "            [--wal-dir DIR [--fsync always|group|never]\n"
       "             [--snapshot-every N]] [--primary HOST --primary-port P]\n"
       "            [--connect HOST --port P] [--users N] [--slots T] [--k K]\n"
@@ -90,6 +95,31 @@ int usage() {
       "             shard dir independently and prints the per-shard table;\n"
       "             exit 1 when the log is not cleanly recoverable)\n";
   return 2;
+}
+
+/// Consumes an integer flag that must be strictly positive. "--k 0",
+/// "--loops 0", "--store-shards -1" and friends used to wrap through the
+/// size_t cast into absurd requests (or die on an internal assertion deep
+/// in the stack); now they fail up front with a typed ParseError.
+std::size_t get_positive(io::Args& args, const std::string& name,
+                         std::int64_t fallback, const char* command) {
+  const std::int64_t value = args.get_int(name, fallback);
+  if (value < 1) {
+    throw ParseError(std::string(command) + ": --" + name +
+                     " must be >= 1 (got " + std::to_string(value) + ")");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Consumes --solver {greedy,lazy,ls} as a serve tier.
+serve::SolverTier get_solver_tier(io::Args& args, const char* command) {
+  const std::string text = args.get_string("solver", "lazy");
+  const auto tier = serve::parse_solver_tier(text);
+  if (!tier.has_value()) {
+    throw ParseError(std::string(command) + ": unknown --solver '" + text +
+                     "' (greedy|lazy|ls)");
+  }
+  return *tier;
 }
 
 /// Consumes --index {none,grid,auto} and installs it as the process-wide
@@ -145,7 +175,7 @@ int cmd_generate(io::Args& args) {
 int cmd_solve(io::Args& args) {
   const std::string problem_path = args.get_string("problem", "");
   const std::string solver_name = args.get_string("solver", "greedy2");
-  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
+  const std::size_t k = get_positive(args, "k", 4, "solve");
   core::SolverConfig config;
   config.grid_pitch = args.get_double("pitch", 0.5);
   const std::string out = args.get_string("out", "");
@@ -156,9 +186,14 @@ int cmd_solve(io::Args& args) {
   }
 
   const core::Problem problem = trace::load_problem(problem_path);
+  if (k > problem.size()) {
+    throw ParseError("solve: --k " + std::to_string(k) +
+                     " exceeds the instance size n=" +
+                     std::to_string(problem.size()));
+  }
   const auto solve_start = std::chrono::steady_clock::now();
   const core::Solution solution =
-      core::make_solver(solver_name, problem, config)->solve(problem, k);
+      ls::make_solver(solver_name, problem, config)->solve(problem, k);
   const double solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     solve_start)
@@ -230,7 +265,7 @@ int cmd_describe(io::Args& args) {
 
 int cmd_compare(io::Args& args) {
   const std::string problem_path = args.get_string("problem", "");
-  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 4));
+  const std::size_t k = get_positive(args, "k", 4, "compare");
   core::SolverConfig config;
   config.grid_pitch = args.get_double("pitch", 0.5);
   const std::string solver_list =
@@ -240,6 +275,11 @@ int cmd_compare(io::Args& args) {
     throw ParseError("compare: --problem FILE is required");
   }
   const core::Problem problem = trace::load_problem(problem_path);
+  if (k > problem.size()) {
+    throw ParseError("compare: --k " + std::to_string(k) +
+                     " exceeds the instance size n=" +
+                     std::to_string(problem.size()));
+  }
 
   std::vector<std::string> names;
   for (std::size_t pos = 0; pos <= solver_list.size();) {
@@ -254,7 +294,7 @@ int cmd_compare(io::Args& args) {
   io::Table table({"solver", "total reward", "share of demand"});
   for (const std::string& name : names) {
     const core::Solution s =
-        core::make_solver(name, problem, config)->solve(problem, k);
+        ls::make_solver(name, problem, config)->solve(problem, k);
     table.add_row({name, io::fixed(s.total_reward, 4),
                    io::percent(s.total_reward / problem.total_weight())});
   }
@@ -298,7 +338,7 @@ int cmd_simulate(io::Args& args) {
   args.finish();
 
   sim::BroadcastSimulator simulator(cfg, [&](const core::Problem& p) {
-    return core::make_solver(solver_name, p);
+    return ls::make_solver(solver_name, p);
   });
   const sim::SimReport report = simulator.run();
   io::Table table({"metric", "value"});
@@ -319,16 +359,16 @@ int cmd_serve_replay(io::Args& args) {
   const std::size_t users = static_cast<std::size_t>(args.get_int("users", 2000));
   const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 20));
   serve::ServiceConfig config;
-  config.k = static_cast<std::size_t>(args.get_int("k", 4));
+  config.k = get_positive(args, "k", 4, "serve-replay");
   config.radius = args.get_double("radius", 1.0);
   config.shard.max_shards = static_cast<std::size_t>(args.get_int("shards", 0));
   // --store-shards splits the InstanceStore itself by region (1 = the
   // golden-digest bit-identity mode; the solver --shards above is
   // independent of this).
-  config.store_shards =
-      static_cast<std::size_t>(args.get_int("store-shards", 1));
+  config.store_shards = get_positive(args, "store-shards", 1, "serve-replay");
+  config.solver = get_solver_tier(args, "serve-replay");
   config.full_solve_churn_fraction = args.get_double("threshold", 0.05);
-  config.max_batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  config.max_batch = get_positive(args, "batch", 256, "serve-replay");
   const double churn = args.get_double("churn", 0.01);
   rnd::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2011)));
   apply_index_flag(args);
@@ -429,6 +469,11 @@ int cmd_serve_replay(io::Args& args) {
   table.add_row({"spatial incremental updates",
                  std::to_string(m.spatial_incremental_updates)});
   table.add_row({"spatial rebuilds", std::to_string(m.spatial_rebuilds)});
+  if (config.solver == serve::SolverTier::kLs) {
+    table.add_row({"ls moves", std::to_string(m.ls_moves)});
+    table.add_row({"ls improvements", std::to_string(m.ls_improvements)});
+    table.add_row({"ls evals", std::to_string(m.ls_evals)});
+  }
   table.print(std::cout);
 
   io::Table spans({"span", "count", "total (s)", "mean (s)", "max (s)"});
@@ -776,7 +821,7 @@ int cmd_serve_net(io::Args& args) {
   const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
   const std::string port_file = args.get_string("port-file", "");
   const double run_seconds = args.get_double("run-seconds", 0.0);
-  const std::size_t loops = static_cast<std::size_t>(args.get_int("loops", 1));
+  const std::size_t loops = get_positive(args, "loops", 1, "serve-net");
   const std::size_t users = static_cast<std::size_t>(args.get_int("users", 500));
   const std::size_t slots = static_cast<std::size_t>(args.get_int("slots", 10));
   const double churn = args.get_double("churn", 0.01);
@@ -790,10 +835,11 @@ int cmd_serve_net(io::Args& args) {
   const auto primary_port =
       static_cast<std::uint16_t>(args.get_int("primary-port", 0));
   serve::ServiceConfig service_config;
-  service_config.k = static_cast<std::size_t>(args.get_int("k", 4));
+  service_config.k = get_positive(args, "k", 4, "serve-net");
   service_config.radius = args.get_double("radius", 1.0);
   service_config.store_shards =
-      static_cast<std::size_t>(args.get_int("store-shards", 1));
+      get_positive(args, "store-shards", 1, "serve-net");
+  service_config.solver = get_solver_tier(args, "serve-net");
   apply_index_flag(args);
   args.finish();
   if (listen && !connect_host.empty()) {
@@ -811,12 +857,8 @@ int cmd_serve_net(io::Args& args) {
   if (!primary_host.empty() && primary_port == 0) {
     throw ParseError("serve-net: --primary needs --primary-port");
   }
-  if (loops < 1) throw ParseError("serve-net: --loops must be >= 1");
   if (!listen && loops != 1) {
     throw ParseError("serve-net: --loops requires --listen");
-  }
-  if (service_config.store_shards < 1) {
-    throw ParseError("serve-net: --store-shards must be >= 1");
   }
   if (service_config.store_shards > 1 && !primary_host.empty()) {
     // Replication installs one global snapshot/epoch, which cannot be
